@@ -1,0 +1,310 @@
+//! The modal orthonormal basis on a reference cell.
+
+use crate::family::BasisKind;
+use crate::multi_index;
+use dg_poly::legendre::{legendre, norm_sq};
+use dg_poly::mpoly::{Exps, MPoly};
+use dg_poly::rational::Rational;
+use std::collections::HashMap;
+
+/// An orthonormal modal basis `{w_i}` on `[-1,1]^ndim`:
+/// `w_i(ξ) = ∏_d P̃_{e_d(i)}(ξ_d)` with `∫ w_i w_j dξ = δ_ij`.
+#[derive(Clone, Debug)]
+pub struct Basis {
+    ndim: usize,
+    poly_order: usize,
+    kind: BasisKind,
+    exps: Vec<Exps>,
+    index_of: HashMap<Exps, usize>,
+}
+
+impl Basis {
+    pub fn new(kind: BasisKind, ndim: usize, poly_order: usize) -> Self {
+        let exps = multi_index::enumerate(kind, ndim, poly_order);
+        let index_of = exps.iter().enumerate().map(|(i, &e)| (e, i)).collect();
+        Basis {
+            ndim,
+            poly_order,
+            kind,
+            exps,
+            index_of,
+        }
+    }
+
+    /// Number of basis functions, `Np` in the paper.
+    pub fn len(&self) -> usize {
+        self.exps.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.exps.is_empty()
+    }
+
+    pub fn ndim(&self) -> usize {
+        self.ndim
+    }
+
+    pub fn poly_order(&self) -> usize {
+        self.poly_order
+    }
+
+    pub fn kind(&self) -> BasisKind {
+        self.kind
+    }
+
+    /// Exponent multi-index of basis function `i`.
+    pub fn exps(&self, i: usize) -> &Exps {
+        &self.exps[i]
+    }
+
+    pub fn all_exps(&self) -> &[Exps] {
+        &self.exps
+    }
+
+    /// Index of the basis function with the given exponents, if admissible.
+    pub fn find(&self, e: &Exps) -> Option<usize> {
+        self.index_of.get(e).copied()
+    }
+
+    /// Evaluate all basis functions at reference point `ξ ∈ [-1,1]^ndim`
+    /// into `out` (length ≥ Np). Allocation-free; `scratch` must be at least
+    /// `ndim × (p+1)` long and holds per-dimension Legendre values.
+    pub fn eval_all_with(&self, xi: &[f64], scratch: &mut [f64], out: &mut [f64]) {
+        let n1 = self.poly_order + 1;
+        debug_assert!(scratch.len() >= self.ndim * n1);
+        for d in 0..self.ndim {
+            eval_legendre_1d(xi[d], &mut scratch[d * n1..(d + 1) * n1]);
+        }
+        for (i, e) in self.exps.iter().enumerate() {
+            let mut v = 1.0;
+            for d in 0..self.ndim {
+                v *= scratch[d * n1 + e[d] as usize];
+            }
+            out[i] = v;
+        }
+    }
+
+    /// Convenience allocating wrapper around [`Basis::eval_all_with`].
+    pub fn eval_all(&self, xi: &[f64]) -> Vec<f64> {
+        let mut scratch = vec![0.0; self.ndim * (self.poly_order + 1)];
+        let mut out = vec![0.0; self.len()];
+        self.eval_all_with(xi, &mut scratch, &mut out);
+        out
+    }
+
+    /// Evaluate the expansion `Σ_i coeffs[i] w_i(ξ)`.
+    pub fn eval_expansion(&self, coeffs: &[f64], xi: &[f64]) -> f64 {
+        let vals = self.eval_all(xi);
+        coeffs.iter().zip(&vals).map(|(c, w)| c * w).sum()
+    }
+
+    /// ∂w_i/∂ξ_dir at `ξ`, all `i` (allocating; used in tests and the nodal
+    /// baseline's matrix setup, never in the modal hot loop).
+    pub fn eval_grad(&self, dir: usize, xi: &[f64]) -> Vec<f64> {
+        let n1 = self.poly_order + 1;
+        let mut vals = vec![0.0; self.ndim * n1];
+        let mut dvals = vec![0.0; n1];
+        for d in 0..self.ndim {
+            eval_legendre_1d(xi[d], &mut vals[d * n1..(d + 1) * n1]);
+        }
+        eval_legendre_deriv_1d(xi[dir], &mut dvals);
+        self.exps
+            .iter()
+            .map(|e| {
+                let mut v = 1.0;
+                for d in 0..self.ndim {
+                    if d == dir {
+                        v *= dvals[e[d] as usize];
+                    } else {
+                        v *= vals[d * n1 + e[d] as usize];
+                    }
+                }
+                v
+            })
+            .collect()
+    }
+
+    /// The exact symbolic form of `w_i` (up to the per-index normalization
+    /// √(∏ ν²), returned alongside), for kernel verification: the returned
+    /// pair `(poly, nrm2)` satisfies `w_i = √(nrm2) · poly`.
+    pub fn symbolic(&self, i: usize) -> (MPoly, Rational) {
+        let e = &self.exps[i];
+        let mut poly = MPoly::constant(Rational::ONE);
+        let mut nrm2 = Rational::ONE;
+        for d in 0..self.ndim {
+            poly = poly.mul(&MPoly::from_poly1(&legendre(e[d] as usize), d));
+            nrm2 = nrm2 * norm_sq(e[d] as usize);
+        }
+        (poly, nrm2)
+    }
+
+    /// Sup-norm bound `‖w_i‖_∞ = ∏_d √((2 e_d + 1)/2)` (Legendre attain max
+    /// modulus at ±1) — used for rigorous penalty-speed bounds.
+    pub fn sup_norm(&self, i: usize) -> f64 {
+        self.exps[i][..self.ndim]
+            .iter()
+            .map(|&e| norm_sq(e as usize).to_f64().sqrt())
+            .product()
+    }
+
+    /// A human-readable label like `ser-p2-3d`.
+    pub fn label(&self) -> String {
+        format!("{}-p{}-{}d", self.kind.tag(), self.poly_order, self.ndim)
+    }
+}
+
+/// Fill `out[k] = P̃_k(x)` for `k = 0..out.len()` via the Legendre
+/// recurrence, applying the orthonormalization on the fly.
+pub fn eval_legendre_1d(x: f64, out: &mut [f64]) {
+    let n = out.len();
+    if n == 0 {
+        return;
+    }
+    // Unnormalized P_k by recurrence, normalized in place.
+    let mut pkm1 = 1.0;
+    out[0] = std::f64::consts::FRAC_1_SQRT_2; // √(1/2)
+    if n == 1 {
+        return;
+    }
+    let mut pk = x;
+    out[1] = x * (1.5f64).sqrt();
+    for k in 1..n - 1 {
+        let kf = k as f64;
+        let pkp1 = ((2.0 * kf + 1.0) * x * pk - kf * pkm1) / (kf + 1.0);
+        pkm1 = pk;
+        pk = pkp1;
+        out[k + 1] = pk * ((2.0 * (kf + 1.0) + 1.0) / 2.0).sqrt();
+    }
+}
+
+/// Fill `out[k] = P̃_k'(x)` via `P_k' = (k x P_k − k P_{k−1})/(x²−1)` …
+/// avoided at the endpoints by using the stable recurrence
+/// `P'_{k+1} = P'_{k−1} + (2k+1) P_k`.
+pub fn eval_legendre_deriv_1d(x: f64, out: &mut [f64]) {
+    let n = out.len();
+    if n == 0 {
+        return;
+    }
+    // Unnormalized values and derivative recurrences.
+    let mut p = vec![0.0; n];
+    let mut dp = vec![0.0; n];
+    p[0] = 1.0;
+    if n > 1 {
+        p[1] = x;
+        dp[1] = 1.0;
+    }
+    for k in 1..n.saturating_sub(1) {
+        let kf = k as f64;
+        p[k + 1] = ((2.0 * kf + 1.0) * x * p[k] - kf * p[k - 1]) / (kf + 1.0);
+        dp[k + 1] = if k >= 1 { dp[k - 1] } else { 0.0 } + (2.0 * kf + 1.0) * p[k];
+    }
+    for k in 0..n {
+        out[k] = dp[k] * ((2.0 * k as f64 + 1.0) / 2.0).sqrt();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dg_poly::quad::TensorGauss;
+    use proptest::prelude::*;
+
+    #[test]
+    fn orthonormal_under_quadrature() {
+        for &kind in &[
+            BasisKind::MaximalOrder,
+            BasisKind::Serendipity,
+            BasisKind::Tensor,
+        ] {
+            let b = Basis::new(kind, 2, 2);
+            let np = b.len();
+            let mut gram = vec![0.0; np * np];
+            let mut tg = TensorGauss::new(4, 2);
+            let mut xi = [0.0; 2];
+            while let Some(w) = tg.next_point(&mut xi) {
+                let vals = b.eval_all(&xi);
+                for i in 0..np {
+                    for j in 0..np {
+                        gram[i * np + j] += w * vals[i] * vals[j];
+                    }
+                }
+            }
+            for i in 0..np {
+                for j in 0..np {
+                    let want = if i == j { 1.0 } else { 0.0 };
+                    assert!(
+                        (gram[i * np + j] - want).abs() < 1e-12,
+                        "{kind:?} gram[{i}][{j}] = {}",
+                        gram[i * np + j]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn symbolic_matches_numeric() {
+        let b = Basis::new(BasisKind::Serendipity, 3, 2);
+        let pts = [[0.3, -0.7, 0.1], [1.0, 1.0, -1.0], [-0.25, 0.5, 0.75]];
+        for i in 0..b.len() {
+            let (poly, nrm2) = b.symbolic(i);
+            let s = nrm2.to_f64().sqrt();
+            for xi in &pts {
+                let numeric = b.eval_all(xi)[i];
+                let symbolic = s * poly.eval_f64(xi);
+                assert!(
+                    (numeric - symbolic).abs() < 1e-12,
+                    "basis {i} at {xi:?}: {numeric} vs {symbolic}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gradients_match_finite_differences() {
+        let b = Basis::new(BasisKind::Tensor, 2, 3);
+        let xi = [0.37, -0.58];
+        let h = 1e-6;
+        for dir in 0..2 {
+            let grads = b.eval_grad(dir, &xi);
+            let mut xp = xi;
+            let mut xm = xi;
+            xp[dir] += h;
+            xm[dir] -= h;
+            let vp = b.eval_all(&xp);
+            let vm = b.eval_all(&xm);
+            for i in 0..b.len() {
+                let fd = (vp[i] - vm[i]) / (2.0 * h);
+                assert!(
+                    (grads[i] - fd).abs() < 1e-5 * (1.0 + grads[i].abs()),
+                    "dir {dir} basis {i}: {} vs {fd}",
+                    grads[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sup_norm_is_attained_at_corner() {
+        let b = Basis::new(BasisKind::Tensor, 2, 2);
+        let corner = b.eval_all(&[1.0, 1.0]);
+        for i in 0..b.len() {
+            assert!((b.sup_norm(i) - corner[i].abs()).abs() < 1e-13);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn expansion_eval_linear(x in -1.0f64..1.0, y in -1.0f64..1.0) {
+            // Expanding the function 1 (coefficients from expand helpers is
+            // tested elsewhere); here: evaluating e_i expansion returns w_i.
+            let b = Basis::new(BasisKind::Serendipity, 2, 2);
+            let vals = b.eval_all(&[x, y]);
+            for i in 0..b.len() {
+                let mut c = vec![0.0; b.len()];
+                c[i] = 1.0;
+                prop_assert!((b.eval_expansion(&c, &[x, y]) - vals[i]).abs() < 1e-13);
+            }
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! Exact expansions of simple functions in an orthonormal modal basis.
+//!
+//! The streaming part of the phase-space flux is `α = v_d = w_d + (Δ_d/2)ξ_d`
+//! — an affine function of one reference coordinate. Its modal expansion has
+//! exactly two non-zero coefficients, which is what lets the streaming
+//! kernels collapse to two sparse matrices (see `dg-kernels::volume`). The
+//! coefficients below are closed-form:
+//!
+//! * `⟨1, w_0⟩ = 2^{d/2}` (only the constant mode sees a constant);
+//! * `⟨ξ_k, w_{e_k}⟩ = √(2/3) · 2^{(d−1)/2}` (only the linear-in-`ξ_k` mode).
+
+use crate::basis::Basis;
+use dg_poly::MAX_DIM;
+
+/// Coefficient of the constant function `1` on mode 0 (all other modes 0).
+pub fn const_coeff(basis: &Basis) -> f64 {
+    debug_assert_eq!(basis.exps(0), &[0u8; MAX_DIM]);
+    (2.0f64).powi(basis.ndim() as i32).sqrt()
+}
+
+/// `(mode index, coefficient)` of the coordinate `ξ_dim`; `None` only if the
+/// basis lacks the linear mode (impossible for p ≥ 1).
+pub fn linear_coeff(basis: &Basis, dim: usize) -> Option<(usize, f64)> {
+    let mut e = [0u8; MAX_DIM];
+    e[dim] = 1;
+    let idx = basis.find(&e)?;
+    let c = (2.0f64 / 3.0).sqrt() * (2.0f64).powi(basis.ndim() as i32 - 1).sqrt();
+    Some((idx, c))
+}
+
+/// Expansion of the affine function `a + b ξ_dim` into `out` (zeroed first).
+pub fn affine(basis: &Basis, dim: usize, a: f64, b: f64, out: &mut [f64]) {
+    out.fill(0.0);
+    out[0] = a * const_coeff(basis);
+    let (idx, c) = linear_coeff(basis, dim).expect("p ≥ 1 basis has linear modes");
+    out[idx] += b * c;
+}
+
+/// The physical coordinate `z_dim = center + (dx/2) ξ_dim` as a modal
+/// expansion — e.g. the velocity coordinate `v` appearing in the streaming
+/// flux and in the drag term of the LBO collision operator.
+pub fn coordinate(basis: &Basis, dim: usize, center: f64, dx: f64, out: &mut [f64]) {
+    affine(basis, dim, center, 0.5 * dx, out);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::family::BasisKind;
+
+    #[test]
+    fn constant_expansion_evaluates_to_one() {
+        for ndim in 1..=4 {
+            let b = Basis::new(BasisKind::Serendipity, ndim, 2);
+            let mut c = vec![0.0; b.len()];
+            c[0] = const_coeff(&b);
+            let xi: Vec<f64> = (0..ndim).map(|d| 0.1 * d as f64 - 0.3).collect();
+            assert!((b.eval_expansion(&c, &xi) - 1.0).abs() < 1e-13);
+        }
+    }
+
+    #[test]
+    fn coordinate_expansion_evaluates_to_coordinate() {
+        let b = Basis::new(BasisKind::Tensor, 3, 2);
+        let mut c = vec![0.0; b.len()];
+        coordinate(&b, 1, 2.5, 0.4, &mut c);
+        for &xi1 in &[-1.0, -0.3, 0.0, 0.7, 1.0] {
+            let xi = [0.2, xi1, -0.6];
+            let want = 2.5 + 0.2 * xi1;
+            assert!((b.eval_expansion(&c, &xi) - want).abs() < 1e-13);
+        }
+    }
+
+    #[test]
+    fn affine_is_sparse() {
+        let b = Basis::new(BasisKind::MaximalOrder, 4, 3);
+        let mut c = vec![0.0; b.len()];
+        affine(&b, 2, 1.0, 2.0, &mut c);
+        let nnz = c.iter().filter(|&&x| x != 0.0).count();
+        assert_eq!(nnz, 2);
+    }
+}

@@ -1,0 +1,204 @@
+//! Face (trace) bases and trace maps.
+//!
+//! Surface integrals in the DG weak form live on `(d−1)`-dimensional cell
+//! faces. Restricting a cell basis function to the face `ξ_dir = ±1` turns
+//! its `P̃_{e_dir}` factor into the scalar `P̃_{e_dir}(±1)`, leaving a
+//! product of Legendre polynomials in the remaining coordinates whose
+//! exponent multi-index is again admissible **for the same family at the
+//! same order** (all three families are closed under deleting a dimension).
+//! The face basis is therefore simply the family's basis in `d−1`
+//! dimensions, and the trace of any cell expansion is a sparse re-indexing:
+//! exactly one face mode per cell mode.
+
+use crate::basis::Basis;
+use dg_poly::legendre::edge_value;
+use dg_poly::mpoly::Exps;
+use dg_poly::MAX_DIM;
+
+/// The trace machinery for faces normal to one cell direction.
+#[derive(Clone, Debug)]
+pub struct FaceBasis {
+    /// Normal direction in the cell's dimension numbering.
+    pub dir: usize,
+    /// The `(d−1)`-dimensional basis on the face. Face dimension `j`
+    /// corresponds to cell dimension `j` if `j < dir`, else `j + 1`.
+    pub basis: Basis,
+    /// `trace[side][i] = (a, value)`: cell mode `i` restricted to the face
+    /// equals `value · φ_a`. `side` 0 = lower (ξ_dir = −1), 1 = upper (+1).
+    trace: [Vec<(u32, f64)>; 2],
+}
+
+impl FaceBasis {
+    pub fn new(cell: &Basis, dir: usize) -> Self {
+        assert!(dir < cell.ndim(), "face direction out of range");
+        // For 1D cells the face basis is 0-dimensional: a single constant
+        // mode on a point, with unit "integral".
+        let basis = Basis::new(cell.kind(), cell.ndim() - 1, cell.poly_order());
+        let mut trace = [Vec::with_capacity(cell.len()), Vec::with_capacity(cell.len())];
+        for i in 0..cell.len() {
+            let e = cell.exps(i);
+            let fe = drop_dim(e, dir);
+            let a = basis
+                .find(&fe)
+                .expect("family not closed under taking traces — impossible") as u32;
+            let k = e[dir] as usize;
+            trace[0].push((a, edge_value(k, -1)));
+            trace[1].push((a, edge_value(k, 1)));
+        }
+        FaceBasis { dir, basis, trace }
+    }
+
+    /// Number of face modes.
+    pub fn len(&self) -> usize {
+        self.basis.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.basis.is_empty()
+    }
+
+    /// `(face index, trace value)` of cell mode `i` at the given side
+    /// (−1 → lower face, +1 → upper face).
+    #[inline]
+    pub fn trace_of(&self, side: i32, i: usize) -> (usize, f64) {
+        let (a, v) = self.trace[usize::from(side > 0)][i];
+        (a as usize, v)
+    }
+
+    /// Restrict a cell expansion to the face: `face[a] += Σ_i T_{ia} cell[i]`.
+    /// `face` must be zeroed by the caller (allows accumulation patterns).
+    #[inline]
+    pub fn restrict(&self, side: i32, cell: &[f64], face: &mut [f64]) {
+        let t = &self.trace[usize::from(side > 0)];
+        for (i, &(a, v)) in t.iter().enumerate() {
+            face[a as usize] += v * cell[i];
+        }
+    }
+
+    /// Lift a face functional back to cell modes:
+    /// `cell[i] += scale · T_{ia} face[a]` — the surface-integral lift
+    /// `∫_face w_i|_side Ĝ dS` given `Ĝ`'s face expansion.
+    #[inline]
+    pub fn lift(&self, side: i32, face: &[f64], scale: f64, cell: &mut [f64]) {
+        let t = &self.trace[usize::from(side > 0)];
+        for (i, &(a, v)) in t.iter().enumerate() {
+            cell[i] += scale * v * face[a as usize];
+        }
+    }
+}
+
+/// Remove dimension `dir` from a multi-index, shifting higher dims down.
+pub fn drop_dim(e: &Exps, dir: usize) -> Exps {
+    let mut out = [0u8; MAX_DIM];
+    let mut j = 0;
+    for (d, &ed) in e.iter().enumerate() {
+        if d == dir {
+            continue;
+        }
+        out[j] = ed;
+        j += 1;
+    }
+    out
+}
+
+/// Insert a zero exponent at dimension `dir` (inverse of [`drop_dim`] for
+/// indices that do not vary along `dir`).
+pub fn insert_dim(e: &Exps, dir: usize, value: u8) -> Exps {
+    let mut out = [0u8; MAX_DIM];
+    let mut j = 0;
+    for d in 0..MAX_DIM {
+        if d == dir {
+            out[d] = value;
+        } else {
+            out[d] = e[j];
+            j += 1;
+            if j >= MAX_DIM {
+                break;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::family::BasisKind;
+
+    #[test]
+    fn drop_insert_roundtrip() {
+        let e: Exps = [3, 1, 4, 1, 5, 0];
+        for dir in 0..5 {
+            let f = drop_dim(&e, dir);
+            let back = insert_dim(&f, dir, e[dir]);
+            assert_eq!(back, e);
+        }
+    }
+
+    #[test]
+    fn trace_matches_pointwise_evaluation() {
+        for &kind in &[
+            BasisKind::MaximalOrder,
+            BasisKind::Serendipity,
+            BasisKind::Tensor,
+        ] {
+            let cell = Basis::new(kind, 3, 2);
+            for dir in 0..3 {
+                let fb = FaceBasis::new(&cell, dir);
+                for &side in &[-1i32, 1] {
+                    // Random-ish cell expansion evaluated on the face two
+                    // ways must agree.
+                    let coeffs: Vec<f64> =
+                        (0..cell.len()).map(|i| ((i * 37 + 11) % 17) as f64 / 7.0 - 1.0).collect();
+                    let mut face = vec![0.0; fb.len()];
+                    fb.restrict(side, &coeffs, &mut face);
+
+                    let pts = [[0.3, -0.8], [-0.5, 0.5], [0.9, 0.1]];
+                    for fxi in &pts {
+                        let mut xi = [0.0; 3];
+                        let mut j = 0;
+                        for d in 0..3 {
+                            if d == dir {
+                                xi[d] = side as f64;
+                            } else {
+                                xi[d] = fxi[j];
+                                j += 1;
+                            }
+                        }
+                        let direct = cell.eval_expansion(&coeffs, &xi);
+                        let via_face = fb.basis.eval_expansion(&face, fxi);
+                        assert!(
+                            (direct - via_face).abs() < 1e-12,
+                            "{kind:?} dir {dir} side {side}: {direct} vs {via_face}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lift_is_transpose_of_restrict() {
+        let cell = Basis::new(BasisKind::Serendipity, 2, 2);
+        let fb = FaceBasis::new(&cell, 0);
+        // ⟨restrict(c), g⟩_face = ⟨c, lift(g)⟩_cell for all c, g.
+        for side in [-1, 1] {
+            for ci in 0..cell.len() {
+                for a in 0..fb.len() {
+                    let mut c = vec![0.0; cell.len()];
+                    c[ci] = 1.0;
+                    let mut f = vec![0.0; fb.len()];
+                    fb.restrict(side, &c, &mut f);
+                    let lhs = f[a];
+
+                    let mut g = vec![0.0; fb.len()];
+                    g[a] = 1.0;
+                    let mut lifted = vec![0.0; cell.len()];
+                    fb.lift(side, &g, 1.0, &mut lifted);
+                    let rhs = lifted[ci];
+                    assert!((lhs - rhs).abs() < 1e-14);
+                }
+            }
+        }
+    }
+}

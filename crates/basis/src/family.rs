@@ -1,0 +1,134 @@
+//! Basis family selection rules on exponent multi-indices.
+
+use dg_poly::mpoly::Exps;
+
+/// The three modal families compared throughout the paper (Fig. 2 colours:
+/// black = maximal-order, blue = Serendipity, red = tensor).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum BasisKind {
+    /// Total degree ≤ p. Fewest DOFs, but the phase-space flux projection
+    /// truncates products like `v · B(x)` at total degree p.
+    MaximalOrder,
+    /// Superlinear degree ≤ p (Arnold–Awanou). Gkeyll's workhorse: close to
+    /// maximal-order cost while keeping all multilinear couplings, so the
+    /// Vlasov acceleration `q/m (E + v × B)` projects without truncation.
+    Serendipity,
+    /// Full tensor product, max per-dimension degree ≤ p. Most DOFs; used to
+    /// show (Fig. 2) that the modal algorithm's cost scales with `Np` only,
+    /// independent of family.
+    Tensor,
+}
+
+impl BasisKind {
+    /// Is the monomial exponent multi-index a member of the family's space?
+    pub fn admits(&self, exps: &Exps, ndim: usize, p: usize) -> bool {
+        match self {
+            BasisKind::MaximalOrder => {
+                exps[..ndim].iter().map(|&e| e as usize).sum::<usize>() <= p
+            }
+            BasisKind::Serendipity => superlinear_degree(exps, ndim) <= p,
+            BasisKind::Tensor => exps[..ndim].iter().all(|&e| (e as usize) <= p),
+        }
+    }
+
+    /// A per-dimension exponent cap that contains every admissible index —
+    /// used to bound enumeration loops.
+    pub fn max_exponent(&self, p: usize) -> usize {
+        p
+    }
+
+    /// Short machine-readable name used in reports and codegen.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            BasisKind::MaximalOrder => "max",
+            BasisKind::Serendipity => "ser",
+            BasisKind::Tensor => "tensor",
+        }
+    }
+}
+
+impl std::fmt::Display for BasisKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            BasisKind::MaximalOrder => "maximal-order",
+            BasisKind::Serendipity => "Serendipity",
+            BasisKind::Tensor => "tensor",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Arnold–Awanou superlinear degree: the total degree counting only
+/// variables that enter *superlinearly* (exponent ≥ 2). Multilinear factors
+/// are free; e.g. `sdeg(x²yz) = 2`, `sdeg(xyz) = 0`, `sdeg(x²y²) = 4`.
+pub fn superlinear_degree(exps: &Exps, ndim: usize) -> usize {
+    exps[..ndim]
+        .iter()
+        .map(|&e| if e >= 2 { e as usize } else { 0 })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(v: &[u8]) -> Exps {
+        let mut out = [0u8; dg_poly::MAX_DIM];
+        out[..v.len()].copy_from_slice(v);
+        out
+    }
+
+    #[test]
+    fn superlinear_degree_examples() {
+        assert_eq!(superlinear_degree(&e(&[2, 1, 1]), 3), 2);
+        assert_eq!(superlinear_degree(&e(&[1, 1, 1]), 3), 0);
+        assert_eq!(superlinear_degree(&e(&[2, 2]), 2), 4);
+        assert_eq!(superlinear_degree(&e(&[3, 0]), 2), 3);
+        assert_eq!(superlinear_degree(&e(&[0, 0]), 2), 0);
+    }
+
+    #[test]
+    fn serendipity_p2_quad_is_the_8_node_element() {
+        // In 2D, p=2 Serendipity = classic 8-node quad: all of
+        // {1,x,y,xy,x²,y²,x²y,xy²} but not x²y².
+        let k = BasisKind::Serendipity;
+        assert!(k.admits(&e(&[2, 1]), 2, 2));
+        assert!(k.admits(&e(&[1, 2]), 2, 2));
+        assert!(!k.admits(&e(&[2, 2]), 2, 2));
+    }
+
+    #[test]
+    fn p1_serendipity_equals_p1_tensor() {
+        // The paper's 6D p=1 runs use Np = 2⁶ = 64: Serendipity and tensor
+        // coincide at p = 1.
+        for bits in 0..64u32 {
+            let mut v = [0u8; dg_poly::MAX_DIM];
+            for d in 0..6 {
+                v[d] = ((bits >> d) & 1) as u8;
+            }
+            assert_eq!(
+                BasisKind::Serendipity.admits(&v, 6, 1),
+                BasisKind::Tensor.admits(&v, 6, 1)
+            );
+        }
+    }
+
+    #[test]
+    fn maximal_order_is_subset_of_serendipity_is_subset_of_tensor() {
+        let p = 2;
+        let ndim = 3;
+        for a in 0..=3u8 {
+            for b in 0..=3u8 {
+                for c in 0..=3u8 {
+                    let v = e(&[a, b, c]);
+                    if BasisKind::MaximalOrder.admits(&v, ndim, p) {
+                        assert!(BasisKind::Serendipity.admits(&v, ndim, p));
+                    }
+                    if BasisKind::Serendipity.admits(&v, ndim, p) {
+                        assert!(BasisKind::Tensor.admits(&v, ndim, p));
+                    }
+                }
+            }
+        }
+    }
+}

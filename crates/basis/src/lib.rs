@@ -1,0 +1,39 @@
+//! # dg-basis — modal orthonormal bases on the reference cube
+//!
+//! The paper's efficiency hinges on choosing a **modal, orthonormal**
+//! polynomial basis so that (a) the DG mass matrix is the identity
+//! (matrix-free), and (b) the volume tensor `C_lmn = ∫ ∂w_l w_m w_n` is
+//! sparse (few FLOPs). On Cartesian cells all three families used by
+//! Gkeyll — maximal-order, Serendipity, and tensor-product — are spanned by
+//! products of 1D orthonormal Legendre polynomials `P̃_k`, one factor per
+//! dimension, selected by a family-specific rule on the exponent
+//! multi-index:
+//!
+//! * **tensor**: `max_d k_d ≤ p`, `Np = (p+1)^d`;
+//! * **maximal-order**: `Σ_d k_d ≤ p`, `Np = C(p+d, d)`;
+//! * **Serendipity** (Arnold & Awanou 2011): superlinear degree ≤ p, where
+//!   the superlinear degree of a monomial ignores exponents equal to one.
+//!
+//! Because each admissible set is closed under lowering any single exponent
+//! by 2 (the support of `P_k` in the monomial basis), the Legendre products
+//! with admissible exponents form an *orthonormal basis of exactly the
+//! family's polynomial space* — no Gram–Schmidt needed and no mass matrix to
+//! invert, which is the paper's footnote 2.
+//!
+//! Paper cross-checks encoded as tests here: `Np = 112` for p=2
+//! Serendipity in 5D (Table I), `Np = 64` for p=1 in 6D (§IV weak scaling),
+//! and `Np = 8` for the 1X2V p=1 tensor kernel of Fig. 1.
+
+pub mod basis;
+pub mod expand;
+pub mod face;
+pub mod family;
+pub mod multi_index;
+pub mod project;
+
+pub use basis::Basis;
+pub use face::FaceBasis;
+pub use family::BasisKind;
+
+pub use dg_poly::mpoly::Exps;
+pub use dg_poly::MAX_DIM;

@@ -1,0 +1,99 @@
+//! Quadrature projection of analytic functions onto the modal basis.
+//!
+//! Used once per simulation to set initial conditions (as in Gkeyll). The
+//! *update loop* never calls this — the scheme is quadrature-free.
+
+use crate::basis::Basis;
+use dg_poly::quad::TensorGauss;
+
+/// L2-project `f(z)` (physical coordinates) onto the basis on the cell with
+/// the given `center`/`dx`: `out_i = ∫_ref f(z(ξ)) w_i(ξ) dξ`, so that the
+/// stored DG expansion is `f_h(z) = Σ_i out_i w_i(ξ(z))`.
+///
+/// `npts` Gauss points per dimension; exact for integrands of polynomial
+/// degree `2·npts − 1` per dimension.
+pub fn project_cell(
+    basis: &Basis,
+    npts: usize,
+    center: &[f64],
+    dx: &[f64],
+    f: &mut impl FnMut(&[f64]) -> f64,
+    out: &mut [f64],
+) {
+    let ndim = basis.ndim();
+    let np = basis.len();
+    out[..np].fill(0.0);
+    let mut xi = vec![0.0; ndim];
+    let mut z = vec![0.0; ndim];
+    let mut scratch = vec![0.0; ndim * (basis.poly_order() + 1)];
+    let mut wvals = vec![0.0; np];
+    let mut tg = TensorGauss::new(npts, ndim);
+    while let Some(w) = tg.next_point(&mut xi) {
+        for d in 0..ndim {
+            z[d] = center[d] + 0.5 * dx[d] * xi[d];
+        }
+        let fv = f(&z);
+        basis.eval_all_with(&xi, &mut scratch, &mut wvals);
+        for i in 0..np {
+            out[i] += w * fv * wvals[i];
+        }
+    }
+}
+
+/// The cell average of a modal expansion: the constant mode carries the
+/// mean through `f̄ = f_0 · w_0 = f_0 · 2^{-d/2}`.
+pub fn cell_average(basis: &Basis, coeffs: &[f64]) -> f64 {
+    coeffs[0] * (2.0f64).powi(-(basis.ndim() as i32)).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::family::BasisKind;
+
+    #[test]
+    fn projection_reproduces_polynomials_exactly() {
+        // A quadratic in the Serendipity space projects exactly and
+        // evaluates back to itself.
+        let b = Basis::new(BasisKind::Serendipity, 2, 2);
+        let center = [1.0, -2.0];
+        let dx = [0.5, 2.0];
+        let mut f = |z: &[f64]| 1.0 + 0.3 * z[0] - 0.7 * z[1] + 0.2 * z[0] * z[1] + z[1] * z[1];
+        let mut coeffs = vec![0.0; b.len()];
+        project_cell(&b, 3, &center, &dx, &mut f, &mut coeffs);
+        for &(x, y) in &[(0.9, -2.9), (1.2, -1.1), (1.0, -2.0)] {
+            let xi = [(x - center[0]) / (0.5 * dx[0]), (y - center[1]) / (0.5 * dx[1])];
+            let got = b.eval_expansion(&coeffs, &xi);
+            let want = f(&[x, y]);
+            assert!((got - want).abs() < 1e-12, "at ({x},{y}): {got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn cell_average_of_projection_matches_mean() {
+        let b = Basis::new(BasisKind::Tensor, 1, 2);
+        let mut f = |z: &[f64]| 3.0 + z[0]; // mean over cell = 3 + center
+        let mut coeffs = vec![0.0; b.len()];
+        project_cell(&b, 4, &[2.0], &[0.8], &mut f, &mut coeffs);
+        assert!((cell_average(&b, &coeffs) - 5.0).abs() < 1e-13);
+    }
+
+    #[test]
+    fn projection_is_l2_optimal() {
+        // Projection residual of a non-member function is orthogonal to the
+        // basis: re-projecting the evaluated expansion changes nothing.
+        let b = Basis::new(BasisKind::MaximalOrder, 1, 2);
+        let mut f = |z: &[f64]| (z[0]).sin();
+        let mut c1 = vec![0.0; b.len()];
+        project_cell(&b, 8, &[0.3], &[1.0], &mut f, &mut c1);
+        let mut g = |z: &[f64]| {
+            let xi = [(z[0] - 0.3) / 0.5];
+            b.eval_expansion(&c1, &xi)
+        };
+        let mut c2 = vec![0.0; b.len()];
+        project_cell(&b, 8, &[0.3], &[1.0], &mut g, &mut c2);
+        for i in 0..b.len() {
+            assert!((c1[i] - c2[i]).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! **§II ablation** — what aliasing does to a kinetic simulation.
+//!
+//! The paper's central *argument* (not a numbered figure): for fluid
+//! equations aliasing errors can be filtered, but for kinetic equations
+//! they corrupt the delicate field–particle energy exchange (`J·E`, Eq. 9),
+//! so they must be eliminated exactly. Mass conservation survives
+//! under-integration (the flux stays single-valued); the *energy identity
+//! does not*. This harness drives the nonlinear two-stream instability
+//! through saturation with energy-conserving (central/central) fluxes,
+//! once with exact integration and once under-integrated, and compares
+//! (a) the energy-identity violation on the scale of the physical energy
+//! exchange and (b) the field-energy trajectory itself.
+
+use dg_basis::BasisKind;
+use dg_core::app::{AppBuilder, FieldSpec, SpeciesSpec};
+use dg_core::species::maxwellian;
+use dg_core::system::FluxKind;
+use dg_maxwell::MaxwellFlux;
+use dg_nodal::aliased::NodalSystem;
+use dg_nodal::{alias_free_points, aliased_points};
+
+fn build() -> dg_core::app::App {
+    let u = 3.0;
+    let k = (3.0f64 / 8.0).sqrt() / u;
+    AppBuilder::new()
+        .conf_grid(&[0.0], &[2.0 * std::f64::consts::PI / k], &[8])
+        .poly_order(2)
+        .basis(BasisKind::Serendipity)
+        .vlasov_flux(FluxKind::Central)
+        .species(
+            SpeciesSpec::new("elc", -1.0, 1.0, &[-8.0], &[8.0], &[24]).initial(move |x, v| {
+                (1.0 + 1e-2 * (k * x[0]).cos())
+                    * (maxwellian(0.5, &[u], 0.4, v) + maxwellian(0.5, &[-u], 0.4, v))
+            }),
+        )
+        .field(
+            FieldSpec::new(8.0)
+                .with_poisson_init()
+                .flux(MaxwellFlux::Central),
+        )
+        .build()
+        .unwrap()
+}
+
+struct RunResult {
+    /// max |E_total(t) − E_total(0)| normalized by the peak field energy
+    /// (the physical energy-exchange scale of Eq. 9).
+    energy_violation: f64,
+    mass_drift: f64,
+    field_trace: Vec<f64>,
+}
+
+fn run(nq: usize, steps: usize, dt: f64) -> RunResult {
+    let app = build();
+    let mut sys = NodalSystem::new(app.system, nq);
+    let mut state = app.state;
+    let mut stage = sys.inner.new_state();
+    let mut rhs = sys.inner.new_state();
+    let n0: f64 = sys.inner.particle_numbers(&state).iter().sum();
+    let e0 = sys.inner.particle_energy(&state) + sys.inner.field_energy(&state);
+    let mut max_abs_drift: f64 = 0.0;
+    let mut peak_field: f64 = sys.inner.field_energy(&state);
+    let mut field_trace = Vec::new();
+    for i in 0..steps {
+        sys.step(&mut state, &mut stage, &mut rhs, dt);
+        if i % 10 == 0 {
+            let fe = sys.inner.field_energy(&state);
+            let e = sys.inner.particle_energy(&state) + fe;
+            max_abs_drift = max_abs_drift.max((e - e0).abs());
+            peak_field = peak_field.max(fe);
+            field_trace.push(fe);
+        }
+    }
+    let n1: f64 = sys.inner.particle_numbers(&state).iter().sum();
+    RunResult {
+        energy_violation: max_abs_drift / peak_field,
+        mass_drift: ((n1 - n0) / n0).abs(),
+        field_trace,
+    }
+}
+
+fn main() {
+    println!("=== §II ablation: exact integration vs aliasing ===");
+    println!("two-stream through saturation, p=2 Serendipity, central fluxes\n");
+    // γ ≈ 0.35: t = 12 grows the 1e-2 seed to saturation.
+    let dt = 2e-3;
+    let steps = 6000;
+    let exact = run(alias_free_points(2), steps, dt); // 4 points/dim
+    let aliased = run(aliased_points(2), steps, dt); // 3 points: collocation
+    let strongly_aliased = run(2, steps, dt); // 2 points: energy row corrupted
+
+    println!(
+        "{:<42}{:>11}{:>11}{:>11}",
+        "", "exact(4pt)", "alias(3pt)", "alias(2pt)"
+    );
+    println!("{:-<76}", "");
+    println!(
+        "{:<42}{:>11.2e}{:>11.2e}{:>11.2e}",
+        "energy-identity violation / peak field E",
+        exact.energy_violation,
+        aliased.energy_violation,
+        strongly_aliased.energy_violation
+    );
+    println!(
+        "{:<42}{:>11.2e}{:>11.2e}{:>11.2e}",
+        "mass drift (relative)",
+        exact.mass_drift,
+        aliased.mass_drift,
+        strongly_aliased.mass_drift
+    );
+    let trajectory_gap = exact
+        .field_trace
+        .iter()
+        .zip(&aliased.field_trace)
+        .map(|(a, b)| (a - b).abs() / a.abs().max(1e-300))
+        .fold(0.0f64, f64::max);
+    println!(
+        "{:<46}{:>26.3e}",
+        "max relative field-energy trajectory gap", trajectory_gap
+    );
+    println!(
+        "\nenergy-corruption ratio (2pt aliased / exact): {:.1e}x",
+        strongly_aliased.energy_violation / exact.energy_violation.max(1e-300)
+    );
+    println!("\nnote: the 3-point (collocation) variant aliases the *higher* moments —");
+    println!("      its trajectory already deviates — while its energy row happens to");
+    println!("      remain exactly integrated (the v²-moment integrand stays within");
+    println!("      3-point Gauss exactness); one point fewer and Eq. 9 breaks outright.");
+    println!("paper: aliasing rearranges the \"energy content\" of the velocity moments in");
+    println!("       uncontrolled ways; filtering cannot fix it, exact integration can.");
+
+    assert!(
+        exact.mass_drift < 1e-11 && aliased.mass_drift < 1e-11,
+        "mass survives collocation aliasing (single-valued fluxes)"
+    );
+    assert!(
+        trajectory_gap > 1e-6,
+        "collocation aliasing must alter the nonlinear trajectory: gap {trajectory_gap:.3e}"
+    );
+    assert!(
+        strongly_aliased.energy_violation > 100.0 * exact.energy_violation
+            || !strongly_aliased.energy_violation.is_finite(),
+        "strong under-integration should corrupt the energy identity: {:.3e} vs {:.3e}",
+        strongly_aliased.energy_violation,
+        exact.energy_violation
+    );
+    println!("\nablation_aliasing OK");
+}

@@ -1,0 +1,51 @@
+//! **Fig. 1** — the generated computational kernel and its operation count.
+//!
+//! The paper prints the Maxima-generated C++ volume kernel for 1X2V, p=1,
+//! tensor basis and quotes ~70 multiplications against ~250 for the
+//! alias-free nodal (quadrature) version. This harness emits our generated
+//! Rust kernel, audits the multiplication counts for both pipelines, and
+//! prints the Table-ready comparison row.
+
+use dg_basis::BasisKind;
+use dg_kernels::codegen::{count_update_statements, volume_kernel_source};
+use dg_kernels::{kernels_for, PhaseLayout};
+use dg_nodal::alias_free_points;
+
+fn main() {
+    println!("=== Fig. 1 reproduction: generated volume kernel, 1X2V p=1 tensor ===\n");
+    let pk = kernels_for(BasisKind::Tensor, PhaseLayout::new(1, 2), 1);
+    let src = volume_kernel_source(&pk, "vlasov_vol_1x2v_p1_tensor");
+    let first: String = src.lines().take(28).collect::<Vec<_>>().join("\n");
+    println!("{first}");
+    println!("    … ({} lines total; full text via `cargo run --release --example kernel_inspect`)\n", src.lines().count());
+
+    let r = pk.op_report();
+    let modal_vol = r.streaming_volume + r.accel_volume;
+    let statements = count_update_statements(&src);
+    let nq = alias_free_points(1); // 2 points per dim
+    let nq_vol = nq.pow(3);
+    let nodal_vol = 3 * nq_vol * r.np + nq_vol;
+    println!("{:<46}{:>10}", "quantity", "count");
+    println!("{:-<56}", "");
+    println!("{:<46}{:>10}", "Np (DOF per cell)", r.np);
+    println!("{:<46}{:>10}", "modal volume multiplications", modal_vol);
+    println!("{:<46}{:>10}", "modal volume update statements", statements);
+    println!("{:<46}{:>10}", "nodal (quadrature) volume mult estimate", nodal_vol);
+    println!(
+        "{:<46}{:>9.1}x",
+        "nodal / modal (volume term)",
+        nodal_vol as f64 / modal_vol as f64
+    );
+    println!();
+    println!("paper: ~70 modal vs ~250 nodal multiplications (≈3.6x)");
+    println!(
+        "ours : {} modal vs {} nodal ({:.1}x)",
+        modal_vol,
+        nodal_vol,
+        nodal_vol as f64 / modal_vol as f64
+    );
+
+    assert!(modal_vol >= 40 && modal_vol <= 120, "modal count out of the paper's ballpark");
+    assert!(nodal_vol as f64 / modal_vol as f64 > 2.0);
+    println!("\nfig1_kernel OK");
+}

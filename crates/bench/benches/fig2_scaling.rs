@@ -1,0 +1,72 @@
+//! **Fig. 2** — per-cell update cost vs DOFs per cell `Np`.
+//!
+//! The paper times the full per-cell kernel evaluation (volume plus all
+//! `2d` surface integrals) for the streaming-only flux `α = (v, 0)` (left
+//! panel) and the full streaming + acceleration update (right panel),
+//! across 1x1v … 3x3v and the three basis families, and finds the cost
+//! scales sub-quadratically in `Np` *independent of dimensionality and
+//! family*. This harness reproduces both series and fits the log-log slope.
+
+use dg_basis::BasisKind;
+use dg_bench::{loglog_slope, CellBench};
+
+fn main() {
+    println!("=== Fig. 2 reproduction: per-cell update time vs Np ===\n");
+    let dims: &[(usize, usize)] = &[(1, 1), (1, 2), (1, 3), (2, 2), (2, 3), (3, 3)];
+    let bases = [
+        (BasisKind::MaximalOrder, "max-order"),
+        (BasisKind::Serendipity, "serendip."),
+        (BasisKind::Tensor, "tensor"),
+    ];
+    // p range per dimensionality: keep 6D at p ≤ 2 (tensor p=2 in 6D is
+    // Np = 729, the largest point the container handles comfortably).
+    let orders = |d: usize| if d >= 6 { vec![1usize, 2] } else { vec![1usize, 2, 3] };
+
+    let mut rows = Vec::new();
+    println!(
+        "{:<8} {:<10} {:>3} {:>6} {:>14} {:>14}",
+        "phase", "basis", "p", "Np", "stream ns", "full ns"
+    );
+    println!("{:-<62}", "");
+    for &(c, v) in dims {
+        for &(kind, kname) in &bases {
+            for p in orders(c + v) {
+                if kind == BasisKind::Tensor && c + v >= 6 && p > 2 {
+                    continue;
+                }
+                let mut cb = CellBench::new(kind, c, v, p);
+                let np = cb.kernels.np();
+                let t_stream = cb.time_ns(false, 200);
+                let t_full = cb.time_ns(true, 100);
+                println!(
+                    "{:<8} {:<10} {:>3} {:>6} {:>14.1} {:>14.1}",
+                    format!("{c}x{v}v"),
+                    kname,
+                    p,
+                    np,
+                    t_stream,
+                    t_full
+                );
+                rows.push((np as f64, t_stream, t_full));
+            }
+        }
+    }
+
+    // Scaling fit over all points with Np ≥ 8 (tiny kernels are overhead
+    // dominated).
+    let pts: Vec<&(f64, f64, f64)> = rows.iter().filter(|r| r.0 >= 8.0).collect();
+    let nps: Vec<f64> = pts.iter().map(|r| r.0).collect();
+    let stream: Vec<f64> = pts.iter().map(|r| r.1).collect();
+    let full: Vec<f64> = pts.iter().map(|r| r.2).collect();
+    let s_stream = loglog_slope(&nps, &stream);
+    let s_full = loglog_slope(&nps, &full);
+    println!("\nlog-log slope, streaming update : {s_stream:.2}");
+    println!("log-log slope, full update      : {s_full:.2}");
+    println!("paper: at worst O(Np²) for the total update, independent of basis family");
+
+    assert!(
+        s_full < 2.3,
+        "full update must scale sub-quadratically(ish): slope {s_full:.2}"
+    );
+    println!("\nfig2_scaling OK");
+}

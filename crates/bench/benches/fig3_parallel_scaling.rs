@@ -1,0 +1,77 @@
+//! **Fig. 3** — weak and strong scaling of the 3X3V p=1 two-species
+//! Vlasov–Maxwell step under the two-level decomposition.
+//!
+//! Paper setup: weak scaling from (8³ conf, 16³ vel) on one Theta KNL node
+//! to 128³ conf on 4096 nodes; strong scaling of a fixed (32³, 8³)
+//! problem; >1M MPI processes at the largest point. On this container the
+//! decomposition machinery is exercised at feasible sizes (override with
+//! `F3_BASE0`, `F3_RANKS`) and the printed efficiency column shows what a
+//! single CPU can: the *shape* claim (near-ideal weak scaling, saturating
+//! strong scaling) requires a multicore host — see EXPERIMENTS.md.
+
+use dg_bench::env_usize;
+use dg_parallel::scaling::{strong_scaling_series, weak_scaling_series};
+
+fn main() {
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let base0 = env_usize("F3_BASE0", 2);
+    let max_ranks = env_usize("F3_RANKS", 4);
+    let rank_counts: Vec<usize> = (0..)
+        .map(|i| 1usize << i)
+        .take_while(|&r| r <= max_ranks)
+        .collect();
+    println!("=== Fig. 3 reproduction: weak/strong scaling, 3X3V p=1 (Np=64), two species ===");
+    println!("host threads: {threads}; simulated ranks: {rank_counts:?}\n");
+
+    println!("weak scaling (per-rank conf block {base0}x4x4, vel 4^3):");
+    println!(
+        "{:>6} {:>12} {:>12} {:>12} {:>12}",
+        "ranks", "phase cells", "s/step", "normalized", "halo MB"
+    );
+    let weak = weak_scaling_series(&[base0, 4, 4], &[4, 4, 4], &rank_counts, threads, 2);
+    let base = weak[0].seconds_per_step;
+    for p in &weak {
+        println!(
+            "{:>6} {:>12} {:>12.4} {:>12.2} {:>12.3}",
+            p.ranks,
+            p.phase_cells,
+            p.seconds_per_step,
+            p.seconds_per_step / base,
+            p.halo_bytes as f64 / 1e6
+        );
+    }
+    println!("paper: time/step stays ≈flat out to 4096 nodes (≤25% in halo exchange)");
+
+    println!("\nstrong scaling (fixed conf {0}x4x4, vel 4^3):", base0 * max_ranks);
+    println!(
+        "{:>6} {:>12} {:>12} {:>12}",
+        "ranks", "phase cells", "s/step", "speedup"
+    );
+    let strong = strong_scaling_series(
+        &[base0 * max_ranks, 4, 4],
+        &[4, 4, 4],
+        &rank_counts,
+        threads,
+        2,
+    );
+    let base = strong[0].seconds_per_step;
+    for p in &strong {
+        println!(
+            "{:>6} {:>12} {:>12.4} {:>12.2}",
+            p.ranks,
+            p.phase_cells,
+            p.seconds_per_step,
+            base / p.seconds_per_step
+        );
+    }
+    println!("paper: ~60x at 512x more nodes (communication-bound beyond that)");
+
+    // Sanity: decomposition overhead at equal work must stay small even
+    // when no parallel hardware is available.
+    let overhead = strong.last().unwrap().seconds_per_step / strong[0].seconds_per_step;
+    assert!(
+        overhead < 2.0,
+        "decomposition overhead too large on one CPU: {overhead:.2}x"
+    );
+    println!("\nfig3_parallel_scaling OK");
+}

@@ -1,0 +1,105 @@
+//! Criterion micro-benchmarks of the individual modal kernels — the
+//! statistical backbone behind the Fig. 2 numbers (volume contraction,
+//! surface flux, α projection, moment reduction), at the paper's Table-I
+//! configuration (p=2 Serendipity) in 1X1V/1X2V/2X3V.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dg_basis::BasisKind;
+use dg_bench::synth;
+use dg_kernels::accel::VelGeom;
+use dg_kernels::surface::FaceScratch;
+use dg_kernels::{kernels_for, PhaseLayout};
+use std::hint::black_box;
+
+fn bench_kernels(c: &mut Criterion) {
+    let configs: &[(usize, usize, usize)] = &[(1, 1, 2), (1, 2, 2), (2, 3, 2)];
+    let mut g = c.benchmark_group("modal_kernels");
+    g.sample_size(20);
+    for &(cdim, vdim, p) in configs {
+        let k = kernels_for(BasisKind::Serendipity, PhaseLayout::new(cdim, vdim), p);
+        let np = k.np();
+        let nc = k.nc();
+        let tag = format!("{cdim}x{vdim}v_p{p}_Np{np}");
+        let f = synth(np, 1);
+        let em = synth(8 * nc, 2);
+        let (e, b) = (
+            em[..3 * nc].to_vec(),
+            [
+                em[3 * nc..4 * nc].to_vec(),
+                em[4 * nc..5 * nc].to_vec(),
+                em[5 * nc..6 * nc].to_vec(),
+            ],
+        );
+        let v_c = vec![0.4; vdim];
+        let dv = vec![0.5; vdim];
+
+        // Streaming volume contraction.
+        g.bench_with_input(BenchmarkId::new("streaming_volume", &tag), &(), |bch, _| {
+            let mut out = vec![0.0; np];
+            bch.iter(|| {
+                k.streaming[0].apply(black_box(&f), 0.4, 0.5, 4.0, &mut out);
+                black_box(&out);
+            });
+        });
+
+        // α projection + acceleration volume.
+        g.bench_with_input(BenchmarkId::new("accel_volume", &tag), &(), |bch, _| {
+            let mut out = vec![0.0; np];
+            let mut alpha = vec![0.0; np];
+            bch.iter(|| {
+                k.cell_accel[0].project(
+                    -1.0,
+                    black_box(&e[..nc]),
+                    [&b[0], &b[1], &b[2]],
+                    VelGeom { v_c: &v_c, dv: &dv },
+                    &mut alpha,
+                );
+                k.accel_vol[0].apply(&alpha, black_box(&f), 4.0, &mut out);
+                black_box(&out);
+            });
+        });
+
+        // Surface kernel (velocity direction, both sides).
+        g.bench_with_input(BenchmarkId::new("surface_flux", &tag), &(), |bch, _| {
+            let dir = cdim; // first velocity direction
+            let surf = &k.surfaces[dir];
+            let nf = surf.kernel.face.len();
+            let fl = synth(np, 3);
+            let fr = synth(np, 4);
+            let alpha_face = synth(nf, 5);
+            let mut out_lo = vec![0.0; np];
+            let mut out_hi = vec![0.0; np];
+            let mut ws = FaceScratch::default();
+            bch.iter(|| {
+                surf.kernel.apply(
+                    black_box(&fl),
+                    black_box(&fr),
+                    &alpha_face,
+                    1.3,
+                    4.0,
+                    Some(&mut out_lo),
+                    Some(&mut out_hi),
+                    &mut ws,
+                );
+                black_box(&out_lo);
+            });
+        });
+
+        // Moment reduction (M0 + M1 + M2 of one cell).
+        g.bench_with_input(BenchmarkId::new("moments", &tag), &(), |bch, _| {
+            let mut m0 = vec![0.0; nc];
+            let mut m1 = vec![0.0; nc];
+            let mut m2 = vec![0.0; nc];
+            bch.iter(|| {
+                k.moments.accumulate_m0(black_box(&f), 0.5, &mut m0);
+                k.moments.accumulate_m1(0, black_box(&f), 0.5, 0.4, 0.5, &mut m1);
+                k.moments.accumulate_m2(black_box(&f), 0.5, &v_c, &dv, &mut m2);
+                black_box((&m0, &m1, &m2));
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

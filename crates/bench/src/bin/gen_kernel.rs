@@ -1,0 +1,9 @@
+fn main() {
+    let pk = dg_kernels::kernels_for(
+        dg_basis::BasisKind::Tensor,
+        dg_kernels::PhaseLayout::new(1, 2),
+        1,
+    );
+    let src = dg_kernels::codegen::volume_kernel_source(&pk, "vlasov_vol_1x2v_p1_tensor");
+    print!("{src}");
+}

@@ -1,0 +1,218 @@
+//! Shared helpers for the paper-reproduction benchmark harness.
+//!
+//! Each `benches/*.rs` target regenerates one table or figure of the
+//! paper's evaluation (see EXPERIMENTS.md for the index and the measured
+//! results). The helpers here provide the per-cell kernel-timing loop used
+//! by the Fig. 2 study and the synthetic cell data all micro-measurements
+//! share.
+
+use dg_basis::BasisKind;
+use dg_kernels::accel::VelGeom;
+use dg_kernels::surface::FaceScratch;
+use dg_kernels::{kernels_for, PhaseKernels, PhaseLayout};
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Environment-variable override helper for scalable benches.
+pub fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Deterministic pseudo-random coefficients (no RNG dependency in the hot
+/// setup; reproducible across runs).
+pub fn synth(n: usize, seed: u64) -> Vec<f64> {
+    let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+    (0..n)
+        .map(|_| {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((s >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        })
+        .collect()
+}
+
+/// Everything needed to time one phase-space cell's update in isolation,
+/// the measurement behind Fig. 2.
+pub struct CellBench {
+    pub kernels: Arc<PhaseKernels>,
+    f: Vec<f64>,
+    fl: Vec<f64>,
+    fr: Vec<f64>,
+    em: Vec<f64>,
+    alpha: Vec<f64>,
+    alpha_face: Vec<f64>,
+    out: Vec<f64>,
+    face_ws: FaceScratch,
+    dxv: Vec<f64>,
+    v_c: Vec<f64>,
+}
+
+impl CellBench {
+    pub fn new(kind: BasisKind, cdim: usize, vdim: usize, p: usize) -> Self {
+        let kernels = kernels_for(kind, PhaseLayout::new(cdim, vdim), p);
+        let np = kernels.np();
+        let nc = kernels.nc();
+        CellBench {
+            f: synth(np, 11),
+            fl: synth(np, 12),
+            fr: synth(np, 13),
+            em: synth(8 * nc, 14),
+            alpha: vec![0.0; np],
+            alpha_face: vec![0.0; kernels.max_face_len()],
+            out: vec![0.0; np],
+            face_ws: FaceScratch::default(),
+            dxv: vec![0.5; cdim + vdim],
+            v_c: vec![0.3; vdim.max(3)],
+            kernels,
+        }
+    }
+
+    /// One full cell update: volume (streaming + acceleration) plus one
+    /// surface-kernel application per phase direction (each face is shared
+    /// by two cells, and every cell has two faces per direction — so one
+    /// full face evaluation per direction is the per-cell share, matching
+    /// the paper's bookkeeping).
+    #[inline]
+    pub fn full_update(&mut self) {
+        let k = &*self.kernels;
+        let (cdim, vdim) = (k.layout.cdim, k.layout.vdim);
+        let nc = k.nc();
+        self.out.fill(0.0);
+        for d in 0..cdim {
+            k.streaming[d].apply(&self.f, self.v_c[d], self.dxv[cdim + d], 4.0, &mut self.out);
+        }
+        let (e, b) = (
+            &self.em[..3 * nc],
+            [
+                &self.em[3 * nc..4 * nc],
+                &self.em[4 * nc..5 * nc],
+                &self.em[5 * nc..6 * nc],
+            ],
+        );
+        for j in 0..vdim {
+            k.cell_accel[j].project(
+                -1.0,
+                &e[j * nc..(j + 1) * nc],
+                b,
+                VelGeom {
+                    v_c: &self.v_c[..vdim],
+                    dv: &self.dxv[cdim..cdim + vdim],
+                },
+                &mut self.alpha,
+            );
+            k.accel_vol[j].apply(&self.alpha, &self.f, 4.0, &mut self.out);
+        }
+        for dir in 0..cdim + vdim {
+            let surf = &k.surfaces[dir];
+            let nf = surf.kernel.face.len();
+            let lam = if dir < cdim {
+                k.stream_face_alpha(dir, self.v_c[dir], self.dxv[cdim + dir], &mut self.alpha_face[..nf])
+            } else {
+                let j = dir - cdim;
+                surf.face_accel.as_ref().unwrap().project(
+                    -1.0,
+                    &e[j * nc..(j + 1) * nc],
+                    b,
+                    VelGeom {
+                        v_c: &self.v_c[..vdim],
+                        dv: &self.dxv[cdim..cdim + vdim],
+                    },
+                    &mut self.alpha_face[..nf],
+                )
+            };
+            surf.kernel.apply(
+                &self.fl,
+                &self.fr,
+                &self.alpha_face[..nf],
+                lam,
+                4.0,
+                Some(&mut self.out),
+                None,
+                &mut self.face_ws,
+            );
+        }
+        black_box(&self.out);
+    }
+
+    /// Streaming-only update (the left panel of Fig. 2): `α = (v, 0)`.
+    #[inline]
+    pub fn streaming_update(&mut self) {
+        let k = &*self.kernels;
+        let cdim = k.layout.cdim;
+        self.out.fill(0.0);
+        for d in 0..cdim {
+            k.streaming[d].apply(&self.f, self.v_c[d], self.dxv[cdim + d], 4.0, &mut self.out);
+            let surf = &k.surfaces[d];
+            let nf = surf.kernel.face.len();
+            let lam =
+                k.stream_face_alpha(d, self.v_c[d], self.dxv[cdim + d], &mut self.alpha_face[..nf]);
+            surf.kernel.apply(
+                &self.fl,
+                &self.fr,
+                &self.alpha_face[..nf],
+                lam,
+                4.0,
+                Some(&mut self.out),
+                None,
+                &mut self.face_ws,
+            );
+        }
+        black_box(&self.out);
+    }
+
+    /// Wall time per update, in nanoseconds.
+    pub fn time_ns(&mut self, full: bool, min_iters: usize) -> f64 {
+        // Warm up.
+        for _ in 0..(min_iters / 10).max(3) {
+            if full {
+                self.full_update();
+            } else {
+                self.streaming_update();
+            }
+        }
+        let t0 = Instant::now();
+        let mut iters = 0usize;
+        while iters < min_iters || t0.elapsed().as_millis() < 60 {
+            if full {
+                self.full_update();
+            } else {
+                self.streaming_update();
+            }
+            iters += 1;
+        }
+        t0.elapsed().as_nanos() as f64 / iters as f64
+    }
+}
+
+/// Slope of `log(y)` against `log(x)` — the Fig. 2 scaling exponent.
+pub fn loglog_slope(xs: &[f64], ys: &[f64]) -> f64 {
+    let lx: Vec<f64> = xs.iter().map(|v| v.ln()).collect();
+    let ly: Vec<f64> = ys.iter().map(|v| v.ln()).collect();
+    dg_diag::fit::linear_fit(&lx, &ly).0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cell_bench_runs() {
+        let mut cb = CellBench::new(BasisKind::Serendipity, 1, 1, 1);
+        cb.full_update();
+        cb.streaming_update();
+        let t = cb.time_ns(true, 50);
+        assert!(t > 0.0 && t.is_finite());
+    }
+
+    #[test]
+    fn loglog_slope_of_power_law() {
+        let xs = [8.0, 16.0, 32.0, 64.0];
+        let ys: Vec<f64> = xs.iter().map(|&x: &f64| 3.0 * x.powf(1.5)).collect();
+        assert!((loglog_slope(&xs, &ys) - 1.5).abs() < 1e-12);
+    }
+}

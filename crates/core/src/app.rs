@@ -1,0 +1,573 @@
+//! The App system: declarative simulation assembly (paper Fig. 4).
+//!
+//! Gkeyll drives its C++ kernels from LuaJIT "App" scripts: the user
+//! declares a configuration grid, species with initial conditions, and
+//! field parameters; the framework wires kernels, moments, field solver and
+//! time stepper together. [`AppBuilder`] is the Rust analogue — everything
+//! a paper experiment needs in one fluent declaration:
+//!
+//! ```
+//! use dg_core::app::{AppBuilder, FieldSpec, SpeciesSpec};
+//! use dg_basis::BasisKind;
+//!
+//! let mut app = AppBuilder::new()
+//!     .conf_grid(&[0.0], &[6.283], &[8])
+//!     .poly_order(1)
+//!     .basis(BasisKind::Serendipity)
+//!     .species(SpeciesSpec::new("elc", -1.0, 1.0, &[-6.0], &[6.0], &[8]))
+//!     .field(FieldSpec::new(1.0))
+//!     .build()
+//!     .unwrap();
+//! let dt = app.step().unwrap();
+//! assert!(dt > 0.0 && app.time() > 0.0);
+//! ```
+
+use crate::cfl::suggest_dt;
+use crate::lbo::LboOp;
+use crate::species::Species;
+use crate::ssprk::SspRk3;
+use crate::system::{FluxKind, SystemState, VlasovMaxwell};
+use dg_basis::{project, Basis, BasisKind};
+use dg_grid::{Bc, CartGrid, DgField, PhaseGrid};
+use dg_kernels::{kernels_for, PhaseLayout};
+use dg_maxwell::flux::PhmParams;
+use dg_maxwell::{MaxwellDg, MaxwellFlux};
+use dg_poly::quad::GaussRule;
+use std::sync::Arc;
+
+type DistFn = Box<dyn FnMut(&[f64], &[f64]) -> f64>;
+type FieldFn = Box<dyn FnMut(&[f64]) -> [f64; 6]>;
+
+/// Declaration of one kinetic species.
+pub struct SpeciesSpec {
+    name: String,
+    charge: f64,
+    mass: f64,
+    vlower: Vec<f64>,
+    vupper: Vec<f64>,
+    vcells: Vec<usize>,
+    init: Option<DistFn>,
+    collision_nu: Option<f64>,
+}
+
+impl SpeciesSpec {
+    pub fn new(
+        name: &str,
+        charge: f64,
+        mass: f64,
+        vlower: &[f64],
+        vupper: &[f64],
+        vcells: &[usize],
+    ) -> Self {
+        SpeciesSpec {
+            name: name.to_string(),
+            charge,
+            mass,
+            vlower: vlower.to_vec(),
+            vupper: vupper.to_vec(),
+            vcells: vcells.to_vec(),
+            init: None,
+            collision_nu: None,
+        }
+    }
+
+    /// Initial distribution `f₀(x, v)`.
+    pub fn initial(mut self, f: impl FnMut(&[f64], &[f64]) -> f64 + 'static) -> Self {
+        self.init = Some(Box::new(f));
+        self
+    }
+
+    /// Enable Dougherty-LBO self collisions with frequency ν.
+    pub fn collisions(mut self, nu: f64) -> Self {
+        self.collision_nu = Some(nu);
+        self
+    }
+}
+
+/// Declaration of the electromagnetic field.
+pub struct FieldSpec {
+    c: f64,
+    chi_e: f64,
+    chi_m: f64,
+    epsilon0: f64,
+    flux: MaxwellFlux,
+    init: Option<FieldFn>,
+    poisson_init: bool,
+    evolve: bool,
+}
+
+impl FieldSpec {
+    pub fn new(c: f64) -> Self {
+        FieldSpec {
+            c,
+            chi_e: 0.0,
+            chi_m: 0.0,
+            epsilon0: 1.0,
+            flux: MaxwellFlux::Central,
+            init: None,
+            poisson_init: false,
+            evolve: true,
+        }
+    }
+
+    /// Initial `[Ex, Ey, Ez, Bx, By, Bz](x)`.
+    pub fn with_ic(mut self, f: impl FnMut(&[f64]) -> [f64; 6] + 'static) -> Self {
+        self.init = Some(Box::new(f));
+        self
+    }
+
+    /// Solve Gauss's law for the initial `E_x` in 1D configurations (the
+    /// classic electrostatic start of Landau-damping / two-stream setups).
+    pub fn with_poisson_init(mut self) -> Self {
+        self.poisson_init = true;
+        self
+    }
+
+    /// Divergence-cleaning speed factors (0 disables).
+    pub fn cleaning(mut self, chi_e: f64, chi_m: f64) -> Self {
+        self.chi_e = chi_e;
+        self.chi_m = chi_m;
+        self
+    }
+
+    pub fn epsilon0(mut self, e: f64) -> Self {
+        self.epsilon0 = e;
+        self
+    }
+
+    pub fn flux(mut self, flux: MaxwellFlux) -> Self {
+        self.flux = flux;
+        self
+    }
+
+    /// Freeze the field (external-field-only kinetics).
+    pub fn frozen(mut self) -> Self {
+        self.evolve = false;
+        self
+    }
+}
+
+/// The simulation builder.
+pub struct AppBuilder {
+    conf: Option<(Vec<f64>, Vec<f64>, Vec<usize>)>,
+    conf_bc: Option<Vec<Bc>>,
+    poly_order: usize,
+    kind: BasisKind,
+    cfl: f64,
+    flux: FluxKind,
+    species: Vec<SpeciesSpec>,
+    field: Option<FieldSpec>,
+    init_quad_npts: Option<usize>,
+}
+
+impl Default for AppBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl AppBuilder {
+    pub fn new() -> Self {
+        AppBuilder {
+            conf: None,
+            conf_bc: None,
+            poly_order: 2,
+            kind: BasisKind::Serendipity,
+            cfl: 0.9,
+            flux: FluxKind::Upwind,
+            species: Vec::new(),
+            field: None,
+            init_quad_npts: None,
+        }
+    }
+
+    pub fn conf_grid(mut self, lower: &[f64], upper: &[f64], cells: &[usize]) -> Self {
+        self.conf = Some((lower.to_vec(), upper.to_vec(), cells.to_vec()));
+        self
+    }
+
+    /// Per-dimension configuration boundary conditions (default periodic).
+    pub fn conf_bc(mut self, bc: Vec<Bc>) -> Self {
+        self.conf_bc = Some(bc);
+        self
+    }
+
+    pub fn poly_order(mut self, p: usize) -> Self {
+        self.poly_order = p;
+        self
+    }
+
+    pub fn basis(mut self, kind: BasisKind) -> Self {
+        self.kind = kind;
+        self
+    }
+
+    pub fn cfl(mut self, cfl: f64) -> Self {
+        self.cfl = cfl;
+        self
+    }
+
+    /// Kinetic-equation interface flux.
+    pub fn vlasov_flux(mut self, flux: FluxKind) -> Self {
+        self.flux = flux;
+        self
+    }
+
+    pub fn species(mut self, s: SpeciesSpec) -> Self {
+        self.species.push(s);
+        self
+    }
+
+    pub fn field(mut self, f: FieldSpec) -> Self {
+        self.field = Some(f);
+        self
+    }
+
+    /// Gauss points per dimension for initial-condition projection
+    /// (default `p + 3`).
+    pub fn init_quadrature(mut self, npts: usize) -> Self {
+        self.init_quad_npts = Some(npts);
+        self
+    }
+
+    pub fn build(mut self) -> Result<App, String> {
+        let (clo, chi, ccells) = self.conf.ok_or("configuration grid not specified")?;
+        let cdim = ccells.len();
+        if self.species.is_empty() {
+            return Err("at least one species required".into());
+        }
+        let vdim = self.species[0].vcells.len();
+        for s in &self.species {
+            if s.vcells.len() != vdim || s.vlower.len() != vdim || s.vupper.len() != vdim {
+                return Err(format!("species {} has inconsistent velocity dims", s.name));
+            }
+        }
+        // All species share one velocity grid shape in this implementation
+        // (as do the paper's runs); extents are per the first species.
+        let vlo = self.species[0].vlower.clone();
+        let vhi = self.species[0].vupper.clone();
+        let vcells = self.species[0].vcells.clone();
+        for s in &self.species {
+            if s.vlower != vlo || s.vupper != vhi || s.vcells != vcells {
+                return Err("all species must share one velocity grid in this build".into());
+            }
+        }
+        let layout = PhaseLayout::new(cdim, vdim);
+        let kernels = kernels_for(self.kind, layout, self.poly_order);
+        let conf_grid = CartGrid::new(&clo, &chi, &ccells);
+        let vel_grid = CartGrid::new(&vlo, &vhi, &vcells);
+        let bc = self.conf_bc.unwrap_or_else(|| vec![Bc::Periodic; cdim]);
+        let grid = PhaseGrid::new(conf_grid.clone(), vel_grid, bc.clone());
+
+        let fspec = self.field.unwrap_or_else(|| FieldSpec::new(1.0));
+        let params = PhmParams {
+            c: fspec.c,
+            chi_e: fspec.chi_e,
+            chi_m: fspec.chi_m,
+            epsilon0: fspec.epsilon0,
+        };
+        let maxwell = MaxwellDg::new(self.kind, conf_grid, bc, self.poly_order, params, fspec.flux);
+
+        let npts = self.init_quad_npts.unwrap_or(self.poly_order + 3);
+        let mut species = Vec::new();
+        let mut collisions: Vec<Option<LboOp>> = Vec::new();
+        for spec in self.species.iter_mut() {
+            let mut sp = Species::new(&spec.name, spec.charge, spec.mass, &grid, kernels.np());
+            if let Some(init) = spec.init.as_mut() {
+                sp.project_initial(&kernels, &grid, npts, init);
+            }
+            collisions.push(
+                spec.collision_nu
+                    .map(|nu| LboOp::new(Arc::clone(&kernels), grid.clone(), nu)),
+            );
+            species.push(sp);
+        }
+
+        let mut system = VlasovMaxwell::new(Arc::clone(&kernels), grid, maxwell, species, self.flux);
+        system.collisions = collisions;
+        system.evolve_field = fspec.evolve;
+        system.track_charge = fspec.chi_e != 0.0;
+
+        // Initial EM field.
+        let mut em = system.maxwell.new_field();
+        if let Some(mut init) = fspec.init {
+            project_field_ic(&system.maxwell.basis, &system.maxwell.grid, npts, &mut init, &mut em);
+        }
+        if fspec.poisson_init {
+            if cdim != 1 {
+                return Err("with_poisson_init is implemented for 1D configurations".into());
+            }
+            poisson_init_1d(&mut system, &mut em)?;
+        }
+        let state = system.initial_state(em);
+        let stepper = SspRk3::new(&system);
+        Ok(App {
+            system,
+            state,
+            stepper,
+            time: 0.0,
+            steps_taken: 0,
+            cfl: self.cfl,
+            fixed_dt: None,
+        })
+    }
+}
+
+/// Project per-component field initial conditions onto the conf basis.
+fn project_field_ic(
+    basis: &Basis,
+    grid: &CartGrid,
+    npts: usize,
+    init: &mut FieldFn,
+    em: &mut DgField,
+) {
+    let cdim = grid.ndim();
+    let nc = basis.len();
+    let mut cidx = vec![0usize; cdim];
+    let mut center = vec![0.0; cdim];
+    let mut buf = vec![0.0; nc];
+    for lin in 0..grid.len() {
+        grid.delinearize(lin, &mut cidx);
+        grid.cell_center(&cidx, &mut center);
+        for comp in 0..6 {
+            let mut g = |z: &[f64]| init(z)[comp];
+            project::project_cell(basis, npts, &center, grid.dx(), &mut g, &mut buf);
+            em.cell_mut(lin)[comp * nc..(comp + 1) * nc].copy_from_slice(&buf);
+        }
+    }
+}
+
+/// Solve `dE_x/dx = ρ/ε₀` exactly on a periodic 1D configuration grid,
+/// subtracting the neutralizing background (domain-average charge) and the
+/// mean field (periodic gauge).
+fn poisson_init_1d(system: &mut VlasovMaxwell, em: &mut DgField) -> Result<(), String> {
+    let nc = system.kernels.nc();
+    let grid = system.maxwell.grid.clone();
+    let nconf = grid.len();
+    // Charge density.
+    let mut rho = DgField::zeros(nconf, nc);
+    for sp in &system.species {
+        let n = crate::moments::number_density(&system.kernels, &system.grid, &sp.f);
+        for c in 0..nconf {
+            for l in 0..nc {
+                rho.cell_mut(c)[l] += sp.charge * n.cell(c)[l];
+            }
+        }
+    }
+    // Subtract the mean (neutralizing background): mean of ρ over the domain.
+    let c0 = dg_basis::expand::const_coeff(&system.maxwell.basis);
+    let mean: f64 = (0..nconf).map(|c| rho.cell(c)[0] / c0).sum::<f64>() / nconf as f64;
+    for c in 0..nconf {
+        rho.cell_mut(c)[0] -= mean * c0;
+    }
+    system.background_charge = mean;
+
+    // Cumulative integration cell by cell; E(ξ) inside a cell is the exact
+    // antiderivative of the modal ρ, projected back onto the basis.
+    let dx = grid.dx()[0];
+    let basis = &system.maxwell.basis;
+    let inner = GaussRule::new(basis.poly_order() + 2);
+    let proj_rule = GaussRule::new(basis.poly_order() + 2);
+    let inv_eps = 1.0 / system.maxwell.params.epsilon0;
+    let mut e_in = 0.0;
+    let mut exc = vec![0.0; nc];
+    let mut e_means = Vec::with_capacity(nconf);
+    for c in 0..nconf {
+        let r = rho.cell(c);
+        // E(ξ) = E_in + (Δx/2)/ε₀ ∫_{−1}^{ξ} ρ_h dξ'.
+        let e_at = |xi: f64| -> f64 {
+            // Map the inner rule to [−1, ξ].
+            let half = 0.5 * (xi + 1.0);
+            let mut acc = 0.0;
+            for (node, wgt) in inner.nodes.iter().zip(&inner.weights) {
+                let t = -1.0 + half * (node + 1.0);
+                acc += wgt * half * basis.eval_expansion(r, &[t]);
+            }
+            e_in + 0.5 * dx * inv_eps * acc
+        };
+        // Project E(ξ) onto the basis.
+        exc.fill(0.0);
+        for (node, wgt) in proj_rule.nodes.iter().zip(&proj_rule.weights) {
+            let vals = basis.eval_all(&[*node]);
+            let ev = e_at(*node);
+            for l in 0..nc {
+                exc[l] += wgt * ev * vals[l];
+            }
+        }
+        em.cell_mut(c)[..nc].copy_from_slice(&exc);
+        e_means.push(exc[0] / c0);
+        e_in = e_at(1.0);
+    }
+    // Periodic gauge: subtract the mean field.
+    let emean: f64 = e_means.iter().sum::<f64>() / nconf as f64;
+    for c in 0..nconf {
+        em.cell_mut(c)[0] -= emean * c0;
+    }
+    // Consistency: with zero net charge the field must close periodically.
+    if (e_in).abs() > 1e-8 * (1.0 + emean.abs()) {
+        // e_in now holds E at the domain end relative to the start.
+        return Err(format!(
+            "Poisson init inconsistency: net field jump {e_in:.3e} (non-neutral plasma?)"
+        ));
+    }
+    Ok(())
+}
+
+/// A runnable simulation.
+pub struct App {
+    pub system: VlasovMaxwell,
+    pub state: SystemState,
+    stepper: SspRk3,
+    time: f64,
+    steps_taken: usize,
+    cfl: f64,
+    fixed_dt: Option<f64>,
+}
+
+impl App {
+    pub fn time(&self) -> f64 {
+        self.time
+    }
+
+    pub fn steps_taken(&self) -> usize {
+        self.steps_taken
+    }
+
+    /// Override adaptive CFL stepping with a fixed `dt`.
+    pub fn set_fixed_dt(&mut self, dt: f64) {
+        self.fixed_dt = Some(dt);
+    }
+
+    /// Take one SSP-RK3 step; returns the `dt` used.
+    pub fn step(&mut self) -> Result<f64, String> {
+        let dt = match self.fixed_dt {
+            Some(dt) => dt,
+            None => suggest_dt(&self.system, &self.state, self.cfl),
+        };
+        self.step_dt(dt)?;
+        Ok(dt)
+    }
+
+    /// Take one step with an explicit `dt`.
+    pub fn step_dt(&mut self, dt: f64) -> Result<(), String> {
+        if !(dt.is_finite() && dt > 0.0) {
+            return Err(format!("invalid dt {dt}"));
+        }
+        self.stepper.step(&mut self.system, &mut self.state, dt);
+        self.time += dt;
+        self.steps_taken += 1;
+        if !self.state.species_f[0].max_abs().is_finite() {
+            return Err(format!("solution blew up at t = {}", self.time));
+        }
+        Ok(())
+    }
+
+    /// Advance until `self.time()` has increased by `duration` (the last
+    /// step is clamped to land exactly).
+    pub fn advance_by(&mut self, duration: f64) -> Result<(), String> {
+        let t_end = self.time + duration;
+        while self.time < t_end - 1e-14 {
+            let dt = match self.fixed_dt {
+                Some(dt) => dt,
+                None => suggest_dt(&self.system, &self.state, self.cfl),
+            };
+            let dt = dt.min(t_end - self.time);
+            self.step_dt(dt)?;
+        }
+        Ok(())
+    }
+
+    /// Conserved-quantity probe at the current time.
+    pub fn conserved(&self) -> crate::diagnostics::ConservedQuantities {
+        crate::diagnostics::probe(&self.system, &self.state, self.time)
+    }
+
+    /// EM field energy (convenience).
+    pub fn field_energy(&self) -> f64 {
+        self.system.field_energy(&self.state)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::species::maxwellian;
+
+    #[test]
+    fn build_rejects_missing_pieces() {
+        assert!(AppBuilder::new().build().is_err());
+        assert!(AppBuilder::new()
+            .conf_grid(&[0.0], &[1.0], &[4])
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn minimal_app_steps() {
+        let mut app = AppBuilder::new()
+            .conf_grid(&[0.0], &[1.0], &[4])
+            .poly_order(1)
+            .species(
+                SpeciesSpec::new("elc", -1.0, 1.0, &[-6.0], &[6.0], &[8])
+                    .initial(|_x, v| maxwellian(1.0, &[0.0], 1.0, v)),
+            )
+            .field(FieldSpec::new(1.0))
+            .build()
+            .unwrap();
+        let q0 = app.conserved();
+        app.advance_by(0.05).unwrap();
+        let q1 = app.conserved();
+        assert!(app.time() >= 0.05);
+        assert!(((q1.numbers[0] - q0.numbers[0]) / q0.numbers[0]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn poisson_init_satisfies_gauss_law() {
+        // sinusoidal density perturbation → E with dE/dx = ρ/ε₀.
+        let kx = 2.0 * std::f64::consts::PI / 4.0;
+        let app = AppBuilder::new()
+            .conf_grid(&[0.0], &[4.0], &[16])
+            .poly_order(2)
+            .species(
+                SpeciesSpec::new("elc", -1.0, 1.0, &[-6.0], &[6.0], &[12])
+                    .initial(move |x, v| maxwellian(1.0 + 0.1 * (kx * x[0]).cos(), &[0.0], 1.0, v)),
+            )
+            .field(FieldSpec::new(1.0).with_poisson_init())
+            .build()
+            .unwrap();
+        // Analytic: ρ = −0.1 cos(kx) (mean removed), E = −0.1 sin(kx)/k.
+        let nc = app.system.kernels.nc();
+        let basis = &app.system.maxwell.basis;
+        let grid = &app.system.maxwell.grid;
+        for c in 0..grid.len() {
+            let ex = &app.state.em.cell(c)[..nc];
+            for &xi in &[-0.5, 0.0, 0.5] {
+                let x = grid.center(0, c) + 0.5 * grid.dx()[0] * xi;
+                let want = -0.1 * (kx * x).sin() / kx;
+                let got = basis.eval_expansion(ex, &[xi]);
+                assert!(
+                    (got - want).abs() < 2e-4,
+                    "E at x={x}: {got} vs {want}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fixed_dt_is_respected() {
+        let mut app = AppBuilder::new()
+            .conf_grid(&[0.0], &[1.0], &[2])
+            .poly_order(1)
+            .species(
+                SpeciesSpec::new("e", -1.0, 1.0, &[-4.0], &[4.0], &[4])
+                    .initial(|_x, v| maxwellian(1.0, &[0.0], 1.0, v)),
+            )
+            .field(FieldSpec::new(1.0))
+            .build()
+            .unwrap();
+        app.set_fixed_dt(1e-4);
+        let dt = app.step().unwrap();
+        assert_eq!(dt, 1e-4);
+        assert_eq!(app.steps_taken(), 1);
+    }
+}

@@ -1,0 +1,142 @@
+//! CFL-stable time-step estimation.
+//!
+//! The standard explicit-DG bound: contributions `(2p+1) |λ_dir| / Δ_dir`
+//! accumulate over all phase-space directions and the field solver;
+//! `dt ≤ cfl / Σ_dir …`. Streaming speeds come from the velocity-grid
+//! extents (exact); acceleration speeds from rigorous modal sup bounds of
+//! the fields.
+
+use crate::system::{SystemState, VlasovMaxwell};
+
+/// Rigorous per-cell sup bound of a configuration-space expansion.
+fn sup_bound(coeffs: &[f64], sups: &[f64]) -> f64 {
+    coeffs.iter().zip(sups).map(|(c, s)| c.abs() * s).sum()
+}
+
+/// Suggest a stable `dt` for the current state.
+pub fn suggest_dt(system: &VlasovMaxwell, state: &SystemState, cfl: f64) -> f64 {
+    let k = &system.kernels;
+    let (cdim, vdim) = (k.layout.cdim, k.layout.vdim);
+    let p = k.phase_basis.poly_order() as f64;
+    let fac = 2.0 * p + 1.0;
+    let grid = &system.grid;
+    let nc = k.nc();
+
+    // Field sup bounds over the whole domain.
+    let sups: Vec<f64> = (0..nc).map(|l| k.conf_basis.sup_norm(l)).collect();
+    let mut emax = [0.0f64; 3];
+    let mut bmax = [0.0f64; 3];
+    for cell in 0..grid.conf.len() {
+        let u = state.em.cell(cell);
+        for comp in 0..3 {
+            emax[comp] = emax[comp].max(sup_bound(&u[comp * nc..(comp + 1) * nc], &sups));
+            bmax[comp] =
+                bmax[comp].max(sup_bound(&u[(3 + comp) * nc..(4 + comp) * nc], &sups));
+        }
+    }
+    let vmax: Vec<f64> = (0..vdim)
+        .map(|d| grid.vel.lower()[d].abs().max(grid.vel.upper()[d].abs()))
+        .collect();
+
+    let mut sum = 0.0;
+    // Streaming: |v_d| ≤ vmax_d.
+    for d in 0..cdim {
+        sum += fac * vmax[d] / grid.conf.dx()[d];
+    }
+    // Acceleration: |α_j| ≤ max_s |q/m|_s (|E_j| + Σ cross |v_k||B_b|).
+    let qm_max = system
+        .species
+        .iter()
+        .map(|s| s.qm().abs())
+        .fold(0.0f64, f64::max);
+    for j in 0..vdim {
+        let mut a = emax[j];
+        // (v×B)_j involves the other two components.
+        for k2 in 0..3 {
+            if k2 != j && k2 < vdim {
+                let bcomp = 3 - j - k2; // the remaining index
+                a += vmax[k2] * bmax[bcomp];
+            }
+        }
+        sum += fac * qm_max * a / grid.vel.dx()[j];
+    }
+    // Field solver.
+    if system.evolve_field {
+        let s = system.maxwell.params.max_speed();
+        for d in 0..cdim {
+            sum += fac * s / grid.conf.dx()[d];
+        }
+    }
+    // Collisional drag/diffusion stability is handled by the caller scaling
+    // `cfl`; the collisionless bound dominates in the paper's regimes.
+    cfl / sum.max(1e-300)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::species::{maxwellian, Species};
+    use crate::system::FluxKind;
+    use dg_basis::BasisKind;
+    use dg_grid::{Bc, CartGrid, PhaseGrid};
+    use dg_kernels::{kernels_for, PhaseLayout};
+    use dg_maxwell::flux::PhmParams;
+    use dg_maxwell::{MaxwellDg, MaxwellFlux};
+
+    #[test]
+    fn dt_scales_with_resolution_and_cfl() {
+        let build = |nx: usize| {
+            let kernels = kernels_for(BasisKind::Serendipity, PhaseLayout::new(1, 1), 1);
+            let conf = CartGrid::new(&[0.0], &[1.0], &[nx]);
+            let vel = CartGrid::new(&[-4.0], &[4.0], &[8]);
+            let grid = PhaseGrid::new(conf.clone(), vel, vec![Bc::Periodic]);
+            let mx = MaxwellDg::new(
+                BasisKind::Serendipity,
+                conf,
+                vec![Bc::Periodic],
+                1,
+                PhmParams::vacuum(1.0),
+                MaxwellFlux::Central,
+            );
+            let mut sp = Species::new("e", -1.0, 1.0, &grid, kernels.np());
+            sp.project_initial(&kernels, &grid, 3, &mut |_x, v| maxwellian(1.0, &[0.0], 1.0, v));
+            VlasovMaxwell::new(kernels, grid, mx, vec![sp], FluxKind::Upwind)
+        };
+        let sys4 = build(4);
+        let st4 = sys4.initial_state(sys4.maxwell.new_field());
+        let sys8 = build(8);
+        let st8 = sys8.initial_state(sys8.maxwell.new_field());
+        let dt4 = suggest_dt(&sys4, &st4, 1.0);
+        let dt8 = suggest_dt(&sys8, &st8, 1.0);
+        assert!(dt8 < dt4, "finer grid must reduce dt");
+        assert!(dt8 > 0.3 * dt4, "dt should shrink roughly linearly");
+        assert!((suggest_dt(&sys4, &st4, 0.5) - 0.5 * dt4).abs() < 1e-15);
+    }
+
+    #[test]
+    fn stronger_fields_reduce_dt() {
+        let kernels = kernels_for(BasisKind::Serendipity, PhaseLayout::new(1, 1), 1);
+        let conf = CartGrid::new(&[0.0], &[1.0], &[4]);
+        let vel = CartGrid::new(&[-4.0], &[4.0], &[8]);
+        let grid = PhaseGrid::new(conf.clone(), vel, vec![Bc::Periodic]);
+        let mx = MaxwellDg::new(
+            BasisKind::Serendipity,
+            conf,
+            vec![Bc::Periodic],
+            1,
+            PhmParams::vacuum(1.0),
+            MaxwellFlux::Central,
+        );
+        let sp = Species::new("e", -1.0, 1.0, &grid, kernels.np());
+        let sys = VlasovMaxwell::new(kernels, grid, mx, vec![sp], FluxKind::Upwind);
+        let mut st = sys.initial_state(sys.maxwell.new_field());
+        let dt0 = suggest_dt(&sys, &st, 1.0);
+        // Large uniform E_x.
+        let c0 = dg_basis::expand::const_coeff(&sys.kernels.conf_basis);
+        for c in 0..sys.grid.conf.len() {
+            st.em.cell_mut(c)[0] = 50.0 * c0;
+        }
+        let dt1 = suggest_dt(&sys, &st, 1.0);
+        assert!(dt1 < dt0);
+    }
+}

@@ -1,0 +1,222 @@
+//! The coupled Vlasov–Maxwell system.
+//!
+//! One [`VlasovMaxwell`] owns the phase-space discretization, the Maxwell
+//! solver, and the species set, and evaluates the full coupled RHS: the
+//! kinetic update for each species, the field update, and the current
+//! (plus, with cleaning, charge) coupling — the complete per-stage work of
+//! the paper's Table I measurement.
+
+use crate::lbo::LboOp;
+use crate::moments::{accumulate_current, MomentScratch};
+use crate::species::Species;
+use crate::vlasov::{VlasovOp, VlasovWorkspace};
+use dg_grid::{DgField, PhaseGrid};
+use dg_kernels::PhaseKernels;
+use dg_maxwell::MaxwellDg;
+use std::sync::Arc;
+
+pub use crate::vlasov::FluxKind;
+
+/// The dynamical state: one distribution function per species plus the EM
+/// field. RK stages operate on whole states.
+#[derive(Clone, Debug)]
+pub struct SystemState {
+    pub species_f: Vec<DgField>,
+    pub em: DgField,
+}
+
+impl SystemState {
+    pub fn axpy(&mut self, a: f64, rhs: &SystemState) {
+        for (f, r) in self.species_f.iter_mut().zip(&rhs.species_f) {
+            f.axpy(a, r);
+        }
+        self.em.axpy(a, &rhs.em);
+    }
+
+    pub fn lincomb(&mut self, a: f64, b: f64, other: &SystemState) {
+        for (f, o) in self.species_f.iter_mut().zip(&other.species_f) {
+            f.lincomb(a, b, o);
+        }
+        self.em.lincomb(a, b, &other.em);
+    }
+
+    pub fn fill(&mut self, v: f64) {
+        for f in &mut self.species_f {
+            f.fill(v);
+        }
+        self.em.fill(v);
+    }
+
+    pub fn copy_from(&mut self, other: &SystemState) {
+        for (f, o) in self.species_f.iter_mut().zip(&other.species_f) {
+            f.copy_from(o);
+        }
+        self.em.copy_from(&other.em);
+    }
+}
+
+/// The coupled system (species parameters + operators; the dynamical data
+/// lives in [`SystemState`] values owned by the stepper/App).
+pub struct VlasovMaxwell {
+    pub kernels: Arc<PhaseKernels>,
+    pub grid: PhaseGrid,
+    pub vlasov: VlasovOp,
+    pub maxwell: MaxwellDg,
+    pub species: Vec<Species>,
+    /// Optional Dougherty-LBO collisions, per species (paper footnote 7).
+    pub collisions: Vec<Option<LboOp>>,
+    /// Evolve the EM field and couple currents (off = external fields only).
+    pub evolve_field: bool,
+    /// Feed `χ_e ρ/ε₀` to the cleaning potential φ.
+    pub track_charge: bool,
+    /// Uniform neutralizing background charge density (subtracted from the
+    /// cleaning source; e.g. immobile ions under a mobile electron species).
+    pub background_charge: f64,
+    scratch_j: DgField,
+    scratch_rho: DgField,
+}
+
+impl VlasovMaxwell {
+    pub fn new(
+        kernels: Arc<PhaseKernels>,
+        grid: PhaseGrid,
+        maxwell: MaxwellDg,
+        species: Vec<Species>,
+        flux: FluxKind,
+    ) -> Self {
+        let nconf = grid.conf.len();
+        let nc = kernels.nc();
+        let collisions = species.iter().map(|_| None).collect();
+        let vlasov = VlasovOp::new(Arc::clone(&kernels), grid.clone(), flux);
+        VlasovMaxwell {
+            kernels,
+            grid,
+            vlasov,
+            maxwell,
+            species,
+            collisions,
+            evolve_field: true,
+            track_charge: true,
+            background_charge: 0.0,
+            scratch_j: DgField::zeros(nconf, 3 * nc),
+            scratch_rho: DgField::zeros(nconf, nc),
+        }
+    }
+
+    /// A zeroed state with this system's shape.
+    pub fn new_state(&self) -> SystemState {
+        SystemState {
+            species_f: self
+                .species
+                .iter()
+                .map(|s| DgField::zeros(s.f.ncells(), s.f.ncoeff()))
+                .collect(),
+            em: self.maxwell.new_field(),
+        }
+    }
+
+    /// Build the initial state from the species' projected distributions and
+    /// a given initial EM field.
+    pub fn initial_state(&self, em: DgField) -> SystemState {
+        SystemState {
+            species_f: self.species.iter().map(|s| s.f.clone()).collect(),
+            em,
+        }
+    }
+
+    /// Evaluate the full coupled RHS at `state` into `out` (zeroed here).
+    pub fn rhs(&mut self, state: &SystemState, out: &mut SystemState, ws: &mut VlasovWorkspace) {
+        out.fill(0.0);
+        let nconf = self.grid.conf.len();
+        // Kinetic updates.
+        for (s, sp) in self.species.iter().enumerate() {
+            self.vlasov.accumulate_rhs(
+                sp.qm(),
+                &state.species_f[s],
+                &state.em,
+                &mut out.species_f[s],
+                ws,
+            );
+            if let Some(lbo) = &self.collisions[s] {
+                lbo.accumulate_rhs(&state.species_f[s], &mut out.species_f[s]);
+            }
+        }
+        // Field update + coupling.
+        if self.evolve_field {
+            self.maxwell.rhs(&state.em, &mut out.em);
+            self.scratch_j.fill(0.0);
+            self.scratch_rho.fill(0.0);
+            let mut mws = MomentScratch::default();
+            for (s, sp) in self.species.iter().enumerate() {
+                accumulate_current(
+                    &self.kernels,
+                    &self.grid,
+                    sp.charge,
+                    &state.species_f[s],
+                    &mut self.scratch_j,
+                    if self.track_charge {
+                        Some(&mut self.scratch_rho)
+                    } else {
+                        None
+                    },
+                    0..nconf,
+                    &mut mws,
+                );
+            }
+            if self.track_charge && self.background_charge != 0.0 {
+                let c0 = dg_basis::expand::const_coeff(&self.kernels.conf_basis);
+                for c in 0..nconf {
+                    self.scratch_rho.cell_mut(c)[0] -= self.background_charge * c0;
+                }
+            }
+            self.maxwell.add_sources(
+                &self.scratch_j,
+                if self.track_charge {
+                    Some(&self.scratch_rho)
+                } else {
+                    None
+                },
+                &mut out.em,
+            );
+        }
+    }
+
+    /// Particle kinetic energy summed over species.
+    pub fn particle_energy(&self, state: &SystemState) -> f64 {
+        self.species
+            .iter()
+            .enumerate()
+            .map(|(s, sp)| {
+                crate::moments::kinetic_energy(&self.kernels, &self.grid, sp.mass, &state.species_f[s])
+            })
+            .sum()
+    }
+
+    /// EM field energy.
+    pub fn field_energy(&self, state: &SystemState) -> f64 {
+        dg_maxwell::energy::em_energy(&self.maxwell, &state.em)
+    }
+
+    /// Total particle count, per species.
+    pub fn particle_numbers(&self, state: &SystemState) -> Vec<f64> {
+        let vol: f64 = self
+            .grid
+            .conf
+            .dx()
+            .iter()
+            .chain(self.grid.vel.dx())
+            .product();
+        let w = vol * (2.0f64).powi(-(self.kernels.phase_basis.ndim() as i32)).sqrt();
+        state
+            .species_f
+            .iter()
+            .map(|f| (0..f.ncells()).map(|c| f.cell(c)[0]).sum::<f64>() * w)
+            .collect()
+    }
+
+    /// Current-density field of the last RHS evaluation (diagnostics: the
+    /// `J_h · E_h` energy-exchange analysis of the paper).
+    pub fn last_current(&self) -> &DgField {
+        &self.scratch_j
+    }
+}

@@ -1,0 +1,99 @@
+//! Minimal CSV writing (buffered, locale-free).
+//!
+//! Post-processing of every experiment goes through plain CSV so the
+//! paper's figures can be regenerated with any plotting tool; this avoids a
+//! heavyweight IO dependency (the ADIOS substitution is documented in
+//! DESIGN.md).
+
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+
+/// A buffered CSV writer with a fixed column schema.
+pub struct CsvWriter {
+    out: BufWriter<File>,
+    ncols: usize,
+}
+
+impl CsvWriter {
+    pub fn create(path: impl AsRef<Path>, header: &[&str]) -> std::io::Result<Self> {
+        let mut out = BufWriter::new(File::create(path)?);
+        writeln!(out, "{}", header.join(","))?;
+        Ok(CsvWriter {
+            out,
+            ncols: header.len(),
+        })
+    }
+
+    pub fn row(&mut self, values: &[f64]) -> std::io::Result<()> {
+        debug_assert_eq!(values.len(), self.ncols, "row width mismatch");
+        let mut first = true;
+        for v in values {
+            if !first {
+                write!(self.out, ",")?;
+            }
+            write!(self.out, "{v:.17e}")?;
+            first = false;
+        }
+        writeln!(self.out)
+    }
+
+    pub fn finish(mut self) -> std::io::Result<()> {
+        self.out.flush()
+    }
+}
+
+/// Write a dense 2D grid (row-major) with axis coordinates as a CSV of
+/// `x, y, value` triples — the format of the Fig. 5 panels.
+pub fn write_grid_csv(
+    path: impl AsRef<Path>,
+    xlabel: &str,
+    ylabel: &str,
+    xs: &[f64],
+    ys: &[f64],
+    values: &[f64],
+) -> std::io::Result<()> {
+    assert_eq!(values.len(), xs.len() * ys.len());
+    let mut w = CsvWriter::create(path, &[xlabel, ylabel, "value"])?;
+    for (i, &x) in xs.iter().enumerate() {
+        for (j, &y) in ys.iter().enumerate() {
+            w.row(&[x, y, values[i * ys.len() + j]])?;
+        }
+    }
+    w.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_readable_csv() {
+        let dir = std::env::temp_dir().join("dg_diag_csv_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("test.csv");
+        let mut w = CsvWriter::create(&path, &["t", "energy"]).unwrap();
+        w.row(&[0.0, 1.0]).unwrap();
+        w.row(&[0.1, 0.9]).unwrap();
+        w.finish().unwrap();
+        let body = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = body.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0], "t,energy");
+        assert!(lines[1].starts_with("0"));
+        // Round-trip the values.
+        let vals: Vec<f64> = lines[2].split(',').map(|s| s.parse().unwrap()).collect();
+        assert_eq!(vals, vec![0.1, 0.9]);
+    }
+
+    #[test]
+    fn grid_csv_has_full_cartesian_product() {
+        let dir = std::env::temp_dir().join("dg_diag_csv_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("grid.csv");
+        write_grid_csv(&path, "x", "v", &[0.0, 1.0], &[-1.0, 0.0, 1.0], &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0])
+            .unwrap();
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(body.lines().count(), 1 + 6);
+    }
+}

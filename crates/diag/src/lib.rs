@@ -1,0 +1,29 @@
+//! # dg-diag — diagnostics and IO
+//!
+//! The paper's §IV emphasizes that a continuum code's distribution function
+//! is a first-class data product: Gkeyll checkpoints multi-terabyte
+//! distribution functions through ADIOS and post-processes them (field–
+//! particle correlations, phase-space slices like Fig. 5). This crate is
+//! the container-scale analogue:
+//!
+//! * [`history`] — time series of energies/conserved quantities with CSV
+//!   output (the energy-partition curves behind Fig. 5's narrative);
+//! * [`slices`] — 2D phase-space slice extraction (`y–v_y`, `v_x–v_y`
+//!   panels of Fig. 5) rendered to CSV grids;
+//! * [`snapshot`] — binary checkpoint/restart of a full [`SystemState`]
+//!   (bit-exact round trip, asserted in the restart integration test);
+//! * [`fpc`] — the `∫ J·E dx` field–particle energy-transfer diagnostic
+//!   (paper Eq. 9) and its per-cell decomposition;
+//! * [`fit`] — exponential growth/damping-rate fits used to compare runs
+//!   against linear theory (Landau damping, two-stream, Weibel).
+//!
+//! [`SystemState`]: dg_core::system::SystemState
+
+pub mod csv;
+pub mod fit;
+pub mod fpc;
+pub mod history;
+pub mod slices;
+pub mod snapshot;
+
+pub use history::EnergyHistory;

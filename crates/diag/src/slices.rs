@@ -1,0 +1,140 @@
+//! 2D phase-space slice extraction — the Fig. 5 panels.
+//!
+//! Fig. 5 shows the electron distribution in `y–v_y` and `v_x–v_y` planes
+//! at fixed values of the remaining coordinates. [`slice_2d`] evaluates the
+//! DG expansion pointwise (one sample per cell along the kept axes, at the
+//! cell centers of the fixed axes) and returns a dense grid ready for
+//! [`crate::csv::write_grid_csv`].
+
+use dg_core::system::VlasovMaxwell;
+use dg_grid::DgField;
+
+/// Which phase-space axis (global numbering: configuration dims first).
+pub type Axis = usize;
+
+/// A dense sampled slice.
+#[derive(Clone, Debug)]
+pub struct Slice2d {
+    pub xs: Vec<f64>,
+    pub ys: Vec<f64>,
+    /// Row-major `xs.len() × ys.len()` cell-center samples.
+    pub values: Vec<f64>,
+}
+
+/// Sample `f` on the plane spanned by `(ax, ay)`, fixing every other axis
+/// at the cell whose center is nearest to `fixed[axis]`.
+pub fn slice_2d(
+    system: &VlasovMaxwell,
+    f: &DgField,
+    ax: Axis,
+    ay: Axis,
+    fixed: &[f64],
+) -> Slice2d {
+    let grid = &system.grid;
+    let cdim = grid.cdim();
+    let ndim = grid.ndim();
+    assert!(ax < ndim && ay < ndim && ax != ay);
+    assert_eq!(fixed.len(), ndim);
+    let cells_of = |axis: usize| -> usize {
+        if axis < cdim {
+            grid.conf.cells()[axis]
+        } else {
+            grid.vel.cells()[axis - cdim]
+        }
+    };
+    let center_of = |axis: usize, i: usize| -> f64 {
+        if axis < cdim {
+            grid.conf.center(axis, i)
+        } else {
+            grid.vel.center(axis - cdim, i)
+        }
+    };
+    let nearest_cell = |axis: usize, z: f64| -> usize {
+        let (lo, dx, n) = if axis < cdim {
+            (grid.conf.lower()[axis], grid.conf.dx()[axis], grid.conf.cells()[axis])
+        } else {
+            let a = axis - cdim;
+            (grid.vel.lower()[a], grid.vel.dx()[a], grid.vel.cells()[a])
+        };
+        (((z - lo) / dx).floor().max(0.0) as usize).min(n - 1)
+    };
+
+    // Fixed multi-indices.
+    let mut cidx = vec![0usize; cdim];
+    let mut vidx = vec![0usize; grid.vdim()];
+    for axis in 0..ndim {
+        if axis == ax || axis == ay {
+            continue;
+        }
+        if axis < cdim {
+            cidx[axis] = nearest_cell(axis, fixed[axis]);
+        } else {
+            vidx[axis - cdim] = nearest_cell(axis, fixed[axis]);
+        }
+    }
+
+    let (nx, ny) = (cells_of(ax), cells_of(ay));
+    let xs: Vec<f64> = (0..nx).map(|i| center_of(ax, i)).collect();
+    let ys: Vec<f64> = (0..ny).map(|j| center_of(ay, j)).collect();
+    let basis = &system.kernels.phase_basis;
+    let xi = vec![0.0; ndim]; // cell centers → reference origin
+    let mut values = Vec::with_capacity(nx * ny);
+    for i in 0..nx {
+        for j in 0..ny {
+            let mut ci = cidx.clone();
+            let mut vi = vidx.clone();
+            if ax < cdim {
+                ci[ax] = i;
+            } else {
+                vi[ax - cdim] = i;
+            }
+            if ay < cdim {
+                ci[ay] = j;
+            } else {
+                vi[ay - cdim] = j;
+            }
+            let cell = grid.phase_index(grid.conf.linearize(&ci), grid.vel.linearize(&vi));
+            values.push(basis.eval_expansion(f.cell(cell), &xi));
+        }
+    }
+    Slice2d { xs, ys, values }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dg_basis::BasisKind;
+    use dg_core::app::{AppBuilder, FieldSpec, SpeciesSpec};
+    use dg_core::species::maxwellian;
+
+    #[test]
+    fn slice_recovers_separable_structure() {
+        let app = AppBuilder::new()
+            .conf_grid(&[0.0], &[1.0], &[4])
+            .poly_order(2)
+            .basis(BasisKind::Serendipity)
+            .species(
+                SpeciesSpec::new("e", -1.0, 1.0, &[-4.0, -4.0], &[4.0, 4.0], &[8, 8])
+                    .initial(|_x, v| maxwellian(1.0, &[1.0, -1.0], 0.8, v)),
+            )
+            .field(FieldSpec::new(1.0))
+            .build()
+            .unwrap();
+        // v_x–v_y slice at x = 0.5 (axis 0 fixed).
+        let s = slice_2d(&app.system, &app.state.species_f[0], 1, 2, &[0.5, 0.0, 0.0]);
+        assert_eq!(s.xs.len(), 8);
+        assert_eq!(s.ys.len(), 8);
+        // Peak near (1, −1).
+        let mut best = (0, 0, f64::MIN);
+        for i in 0..8 {
+            for j in 0..8 {
+                let v = s.values[i * 8 + j];
+                if v > best.2 {
+                    best = (i, j, v);
+                }
+            }
+        }
+        assert!((s.xs[best.0] - 1.0).abs() < 0.6, "peak vx at {}", s.xs[best.0]);
+        assert!((s.ys[best.1] + 1.0).abs() < 0.6, "peak vy at {}", s.ys[best.1]);
+    }
+}

@@ -1,0 +1,62 @@
+//! Boundary conditions as neighbour-resolution rules.
+//!
+//! Velocity-space extremes always use `ZeroFlux` (the distribution function
+//! is negligible at the velocity-domain edge; the numerical flux through
+//! those faces is zero, which together with single-valued interior fluxes
+//! gives exact mass conservation). Configuration space is `Periodic` in all
+//! the paper's test problems.
+
+/// Per-dimension boundary treatment.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Bc {
+    /// Wrap to the opposite side.
+    Periodic,
+    /// No flux through the domain face (skip the face entirely).
+    ZeroFlux,
+    /// Copy (outflow): the ghost state equals the interior state, so the
+    /// face flux is the pure upwind flux of the interior cell.
+    Copy,
+}
+
+impl Bc {
+    /// Index of the neighbour of cell `i` in `+1`/`-1` direction along a
+    /// dimension with `n` cells, or `None` when the face is a no-flux or
+    /// self-coupled boundary handled by the caller.
+    #[inline]
+    pub fn neighbor(&self, i: usize, side: i32, n: usize) -> Option<usize> {
+        debug_assert!(side == 1 || side == -1);
+        match (side, *self) {
+            (1, _) if i + 1 < n => Some(i + 1),
+            (-1, _) if i > 0 => Some(i - 1),
+            (1, Bc::Periodic) => Some(0),
+            (-1, Bc::Periodic) => Some(n - 1),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interior_neighbors() {
+        for bc in [Bc::Periodic, Bc::ZeroFlux, Bc::Copy] {
+            assert_eq!(bc.neighbor(3, 1, 8), Some(4));
+            assert_eq!(bc.neighbor(3, -1, 8), Some(2));
+        }
+    }
+
+    #[test]
+    fn periodic_wraps() {
+        assert_eq!(Bc::Periodic.neighbor(7, 1, 8), Some(0));
+        assert_eq!(Bc::Periodic.neighbor(0, -1, 8), Some(7));
+    }
+
+    #[test]
+    fn zero_flux_terminates() {
+        assert_eq!(Bc::ZeroFlux.neighbor(7, 1, 8), None);
+        assert_eq!(Bc::ZeroFlux.neighbor(0, -1, 8), None);
+        assert_eq!(Bc::Copy.neighbor(7, 1, 8), None);
+    }
+}

@@ -1,0 +1,297 @@
+//! Flat DG coefficient storage.
+
+/// Mutable access to per-cell coefficient blocks, abstracting over a whole
+/// field ([`DgField`]) and a contiguous sub-range of one ([`DgFieldSlice`]).
+///
+/// This is the seam the shared-memory parallel layer threads through: each
+/// "rank" receives a disjoint [`DgFieldSlice`] of the output field (the
+/// configuration-major layout makes every rank's cells contiguous), so the
+/// update kernels run unchanged and Rust's borrow rules prove the absence
+/// of write races — the paper's no-ghost-layer intra-node decomposition.
+pub trait CellStoreMut {
+    fn ncoeff(&self) -> usize;
+    /// Mutable coefficient block of cell `i` (global cell numbering).
+    fn cell_mut(&mut self, i: usize) -> &mut [f64];
+    /// Two disjoint cells at once (face updates touch both sides).
+    fn cell_pair_mut(&mut self, i: usize, j: usize) -> (&mut [f64], &mut [f64]);
+}
+
+/// Modal DG coefficients for every cell of some grid: `ncoeff` doubles per
+/// cell (for a distribution function `ncoeff = Np`; for the EM field
+/// `ncoeff = ncomp × Nc`), cell-major and contiguous.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DgField {
+    ncells: usize,
+    ncoeff: usize,
+    data: Vec<f64>,
+}
+
+impl DgField {
+    pub fn zeros(ncells: usize, ncoeff: usize) -> Self {
+        DgField {
+            ncells,
+            ncoeff,
+            data: vec![0.0; ncells * ncoeff],
+        }
+    }
+
+    pub fn ncells(&self) -> usize {
+        self.ncells
+    }
+
+    pub fn ncoeff(&self) -> usize {
+        self.ncoeff
+    }
+
+    #[inline]
+    pub fn cell(&self, i: usize) -> &[f64] {
+        &self.data[i * self.ncoeff..(i + 1) * self.ncoeff]
+    }
+
+    #[inline]
+    pub fn cell_mut(&mut self, i: usize) -> &mut [f64] {
+        &mut self.data[i * self.ncoeff..(i + 1) * self.ncoeff]
+    }
+
+    /// Two disjoint cells mutably (face updates write both sides).
+    #[inline]
+    pub fn cell_pair_mut(&mut self, i: usize, j: usize) -> (&mut [f64], &mut [f64]) {
+        assert_ne!(i, j);
+        let nc = self.ncoeff;
+        if i < j {
+            let (a, b) = self.data.split_at_mut(j * nc);
+            (&mut a[i * nc..(i + 1) * nc], &mut b[..nc])
+        } else {
+            let (a, b) = self.data.split_at_mut(i * nc);
+            let bi = &mut b[..nc];
+            (bi, &mut a[j * nc..(j + 1) * nc])
+        }
+    }
+
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    pub fn fill(&mut self, v: f64) {
+        self.data.fill(v);
+    }
+
+    /// `self += a · rhs` — the forward-Euler / RK-stage accumulation.
+    pub fn axpy(&mut self, a: f64, rhs: &DgField) {
+        debug_assert_eq!(self.data.len(), rhs.data.len());
+        for (x, y) in self.data.iter_mut().zip(&rhs.data) {
+            *x += a * y;
+        }
+    }
+
+    /// `self = a·self + b·other` — SSP-RK convex combinations.
+    pub fn lincomb(&mut self, a: f64, b: f64, other: &DgField) {
+        debug_assert_eq!(self.data.len(), other.data.len());
+        for (x, y) in self.data.iter_mut().zip(&other.data) {
+            *x = a * *x + b * y;
+        }
+    }
+
+    pub fn copy_from(&mut self, other: &DgField) {
+        self.data.copy_from_slice(&other.data);
+    }
+
+    /// L2 norm of the raw coefficient vector (≡ the L2 norm of the DG
+    /// function up to the constant reference-volume Jacobian, by
+    /// orthonormality — the paper's field-energy bookkeeping).
+    pub fn coeff_norm_sq(&self) -> f64 {
+        self.data.iter().map(|x| x * x).sum()
+    }
+
+    /// Maximum absolute coefficient (stability monitoring).
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().fold(0.0f64, |m, &x| m.max(x.abs()))
+    }
+
+    /// Split into disjoint mutable views at the given cell boundaries
+    /// (ascending, within `0..=ncells`); view `k` covers cells
+    /// `boundaries[k]..boundaries[k+1]` with `0` and `ncells` implied at the
+    /// ends.
+    pub fn split_cells_mut(&mut self, boundaries: &[usize]) -> Vec<DgFieldSlice<'_>> {
+        let ncoeff = self.ncoeff;
+        let mut out = Vec::with_capacity(boundaries.len() + 1);
+        let mut start = 0usize;
+        let mut rest: &mut [f64] = &mut self.data;
+        for &b in boundaries.iter().chain(std::iter::once(&self.ncells)) {
+            assert!(b >= start && b <= self.ncells, "boundaries must ascend");
+            let (head, tail) = rest.split_at_mut((b - start) * ncoeff);
+            out.push(DgFieldSlice {
+                first_cell: start,
+                ncoeff,
+                data: head,
+            });
+            rest = tail;
+            start = b;
+        }
+        out
+    }
+}
+
+impl CellStoreMut for DgField {
+    fn ncoeff(&self) -> usize {
+        self.ncoeff
+    }
+
+    #[inline]
+    fn cell_mut(&mut self, i: usize) -> &mut [f64] {
+        DgField::cell_mut(self, i)
+    }
+
+    #[inline]
+    fn cell_pair_mut(&mut self, i: usize, j: usize) -> (&mut [f64], &mut [f64]) {
+        DgField::cell_pair_mut(self, i, j)
+    }
+}
+
+/// A contiguous, exclusively borrowed cell range of a [`DgField`], indexed
+/// with *global* cell numbers.
+#[derive(Debug)]
+pub struct DgFieldSlice<'a> {
+    first_cell: usize,
+    ncoeff: usize,
+    data: &'a mut [f64],
+}
+
+impl DgFieldSlice<'_> {
+    pub fn first_cell(&self) -> usize {
+        self.first_cell
+    }
+
+    pub fn ncells(&self) -> usize {
+        self.data.len() / self.ncoeff
+    }
+
+    /// Does this view own the given global cell index?
+    pub fn owns(&self, i: usize) -> bool {
+        i >= self.first_cell && i < self.first_cell + self.ncells()
+    }
+}
+
+impl CellStoreMut for DgFieldSlice<'_> {
+    fn ncoeff(&self) -> usize {
+        self.ncoeff
+    }
+
+    #[inline]
+    fn cell_mut(&mut self, i: usize) -> &mut [f64] {
+        let local = i
+            .checked_sub(self.first_cell)
+            .expect("cell below this rank's range");
+        &mut self.data[local * self.ncoeff..(local + 1) * self.ncoeff]
+    }
+
+    #[inline]
+    fn cell_pair_mut(&mut self, i: usize, j: usize) -> (&mut [f64], &mut [f64]) {
+        assert_ne!(i, j);
+        let li = i.checked_sub(self.first_cell).expect("cell below range");
+        let lj = j.checked_sub(self.first_cell).expect("cell below range");
+        let nc = self.ncoeff;
+        if li < lj {
+            let (a, b) = self.data.split_at_mut(lj * nc);
+            (&mut a[li * nc..(li + 1) * nc], &mut b[..nc])
+        } else {
+            let (a, b) = self.data.split_at_mut(li * nc);
+            let bi = &mut b[..nc];
+            (bi, &mut a[lj * nc..(lj + 1) * nc])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cell_views_partition_storage() {
+        let mut f = DgField::zeros(4, 3);
+        for i in 0..4 {
+            for k in 0..3 {
+                f.cell_mut(i)[k] = (i * 3 + k) as f64;
+            }
+        }
+        assert_eq!(f.as_slice(), &(0..12).map(|x| x as f64).collect::<Vec<_>>()[..]);
+        assert_eq!(f.cell(2), &[6.0, 7.0, 8.0]);
+    }
+
+    #[test]
+    fn cell_pair_mut_both_orders() {
+        let mut f = DgField::zeros(3, 2);
+        {
+            let (a, b) = f.cell_pair_mut(0, 2);
+            a[0] = 1.0;
+            b[1] = 2.0;
+        }
+        {
+            let (a, b) = f.cell_pair_mut(2, 0);
+            assert_eq!(a[1], 2.0);
+            assert_eq!(b[0], 1.0);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn cell_pair_mut_rejects_aliasing() {
+        let mut f = DgField::zeros(3, 2);
+        let _ = f.cell_pair_mut(1, 1);
+    }
+
+    #[test]
+    fn linear_ops() {
+        let mut a = DgField::zeros(2, 2);
+        let mut b = DgField::zeros(2, 2);
+        a.as_mut_slice().copy_from_slice(&[1.0, 2.0, 3.0, 4.0]);
+        b.as_mut_slice().copy_from_slice(&[10.0, 20.0, 30.0, 40.0]);
+        a.axpy(0.1, &b);
+        assert_eq!(a.as_slice(), &[2.0, 4.0, 6.0, 8.0]);
+        a.lincomb(0.5, 0.25, &b);
+        assert_eq!(a.as_slice(), &[3.5, 7.0, 10.5, 14.0]);
+        assert!((b.coeff_norm_sq() - 3000.0).abs() < 1e-12);
+        assert_eq!(b.max_abs(), 40.0);
+    }
+}
+
+#[cfg(test)]
+mod slice_tests {
+    use super::*;
+
+    #[test]
+    fn split_views_partition_and_translate_indices() {
+        let mut f = DgField::zeros(6, 2);
+        for i in 0..6 {
+            f.cell_mut(i)[0] = i as f64;
+        }
+        let mut views = f.split_cells_mut(&[2, 4]);
+        assert_eq!(views.len(), 3);
+        assert_eq!(views[0].first_cell(), 0);
+        assert_eq!(views[1].first_cell(), 2);
+        assert_eq!(views[2].first_cell(), 4);
+        assert_eq!(views[1].ncells(), 2);
+        assert!(views[1].owns(3) && !views[1].owns(4));
+        // Global indexing through the trait.
+        assert_eq!(views[1].cell_mut(2)[0], 2.0);
+        assert_eq!(views[2].cell_mut(5)[0], 5.0);
+        let (a, b) = views[0].cell_pair_mut(0, 1);
+        a[1] = 10.0;
+        b[1] = 11.0;
+        drop(views);
+        assert_eq!(f.cell(0)[1], 10.0);
+        assert_eq!(f.cell(1)[1], 11.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_access_panics() {
+        let mut f = DgField::zeros(4, 1);
+        let mut views = f.split_cells_mut(&[2]);
+        let _ = views[0].cell_mut(3);
+    }
+}

@@ -1,0 +1,162 @@
+//! Uniform Cartesian grids.
+
+/// A uniform rectangular grid in `ndim` dimensions.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CartGrid {
+    lower: Vec<f64>,
+    upper: Vec<f64>,
+    cells: Vec<usize>,
+    dx: Vec<f64>,
+}
+
+impl CartGrid {
+    pub fn new(lower: &[f64], upper: &[f64], cells: &[usize]) -> Self {
+        assert_eq!(lower.len(), upper.len());
+        assert_eq!(lower.len(), cells.len());
+        assert!(!cells.is_empty(), "grid needs at least one dimension");
+        for d in 0..lower.len() {
+            assert!(upper[d] > lower[d], "degenerate extent in dim {d}");
+            assert!(cells[d] >= 1, "need at least one cell in dim {d}");
+        }
+        let dx = lower
+            .iter()
+            .zip(upper)
+            .zip(cells)
+            .map(|((&l, &u), &n)| (u - l) / n as f64)
+            .collect();
+        CartGrid {
+            lower: lower.to_vec(),
+            upper: upper.to_vec(),
+            cells: cells.to_vec(),
+            dx,
+        }
+    }
+
+    pub fn ndim(&self) -> usize {
+        self.cells.len()
+    }
+
+    pub fn cells(&self) -> &[usize] {
+        &self.cells
+    }
+
+    pub fn lower(&self) -> &[f64] {
+        &self.lower
+    }
+
+    pub fn upper(&self) -> &[f64] {
+        &self.upper
+    }
+
+    pub fn dx(&self) -> &[f64] {
+        &self.dx
+    }
+
+    /// Total number of cells.
+    pub fn len(&self) -> usize {
+        self.cells.iter().product()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Center coordinate of cell `i` along dimension `d`.
+    #[inline]
+    pub fn center(&self, d: usize, i: usize) -> f64 {
+        self.lower[d] + (i as f64 + 0.5) * self.dx[d]
+    }
+
+    /// Row-major linearization, dimension 0 slowest.
+    #[inline]
+    pub fn linearize(&self, idx: &[usize]) -> usize {
+        debug_assert_eq!(idx.len(), self.ndim());
+        let mut lin = 0;
+        for d in 0..self.ndim() {
+            debug_assert!(idx[d] < self.cells[d]);
+            lin = lin * self.cells[d] + idx[d];
+        }
+        lin
+    }
+
+    /// Inverse of [`CartGrid::linearize`] into the caller's buffer.
+    #[inline]
+    pub fn delinearize(&self, mut lin: usize, idx: &mut [usize]) {
+        for d in (0..self.ndim()).rev() {
+            idx[d] = lin % self.cells[d];
+            lin /= self.cells[d];
+        }
+        debug_assert_eq!(lin, 0);
+    }
+
+    /// Stride of one step along dimension `d` in the linearized ordering.
+    #[inline]
+    pub fn stride(&self, d: usize) -> usize {
+        self.cells[d + 1..].iter().product()
+    }
+
+    /// Fill `out` with the centers of the multi-index `idx`.
+    pub fn cell_center(&self, idx: &[usize], out: &mut [f64]) {
+        for d in 0..self.ndim() {
+            out[d] = self.center(d, idx[d]);
+        }
+    }
+
+    /// Map a physical point to the reference coordinate of cell `idx`
+    /// along dimension `d`.
+    #[inline]
+    pub fn to_ref(&self, d: usize, i: usize, z: f64) -> f64 {
+        (z - self.center(d, i)) / (0.5 * self.dx[d])
+    }
+
+    /// Cell volume.
+    pub fn cell_volume(&self) -> f64 {
+        self.dx.iter().product()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn basic_geometry() {
+        let g = CartGrid::new(&[0.0, -1.0], &[2.0, 1.0], &[4, 8]);
+        assert_eq!(g.len(), 32);
+        assert_eq!(g.dx(), &[0.5, 0.25]);
+        assert!((g.center(0, 0) - 0.25).abs() < 1e-15);
+        assert!((g.center(1, 7) - 0.875).abs() < 1e-15);
+        assert!((g.cell_volume() - 0.125).abs() < 1e-15);
+    }
+
+    #[test]
+    fn strides_match_linearization() {
+        let g = CartGrid::new(&[0.0; 3], &[1.0; 3], &[3, 4, 5]);
+        assert_eq!(g.stride(0), 20);
+        assert_eq!(g.stride(1), 5);
+        assert_eq!(g.stride(2), 1);
+        assert_eq!(g.linearize(&[1, 2, 3]), 20 + 10 + 3);
+    }
+
+    proptest! {
+        #[test]
+        fn linearize_roundtrip(a in 1usize..5, b in 1usize..5, c in 1usize..5, seed in 0usize..1000) {
+            let g = CartGrid::new(&[0.0;3], &[1.0;3], &[a, b, c]);
+            let lin = seed % g.len();
+            let mut idx = [0usize; 3];
+            g.delinearize(lin, &mut idx);
+            prop_assert_eq!(g.linearize(&idx), lin);
+        }
+
+        #[test]
+        fn centers_inside_domain(n in 1usize..10, i in 0usize..10) {
+            prop_assume!(i < n);
+            let g = CartGrid::new(&[-3.0], &[5.0], &[n]);
+            let c = g.center(0, i);
+            prop_assert!(c > -3.0 && c < 5.0);
+            prop_assert!((g.to_ref(0, i, c)).abs() < 1e-12);
+            prop_assert!((g.to_ref(0, i, c + 0.5 * g.dx()[0]) - 1.0).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! The phase-space grid: configuration × velocity, configuration-major.
+
+use crate::boundary::Bc;
+use crate::grid::CartGrid;
+
+/// Product grid over phase space with the configuration-major cell
+/// ordering `idx = conf_lin · Nv + vel_lin`.
+#[derive(Clone, Debug)]
+pub struct PhaseGrid {
+    pub conf: CartGrid,
+    pub vel: CartGrid,
+    /// Per configuration-dimension boundary conditions.
+    pub conf_bc: Vec<Bc>,
+}
+
+impl PhaseGrid {
+    pub fn new(conf: CartGrid, vel: CartGrid, conf_bc: Vec<Bc>) -> Self {
+        assert_eq!(conf_bc.len(), conf.ndim());
+        PhaseGrid { conf, vel, conf_bc }
+    }
+
+    pub fn cdim(&self) -> usize {
+        self.conf.ndim()
+    }
+
+    pub fn vdim(&self) -> usize {
+        self.vel.ndim()
+    }
+
+    pub fn ndim(&self) -> usize {
+        self.cdim() + self.vdim()
+    }
+
+    /// Total phase cells.
+    pub fn len(&self) -> usize {
+        self.conf.len() * self.vel.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    #[inline]
+    pub fn phase_index(&self, conf_lin: usize, vel_lin: usize) -> usize {
+        conf_lin * self.vel.len() + vel_lin
+    }
+
+    #[inline]
+    pub fn split_index(&self, phase_lin: usize) -> (usize, usize) {
+        let nv = self.vel.len();
+        (phase_lin / nv, phase_lin % nv)
+    }
+
+    /// Phase cell size: `[dx…, dv…]` into `out` (length ndim).
+    pub fn cell_size(&self, out: &mut [f64]) {
+        out[..self.cdim()].copy_from_slice(self.conf.dx());
+        out[self.cdim()..self.ndim()].copy_from_slice(self.vel.dx());
+    }
+
+    /// Phase cell center for `(conf multi-index, vel multi-index)`.
+    pub fn cell_center(&self, cidx: &[usize], vidx: &[usize], out: &mut [f64]) {
+        for d in 0..self.cdim() {
+            out[d] = self.conf.center(d, cidx[d]);
+        }
+        for d in 0..self.vdim() {
+            out[self.cdim() + d] = self.vel.center(d, vidx[d]);
+        }
+    }
+
+    /// Velocity-cell Jacobian `∏ Δv_d / 2` (the reference-volume factor that
+    /// converts reference-space moment sums to physical velocity integrals).
+    pub fn vel_jacobian(&self) -> f64 {
+        self.vel.dx().iter().map(|d| 0.5 * d).product()
+    }
+
+    /// Neighbour of a conf cell along dim `d`, honoring the BC.
+    #[inline]
+    pub fn conf_neighbor(&self, cidx_d: usize, d: usize, side: i32) -> Option<usize> {
+        self.conf_bc[d].neighbor(cidx_d, side, self.conf.cells()[d])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_1x2v() -> PhaseGrid {
+        PhaseGrid::new(
+            CartGrid::new(&[0.0], &[1.0], &[4]),
+            CartGrid::new(&[-2.0, -3.0], &[2.0, 3.0], &[8, 6]),
+            vec![Bc::Periodic],
+        )
+    }
+
+    #[test]
+    fn conf_major_ordering() {
+        let g = grid_1x2v();
+        assert_eq!(g.len(), 4 * 48);
+        assert_eq!(g.phase_index(2, 5), 2 * 48 + 5);
+        assert_eq!(g.split_index(2 * 48 + 5), (2, 5));
+    }
+
+    #[test]
+    fn geometry_assembly() {
+        let g = grid_1x2v();
+        let mut size = [0.0; 3];
+        g.cell_size(&mut size);
+        assert_eq!(size, [0.25, 0.5, 1.0]);
+        let mut ctr = [0.0; 3];
+        g.cell_center(&[1], &[0, 5], &mut ctr);
+        assert!((ctr[0] - 0.375).abs() < 1e-15);
+        assert!((ctr[1] + 1.75).abs() < 1e-15);
+        assert!((ctr[2] - 2.5).abs() < 1e-15);
+        assert!((g.vel_jacobian() - 0.125).abs() < 1e-15);
+    }
+
+    #[test]
+    fn conf_neighbors_respect_bcs() {
+        let g = grid_1x2v();
+        assert_eq!(g.conf_neighbor(3, 0, 1), Some(0)); // periodic wrap
+        assert_eq!(g.conf_neighbor(0, 0, -1), Some(3));
+    }
+}

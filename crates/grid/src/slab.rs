@@ -1,0 +1,70 @@
+//! Contiguous work partitioning for the two-level parallel decomposition.
+//!
+//! The paper decomposes configuration space across MPI ranks and shares the
+//! velocity grid inside a node. Our thread analogue partitions flat index
+//! ranges into near-equal contiguous chunks; combined with the
+//! configuration-major layout, a chunk of phase cells is a contiguous byte
+//! range — no false sharing, no gather/scatter.
+
+/// Split `0..n` into `parts` contiguous ranges differing in length by ≤ 1.
+pub fn partition(n: usize, parts: usize) -> Vec<std::ops::Range<usize>> {
+    assert!(parts >= 1);
+    let base = n / parts;
+    let extra = n % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0;
+    for p in 0..parts {
+        let len = base + usize::from(p < extra);
+        out.push(start..start + len);
+        start += len;
+    }
+    debug_assert_eq!(start, n);
+    out
+}
+
+/// Split a grid's slowest dimension into `parts` slabs (for subdomain
+/// decomposition); returns per-slab cell ranges of that dimension.
+pub fn slab_ranges(cells_dim0: usize, parts: usize) -> Vec<std::ops::Range<usize>> {
+    partition(cells_dim0, parts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn even_split() {
+        assert_eq!(partition(8, 4), vec![0..2, 2..4, 4..6, 6..8]);
+    }
+
+    #[test]
+    fn uneven_split_front_loads() {
+        assert_eq!(partition(7, 3), vec![0..3, 3..5, 5..7]);
+    }
+
+    #[test]
+    fn more_parts_than_items() {
+        let p = partition(2, 4);
+        assert_eq!(p.iter().map(|r| r.len()).sum::<usize>(), 2);
+        assert_eq!(p.len(), 4);
+    }
+
+    proptest! {
+        #[test]
+        fn covers_exactly(n in 0usize..1000, parts in 1usize..17) {
+            let p = partition(n, parts);
+            prop_assert_eq!(p.len(), parts);
+            let mut next = 0;
+            for r in &p {
+                prop_assert_eq!(r.start, next);
+                next = r.end;
+            }
+            prop_assert_eq!(next, n);
+            // Balanced to within one item.
+            let lens: Vec<usize> = p.iter().map(|r| r.len()).collect();
+            let (mn, mx) = (lens.iter().min().unwrap(), lens.iter().max().unwrap());
+            prop_assert!(mx - mn <= 1);
+        }
+    }
+}

@@ -1,0 +1,301 @@
+//! Exact projection of the phase-space acceleration onto the modal basis.
+//!
+//! For the Vlasov–Maxwell system the acceleration along velocity direction
+//! `j` is `α_j = (q/m)(E_j + (v × B)_j)`. Given the fields as
+//! configuration-space expansions `E_h`, `B_h` and the cell's velocity
+//! geometry `v_k = v_{c,k} + (Δv_k/2) ξ_k`, the projection onto the *phase*
+//! basis is a sparse re-indexing:
+//!
+//! * configuration-space content lands on phase modes whose velocity
+//!   exponents are all zero (weight `(√2)^{vdim}` per the constant 1D
+//!   factors), and
+//! * each `ξ_k B_l(x)` product lands on phase modes with a single linear
+//!   velocity exponent `e_k` (weight `√(2/3) (√2)^{vdim−1}`).
+//!
+//! For the tensor and Serendipity families this projection is **exact** (the
+//! products stay inside the space — multiplying by a linear factor does not
+//! change the superlinear degree); for maximal-order it truncates at total
+//! degree `p`, which is the documented Gkeyll behaviour for that family.
+//!
+//! The same construction on a *face* basis produces the single-valued face
+//! flux `α̂` used by the surface kernels: `(v×B)_j` never involves `v_j`
+//! itself, so `α_j` restricted to a `v_j`-face is just the same expression
+//! in the remaining coordinates — both neighbouring cells see the identical
+//! polynomial, making the numerical flux conservative by construction.
+
+use dg_basis::{Basis, Exps};
+use dg_poly::MAX_DIM;
+
+/// Velocity-geometry of one phase-space cell (centers/widths per velocity
+/// dimension, in the *global* velocity numbering 0..vdim).
+#[derive(Clone, Copy, Debug)]
+pub struct VelGeom<'a> {
+    pub v_c: &'a [f64],
+    pub dv: &'a [f64],
+}
+
+/// Cross-product structure of `(v × B)_j = Σ sign · v_k · B_{b}`:
+/// the two `(k, b, sign)` terms, filtered to existing velocity dims.
+fn cross_terms(j: usize, vdim: usize) -> impl Iterator<Item = (usize, usize, f64)> {
+    // (v×B)_x = v_y B_z − v_z B_y ; (v×B)_y = v_z B_x − v_x B_z ;
+    // (v×B)_z = v_x B_y − v_y B_x.
+    const TERMS: [[(usize, usize, f64); 2]; 3] = [
+        [(1, 2, 1.0), (2, 1, -1.0)],
+        [(2, 0, 1.0), (0, 2, -1.0)],
+        [(0, 1, 1.0), (1, 0, -1.0)],
+    ];
+    TERMS[j].into_iter().filter(move |&(k, _, _)| k < vdim)
+}
+
+/// Projection tables from a configuration basis into a (phase or face)
+/// target basis for one velocity direction.
+#[derive(Clone, Debug)]
+pub struct AccelProject {
+    /// Velocity direction `j` this projector serves.
+    pub vdir: usize,
+    /// Number of global velocity dims.
+    pub vdim: usize,
+    /// conf mode → target mode with zero velocity exponents (always exists).
+    pub(crate) emb0: Vec<u16>,
+    /// per *global* velocity dim `k`: conf mode → target mode with `e_k`
+    /// (None where the family truncates, or `k` is not represented in the
+    /// target basis — e.g. the face's own normal direction).
+    pub(crate) emb1: Vec<Vec<Option<u16>>>,
+    /// weight of the constant velocity factor: `(√2)^{nv_target}`.
+    pub(crate) w0: f64,
+    /// weight of a linear velocity factor: `√(2/3) (√2)^{nv_target−1}`.
+    pub(crate) w1: f64,
+    /// Sup-norm bounds of the target basis (for penalty speeds).
+    sup: Vec<f64>,
+}
+
+impl AccelProject {
+    /// `target` is either the phase basis (with dims = cdim+vdim and
+    /// `vel_dim_of(k) = Some(cdim+k)`) or a face basis.
+    ///
+    /// * `conf`: the configuration basis (fields live here);
+    /// * `conf_dims_in_target`: for conf dim `c`, its dim index in target;
+    /// * `vel_dim_of`: for global velocity dim `k`, its dim index in the
+    ///   target basis, or `None` if that coordinate is frozen on this face;
+    /// * `nv_target`: number of velocity dims present in the target.
+    pub fn build(
+        vdir: usize,
+        vdim: usize,
+        conf: &Basis,
+        target: &Basis,
+        conf_dims_in_target: &[usize],
+        vel_dim_of: &dyn Fn(usize) -> Option<usize>,
+        nv_target: usize,
+    ) -> Self {
+        let nc = conf.len();
+        let mut emb0 = Vec::with_capacity(nc);
+        let mut emb1: Vec<Vec<Option<u16>>> = vec![vec![None; nc]; vdim];
+        for l in 0..nc {
+            let ce = conf.exps(l);
+            let mut te: Exps = [0; MAX_DIM];
+            for (c, &tc) in conf_dims_in_target.iter().enumerate() {
+                te[tc] = ce[c];
+            }
+            emb0.push(
+                target
+                    .find(&te)
+                    .expect("conf basis embeds into target (families nest over dims)")
+                    as u16,
+            );
+            for k in 0..vdim {
+                if let Some(tv) = vel_dim_of(k) {
+                    let mut te1 = te;
+                    te1[tv] = 1;
+                    emb1[k][l] = target.find(&te1).map(|i| i as u16);
+                }
+            }
+        }
+        let w0 = (2.0f64).powi(nv_target as i32).sqrt();
+        let w1 = (2.0f64 / 3.0).sqrt() * (2.0f64).powi(nv_target as i32 - 1).sqrt();
+        let sup = (0..target.len()).map(|i| target.sup_norm(i)).collect();
+        AccelProject {
+            vdir,
+            vdim,
+            emb0,
+            emb1,
+            w0,
+            w1,
+            sup,
+        }
+    }
+
+    /// Write `α_j = qm (E_j + (v×B)_j)` into `alpha` (zeroed here), given
+    /// per-component conf expansions `e_j = e[comp]` and `b[comp]` each of
+    /// length `Nc`, and the cell's velocity geometry. Returns a rigorous
+    /// bound on `sup |α_j|` over the cell/face (penalty speed λ).
+    pub fn project(
+        &self,
+        qm: f64,
+        e_j: &[f64],
+        b: [&[f64]; 3],
+        geom: VelGeom<'_>,
+        alpha: &mut [f64],
+    ) -> f64 {
+        alpha.fill(0.0);
+        let nc = self.emb0.len();
+        for l in 0..nc {
+            // Cell-center part: E_j + Σ sign · v_{c,k} · B_b.
+            let mut s = e_j[l];
+            for (k, bc, sign) in cross_terms(self.vdir, self.vdim) {
+                s += sign * geom.v_c[k] * b[bc][l];
+            }
+            alpha[self.emb0[l] as usize] += qm * self.w0 * s;
+            // Linear-in-ξ_k parts: sign · (Δv_k/2) ξ_k · B_b.
+            for (k, bc, sign) in cross_terms(self.vdir, self.vdim) {
+                if let Some(i1) = self.emb1[k][l] {
+                    alpha[i1 as usize] += qm * self.w1 * sign * 0.5 * geom.dv[k] * b[bc][l];
+                }
+            }
+        }
+        // Modal sup bound: |α| ≤ Σ |α_i| ‖w_i‖_∞.
+        alpha
+            .iter()
+            .zip(&self.sup)
+            .map(|(a, s)| a.abs() * s)
+            .sum()
+    }
+
+    /// Multiplications per projection (for the op-count audits).
+    pub fn mult_count(&self) -> usize {
+        let ct = cross_terms(self.vdir, self.vdim).count();
+        // per conf mode: 1 (w0·s·qm folded to 2) + ct center + ct linear
+        self.emb0.len() * (2 + 2 * ct)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dg_basis::BasisKind;
+    use dg_poly::quad::TensorGauss;
+
+    /// Build the phase-basis projector for a (cdim, vdim) split.
+    fn phase_projector(
+        kind: BasisKind,
+        cdim: usize,
+        vdim: usize,
+        p: usize,
+        vdir: usize,
+    ) -> (Basis, Basis, AccelProject) {
+        let phase = Basis::new(kind, cdim + vdim, p);
+        let conf = Basis::new(kind, cdim, p);
+        let conf_dims: Vec<usize> = (0..cdim).collect();
+        let proj = AccelProject::build(
+            vdir,
+            vdim,
+            &conf,
+            &phase,
+            &conf_dims,
+            &|k| Some(cdim + k),
+            vdim,
+        );
+        (phase, conf, proj)
+    }
+
+    #[test]
+    fn projection_reproduces_alpha_pointwise_tensor() {
+        // Tensor basis: projection is exact, so evaluating the α expansion
+        // anywhere in the cell must equal q/m (E + v×B)_j pointwise.
+        let (cdim, vdim, p) = (1, 2, 2);
+        let (phase, conf, proj) = phase_projector(BasisKind::Tensor, cdim, vdim, p, 0);
+        let nc = conf.len();
+        // Synthetic field expansions.
+        let ex: Vec<f64> = (0..nc).map(|i| 0.3 + 0.2 * i as f64).collect();
+        let bx: Vec<f64> = (0..nc).map(|i| 0.1 * (i as f64 + 1.0)).collect();
+        let by: Vec<f64> = (0..nc).map(|i| -0.05 * (i as f64)).collect();
+        let bz: Vec<f64> = (0..nc).map(|i| 0.4 - 0.1 * i as f64).collect();
+        let v_c = [1.5, -0.7];
+        let dv = [0.5, 0.8];
+        let qm = -2.0;
+        let mut alpha = vec![0.0; phase.len()];
+        let lam = proj.project(
+            qm,
+            &ex,
+            [&bx, &by, &bz],
+            VelGeom { v_c: &v_c, dv: &dv },
+            &mut alpha,
+        );
+
+        let mut tg = TensorGauss::new(3, 3);
+        let mut xi = [0.0; 3];
+        while let Some(_) = tg.next_point(&mut xi) {
+            let got = phase.eval_expansion(&alpha, &xi);
+            // (v×B)_x = v_y B_z (no v_z in 2V).
+            let exv = conf.eval_expansion(&ex, &xi[..1]);
+            let bzv = conf.eval_expansion(&bz, &xi[..1]);
+            let vy = v_c[1] + 0.5 * dv[1] * xi[2];
+            let want = qm * (exv + vy * bzv);
+            assert!((got - want).abs() < 1e-12, "at {xi:?}: {got} vs {want}");
+            assert!(lam + 1e-12 >= got.abs(), "sup bound violated");
+        }
+    }
+
+    #[test]
+    fn serendipity_projection_also_exact() {
+        // The Serendipity family keeps v·B(x) products (superlinear degree
+        // unchanged by a linear factor): projection must also be pointwise
+        // exact.
+        let (cdim, vdim, p) = (2, 2, 2);
+        let (phase, conf, proj) = phase_projector(BasisKind::Serendipity, cdim, vdim, p, 1);
+        let nc = conf.len();
+        let ey: Vec<f64> = (0..nc).map(|i| (i as f64 * 0.7).sin()).collect();
+        let bz: Vec<f64> = (0..nc).map(|i| (i as f64 * 0.3).cos()).collect();
+        let zeros = vec![0.0; nc];
+        let v_c = [0.3, 0.9];
+        let dv = [1.0, 0.25];
+        let mut alpha = vec![0.0; phase.len()];
+        // α_y = q/m (E_y − v_x B_z) in 2V.
+        proj.project(
+            1.0,
+            &ey,
+            [&zeros, &zeros, &bz],
+            VelGeom { v_c: &v_c, dv: &dv },
+            &mut alpha,
+        );
+        let mut tg = TensorGauss::new(3, 4);
+        let mut xi = [0.0; 4];
+        while let Some(_) = tg.next_point(&mut xi) {
+            let got = phase.eval_expansion(&alpha, &xi);
+            let eyv = conf.eval_expansion(&ey, &xi[..2]);
+            let bzv = conf.eval_expansion(&bz, &xi[..2]);
+            let vx = v_c[0] + 0.5 * dv[0] * xi[2];
+            let want = eyv - vx * bzv;
+            assert!((got - want).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn maximal_order_truncates_but_keeps_low_modes() {
+        // For max-order the highest cross products are truncated; the
+        // projection must still be the L2-best approximation: constant and
+        // linear field content remains exact.
+        let (phase, conf, proj) = phase_projector(BasisKind::MaximalOrder, 1, 2, 2, 0);
+        let nc = conf.len();
+        let mut ex = vec![0.0; nc];
+        ex[0] = 1.3; // constant E
+        let zeros = vec![0.0; nc];
+        let mut bz = vec![0.0; nc];
+        bz[0] = 0.8; // constant B_z
+        let v_c = [0.0, 2.0];
+        let dv = [1.0, 1.0];
+        let mut alpha = vec![0.0; phase.len()];
+        proj.project(
+            1.0,
+            &ex,
+            [&zeros, &zeros, &bz],
+            VelGeom { v_c: &v_c, dv: &dv },
+            &mut alpha,
+        );
+        // α = E_x + v_y B_z with constant fields is affine ⇒ exactly
+        // representable even in max-order.
+        let conf_c0 = dg_basis::expand::const_coeff(&conf);
+        let want_mean = (ex[0] / conf_c0) + v_c[1] * (bz[0] / conf_c0);
+        let got_mean = alpha[0] / dg_basis::expand::const_coeff(&phase);
+        assert!((got_mean - want_mean).abs() < 1e-12);
+    }
+}

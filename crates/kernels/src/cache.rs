@@ -1,0 +1,50 @@
+//! Process-wide kernel cache.
+//!
+//! Building a kernel set performs all symbolic integration for a
+//! configuration; solvers, baselines, tests and benches frequently want the
+//! same `(family, layout, p)` set. The cache makes the sets shared and
+//! immutable (`Arc`), mirroring how Gkeyll compiles each kernel exactly
+//! once per configuration.
+
+use crate::phase::{PhaseKernels, PhaseLayout};
+use dg_basis::BasisKind;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+type Key = (BasisKind, usize, usize, usize);
+
+static CACHE: Mutex<Option<HashMap<Key, Arc<PhaseKernels>>>> = Mutex::new(None);
+
+/// Fetch (building on first use) the kernel set for a configuration.
+pub fn kernels_for(kind: BasisKind, layout: PhaseLayout, p: usize) -> Arc<PhaseKernels> {
+    let key = (kind, layout.cdim, layout.vdim, p);
+    // Fast path under the lock; build outside it so concurrent callers of
+    // *different* configurations do not serialize on a long build.
+    {
+        let guard = CACHE.lock();
+        if let Some(map) = guard.as_ref() {
+            if let Some(k) = map.get(&key) {
+                return Arc::clone(k);
+            }
+        }
+    }
+    let built = Arc::new(PhaseKernels::build(kind, layout, p));
+    let mut guard = CACHE.lock();
+    let map = guard.get_or_insert_with(HashMap::new);
+    Arc::clone(map.entry(key).or_insert(built))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cache_returns_shared_instance() {
+        let a = kernels_for(BasisKind::Serendipity, PhaseLayout::new(1, 1), 1);
+        let b = kernels_for(BasisKind::Serendipity, PhaseLayout::new(1, 1), 1);
+        assert!(Arc::ptr_eq(&a, &b));
+        let c = kernels_for(BasisKind::Serendipity, PhaseLayout::new(1, 1), 2);
+        assert!(!Arc::ptr_eq(&a, &c));
+    }
+}

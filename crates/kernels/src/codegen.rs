@@ -1,0 +1,164 @@
+//! Rust source generation of fully unrolled kernels — the Fig. 1 artifact.
+//!
+//! Gkeyll's kernels are C++ functions emitted by Maxima scripts: every loop
+//! unrolled, every coefficient a double-precision literal, no matrices and
+//! no quadrature. This module regenerates that artifact in Rust from the
+//! same sparse-tensor data the runtime kernels use, so the two paths are
+//! provably the same arithmetic. The generated text is what
+//! `examples/kernel_inspect.rs` and the Fig. 1 bench print.
+
+use crate::phase::PhaseKernels;
+use std::fmt::Write;
+
+/// Emit the volume kernel (streaming + acceleration, all directions) for a
+/// kernel set, in the calling convention of the paper's Fig. 1: cell center
+/// `w`, cell sizes `dxv`, charge-to-mass ratio `qm`, flattened E/B
+/// configuration coefficients `em` (`[Ex, Ey, Ez, Bx, By, Bz] × Nc`), the
+/// distribution-function coefficients `f`, and the output increment `out`.
+pub fn volume_kernel_source(pk: &PhaseKernels, fn_name: &str) -> String {
+    let layout = pk.layout;
+    let (cdim, vdim) = (layout.cdim, layout.vdim);
+    let nc = pk.nc();
+    let np = pk.np();
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "/// Volume kernel for the Vlasov phase-space advection, {} p={} {} basis.",
+        layout.tag(),
+        pk.phase_basis.poly_order(),
+        pk.phase_basis.kind()
+    );
+    let _ = writeln!(
+        s,
+        "/// Auto-generated from exact integral tables — do not edit by hand."
+    );
+    let _ = writeln!(s, "///");
+    let _ = writeln!(s, "/// * `w`   — phase-space cell center, `[x…, v…]`, length {}", cdim + vdim);
+    let _ = writeln!(s, "/// * `dxv` — phase-space cell size, length {}", cdim + vdim);
+    let _ = writeln!(s, "/// * `qm`  — charge-to-mass ratio q/m");
+    let _ = writeln!(s, "/// * `em`  — E/B conf-space coefficients, 6 components × {nc}");
+    let _ = writeln!(s, "/// * `f`   — distribution coefficients, length {np}");
+    let _ = writeln!(s, "/// * `out` — RHS increment, length {np}");
+    let _ = writeln!(s, "#[allow(clippy::all)]");
+    let _ = writeln!(s, "#[rustfmt::skip]");
+    let _ = writeln!(
+        s,
+        "pub fn {fn_name}(w: &[f64], dxv: &[f64], qm: f64, em: &[f64], f: &[f64], out: &mut [f64]) {{"
+    );
+
+    // Streaming terms.
+    for sv in &pk.streaming {
+        let d = sv.dir;
+        let vd = sv.vdim_of;
+        let _ = writeln!(s, "    // streaming: ∂/∂x{d} of (v{} f)", vd - cdim);
+        let _ = writeln!(s, "    let rd{d} = 2.0 / dxv[{d}];");
+        let _ = writeln!(s, "    let a0_{d} = {:?} * w[{vd}] * rd{d};", sv.c0);
+        let _ = writeln!(s, "    let a1_{d} = {:?} * 0.5 * dxv[{vd}] * rd{d};", sv.c1);
+        for &(l, n, c) in &sv.s0.entries {
+            let _ = writeln!(s, "    out[{l}] += {c:?} * a0_{d} * f[{n}];");
+        }
+        for &(l, n, c) in &sv.s1.entries {
+            let _ = writeln!(s, "    out[{l}] += {c:?} * a1_{d} * f[{n}];");
+        }
+    }
+
+    // Acceleration terms: assemble α_j then contract.
+    for j in 0..vdim {
+        let pd = cdim + j;
+        let proj = &pk.cell_accel[j];
+        let _ = writeln!(s, "    // acceleration: ∂/∂v{j} of (q/m (E + v×B)_{j} f)");
+        let _ = writeln!(s, "    let rv{j} = 2.0 / dxv[{pd}];");
+        let _ = writeln!(s, "    let mut alpha{j} = [0.0f64; {np}];");
+        // Mirror AccelProject::project exactly.
+        let terms: Vec<(usize, usize, f64)> = crate::codegen::cross_terms_pub(j, vdim);
+        for l in 0..nc {
+            let mut center = format!("em[{}]", j * nc + l);
+            for &(k, bc, sign) in &terms {
+                let op = if sign > 0.0 { "+" } else { "-" };
+                let _ = write!(
+                    center,
+                    " {op} w[{}] * em[{}]",
+                    cdim + k,
+                    (3 + bc) * nc + l
+                );
+            }
+            let i0 = proj.emb0[l];
+            let _ = writeln!(
+                s,
+                "    alpha{j}[{i0}] += qm * {:?} * ({center});",
+                proj.w0
+            );
+            for &(k, bc, sign) in &terms {
+                if let Some(i1) = proj.emb1[k][l] {
+                    let _ = writeln!(
+                        s,
+                        "    alpha{j}[{i1}] += qm * {:?} * (0.5 * dxv[{}]) * em[{}];",
+                        proj.w1 * sign,
+                        cdim + k,
+                        (3 + bc) * nc + l
+                    );
+                }
+            }
+        }
+        for e in pk.accel_vol[j].entries() {
+            let _ = writeln!(
+                s,
+                "    out[{}] += {:?} * rv{j} * alpha{j}[{}] * f[{}];",
+                e.l, e.coeff, e.m, e.n
+            );
+        }
+    }
+    let _ = writeln!(s, "}}");
+    s
+}
+
+/// Public shim over the cross-product term table (shared with `accel`).
+pub fn cross_terms_pub(j: usize, vdim: usize) -> Vec<(usize, usize, f64)> {
+    const TERMS: [[(usize, usize, f64); 2]; 3] = [
+        [(1, 2, 1.0), (2, 1, -1.0)],
+        [(2, 0, 1.0), (0, 2, -1.0)],
+        [(0, 1, 1.0), (1, 0, -1.0)],
+    ];
+    TERMS[j]
+        .into_iter()
+        .filter(|&(k, _, _)| k < vdim)
+        .collect()
+}
+
+/// Count of `out[...] +=` statements in generated source (for audits).
+pub fn count_update_statements(src: &str) -> usize {
+    src.lines().filter(|l| l.trim_start().starts_with("out[")).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::phase::{PhaseKernels, PhaseLayout};
+    use dg_basis::BasisKind;
+
+    #[test]
+    fn generated_source_has_expected_shape() {
+        let pk = PhaseKernels::build(BasisKind::Tensor, PhaseLayout::new(1, 2), 1);
+        let src = volume_kernel_source(&pk, "vol_1x2v_p1_tensor");
+        assert!(src.contains("pub fn vol_1x2v_p1_tensor"));
+        assert!(src.contains("alpha0"));
+        assert!(src.contains("alpha1"));
+        // Update statement count equals total tensor nnz.
+        let want = pk.streaming.iter().map(|s| s.s0.nnz() + s.s1.nnz()).sum::<usize>()
+            + pk.accel_vol.iter().map(|a| a.entries().len()).sum::<usize>();
+        assert_eq!(count_update_statements(&src), want);
+    }
+
+    #[test]
+    fn fig1_kernel_is_compact() {
+        // The paper's headline: the modal 1X2V p=1 tensor volume kernel is
+        // ~70 multiplications. Each `out +=` line is 3 multiplies here
+        // (coeff·scale·α·f fused by the optimizer); the statement count must
+        // be well below the nodal ~250.
+        let pk = PhaseKernels::build(BasisKind::Tensor, PhaseLayout::new(1, 2), 1);
+        let src = volume_kernel_source(&pk, "k");
+        let n = count_update_statements(&src);
+        assert!(n < 80, "Fig. 1 kernel should stay compact, got {n} statements");
+        assert!(n > 10);
+    }
+}

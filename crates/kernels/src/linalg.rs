@@ -1,0 +1,231 @@
+//! Minimal dense linear algebra.
+//!
+//! Used by (a) the *weak division* needed for primitive moments in the LBO
+//! collision operator (small per-cell systems) and (b) the nodal baseline's
+//! interpolation/projection pipelines (`dg-nodal`), our stand-in for the
+//! Eigen matvecs of the paper's Table I. The modal solver itself never
+//! touches a matrix — that is the point of the paper.
+
+/// Row-major dense matrix.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DMat {
+    pub rows: usize,
+    pub cols: usize,
+    pub data: Vec<f64>,
+}
+
+impl DMat {
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        DMat {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    #[inline]
+    pub fn at(&self, r: usize, c: usize) -> f64 {
+        self.data[r * self.cols + c]
+    }
+
+    #[inline]
+    pub fn at_mut(&mut self, r: usize, c: usize) -> &mut f64 {
+        &mut self.data[r * self.cols + c]
+    }
+
+    /// `y += A x` (y zeroed by caller if needed). Row-major streaming loop;
+    /// the iterator form lets LLVM vectorize the inner product.
+    pub fn matvec_acc(&self, x: &[f64], y: &mut [f64]) {
+        debug_assert_eq!(x.len(), self.cols);
+        debug_assert_eq!(y.len(), self.rows);
+        for (r, yr) in y.iter_mut().enumerate() {
+            let row = &self.data[r * self.cols..(r + 1) * self.cols];
+            *yr += row.iter().zip(x).map(|(a, b)| a * b).sum::<f64>();
+        }
+    }
+
+    /// `y = A x`.
+    pub fn matvec(&self, x: &[f64], y: &mut [f64]) {
+        y.fill(0.0);
+        self.matvec_acc(x, y);
+    }
+
+    /// `y += Aᵀ x` — the projection step of the quadrature pipeline.
+    pub fn matvec_t_acc(&self, x: &[f64], y: &mut [f64]) {
+        debug_assert_eq!(x.len(), self.rows);
+        debug_assert_eq!(y.len(), self.cols);
+        for (r, &xr) in x.iter().enumerate() {
+            if xr == 0.0 {
+                continue;
+            }
+            let row = &self.data[r * self.cols..(r + 1) * self.cols];
+            for (yc, a) in y.iter_mut().zip(row) {
+                *yc += xr * a;
+            }
+        }
+    }
+}
+
+/// LU factorization with partial pivoting, in place.
+#[derive(Clone, Debug)]
+pub struct Lu {
+    lu: DMat,
+    piv: Vec<usize>,
+}
+
+impl Lu {
+    /// Factor `a` (consumed). Returns `None` if numerically singular.
+    pub fn factor(mut a: DMat) -> Option<Self> {
+        assert_eq!(a.rows, a.cols);
+        let n = a.rows;
+        let mut piv: Vec<usize> = (0..n).collect();
+        for k in 0..n {
+            // Pivot search.
+            let (mut pr, mut pv) = (k, a.at(k, k).abs());
+            for r in k + 1..n {
+                let v = a.at(r, k).abs();
+                if v > pv {
+                    pr = r;
+                    pv = v;
+                }
+            }
+            if pv < 1e-300 {
+                return None;
+            }
+            if pr != k {
+                for c in 0..n {
+                    let t = a.at(k, c);
+                    *a.at_mut(k, c) = a.at(pr, c);
+                    *a.at_mut(pr, c) = t;
+                }
+                piv.swap(k, pr);
+            }
+            let inv = 1.0 / a.at(k, k);
+            for r in k + 1..n {
+                let f = a.at(r, k) * inv;
+                *a.at_mut(r, k) = f;
+                for c in k + 1..n {
+                    *a.at_mut(r, c) -= f * a.at(k, c);
+                }
+            }
+        }
+        Some(Lu { lu: a, piv })
+    }
+
+    /// Solve `A x = b`, writing into `x`.
+    pub fn solve(&self, b: &[f64], x: &mut [f64]) {
+        let n = self.lu.rows;
+        debug_assert_eq!(b.len(), n);
+        // Apply permutation, forward substitution.
+        for r in 0..n {
+            x[r] = b[self.piv[r]];
+        }
+        for r in 0..n {
+            for c in 0..r {
+                x[r] -= self.lu.at(r, c) * x[c];
+            }
+        }
+        // Back substitution.
+        for r in (0..n).rev() {
+            for c in r + 1..n {
+                x[r] -= self.lu.at(r, c) * x[c];
+            }
+            x[r] /= self.lu.at(r, r);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn matvec_identity() {
+        let mut a = DMat::zeros(3, 3);
+        for i in 0..3 {
+            *a.at_mut(i, i) = 1.0;
+        }
+        let x = [1.0, -2.0, 3.0];
+        let mut y = [0.0; 3];
+        a.matvec(&x, &mut y);
+        assert_eq!(y, x);
+    }
+
+    #[test]
+    fn transpose_matvec_adjoint_identity() {
+        // ⟨Ax, y⟩ = ⟨x, Aᵀy⟩
+        let mut a = DMat::zeros(3, 4);
+        for r in 0..3 {
+            for c in 0..4 {
+                *a.at_mut(r, c) = (r * 4 + c) as f64 * 0.1 - 0.5;
+            }
+        }
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [-1.0, 0.5, 2.0];
+        let mut ax = [0.0; 3];
+        a.matvec(&x, &mut ax);
+        let mut aty = [0.0; 4];
+        a.matvec_t_acc(&y, &mut aty);
+        let lhs: f64 = ax.iter().zip(&y).map(|(p, q)| p * q).sum();
+        let rhs: f64 = x.iter().zip(&aty).map(|(p, q)| p * q).sum();
+        assert!((lhs - rhs).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lu_solves_known_system() {
+        let mut a = DMat::zeros(3, 3);
+        let vals = [[2.0, 1.0, 1.0], [4.0, -6.0, 0.0], [-2.0, 7.0, 2.0]];
+        for r in 0..3 {
+            for c in 0..3 {
+                *a.at_mut(r, c) = vals[r][c];
+            }
+        }
+        let lu = Lu::factor(a).unwrap();
+        let b = [5.0, -2.0, 9.0];
+        let mut x = [0.0; 3];
+        lu.solve(&b, &mut x);
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 1.0).abs() < 1e-12);
+        assert!((x[2] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singular_detected() {
+        let mut a = DMat::zeros(2, 2);
+        *a.at_mut(0, 0) = 1.0;
+        *a.at_mut(0, 1) = 2.0;
+        *a.at_mut(1, 0) = 2.0;
+        *a.at_mut(1, 1) = 4.0;
+        assert!(Lu::factor(a).is_none());
+    }
+
+    proptest! {
+        #[test]
+        fn lu_roundtrip(seed in 0u64..1000) {
+            // Random diagonally-dominant systems are well conditioned.
+            let n = 5;
+            let mut a = DMat::zeros(n, n);
+            let mut s = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let mut rnd = || {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((s >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+            };
+            for r in 0..n {
+                for c in 0..n {
+                    *a.at_mut(r, c) = rnd();
+                }
+                *a.at_mut(r, r) += n as f64;
+            }
+            let x_true: Vec<f64> = (0..n).map(|_| rnd()).collect();
+            let mut b = vec![0.0; n];
+            a.matvec(&x_true, &mut b);
+            let lu = Lu::factor(a).unwrap();
+            let mut x = vec![0.0; n];
+            lu.solve(&b, &mut x);
+            for i in 0..n {
+                prop_assert!((x[i] - x_true[i]).abs() < 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,286 @@
+//! Aggregated kernel set for one phase-space discretization.
+//!
+//! [`PhaseKernels`] bundles everything the Vlasov solver needs for a given
+//! `(basis family, cdim, vdim, poly order)`: streaming and acceleration
+//! volume kernels, one surface kernel per phase direction, the `α`
+//! projection tables for cells and faces, moment reductions, and weak
+//! operations for the collision operator. Building the set performs all
+//! symbolic integration once; applying it is pure arithmetic on flat arrays.
+
+use crate::accel::AccelProject;
+use crate::moments::MomentKernels;
+use crate::surface::{FaceAlphaSupport, SurfaceKernel};
+use crate::tables1d::ExactTables;
+use crate::volume::{AccelVolume, StreamingVolume};
+use crate::weak::WeakOps;
+use dg_basis::{expand, Basis, BasisKind, Exps};
+use dg_poly::MAX_DIM;
+
+/// The configuration/velocity split of phase space.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct PhaseLayout {
+    pub cdim: usize,
+    pub vdim: usize,
+}
+
+impl PhaseLayout {
+    pub fn new(cdim: usize, vdim: usize) -> Self {
+        assert!(cdim >= 1 && vdim >= 1, "need at least 1X1V");
+        assert!(
+            cdim <= vdim,
+            "streaming in configuration direction d advects with v_d; cdim ≤ vdim required"
+        );
+        assert!(cdim + vdim <= MAX_DIM);
+        PhaseLayout { cdim, vdim }
+    }
+
+    pub fn ndim(&self) -> usize {
+        self.cdim + self.vdim
+    }
+
+    /// Phase dimension carrying velocity coordinate `k`.
+    pub fn vel_phase_dim(&self, k: usize) -> usize {
+        self.cdim + k
+    }
+
+    pub fn is_config_dir(&self, dir: usize) -> bool {
+        dir < self.cdim
+    }
+
+    /// Human-readable tag like `2x3v`.
+    pub fn tag(&self) -> String {
+        format!("{}x{}v", self.cdim, self.vdim)
+    }
+}
+
+/// Per-direction surface kernel plus the machinery to build its single-
+/// valued face flux `α̂`.
+#[derive(Clone, Debug)]
+pub struct DirSurface {
+    pub kernel: SurfaceKernel,
+    /// For velocity directions: projector of `q/m(E + v×B)_j` onto the face
+    /// basis. `None` for configuration (streaming) directions.
+    pub face_accel: Option<AccelProject>,
+    /// For configuration directions: the face-basis mode indices and
+    /// coefficients of the affine `α̂ = v_d` (constant mode, linear mode).
+    pub stream_affine: Option<(usize, f64, f64)>,
+}
+
+/// The complete kernel set (built once, shared, immutable).
+#[derive(Debug)]
+pub struct PhaseKernels {
+    pub layout: PhaseLayout,
+    pub phase_basis: Basis,
+    pub conf_basis: Basis,
+    pub tables: ExactTables,
+    /// Streaming volume kernels, one per configuration direction.
+    pub streaming: Vec<StreamingVolume>,
+    /// Acceleration volume kernels, one per velocity direction.
+    pub accel_vol: Vec<AccelVolume>,
+    /// Cell-level `α` projectors, one per velocity direction.
+    pub cell_accel: Vec<AccelProject>,
+    /// Surface kernels + face-flux builders, one per phase direction.
+    pub surfaces: Vec<DirSurface>,
+    /// Moment reductions.
+    pub moments: MomentKernels,
+    /// Weak multiply/divide on the configuration basis (primitive moments).
+    pub weak: WeakOps,
+}
+
+impl PhaseKernels {
+    pub fn build(kind: BasisKind, layout: PhaseLayout, p: usize) -> Self {
+        let ndim = layout.ndim();
+        let (cdim, vdim) = (layout.cdim, layout.vdim);
+        let phase_basis = Basis::new(kind, ndim, p);
+        let conf_basis = Basis::new(kind, cdim, p);
+        let tables = ExactTables::new(p);
+
+        let streaming: Vec<StreamingVolume> = (0..cdim)
+            .map(|d| StreamingVolume::build(&phase_basis, &tables, d, layout.vel_phase_dim(d)))
+            .collect();
+        let accel_vol: Vec<AccelVolume> = (0..vdim)
+            .map(|j| AccelVolume::build(&phase_basis, &tables, cdim, vdim, j))
+            .collect();
+
+        let conf_dims: Vec<usize> = (0..cdim).collect();
+        let cell_accel: Vec<AccelProject> = (0..vdim)
+            .map(|j| {
+                AccelProject::build(
+                    j,
+                    vdim,
+                    &conf_basis,
+                    &phase_basis,
+                    &conf_dims,
+                    &|k| Some(cdim + k),
+                    vdim,
+                )
+            })
+            .collect();
+
+        let mut surfaces = Vec::with_capacity(ndim);
+        for dir in 0..ndim {
+            let fdim = ndim - 1;
+            let face_dim_of = |d: usize| if d < dir { d } else { d - 1 };
+            let mut caps: Exps = [0; MAX_DIM];
+            let mut lin_dims: Vec<usize> = Vec::new();
+            if layout.is_config_dir(dir) {
+                // α̂ = v_dir: one linear face mode in the paired velocity dim.
+                let fv = face_dim_of(layout.vel_phase_dim(dir));
+                caps[fv] = 1;
+                lin_dims.push(fv);
+            } else {
+                let j = dir - cdim;
+                for (d, cap) in caps.iter_mut().enumerate().take(cdim) {
+                    let _ = d;
+                    *cap = p as u8;
+                }
+                for k in 0..vdim {
+                    if k != j {
+                        let fd = face_dim_of(layout.vel_phase_dim(k));
+                        caps[fd] = 1;
+                        lin_dims.push(fd);
+                    }
+                }
+            }
+            // Cap the caps at fdim (a 1X1V velocity face is 1-dimensional).
+            for d in fdim..MAX_DIM {
+                caps[d] = 0;
+            }
+            lin_dims.retain(|&d| d < fdim);
+            let kernel = SurfaceKernel::build(
+                &phase_basis,
+                &tables,
+                dir,
+                &FaceAlphaSupport {
+                    caps: &caps,
+                    lin_dims: &lin_dims,
+                },
+            );
+            let (face_accel, stream_affine) = if layout.is_config_dir(dir) {
+                let fv = face_dim_of(layout.vel_phase_dim(dir));
+                let fb = &kernel.face.basis;
+                let c0 = expand::const_coeff(fb);
+                let (lin_idx, c1) = expand::linear_coeff(fb, fv).expect("p ≥ 1");
+                (None, Some((lin_idx, c0, c1)))
+            } else {
+                let j = dir - cdim;
+                let proj = AccelProject::build(
+                    j,
+                    vdim,
+                    &conf_basis,
+                    &kernel.face.basis,
+                    &conf_dims,
+                    &|k| {
+                        if k == j {
+                            None
+                        } else {
+                            Some(face_dim_of(layout.vel_phase_dim(k)))
+                        }
+                    },
+                    vdim - 1,
+                );
+                (Some(proj), None)
+            };
+            surfaces.push(DirSurface {
+                kernel,
+                face_accel,
+                stream_affine,
+            });
+        }
+
+        let moments = MomentKernels::build(&phase_basis, &conf_basis, cdim, vdim);
+        let weak = WeakOps::build(&conf_basis, &tables);
+
+        PhaseKernels {
+            layout,
+            phase_basis,
+            conf_basis,
+            tables,
+            streaming,
+            accel_vol,
+            cell_accel,
+            surfaces,
+            moments,
+            weak,
+        }
+    }
+
+    /// DOFs per cell, the paper's `Np`.
+    pub fn np(&self) -> usize {
+        self.phase_basis.len()
+    }
+
+    /// Conf-basis DOFs per cell.
+    pub fn nc(&self) -> usize {
+        self.conf_basis.len()
+    }
+
+    /// Largest face-basis size (for scratch sizing).
+    pub fn max_face_len(&self) -> usize {
+        self.surfaces.iter().map(|s| s.kernel.face.len()).max().unwrap_or(1)
+    }
+
+    /// Fill `alpha_face` with the streaming face flux `α̂ = v_d` for a
+    /// configuration-direction face, given the velocity-cell geometry of the
+    /// paired velocity coordinate. Returns the exact `sup |α̂|` (penalty λ).
+    pub fn stream_face_alpha(
+        &self,
+        dir: usize,
+        v_c: f64,
+        dv: f64,
+        alpha_face: &mut [f64],
+    ) -> f64 {
+        let (lin_idx, c0, c1) = self.surfaces[dir]
+            .stream_affine
+            .expect("stream_face_alpha on a velocity direction");
+        alpha_face.fill(0.0);
+        alpha_face[0] = v_c * c0;
+        alpha_face[lin_idx] += 0.5 * dv * c1;
+        v_c.abs() + 0.5 * dv.abs()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_for_all_layouts_p1() {
+        for &(c, v) in &[(1, 1), (1, 2), (1, 3), (2, 2), (2, 3), (3, 3)] {
+            let pk = PhaseKernels::build(BasisKind::Serendipity, PhaseLayout::new(c, v), 1);
+            assert_eq!(pk.np(), 1 << (c + v));
+            assert_eq!(pk.streaming.len(), c);
+            assert_eq!(pk.accel_vol.len(), v);
+            assert_eq!(pk.surfaces.len(), c + v);
+        }
+    }
+
+    #[test]
+    fn table1_dof_count() {
+        let pk = PhaseKernels::build(BasisKind::Serendipity, PhaseLayout::new(2, 3), 2);
+        assert_eq!(pk.np(), 112, "paper Table I: 112 DOF per cell");
+    }
+
+    #[test]
+    fn stream_face_alpha_is_velocity() {
+        let pk = PhaseKernels::build(BasisKind::Tensor, PhaseLayout::new(1, 2), 2);
+        let nf = pk.surfaces[0].kernel.face.len();
+        let mut af = vec![0.0; nf];
+        let lam = pk.stream_face_alpha(0, 1.2, 0.5, &mut af);
+        assert!((lam - 1.45).abs() < 1e-14);
+        // Evaluate α̂ on the face: must equal v at the face coordinates.
+        // Face dims of dir 0 in 1X2V: (vx, vy) at face dims (0, 1).
+        let fb = &pk.surfaces[0].kernel.face.basis;
+        for &xi in &[-1.0, -0.2, 0.6, 1.0f64] {
+            let got = fb.eval_expansion(&af, &[xi, 0.3]);
+            let want = 1.2 + 0.25 * xi;
+            assert!((got - want).abs() < 1e-13);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_more_config_than_velocity_dims() {
+        let _ = PhaseLayout::new(3, 2);
+    }
+}

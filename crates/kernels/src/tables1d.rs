@@ -1,0 +1,114 @@
+//! Exact 1D integral tables kept in `rational × √rational` form.
+//!
+//! Multi-dimensional kernel entries are *products* of 1D integrals. To keep
+//! the "computed analytically, rounded once" guarantee across that product,
+//! the per-dimension factors stay exact ([`SqrtRational`]) until the full
+//! product is assembled, and only then collapse to `f64`.
+
+use dg_poly::legendre::{self, SqrtRational};
+use dg_poly::rational::Rational;
+
+/// Exact 1D tables up to degree `pmax`.
+#[derive(Clone, Debug)]
+pub struct ExactTables {
+    pub pmax: usize,
+    tt: Vec<SqrtRational>,
+    dt: Vec<SqrtRational>,
+}
+
+impl ExactTables {
+    pub fn new(pmax: usize) -> Self {
+        let n = pmax + 1;
+        let mut tt = Vec::with_capacity(n * n * n);
+        let mut dt = Vec::with_capacity(n * n * n);
+        for a in 0..n {
+            for b in 0..n {
+                for c in 0..n {
+                    tt.push(legendre::triple_exact(a, b, c));
+                    dt.push(legendre::dtriple_exact(a, b, c));
+                }
+            }
+        }
+        ExactTables { pmax, tt, dt }
+    }
+
+    /// `∫ P̃_a P̃_b P̃_c dξ`, exact.
+    #[inline]
+    pub fn triple(&self, a: usize, b: usize, c: usize) -> SqrtRational {
+        let n = self.pmax + 1;
+        self.tt[(a * n + b) * n + c]
+    }
+
+    /// `∫ P̃_a' P̃_b P̃_c dξ`, exact.
+    #[inline]
+    pub fn dtriple(&self, a: usize, b: usize, c: usize) -> SqrtRational {
+        let n = self.pmax + 1;
+        self.dt[(a * n + b) * n + c]
+    }
+}
+
+/// Accumulates a product of exact 1D factors, collapsing to `f64` once.
+#[derive(Clone, Copy, Debug)]
+pub struct ExactProduct {
+    rational: Rational,
+    radicand: Rational,
+}
+
+impl ExactProduct {
+    pub fn one() -> Self {
+        ExactProduct {
+            rational: Rational::ONE,
+            radicand: Rational::ONE,
+        }
+    }
+
+    pub fn is_zero(&self) -> bool {
+        self.rational.is_zero()
+    }
+
+    #[must_use]
+    pub fn times(mut self, f: SqrtRational) -> Self {
+        self.rational *= f.rational;
+        if !self.rational.is_zero() {
+            self.radicand *= f.radicand;
+        }
+        self
+    }
+
+    /// One rounding, exactly as the paper's CAS pipeline emits doubles.
+    pub fn to_f64(&self) -> f64 {
+        self.rational.to_f64() * self.radicand.to_f64().sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_tables_match_f64_tables() {
+        let et = ExactTables::new(3);
+        let ft = dg_poly::tables::Tables1d::new(3);
+        for a in 0..4 {
+            for b in 0..4 {
+                for c in 0..4 {
+                    assert!((et.triple(a, b, c).to_f64() - ft.triple(a, b, c)).abs() < 1e-15);
+                    assert!((et.dtriple(a, b, c).to_f64() - ft.dtriple(a, b, c)).abs() < 1e-15);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn exact_product_accumulates() {
+        let et = ExactTables::new(2);
+        // (∫P̃0³)² = 1/2 exactly.
+        let p = ExactProduct::one()
+            .times(et.triple(0, 0, 0))
+            .times(et.triple(0, 0, 0));
+        assert!((p.to_f64() - 0.5).abs() < 1e-15);
+        // Zero factor annihilates.
+        let z = ExactProduct::one().times(et.triple(0, 0, 1));
+        assert!(z.is_zero());
+    }
+}

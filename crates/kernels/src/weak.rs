@@ -1,0 +1,134 @@
+//! Weak (Galerkin) binary operations on configuration-space expansions.
+//!
+//! The Dougherty/Lenard–Bernstein collision operator needs *primitive*
+//! moments — flow velocity `u = M1/M0` and thermal speed squared
+//! `vth² = (M2 − u·M1)/(d_v M0)` — which require dividing one DG expansion
+//! by another. Following Gkeyll, division is defined weakly: find `u_h`
+//! with `⟨φ_l, u_h ρ_h⟩ = ⟨φ_l, m_h⟩` for all test functions, a small dense
+//! solve per configuration cell with the exact triple-product tensor as the
+//! bilinear form.
+
+use crate::linalg::{DMat, Lu};
+use crate::tables1d::ExactTables;
+use crate::triple::{build_triple, DimTable, SparseTriple, TripleSpec};
+use dg_basis::Basis;
+
+/// Weak multiply/divide operator set on one configuration basis.
+#[derive(Clone, Debug)]
+pub struct WeakOps {
+    np: usize,
+    /// `t_lmn = ∫ φ_l φ_m φ_n dξ` (all-Mass triple tensor).
+    tensor: SparseTriple,
+}
+
+impl WeakOps {
+    pub fn build(conf: &Basis, tables: &ExactTables) -> Self {
+        let dim_tables = vec![DimTable::Mass; conf.ndim()];
+        let spec = TripleSpec {
+            basis_l: conf,
+            basis_m: conf,
+            basis_n: conf,
+            dim_tables: &dim_tables,
+            m_caps: None,
+            m_filter: None,
+        };
+        WeakOps {
+            np: conf.len(),
+            tensor: build_triple(&spec, tables),
+        }
+    }
+
+    /// Weak product: `out_l = ⟨φ_l, a_h b_h⟩` (the L2 projection of the
+    /// pointwise product back onto the basis). `out` is accumulated.
+    pub fn multiply_acc(&self, a: &[f64], b: &[f64], out: &mut [f64]) {
+        self.tensor.apply(a, b, 1.0, out);
+    }
+
+    /// Weak division `out = m / ρ`: solves `A(ρ) out = m` with
+    /// `A_lk = Σ_m t_lmk ρ_m`. Returns `false` (and leaves `out` zeroed) if
+    /// the local system is singular — e.g. vacuum cells with `ρ_h ≈ 0`.
+    pub fn divide(&self, rho: &[f64], m: &[f64], out: &mut [f64]) -> bool {
+        let n = self.np;
+        let mut a = DMat::zeros(n, n);
+        for e in &self.tensor.entries {
+            *a.at_mut(e.l as usize, e.n as usize) += e.coeff * rho[e.m as usize];
+        }
+        match Lu::factor(a) {
+            Some(lu) => {
+                lu.solve(m, out);
+                true
+            }
+            None => {
+                out.fill(0.0);
+                false
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dg_basis::BasisKind;
+
+    fn ops(ndim: usize, p: usize) -> (Basis, WeakOps) {
+        let b = Basis::new(BasisKind::Serendipity, ndim, p);
+        let t = ExactTables::new(p);
+        let w = WeakOps::build(&b, &t);
+        (b, w)
+    }
+
+    #[test]
+    fn multiply_by_projected_constant_is_identity() {
+        let (b, w) = ops(2, 2);
+        let mut one = vec![0.0; b.len()];
+        one[0] = dg_basis::expand::const_coeff(&b);
+        let f: Vec<f64> = (0..b.len()).map(|i| (i as f64 * 0.31).sin()).collect();
+        let mut out = vec![0.0; b.len()];
+        w.multiply_acc(&one, &f, &mut out);
+        for i in 0..b.len() {
+            assert!((out[i] - f[i]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn divide_inverts_multiply_for_positive_denominators() {
+        let (b, w) = ops(1, 2);
+        // ρ strictly positive on the cell.
+        let mut rho = vec![0.0; b.len()];
+        rho[0] = 3.0 * dg_basis::expand::const_coeff(&b);
+        rho[1] = 0.4;
+        let u_true: Vec<f64> = (0..b.len()).map(|i| 0.3 - 0.1 * i as f64).collect();
+        let mut m = vec![0.0; b.len()];
+        w.multiply_acc(&rho, &u_true, &mut m);
+        let mut u = vec![0.0; b.len()];
+        assert!(w.divide(&rho, &m, &mut u));
+        for i in 0..b.len() {
+            assert!((u[i] - u_true[i]).abs() < 1e-11, "mode {i}: {} vs {}", u[i], u_true[i]);
+        }
+    }
+
+    #[test]
+    fn divide_detects_vacuum() {
+        let (b, w) = ops(1, 1);
+        let rho = vec![0.0; b.len()];
+        let m = vec![1.0; b.len()];
+        let mut u = vec![1.0; b.len()];
+        assert!(!w.divide(&rho, &m, &mut u));
+        assert!(u.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn weak_multiply_is_symmetric() {
+        let (b, w) = ops(2, 1);
+        let a: Vec<f64> = (0..b.len()).map(|i| 0.2 * i as f64 - 0.3).collect();
+        let c: Vec<f64> = (0..b.len()).map(|i| (i as f64).cos()).collect();
+        let mut ac = vec![0.0; b.len()];
+        let mut ca = vec![0.0; b.len()];
+        w.multiply_acc(&a, &c, &mut ac);
+        w.multiply_acc(&c, &a, &mut ca);
+        for i in 0..b.len() {
+            assert!((ac[i] - ca[i]).abs() < 1e-13);
+        }
+    }
+}

@@ -1,0 +1,128 @@
+//! Rank decomposition of the configuration grid.
+//!
+//! Configuration space is split into slabs along dimension 0 (the slowest
+//! index), so each rank's phase-space cells — and its slice of every
+//! configuration-space field — are contiguous. Faces normal to dimension 0
+//! that sit between slabs are the "halo" faces: both adjacent ranks
+//! evaluate the shared flux (the analogue of exchanging one ghost layer)
+//! and each writes only its own side.
+
+use dg_grid::{slab, PhaseGrid};
+use std::ops::Range;
+
+/// A slab decomposition into `ranks` pieces.
+#[derive(Clone, Debug)]
+pub struct RankDecomp {
+    /// Per-rank range of dim-0 configuration indices.
+    pub slabs: Vec<Range<usize>>,
+    /// Cells per unit of dim-0 (product of remaining conf dims).
+    pub stride0: usize,
+    /// Velocity cells per configuration cell.
+    pub nv: usize,
+    /// Total dim-0 extent.
+    pub n0: usize,
+}
+
+impl RankDecomp {
+    pub fn new(grid: &PhaseGrid, ranks: usize) -> Self {
+        let n0 = grid.conf.cells()[0];
+        assert!(ranks >= 1);
+        RankDecomp {
+            slabs: slab::slab_ranges(n0, ranks),
+            stride0: grid.conf.len() / n0,
+            nv: grid.vel.len(),
+            n0,
+        }
+    }
+
+    pub fn ranks(&self) -> usize {
+        self.slabs.len()
+    }
+
+    /// Linear configuration-cell range of one rank.
+    pub fn conf_range(&self, rank: usize) -> Range<usize> {
+        let s = &self.slabs[rank];
+        s.start * self.stride0..s.end * self.stride0
+    }
+
+    /// Linear *phase*-cell range of one rank (conf-major layout).
+    pub fn phase_range(&self, rank: usize) -> Range<usize> {
+        let c = self.conf_range(rank);
+        c.start * self.nv..c.end * self.nv
+    }
+
+    /// Phase-cell boundaries for [`dg_grid::DgField::split_cells_mut`].
+    pub fn phase_boundaries(&self) -> Vec<usize> {
+        (1..self.ranks())
+            .map(|r| self.phase_range(r).start)
+            .collect()
+    }
+
+    /// Conf-cell boundaries for splitting configuration-space fields.
+    pub fn conf_boundaries(&self) -> Vec<usize> {
+        (1..self.ranks())
+            .map(|r| self.conf_range(r).start)
+            .collect()
+    }
+
+    /// Is this dim-0 slab boundary interior to rank `rank` (both cells
+    /// owned)?
+    pub fn owns_dim0(&self, rank: usize, i0: usize) -> bool {
+        self.slabs[rank].contains(&i0)
+    }
+
+    /// Bytes of distribution-function halo data that one rank would send
+    /// per direction-0 exchange in a genuinely distributed setting: one
+    /// layer of configuration cells × the velocity grid × Np coefficients ×
+    /// 8 bytes, both faces.
+    pub fn halo_bytes(&self, np: usize) -> usize {
+        2 * self.stride0 * self.nv * np * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dg_grid::{Bc, CartGrid};
+
+    fn grid(n0: usize) -> PhaseGrid {
+        PhaseGrid::new(
+            CartGrid::new(&[0.0, 0.0], &[1.0, 1.0], &[n0, 3]),
+            CartGrid::new(&[-1.0, -1.0], &[1.0, 1.0], &[4, 2]),
+            vec![Bc::Periodic, Bc::Periodic],
+        )
+    }
+
+    #[test]
+    fn ranges_partition_phase_space() {
+        let g = grid(8);
+        let d = RankDecomp::new(&g, 3);
+        let mut covered = 0;
+        for r in 0..3 {
+            covered += d.phase_range(r).len();
+        }
+        assert_eq!(covered, g.len());
+        assert_eq!(d.phase_range(0).start, 0);
+        assert_eq!(d.phase_range(2).end, g.len());
+        // Ranges are contiguous and ordered.
+        assert_eq!(d.phase_range(0).end, d.phase_range(1).start);
+    }
+
+    #[test]
+    fn boundaries_match_ranges() {
+        let g = grid(7);
+        let d = RankDecomp::new(&g, 3);
+        let b = d.phase_boundaries();
+        assert_eq!(b.len(), 2);
+        assert_eq!(b[0], d.phase_range(1).start);
+        assert_eq!(b[1], d.phase_range(2).start);
+    }
+
+    #[test]
+    fn halo_volume_counts_one_ghost_layer() {
+        let g = grid(8);
+        let d = RankDecomp::new(&g, 2);
+        // stride0 = 3 conf cells, nv = 8, Np = 5 → 2·3·8·5·8 bytes.
+        assert_eq!(d.halo_bytes(5), 2 * 3 * 8 * 5 * 8);
+    }
+}

@@ -1,0 +1,327 @@
+//! The rank-parallel Vlasov–Maxwell step.
+//!
+//! Reproduces `dg_core::system::VlasovMaxwell::rhs` with the species update
+//! executed rank-parallel. Contribution order within every cell is kept
+//! identical to the serial sweep (volume → dim-0 surfaces in ascending face
+//! order → remaining configuration surfaces → velocity surfaces), so the
+//! result is **bit-identical** to serial — floating-point addition order
+//! included. The wrap-around face of the periodic dim-0 direction is the
+//! one place this needs care: the serial sweep visits it last, so rank 0
+//! applies its received side *after* its interior faces while the last
+//! rank applies its sending side in natural order.
+
+use crate::decomp::RankDecomp;
+use dg_core::moments::MomentScratch;
+use dg_core::ssprk::ssp_rk3_generic;
+use dg_core::system::{SystemState, VlasovMaxwell};
+use dg_core::vlasov::VlasovWorkspace;
+use dg_grid::{CellStoreMut, DgField};
+use rayon::ThreadPool;
+
+/// Parallel driver wrapping a [`VlasovMaxwell`] system.
+pub struct ParVlasovMaxwell {
+    pub system: VlasovMaxwell,
+    pub decomp: RankDecomp,
+    pool: ThreadPool,
+    scratch_j: DgField,
+    scratch_rho: DgField,
+}
+
+impl ParVlasovMaxwell {
+    /// `ranks` simulated MPI ranks on `threads` OS threads (oversubscribe
+    /// freely: ranks are units of decomposition, threads of execution).
+    pub fn new(system: VlasovMaxwell, ranks: usize, threads: usize) -> Self {
+        let decomp = RankDecomp::new(&system.grid, ranks);
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("worker pool");
+        let nconf = system.grid.conf.len();
+        let nc = system.kernels.nc();
+        ParVlasovMaxwell {
+            system,
+            decomp,
+            pool,
+            scratch_j: DgField::zeros(nconf, 3 * nc),
+            scratch_rho: DgField::zeros(nconf, nc),
+        }
+    }
+
+    /// Rank-local kinetic RHS for one species: the exact work one MPI rank
+    /// performs per stage in the paper's decomposition.
+    #[allow(clippy::too_many_arguments)]
+    fn rank_species_rhs<S: CellStoreMut>(
+        system: &VlasovMaxwell,
+        decomp: &RankDecomp,
+        rank: usize,
+        qm: f64,
+        f: &DgField,
+        em: &DgField,
+        out: &mut S,
+        ws: &mut VlasovWorkspace,
+    ) {
+        let op = &system.vlasov;
+        let grid = &system.grid;
+        let cdim = grid.cdim();
+        let conf_range = decomp.conf_range(rank);
+        let slab = decomp.slabs[rank].clone();
+        if slab.is_empty() {
+            return; // more ranks than dim-0 slabs: idle rank
+        }
+        let n0 = decomp.n0;
+        let stride0 = decomp.stride0;
+
+        // Volume everywhere in the rank.
+        op.volume(qm, f, em, out, ws, conf_range.clone());
+
+        // dim-0 surfaces. Serial order: faces by ascending lower-cell index;
+        // the wrap face (n0−1 → 0) comes last.
+        let apply_dim0 = |i0_lo: usize,
+                              i0_hi: usize,
+                              write_lo: bool,
+                              write_hi: bool,
+                              out: &mut S,
+                              ws: &mut VlasovWorkspace| {
+            for rest in 0..stride0 {
+                let clo = i0_lo * stride0 + rest;
+                let chi = i0_hi * stride0 + rest;
+                op.surface_config_face(0, f, out, ws, clo, chi, write_lo, write_hi);
+            }
+        };
+        // Halo face below this slab (received side), except for rank 0
+        // whose below-face is the wrap face, handled last like the serial
+        // sweep does.
+        if slab.start > 0 {
+            apply_dim0(slab.start - 1, slab.start, false, true, out, ws);
+        }
+        // Interior faces of the slab.
+        for i0 in slab.start..slab.end.saturating_sub(1) {
+            apply_dim0(i0, i0 + 1, true, true, out, ws);
+        }
+        // Face above the slab (sending side) or, for the last rank, the
+        // periodic wrap (write_lo); rank 0 then also receives the wrap.
+        if slab.end < n0 {
+            apply_dim0(slab.end - 1, slab.end, true, false, out, ws);
+        } else if n0 > 1 {
+            apply_dim0(n0 - 1, 0, true, false, out, ws);
+        }
+        if slab.start == 0 && n0 > 1 {
+            apply_dim0(n0 - 1, 0, false, true, out, ws);
+        }
+
+        // Remaining configuration directions stay inside the slab.
+        for d in 1..cdim {
+            op.surface_config(d, f, out, ws, conf_range.clone());
+        }
+        // Velocity surfaces are cell-local in configuration space.
+        op.surface_velocity(qm, f, em, out, ws, conf_range);
+    }
+
+    /// Full coupled RHS, rank-parallel species updates.
+    pub fn rhs(&mut self, state: &SystemState, out: &mut SystemState) {
+        out.fill(0.0);
+        let system = &self.system;
+        let decomp = &self.decomp;
+        let boundaries = decomp.phase_boundaries();
+        for (s, sp) in system.species.iter().enumerate() {
+            let qm = sp.qm();
+            let f = &state.species_f[s];
+            let em = &state.em;
+            let mut views = out.species_f[s].split_cells_mut(&boundaries);
+            self.pool.scope(|scope| {
+                for (rank, view) in views.iter_mut().enumerate() {
+                    scope.spawn(move |_| {
+                        let mut ws = VlasovWorkspace::for_kernels(&system.kernels);
+                        Self::rank_species_rhs(system, decomp, rank, qm, f, em, view, &mut ws);
+                    });
+                }
+            });
+        }
+        // Field + coupling. Moments are rank-parallel over disjoint
+        // configuration slices (no all-reduce in velocity space — the
+        // paper's point about the shared-memory layer).
+        if system.evolve_field {
+            system.maxwell.rhs(&state.em, &mut out.em);
+            self.scratch_j.fill(0.0);
+            self.scratch_rho.fill(0.0);
+            let conf_bounds = decomp.conf_boundaries();
+            let mut j_views = self.scratch_j.split_cells_mut(&conf_bounds);
+            let mut rho_views = self.scratch_rho.split_cells_mut(&conf_bounds);
+            self.pool.scope(|scope| {
+                for (rank, (jv, rv)) in j_views.iter_mut().zip(rho_views.iter_mut()).enumerate() {
+                    scope.spawn(move |_| {
+                        let range = decomp.conf_range(rank);
+                        let mut mws = MomentScratch::default();
+                        for (s, sp) in system.species.iter().enumerate() {
+                            accumulate_current_view(
+                                system,
+                                sp.charge,
+                                &state.species_f[s],
+                                jv,
+                                if system.track_charge { Some(rv) } else { None },
+                                range.clone(),
+                                &mut mws,
+                            );
+                        }
+                    });
+                }
+            });
+            if system.track_charge && system.background_charge != 0.0 {
+                let c0 = dg_basis::expand::const_coeff(&system.kernels.conf_basis);
+                for c in 0..system.grid.conf.len() {
+                    self.scratch_rho.cell_mut(c)[0] -= system.background_charge * c0;
+                }
+            }
+            system.maxwell.add_sources(
+                &self.scratch_j,
+                if system.track_charge {
+                    Some(&self.scratch_rho)
+                } else {
+                    None
+                },
+                &mut out.em,
+            );
+        }
+    }
+
+    /// One SSP-RK3 step through the parallel RHS.
+    pub fn step(
+        &mut self,
+        state: &mut SystemState,
+        stage: &mut SystemState,
+        rhs_buf: &mut SystemState,
+        dt: f64,
+    ) {
+        let this: *mut ParVlasovMaxwell = self;
+        ssp_rk3_generic(state, stage, rhs_buf, dt, |s, o| {
+            // SAFETY: the generic stepper invokes the closure serially and
+            // its arguments never alias `self`'s internals.
+            unsafe { (*this).rhs(s, o) }
+        });
+    }
+}
+
+/// Moment accumulation into rank-local views (global conf indices).
+fn accumulate_current_view<S: CellStoreMut>(
+    system: &VlasovMaxwell,
+    charge: f64,
+    f: &DgField,
+    j_out: &mut S,
+    mut rho_out: Option<&mut S>,
+    conf_range: std::ops::Range<usize>,
+    _ws: &mut MomentScratch,
+) {
+    let kernels = &system.kernels;
+    let grid = &system.grid;
+    let vdim = grid.vdim();
+    let nc = kernels.nc();
+    let nv = grid.vel.len();
+    let jv = grid.vel_jacobian();
+    let mut vidx = vec![0usize; vdim];
+    for clin in conf_range {
+        for vlin in 0..nv {
+            grid.vel.delinearize(vlin, &mut vidx);
+            let fc = f.cell(clin * nv + vlin);
+            let jc = j_out.cell_mut(clin);
+            for j in 0..vdim {
+                let vc = grid.vel.center(j, vidx[j]);
+                kernels.moments.accumulate_m1(
+                    j,
+                    fc,
+                    charge * jv,
+                    vc,
+                    grid.vel.dx()[j],
+                    &mut jc[j * nc..(j + 1) * nc],
+                );
+            }
+            if let Some(rho) = rho_out.as_deref_mut() {
+                kernels
+                    .moments
+                    .accumulate_m0(fc, charge * jv, rho.cell_mut(clin));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dg_basis::BasisKind;
+    use dg_core::app::{AppBuilder, FieldSpec, SpeciesSpec};
+    use dg_core::species::maxwellian;
+
+    fn make_app(nx: usize) -> dg_core::app::App {
+        let kx = 0.5;
+        AppBuilder::new()
+            .conf_grid(&[0.0], &[2.0 * std::f64::consts::PI / kx], &[nx])
+            .poly_order(1)
+            .basis(BasisKind::Serendipity)
+            .species(
+                SpeciesSpec::new("elc", -1.0, 1.0, &[-6.0, -6.0], &[6.0, 6.0], &[6, 6]).initial(
+                    move |x, v| {
+                        maxwellian(1.0 + 0.08 * (kx * x[0]).cos(), &[0.3, -0.2], 1.0, v)
+                    },
+                ),
+            )
+            .field(FieldSpec::new(2.0).with_poisson_init().cleaning(1.0, 1.0))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn parallel_rhs_is_bit_identical_to_serial() {
+        for ranks in [1usize, 2, 3, 5] {
+            let mut app = make_app(7);
+            let mut serial_out = app.system.new_state();
+            let mut ws = VlasovWorkspace::for_kernels(&app.system.kernels);
+            let state = app.state.clone();
+            app.system.rhs(&state, &mut serial_out, &mut ws);
+
+            let app2 = make_app(7);
+            let mut par = ParVlasovMaxwell::new(app2.system, ranks, 2);
+            let mut par_out = par.system.new_state();
+            par.rhs(&state, &mut par_out);
+
+            assert_eq!(
+                serial_out.species_f[0].as_slice(),
+                par_out.species_f[0].as_slice(),
+                "ranks={ranks}: species RHS must be bit-identical"
+            );
+            assert_eq!(
+                serial_out.em.as_slice(),
+                par_out.em.as_slice(),
+                "ranks={ranks}: EM RHS must be bit-identical"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_steps_track_serial_exactly() {
+        let mut app = make_app(6);
+        app.set_fixed_dt(5e-4);
+        let app2 = make_app(6);
+        let mut par = ParVlasovMaxwell::new(app2.system, 3, 2);
+        let mut p_state = app2.state;
+        let mut stage = par.system.new_state();
+        let mut rhs = par.system.new_state();
+        for _ in 0..5 {
+            app.step().unwrap();
+            par.step(&mut p_state, &mut stage, &mut rhs, 5e-4);
+        }
+        assert_eq!(
+            app.state.species_f[0].as_slice(),
+            p_state.species_f[0].as_slice()
+        );
+        assert_eq!(app.state.em.as_slice(), p_state.em.as_slice());
+    }
+
+    #[test]
+    fn more_ranks_than_slabs_degenerates_gracefully() {
+        let app = make_app(3);
+        let mut par = ParVlasovMaxwell::new(app.system, 8, 2);
+        let state = app.state.clone();
+        let mut out = par.system.new_state();
+        par.rhs(&state, &mut out); // empty slabs must be harmless
+        assert!(out.species_f[0].max_abs().is_finite());
+    }
+}

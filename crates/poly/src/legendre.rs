@@ -1,0 +1,252 @@
+//! The Legendre polynomial family, exactly.
+//!
+//! The modal DG basis of the paper is built from *orthonormal* Legendre
+//! polynomials on the reference interval:
+//!
+//! ```text
+//! P̃_k(ξ) = √((2k+1)/2) · P_k(ξ),     ∫_{-1}^{1} P̃_a P̃_b dξ = δ_ab .
+//! ```
+//!
+//! We keep the rational part (`P_k`) and the square-root normalization
+//! separate: every kernel entry is `(product of norms) × (exact rational)`,
+//! with the norms combined under a single square root so the final `f64`
+//! value suffers exactly one rounding — the same "exact, then emit doubles"
+//! discipline as the paper's Maxima pipeline.
+
+use crate::poly1::Poly1;
+use crate::rational::Rational;
+
+/// The classical Legendre polynomial `P_k` (rational coefficients) via the
+/// three-term recurrence `(k+1) P_{k+1} = (2k+1) ξ P_k − k P_{k−1}`.
+pub fn legendre(k: usize) -> Poly1 {
+    let mut prev = Poly1::constant(Rational::ONE); // P_0
+    if k == 0 {
+        return prev;
+    }
+    let x = Poly1::x();
+    let mut cur = x.clone(); // P_1
+    for n in 1..k {
+        let a = Rational::new((2 * n + 1) as i128, (n + 1) as i128);
+        let b = Rational::new(n as i128, (n + 1) as i128);
+        let next = &(&x * &cur).scale(a) - &prev.scale(b);
+        prev = cur;
+        cur = next;
+    }
+    cur
+}
+
+/// The *square* of the orthonormalization factor: `ν_k² = (2k+1)/2`, so that
+/// `P̃_k = ν_k P_k` has unit L2 norm on `[-1,1]`. Kept squared so it stays
+/// rational.
+pub fn norm_sq(k: usize) -> Rational {
+    Rational::new((2 * k + 1) as i128, 2)
+}
+
+/// `P̃_k(±1) = (±1)^k √((2k+1)/2)` — the edge traces used by every surface
+/// kernel. `side` is `-1` or `+1`.
+pub fn edge_value(k: usize, side: i32) -> f64 {
+    debug_assert!(side == 1 || side == -1);
+    let sign = if side < 0 && k % 2 == 1 { -1.0 } else { 1.0 };
+    sign * norm_sq(k).to_f64().sqrt()
+}
+
+/// An exact value of the form `r · √(s)` with `r, s` rational, the closed
+/// form of every 1D integral of orthonormal-Legendre products. Rounded to
+/// `f64` exactly once by [`SqrtRational::to_f64`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SqrtRational {
+    /// Rational prefactor.
+    pub rational: Rational,
+    /// Rational radicand (product of `ν²` factors); must be non-negative.
+    pub radicand: Rational,
+}
+
+impl SqrtRational {
+    pub fn zero() -> Self {
+        SqrtRational {
+            rational: Rational::ZERO,
+            radicand: Rational::ONE,
+        }
+    }
+
+    pub fn is_zero(&self) -> bool {
+        self.rational.is_zero()
+    }
+
+    pub fn to_f64(&self) -> f64 {
+        self.rational.to_f64() * self.radicand.to_f64().sqrt()
+    }
+}
+
+/// Exact `∫_{-1}^{1} P̃_a P̃_b dξ` (orthonormality check / mass matrix).
+pub fn mass_exact(a: usize, b: usize) -> SqrtRational {
+    let p = &legendre(a) * &legendre(b);
+    SqrtRational {
+        rational: p.integrate_ref(),
+        radicand: norm_sq(a) * norm_sq(b),
+    }
+}
+
+/// Exact `∫_{-1}^{1} P̃_a P̃_b P̃_c dξ` — the 1D factor of the volume tensor
+/// `C_lmn` and of the face product tensor `D_abc`.
+pub fn triple_exact(a: usize, b: usize, c: usize) -> SqrtRational {
+    let p = &(&legendre(a) * &legendre(b)) * &legendre(c);
+    SqrtRational {
+        rational: p.integrate_ref(),
+        radicand: norm_sq(a) * norm_sq(b) * norm_sq(c),
+    }
+}
+
+/// Exact `∫_{-1}^{1} P̃_a' P̃_b P̃_c dξ` — the differentiated 1D factor of
+/// `C_lmn = ∫ ∂w_l w_m w_n` along the flux direction.
+pub fn dtriple_exact(a: usize, b: usize, c: usize) -> SqrtRational {
+    let p = &(&legendre(a).derivative() * &legendre(b)) * &legendre(c);
+    SqrtRational {
+        rational: p.integrate_ref(),
+        radicand: norm_sq(a) * norm_sq(b) * norm_sq(c),
+    }
+}
+
+/// Exact `∫_{-1}^{1} P̃_a' P̃_b dξ` — the gradient-mass pair used by linear
+/// (Maxwell) volume kernels.
+pub fn grad_mass_exact(a: usize, b: usize) -> SqrtRational {
+    let p = &legendre(a).derivative() * &legendre(b);
+    SqrtRational {
+        rational: p.integrate_ref(),
+        radicand: norm_sq(a) * norm_sq(b),
+    }
+}
+
+/// Exact `∫_{-1}^{1} ξ^j P̃_k dξ` — moment weights (`j ≤ 2` used for number
+/// density, momentum and energy moments).
+pub fn power_moment_exact(j: usize, k: usize) -> SqrtRational {
+    let mut xj = Poly1::constant(Rational::ONE);
+    for _ in 0..j {
+        xj = &xj * &Poly1::x();
+    }
+    let p = &xj * &legendre(k);
+    SqrtRational {
+        rational: p.integrate_ref(),
+        radicand: norm_sq(k),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(n: i128, d: i128) -> Rational {
+        Rational::new(n, d)
+    }
+
+    #[test]
+    fn first_few_legendre() {
+        assert_eq!(legendre(0).coeffs(), &[Rational::ONE]);
+        assert_eq!(legendre(1).coeffs(), &[Rational::ZERO, Rational::ONE]);
+        // P_2 = (3ξ² − 1)/2
+        assert_eq!(legendre(2).coeffs(), &[r(-1, 2), r(0, 1), r(3, 2)]);
+        // P_3 = (5ξ³ − 3ξ)/2
+        assert_eq!(legendre(3).coeffs(), &[r(0, 1), r(-3, 2), r(0, 1), r(5, 2)]);
+        // P_4 = (35ξ⁴ − 30ξ² + 3)/8
+        assert_eq!(
+            legendre(4).coeffs(),
+            &[r(3, 8), r(0, 1), r(-30, 8), r(0, 1), r(35, 8)]
+        );
+    }
+
+    #[test]
+    fn orthonormality_exact() {
+        for a in 0..6 {
+            for b in 0..6 {
+                let m = mass_exact(a, b);
+                if a == b {
+                    // ∫ P̃_k² = ν² ∫ P_k² = ν² · 2/(2k+1) = 1, so the rational
+                    // part times √(radicand) must equal 1 ⇒ rational² · radicand = 1.
+                    assert_eq!(m.rational.pow(2) * m.radicand, Rational::ONE);
+                } else {
+                    assert!(m.is_zero(), "P̃_{a} and P̃_{b} not orthogonal");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn legendre_at_one_is_one() {
+        for k in 0..8 {
+            assert_eq!(legendre(k).eval(Rational::ONE), Rational::ONE);
+            assert_eq!(
+                legendre(k).eval(-Rational::ONE),
+                if k % 2 == 0 { Rational::ONE } else { -Rational::ONE }
+            );
+        }
+    }
+
+    #[test]
+    fn edge_values() {
+        for k in 0..5 {
+            let want = (norm_sq(k).to_f64()).sqrt();
+            assert!((edge_value(k, 1) - want).abs() < 1e-15);
+            let sign = if k % 2 == 0 { 1.0 } else { -1.0 };
+            assert!((edge_value(k, -1) - sign * want).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn triple_product_selection_rules() {
+        for a in 0..5 {
+            for b in 0..5 {
+                for c in 0..5 {
+                    let t = triple_exact(a, b, c);
+                    // Parity: a+b+c odd ⇒ zero. Triangle: c > a+b (any perm) ⇒ zero.
+                    if (a + b + c) % 2 == 1 || c > a + b || a > b + c || b > a + c {
+                        assert!(t.is_zero(), "t[{a}][{b}][{c}] should vanish");
+                    } else {
+                        assert!(!t.is_zero(), "t[{a}][{b}][{c}] should not vanish");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn known_triple_values() {
+        // ∫ P̃_0³ = (1/√2)³ · 2 = 1/√2 ≈ 0.7071…
+        assert!((triple_exact(0, 0, 0).to_f64() - 1.0 / 2.0_f64.sqrt()).abs() < 1e-15);
+        // ∫ P̃_0 P̃_1 P̃_1 = (1/√2) since P̃_0 constant and ⟨P̃_1,P̃_1⟩=1.
+        assert!((triple_exact(0, 1, 1).to_f64() - 1.0 / 2.0_f64.sqrt()).abs() < 1e-15);
+        // ∫ P̃_1 P̃_1 P̃_2: P_1² = (2P_2 + P_0)/3 ⇒ ∫P_1P_1P_2 = (2/3)(2/5) = 4/15.
+        let t = triple_exact(1, 1, 2);
+        assert_eq!(t.rational, r(4, 15));
+    }
+
+    #[test]
+    fn dtriple_vs_integration_by_parts() {
+        // ∫ P̃_a' P̃_b P̃_c = [P̃_a P̃_b P̃_c] − ∫ P̃_a (P̃_b P̃_c)'
+        for a in 0..4 {
+            for b in 0..4 {
+                for c in 0..4 {
+                    let lhs = dtriple_exact(a, b, c).to_f64();
+                    let boundary = edge_value(a, 1) * edge_value(b, 1) * edge_value(c, 1)
+                        - edge_value(a, -1) * edge_value(b, -1) * edge_value(c, -1);
+                    let rhs =
+                        boundary - dtriple_exact(b, a, c).to_f64() - dtriple_exact(c, b, a).to_f64();
+                    assert!((lhs - rhs).abs() < 1e-12, "IBP failed at {a},{b},{c}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn power_moments() {
+        // ∫ 1·P̃_0 = √2 ; ∫ ξ P̃_1 = √(2/3) ; ∫ ξ² P̃_0 = (2/3)·√(1/2)⁻¹…
+        assert!((power_moment_exact(0, 0).to_f64() - 2.0_f64.sqrt()).abs() < 1e-15);
+        assert!((power_moment_exact(1, 1).to_f64() - (2.0 / 3.0_f64).sqrt()).abs() < 1e-15);
+        // ∫ ξ² P̃_2 dξ = ν_2 ∫ ξ² P_2 = √(5/2) · 4/15
+        let want = (2.5_f64).sqrt() * 4.0 / 15.0;
+        assert!((power_moment_exact(2, 2).to_f64() - want).abs() < 1e-15);
+        // Odd/even selection.
+        assert!(power_moment_exact(1, 0).is_zero());
+        assert!(power_moment_exact(2, 1).is_zero());
+        assert!(power_moment_exact(0, 2).is_zero());
+    }
+}

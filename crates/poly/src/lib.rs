@@ -1,0 +1,42 @@
+//! # dg-poly — the exact-integration substrate
+//!
+//! The paper (Hakim & Juno, SC 2020) evaluates every integral appearing in
+//! the DG weak form *analytically* with the Maxima computer algebra system,
+//! and only then writes the results out to double precision. That exactness
+//! is what makes the scheme **alias-free**: products such as `α_h f_h` are
+//! never sampled at nodes or quadrature points, so no unresolved polynomial
+//! content is folded back onto resolved modes.
+//!
+//! This crate is our Maxima substitute. It provides:
+//!
+//! * [`Rational`] — exact rational arithmetic over `i128` (all integrals of
+//!   Legendre-polynomial products on `[-1,1]` are rational up to a common
+//!   `√` normalization factor, which we track symbolically);
+//! * [`Poly1`] — dense univariate polynomials with rational coefficients;
+//! * [`legendre`] — the Legendre family via its exact three-term recurrence;
+//! * [`tables`] — the exact 1D integral tables (mass, gradient, triple
+//!   products, edge traces) from which every multi-dimensional DG kernel in
+//!   `dg-kernels` is assembled by per-dimension factorization;
+//! * [`MPoly`] — sparse multivariate polynomials, used by the test-suite to
+//!   verify each generated kernel against a brute-force symbolic integration
+//!   (the same closed loop one would run against Maxima itself);
+//! * [`quad`] — Gauss–Legendre rules. These are **not** used by the modal
+//!   solver (it is quadrature-free); they exist for (a) projecting initial
+//!   conditions and (b) the alias-free *nodal* baseline of Juno et al. 2018
+//!   that Table I of the paper compares against.
+
+pub mod legendre;
+pub mod mpoly;
+pub mod poly1;
+pub mod quad;
+pub mod rational;
+pub mod tables;
+
+pub use mpoly::MPoly;
+pub use poly1::Poly1;
+pub use rational::Rational;
+
+/// Maximum phase-space dimensionality supported (3 configuration + 3
+/// velocity). Multi-indices are stored as fixed `[u8; MAX_DIM]` arrays so the
+/// hot kernel-construction paths never allocate per index.
+pub const MAX_DIM: usize = 6;

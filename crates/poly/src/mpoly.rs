@@ -1,0 +1,277 @@
+//! Sparse multivariate polynomials with exact rational coefficients.
+//!
+//! This is the verification layer: `dg-kernels` assembles its sparse tensors
+//! from *factorized* 1D tables, and the test-suites rebuild the same basis
+//! functions here as full multivariate polynomials, multiply them out
+//! symbolically, and integrate exactly over the reference cube. Agreement of
+//! the two pipelines (to one `f64` rounding) is the machine-checkable
+//! equivalent of trusting the paper's Maxima scripts.
+
+use crate::rational::Rational;
+use crate::MAX_DIM;
+use std::collections::BTreeMap;
+
+/// Monomial exponents, fixed width; dims beyond `ndim` must stay zero.
+pub type Exps = [u8; MAX_DIM];
+
+/// A sparse multivariate polynomial over `ξ_0 … ξ_{ndim-1}`.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct MPoly {
+    terms: BTreeMap<Exps, Rational>,
+}
+
+impl MPoly {
+    pub fn zero() -> Self {
+        MPoly::default()
+    }
+
+    pub fn constant(c: Rational) -> Self {
+        let mut p = MPoly::zero();
+        p.add_term([0; MAX_DIM], c);
+        p
+    }
+
+    /// The coordinate monomial `ξ_dim`.
+    pub fn var(dim: usize) -> Self {
+        assert!(dim < MAX_DIM);
+        let mut e = [0u8; MAX_DIM];
+        e[dim] = 1;
+        let mut p = MPoly::zero();
+        p.add_term(e, Rational::ONE);
+        p
+    }
+
+    /// Lift a 1D polynomial in `ξ_dim` into the multivariate ring.
+    pub fn from_poly1(p: &crate::poly1::Poly1, dim: usize) -> Self {
+        let mut out = MPoly::zero();
+        for (k, &c) in p.coeffs().iter().enumerate() {
+            let mut e = [0u8; MAX_DIM];
+            e[dim] = k as u8;
+            out.add_term(e, c);
+        }
+        out
+    }
+
+    pub fn add_term(&mut self, exps: Exps, c: Rational) {
+        if c.is_zero() {
+            return;
+        }
+        let entry = self.terms.entry(exps).or_insert(Rational::ZERO);
+        *entry += c;
+        if entry.is_zero() {
+            self.terms.remove(&exps);
+        }
+    }
+
+    pub fn is_zero(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    pub fn num_terms(&self) -> usize {
+        self.terms.len()
+    }
+
+    pub fn terms(&self) -> impl Iterator<Item = (&Exps, &Rational)> {
+        self.terms.iter()
+    }
+
+    pub fn add(&self, rhs: &MPoly) -> MPoly {
+        let mut out = self.clone();
+        for (&e, &c) in rhs.terms.iter() {
+            out.add_term(e, c);
+        }
+        out
+    }
+
+    pub fn scale(&self, s: Rational) -> MPoly {
+        if s.is_zero() {
+            return MPoly::zero();
+        }
+        MPoly {
+            terms: self.terms.iter().map(|(&e, &c)| (e, c * s)).collect(),
+        }
+    }
+
+    pub fn mul(&self, rhs: &MPoly) -> MPoly {
+        let mut out = MPoly::zero();
+        for (ea, &ca) in self.terms.iter() {
+            for (eb, &cb) in rhs.terms.iter() {
+                let mut e = [0u8; MAX_DIM];
+                for d in 0..MAX_DIM {
+                    e[d] = ea[d]
+                        .checked_add(eb[d])
+                        .expect("monomial exponent overflow");
+                }
+                out.add_term(e, ca * cb);
+            }
+        }
+        out
+    }
+
+    /// Partial derivative ∂/∂ξ_dim.
+    pub fn derivative(&self, dim: usize) -> MPoly {
+        let mut out = MPoly::zero();
+        for (&e, &c) in self.terms.iter() {
+            if e[dim] == 0 {
+                continue;
+            }
+            let mut de = e;
+            de[dim] -= 1;
+            out.add_term(de, c * Rational::int(e[dim] as i128));
+        }
+        out
+    }
+
+    /// Exact integral over the reference cube `[-1,1]^ndim`: each monomial
+    /// contributes `∏_d ∫ ξ^{e_d} dξ` = `∏_d [e_d even] · 2/(e_d+1)`.
+    ///
+    /// Dimensions at and beyond `ndim` are ignored (their exponents must be
+    /// zero by construction).
+    pub fn integrate_cube(&self, ndim: usize) -> Rational {
+        let mut acc = Rational::ZERO;
+        'terms: for (&e, &c) in self.terms.iter() {
+            let mut w = c;
+            for d in 0..ndim {
+                if e[d] % 2 == 1 {
+                    continue 'terms;
+                }
+                w *= Rational::new(2, (e[d] + 1) as i128);
+            }
+            for d in ndim..MAX_DIM {
+                debug_assert_eq!(e[d], 0, "exponent beyond ndim must be zero");
+            }
+            acc += w;
+        }
+        acc
+    }
+
+    /// Substitute `ξ_dim = value` exactly, producing a polynomial in the
+    /// remaining variables (used to take traces onto cell faces).
+    pub fn substitute(&self, dim: usize, value: Rational) -> MPoly {
+        let mut out = MPoly::zero();
+        for (&e, &c) in self.terms.iter() {
+            let mut ne = e;
+            ne[dim] = 0;
+            out.add_term(ne, c * value.pow(e[dim] as u32));
+        }
+        out
+    }
+
+    /// Floating-point evaluation at a point.
+    pub fn eval_f64(&self, xi: &[f64]) -> f64 {
+        let mut acc = 0.0;
+        for (&e, &c) in self.terms.iter() {
+            let mut t = c.to_f64();
+            for (d, &x) in xi.iter().enumerate() {
+                for _ in 0..e[d] {
+                    t *= x;
+                }
+            }
+            acc += t;
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::legendre::legendre;
+    use proptest::prelude::*;
+
+    fn r(n: i128, d: i128) -> Rational {
+        Rational::new(n, d)
+    }
+
+    #[test]
+    fn cube_integrals() {
+        // ∫∫ ξ₀² ξ₁² over [-1,1]² = (2/3)² = 4/9; odd powers vanish.
+        let p = MPoly::var(0).mul(&MPoly::var(0)).mul(&MPoly::var(1)).mul(&MPoly::var(1));
+        assert_eq!(p.integrate_cube(2), r(4, 9));
+        let q = MPoly::var(0).mul(&MPoly::var(1));
+        assert_eq!(q.integrate_cube(2), Rational::ZERO);
+    }
+
+    #[test]
+    fn from_poly1_roundtrip() {
+        let p2 = legendre(2);
+        let m = MPoly::from_poly1(&p2, 3);
+        // ∫_{cube 4D} P_2(ξ₃) dξ = 0 (orthogonal to constants), while
+        // ∫ P_2(ξ₃)² dξ over 4 dims = 2³ · 2/5.
+        assert_eq!(m.integrate_cube(4), Rational::ZERO);
+        assert_eq!(m.mul(&m).integrate_cube(4), r(16, 5));
+    }
+
+    #[test]
+    fn substitute_takes_traces() {
+        // p = ξ₀² ξ₁ at ξ₀ = 1 → ξ₁ ; at ξ₀ = -1 → ξ₁.
+        let p = MPoly::var(0).mul(&MPoly::var(0)).mul(&MPoly::var(1));
+        assert_eq!(p.substitute(0, Rational::ONE), MPoly::var(1));
+        assert_eq!(p.substitute(0, -Rational::ONE), MPoly::var(1));
+        // q = ξ₀ ξ₁ at ξ₀ = -1 → -ξ₁.
+        let q = MPoly::var(0).mul(&MPoly::var(1));
+        assert_eq!(q.substitute(0, -Rational::ONE), MPoly::var(1).scale(r(-1, 1)));
+    }
+
+    #[test]
+    fn derivative_matches_1d() {
+        let p3 = legendre(3);
+        let m = MPoly::from_poly1(&p3, 1);
+        let dm = m.derivative(1);
+        assert_eq!(dm, MPoly::from_poly1(&p3.derivative(), 1));
+        assert!(m.derivative(0).is_zero());
+    }
+
+    fn arb_mpoly(ndim: usize) -> impl Strategy<Value = MPoly> {
+        proptest::collection::vec(
+            (
+                proptest::collection::vec(0u8..3, ndim),
+                -10i128..10,
+                1i128..6,
+            ),
+            0..6,
+        )
+        .prop_map(move |ts| {
+            let mut p = MPoly::zero();
+            for (es, n, d) in ts {
+                let mut e = [0u8; MAX_DIM];
+                e[..ndim].copy_from_slice(&es);
+                p.add_term(e, r(n, d));
+            }
+            p
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn mul_commutes(a in arb_mpoly(3), b in arb_mpoly(3)) {
+            prop_assert_eq!(a.mul(&b), b.mul(&a));
+        }
+
+        #[test]
+        fn product_rule(a in arb_mpoly(2), b in arb_mpoly(2)) {
+            let lhs = a.mul(&b).derivative(0);
+            let rhs = a.derivative(0).mul(&b).add(&a.mul(&b.derivative(0)));
+            prop_assert_eq!(lhs, rhs);
+        }
+
+        #[test]
+        fn integral_linear(a in arb_mpoly(3), b in arb_mpoly(3)) {
+            prop_assert_eq!(
+                a.add(&b).integrate_cube(3),
+                a.integrate_cube(3) + b.integrate_cube(3)
+            );
+        }
+
+        #[test]
+        fn eval_consistent_with_substitute(a in arb_mpoly(2), xn in -4i128..4, yn in -4i128..4) {
+            let x = r(xn, 2);
+            let y = r(yn, 2);
+            let sub = a.substitute(0, x).substitute(1, y);
+            // After substituting both variables only the constant term remains.
+            let exact = sub.terms().next().map(|(_, &c)| c).unwrap_or(Rational::ZERO);
+            let approx = a.eval_f64(&[x.to_f64(), y.to_f64()]);
+            prop_assert!((exact.to_f64() - approx).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,228 @@
+//! Dense univariate polynomials with exact rational coefficients.
+//!
+//! These are the working representation for the Legendre family and for the
+//! 1D integrals that all DG kernel tensors factorize into.
+
+use crate::rational::Rational;
+use std::ops::{Add, Mul, Sub};
+
+/// A polynomial `c₀ + c₁ ξ + c₂ ξ² + …` with exact coefficients.
+///
+/// The coefficient vector never has trailing zeros (the zero polynomial is
+/// an empty vector), so `degree` is well-defined.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Poly1 {
+    coeffs: Vec<Rational>,
+}
+
+impl Poly1 {
+    pub fn zero() -> Self {
+        Poly1 { coeffs: vec![] }
+    }
+
+    pub fn constant(c: Rational) -> Self {
+        Poly1::from_coeffs(vec![c])
+    }
+
+    /// The monomial ξ.
+    pub fn x() -> Self {
+        Poly1::from_coeffs(vec![Rational::ZERO, Rational::ONE])
+    }
+
+    /// Build from low-to-high coefficients, trimming trailing zeros.
+    pub fn from_coeffs(mut coeffs: Vec<Rational>) -> Self {
+        while coeffs.last().is_some_and(|c| c.is_zero()) {
+            coeffs.pop();
+        }
+        Poly1 { coeffs }
+    }
+
+    /// Coefficients, low to high. Empty for the zero polynomial.
+    pub fn coeffs(&self) -> &[Rational] {
+        &self.coeffs
+    }
+
+    pub fn is_zero(&self) -> bool {
+        self.coeffs.is_empty()
+    }
+
+    /// Degree; `None` for the zero polynomial.
+    pub fn degree(&self) -> Option<usize> {
+        self.coeffs.len().checked_sub(1)
+    }
+
+    /// Coefficient of ξ^k (zero beyond the stored degree).
+    pub fn coeff(&self, k: usize) -> Rational {
+        self.coeffs.get(k).copied().unwrap_or(Rational::ZERO)
+    }
+
+    pub fn scale(&self, s: Rational) -> Self {
+        if s.is_zero() {
+            return Poly1::zero();
+        }
+        Poly1::from_coeffs(self.coeffs.iter().map(|&c| c * s).collect())
+    }
+
+    /// Formal derivative d/dξ.
+    pub fn derivative(&self) -> Self {
+        if self.coeffs.len() <= 1 {
+            return Poly1::zero();
+        }
+        Poly1::from_coeffs(
+            self.coeffs[1..]
+                .iter()
+                .enumerate()
+                .map(|(i, &c)| c * Rational::int((i + 1) as i128))
+                .collect(),
+        )
+    }
+
+    /// Exact definite integral over the reference interval `[-1, 1]`:
+    /// odd powers vanish, even powers contribute `2 c_k / (k+1)`.
+    pub fn integrate_ref(&self) -> Rational {
+        let mut acc = Rational::ZERO;
+        for (k, &c) in self.coeffs.iter().enumerate() {
+            if k % 2 == 0 {
+                acc += c * Rational::new(2, (k + 1) as i128);
+            }
+        }
+        acc
+    }
+
+    /// Exact evaluation at a rational point (Horner).
+    pub fn eval(&self, x: Rational) -> Rational {
+        let mut acc = Rational::ZERO;
+        for &c in self.coeffs.iter().rev() {
+            acc = acc * x + c;
+        }
+        acc
+    }
+
+    /// Floating-point evaluation (Horner), used only where exactness is not
+    /// required (plotting, quadrature-node refinement).
+    pub fn eval_f64(&self, x: f64) -> f64 {
+        let mut acc = 0.0;
+        for &c in self.coeffs.iter().rev() {
+            acc = acc * x + c.to_f64();
+        }
+        acc
+    }
+}
+
+impl Add for &Poly1 {
+    type Output = Poly1;
+    fn add(self, rhs: &Poly1) -> Poly1 {
+        let n = self.coeffs.len().max(rhs.coeffs.len());
+        Poly1::from_coeffs((0..n).map(|k| self.coeff(k) + rhs.coeff(k)).collect())
+    }
+}
+
+impl Sub for &Poly1 {
+    type Output = Poly1;
+    fn sub(self, rhs: &Poly1) -> Poly1 {
+        let n = self.coeffs.len().max(rhs.coeffs.len());
+        Poly1::from_coeffs((0..n).map(|k| self.coeff(k) - rhs.coeff(k)).collect())
+    }
+}
+
+impl Mul for &Poly1 {
+    type Output = Poly1;
+    fn mul(self, rhs: &Poly1) -> Poly1 {
+        if self.is_zero() || rhs.is_zero() {
+            return Poly1::zero();
+        }
+        let mut out = vec![Rational::ZERO; self.coeffs.len() + rhs.coeffs.len() - 1];
+        for (i, &a) in self.coeffs.iter().enumerate() {
+            if a.is_zero() {
+                continue;
+            }
+            for (j, &b) in rhs.coeffs.iter().enumerate() {
+                out[i + j] += a * b;
+            }
+        }
+        Poly1::from_coeffs(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn r(n: i128, d: i128) -> Rational {
+        Rational::new(n, d)
+    }
+
+    #[test]
+    fn trailing_zeros_trimmed() {
+        let p = Poly1::from_coeffs(vec![r(1, 1), r(0, 1), r(0, 1)]);
+        assert_eq!(p.degree(), Some(0));
+        assert!(Poly1::from_coeffs(vec![Rational::ZERO]).is_zero());
+    }
+
+    #[test]
+    fn derivative_of_cubic() {
+        // d/dξ (1 + 2ξ + 3ξ³) = 2 + 9ξ²
+        let p = Poly1::from_coeffs(vec![r(1, 1), r(2, 1), r(0, 1), r(3, 1)]);
+        let d = p.derivative();
+        assert_eq!(d.coeffs(), &[r(2, 1), r(0, 1), r(9, 1)]);
+    }
+
+    #[test]
+    fn integrate_monomials() {
+        // ∫ ξ² = 2/3, ∫ ξ³ = 0, ∫ 1 = 2 over [-1,1].
+        let x = Poly1::x();
+        assert_eq!((&x * &x).integrate_ref(), r(2, 3));
+        assert_eq!((&(&x * &x) * &x).integrate_ref(), Rational::ZERO);
+        assert_eq!(Poly1::constant(Rational::ONE).integrate_ref(), r(2, 1));
+    }
+
+    #[test]
+    fn eval_matches_structure() {
+        // p(ξ) = 1 - ξ + ξ² at ξ = 3/2 → 1 - 3/2 + 9/4 = 7/4
+        let p = Poly1::from_coeffs(vec![r(1, 1), r(-1, 1), r(1, 1)]);
+        assert_eq!(p.eval(r(3, 2)), r(7, 4));
+        assert!((p.eval_f64(1.5) - 1.75).abs() < 1e-15);
+    }
+
+    fn arb_poly(max_deg: usize) -> impl Strategy<Value = Poly1> {
+        proptest::collection::vec((-20i128..20, 1i128..10), 0..=max_deg + 1)
+            .prop_map(|cs| Poly1::from_coeffs(cs.into_iter().map(|(n, d)| r(n, d)).collect()))
+    }
+
+    proptest! {
+        #[test]
+        fn mul_commutes(a in arb_poly(5), b in arb_poly(5)) {
+            prop_assert_eq!(&a * &b, &b * &a);
+        }
+
+        #[test]
+        fn mul_distributes_over_add(a in arb_poly(4), b in arb_poly(4), c in arb_poly(4)) {
+            prop_assert_eq!(&a * &(&b + &c), &(&a * &b) + &(&a * &c));
+        }
+
+        #[test]
+        fn product_rule(a in arb_poly(4), b in arb_poly(4)) {
+            let lhs = (&a * &b).derivative();
+            let rhs = &(&a.derivative() * &b) + &(&a * &b.derivative());
+            prop_assert_eq!(lhs, rhs);
+        }
+
+        #[test]
+        fn integration_by_parts(a in arb_poly(4), b in arb_poly(4)) {
+            // ∫ a' b + ∫ a b' = [a b]_{-1}^{1}
+            let lhs = (&a.derivative() * &b).integrate_ref()
+                + (&a * &b.derivative()).integrate_ref();
+            let prod = &a * &b;
+            let rhs = prod.eval(Rational::ONE) - prod.eval(-Rational::ONE);
+            prop_assert_eq!(lhs, rhs);
+        }
+
+        #[test]
+        fn eval_is_ring_hom(a in arb_poly(4), b in arb_poly(4), xn in -5i128..5) {
+            let x = r(xn, 3);
+            prop_assert_eq!((&a * &b).eval(x), a.eval(x) * b.eval(x));
+            prop_assert_eq!((&a + &b).eval(x), a.eval(x) + b.eval(x));
+        }
+    }
+}

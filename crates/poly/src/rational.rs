@@ -1,0 +1,310 @@
+//! Exact rational arithmetic over `i128`.
+//!
+//! Every integral this project needs is of the form
+//! `∫_{-1}^{1} P_a P_b P_c dξ`, `∫ P_a' P_b P_c dξ`, `∫ ξ^j P_k dξ`, … with
+//! `a,b,c ≤ p_max + 1 ≤ 4`. The Legendre coefficients and all products that
+//! appear are small rationals, so `i128` numerators/denominators with eager
+//! GCD reduction never come close to overflow; arithmetic is `checked_*` so
+//! an overflow would abort loudly rather than corrupt a kernel table.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// An exact rational number `num/den` with `den > 0` and `gcd(num, den) = 1`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Rational {
+    num: i128,
+    den: i128,
+}
+
+const fn gcd(mut a: i128, mut b: i128) -> i128 {
+    a = a.abs();
+    b = b.abs();
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+impl Rational {
+    pub const ZERO: Rational = Rational { num: 0, den: 1 };
+    pub const ONE: Rational = Rational { num: 1, den: 1 };
+
+    /// Construct `num/den`, normalizing sign and reducing by the GCD.
+    ///
+    /// Panics if `den == 0`.
+    pub fn new(num: i128, den: i128) -> Self {
+        assert!(den != 0, "Rational with zero denominator");
+        if num == 0 {
+            return Self::ZERO;
+        }
+        let sign = if (num < 0) != (den < 0) { -1 } else { 1 };
+        let g = gcd(num, den);
+        Rational {
+            num: sign * (num.abs() / g),
+            den: den.abs() / g,
+        }
+    }
+
+    pub const fn int(n: i128) -> Self {
+        Rational { num: n, den: 1 }
+    }
+
+    pub fn numer(&self) -> i128 {
+        self.num
+    }
+
+    pub fn denom(&self) -> i128 {
+        self.den
+    }
+
+    pub fn is_zero(&self) -> bool {
+        self.num == 0
+    }
+
+    pub fn abs(&self) -> Self {
+        Rational {
+            num: self.num.abs(),
+            den: self.den,
+        }
+    }
+
+    /// Multiplicative inverse. Panics on zero.
+    pub fn recip(&self) -> Self {
+        assert!(self.num != 0, "Rational::recip of zero");
+        Rational::new(self.den, self.num)
+    }
+
+    /// Nearest `f64`. The single rounding step mirrors the paper's
+    /// "CAS computes exactly, emits double precision" pipeline.
+    pub fn to_f64(&self) -> f64 {
+        self.num as f64 / self.den as f64
+    }
+
+    /// Integer power (non-negative exponent).
+    pub fn pow(&self, e: u32) -> Self {
+        let mut acc = Rational::ONE;
+        for _ in 0..e {
+            acc = acc * *self;
+        }
+        acc
+    }
+
+    fn checked_add(self, rhs: Self) -> Option<Self> {
+        // a/b + c/d = (a d + c b) / (b d), reduced via the gcd of b and d
+        // first to keep intermediates small.
+        let g = gcd(self.den, rhs.den);
+        let lhs_scale = rhs.den / g;
+        let rhs_scale = self.den / g;
+        let num = self
+            .num
+            .checked_mul(lhs_scale)?
+            .checked_add(rhs.num.checked_mul(rhs_scale)?)?;
+        let den = self.den.checked_mul(lhs_scale)?;
+        Some(Rational::new(num, den))
+    }
+
+    fn checked_mul(self, rhs: Self) -> Option<Self> {
+        // Cross-reduce before multiplying to avoid overflow.
+        let g1 = gcd(self.num, rhs.den);
+        let g2 = gcd(rhs.num, self.den);
+        let num = (self.num / g1).checked_mul(rhs.num / g2)?;
+        let den = (self.den / g2).checked_mul(rhs.den / g1)?;
+        Some(Rational::new(num, den))
+    }
+}
+
+impl Add for Rational {
+    type Output = Rational;
+    fn add(self, rhs: Self) -> Self {
+        self.checked_add(rhs).expect("Rational add overflow")
+    }
+}
+
+impl Sub for Rational {
+    type Output = Rational;
+    fn sub(self, rhs: Self) -> Self {
+        self + (-rhs)
+    }
+}
+
+impl Mul for Rational {
+    type Output = Rational;
+    fn mul(self, rhs: Self) -> Self {
+        self.checked_mul(rhs).expect("Rational mul overflow")
+    }
+}
+
+impl Div for Rational {
+    type Output = Rational;
+    fn div(self, rhs: Self) -> Self {
+        self * rhs.recip()
+    }
+}
+
+impl Neg for Rational {
+    type Output = Rational;
+    fn neg(self) -> Self {
+        Rational {
+            num: -self.num,
+            den: self.den,
+        }
+    }
+}
+
+impl AddAssign for Rational {
+    fn add_assign(&mut self, rhs: Self) {
+        *self = *self + rhs;
+    }
+}
+
+impl SubAssign for Rational {
+    fn sub_assign(&mut self, rhs: Self) {
+        *self = *self - rhs;
+    }
+}
+
+impl MulAssign for Rational {
+    fn mul_assign(&mut self, rhs: Self) {
+        *self = *self * rhs;
+    }
+}
+
+impl PartialOrd for Rational {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Rational {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Compare a/b vs c/d via a*d vs c*b (denominators positive).
+        (self.num * other.den).cmp(&(other.num * self.den))
+    }
+}
+
+impl fmt::Debug for Rational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den == 1 {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+impl fmt::Display for Rational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl From<i128> for Rational {
+    fn from(n: i128) -> Self {
+        Rational::int(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn construction_reduces() {
+        assert_eq!(Rational::new(2, 4), Rational::new(1, 2));
+        assert_eq!(Rational::new(-2, -4), Rational::new(1, 2));
+        assert_eq!(Rational::new(2, -4), Rational::new(-1, 2));
+        assert_eq!(Rational::new(0, 7), Rational::ZERO);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_denominator_panics() {
+        let _ = Rational::new(1, 0);
+    }
+
+    #[test]
+    fn basic_arithmetic() {
+        let a = Rational::new(1, 2);
+        let b = Rational::new(1, 3);
+        assert_eq!(a + b, Rational::new(5, 6));
+        assert_eq!(a - b, Rational::new(1, 6));
+        assert_eq!(a * b, Rational::new(1, 6));
+        assert_eq!(a / b, Rational::new(3, 2));
+        assert_eq!(-a, Rational::new(-1, 2));
+    }
+
+    #[test]
+    fn pow_and_recip() {
+        assert_eq!(Rational::new(2, 3).pow(3), Rational::new(8, 27));
+        assert_eq!(Rational::new(2, 3).pow(0), Rational::ONE);
+        assert_eq!(Rational::new(-3, 5).recip(), Rational::new(-5, 3));
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(Rational::new(1, 3) < Rational::new(1, 2));
+        assert!(Rational::new(-1, 2) < Rational::ZERO);
+        assert!(Rational::new(7, 7) == Rational::ONE);
+    }
+
+    #[test]
+    fn to_f64_is_exact_for_dyadics() {
+        assert_eq!(Rational::new(3, 8).to_f64(), 0.375);
+        assert_eq!(Rational::new(-7, 4).to_f64(), -1.75);
+    }
+
+    fn arb_rational() -> impl Strategy<Value = Rational> {
+        (-1000i128..1000, 1i128..1000).prop_map(|(n, d)| Rational::new(n, d))
+    }
+
+    proptest! {
+        #[test]
+        fn add_commutes(a in arb_rational(), b in arb_rational()) {
+            prop_assert_eq!(a + b, b + a);
+        }
+
+        #[test]
+        fn mul_commutes(a in arb_rational(), b in arb_rational()) {
+            prop_assert_eq!(a * b, b * a);
+        }
+
+        #[test]
+        fn add_associates(a in arb_rational(), b in arb_rational(), c in arb_rational()) {
+            prop_assert_eq!((a + b) + c, a + (b + c));
+        }
+
+        #[test]
+        fn mul_distributes(a in arb_rational(), b in arb_rational(), c in arb_rational()) {
+            prop_assert_eq!(a * (b + c), a * b + a * c);
+        }
+
+        #[test]
+        fn sub_is_add_neg(a in arb_rational(), b in arb_rational()) {
+            prop_assert_eq!(a - b, a + (-b));
+        }
+
+        #[test]
+        fn recip_inverts(a in arb_rational()) {
+            prop_assume!(!a.is_zero());
+            prop_assert_eq!(a * a.recip(), Rational::ONE);
+        }
+
+        #[test]
+        fn ordering_consistent_with_f64(a in arb_rational(), b in arb_rational()) {
+            if a < b {
+                prop_assert!(a.to_f64() <= b.to_f64());
+            }
+        }
+
+        #[test]
+        fn reduced_form_invariant(a in arb_rational()) {
+            prop_assert!(a.denom() > 0);
+            prop_assert_eq!(super::gcd(a.numer(), a.denom()), if a.is_zero() { a.denom() } else { 1 });
+        }
+    }
+}

@@ -1,0 +1,161 @@
+//! Pre-evaluated 1D integral tables for orthonormal Legendre polynomials.
+//!
+//! Every multi-dimensional DG tensor in this project factorizes over
+//! dimensions into products of the five 1D quantities below, because the
+//! basis functions are products of 1D orthonormal Legendre polynomials.
+//! Each entry is computed *exactly* (rational × √rational) and rounded to
+//! `f64` once — the alias-free guarantee of the paper reduced to its
+//! 1D kernel.
+//!
+//! The tables are tiny (`(p+2)³` floats at most) and are built once per
+//! basis configuration, then shared behind the kernel cache in `dg-kernels`.
+
+use crate::legendre;
+
+/// 1D tables up to polynomial degree `pmax` inclusive.
+#[derive(Clone, Debug)]
+pub struct Tables1d {
+    pub pmax: usize,
+    /// `tt[a][b][c] = ∫ P̃_a P̃_b P̃_c dξ`
+    tt: Vec<f64>,
+    /// `dt[a][b][c] = ∫ P̃_a' P̃_b P̃_c dξ`
+    dt: Vec<f64>,
+    /// `gm[a][b] = ∫ P̃_a' P̃_b dξ`
+    gm: Vec<f64>,
+    /// `ev[s][k] = P̃_k(s)`, s ∈ {-, +}
+    ev: [Vec<f64>; 2],
+    /// `pm[j][k] = ∫ ξ^j P̃_k dξ`, j ≤ 2 (moment weights)
+    pm: [Vec<f64>; 3],
+}
+
+impl Tables1d {
+    pub fn new(pmax: usize) -> Self {
+        let n = pmax + 1;
+        let mut tt = vec![0.0; n * n * n];
+        let mut dt = vec![0.0; n * n * n];
+        let mut gm = vec![0.0; n * n];
+        for a in 0..n {
+            for b in 0..n {
+                gm[a * n + b] = legendre::grad_mass_exact(a, b).to_f64();
+                for c in 0..n {
+                    tt[(a * n + b) * n + c] = legendre::triple_exact(a, b, c).to_f64();
+                    dt[(a * n + b) * n + c] = legendre::dtriple_exact(a, b, c).to_f64();
+                }
+            }
+        }
+        let ev = [
+            (0..n).map(|k| legendre::edge_value(k, -1)).collect(),
+            (0..n).map(|k| legendre::edge_value(k, 1)).collect(),
+        ];
+        let pm = [
+            (0..n).map(|k| legendre::power_moment_exact(0, k).to_f64()).collect(),
+            (0..n).map(|k| legendre::power_moment_exact(1, k).to_f64()).collect(),
+            (0..n).map(|k| legendre::power_moment_exact(2, k).to_f64()).collect(),
+        ];
+        Tables1d { pmax, tt, dt, gm, ev, pm }
+    }
+
+    #[inline]
+    pub fn triple(&self, a: usize, b: usize, c: usize) -> f64 {
+        let n = self.pmax + 1;
+        self.tt[(a * n + b) * n + c]
+    }
+
+    #[inline]
+    pub fn dtriple(&self, a: usize, b: usize, c: usize) -> f64 {
+        let n = self.pmax + 1;
+        self.dt[(a * n + b) * n + c]
+    }
+
+    #[inline]
+    pub fn grad_mass(&self, a: usize, b: usize) -> f64 {
+        self.gm[a * (self.pmax + 1) + b]
+    }
+
+    /// `P̃_k(side)` with `side` −1 or +1.
+    #[inline]
+    pub fn edge(&self, side: i32, k: usize) -> f64 {
+        self.ev[usize::from(side > 0)][k]
+    }
+
+    /// `∫ ξ^j P̃_k dξ` for `j ∈ {0,1,2}`.
+    #[inline]
+    pub fn power_moment(&self, j: usize, k: usize) -> f64 {
+        self.pm[j][k]
+    }
+
+    /// Sup-norm bound of `P̃_k` on `[-1,1]`: Legendre polynomials attain
+    /// their maximum modulus at the endpoints, so `‖P̃_k‖_∞ = √((2k+1)/2)`.
+    /// Used for the rigorous local wave-speed (penalty) bound λ ≥ sup|α̂|.
+    #[inline]
+    pub fn sup(&self, k: usize) -> f64 {
+        self.ev[1][k].abs()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tables_match_direct_evaluation() {
+        let t = Tables1d::new(3);
+        for a in 0..4 {
+            for b in 0..4 {
+                assert!(
+                    (t.grad_mass(a, b) - legendre::grad_mass_exact(a, b).to_f64()).abs() < 1e-15
+                );
+                for c in 0..4 {
+                    assert!(
+                        (t.triple(a, b, c) - legendre::triple_exact(a, b, c).to_f64()).abs()
+                            < 1e-15
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn symmetries() {
+        let t = Tables1d::new(3);
+        for a in 0..4 {
+            for b in 0..4 {
+                for c in 0..4 {
+                    // tt symmetric under all permutations of (a,b,c);
+                    // dt symmetric in its last two slots.
+                    assert_eq!(t.triple(a, b, c), t.triple(b, a, c));
+                    assert_eq!(t.triple(a, b, c), t.triple(a, c, b));
+                    assert_eq!(t.dtriple(a, b, c), t.dtriple(a, c, b));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn grad_mass_structure() {
+        // ∫ P̃_a' P̃_b ≠ 0 only for b < a with a+b odd;
+        // value = √((2a+1)(2b+1)) for those pairs.
+        let t = Tables1d::new(4);
+        for a in 0..5usize {
+            for b in 0..5usize {
+                let v = t.grad_mass(a, b);
+                if b < a && (a + b) % 2 == 1 {
+                    let want = (((2 * a + 1) * (2 * b + 1)) as f64).sqrt();
+                    assert!((v - want).abs() < 1e-12, "a={a} b={b}: {v} vs {want}");
+                } else {
+                    assert!(v.abs() < 1e-15, "a={a} b={b} should vanish, got {v}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn edge_consistency() {
+        let t = Tables1d::new(4);
+        for k in 0..5 {
+            assert_eq!(t.edge(1, k), legendre::edge_value(k, 1));
+            assert_eq!(t.edge(-1, k), legendre::edge_value(k, -1));
+            assert!(t.sup(k) > 0.0);
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! Mini weak/strong scaling demo (the Fig. 3 harness at example scale).
+//!
+//! Runs the paper's 3X3V p=1 two-species problem family at container-sized
+//! grids over 1, 2 and 4 simulated ranks and prints the per-step timings
+//! and halo volumes. On a single-CPU container the point is the
+//! decomposition *machinery* (bit-identical to serial — see the
+//! `parallel_equiv` test); on a multicore host the same binary produces
+//! real speedups.
+//!
+//! ```text
+//! cargo run --release --example parallel_scaling
+//! ```
+
+use vlasov_dg::parallel::scaling::{strong_scaling_series, weak_scaling_series};
+
+fn main() {
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    println!("host threads: {threads}");
+
+    println!("\nweak scaling (3X3V p=1, per-rank conf block 2x4x4, vel 4^3):");
+    println!("{:>6} {:>12} {:>14} {:>14}", "ranks", "phase cells", "s/step", "halo bytes");
+    let weak = weak_scaling_series(&[2, 4, 4], &[4, 4, 4], &[1, 2, 4], threads, 2);
+    let base = weak[0].seconds_per_step;
+    for p in &weak {
+        println!(
+            "{:>6} {:>12} {:>14.4e} {:>14}  (norm {:.2})",
+            p.ranks,
+            p.phase_cells,
+            p.seconds_per_step,
+            p.halo_bytes,
+            p.seconds_per_step / base
+        );
+    }
+
+    println!("\nstrong scaling (fixed 4x4x4 conf, 4^3 vel):");
+    println!("{:>6} {:>12} {:>14} {:>14}", "ranks", "phase cells", "s/step", "halo bytes");
+    let strong = strong_scaling_series(&[4, 4, 4], &[4, 4, 4], &[1, 2, 4], threads, 2);
+    let base = strong[0].seconds_per_step;
+    for p in &strong {
+        println!(
+            "{:>6} {:>12} {:>14.4e} {:>14}  (speedup {:.2})",
+            p.ranks,
+            p.phase_cells,
+            p.seconds_per_step,
+            p.halo_bytes,
+            base / p.seconds_per_step
+        );
+    }
+    println!("\nparallel_scaling OK");
+}

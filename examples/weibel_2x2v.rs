@@ -1,0 +1,171 @@
+//! Counter-streaming beams in 2X2V — the paper's Fig. 5 simulation.
+//!
+//! An electron–proton plasma whose electrons form two counter-streaming
+//! beams (±u along y) is unstable to the zoo of two-stream, filamentation,
+//! and hybrid oblique modes (§V; Skoutnev et al. 2019). The run converts
+//! beam kinetic energy → electromagnetic energy → thermal spread, and the
+//! phase-space slices (`y–v_y`, `v_x–v_y`) show the structure a continuum
+//! method resolves noise-free.
+//!
+//! Defaults are container-sized; scale with environment variables for the
+//! full paper-like run:
+//!
+//! ```text
+//! WEIBEL_NX=16 WEIBEL_NV=16 WEIBEL_TEND=60 cargo run --release --example weibel_2x2v
+//! ```
+//!
+//! Writes `weibel_history.csv` and slice CSVs into `target/weibel/`.
+
+use vlasov_dg::core::species::maxwellian;
+use vlasov_dg::diag::{csv::write_grid_csv, slices::slice_2d, EnergyHistory};
+use vlasov_dg::prelude::*;
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name).ok().and_then(|s| s.parse().ok()).unwrap_or(default)
+}
+
+fn env_f64(name: &str, default: f64) -> f64 {
+    std::env::var(name).ok().and_then(|s| s.parse().ok()).unwrap_or(default)
+}
+
+fn main() -> Result<(), String> {
+    let nx = env_usize("WEIBEL_NX", 8);
+    let nv = env_usize("WEIBEL_NV", 8);
+    let t_end = env_f64("WEIBEL_TEND", 20.0);
+    let u = 0.3; // beam drift (c = 1)
+    let vth = 0.1;
+    let mass_ratio = 1836.0;
+    // Box sized to a few unstable wavelengths of the filamentation branch.
+    let l = 2.0 * std::f64::consts::PI / 0.4;
+
+    let mut app = AppBuilder::new()
+        .conf_grid(&[0.0, 0.0], &[l, l], &[nx, nx])
+        .poly_order(2)
+        .basis(BasisKind::Serendipity)
+        .cfl(0.8)
+        .species(
+            SpeciesSpec::new("elc", -1.0, 1.0, &[-1.2, -1.2], &[1.2, 1.2], &[nv, nv]).initial(
+                move |x, v| {
+                    // Counter-streaming beams along v_y, seeded with small
+                    // multi-mode spatial noise (deterministic phases).
+                    let kx = 2.0 * std::f64::consts::PI / l;
+                    let seed = 1.0
+                        + 1e-3
+                            * ((kx * x[0]).cos()
+                                + (kx * x[1]).cos()
+                                + (kx * (x[0] + x[1])).sin());
+                    seed * (maxwellian(0.5, &[0.0, u], vth, v)
+                        + maxwellian(0.5, &[0.0, -u], vth, v))
+                },
+            ),
+        )
+        .species(
+            SpeciesSpec::new(
+                "ion",
+                1.0,
+                mass_ratio,
+                &[-1.2, -1.2],
+                &[1.2, 1.2],
+                &[nv, nv],
+            )
+            .initial(move |_x, v| maxwellian(1.0, &[0.0, 0.0], 0.15, v)),
+        )
+        .field(FieldSpec::new(1.0).cleaning(1.0, 1.0).with_ic(move |x| {
+            // Tiny magnetic seed so the filamentation branch has a finite
+            // starting amplitude to grow from (and the growth factor below
+            // is well-defined).
+            let kx = 2.0 * std::f64::consts::PI / l;
+            [0.0, 0.0, 0.0, 0.0, 0.0, 1e-6 * ((kx * x[0]).sin() + (kx * x[1]).cos())]
+        }))
+        .build()?;
+
+    let outdir = std::path::Path::new("target/weibel");
+    std::fs::create_dir_all(outdir).map_err(|e| e.to_string())?;
+
+    let mut history = EnergyHistory::new();
+    history.record(&app.system, &app.state, app.time());
+    let save_slices = |app: &App, tag: &str| -> Result<(), String> {
+        // y–v_y at x = L/2, v_x = 0 (axes: x0, x1, vx, vy).
+        let s1 = slice_2d(&app.system, &app.state.species_f[0], 1, 3, &[l / 2.0, 0.0, 0.0, 0.0]);
+        write_grid_csv(
+            outdir.join(format!("f_y_vy_{tag}.csv")),
+            "y",
+            "vy",
+            &s1.xs,
+            &s1.ys,
+            &s1.values,
+        )
+        .map_err(|e| e.to_string())?;
+        // v_x–v_y at the box center.
+        let s2 = slice_2d(
+            &app.system,
+            &app.state.species_f[0],
+            2,
+            3,
+            &[l / 2.0, l / 2.0, 0.0, 0.0],
+        );
+        write_grid_csv(
+            outdir.join(format!("f_vx_vy_{tag}.csv")),
+            "vx",
+            "vy",
+            &s2.xs,
+            &s2.ys,
+            &s2.values,
+        )
+        .map_err(|e| e.to_string())
+    };
+
+    save_slices(&app, "initial")?;
+    let q0 = app.conserved();
+    println!(
+        "t=0: kinetic {:.6}, field {:.3e}",
+        q0.particle_energy, q0.field_energy
+    );
+
+    let mut peak_field: f64 = 0.0;
+    let mut saved_peak = false;
+    let sample = (t_end / 60.0).max(0.05);
+    while app.time() < t_end {
+        app.advance_by(sample)?;
+        history.record(&app.system, &app.state, app.time());
+        let fe = app.field_energy();
+        if fe > peak_field {
+            peak_field = fe;
+        } else if !saved_peak && fe < 0.95 * peak_field && peak_field > 2.0 * q0.field_energy {
+            // Just past nonlinear saturation — the middle panel of Fig. 5.
+            save_slices(&app, "saturation")?;
+            saved_peak = true;
+        }
+    }
+    if !saved_peak {
+        save_slices(&app, "saturation")?;
+    }
+    save_slices(&app, "final")?;
+    history
+        .write_csv(outdir.join("weibel_history.csv"))
+        .map_err(|e| e.to_string())?;
+
+    let q1 = app.conserved();
+    println!(
+        "t={:.1} ({} steps): kinetic {:.6}, field {:.3e}",
+        app.time(),
+        app.steps_taken(),
+        q1.particle_energy,
+        q1.field_energy
+    );
+    println!(
+        "  field-energy growth factor : {:.2e}",
+        q1.field_energy / q0.field_energy.max(1e-300)
+    );
+    println!("  mass drift                 : {:.3e}", history.mass_drift());
+    println!("  total-energy drift         : {:.3e}", history.energy_drift());
+    println!("  frames in target/weibel/");
+
+    assert!(history.mass_drift() < 1e-9, "mass must be conserved");
+    assert!(
+        q1.field_energy > q0.field_energy,
+        "beam free energy must drive field growth"
+    );
+    println!("weibel_2x2v OK");
+    Ok(())
+}

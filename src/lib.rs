@@ -1,0 +1,57 @@
+//! # vlasov-dg
+//!
+//! A Rust reproduction of **Hakim & Juno, "Alias-free, matrix-free, and
+//! quadrature-free discontinuous Galerkin algorithms for (plasma) kinetic
+//! equations"** (SC 2020) — a continuum kinetic Vlasov–Maxwell solver in up
+//! to 3X3V phase space built on modal, orthonormal DG bases whose update
+//! kernels are assembled from analytically evaluated integrals.
+//!
+//! This facade crate re-exports the workspace's public API. See `DESIGN.md`
+//! for the system inventory and `EXPERIMENTS.md` for the reproduced
+//! tables/figures.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use vlasov_dg::prelude::*;
+//!
+//! // 1X1V electrostatic-limit Vlasov–Maxwell: weak Landau damping setup.
+//! let mut app = AppBuilder::new()
+//!     .conf_grid(&[-2.0 * std::f64::consts::PI], &[2.0 * std::f64::consts::PI], &[8])
+//!     .poly_order(2)
+//!     .basis(BasisKind::Serendipity)
+//!     .species(
+//!         SpeciesSpec::new("elc", -1.0, 1.0, &[-6.0], &[6.0], &[8]).initial(|x, v| {
+//!             let vth: f64 = 1.0;
+//!             let k = 0.5;
+//!             (1.0 + 0.01 * (k * x[0]).cos())
+//!                 * (-v[0] * v[0] / (2.0 * vth * vth)).exp()
+//!                 / (2.0 * std::f64::consts::PI * vth * vth).sqrt()
+//!         }),
+//!     )
+//!     .field(FieldSpec::new(1.0).with_poisson_init())
+//!     .build()
+//!     .unwrap();
+//!
+//! app.advance_by(0.1).unwrap();
+//! assert!(app.time() >= 0.1);
+//! ```
+
+pub use dg_basis as basis;
+pub use dg_core as core;
+pub use dg_diag as diag;
+pub use dg_grid as grid;
+pub use dg_kernels as kernels;
+pub use dg_maxwell as maxwell;
+pub use dg_nodal as nodal;
+pub use dg_parallel as parallel;
+pub use dg_poly as poly;
+
+/// One-stop imports for applications.
+pub mod prelude {
+    pub use dg_basis::{Basis, BasisKind};
+    pub use dg_core::app::{App, AppBuilder, FieldSpec, SpeciesSpec};
+    pub use dg_core::system::{FluxKind, VlasovMaxwell};
+    pub use dg_diag::history::EnergyHistory;
+    pub use dg_grid::grid::CartGrid;
+}

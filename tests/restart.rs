@@ -1,0 +1,85 @@
+//! Checkpoint/restart: the ADIOS-substitution IO path must reproduce the
+//! interrupted trajectory bit-for-bit (a production requirement the paper's
+//! §IV discusses for terabyte-scale distribution functions).
+
+use vlasov_dg::basis::BasisKind;
+use vlasov_dg::core::app::{App, AppBuilder, FieldSpec, SpeciesSpec};
+use vlasov_dg::core::species::maxwellian;
+use vlasov_dg::diag::snapshot;
+
+fn make_app() -> App {
+    let k = 0.5;
+    AppBuilder::new()
+        .conf_grid(&[0.0], &[2.0 * std::f64::consts::PI / k], &[8])
+        .poly_order(2)
+        .basis(BasisKind::Serendipity)
+        .species(
+            SpeciesSpec::new("elc", -1.0, 1.0, &[-6.0, -6.0], &[6.0, 6.0], &[8, 8]).initial(
+                move |x, v| maxwellian(1.0 + 0.05 * (k * x[0]).cos(), &[0.2, -0.1], 1.0, v),
+            ),
+        )
+        .field(FieldSpec::new(2.0).with_poisson_init().cleaning(1.0, 1.0))
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn restart_reproduces_trajectory_bitwise() {
+    let dir = std::env::temp_dir().join("vlasov_dg_restart_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let ckpt = dir.join("mid.vdg");
+    let dt = 1e-3;
+
+    // Reference: 20 uninterrupted steps.
+    let mut reference = make_app();
+    reference.set_fixed_dt(dt);
+    for _ in 0..20 {
+        reference.step().unwrap();
+    }
+
+    // Interrupted: 10 steps, checkpoint, fresh App, restore, 10 more.
+    let mut first = make_app();
+    first.set_fixed_dt(dt);
+    for _ in 0..10 {
+        first.step().unwrap();
+    }
+    snapshot::save(&ckpt, &first.state, first.time()).unwrap();
+    drop(first);
+
+    let mut resumed = make_app();
+    let (state, time) = snapshot::load(&ckpt).unwrap();
+    resumed.state = state;
+    assert!((time - 10.0 * dt).abs() < 1e-14);
+    resumed.set_fixed_dt(dt);
+    for _ in 0..10 {
+        resumed.step().unwrap();
+    }
+
+    assert_eq!(
+        reference.state.species_f[0].as_slice(),
+        resumed.state.species_f[0].as_slice(),
+        "distribution function must match bit-for-bit after restart"
+    );
+    assert_eq!(
+        reference.state.em.as_slice(),
+        resumed.state.em.as_slice(),
+        "EM field must match bit-for-bit after restart"
+    );
+}
+
+#[test]
+fn snapshot_size_matches_state_size() {
+    let app = make_app();
+    let mut buf = Vec::new();
+    snapshot::write_state(&app.state, 0.0, &mut buf).unwrap();
+    let doubles: usize = app
+        .state
+        .species_f
+        .iter()
+        .map(|f| f.as_slice().len())
+        .sum::<usize>()
+        + app.state.em.as_slice().len();
+    // Header (24 B) + per-field metadata (16 B each) + payload.
+    let expected = 24 + 16 * (app.state.species_f.len() + 1) + 8 * doubles;
+    assert_eq!(buf.len(), expected);
+}
