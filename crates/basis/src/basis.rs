@@ -133,7 +133,7 @@ impl Basis {
         let mut nrm2 = Rational::ONE;
         for d in 0..self.ndim {
             poly = poly.mul(&MPoly::from_poly1(&legendre(e[d] as usize), d));
-            nrm2 = nrm2 * norm_sq(e[d] as usize);
+            nrm2 *= norm_sq(e[d] as usize);
         }
         (poly, nrm2)
     }

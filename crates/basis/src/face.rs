@@ -34,13 +34,17 @@ impl FaceBasis {
         // For 1D cells the face basis is 0-dimensional: a single constant
         // mode on a point, with unit "integral".
         let basis = Basis::new(cell.kind(), cell.ndim() - 1, cell.poly_order());
-        let mut trace = [Vec::with_capacity(cell.len()), Vec::with_capacity(cell.len())];
+        let mut trace = [
+            Vec::with_capacity(cell.len()),
+            Vec::with_capacity(cell.len()),
+        ];
         for i in 0..cell.len() {
             let e = cell.exps(i);
             let fe = drop_dim(e, dir);
             let a = basis
                 .find(&fe)
-                .expect("family not closed under taking traces — impossible") as u32;
+                .expect("family not closed under taking traces — impossible")
+                as u32;
             let k = e[dir] as usize;
             trace[0].push((a, edge_value(k, -1)));
             trace[1].push((a, edge_value(k, 1)));
@@ -148,8 +152,9 @@ mod tests {
                 for &side in &[-1i32, 1] {
                     // Random-ish cell expansion evaluated on the face two
                     // ways must agree.
-                    let coeffs: Vec<f64> =
-                        (0..cell.len()).map(|i| ((i * 37 + 11) % 17) as f64 / 7.0 - 1.0).collect();
+                    let coeffs: Vec<f64> = (0..cell.len())
+                        .map(|i| ((i * 37 + 11) % 17) as f64 / 7.0 - 1.0)
+                        .collect();
                     let mut face = vec![0.0; fb.len()];
                     fb.restrict(side, &coeffs, &mut face);
 

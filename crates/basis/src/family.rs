@@ -23,9 +23,7 @@ impl BasisKind {
     /// Is the monomial exponent multi-index a member of the family's space?
     pub fn admits(&self, exps: &Exps, ndim: usize, p: usize) -> bool {
         match self {
-            BasisKind::MaximalOrder => {
-                exps[..ndim].iter().map(|&e| e as usize).sum::<usize>() <= p
-            }
+            BasisKind::MaximalOrder => exps[..ndim].iter().map(|&e| e as usize).sum::<usize>() <= p,
             BasisKind::Serendipity => superlinear_degree(exps, ndim) <= p,
             BasisKind::Tensor => exps[..ndim].iter().all(|&e| (e as usize) <= p),
         }

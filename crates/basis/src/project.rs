@@ -62,7 +62,10 @@ mod tests {
         let mut coeffs = vec![0.0; b.len()];
         project_cell(&b, 3, &center, &dx, &mut f, &mut coeffs);
         for &(x, y) in &[(0.9, -2.9), (1.2, -1.1), (1.0, -2.0)] {
-            let xi = [(x - center[0]) / (0.5 * dx[0]), (y - center[1]) / (0.5 * dx[1])];
+            let xi = [
+                (x - center[0]) / (0.5 * dx[0]),
+                (y - center[1]) / (0.5 * dx[1]),
+            ];
             let got = b.eval_expansion(&coeffs, &xi);
             let want = f(&[x, y]);
             assert!((got - want).abs() < 1e-12, "at ({x},{y}): {got} vs {want}");

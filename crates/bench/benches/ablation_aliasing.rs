@@ -103,10 +103,7 @@ fn main() {
     );
     println!(
         "{:<42}{:>11.2e}{:>11.2e}{:>11.2e}",
-        "mass drift (relative)",
-        exact.mass_drift,
-        aliased.mass_drift,
-        strongly_aliased.mass_drift
+        "mass drift (relative)", exact.mass_drift, aliased.mass_drift, strongly_aliased.mass_drift
     );
     let trajectory_gap = exact
         .field_trace

@@ -80,8 +80,15 @@ fn main() {
     println!("{:-<58}", "");
     println!("{:<44}{:>14}", "DOFs (cells x Np)", dofs as u64);
     println!("{:<44}{:>14.3e}", "collisionless Eop (DOF/s/core)", eop);
-    println!("{:<44}{:>14.3e}", "with LBO collisions (DOF/s/core)", eop_lbo);
-    println!("{:<44}{:>13.2}x", "collision cost factor", t_with_lbo / t_vlasov);
+    println!(
+        "{:<44}{:>14.3e}",
+        "with LBO collisions (DOF/s/core)", eop_lbo
+    );
+    println!(
+        "{:<44}{:>13.2}x",
+        "collision cost factor",
+        t_with_lbo / t_vlasov
+    );
     println!("\npaper: Eop ≈ 1.67e7 collisionless, ≈ 8e6 with collisions (≈2x cost);");
     println!("       Fehn et al. compressible Navier–Stokes (3D, p=2 tensor): ≈ 1e7.");
 

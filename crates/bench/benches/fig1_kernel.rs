@@ -17,7 +17,10 @@ fn main() {
     let src = volume_kernel_source(&pk, "vlasov_vol_1x2v_p1_tensor");
     let first: String = src.lines().take(28).collect::<Vec<_>>().join("\n");
     println!("{first}");
-    println!("    … ({} lines total; full text via `cargo run --release --example kernel_inspect`)\n", src.lines().count());
+    println!(
+        "    … ({} lines total; full text via `cargo run --release --example kernel_inspect`)\n",
+        src.lines().count()
+    );
 
     let r = pk.op_report();
     let modal_vol = r.streaming_volume + r.accel_volume;
@@ -30,7 +33,10 @@ fn main() {
     println!("{:<46}{:>10}", "Np (DOF per cell)", r.np);
     println!("{:<46}{:>10}", "modal volume multiplications", modal_vol);
     println!("{:<46}{:>10}", "modal volume update statements", statements);
-    println!("{:<46}{:>10}", "nodal (quadrature) volume mult estimate", nodal_vol);
+    println!(
+        "{:<46}{:>10}",
+        "nodal (quadrature) volume mult estimate", nodal_vol
+    );
     println!(
         "{:<46}{:>9.1}x",
         "nodal / modal (volume term)",
@@ -45,7 +51,10 @@ fn main() {
         nodal_vol as f64 / modal_vol as f64
     );
 
-    assert!(modal_vol >= 40 && modal_vol <= 120, "modal count out of the paper's ballpark");
+    assert!(
+        (40..=120).contains(&modal_vol),
+        "modal count out of the paper's ballpark"
+    );
     assert!(nodal_vol as f64 / modal_vol as f64 > 2.0);
     println!("\nfig1_kernel OK");
 }

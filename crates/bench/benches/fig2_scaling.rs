@@ -20,7 +20,13 @@ fn main() {
     ];
     // p range per dimensionality: keep 6D at p ≤ 2 (tensor p=2 in 6D is
     // Np = 729, the largest point the container handles comfortably).
-    let orders = |d: usize| if d >= 6 { vec![1usize, 2] } else { vec![1usize, 2, 3] };
+    let orders = |d: usize| {
+        if d >= 6 {
+            vec![1usize, 2]
+        } else {
+            vec![1usize, 2, 3]
+        }
+    };
 
     let mut rows = Vec::new();
     println!(

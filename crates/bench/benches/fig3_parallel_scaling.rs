@@ -13,7 +13,9 @@ use dg_bench::env_usize;
 use dg_parallel::scaling::{strong_scaling_series, weak_scaling_series};
 
 fn main() {
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     let base0 = env_usize("F3_BASE0", 2);
     let max_ranks = env_usize("F3_RANKS", 4);
     let rank_counts: Vec<usize> = (0..)
@@ -42,7 +44,10 @@ fn main() {
     }
     println!("paper: time/step stays ≈flat out to 4096 nodes (≤25% in halo exchange)");
 
-    println!("\nstrong scaling (fixed conf {0}x4x4, vel 4^3):", base0 * max_ranks);
+    println!(
+        "\nstrong scaling (fixed conf {0}x4x4, vel 4^3):",
+        base0 * max_ranks
+    );
     println!(
         "{:>6} {:>12} {:>12} {:>12}",
         "ranks", "phase cells", "s/step", "speedup"

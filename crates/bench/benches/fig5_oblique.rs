@@ -37,8 +37,10 @@ fn main() {
                 move |x, v| {
                     let kx = 2.0 * std::f64::consts::PI / l;
                     let seed = 1.0
-                        + 1e-3 * ((kx * x[0]).cos() + (kx * x[1]).cos() + (kx * (x[0] + x[1])).sin());
-                    seed * (maxwellian(0.5, &[0.0, u], 0.1, v) + maxwellian(0.5, &[0.0, -u], 0.1, v))
+                        + 1e-3
+                            * ((kx * x[0]).cos() + (kx * x[1]).cos() + (kx * (x[0] + x[1])).sin());
+                    seed * (maxwellian(0.5, &[0.0, u], 0.1, v)
+                        + maxwellian(0.5, &[0.0, -u], 0.1, v))
                 },
             ),
         )
@@ -48,14 +50,24 @@ fn main() {
         )
         .field(FieldSpec::new(1.0).cleaning(1.0, 1.0).with_ic(move |x| {
             let kx = 2.0 * std::f64::consts::PI / l;
-            [0.0, 0.0, 0.0, 0.0, 0.0, 1e-5 * ((kx * x[0]).sin() + (kx * x[1]).cos())]
+            [
+                0.0,
+                0.0,
+                0.0,
+                0.0,
+                0.0,
+                1e-5 * ((kx * x[0]).sin() + (kx * x[1]).cos()),
+            ]
         }))
         .build()
         .unwrap();
 
     let mut h = EnergyHistory::new();
     h.record(&app.system, &app.state, app.time());
-    println!("{:>8} {:>16} {:>16} {:>16}", "t", "kinetic", "field", "total");
+    println!(
+        "{:>8} {:>16} {:>16} {:>16}",
+        "t", "kinetic", "field", "total"
+    );
     let samples = 8usize;
     for i in 0..samples {
         app.advance_by(t_end / samples as f64).unwrap();
@@ -73,14 +85,20 @@ fn main() {
 
     let first = &h.samples[0];
     let last = h.samples.last().unwrap();
-    println!("\nfield-energy amplification : {:.2e}", last.field_energy / first.field_energy.max(1e-300));
+    println!(
+        "\nfield-energy amplification : {:.2e}",
+        last.field_energy / first.field_energy.max(1e-300)
+    );
     println!("mass drift                 : {:.3e}", h.mass_drift());
     println!("total-energy drift         : {:.3e}", h.energy_drift());
     println!("paper: beam kinetic energy converts to EM fields through the instability zoo,");
     println!("       then back into thermal spread after saturation (Fig. 5's three panels");
     println!("       are regenerated as CSVs by examples/weibel_2x2v.rs).");
 
-    assert!(last.field_energy > first.field_energy, "instability must grow the field");
+    assert!(
+        last.field_energy > first.field_energy,
+        "instability must grow the field"
+    );
     assert!(h.mass_drift() < 1e-9);
     println!("\nfig5_oblique OK");
 }

@@ -92,8 +92,10 @@ fn bench_kernels(c: &mut Criterion) {
             let mut m2 = vec![0.0; nc];
             bch.iter(|| {
                 k.moments.accumulate_m0(black_box(&f), 0.5, &mut m0);
-                k.moments.accumulate_m1(0, black_box(&f), 0.5, 0.4, 0.5, &mut m1);
-                k.moments.accumulate_m2(black_box(&f), 0.5, &v_c, &dv, &mut m2);
+                k.moments
+                    .accumulate_m1(0, black_box(&f), 0.5, 0.4, 0.5, &mut m1);
+                k.moments
+                    .accumulate_m2(black_box(&f), 0.5, &v_c, &dv, &mut m2);
                 black_box((&m0, &m1, &m2));
             });
         });

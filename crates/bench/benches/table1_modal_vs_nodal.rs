@@ -15,8 +15,8 @@ use dg_core::app::{AppBuilder, FieldSpec, SpeciesSpec};
 use dg_core::species::maxwellian;
 use dg_core::vlasov::VlasovWorkspace;
 use dg_grid::DgField;
-use dg_nodal::aliased::NodalSystem;
 use dg_nodal::alias_free_points;
+use dg_nodal::aliased::NodalSystem;
 use std::time::Instant;
 
 fn main() {
@@ -120,9 +120,7 @@ fn main() {
         nodal_total / modal_total,
         nodal_vlasov / modal_vlasov
     );
-    println!(
-        "\npaper: total 1079.63 → 67.43 s/step (≈16x); Vlasov 1033.89 → 60.34 (≈17x)"
-    );
+    println!("\npaper: total 1079.63 → 67.43 s/step (≈16x); Vlasov 1033.89 → 60.34 (≈17x)");
     println!(
         "ours : total ratio {:.1}x; Vlasov ratio {:.1}x; Vlasov share of modal step {:.0}%",
         nodal_total / modal_total,

@@ -1,3 +1,13 @@
+//! Regenerates the committed Fig.-1 kernel artifact in place.
+//!
+//! `cargo run -p dg-bench --bin gen_kernel` rewrites
+//! `crates/kernels/src/generated/vlasov_vol_1x2v_p1_tensor.rs` from the
+//! current generator, closing the Gkeyll-style committed-codegen loop: the
+//! unit test `generated::tests::committed_source_matches_generator` (and a
+//! `git diff --exit-code` step in CI) then asserts the tree is clean, so
+//! generator drift cannot land unnoticed. Pass `--stdout` to print the
+//! kernel source instead of writing it.
+
 fn main() {
     let pk = dg_kernels::kernels_for(
         dg_basis::BasisKind::Tensor,
@@ -5,5 +15,18 @@ fn main() {
         1,
     );
     let src = dg_kernels::codegen::volume_kernel_source(&pk, "vlasov_vol_1x2v_p1_tensor");
-    print!("{src}");
+    if std::env::args().any(|a| a == "--stdout") {
+        print!("{src}");
+        return;
+    }
+    // Resolve the destination at runtime so a cached binary run from a
+    // moved/copied checkout still writes into the invoking workspace;
+    // the compile-time path is only the non-cargo-run fallback.
+    let manifest_dir = std::env::var("CARGO_MANIFEST_DIR")
+        .unwrap_or_else(|_| env!("CARGO_MANIFEST_DIR").to_string());
+    let dest = std::path::Path::new(&manifest_dir)
+        .join("../kernels/src/generated/vlasov_vol_1x2v_p1_tensor.rs");
+    std::fs::write(&dest, &src)
+        .unwrap_or_else(|e| panic!("failed to write {}: {e}", dest.display()));
+    eprintln!("regenerated {} ({} bytes)", dest.display(), src.len());
 }

@@ -111,7 +111,12 @@ impl CellBench {
             let surf = &k.surfaces[dir];
             let nf = surf.kernel.face.len();
             let lam = if dir < cdim {
-                k.stream_face_alpha(dir, self.v_c[dir], self.dxv[cdim + dir], &mut self.alpha_face[..nf])
+                k.stream_face_alpha(
+                    dir,
+                    self.v_c[dir],
+                    self.dxv[cdim + dir],
+                    &mut self.alpha_face[..nf],
+                )
             } else {
                 let j = dir - cdim;
                 surf.face_accel.as_ref().unwrap().project(
@@ -149,8 +154,12 @@ impl CellBench {
             k.streaming[d].apply(&self.f, self.v_c[d], self.dxv[cdim + d], 4.0, &mut self.out);
             let surf = &k.surfaces[d];
             let nf = surf.kernel.face.len();
-            let lam =
-                k.stream_face_alpha(d, self.v_c[d], self.dxv[cdim + d], &mut self.alpha_face[..nf]);
+            let lam = k.stream_face_alpha(
+                d,
+                self.v_c[d],
+                self.dxv[cdim + d],
+                &mut self.alpha_face[..nf],
+            );
             surf.kernel.apply(
                 &self.fl,
                 &self.fr,

@@ -266,7 +266,14 @@ impl AppBuilder {
             chi_m: fspec.chi_m,
             epsilon0: fspec.epsilon0,
         };
-        let maxwell = MaxwellDg::new(self.kind, conf_grid, bc, self.poly_order, params, fspec.flux);
+        let maxwell = MaxwellDg::new(
+            self.kind,
+            conf_grid,
+            bc,
+            self.poly_order,
+            params,
+            fspec.flux,
+        );
 
         let npts = self.init_quad_npts.unwrap_or(self.poly_order + 3);
         let mut species = Vec::new();
@@ -283,7 +290,8 @@ impl AppBuilder {
             species.push(sp);
         }
 
-        let mut system = VlasovMaxwell::new(Arc::clone(&kernels), grid, maxwell, species, self.flux);
+        let mut system =
+            VlasovMaxwell::new(Arc::clone(&kernels), grid, maxwell, species, self.flux);
         system.collisions = collisions;
         system.evolve_field = fspec.evolve;
         system.track_charge = fspec.chi_e != 0.0;
@@ -291,7 +299,13 @@ impl AppBuilder {
         // Initial EM field.
         let mut em = system.maxwell.new_field();
         if let Some(mut init) = fspec.init {
-            project_field_ic(&system.maxwell.basis, &system.maxwell.grid, npts, &mut init, &mut em);
+            project_field_ic(
+                &system.maxwell.basis,
+                &system.maxwell.grid,
+                npts,
+                &mut init,
+                &mut em,
+            );
         }
         if fspec.poisson_init {
             if cdim != 1 {
@@ -545,10 +559,7 @@ mod tests {
                 let x = grid.center(0, c) + 0.5 * grid.dx()[0] * xi;
                 let want = -0.1 * (kx * x).sin() / kx;
                 let got = basis.eval_expansion(ex, &[xi]);
-                assert!(
-                    (got - want).abs() < 2e-4,
-                    "E at x={x}: {got} vs {want}"
-                );
+                assert!((got - want).abs() < 2e-4, "E at x={x}: {got} vs {want}");
             }
         }
     }

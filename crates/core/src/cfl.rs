@@ -30,8 +30,7 @@ pub fn suggest_dt(system: &VlasovMaxwell, state: &SystemState, cfl: f64) -> f64 
         let u = state.em.cell(cell);
         for comp in 0..3 {
             emax[comp] = emax[comp].max(sup_bound(&u[comp * nc..(comp + 1) * nc], &sups));
-            bmax[comp] =
-                bmax[comp].max(sup_bound(&u[(3 + comp) * nc..(4 + comp) * nc], &sups));
+            bmax[comp] = bmax[comp].max(sup_bound(&u[(3 + comp) * nc..(4 + comp) * nc], &sups));
         }
     }
     let vmax: Vec<f64> = (0..vdim)
@@ -99,7 +98,9 @@ mod tests {
                 MaxwellFlux::Central,
             );
             let mut sp = Species::new("e", -1.0, 1.0, &grid, kernels.np());
-            sp.project_initial(&kernels, &grid, 3, &mut |_x, v| maxwellian(1.0, &[0.0], 1.0, v));
+            sp.project_initial(&kernels, &grid, 3, &mut |_x, v| {
+                maxwellian(1.0, &[0.0], 1.0, v)
+            });
             VlasovMaxwell::new(kernels, grid, mx, vec![sp], FluxKind::Upwind)
         };
         let sys4 = build(4);

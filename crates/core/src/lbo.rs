@@ -112,7 +112,13 @@ impl LboOp {
         for j in 0..vdim {
             let dir = cdim + j;
             let dim_tables: Vec<DimTable> = (0..phase.ndim())
-                .map(|d| if d == dir { DimTable::Grad } else { DimTable::Mass })
+                .map(|d| {
+                    if d == dir {
+                        DimTable::Grad
+                    } else {
+                        DimTable::Mass
+                    }
+                })
                 .collect();
             // Drag: α = −ν(v_j − u_j(x)) → conf modes plus the ξ_j mode.
             let mut caps = [0u8; MAX_DIM];
@@ -301,7 +307,9 @@ impl LboOp {
                     // upper trace at the boundary).
                     trace[..nf].fill(0.0);
                     if vidx[j] + 1 < n_j {
-                        surf.kernel.face.restrict(-1, f.cell(cell + stride), &mut trace);
+                        surf.kernel
+                            .face
+                            .restrict(-1, f.cell(cell + stride), &mut trace);
                     } else {
                         surf.kernel.face.restrict(1, f.cell(cell), &mut trace);
                     }
@@ -495,7 +503,13 @@ mod tests {
         };
         let (p_small, e_small) = run(6.0);
         let (p_big, e_big) = run(10.0);
-        assert!(p_big < p_small + 1e-12, "momentum drift should not grow: {p_small} → {p_big}");
-        assert!(e_big < e_small + 1e-12, "energy drift should not grow: {e_small} → {e_big}");
+        assert!(
+            p_big < p_small + 1e-12,
+            "momentum drift should not grow: {p_small} → {p_big}"
+        );
+        assert!(
+            e_big < e_small + 1e-12,
+            "energy drift should not grow: {e_small} → {e_big}"
+        );
     }
 }

@@ -74,12 +74,7 @@ impl Species {
     pub fn total_number(&self, kernels: &PhaseKernels, grid: &PhaseGrid) -> f64 {
         // The cell mean is coefficient 0 times 2^{-d/2}; the integral over
         // the cell multiplies by the physical volume.
-        let vol: f64 = grid
-            .conf
-            .dx()
-            .iter()
-            .chain(grid.vel.dx())
-            .product();
+        let vol: f64 = grid.conf.dx().iter().chain(grid.vel.dx()).product();
         let w = vol * (2.0f64).powi(-(kernels.phase_basis.ndim() as i32)).sqrt();
         (0..grid.len()).map(|c| self.f.cell(c)[0]).sum::<f64>() * w
     }
@@ -94,7 +89,9 @@ pub fn maxwellian(n: f64, u: &[f64], vth: f64, v: &[f64]) -> f64 {
         let w = v[d] - u.get(d).copied().unwrap_or(0.0);
         arg += w * w;
     }
-    let norm = (2.0 * std::f64::consts::PI * vth * vth).powi(vdim as i32).sqrt();
+    let norm = (2.0 * std::f64::consts::PI * vth * vth)
+        .powi(vdim as i32)
+        .sqrt();
     n * (-arg / (2.0 * vth * vth)).exp() / norm
 }
 

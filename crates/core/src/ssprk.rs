@@ -93,7 +93,12 @@ mod tests {
         );
         let mut sp = Species::new("elc", -1.0, 1.0, &grid, kernels.np());
         sp.project_initial(&kernels, &grid, 3, &mut |x, v| {
-            maxwellian(1.0 + 0.05 * (2.0 * std::f64::consts::PI * x[0]).cos(), &[0.0], 1.0, v)
+            maxwellian(
+                1.0 + 0.05 * (2.0 * std::f64::consts::PI * x[0]).cos(),
+                &[0.0],
+                1.0,
+                v,
+            )
         });
         let sys = VlasovMaxwell::new(kernels, grid, mx, vec![sp], FluxKind::Upwind);
         let state = sys.initial_state(sys.maxwell.new_field());

@@ -187,7 +187,12 @@ impl VlasovMaxwell {
             .iter()
             .enumerate()
             .map(|(s, sp)| {
-                crate::moments::kinetic_energy(&self.kernels, &self.grid, sp.mass, &state.species_f[s])
+                crate::moments::kinetic_energy(
+                    &self.kernels,
+                    &self.grid,
+                    sp.mass,
+                    &state.species_f[s],
+                )
             })
             .sum()
     }
@@ -206,7 +211,10 @@ impl VlasovMaxwell {
             .iter()
             .chain(self.grid.vel.dx())
             .product();
-        let w = vol * (2.0f64).powi(-(self.kernels.phase_basis.ndim() as i32)).sqrt();
+        let w = vol
+            * (2.0f64)
+                .powi(-(self.kernels.phase_basis.ndim() as i32))
+                .sqrt();
         state
             .species_f
             .iter()

@@ -372,7 +372,9 @@ impl VlasovOp {
 
     /// Exact `max |v_d|` over the velocity grid (streaming CFL).
     pub fn max_speed(&self, d: usize) -> f64 {
-        self.grid.vel.lower()[d].abs().max(self.grid.vel.upper()[d].abs())
+        self.grid.vel.lower()[d]
+            .abs()
+            .max(self.grid.vel.upper()[d].abs())
     }
 }
 
@@ -425,7 +427,10 @@ mod tests {
         let mut out = DgField::zeros(sp.f.ncells(), sp.f.ncoeff());
         let mut ws = VlasovWorkspace::for_kernels(&op.kernels);
         op.accumulate_rhs(sp.qm(), &sp.f, &em, &mut out, &mut ws);
-        assert!(out.max_abs() > 1e-8, "free streaming should move phase space");
+        assert!(
+            out.max_abs() > 1e-8,
+            "free streaming should move phase space"
+        );
         // No acceleration ⇒ velocity-direction flux identically zero ⇒ for
         // each velocity cell, summing means over x conserves that slab.
         let nv = op.grid.vel.len();

@@ -91,8 +91,15 @@ mod tests {
         let dir = std::env::temp_dir().join("dg_diag_csv_test");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("grid.csv");
-        write_grid_csv(&path, "x", "v", &[0.0, 1.0], &[-1.0, 0.0, 1.0], &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0])
-            .unwrap();
+        write_grid_csv(
+            &path,
+            "x",
+            "v",
+            &[0.0, 1.0],
+            &[-1.0, 0.0, 1.0],
+            &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0],
+        )
+        .unwrap();
         let body = std::fs::read_to_string(&path).unwrap();
         assert_eq!(body.lines().count(), 1 + 6);
     }

@@ -66,7 +66,10 @@ mod tests {
     #[test]
     fn growth_rate_of_synthetic_exponential() {
         let times: Vec<f64> = (0..100).map(|i| i as f64 * 0.1).collect();
-        let energies: Vec<f64> = times.iter().map(|t| 1e-6 * (2.0 * 0.35 * t).exp()).collect();
+        let energies: Vec<f64> = times
+            .iter()
+            .map(|t| 1e-6 * (2.0 * 0.35 * t).exp())
+            .collect();
         let g = growth_rate(&times, &energies, 2.0, 8.0);
         assert!((g - 0.35).abs() < 1e-10, "γ = {g}");
     }

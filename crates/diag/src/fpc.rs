@@ -69,9 +69,8 @@ mod tests {
             .basis(BasisKind::Serendipity)
             .vlasov_flux(FluxKind::Central)
             .species(
-                SpeciesSpec::new("elc", -1.0, 1.0, &[-6.0], &[6.0], &[16]).initial(move |x, v| {
-                    maxwellian(1.0 + 0.1 * (k * x[0]).cos(), &[0.0], 1.0, v)
-                }),
+                SpeciesSpec::new("elc", -1.0, 1.0, &[-6.0], &[6.0], &[16])
+                    .initial(move |x, v| maxwellian(1.0 + 0.1 * (k * x[0]).cos(), &[0.0], 1.0, v)),
             )
             .field(
                 FieldSpec::new(10.0)
@@ -179,9 +178,8 @@ mod fpc_velocity_tests {
             .poly_order(2)
             .basis(BasisKind::Serendipity)
             .species(
-                SpeciesSpec::new("elc", -1.0, 1.0, &[-6.0], &[6.0], &[16]).initial(
-                    move |x, v| maxwellian(1.0 + 0.05 * (k * x[0]).cos(), &[0.0], 1.0, v),
-                ),
+                SpeciesSpec::new("elc", -1.0, 1.0, &[-6.0], &[6.0], &[16])
+                    .initial(move |x, v| maxwellian(1.0 + 0.05 * (k * x[0]).cos(), &[0.0], 1.0, v)),
             )
             .field(FieldSpec::new(5.0).with_poisson_init())
             .build()

@@ -56,7 +56,13 @@ impl EnergyHistory {
     pub fn write_csv(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
         let mut w = crate::csv::CsvWriter::create(
             path,
-            &["t", "field_energy", "particle_energy", "total_energy", "total_number"],
+            &[
+                "t",
+                "field_energy",
+                "particle_energy",
+                "total_energy",
+                "total_number",
+            ],
         )?;
         for s in &self.samples {
             w.row(&[

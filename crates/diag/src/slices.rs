@@ -23,13 +23,7 @@ pub struct Slice2d {
 
 /// Sample `f` on the plane spanned by `(ax, ay)`, fixing every other axis
 /// at the cell whose center is nearest to `fixed[axis]`.
-pub fn slice_2d(
-    system: &VlasovMaxwell,
-    f: &DgField,
-    ax: Axis,
-    ay: Axis,
-    fixed: &[f64],
-) -> Slice2d {
+pub fn slice_2d(system: &VlasovMaxwell, f: &DgField, ax: Axis, ay: Axis, fixed: &[f64]) -> Slice2d {
     let grid = &system.grid;
     let cdim = grid.cdim();
     let ndim = grid.ndim();
@@ -51,7 +45,11 @@ pub fn slice_2d(
     };
     let nearest_cell = |axis: usize, z: f64| -> usize {
         let (lo, dx, n) = if axis < cdim {
-            (grid.conf.lower()[axis], grid.conf.dx()[axis], grid.conf.cells()[axis])
+            (
+                grid.conf.lower()[axis],
+                grid.conf.dx()[axis],
+                grid.conf.cells()[axis],
+            )
         } else {
             let a = axis - cdim;
             (grid.vel.lower()[a], grid.vel.dx()[a], grid.vel.cells()[a])
@@ -134,7 +132,15 @@ mod tests {
                 }
             }
         }
-        assert!((s.xs[best.0] - 1.0).abs() < 0.6, "peak vx at {}", s.xs[best.0]);
-        assert!((s.ys[best.1] + 1.0).abs() < 0.6, "peak vy at {}", s.ys[best.1]);
+        assert!(
+            (s.xs[best.0] - 1.0).abs() < 0.6,
+            "peak vx at {}",
+            s.xs[best.0]
+        );
+        assert!(
+            (s.ys[best.1] + 1.0).abs() < 0.6,
+            "peak vy at {}",
+            s.ys[best.1]
+        );
     }
 }

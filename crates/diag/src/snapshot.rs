@@ -137,7 +137,7 @@ mod tests {
 
     #[test]
     fn rejects_garbage() {
-        let garbage = vec![0u8; 64];
+        let garbage = [0u8; 64];
         assert!(read_state(&garbage[..]).is_err());
     }
 

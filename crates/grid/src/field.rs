@@ -218,7 +218,10 @@ mod tests {
                 f.cell_mut(i)[k] = (i * 3 + k) as f64;
             }
         }
-        assert_eq!(f.as_slice(), &(0..12).map(|x| x as f64).collect::<Vec<_>>()[..]);
+        assert_eq!(
+            f.as_slice(),
+            &(0..12).map(|x| x as f64).collect::<Vec<_>>()[..]
+        );
         assert_eq!(f.cell(2), &[6.0, 7.0, 8.0]);
     }
 

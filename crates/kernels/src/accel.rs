@@ -153,11 +153,7 @@ impl AccelProject {
             }
         }
         // Modal sup bound: |α| ≤ Σ |α_i| ‖w_i‖_∞.
-        alpha
-            .iter()
-            .zip(&self.sup)
-            .map(|(a, s)| a.abs() * s)
-            .sum()
+        alpha.iter().zip(&self.sup).map(|(a, s)| a.abs() * s).sum()
     }
 
     /// Multiplications per projection (for the op-count audits).
@@ -223,7 +219,7 @@ mod tests {
 
         let mut tg = TensorGauss::new(3, 3);
         let mut xi = [0.0; 3];
-        while let Some(_) = tg.next_point(&mut xi) {
+        while tg.next_point(&mut xi).is_some() {
             let got = phase.eval_expansion(&alpha, &xi);
             // (v×B)_x = v_y B_z (no v_z in 2V).
             let exv = conf.eval_expansion(&ex, &xi[..1]);
@@ -259,7 +255,7 @@ mod tests {
         );
         let mut tg = TensorGauss::new(3, 4);
         let mut xi = [0.0; 4];
-        while let Some(_) = tg.next_point(&mut xi) {
+        while tg.next_point(&mut xi).is_some() {
             let got = phase.eval_expansion(&alpha, &xi);
             let eyv = conf.eval_expansion(&ey, &xi[..2]);
             let bzv = conf.eval_expansion(&bz, &xi[..2]);

@@ -33,10 +33,21 @@ pub fn volume_kernel_source(pk: &PhaseKernels, fn_name: &str) -> String {
         "/// Auto-generated from exact integral tables — do not edit by hand."
     );
     let _ = writeln!(s, "///");
-    let _ = writeln!(s, "/// * `w`   — phase-space cell center, `[x…, v…]`, length {}", cdim + vdim);
-    let _ = writeln!(s, "/// * `dxv` — phase-space cell size, length {}", cdim + vdim);
+    let _ = writeln!(
+        s,
+        "/// * `w`   — phase-space cell center, `[x…, v…]`, length {}",
+        cdim + vdim
+    );
+    let _ = writeln!(
+        s,
+        "/// * `dxv` — phase-space cell size, length {}",
+        cdim + vdim
+    );
     let _ = writeln!(s, "/// * `qm`  — charge-to-mass ratio q/m");
-    let _ = writeln!(s, "/// * `em`  — E/B conf-space coefficients, 6 components × {nc}");
+    let _ = writeln!(
+        s,
+        "/// * `em`  — E/B conf-space coefficients, 6 components × {nc}"
+    );
     let _ = writeln!(s, "/// * `f`   — distribution coefficients, length {np}");
     let _ = writeln!(s, "/// * `out` — RHS increment, length {np}");
     let _ = writeln!(s, "#[allow(clippy::all)]");
@@ -75,19 +86,10 @@ pub fn volume_kernel_source(pk: &PhaseKernels, fn_name: &str) -> String {
             let mut center = format!("em[{}]", j * nc + l);
             for &(k, bc, sign) in &terms {
                 let op = if sign > 0.0 { "+" } else { "-" };
-                let _ = write!(
-                    center,
-                    " {op} w[{}] * em[{}]",
-                    cdim + k,
-                    (3 + bc) * nc + l
-                );
+                let _ = write!(center, " {op} w[{}] * em[{}]", cdim + k, (3 + bc) * nc + l);
             }
             let i0 = proj.emb0[l];
-            let _ = writeln!(
-                s,
-                "    alpha{j}[{i0}] += qm * {:?} * ({center});",
-                proj.w0
-            );
+            let _ = writeln!(s, "    alpha{j}[{i0}] += qm * {:?} * ({center});", proj.w0);
             for &(k, bc, sign) in &terms {
                 if let Some(i1) = proj.emb1[k][l] {
                     let _ = writeln!(
@@ -119,15 +121,14 @@ pub fn cross_terms_pub(j: usize, vdim: usize) -> Vec<(usize, usize, f64)> {
         [(2, 0, 1.0), (0, 2, -1.0)],
         [(0, 1, 1.0), (1, 0, -1.0)],
     ];
-    TERMS[j]
-        .into_iter()
-        .filter(|&(k, _, _)| k < vdim)
-        .collect()
+    TERMS[j].into_iter().filter(|&(k, _, _)| k < vdim).collect()
 }
 
 /// Count of `out[...] +=` statements in generated source (for audits).
 pub fn count_update_statements(src: &str) -> usize {
-    src.lines().filter(|l| l.trim_start().starts_with("out[")).count()
+    src.lines()
+        .filter(|l| l.trim_start().starts_with("out["))
+        .count()
 }
 
 #[cfg(test)]
@@ -144,8 +145,15 @@ mod tests {
         assert!(src.contains("alpha0"));
         assert!(src.contains("alpha1"));
         // Update statement count equals total tensor nnz.
-        let want = pk.streaming.iter().map(|s| s.s0.nnz() + s.s1.nnz()).sum::<usize>()
-            + pk.accel_vol.iter().map(|a| a.entries().len()).sum::<usize>();
+        let want = pk
+            .streaming
+            .iter()
+            .map(|s| s.s0.nnz() + s.s1.nnz())
+            .sum::<usize>()
+            + pk.accel_vol
+                .iter()
+                .map(|a| a.entries().len())
+                .sum::<usize>();
         assert_eq!(count_update_statements(&src), want);
     }
 
@@ -158,7 +166,10 @@ mod tests {
         let pk = PhaseKernels::build(BasisKind::Tensor, PhaseLayout::new(1, 2), 1);
         let src = volume_kernel_source(&pk, "k");
         let n = count_update_statements(&src);
-        assert!(n < 80, "Fig. 1 kernel should stay compact, got {n} statements");
+        assert!(
+            n < 80,
+            "Fig. 1 kernel should stay compact, got {n} statements"
+        );
         assert!(n > 10);
     }
 }

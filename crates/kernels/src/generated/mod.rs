@@ -49,7 +49,11 @@ mod tests {
         let mut out_rt = vec![0.0; np];
         pk.streaming[0].apply(&f, w[1], dxv[1], 2.0 / dxv[0], &mut out_rt);
         let e = &em[..3 * nc];
-        let b = [&em[3 * nc..4 * nc], &em[4 * nc..5 * nc], &em[5 * nc..6 * nc]];
+        let b = [
+            &em[3 * nc..4 * nc],
+            &em[4 * nc..5 * nc],
+            &em[5 * nc..6 * nc],
+        ];
         let mut alpha = vec![0.0; np];
         for j in 0..2 {
             pk.cell_accel[j].project(

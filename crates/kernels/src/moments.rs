@@ -209,9 +209,17 @@ mod tests {
             let got0 = conf.eval_expansion(&m0, &xi);
             let got1 = conf.eval_expansion(&m1x, &xi);
             let got2 = conf.eval_expansion(&m2, &xi);
-            assert!((got0 - g(x) * q_m0).abs() < 1e-12, "M0 at {x}: {got0} vs {}", g(x) * q_m0);
+            assert!(
+                (got0 - g(x) * q_m0).abs() < 1e-12,
+                "M0 at {x}: {got0} vs {}",
+                g(x) * q_m0
+            );
             assert!((got1 - g(x) * q_m1x).abs() < 1e-12, "M1x at {x}");
-            assert!((got2 - g(x) * q_m2).abs() < 1e-11, "M2 at {x}: {got2} vs {}", g(x) * q_m2);
+            assert!(
+                (got2 - g(x) * q_m2).abs() < 1e-11,
+                "M2 at {x}: {got2} vs {}",
+                g(x) * q_m2
+            );
         }
     }
 

@@ -29,7 +29,11 @@ impl PhaseKernels {
     pub fn op_report(&self) -> OpReport {
         let streaming_volume = self.streaming.iter().map(|s| s.mult_count()).sum();
         let accel_volume = self.accel_vol.iter().map(|a| a.mult_count()).sum();
-        let alpha_assembly = self.cell_accel.iter().map(|a| a.mult_count()).sum::<usize>()
+        let alpha_assembly = self
+            .cell_accel
+            .iter()
+            .map(|a| a.mult_count())
+            .sum::<usize>()
             + self
                 .surfaces
                 .iter()

@@ -217,19 +217,17 @@ impl PhaseKernels {
 
     /// Largest face-basis size (for scratch sizing).
     pub fn max_face_len(&self) -> usize {
-        self.surfaces.iter().map(|s| s.kernel.face.len()).max().unwrap_or(1)
+        self.surfaces
+            .iter()
+            .map(|s| s.kernel.face.len())
+            .max()
+            .unwrap_or(1)
     }
 
     /// Fill `alpha_face` with the streaming face flux `α̂ = v_d` for a
     /// configuration-direction face, given the velocity-cell geometry of the
     /// paired velocity coordinate. Returns the exact `sup |α̂|` (penalty λ).
-    pub fn stream_face_alpha(
-        &self,
-        dir: usize,
-        v_c: f64,
-        dv: f64,
-        alpha_face: &mut [f64],
-    ) -> f64 {
+    pub fn stream_face_alpha(&self, dir: usize, v_c: f64, dv: f64, alpha_face: &mut [f64]) -> f64 {
         let (lin_idx, c0, c1) = self.surfaces[dir]
             .stream_affine
             .expect("stream_face_alpha on a velocity direction");

@@ -108,6 +108,9 @@ pub fn build_triple(spec: &TripleSpec<'_>, tables: &ExactTables) -> SparseTriple
     let mut en = [0u8; MAX_DIM];
 
     // Depth-first over dimensions; `acc` carries the exact partial product.
+    // The argument list mirrors the recursion state one-to-one; bundling it
+    // into a struct would only rename the same ten things.
+    #[allow(clippy::too_many_arguments)]
     fn walk(
         d: usize,
         ndim: usize,
@@ -145,17 +148,29 @@ pub fn build_triple(spec: &TripleSpec<'_>, tables: &ExactTables) -> SparseTriple
         let m_cap = spec.m_caps.map(|c| c[d] as usize).unwrap_or(p);
         for a in 0..=p {
             el[d] = a as u8;
-            if !spec.basis_l.kind().admits(el, ndim, spec.basis_l.poly_order()) {
+            if !spec
+                .basis_l
+                .kind()
+                .admits(el, ndim, spec.basis_l.poly_order())
+            {
                 continue;
             }
             for b in 0..=m_cap {
                 em[d] = b as u8;
-                if !spec.basis_m.kind().admits(em, ndim, spec.basis_m.poly_order()) {
+                if !spec
+                    .basis_m
+                    .kind()
+                    .admits(em, ndim, spec.basis_m.poly_order())
+                {
                     continue;
                 }
                 for c in 0..=p {
                     en[d] = c as u8;
-                    if !spec.basis_n.kind().admits(en, ndim, spec.basis_n.poly_order()) {
+                    if !spec
+                        .basis_n
+                        .kind()
+                        .admits(en, ndim, spec.basis_n.poly_order())
+                    {
                         continue;
                     }
                     let f1d = match spec.dim_tables[d] {
@@ -353,9 +368,9 @@ mod proptests {
     use dg_basis::BasisKind;
     use proptest::prelude::*;
 
-    /// Sampled symbolic verification in higher dimensions (the dense 2D
-    /// check lives above): random index triples of random configurations
-    /// must match brute-force multivariate integration.
+    // Sampled symbolic verification in higher dimensions (the dense 2D
+    // check lives above): random index triples of random configurations
+    // must match brute-force multivariate integration.
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(24))]
         #[test]

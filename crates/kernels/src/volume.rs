@@ -61,7 +61,13 @@ impl StreamingVolume {
         let ndim = basis.ndim();
         assert!(dir < ndim && vdim_of < ndim && dir != vdim_of);
         let dim_tables: Vec<DimTable> = (0..ndim)
-            .map(|d| if d == dir { DimTable::Grad } else { DimTable::Mass })
+            .map(|d| {
+                if d == dir {
+                    DimTable::Grad
+                } else {
+                    DimTable::Mass
+                }
+            })
             .collect();
         // α = v is supported on the constant mode and the linear mode in
         // the paired velocity dimension.
@@ -128,12 +134,24 @@ pub struct AccelVolume {
 
 impl AccelVolume {
     /// `cdim`/`vdim` describe the phase-space split of `basis`'s dims.
-    pub fn build(basis: &Basis, tables: &ExactTables, cdim: usize, vdim: usize, vdir: usize) -> Self {
+    pub fn build(
+        basis: &Basis,
+        tables: &ExactTables,
+        cdim: usize,
+        vdim: usize,
+        vdir: usize,
+    ) -> Self {
         let ndim = basis.ndim();
         assert_eq!(ndim, cdim + vdim);
         let phase_dim = cdim + vdir;
         let dim_tables: Vec<DimTable> = (0..ndim)
-            .map(|d| if d == phase_dim { DimTable::Grad } else { DimTable::Mass })
+            .map(|d| {
+                if d == phase_dim {
+                    DimTable::Grad
+                } else {
+                    DimTable::Mass
+                }
+            })
             .collect();
         // α_j = q/m (E_j + (v×B)_j): configuration modes arbitrary, velocity
         // content at most one linear factor in a direction k ≠ j.
@@ -253,7 +271,7 @@ mod tests {
         // paper's count is ~70, quadrature-based nodal ~250. Assert we land
         // in the alias-free-modal ballpark, nowhere near the nodal cost.
         assert!(
-            total >= 30 && total <= 150,
+            (30..=150).contains(&total),
             "unexpected mult count {total} for the Fig. 1 kernel"
         );
     }

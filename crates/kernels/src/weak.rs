@@ -104,7 +104,12 @@ mod tests {
         let mut u = vec![0.0; b.len()];
         assert!(w.divide(&rho, &m, &mut u));
         for i in 0..b.len() {
-            assert!((u[i] - u_true[i]).abs() < 1e-11, "mode {i}: {} vs {}", u[i], u_true[i]);
+            assert!(
+                (u[i] - u_true[i]).abs() < 1e-11,
+                "mode {i}: {} vs {}",
+                u[i],
+                u_true[i]
+            );
         }
     }
 

@@ -76,7 +76,9 @@ impl MaxwellDg {
         assert_eq!(bc.len(), cdim);
         let basis = Basis::new(kind, cdim, p);
         let tables = Tables1d::new(p);
-        let grad = (0..cdim).map(|d| GradMass::build(&basis, &tables, d)).collect();
+        let grad = (0..cdim)
+            .map(|d| GradMass::build(&basis, &tables, d))
+            .collect();
         let faces = (0..cdim).map(|d| FaceBasis::new(&basis, d)).collect();
         let nc = basis.len();
         MaxwellDg {
@@ -165,22 +167,28 @@ impl MaxwellDg {
             ul.fill(0.0);
             ur.fill(0.0);
             for comp in 0..NCOMP {
-                face.restrict(1, &cl[comp * nc..(comp + 1) * nc], &mut ul[comp * nf..(comp + 1) * nf]);
-                face.restrict(-1, &cr[comp * nc..(comp + 1) * nc], &mut ur[comp * nf..(comp + 1) * nf]);
+                face.restrict(
+                    1,
+                    &cl[comp * nc..(comp + 1) * nc],
+                    &mut ul[comp * nf..(comp + 1) * nf],
+                );
+                face.restrict(
+                    -1,
+                    &cr[comp * nc..(comp + 1) * nc],
+                    &mut ur[comp * nf..(comp + 1) * nf],
+                );
             }
             ghat.fill(0.0);
             for &(tgt, src, coef) in &table {
                 for a in 0..nf {
-                    ghat[tgt * nf + a] =
-                        0.5 * coef * (ul[src * nf + a] + ur[src * nf + a]);
+                    ghat[tgt * nf + a] = 0.5 * coef * (ul[src * nf + a] + ur[src * nf + a]);
                 }
             }
             if upwind {
                 for comp in 0..NCOMP {
                     let s = speeds[comp];
                     for a in 0..nf {
-                        ghat[comp * nf + a] -=
-                            0.5 * s * (ur[comp * nf + a] - ul[comp * nf + a]);
+                        ghat[comp * nf + a] -= 0.5 * s * (ur[comp * nf + a] - ul[comp * nf + a]);
                     }
                 }
             }
@@ -189,15 +197,35 @@ impl MaxwellDg {
                 // the same cell; apply the two lifts sequentially.
                 let o = out.cell_mut(lin);
                 for comp in 0..NCOMP {
-                    face.lift(1, &ghat[comp * nf..(comp + 1) * nf], -scale, &mut o[comp * nc..(comp + 1) * nc]);
-                    face.lift(-1, &ghat[comp * nf..(comp + 1) * nf], scale, &mut o[comp * nc..(comp + 1) * nc]);
+                    face.lift(
+                        1,
+                        &ghat[comp * nf..(comp + 1) * nf],
+                        -scale,
+                        &mut o[comp * nc..(comp + 1) * nc],
+                    );
+                    face.lift(
+                        -1,
+                        &ghat[comp * nf..(comp + 1) * nf],
+                        scale,
+                        &mut o[comp * nc..(comp + 1) * nc],
+                    );
                 }
                 continue;
             }
             let (ol, or_) = out.cell_pair_mut(lin, nlin);
             for comp in 0..NCOMP {
-                face.lift(1, &ghat[comp * nf..(comp + 1) * nf], -scale, &mut ol[comp * nc..(comp + 1) * nc]);
-                face.lift(-1, &ghat[comp * nf..(comp + 1) * nf], scale, &mut or_[comp * nc..(comp + 1) * nc]);
+                face.lift(
+                    1,
+                    &ghat[comp * nf..(comp + 1) * nf],
+                    -scale,
+                    &mut ol[comp * nc..(comp + 1) * nc],
+                );
+                face.lift(
+                    -1,
+                    &ghat[comp * nf..(comp + 1) * nf],
+                    scale,
+                    &mut or_[comp * nc..(comp + 1) * nc],
+                );
             }
         }
     }
@@ -232,7 +260,12 @@ impl MaxwellDg {
     pub fn max_dt(&self, cfl: f64) -> f64 {
         let p = self.basis.poly_order() as f64;
         let s = self.params.max_speed();
-        let sum: f64 = self.grid.dx().iter().map(|dx| (2.0 * p + 1.0) * s / dx).sum();
+        let sum: f64 = self
+            .grid
+            .dx()
+            .iter()
+            .map(|dx| (2.0 * p + 1.0) * s / dx)
+            .sum();
         cfl / sum
     }
 }
@@ -290,7 +323,7 @@ mod tests {
                 &mut buf,
             );
             let cell = em.cell_mut(i);
-            cell[EX + 1 * nc..EX + 1 * nc + nc].copy_from_slice(&buf); // Ey
+            cell[EX + nc..EX + 2 * nc].copy_from_slice(&buf); // Ey
             cell[5 * nc..6 * nc].copy_from_slice(&buf); // Bz
         }
         (mx, em)
@@ -381,7 +414,11 @@ mod tests {
         }
         let mut rhs = mx.new_field();
         mx.rhs(&em, &mut rhs);
-        assert!(rhs.max_abs() < 1e-12, "uniform state not steady: {}", rhs.max_abs());
+        assert!(
+            rhs.max_abs() < 1e-12,
+            "uniform state not steady: {}",
+            rhs.max_abs()
+        );
     }
 
     #[test]
@@ -521,7 +558,6 @@ mod tests_2d {
                 em.cell_mut(i)[..nc].copy_from_slice(&buf);
             }
             let e0 = em_energy(&mx, &em);
-            let mut em = em;
             let dt = mx.max_dt(0.4);
             for _ in 0..400 {
                 step(&mx, &mut em, dt);
@@ -533,7 +569,10 @@ mod tests_2d {
         // Without cleaning the longitudinal field is a steady state (energy
         // preserved); with cleaning it converts to φ waves and dissipates
         // through the upwind flux.
-        assert!(without > 0.99, "uncleaned longitudinal field should persist: {without}");
+        assert!(
+            without > 0.99,
+            "uncleaned longitudinal field should persist: {without}"
+        );
         assert!(
             with_cleaning < 0.5 * without,
             "cleaning should radiate/damp the divergence error: {with_cleaning} vs {without}"
@@ -579,6 +618,9 @@ mod tests_2d {
                 phi_max = phi_max.max(em.cell(i)[PHI * nc + l].abs());
             }
         }
-        assert!(phi_max < 1e-12, "φ must stay quiet for consistent data: {phi_max}");
+        assert!(
+            phi_max < 1e-12,
+            "φ must stay quiet for consistent data: {phi_max}"
+        );
     }
 }

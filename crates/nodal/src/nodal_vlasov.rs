@@ -132,8 +132,7 @@ impl NodalVlasov {
                 for dir in 0..cdim + vdim {
                     // Modal α (same construction as the modal path), then
                     // dense interpolation.
-                    let scale;
-                    if dir < cdim {
+                    let scale = if dir < cdim {
                         dg_basis::expand::affine(
                             &k.phase_basis,
                             cdim + dir,
@@ -141,7 +140,7 @@ impl NodalVlasov {
                             0.5 * vdx[dir],
                             &mut ws.alpha,
                         );
-                        scale = 2.0 / cdx[dir];
+                        2.0 / cdx[dir]
                     } else {
                         let j = dir - cdim;
                         k.cell_accel[j].project(
@@ -154,8 +153,8 @@ impl NodalVlasov {
                             },
                             &mut ws.alpha,
                         );
-                        scale = 2.0 / vdx[j];
-                    }
+                        2.0 / vdx[j]
+                    };
                     self.quad.phi.matvec(&ws.alpha, &mut ws.a_q);
                     for q in 0..nq {
                         ws.prod_q[q] = self.quad.weights[q] * ws.a_q[q] * ws.f_q[q] * scale;

@@ -95,8 +95,7 @@ impl QuadEval {
                     trace_lo.data[q * np..(q + 1) * np].copy_from_slice(&basis.eval_all(&cxi));
                     cxi[dir] = 1.0;
                     trace_hi.data[q * np..(q + 1) * np].copy_from_slice(&basis.eval_all(&cxi));
-                    phi_face.data[q * nf..(q + 1) * nf]
-                        .copy_from_slice(&fb.eval_all(&fxi[..fdim]));
+                    phi_face.data[q * nf..(q + 1) * nf].copy_from_slice(&fb.eval_all(&fxi[..fdim]));
                     q += 1;
                 }
             }
@@ -138,9 +137,7 @@ mod tests {
     #[test]
     fn mass_matrix_is_identity_under_exact_quadrature() {
         let basis = Basis::new(BasisKind::Serendipity, 3, 2);
-        let fbs: Vec<Basis> = (0..3)
-            .map(|d| FaceBasis::new(&basis, d).basis)
-            .collect();
+        let fbs: Vec<Basis> = (0..3).map(|d| FaceBasis::new(&basis, d).basis).collect();
         let fb_refs: Vec<&Basis> = fbs.iter().collect();
         let q = QuadEval::new(&basis, &fb_refs, 4);
         let np = basis.len();

@@ -77,11 +77,11 @@ impl ParVlasovMaxwell {
         // dim-0 surfaces. Serial order: faces by ascending lower-cell index;
         // the wrap face (n0−1 → 0) comes last.
         let apply_dim0 = |i0_lo: usize,
-                              i0_hi: usize,
-                              write_lo: bool,
-                              write_hi: bool,
-                              out: &mut S,
-                              ws: &mut VlasovWorkspace| {
+                          i0_hi: usize,
+                          write_lo: bool,
+                          write_hi: bool,
+                          out: &mut S,
+                          ws: &mut VlasovWorkspace| {
             for rest in 0..stride0 {
                 let clo = i0_lo * stride0 + rest;
                 let chi = i0_hi * stride0 + rest;
@@ -258,9 +258,7 @@ mod tests {
             .basis(BasisKind::Serendipity)
             .species(
                 SpeciesSpec::new("elc", -1.0, 1.0, &[-6.0, -6.0], &[6.0, 6.0], &[6, 6]).initial(
-                    move |x, v| {
-                        maxwellian(1.0 + 0.08 * (kx * x[0]).cos(), &[0.3, -0.2], 1.0, v)
-                    },
+                    move |x, v| maxwellian(1.0 + 0.08 * (kx * x[0]).cos(), &[0.3, -0.2], 1.0, v),
                 ),
             )
             .field(FieldSpec::new(2.0).with_poisson_init().cleaning(1.0, 1.0))

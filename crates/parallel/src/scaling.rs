@@ -34,7 +34,12 @@ pub struct ScalingPoint {
 /// Build the Fig. 3 problem family: two-species (electron/proton)
 /// Vlasov–Maxwell, p = 1 Serendipity (Np = 2^d), periodic box, perturbed
 /// Maxwellians.
-pub fn build_system(cdim: usize, vdim: usize, conf_cells: &[usize], vel_cells: &[usize]) -> VlasovMaxwell {
+pub fn build_system(
+    cdim: usize,
+    vdim: usize,
+    conf_cells: &[usize],
+    vel_cells: &[usize],
+) -> VlasovMaxwell {
     let kernels = kernels_for(BasisKind::Serendipity, PhaseLayout::new(cdim, vdim), 1);
     let conf = CartGrid::new(&vec![0.0; cdim], &vec![1.0; cdim], conf_cells);
     let vel = CartGrid::new(&vec![-6.0; vdim], &vec![6.0; vdim], vel_cells);
@@ -49,7 +54,12 @@ pub fn build_system(cdim: usize, vdim: usize, conf_cells: &[usize], vel_cells: &
     );
     let mut elc = Species::new("elc", -1.0, 1.0, &grid, kernels.np());
     elc.project_initial(&kernels, &grid, 2, &mut |x, v| {
-        maxwellian(1.0 + 0.05 * (2.0 * std::f64::consts::PI * x[0]).cos(), &[0.0; 3][..v.len()], 1.0, v)
+        maxwellian(
+            1.0 + 0.05 * (2.0 * std::f64::consts::PI * x[0]).cos(),
+            &[0.0; 3][..v.len()],
+            1.0,
+            v,
+        )
     });
     let mut ion = Species::new("ion", 1.0, 1836.0, &grid, kernels.np());
     ion.project_initial(&kernels, &grid, 2, &mut |_x, v| {

@@ -176,7 +176,11 @@ mod tests {
             assert_eq!(legendre(k).eval(Rational::ONE), Rational::ONE);
             assert_eq!(
                 legendre(k).eval(-Rational::ONE),
-                if k % 2 == 0 { Rational::ONE } else { -Rational::ONE }
+                if k % 2 == 0 {
+                    Rational::ONE
+                } else {
+                    -Rational::ONE
+                }
             );
         }
     }
@@ -228,8 +232,9 @@ mod tests {
                     let lhs = dtriple_exact(a, b, c).to_f64();
                     let boundary = edge_value(a, 1) * edge_value(b, 1) * edge_value(c, 1)
                         - edge_value(a, -1) * edge_value(b, -1) * edge_value(c, -1);
-                    let rhs =
-                        boundary - dtriple_exact(b, a, c).to_f64() - dtriple_exact(c, b, a).to_f64();
+                    let rhs = boundary
+                        - dtriple_exact(b, a, c).to_f64()
+                        - dtriple_exact(c, b, a).to_f64();
                     assert!((lhs - rhs).abs() < 1e-12, "IBP failed at {a},{b},{c}");
                 }
             }

@@ -186,7 +186,10 @@ mod tests {
     #[test]
     fn cube_integrals() {
         // ∫∫ ξ₀² ξ₁² over [-1,1]² = (2/3)² = 4/9; odd powers vanish.
-        let p = MPoly::var(0).mul(&MPoly::var(0)).mul(&MPoly::var(1)).mul(&MPoly::var(1));
+        let p = MPoly::var(0)
+            .mul(&MPoly::var(0))
+            .mul(&MPoly::var(1))
+            .mul(&MPoly::var(1));
         assert_eq!(p.integrate_cube(2), r(4, 9));
         let q = MPoly::var(0).mul(&MPoly::var(1));
         assert_eq!(q.integrate_cube(2), Rational::ZERO);
@@ -210,7 +213,10 @@ mod tests {
         assert_eq!(p.substitute(0, -Rational::ONE), MPoly::var(1));
         // q = ξ₀ ξ₁ at ξ₀ = -1 → -ξ₁.
         let q = MPoly::var(0).mul(&MPoly::var(1));
-        assert_eq!(q.substitute(0, -Rational::ONE), MPoly::var(1).scale(r(-1, 1)));
+        assert_eq!(
+            q.substitute(0, -Rational::ONE),
+            MPoly::var(1).scale(r(-1, 1))
+        );
     }
 
     #[test]

@@ -143,7 +143,11 @@ mod tests {
         for n in 1..8 {
             let g = GaussRule::new(n);
             for k in 0..=(2 * n - 1) {
-                let exact = if k % 2 == 0 { 2.0 / (k as f64 + 1.0) } else { 0.0 };
+                let exact = if k % 2 == 0 {
+                    2.0 / (k as f64 + 1.0)
+                } else {
+                    0.0
+                };
                 let got = g.integrate(|x| x.powi(k as i32));
                 assert!(
                     (got - exact).abs() < 1e-13,

@@ -88,7 +88,7 @@ impl Rational {
     pub fn pow(&self, e: u32) -> Self {
         let mut acc = Rational::ONE;
         for _ in 0..e {
-            acc = acc * *self;
+            acc *= *self;
         }
         acc
     }
@@ -140,6 +140,8 @@ impl Mul for Rational {
 
 impl Div for Rational {
     type Output = Rational;
+    // Division via the exact reciprocal keeps one reduction path.
+    #[allow(clippy::suspicious_arithmetic_impl)]
     fn div(self, rhs: Self) -> Self {
         self * rhs.recip()
     }

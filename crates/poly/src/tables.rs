@@ -48,11 +48,24 @@ impl Tables1d {
             (0..n).map(|k| legendre::edge_value(k, 1)).collect(),
         ];
         let pm = [
-            (0..n).map(|k| legendre::power_moment_exact(0, k).to_f64()).collect(),
-            (0..n).map(|k| legendre::power_moment_exact(1, k).to_f64()).collect(),
-            (0..n).map(|k| legendre::power_moment_exact(2, k).to_f64()).collect(),
+            (0..n)
+                .map(|k| legendre::power_moment_exact(0, k).to_f64())
+                .collect(),
+            (0..n)
+                .map(|k| legendre::power_moment_exact(1, k).to_f64())
+                .collect(),
+            (0..n)
+                .map(|k| legendre::power_moment_exact(2, k).to_f64())
+                .collect(),
         ];
-        Tables1d { pmax, tt, dt, gm, ev, pm }
+        Tables1d {
+            pmax,
+            tt,
+            dt,
+            gm,
+            ev,
+            pm,
+        }
     }
 
     #[inline]

@@ -27,7 +27,10 @@ fn main() {
         "// modal multiplications (volume): {}",
         report.streaming_volume + report.accel_volume
     );
-    println!("// modal α-assembly              : {}", report.alpha_assembly);
+    println!(
+        "// modal α-assembly              : {}",
+        report.alpha_assembly
+    );
     println!("// modal surface                 : {}", report.surface);
     println!("// modal total per cell          : {}", report.total());
     // Alias-free quadrature for p=1 needs 2 points/dim ⇒ Nq = 8 volume,

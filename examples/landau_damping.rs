@@ -28,9 +28,8 @@ fn main() -> Result<(), String> {
         .basis(BasisKind::Serendipity)
         .cfl(0.5)
         .species(
-            SpeciesSpec::new("elc", -1.0, 1.0, &[-6.0], &[6.0], &[32]).initial(move |x, v| {
-                maxwellian(1.0 + 1e-4 * (k * x[0]).cos(), &[0.0], 1.0, v)
-            }),
+            SpeciesSpec::new("elc", -1.0, 1.0, &[-6.0], &[6.0], &[32])
+                .initial(move |x, v| maxwellian(1.0 + 1e-4 * (k * x[0]).cos(), &[0.0], 1.0, v)),
         )
         .field(FieldSpec::new(10.0).with_poisson_init())
         .build()?;

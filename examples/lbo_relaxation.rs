@@ -60,8 +60,13 @@ fn main() -> Result<(), String> {
     };
 
     let q0 = app.conserved();
-    println!("LBO relaxation, ν = {nu}, beams ±{u_beam} (vth {vth_beam}) → Maxwellian vth {vth_eq:.3}");
-    println!("{:>8} {:>16} {:>16} {:>16}", "t·ν", "‖f−f_eq‖", "density", "energy");
+    println!(
+        "LBO relaxation, ν = {nu}, beams ±{u_beam} (vth {vth_beam}) → Maxwellian vth {vth_eq:.3}"
+    );
+    println!(
+        "{:>8} {:>16} {:>16} {:>16}",
+        "t·ν", "‖f−f_eq‖", "density", "energy"
+    );
     let mut last = f64::INFINITY;
     app.set_fixed_dt(4e-4);
     for frame in 0..=8 {
@@ -96,7 +101,10 @@ fn main() -> Result<(), String> {
         ((q1.particle_energy - q0.particle_energy) / q0.particle_energy).abs()
     );
     assert!(((q1.numbers[0] - q0.numbers[0]) / q0.numbers[0]).abs() < 1e-10);
-    assert!(last < 1e-2, "should be essentially at equilibrium, got {last}");
+    assert!(
+        last < 1e-2,
+        "should be essentially at equilibrium, got {last}"
+    );
     println!("lbo_relaxation OK");
     Ok(())
 }

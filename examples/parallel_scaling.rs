@@ -14,11 +14,16 @@
 use vlasov_dg::parallel::scaling::{strong_scaling_series, weak_scaling_series};
 
 fn main() {
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     println!("host threads: {threads}");
 
     println!("\nweak scaling (3X3V p=1, per-rank conf block 2x4x4, vel 4^3):");
-    println!("{:>6} {:>12} {:>14} {:>14}", "ranks", "phase cells", "s/step", "halo bytes");
+    println!(
+        "{:>6} {:>12} {:>14} {:>14}",
+        "ranks", "phase cells", "s/step", "halo bytes"
+    );
     let weak = weak_scaling_series(&[2, 4, 4], &[4, 4, 4], &[1, 2, 4], threads, 2);
     let base = weak[0].seconds_per_step;
     for p in &weak {
@@ -33,7 +38,10 @@ fn main() {
     }
 
     println!("\nstrong scaling (fixed 4x4x4 conf, 4^3 vel):");
-    println!("{:>6} {:>12} {:>14} {:>14}", "ranks", "phase cells", "s/step", "halo bytes");
+    println!(
+        "{:>6} {:>12} {:>14} {:>14}",
+        "ranks", "phase cells", "s/step", "halo bytes"
+    );
     let strong = strong_scaling_series(&[4, 4, 4], &[4, 4, 4], &[1, 2, 4], threads, 2);
     let base = strong[0].seconds_per_step;
     for p in &strong {

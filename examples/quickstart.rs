@@ -9,8 +9,8 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use vlasov_dg::prelude::*;
 use vlasov_dg::core::species::maxwellian;
+use vlasov_dg::prelude::*;
 
 fn main() -> Result<(), String> {
     let k = 0.5; // k λ_D for vth = 1
@@ -22,9 +22,8 @@ fn main() -> Result<(), String> {
         .basis(BasisKind::Serendipity)
         .cfl(0.6)
         .species(
-            SpeciesSpec::new("elc", -1.0, 1.0, &[-6.0], &[6.0], &[24]).initial(move |x, v| {
-                maxwellian(1.0 + 0.05 * (k * x[0]).cos(), &[0.0], 1.0, v)
-            }),
+            SpeciesSpec::new("elc", -1.0, 1.0, &[-6.0], &[6.0], &[24])
+                .initial(move |x, v| maxwellian(1.0 + 0.05 * (k * x[0]).cos(), &[0.0], 1.0, v)),
         )
         .field(FieldSpec::new(10.0).with_poisson_init())
         .build()?;

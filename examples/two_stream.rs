@@ -1,8 +1,8 @@
 //! Two-stream instability: growth rate against linear theory.
 //!
-//! Two symmetric counter-streaming electron beams (drift ±u, total density
-//! 1) drive the classic electrostatic two-stream instability. For cold
-//! beams the fastest-growing mode sits at `k u = √(3/8) ω_p` with
+//! Two symmetric counter-streaming electron beams (drift ±u, total
+//! density 1) drive the classic electrostatic two-stream instability. For
+//! cold beams the fastest-growing mode sits at `k u = √(3/8) ω_p` with
 //! `γ = ω_p / √8 ≈ 0.3536` — a closed-form anchor the kinetic run must
 //! approach when the beams are cold enough (`vth ≪ u`). This exercises the
 //! full nonlinear field–particle coupling the paper's alias-free kernels

@@ -21,11 +21,17 @@ use vlasov_dg::diag::{csv::write_grid_csv, slices::slice_2d, EnergyHistory};
 use vlasov_dg::prelude::*;
 
 fn env_usize(name: &str, default: usize) -> usize {
-    std::env::var(name).ok().and_then(|s| s.parse().ok()).unwrap_or(default)
+    std::env::var(name)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
 }
 
 fn env_f64(name: &str, default: f64) -> f64 {
-    std::env::var(name).ok().and_then(|s| s.parse().ok()).unwrap_or(default)
+    std::env::var(name)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
 }
 
 fn main() -> Result<(), String> {
@@ -51,9 +57,7 @@ fn main() -> Result<(), String> {
                     let kx = 2.0 * std::f64::consts::PI / l;
                     let seed = 1.0
                         + 1e-3
-                            * ((kx * x[0]).cos()
-                                + (kx * x[1]).cos()
-                                + (kx * (x[0] + x[1])).sin());
+                            * ((kx * x[0]).cos() + (kx * x[1]).cos() + (kx * (x[0] + x[1])).sin());
                     seed * (maxwellian(0.5, &[0.0, u], vth, v)
                         + maxwellian(0.5, &[0.0, -u], vth, v))
                 },
@@ -75,7 +79,14 @@ fn main() -> Result<(), String> {
             // starting amplitude to grow from (and the growth factor below
             // is well-defined).
             let kx = 2.0 * std::f64::consts::PI / l;
-            [0.0, 0.0, 0.0, 0.0, 0.0, 1e-6 * ((kx * x[0]).sin() + (kx * x[1]).cos())]
+            [
+                0.0,
+                0.0,
+                0.0,
+                0.0,
+                0.0,
+                1e-6 * ((kx * x[0]).sin() + (kx * x[1]).cos()),
+            ]
         }))
         .build()?;
 
@@ -86,7 +97,13 @@ fn main() -> Result<(), String> {
     history.record(&app.system, &app.state, app.time());
     let save_slices = |app: &App, tag: &str| -> Result<(), String> {
         // y–v_y at x = L/2, v_x = 0 (axes: x0, x1, vx, vy).
-        let s1 = slice_2d(&app.system, &app.state.species_f[0], 1, 3, &[l / 2.0, 0.0, 0.0, 0.0]);
+        let s1 = slice_2d(
+            &app.system,
+            &app.state.species_f[0],
+            1,
+            3,
+            &[l / 2.0, 0.0, 0.0, 0.0],
+        );
         write_grid_csv(
             outdir.join(format!("f_y_vy_{tag}.csv")),
             "y",
@@ -157,8 +174,14 @@ fn main() -> Result<(), String> {
         "  field-energy growth factor : {:.2e}",
         q1.field_energy / q0.field_energy.max(1e-300)
     );
-    println!("  mass drift                 : {:.3e}", history.mass_drift());
-    println!("  total-energy drift         : {:.3e}", history.energy_drift());
+    println!(
+        "  mass drift                 : {:.3e}",
+        history.mass_drift()
+    );
+    println!(
+        "  total-energy drift         : {:.3e}",
+        history.energy_drift()
+    );
     println!("  frames in target/weibel/");
 
     assert!(history.mass_drift() < 1e-9, "mass must be conserved");

@@ -1,0 +1,110 @@
+//! Offline stand-in for [`bytes`](https://crates.io/crates/bytes).
+//!
+//! The build container has no crates-io access, so the workspace patches
+//! `bytes` to this shim (see `shims/README.md`). The snapshot format reads
+//! through advancing `&[u8]` cursors and writes through `Vec<u8>`, so the
+//! shim provides the [`Buf`] / [`BufMut`] little-endian accessors on those
+//! two impls. Reads panic when the cursor underflows, matching upstream
+//! (callers size their slices exactly).
+
+/// Read side of the `bytes` cursor model: consuming little-endian reads
+/// that advance the cursor.
+pub trait Buf {
+    fn remaining(&self) -> usize;
+    fn copy_to_slice(&mut self, dst: &mut [u8]);
+
+    fn get_u8(&mut self) -> u8 {
+        let mut b = [0u8; 1];
+        self.copy_to_slice(&mut b);
+        b[0]
+    }
+
+    fn get_u32_le(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        self.copy_to_slice(&mut b);
+        u32::from_le_bytes(b)
+    }
+
+    fn get_u64_le(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        self.copy_to_slice(&mut b);
+        u64::from_le_bytes(b)
+    }
+
+    fn get_f64_le(&mut self) -> f64 {
+        f64::from_bits(self.get_u64_le())
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        assert!(
+            dst.len() <= self.len(),
+            "buffer underflow: need {} bytes, have {}",
+            dst.len(),
+            self.len()
+        );
+        let (head, tail) = self.split_at(dst.len());
+        dst.copy_from_slice(head);
+        *self = tail;
+    }
+}
+
+/// Write side: appending little-endian writes.
+pub trait BufMut {
+    fn put_slice(&mut self, src: &[u8]);
+
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    fn put_f64_le(&mut self, v: f64) {
+        self.put_u64_le(v.to_bits());
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_widths() {
+        let mut v: Vec<u8> = Vec::new();
+        v.put_u8(0xAB);
+        v.put_u32_le(0xDEAD_BEEF);
+        v.put_u64_le(0x0123_4567_89AB_CDEF);
+        v.put_f64_le(-1.25e300);
+        let mut cur: &[u8] = &v;
+        assert_eq!(cur.remaining(), 1 + 4 + 8 + 8);
+        assert_eq!(cur.get_u8(), 0xAB);
+        assert_eq!(cur.get_u32_le(), 0xDEAD_BEEF);
+        assert_eq!(cur.get_u64_le(), 0x0123_4567_89AB_CDEF);
+        assert_eq!(cur.get_f64_le(), -1.25e300);
+        assert_eq!(cur.remaining(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer underflow")]
+    fn underflow_panics() {
+        let mut cur: &[u8] = &[1, 2, 3];
+        cur.get_u64_le();
+    }
+}

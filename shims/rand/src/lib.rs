@@ -1,0 +1,164 @@
+//! Offline stand-in for [`rand`](https://crates.io/crates/rand) (0.9 API).
+//!
+//! The build container has no crates-io access, so the workspace patches
+//! `rand` to this shim (see `shims/README.md`). The workspace only draws
+//! uniform `f64`s from a `seed_from_u64`-seeded [`rngs::StdRng`] in tests,
+//! so that is the covered surface: [`SeedableRng::seed_from_u64`],
+//! [`Rng::random_range`] over `f64`/integer ranges, and [`Rng::random`].
+//!
+//! The generator is xoshiro256++ seeded via SplitMix64 — the same
+//! construction rand's own `SmallRng` uses. It is deterministic for a given
+//! seed (all the tests rely on), statistically solid for test data, and
+//! explicitly **not** cryptographic (neither is upstream `StdRng` for this
+//! use; nothing security-relevant draws from it here).
+
+use std::ops::Range;
+
+/// Seedable construction, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Uniform sampling, mirroring the `rand::Rng` methods the workspace uses.
+pub trait Rng {
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform draw over a half-open range, `rand 0.9` spelling.
+    fn random_range<T: SampleUniform>(&mut self, range: Range<T>) -> T {
+        T::sample(self, range)
+    }
+
+    /// Uniform draw over a type's full/canonical domain (`[0,1)` for f64).
+    fn random<T: SampleUniform>(&mut self) -> T {
+        T::sample_canonical(self)
+    }
+}
+
+/// Types `Rng::random_range` can produce. Covers the numeric types the
+/// workspace samples; extend as call sites appear.
+pub trait SampleUniform: Sized + PartialOrd {
+    fn sample<R: Rng + ?Sized>(rng: &mut R, range: Range<Self>) -> Self;
+    fn sample_canonical<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+#[inline]
+fn unit_f64(bits: u64) -> f64 {
+    // 53 high bits -> [0, 1) with full double precision.
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+impl SampleUniform for f64 {
+    fn sample<R: Rng + ?Sized>(rng: &mut R, range: Range<f64>) -> f64 {
+        assert!(range.start < range.end, "empty sampling range");
+        let u = unit_f64(rng.next_u64());
+        range.start + u * (range.end - range.start)
+    }
+
+    fn sample_canonical<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+        unit_f64(rng.next_u64())
+    }
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample<R: Rng + ?Sized>(rng: &mut R, range: Range<$t>) -> $t {
+                assert!(range.start < range.end, "empty sampling range");
+                let span = range.end.abs_diff(range.start) as u128;
+                // Rejection-free modulo draw: a 128-bit product keeps the
+                // modulo bias below 2^-64, far past what test data notices.
+                let draw = ((rng.next_u64() as u128 * span) >> 64) as u128;
+                range.start.wrapping_add(draw as $t)
+            }
+            fn sample_canonical<R: Rng + ?Sized>(rng: &mut R) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// Deterministic xoshiro256++ generator standing in for `rand::rngs::StdRng`.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            // SplitMix64 expansion of the 64-bit seed into the full state,
+            // as recommended by the xoshiro authors (and used by rand).
+            let mut sm = state;
+            let mut next = || {
+                sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rngs::StdRng;
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn range_respected_and_varied() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut lo_half = 0usize;
+        for _ in 0..1000 {
+            let x = rng.random_range(-1.0..1.0);
+            assert!((-1.0..1.0).contains(&x));
+            if x < 0.0 {
+                lo_half += 1;
+            }
+        }
+        // Crude uniformity sanity: both halves populated.
+        assert!(lo_half > 300 && lo_half < 700, "lo_half={lo_half}");
+    }
+
+    #[test]
+    fn integer_range() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut seen = [false; 5];
+        for _ in 0..200 {
+            let k = rng.random_range(0usize..5);
+            seen[k] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+}

@@ -1,0 +1,171 @@
+//! Offline stand-in for [`rayon`](https://crates.io/crates/rayon).
+//!
+//! The build container has no crates-io access, so the workspace patches
+//! `rayon` to this shim (see `shims/README.md`). It covers the surface the
+//! parallel layer uses — [`ThreadPoolBuilder`] / [`ThreadPool::scope`] /
+//! [`Scope::spawn`] — with real OS-thread parallelism built on
+//! [`std::thread::scope`]. One deliberate divergence: every `spawn` gets its
+//! own scoped thread instead of being queued onto `num_threads` workers.
+//! The rank decomposition spawns one task per simulated MPI rank (tens at
+//! most), so per-task thread spawn cost is noise next to the per-rank DG
+//! sweep, and oversubscription is explicitly allowed by the callers.
+
+use std::fmt;
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+/// Error type mirroring `rayon::ThreadPoolBuildError` (never produced here).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("thread pool build failed")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+impl ThreadPoolBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Recorded for introspection; see the module docs for why the shim
+    /// does not queue onto a fixed worker count.
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads,
+        })
+    }
+}
+
+/// Pool handle mirroring `rayon::ThreadPool`.
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// The configured thread count (0 = "choose automatically").
+    pub fn current_num_threads(&self) -> usize {
+        if self.num_threads != 0 {
+            self.num_threads
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        }
+    }
+
+    /// Scoped fork-join: every `Scope::spawn` is joined before `scope`
+    /// returns, so borrows of stack data are sound (delegates to
+    /// [`std::thread::scope`]).
+    pub fn scope<'env, F, R>(&self, f: F) -> R
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R + Send,
+        R: Send,
+    {
+        std::thread::scope(|s| f(&Scope { inner: s }))
+    }
+}
+
+/// Scope handle passed to the `ThreadPool::scope` closure and to every
+/// spawned task (rayon's nested-spawn capability).
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Clone for Scope<'scope, 'env> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<'scope, 'env> Copy for Scope<'scope, 'env> {}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce(&Scope<'scope, 'env>) + Send + 'scope,
+    {
+        let handle = *self;
+        self.inner.spawn(move || f(&handle));
+    }
+}
+
+/// Free-standing `rayon::scope`, same semantics as [`ThreadPool::scope`].
+pub fn scope<'env, F, R>(f: F) -> R
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R + Send,
+    R: Send,
+{
+    std::thread::scope(|s| f(&Scope { inner: s }))
+}
+
+/// Two-way fork-join mirroring `rayon::join`.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    std::thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        (ra, hb.join().expect("joined task panicked"))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scope_joins_all_spawns_and_allows_disjoint_borrows() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let mut data = vec![0u64; 8];
+        let chunks: Vec<&mut [u64]> = data.chunks_mut(2).collect();
+        pool.scope(|s| {
+            for (i, chunk) in chunks.into_iter().enumerate() {
+                s.spawn(move |_| {
+                    for v in chunk.iter_mut() {
+                        *v = i as u64 + 1;
+                    }
+                });
+            }
+        });
+        assert_eq!(data, vec![1, 1, 2, 2, 3, 3, 4, 4]);
+    }
+
+    #[test]
+    fn nested_spawn_via_scope_handle() {
+        let pool = ThreadPoolBuilder::new().build().unwrap();
+        let counter = std::sync::atomic::AtomicUsize::new(0);
+        pool.scope(|s| {
+            s.spawn(|s2| {
+                counter.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                s2.spawn(|_| {
+                    counter.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                });
+            });
+        });
+        assert_eq!(counter.load(std::sync::atomic::Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = join(|| 2 + 2, || "ok");
+        assert_eq!(a, 4);
+        assert_eq!(b, "ok");
+    }
+}

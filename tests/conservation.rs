@@ -23,9 +23,8 @@ fn langmuir_app(p: usize, vlasov_flux: FluxKind, mx_flux: MaxwellFlux) -> App {
         .basis(BasisKind::Serendipity)
         .vlasov_flux(vlasov_flux)
         .species(
-            SpeciesSpec::new("elc", -1.0, 1.0, &[-6.0], &[6.0], &[16]).initial(move |x, v| {
-                maxwellian(1.0 + 0.05 * (k * x[0]).cos(), &[0.0], 1.0, v)
-            }),
+            SpeciesSpec::new("elc", -1.0, 1.0, &[-6.0], &[6.0], &[16])
+                .initial(move |x, v| maxwellian(1.0 + 0.05 * (k * x[0]).cos(), &[0.0], 1.0, v)),
         )
         .field(FieldSpec::new(5.0).with_poisson_init().flux(mx_flux))
         .build()
@@ -114,7 +113,12 @@ fn momentum_is_conserved_without_fields() {
         .poly_order(1)
         .species(
             SpeciesSpec::new("n", 0.0, 1.0, &[-6.0], &[6.0], &[12]).initial(|x, v| {
-                maxwellian(1.0 + 0.3 * (2.0 * std::f64::consts::PI * x[0]).sin(), &[0.7], 1.0, v)
+                maxwellian(
+                    1.0 + 0.3 * (2.0 * std::f64::consts::PI * x[0]).sin(),
+                    &[0.7],
+                    1.0,
+                    v,
+                )
             }),
         )
         .field(FieldSpec::new(1.0).frozen())
@@ -141,9 +145,7 @@ fn lbo_collisions_preserve_density_in_full_runs() {
         .poly_order(2)
         .species(
             SpeciesSpec::new("e", -1.0, 1.0, &[-8.0], &[8.0], &[16])
-                .initial(|_x, v| {
-                    maxwellian(0.6, &[-1.5], 0.7, v) + maxwellian(0.4, &[2.0], 0.5, v)
-                })
+                .initial(|_x, v| maxwellian(0.6, &[-1.5], 0.7, v) + maxwellian(0.4, &[2.0], 0.5, v))
                 .collisions(0.8),
         )
         .field(FieldSpec::new(1.0).frozen())

@@ -24,9 +24,8 @@ fn advection_error(p: usize, n: usize, t_end: f64) -> f64 {
         .basis(BasisKind::Serendipity)
         .init_quadrature(p + 4)
         .species(
-            SpeciesSpec::new("n", 0.0, 1.0, &[-4.0], &[4.0], &[n]).initial(|x, v| {
-                gauss_profile(x[0], v[0])
-            }),
+            SpeciesSpec::new("n", 0.0, 1.0, &[-4.0], &[4.0], &[n])
+                .initial(|x, v| gauss_profile(x[0], v[0])),
         )
         .field(FieldSpec::new(1.0).frozen())
         .build()

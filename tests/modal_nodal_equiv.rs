@@ -22,7 +22,12 @@ fn random_problem(
     nx: usize,
     nv: usize,
     seed: u64,
-) -> (Arc<vlasov_dg::kernels::PhaseKernels>, PhaseGrid, DgField, DgField) {
+) -> (
+    Arc<vlasov_dg::kernels::PhaseKernels>,
+    PhaseGrid,
+    DgField,
+    DgField,
+) {
     let kernels = kernels_for(kind, PhaseLayout::new(cdim, vdim), p);
     let conf = CartGrid::new(&vec![0.0; cdim], &vec![1.5; cdim], &vec![nx; cdim]);
     let vel = CartGrid::new(&vec![-3.0; vdim], &vec![3.0; vdim], &vec![nv; vdim]);
@@ -62,7 +67,10 @@ fn equivalence_across_configurations() {
         (BasisKind::MaximalOrder, 1, 2, 2),
     ];
     for &(kind, cdim, vdim, p) in cases {
-        for (fi, flux) in [FluxKind::Upwind, FluxKind::Central].into_iter().enumerate() {
+        for (fi, flux) in [FluxKind::Upwind, FluxKind::Central]
+            .into_iter()
+            .enumerate()
+        {
             let (kernels, grid, f, em) =
                 random_problem(kind, cdim, vdim, p, 3, 4, 1000 + fi as u64);
             let qm = -0.8;
@@ -94,8 +102,7 @@ fn equivalence_across_configurations() {
 fn equivalence_is_not_an_accident_of_zero_fields() {
     // Strong random fields: the nonlinear (α f) terms dominate, so the
     // agreement genuinely exercises exact integration of products.
-    let (kernels, grid, f, mut em) =
-        random_problem(BasisKind::Serendipity, 1, 2, 2, 4, 4, 77);
+    let (kernels, grid, f, mut em) = random_problem(BasisKind::Serendipity, 1, 2, 2, 4, 4, 77);
     for x in em.as_mut_slice() {
         *x *= 20.0;
     }

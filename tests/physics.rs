@@ -16,9 +16,8 @@ fn landau_damping_rate_is_negative_and_near_theory() {
         .basis(BasisKind::Serendipity)
         .cfl(0.5)
         .species(
-            SpeciesSpec::new("elc", -1.0, 1.0, &[-6.0], &[6.0], &[20]).initial(move |x, v| {
-                maxwellian(1.0 + 1e-4 * (k * x[0]).cos(), &[0.0], 1.0, v)
-            }),
+            SpeciesSpec::new("elc", -1.0, 1.0, &[-6.0], &[6.0], &[20])
+                .initial(move |x, v| maxwellian(1.0 + 1e-4 * (k * x[0]).cos(), &[0.0], 1.0, v)),
         )
         .field(FieldSpec::new(8.0).with_poisson_init())
         .build()
@@ -85,9 +84,8 @@ fn langmuir_oscillation_frequency_is_plasma_frequency() {
         .conf_grid(&[0.0], &[4.0 * std::f64::consts::PI], &[8])
         .poly_order(2)
         .species(
-            SpeciesSpec::new("elc", -1.0, 1.0, &[-6.0], &[6.0], &[16]).initial(|x, v| {
-                maxwellian(1.0 + 0.02 * (0.5 * x[0]).cos(), &[0.0], 0.4, v)
-            }),
+            SpeciesSpec::new("elc", -1.0, 1.0, &[-6.0], &[6.0], &[16])
+                .initial(|x, v| maxwellian(1.0 + 0.02 * (0.5 * x[0]).cos(), &[0.0], 0.4, v)),
         )
         .field(FieldSpec::new(8.0).with_poisson_init())
         .build()
