@@ -1,0 +1,150 @@
+//! Dispatch speedup: committed unrolled kernels vs the runtime sparse path.
+//!
+//! For every configuration in the committed-kernel manifest, this harness
+//! builds the same phase-space grid twice — one `VlasovOp` forced to
+//! `KernelDispatch::Generated`, one to `KernelDispatch::RuntimeSparse` —
+//! and times the full volume sweep through each. Both paths execute the
+//! same multiplications (`OpReport`, printed per row, is identical up to
+//! its dispatch tag; the equivalence tests pin the arithmetic to 1e-13),
+//! so any wall-clock difference is pure dispatch overhead: flat
+//! straight-line code with literal coefficients versus interpreting sparse
+//! tables entry by entry. This is the Gkeyll argument for committing
+//! generated kernels, measured (see EXPERIMENTS.md, "Dispatch speedup").
+//!
+//! ```text
+//! cargo bench --bench dispatch_speedup
+//! DISPATCH_NV=8 DISPATCH_NX=16 cargo bench --bench dispatch_speedup   # sizes
+//! ```
+
+use dg_bench::{env_usize, synth};
+use dg_core::system::FluxKind;
+use dg_core::vlasov::{VlasovOp, VlasovWorkspace};
+use dg_grid::{Bc, CartGrid, DgField, PhaseGrid};
+use dg_kernels::codegen::MANIFEST;
+use dg_kernels::{kernels_for, KernelDispatch};
+use dg_maxwell::NCOMP;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Nanoseconds per phase-space cell for one full volume sweep.
+fn time_volume(
+    op: &VlasovOp,
+    f: &DgField,
+    em: &DgField,
+    out: &mut DgField,
+    ws: &mut VlasovWorkspace,
+    min_ms: u128,
+) -> f64 {
+    let nconf = op.grid.conf.len();
+    let ncells = f.ncells();
+    // Warm-up.
+    for _ in 0..3 {
+        op.volume(-1.0, f, em, out, ws, 0..nconf);
+    }
+    out.fill(0.0);
+    let t0 = Instant::now();
+    let mut iters = 0usize;
+    while iters < 10 || t0.elapsed().as_millis() < min_ms {
+        op.volume(-1.0, f, em, out, ws, 0..nconf);
+        iters += 1;
+    }
+    let ns = t0.elapsed().as_nanos() as f64;
+    black_box(out.max_abs());
+    ns / (iters as f64 * ncells as f64)
+}
+
+fn main() {
+    let nx = env_usize("DISPATCH_NX", 16);
+    let nv = env_usize("DISPATCH_NV", 8);
+    let min_ms = env_usize("DISPATCH_MIN_MS", 120) as u128;
+
+    println!("# Dispatch speedup: generated (committed unrolled) vs runtime sparse volume path");
+    println!("# conf cells/dim = {nx}, vel cells/dim = {nv}, >= {min_ms} ms per measurement");
+    // Widths match the data rows below, including their bracketed path tags.
+    println!(
+        "# {:<16} {:>4} {:>10} {:>25} {:>27} {:>8}",
+        "config", "Np", "vol mults", "generated ns/c", "runtime ns/c", "speedup"
+    );
+
+    let mut fig1_speedup = None;
+    for spec in MANIFEST {
+        let layout = spec.layout();
+        let kernels = kernels_for(spec.kind, layout, spec.poly_order);
+        let grid = PhaseGrid::new(
+            CartGrid::new(
+                &vec![0.0; layout.cdim],
+                &vec![1.0; layout.cdim],
+                &vec![nx; layout.cdim],
+            ),
+            CartGrid::new(
+                &vec![-4.0; layout.vdim],
+                &vec![4.0; layout.vdim],
+                &vec![nv; layout.vdim],
+            ),
+            vec![Bc::Periodic; layout.cdim],
+        );
+        let ncells = grid.conf.len() * grid.vel.len();
+        let np = kernels.np();
+        let nc = kernels.nc();
+        let mut f = DgField::zeros(ncells, np);
+        for c in 0..ncells {
+            f.cell_mut(c).copy_from_slice(&synth(np, 11 + c as u64));
+        }
+        let mut em = DgField::zeros(grid.conf.len(), NCOMP * nc);
+        for c in 0..grid.conf.len() {
+            em.cell_mut(c)
+                .copy_from_slice(&synth(NCOMP * nc, 29 + c as u64));
+        }
+        let mut out = DgField::zeros(ncells, np);
+
+        let op_gen = VlasovOp::with_dispatch(
+            kernels.clone(),
+            grid.clone(),
+            FluxKind::Upwind,
+            KernelDispatch::Generated,
+        );
+        let op_rt = VlasovOp::with_dispatch(
+            kernels.clone(),
+            grid,
+            FluxKind::Upwind,
+            KernelDispatch::RuntimeSparse,
+        );
+        let mut ws = VlasovWorkspace::for_kernels(&kernels);
+
+        let t_gen = time_volume(&op_gen, &f, &em, &mut out, &mut ws, min_ms);
+        let t_rt = time_volume(&op_rt, &f, &em, &mut out, &mut ws, min_ms);
+        let speedup = t_rt / t_gen;
+
+        // The volume-sweep share of the op report (streaming + acceleration
+        // contraction + the cell-level alpha assembly); identical for both
+        // paths — the tag on each op's report says which path was measured.
+        let (rg, rr) = (op_gen.op_report(), op_rt.op_report());
+        assert_eq!(rg.path.tag(), "generated");
+        assert_eq!(rr.path.tag(), "runtime-sparse");
+        let vol_mults = rg.streaming_volume + rg.accel_volume;
+        println!(
+            "{:<18} {:>4} {:>10} {:>13.1} [{}] {:>10.1} [{}] {:>7.2}x",
+            format!("{}_p{}_{}", layout.tag(), spec.poly_order, spec.kind_tag()),
+            np,
+            vol_mults,
+            t_gen,
+            rg.path.tag(),
+            t_rt,
+            rr.path.tag(),
+            speedup
+        );
+        if spec.kind_tag() == "tensor" && layout.cdim == 1 && layout.vdim == 2 {
+            fig1_speedup = Some(speedup);
+        }
+    }
+
+    // ISSUE acceptance gate: the Fig. 1 configuration must be in the
+    // manifest and show a measured win for the generated path.
+    let s = fig1_speedup.expect("1x2v p1 tensor (Fig. 1) missing from the manifest");
+    println!("# Fig. 1 configuration (1x2v p1 tensor) speedup: {s:.2}x");
+    assert!(
+        s > 1.0,
+        "generated path lost to runtime sparse on the Fig. 1 configuration ({s:.2}x)"
+    );
+    println!("\ndispatch_speedup OK");
+}

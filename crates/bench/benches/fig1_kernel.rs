@@ -8,7 +8,7 @@
 
 use dg_basis::BasisKind;
 use dg_kernels::codegen::{count_update_statements, volume_kernel_source};
-use dg_kernels::{kernels_for, PhaseLayout};
+use dg_kernels::{kernels_for, KernelDispatch, PhaseLayout};
 use dg_nodal::alias_free_points;
 
 fn main() {
@@ -22,7 +22,12 @@ fn main() {
         src.lines().count()
     );
 
-    let r = pk.op_report();
+    // Tag the counts with the path a solver for this configuration would
+    // actually resolve to (the Fig. 1 kernel is committed, so: generated).
+    let resolved = KernelDispatch::Auto
+        .resolve(BasisKind::Tensor, PhaseLayout::new(1, 2), 1)
+        .unwrap();
+    let r = pk.op_report().tagged(resolved.path());
     let modal_vol = r.streaming_volume + r.accel_volume;
     let statements = count_update_statements(&src);
     let nq = alias_free_points(1); // 2 points per dim
@@ -30,6 +35,7 @@ fn main() {
     let nodal_vol = 3 * nq_vol * r.np + nq_vol;
     println!("{:<46}{:>10}", "quantity", "count");
     println!("{:-<56}", "");
+    println!("{:<46}{:>10}", "op counts from path", r.path.tag());
     println!("{:<46}{:>10}", "Np (DOF per cell)", r.np);
     println!("{:<46}{:>10}", "modal volume multiplications", modal_vol);
     println!("{:<46}{:>10}", "modal volume update statements", statements);

@@ -1,32 +1,134 @@
-//! Regenerates the committed Fig.-1 kernel artifact in place.
+//! Regenerates (or verifies) every committed generated-kernel artifact.
 //!
-//! `cargo run -p dg-bench --bin gen_kernel` rewrites
-//! `crates/kernels/src/generated/vlasov_vol_1x2v_p1_tensor.rs` from the
-//! current generator, closing the Gkeyll-style committed-codegen loop: the
-//! unit test `generated::tests::committed_source_matches_generator` (and a
-//! `git diff --exit-code` step in CI) then asserts the tree is clean, so
-//! generator drift cannot land unnoticed. Pass `--stdout` to print the
-//! kernel source instead of writing it.
+//! `cargo run -p dg-bench --bin gen_kernel` rewrites, for each entry of
+//! `dg_kernels::codegen::MANIFEST`, the unrolled volume kernel under
+//! `crates/kernels/src/generated/` plus the registry module `mod.rs`,
+//! closing the Gkeyll-style committed-codegen loop: the unit test
+//! `generated::tests::committed_artifacts_match_generator` (and the
+//! `--check` step in CI) then asserts the tree is clean, so generator
+//! drift cannot land unnoticed.
+//!
+//! Modes:
+//!
+//! * *(default)* — write all artifacts in place and report what changed;
+//! * `--check`   — compare all artifacts against the generator without
+//!   writing; exit non-zero listing any that differ (the CI mode);
+//! * `--stdout`  — print every artifact to stdout instead of writing.
+
+use dg_kernels::codegen::{generated_mod_source, manifest_kernel_source, MANIFEST};
+use std::path::PathBuf;
+
+fn artifacts() -> Vec<(String, String)> {
+    let mut v: Vec<(String, String)> = MANIFEST
+        .iter()
+        .map(|spec| (spec.file_name(), manifest_kernel_source(spec)))
+        .collect();
+    v.push(("mod.rs".to_string(), generated_mod_source()));
+    v
+}
 
 fn main() {
-    let pk = dg_kernels::kernels_for(
-        dg_basis::BasisKind::Tensor,
-        dg_kernels::PhaseLayout::new(1, 2),
-        1,
-    );
-    let src = dg_kernels::codegen::volume_kernel_source(&pk, "vlasov_vol_1x2v_p1_tensor");
-    if std::env::args().any(|a| a == "--stdout") {
-        print!("{src}");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let check = args.iter().any(|a| a == "--check");
+    let stdout = args.iter().any(|a| a == "--stdout");
+    if let Some(bad) = args.iter().find(|a| *a != "--check" && *a != "--stdout") {
+        eprintln!("gen_kernel: unknown argument {bad} (expected --check or --stdout)");
+        std::process::exit(2);
+    }
+    if check && stdout {
+        eprintln!("gen_kernel: --check and --stdout are mutually exclusive");
+        std::process::exit(2);
+    }
+
+    let generated = artifacts();
+
+    if stdout {
+        for (name, src) in &generated {
+            println!("// ===== {name} =====");
+            print!("{src}");
+        }
         return;
     }
+
     // Resolve the destination at runtime so a cached binary run from a
-    // moved/copied checkout still writes into the invoking workspace;
-    // the compile-time path is only the non-cargo-run fallback.
+    // moved/copied checkout still writes into the invoking workspace; the
+    // compile-time path is only the non-cargo-run fallback.
     let manifest_dir = std::env::var("CARGO_MANIFEST_DIR")
         .unwrap_or_else(|_| env!("CARGO_MANIFEST_DIR").to_string());
-    let dest = std::path::Path::new(&manifest_dir)
-        .join("../kernels/src/generated/vlasov_vol_1x2v_p1_tensor.rs");
-    std::fs::write(&dest, &src)
-        .unwrap_or_else(|e| panic!("failed to write {}: {e}", dest.display()));
-    eprintln!("regenerated {} ({} bytes)", dest.display(), src.len());
+    let dest_dir = PathBuf::from(&manifest_dir).join("../kernels/src/generated");
+
+    // Anything under generated/ that the manifest no longer produces is a
+    // stale artifact (a removed or renamed configuration): `--check` flags
+    // it, write mode deletes it. `tests.rs` is the one handwritten file.
+    let expected: Vec<&str> = generated
+        .iter()
+        .map(|(name, _)| name.as_str())
+        .chain(["tests.rs"])
+        .collect();
+    let stale: Vec<PathBuf> = std::fs::read_dir(&dest_dir)
+        .map(|rd| {
+            rd.filter_map(|e| e.ok().map(|e| e.path()))
+                .filter(|p| {
+                    p.extension().is_some_and(|x| x == "rs")
+                        && p.file_name()
+                            .and_then(|n| n.to_str())
+                            .is_some_and(|n| !expected.contains(&n))
+                })
+                .collect()
+        })
+        .unwrap_or_default();
+
+    if check {
+        let mut dirty = Vec::new();
+        for (name, src) in &generated {
+            match std::fs::read_to_string(dest_dir.join(name)) {
+                Ok(committed) if &committed == src => {}
+                Ok(_) => dirty.push(format!("{name} (differs)")),
+                Err(e) => dirty.push(format!("{name} ({e})")),
+            }
+        }
+        let n_dirty = dirty.len();
+        for p in &stale {
+            dirty.push(format!(
+                "{} (stale: not produced by the manifest)",
+                p.display()
+            ));
+        }
+        if dirty.is_empty() {
+            eprintln!(
+                "gen_kernel --check: all {} committed artifacts match the generator",
+                generated.len()
+            );
+        } else {
+            eprintln!(
+                "gen_kernel --check: {} of {} artifacts out of date, {} stale:",
+                n_dirty,
+                generated.len(),
+                stale.len()
+            );
+            for d in &dirty {
+                eprintln!("  {d}");
+            }
+            eprintln!("regenerate with `cargo run -p dg-bench --bin gen_kernel`");
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    for (name, src) in &generated {
+        let dest = dest_dir.join(name);
+        let unchanged = std::fs::read_to_string(&dest).is_ok_and(|old| &old == src);
+        if unchanged {
+            eprintln!("unchanged   {} ({} bytes)", dest.display(), src.len());
+        } else {
+            std::fs::write(&dest, src)
+                .unwrap_or_else(|e| panic!("failed to write {}: {e}", dest.display()));
+            eprintln!("regenerated {} ({} bytes)", dest.display(), src.len());
+        }
+    }
+    for p in &stale {
+        std::fs::remove_file(p)
+            .unwrap_or_else(|e| panic!("failed to remove stale {}: {e}", p.display()));
+        eprintln!("removed     {} (no longer in the manifest)", p.display());
+    }
 }

@@ -29,7 +29,7 @@ use crate::ssprk::SspRk3;
 use crate::system::{FluxKind, SystemState, VlasovMaxwell};
 use dg_basis::{project, Basis, BasisKind};
 use dg_grid::{Bc, CartGrid, DgField, PhaseGrid};
-use dg_kernels::{kernels_for, PhaseLayout};
+use dg_kernels::{kernels_for, KernelDispatch, PhaseLayout};
 use dg_maxwell::flux::PhmParams;
 use dg_maxwell::{MaxwellDg, MaxwellFlux};
 use dg_poly::quad::GaussRule;
@@ -155,6 +155,7 @@ pub struct AppBuilder {
     kind: BasisKind,
     cfl: f64,
     flux: FluxKind,
+    dispatch: KernelDispatch,
     species: Vec<SpeciesSpec>,
     field: Option<FieldSpec>,
     init_quad_npts: Option<usize>,
@@ -175,6 +176,7 @@ impl AppBuilder {
             kind: BasisKind::Serendipity,
             cfl: 0.9,
             flux: FluxKind::Upwind,
+            dispatch: KernelDispatch::Auto,
             species: Vec::new(),
             field: None,
             init_quad_npts: None,
@@ -210,6 +212,14 @@ impl AppBuilder {
     /// Kinetic-equation interface flux.
     pub fn vlasov_flux(mut self, flux: FluxKind) -> Self {
         self.flux = flux;
+        self
+    }
+
+    /// Volume-kernel dispatch policy (default [`KernelDispatch::Auto`]:
+    /// committed unrolled kernels when registered). Tests and benches use
+    /// this to force either path.
+    pub fn kernel_dispatch(mut self, dispatch: KernelDispatch) -> Self {
+        self.dispatch = dispatch;
         self
     }
 
@@ -292,6 +302,9 @@ impl AppBuilder {
 
         let mut system =
             VlasovMaxwell::new(Arc::clone(&kernels), grid, maxwell, species, self.flux);
+        if self.dispatch != KernelDispatch::Auto {
+            system.set_kernel_dispatch(self.dispatch);
+        }
         system.collisions = collisions;
         system.evolve_field = fspec.evolve;
         system.track_charge = fspec.chi_e != 0.0;

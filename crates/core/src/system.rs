@@ -11,7 +11,7 @@ use crate::moments::{accumulate_current, MomentScratch};
 use crate::species::Species;
 use crate::vlasov::{VlasovOp, VlasovWorkspace};
 use dg_grid::{DgField, PhaseGrid};
-use dg_kernels::PhaseKernels;
+use dg_kernels::{KernelDispatch, PhaseKernels};
 use dg_maxwell::MaxwellDg;
 use std::sync::Arc;
 
@@ -74,6 +74,9 @@ pub struct VlasovMaxwell {
     pub background_charge: f64,
     scratch_j: DgField,
     scratch_rho: DgField,
+    /// Moment-reduction scratch, persistent so steady-state RHS evaluation
+    /// allocates nothing.
+    scratch_mom: MomentScratch,
 }
 
 impl VlasovMaxwell {
@@ -100,7 +103,25 @@ impl VlasovMaxwell {
             background_charge: 0.0,
             scratch_j: DgField::zeros(nconf, 3 * nc),
             scratch_rho: DgField::zeros(nconf, nc),
+            scratch_mom: MomentScratch::default(),
         }
+    }
+
+    /// Force the volume-kernel dispatch path (rebuilds the Vlasov operator;
+    /// the default from construction is [`KernelDispatch::Auto`]). Benches
+    /// and equivalence tests use this to pin a path.
+    ///
+    /// # Panics
+    ///
+    /// When forcing [`KernelDispatch::Generated`] for a configuration with
+    /// no committed kernel (see `dg_kernels::dispatch`).
+    pub fn set_kernel_dispatch(&mut self, dispatch: KernelDispatch) {
+        self.vlasov = VlasovOp::with_dispatch(
+            Arc::clone(&self.kernels),
+            self.grid.clone(),
+            self.vlasov.flux,
+            dispatch,
+        );
     }
 
     /// A zeroed state with this system's shape.
@@ -146,7 +167,6 @@ impl VlasovMaxwell {
             self.maxwell.rhs(&state.em, &mut out.em);
             self.scratch_j.fill(0.0);
             self.scratch_rho.fill(0.0);
-            let mut mws = MomentScratch::default();
             for (s, sp) in self.species.iter().enumerate() {
                 accumulate_current(
                     &self.kernels,
@@ -160,7 +180,7 @@ impl VlasovMaxwell {
                         None
                     },
                     0..nconf,
-                    &mut mws,
+                    &mut self.scratch_mom,
                 );
             }
             if self.track_charge && self.background_charge != 0.0 {

@@ -25,9 +25,12 @@
 
 use dg_grid::{CellStoreMut, DgField, PhaseGrid};
 use dg_kernels::accel::VelGeom;
+use dg_kernels::dispatch::{DispatchPath, KernelDispatch, ResolvedVolume};
+use dg_kernels::ops::OpReport;
 use dg_kernels::surface::FaceScratch;
 use dg_kernels::PhaseKernels;
 use dg_maxwell::NCOMP;
+use dg_poly::MAX_DIM;
 use std::ops::Range;
 use std::sync::Arc;
 
@@ -72,10 +75,39 @@ pub struct VlasovOp {
     dv: [f64; 3],
     /// Per velocity dim: linear indices of pencil bases (idx_j = 0).
     pencil_bases: Vec<Vec<u32>>,
+    /// Volume-kernel path, resolved against the dispatch registry once at
+    /// construction — the hot loop never branches per cell.
+    volume_path: ResolvedVolume,
+    /// Full phase-space cell sizes `[Δx…, Δv…]` (the grid is uniform), in
+    /// the committed kernels' calling convention.
+    dxv: Vec<f64>,
+    /// Configuration-cell centers, flattened `nconf × cdim` (the `x…` part
+    /// of the committed kernels' `w`).
+    conf_centers: Vec<f64>,
 }
 
 impl VlasovOp {
+    /// Build with [`KernelDispatch::Auto`]: every solver silently gets the
+    /// committed unrolled volume kernel when one is registered for its
+    /// configuration, and the runtime sparse path otherwise.
     pub fn new(kernels: Arc<PhaseKernels>, grid: PhaseGrid, flux: FluxKind) -> Self {
+        Self::with_dispatch(kernels, grid, flux, KernelDispatch::Auto)
+    }
+
+    /// Build with an explicit dispatch policy (benches and equivalence
+    /// tests force a path this way).
+    ///
+    /// # Panics
+    ///
+    /// When `dispatch` is [`KernelDispatch::Generated`] and no committed
+    /// kernel exists for this configuration (the error message lists the
+    /// registry and how to extend it).
+    pub fn with_dispatch(
+        kernels: Arc<PhaseKernels>,
+        grid: PhaseGrid,
+        flux: FluxKind,
+        dispatch: KernelDispatch,
+    ) -> Self {
         assert_eq!(kernels.layout.cdim, grid.cdim());
         assert_eq!(kernels.layout.vdim, grid.vdim());
         let vdim = grid.vdim();
@@ -100,6 +132,29 @@ impl VlasovOp {
                 }
             }
         }
+        let volume_path = dispatch
+            .resolve(
+                kernels.phase_basis.kind(),
+                kernels.layout,
+                kernels.phase_basis.poly_order(),
+            )
+            .unwrap_or_else(|e| panic!("kernel dispatch: {e}"));
+        let cdim = grid.cdim();
+        let dxv: Vec<f64> = grid
+            .conf
+            .dx()
+            .iter()
+            .chain(grid.vel.dx())
+            .copied()
+            .collect();
+        let mut conf_centers = vec![0.0; grid.conf.len() * cdim];
+        let mut cidx = vec![0usize; cdim];
+        for clin in 0..grid.conf.len() {
+            grid.conf.delinearize(clin, &mut cidx);
+            for d in 0..cdim {
+                conf_centers[clin * cdim + d] = grid.conf.center(d, cidx[d]);
+            }
+        }
         VlasovOp {
             kernels,
             grid,
@@ -107,7 +162,21 @@ impl VlasovOp {
             vel_centers,
             dv,
             pencil_bases,
+            volume_path,
+            dxv,
+            conf_centers,
         }
+    }
+
+    /// Which volume path this operator resolved to.
+    pub fn dispatch_path(&self) -> DispatchPath {
+        self.volume_path.path()
+    }
+
+    /// Per-cell operation counts, tagged with the resolved dispatch path
+    /// so bench output states explicitly which path was measured.
+    pub fn op_report(&self) -> OpReport {
+        self.kernels.op_report().tagged(self.dispatch_path())
     }
 
     fn nc_em(&self) -> usize {
@@ -130,7 +199,7 @@ impl VlasovOp {
     }
 
     /// Volume terms for all phase cells whose configuration index lies in
-    /// `conf_range`.
+    /// `conf_range`, through the volume path resolved at construction.
     pub fn volume<S: CellStoreMut>(
         &self,
         qm: f64,
@@ -142,33 +211,61 @@ impl VlasovOp {
     ) {
         let k = &*self.kernels;
         let (cdim, vdim) = (k.layout.cdim, k.layout.vdim);
+        let ndim = cdim + vdim;
         let nv = self.grid.vel.len();
-        let cdx = self.grid.conf.dx();
-        let vdx = self.grid.vel.dx();
-        for clin in conf_range {
-            let em_cell = em.cell(clin);
-            let (e, b) = self.em_slices(em_cell);
-            let nc = self.nc_em();
-            for vlin in 0..nv {
-                let cell = clin * nv + vlin;
-                let fc = f.cell(cell);
-                let oc = out.cell_mut(cell);
-                let vc = &self.vel_centers[vlin];
-                for d in 0..cdim {
-                    k.streaming[d].apply(fc, vc[d], vdx[d], 2.0 / cdx[d], oc);
+        match self.volume_path {
+            ResolvedVolume::Generated(entry) => {
+                // Committed unrolled kernel: one straight-line call per
+                // cell. The EM cell slice is passed whole (the kernel reads
+                // only the leading 6 × Nc E/B coefficients).
+                let kernel = entry.func;
+                let mut w = [0.0f64; MAX_DIM];
+                for clin in conf_range {
+                    let em_cell = em.cell(clin);
+                    w[..cdim].copy_from_slice(&self.conf_centers[clin * cdim..][..cdim]);
+                    for vlin in 0..nv {
+                        let cell = clin * nv + vlin;
+                        w[cdim..ndim].copy_from_slice(&self.vel_centers[vlin][..vdim]);
+                        kernel(
+                            &w[..ndim],
+                            &self.dxv,
+                            qm,
+                            em_cell,
+                            f.cell(cell),
+                            out.cell_mut(cell),
+                        );
+                    }
                 }
-                for j in 0..vdim {
-                    k.cell_accel[j].project(
-                        qm,
-                        &e[j * nc..(j + 1) * nc],
-                        b,
-                        VelGeom {
-                            v_c: &vc[..vdim],
-                            dv: &self.dv[..vdim],
-                        },
-                        &mut ws.alpha,
-                    );
-                    k.accel_vol[j].apply(&ws.alpha, fc, 2.0 / vdx[j], oc);
+            }
+            ResolvedVolume::RuntimeSparse => {
+                let cdx = self.grid.conf.dx();
+                let vdx = self.grid.vel.dx();
+                for clin in conf_range {
+                    let em_cell = em.cell(clin);
+                    let (e, b) = self.em_slices(em_cell);
+                    let nc = self.nc_em();
+                    for vlin in 0..nv {
+                        let cell = clin * nv + vlin;
+                        let fc = f.cell(cell);
+                        let oc = out.cell_mut(cell);
+                        let vc = &self.vel_centers[vlin];
+                        for d in 0..cdim {
+                            k.streaming[d].apply(fc, vc[d], vdx[d], 2.0 / cdx[d], oc);
+                        }
+                        for j in 0..vdim {
+                            k.cell_accel[j].project(
+                                qm,
+                                &e[j * nc..(j + 1) * nc],
+                                b,
+                                VelGeom {
+                                    v_c: &vc[..vdim],
+                                    dv: &self.dv[..vdim],
+                                },
+                                &mut ws.alpha,
+                            );
+                            k.accel_vol[j].apply(&ws.alpha, fc, 2.0 / vdx[j], oc);
+                        }
+                    }
                 }
             }
         }
@@ -400,6 +497,70 @@ mod tests {
         let em = DgField::zeros(grid.conf.len(), NCOMP * kernels.nc());
         let op = VlasovOp::new(kernels, grid, FluxKind::Upwind);
         (op, sp, em)
+    }
+
+    #[test]
+    fn generated_and_runtime_dispatch_agree_on_full_rhs() {
+        // 1x1v p=2 Serendipity is in the committed-kernel registry, so Auto
+        // must resolve to the generated path, and the full RHS (volume
+        // through either path + identical surface terms) must agree to
+        // round-off between the two forced paths.
+        let (op_auto, sp, mut em) = setup_1x1v(6, 10, 2);
+        // Non-trivial EM data so the acceleration terms are exercised.
+        for c in 0..op_auto.grid.conf.len() {
+            for (i, v) in em.cell_mut(c).iter_mut().enumerate() {
+                *v = ((c * 31 + i) as f64 * 0.61).sin() * 0.3;
+            }
+        }
+        assert_eq!(op_auto.dispatch_path(), DispatchPath::Generated);
+        assert_eq!(op_auto.op_report().path, DispatchPath::Generated);
+
+        let op_rt = VlasovOp::with_dispatch(
+            Arc::clone(&op_auto.kernels),
+            op_auto.grid.clone(),
+            FluxKind::Upwind,
+            KernelDispatch::RuntimeSparse,
+        );
+        assert_eq!(op_rt.dispatch_path(), DispatchPath::RuntimeSparse);
+        assert_eq!(op_rt.op_report().path, DispatchPath::RuntimeSparse);
+
+        let mut ws = VlasovWorkspace::for_kernels(&op_auto.kernels);
+        let mut out_gen = DgField::zeros(sp.f.ncells(), sp.f.ncoeff());
+        op_auto.accumulate_rhs(sp.qm(), &sp.f, &em, &mut out_gen, &mut ws);
+        let mut out_rt = DgField::zeros(sp.f.ncells(), sp.f.ncoeff());
+        op_rt.accumulate_rhs(sp.qm(), &sp.f, &em, &mut out_rt, &mut ws);
+
+        let scale = out_rt.max_abs().max(1.0);
+        for c in 0..out_rt.ncells() {
+            for (a, b) in out_gen.cell(c).iter().zip(out_rt.cell(c)) {
+                assert!(
+                    (a - b).abs() < 1e-13 * scale,
+                    "cell {c}: generated {a} vs runtime {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn forcing_generated_on_unregistered_config_panics_with_guidance() {
+        // 1x3v p1 has no committed kernel; the forced-Generated constructor
+        // must fail loudly (Auto on the same config falls back silently —
+        // covered by the kernels-crate dispatch tests).
+        let kernels = kernels_for(BasisKind::Serendipity, PhaseLayout::new(1, 3), 1);
+        let grid = PhaseGrid::new(
+            CartGrid::new(&[0.0], &[1.0], &[2]),
+            CartGrid::new(&[-1.0; 3], &[1.0; 3], &[2, 2, 2]),
+            vec![Bc::Periodic],
+        );
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            VlasovOp::with_dispatch(kernels, grid, FluxKind::Upwind, KernelDispatch::Generated)
+        }))
+        .expect_err("must panic");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(
+            msg.contains("no committed kernel"),
+            "unhelpful panic message: {msg}"
+        );
     }
 
     #[test]

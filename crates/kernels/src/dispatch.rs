@@ -1,0 +1,229 @@
+//! Kernel dispatch: committed unrolled kernels in the hot path.
+//!
+//! Gkeyll's production solvers never run a generic tensor contraction: for
+//! every `(basis family, phase layout, poly order)` it ships a fully
+//! unrolled, computer-algebra-generated kernel, selected once when the
+//! solver is built. This module is that selection layer for the committed
+//! Rust kernels under [`crate::generated`]:
+//!
+//! * [`VolumeKernelFn`] is the calling convention of a committed volume
+//!   kernel (the paper's Fig. 1 signature: cell center, cell sizes, `q/m`,
+//!   flattened EM coefficients, distribution coefficients, RHS increment);
+//! * the **registry** ([`volume_registry`]) is a static table, emitted by
+//!   the same generator as the kernels themselves, mapping a [`KernelKey`]
+//!   to the committed function;
+//! * [`KernelDispatch`] is the public knob: `Auto` resolves to the
+//!   committed kernel when one exists and falls back to the runtime
+//!   sparse-tensor path otherwise, while `Generated`/`RuntimeSparse` force
+//!   a path (benches and equivalence tests).
+//!
+//! Resolution happens **once**, when an operator is constructed
+//! ([`KernelDispatch::resolve`]); the hot loop then calls through the
+//! resolved [`ResolvedVolume`] with zero per-cell branching.
+//!
+//! To add a configuration, extend [`crate::codegen::MANIFEST`] and rerun
+//! `cargo run -p dg-bench --bin gen_kernel` (see DESIGN.md, "Kernel
+//! dispatch").
+
+use crate::phase::PhaseLayout;
+use dg_basis::BasisKind;
+
+/// Calling convention of a committed, fully unrolled volume kernel.
+///
+/// * `w`   — phase-space cell center `[x…, v…]`, length `cdim + vdim`;
+/// * `dxv` — phase-space cell sizes, same length;
+/// * `qm`  — charge-to-mass ratio `q/m`;
+/// * `em`  — flattened EM configuration coefficients, `[Ex, Ey, Ez, Bx,
+///   By, Bz, …] × Nc` (trailing components beyond the six used are
+///   ignored, so a full 8-component PHM cell slice can be passed as-is);
+/// * `f`   — distribution coefficients, length `Np`;
+/// * `out` — RHS increment, length `Np` (accumulated, not overwritten).
+pub type VolumeKernelFn =
+    fn(w: &[f64], dxv: &[f64], qm: f64, em: &[f64], f: &[f64], out: &mut [f64]);
+
+/// Registry key: one kernel configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct KernelKey {
+    pub kind: BasisKind,
+    pub cdim: usize,
+    pub vdim: usize,
+    pub poly_order: usize,
+}
+
+impl KernelKey {
+    pub fn new(kind: BasisKind, layout: PhaseLayout, poly_order: usize) -> Self {
+        KernelKey {
+            kind,
+            cdim: layout.cdim,
+            vdim: layout.vdim,
+            poly_order,
+        }
+    }
+
+    pub fn layout(&self) -> PhaseLayout {
+        PhaseLayout::new(self.cdim, self.vdim)
+    }
+}
+
+/// One row of the committed-kernel registry (generated table in
+/// `generated/mod.rs`).
+#[derive(Clone, Copy, Debug)]
+pub struct VolumeKernelEntry {
+    pub key: KernelKey,
+    /// The generated function's name (also its source file stem).
+    pub name: &'static str,
+    pub func: VolumeKernelFn,
+}
+
+/// All committed unrolled volume kernels.
+pub fn volume_registry() -> &'static [VolumeKernelEntry] {
+    crate::generated::VOLUME_REGISTRY
+}
+
+/// Look up the committed volume kernel for a configuration, if one exists.
+pub fn find_volume_kernel(
+    kind: BasisKind,
+    layout: PhaseLayout,
+    poly_order: usize,
+) -> Option<&'static VolumeKernelEntry> {
+    let key = KernelKey::new(kind, layout, poly_order);
+    volume_registry().iter().find(|e| e.key == key)
+}
+
+/// Which volume-kernel path an operator should take. The default, `Auto`,
+/// is what every solver gets unless a bench or test forces a path.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum KernelDispatch {
+    /// Committed unrolled kernel when registered, runtime sparse otherwise.
+    #[default]
+    Auto,
+    /// Force the committed unrolled kernel; resolution fails if the
+    /// configuration is not in the registry.
+    Generated,
+    /// Force the generic runtime sparse-tensor path.
+    RuntimeSparse,
+}
+
+/// Which path a resolution (or a measurement) actually used — the tag
+/// carried by [`crate::ops::OpReport`] and printed by the benches.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum DispatchPath {
+    Generated,
+    #[default]
+    RuntimeSparse,
+}
+
+impl DispatchPath {
+    /// Short human-readable tag for bench output.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            DispatchPath::Generated => "generated",
+            DispatchPath::RuntimeSparse => "runtime-sparse",
+        }
+    }
+}
+
+/// Outcome of resolving [`KernelDispatch`] against the registry; held by
+/// the solver and consulted without branching per cell.
+#[derive(Clone, Copy, Debug)]
+pub enum ResolvedVolume {
+    Generated(&'static VolumeKernelEntry),
+    RuntimeSparse,
+}
+
+impl ResolvedVolume {
+    pub fn path(&self) -> DispatchPath {
+        match self {
+            ResolvedVolume::Generated(_) => DispatchPath::Generated,
+            ResolvedVolume::RuntimeSparse => DispatchPath::RuntimeSparse,
+        }
+    }
+}
+
+impl KernelDispatch {
+    /// Resolve this knob for a configuration. `Err` only when `Generated`
+    /// is forced for a configuration with no committed kernel; `Auto`
+    /// falls back to the runtime path gracefully.
+    pub fn resolve(
+        self,
+        kind: BasisKind,
+        layout: PhaseLayout,
+        poly_order: usize,
+    ) -> Result<ResolvedVolume, String> {
+        match self {
+            KernelDispatch::RuntimeSparse => Ok(ResolvedVolume::RuntimeSparse),
+            KernelDispatch::Auto => Ok(match find_volume_kernel(kind, layout, poly_order) {
+                Some(e) => ResolvedVolume::Generated(e),
+                None => ResolvedVolume::RuntimeSparse,
+            }),
+            KernelDispatch::Generated => match find_volume_kernel(kind, layout, poly_order) {
+                Some(e) => Ok(ResolvedVolume::Generated(e)),
+                None => Err(format!(
+                    "no committed kernel for {:?} {} p={} (registry: {}); \
+                     extend dg_kernels::codegen::MANIFEST and rerun \
+                     `cargo run -p dg-bench --bin gen_kernel`",
+                    kind,
+                    layout.tag(),
+                    poly_order,
+                    volume_registry()
+                        .iter()
+                        .map(|e| e.name)
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                )),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codegen::MANIFEST;
+
+    #[test]
+    fn registry_covers_the_whole_manifest() {
+        assert!(MANIFEST.len() >= 5, "manifest shrank below the ISSUE floor");
+        for spec in MANIFEST {
+            let e = find_volume_kernel(spec.kind, spec.layout(), spec.poly_order)
+                .unwrap_or_else(|| panic!("{} missing from registry", spec.fn_name()));
+            assert_eq!(e.name, spec.fn_name(), "registry/manifest name drift");
+        }
+        assert_eq!(
+            volume_registry().len(),
+            MANIFEST.len(),
+            "registry has entries the manifest does not know about"
+        );
+    }
+
+    #[test]
+    fn auto_falls_back_gracefully() {
+        // 3x3v p1 is deliberately not committed (Np = 64 would dominate the
+        // crate); Auto must fall back, forced Generated must error.
+        let layout = PhaseLayout::new(3, 3);
+        let auto = KernelDispatch::Auto
+            .resolve(BasisKind::Serendipity, layout, 1)
+            .unwrap();
+        assert_eq!(auto.path(), DispatchPath::RuntimeSparse);
+        assert!(KernelDispatch::Generated
+            .resolve(BasisKind::Serendipity, layout, 1)
+            .is_err());
+    }
+
+    #[test]
+    fn forced_paths_resolve_for_fig1_config() {
+        let layout = PhaseLayout::new(1, 2);
+        let gen = KernelDispatch::Generated
+            .resolve(BasisKind::Tensor, layout, 1)
+            .unwrap();
+        assert_eq!(gen.path(), DispatchPath::Generated);
+        let auto = KernelDispatch::Auto
+            .resolve(BasisKind::Tensor, layout, 1)
+            .unwrap();
+        assert_eq!(auto.path(), DispatchPath::Generated);
+        let rt = KernelDispatch::RuntimeSparse
+            .resolve(BasisKind::Tensor, layout, 1)
+            .unwrap();
+        assert_eq!(rt.path(), DispatchPath::RuntimeSparse);
+    }
+}

@@ -1,0 +1,116 @@
+//! Closed-loop tests for the committed generated kernels (handwritten; the
+//! surrounding `mod.rs` is itself a generated artifact and only declares
+//! this module).
+//!
+//! Two properties per manifest entry:
+//!
+//! 1. **no drift** — every committed artifact (kernel files *and* the
+//!    registry module) is byte-identical to what the current generator
+//!    emits, so generator changes cannot land without regenerated
+//!    artifacts;
+//! 2. **equivalence** — executing the committed, fully unrolled function
+//!    reproduces the runtime sparse-tensor kernels on random cell data to
+//!    round-off (the property the dispatch layer's correctness rests on).
+
+use crate::accel::VelGeom;
+use crate::codegen::{generated_mod_source, manifest_kernel_source, MANIFEST};
+use crate::dispatch::volume_registry;
+use crate::kernels_for;
+use proptest::prelude::*;
+
+#[test]
+fn committed_artifacts_match_generator() {
+    let dir = std::path::Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/src/generated"));
+    for spec in MANIFEST {
+        let committed = std::fs::read_to_string(dir.join(spec.file_name()))
+            .unwrap_or_else(|e| panic!("missing committed artifact {}: {e}", spec.file_name()));
+        assert_eq!(
+            manifest_kernel_source(spec),
+            committed,
+            "{} drifted — regenerate with `cargo run -p dg-bench --bin gen_kernel`",
+            spec.file_name()
+        );
+    }
+    let committed_mod = std::fs::read_to_string(dir.join("mod.rs")).unwrap();
+    assert_eq!(
+        generated_mod_source(),
+        committed_mod,
+        "mod.rs drifted — regenerate with `cargo run -p dg-bench --bin gen_kernel`"
+    );
+}
+
+/// Apply the runtime sparse-tensor path with the generated kernels' calling
+/// convention (full phase `w`/`dxv`, flattened `em`).
+fn runtime_volume_reference(
+    pk: &crate::PhaseKernels,
+    w: &[f64],
+    dxv: &[f64],
+    qm: f64,
+    em: &[f64],
+    f: &[f64],
+    out: &mut [f64],
+) {
+    let (cdim, vdim) = (pk.layout.cdim, pk.layout.vdim);
+    let nc = pk.nc();
+    for d in 0..cdim {
+        let vd = cdim + d;
+        pk.streaming[d].apply(f, w[vd], dxv[vd], 2.0 / dxv[d], out);
+    }
+    let e = &em[..3 * nc];
+    let b = [
+        &em[3 * nc..4 * nc],
+        &em[4 * nc..5 * nc],
+        &em[5 * nc..6 * nc],
+    ];
+    let mut alpha = vec![0.0; pk.np()];
+    for j in 0..vdim {
+        pk.cell_accel[j].project(
+            qm,
+            &e[j * nc..(j + 1) * nc],
+            b,
+            VelGeom {
+                v_c: &w[cdim..cdim + vdim],
+                dv: &dxv[cdim..cdim + vdim],
+            },
+            &mut alpha,
+        );
+        pk.accel_vol[j].apply(&alpha, f, 2.0 / dxv[cdim + j], out);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn every_registry_kernel_matches_runtime(
+        qm in -3.0..3.0f64,
+        w_raw in proptest::collection::vec(-2.0..2.0f64, 6),
+        dxv_raw in proptest::collection::vec(0.1..2.0f64, 6),
+        em_raw in proptest::collection::vec(-1.0..1.0f64, 8 * 16),
+        f_raw in proptest::collection::vec(-1.0..1.0f64, 128),
+    ) {
+        for entry in volume_registry() {
+            let k = entry.key;
+            let pk = kernels_for(k.kind, k.layout(), k.poly_order);
+            let ndim = k.cdim + k.vdim;
+            let (np, nc) = (pk.np(), pk.nc());
+            prop_assert!(np <= f_raw.len() && 8 * nc <= em_raw.len());
+            let w = &w_raw[..ndim];
+            let dxv = &dxv_raw[..ndim];
+            let em = &em_raw[..8 * nc];
+            let f = &f_raw[..np];
+
+            let mut out_gen = vec![0.0; np];
+            (entry.func)(w, dxv, qm, em, f, &mut out_gen);
+            let mut out_rt = vec![0.0; np];
+            runtime_volume_reference(&pk, w, dxv, qm, em, f, &mut out_rt);
+
+            for i in 0..np {
+                prop_assert!(
+                    (out_gen[i] - out_rt[i]).abs() < 1e-13,
+                    "{} mode {i}: generated {} vs runtime {}",
+                    entry.name, out_gen[i], out_rt[i]
+                );
+            }
+        }
+    }
+}

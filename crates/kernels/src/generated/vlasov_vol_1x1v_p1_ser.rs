@@ -1,0 +1,30 @@
+/// Volume kernel for the Vlasov phase-space advection, 1x1v p=1 Serendipity basis.
+/// Auto-generated from exact integral tables — do not edit by hand.
+///
+/// * `w`   — phase-space cell center, `[x…, v…]`, length 2
+/// * `dxv` — phase-space cell size, length 2
+/// * `qm`  — charge-to-mass ratio q/m
+/// * `em`  — E/B conf-space coefficients, 6 components × 2
+/// * `f`   — distribution coefficients, length 4
+/// * `out` — RHS increment, length 4
+#[allow(clippy::all)]
+#[rustfmt::skip]
+pub fn vlasov_vol_1x1v_p1_ser(w: &[f64], dxv: &[f64], qm: f64, em: &[f64], f: &[f64], out: &mut [f64]) {
+    // streaming: ∂/∂x0 of (v0 f)
+    let rd0 = 2.0 / dxv[0];
+    let a0_0 = 2.0 * w[1] * rd0;
+    let a1_0 = 1.1547005383792517 * 0.5 * dxv[1] * rd0;
+    out[2] += 0.8660254037844386 * a0_0 * f[0];
+    out[3] += 0.8660254037844386 * a0_0 * f[1];
+    out[2] += 0.8660254037844386 * a1_0 * f[1];
+    out[3] += 0.8660254037844386 * a1_0 * f[0];
+    // acceleration: ∂/∂v0 of (q/m (E + v×B)_0 f)
+    let rv0 = 2.0 / dxv[1];
+    let mut alpha0 = [0.0f64; 4];
+    alpha0[0] += qm * 1.4142135623730951 * (em[0]);
+    alpha0[2] += qm * 1.4142135623730951 * (em[1]);
+    out[1] += 0.8660254037844386 * rv0 * alpha0[0] * f[0];
+    out[1] += 0.8660254037844386 * rv0 * alpha0[2] * f[2];
+    out[3] += 0.8660254037844386 * rv0 * alpha0[0] * f[2];
+    out[3] += 0.8660254037844386 * rv0 * alpha0[2] * f[0];
+}

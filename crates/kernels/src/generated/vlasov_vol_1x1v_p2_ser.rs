@@ -1,0 +1,53 @@
+/// Volume kernel for the Vlasov phase-space advection, 1x1v p=2 Serendipity basis.
+/// Auto-generated from exact integral tables — do not edit by hand.
+///
+/// * `w`   — phase-space cell center, `[x…, v…]`, length 2
+/// * `dxv` — phase-space cell size, length 2
+/// * `qm`  — charge-to-mass ratio q/m
+/// * `em`  — E/B conf-space coefficients, 6 components × 3
+/// * `f`   — distribution coefficients, length 8
+/// * `out` — RHS increment, length 8
+#[allow(clippy::all)]
+#[rustfmt::skip]
+pub fn vlasov_vol_1x1v_p2_ser(w: &[f64], dxv: &[f64], qm: f64, em: &[f64], f: &[f64], out: &mut [f64]) {
+    // streaming: ∂/∂x0 of (v0 f)
+    let rd0 = 2.0 / dxv[0];
+    let a0_0 = 2.0 * w[1] * rd0;
+    let a1_0 = 1.1547005383792517 * 0.5 * dxv[1] * rd0;
+    out[2] += 0.8660254037844386 * a0_0 * f[0];
+    out[4] += 0.8660254037844386 * a0_0 * f[1];
+    out[5] += 1.9364916731037085 * a0_0 * f[2];
+    out[6] += 0.8660254037844388 * a0_0 * f[3];
+    out[7] += 1.9364916731037083 * a0_0 * f[4];
+    out[2] += 0.8660254037844386 * a1_0 * f[1];
+    out[4] += 0.8660254037844386 * a1_0 * f[0];
+    out[4] += 0.7745966692414833 * a1_0 * f[3];
+    out[5] += 1.9364916731037083 * a1_0 * f[4];
+    out[6] += 0.7745966692414833 * a1_0 * f[1];
+    out[7] += 1.9364916731037083 * a1_0 * f[2];
+    out[7] += 1.7320508075688774 * a1_0 * f[6];
+    // acceleration: ∂/∂v0 of (q/m (E + v×B)_0 f)
+    let rv0 = 2.0 / dxv[1];
+    let mut alpha0 = [0.0f64; 8];
+    alpha0[0] += qm * 1.4142135623730951 * (em[0]);
+    alpha0[2] += qm * 1.4142135623730951 * (em[1]);
+    alpha0[5] += qm * 1.4142135623730951 * (em[2]);
+    out[1] += 0.8660254037844386 * rv0 * alpha0[0] * f[0];
+    out[1] += 0.8660254037844386 * rv0 * alpha0[2] * f[2];
+    out[1] += 0.8660254037844388 * rv0 * alpha0[5] * f[5];
+    out[3] += 1.9364916731037085 * rv0 * alpha0[0] * f[1];
+    out[3] += 1.9364916731037083 * rv0 * alpha0[2] * f[4];
+    out[3] += 1.9364916731037085 * rv0 * alpha0[5] * f[7];
+    out[4] += 0.8660254037844386 * rv0 * alpha0[0] * f[2];
+    out[4] += 0.8660254037844386 * rv0 * alpha0[2] * f[0];
+    out[4] += 0.7745966692414833 * rv0 * alpha0[2] * f[5];
+    out[4] += 0.7745966692414833 * rv0 * alpha0[5] * f[2];
+    out[6] += 1.9364916731037083 * rv0 * alpha0[0] * f[4];
+    out[6] += 1.9364916731037083 * rv0 * alpha0[2] * f[1];
+    out[6] += 1.7320508075688774 * rv0 * alpha0[2] * f[7];
+    out[6] += 1.7320508075688774 * rv0 * alpha0[5] * f[4];
+    out[7] += 0.8660254037844388 * rv0 * alpha0[0] * f[5];
+    out[7] += 0.7745966692414833 * rv0 * alpha0[2] * f[2];
+    out[7] += 0.8660254037844388 * rv0 * alpha0[5] * f[0];
+    out[7] += 0.5532833351724881 * rv0 * alpha0[5] * f[5];
+}

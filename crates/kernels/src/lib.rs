@@ -29,6 +29,7 @@
 pub mod accel;
 pub mod cache;
 pub mod codegen;
+pub mod dispatch;
 pub mod generated;
 pub mod linalg;
 pub mod moments;
@@ -41,5 +42,6 @@ pub mod volume;
 pub mod weak;
 
 pub use cache::kernels_for;
+pub use dispatch::{DispatchPath, KernelDispatch};
 pub use phase::{PhaseKernels, PhaseLayout};
 pub use triple::{SparseTriple, TripleEntry};

@@ -6,6 +6,7 @@
 //! bound. These reports let the benchmarks print analogous numbers for any
 //! configuration, independent of wall-clock noise.
 
+use crate::dispatch::DispatchPath;
 use crate::phase::PhaseKernels;
 
 /// Multiplication counts per *cell update* (volume + all surface work,
@@ -17,11 +18,22 @@ pub struct OpReport {
     pub accel_volume: usize,
     pub alpha_assembly: usize,
     pub surface: usize,
+    /// Which dispatch path produced/measured these counts. The generated
+    /// and runtime paths execute the same multiplications (that is what
+    /// the equivalence tests pin down), so the tag disambiguates *bench
+    /// output*, not the arithmetic.
+    pub path: DispatchPath,
 }
 
 impl OpReport {
     pub fn total(&self) -> usize {
         self.streaming_volume + self.accel_volume + self.alpha_assembly + self.surface
+    }
+
+    /// The same counts re-tagged with the dispatch path that was measured.
+    pub fn tagged(mut self, path: DispatchPath) -> Self {
+        self.path = path;
+        self
     }
 }
 
@@ -50,6 +62,7 @@ impl PhaseKernels {
             accel_volume,
             alpha_assembly,
             surface,
+            path: DispatchPath::RuntimeSparse,
         }
     }
 }

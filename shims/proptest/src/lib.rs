@@ -135,7 +135,7 @@ impl_tuple_strategy! {
 pub mod collection {
     use super::{Strategy, TestRng};
 
-    /// Length spec for [`vec`]: a fixed size or a sampled range.
+    /// Length spec for [`vec()`]: a fixed size or a sampled range.
     pub trait SizeRange {
         fn sample_len(&self, rng: &mut TestRng) -> usize;
     }

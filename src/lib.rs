@@ -54,4 +54,5 @@ pub mod prelude {
     pub use dg_core::system::{FluxKind, VlasovMaxwell};
     pub use dg_diag::history::EnergyHistory;
     pub use dg_grid::grid::CartGrid;
+    pub use dg_kernels::{DispatchPath, KernelDispatch};
 }

@@ -13,15 +13,22 @@ use vlasov_dg::core::app::{App, AppBuilder, FieldSpec, SpeciesSpec};
 use vlasov_dg::core::species::maxwellian;
 use vlasov_dg::core::system::FluxKind;
 use vlasov_dg::diag::EnergyHistory;
+use vlasov_dg::kernels::{DispatchPath, KernelDispatch};
 use vlasov_dg::maxwell::MaxwellFlux;
 
-fn langmuir_app(p: usize, vlasov_flux: FluxKind, mx_flux: MaxwellFlux) -> App {
+fn langmuir_app_with_dispatch(
+    p: usize,
+    vlasov_flux: FluxKind,
+    mx_flux: MaxwellFlux,
+    dispatch: KernelDispatch,
+) -> App {
     let k = 0.5;
     AppBuilder::new()
         .conf_grid(&[0.0], &[2.0 * std::f64::consts::PI / k], &[8])
         .poly_order(p)
         .basis(BasisKind::Serendipity)
         .vlasov_flux(vlasov_flux)
+        .kernel_dispatch(dispatch)
         .species(
             SpeciesSpec::new("elc", -1.0, 1.0, &[-6.0], &[6.0], &[16])
                 .initial(move |x, v| maxwellian(1.0 + 0.05 * (k * x[0]).cos(), &[0.0], 1.0, v)),
@@ -29,6 +36,10 @@ fn langmuir_app(p: usize, vlasov_flux: FluxKind, mx_flux: MaxwellFlux) -> App {
         .field(FieldSpec::new(5.0).with_poisson_init().flux(mx_flux))
         .build()
         .unwrap()
+}
+
+fn langmuir_app(p: usize, vlasov_flux: FluxKind, mx_flux: MaxwellFlux) -> App {
+    langmuir_app_with_dispatch(p, vlasov_flux, mx_flux, KernelDispatch::Auto)
 }
 
 fn run_and_record(app: &mut App, dt: f64, steps: usize) -> EnergyHistory {
@@ -40,6 +51,54 @@ fn run_and_record(app: &mut App, dt: f64, steps: usize) -> EnergyHistory {
         h.record(&app.system, &app.state, app.time());
     }
     h
+}
+
+#[test]
+fn forced_generated_dispatch_conserves_mass_and_matches_runtime() {
+    // 1X1V p=2 Serendipity is in the committed-kernel registry. A full
+    // nonlinear run with the dispatch forced to the generated path must
+    // conserve mass to round-off, and the end state must agree with the
+    // forced runtime-sparse run to round-off — dispatch is a pure
+    // implementation switch, never a physics switch.
+    let mut app_gen = langmuir_app_with_dispatch(
+        2,
+        FluxKind::Upwind,
+        MaxwellFlux::Central,
+        KernelDispatch::Generated,
+    );
+    assert_eq!(
+        app_gen.system.vlasov.dispatch_path(),
+        DispatchPath::Generated
+    );
+    let h = run_and_record(&mut app_gen, 2e-3, 100);
+    assert!(
+        h.mass_drift() < 1e-12,
+        "generated-path mass drift {:.3e}",
+        h.mass_drift()
+    );
+
+    let mut app_rt = langmuir_app_with_dispatch(
+        2,
+        FluxKind::Upwind,
+        MaxwellFlux::Central,
+        KernelDispatch::RuntimeSparse,
+    );
+    assert_eq!(
+        app_rt.system.vlasov.dispatch_path(),
+        DispatchPath::RuntimeSparse
+    );
+    run_and_record(&mut app_rt, 2e-3, 100);
+
+    let (fg, fr) = (&app_gen.state.species_f[0], &app_rt.state.species_f[0]);
+    let scale = fr.max_abs().max(1.0);
+    for c in 0..fr.ncells() {
+        for (a, b) in fg.cell(c).iter().zip(fr.cell(c)) {
+            assert!(
+                (a - b).abs() < 1e-11 * scale,
+                "cell {c}: paths diverged after 100 steps: {a} vs {b}"
+            );
+        }
+    }
 }
 
 #[test]
