@@ -69,6 +69,18 @@ impl FaceBasis {
         (a as usize, v)
     }
 
+    /// Number of non-zero trace entries on one side — the multiplications
+    /// one [`FaceBasis::restrict`] or [`FaceBasis::lift`] actually
+    /// performs. (For Legendre factors every edge value is non-zero, so
+    /// this equals the cell-basis size; counted rather than assumed so the
+    /// op audits stay honest under basis changes.)
+    pub fn nnz(&self, side: i32) -> usize {
+        self.trace[usize::from(side > 0)]
+            .iter()
+            .filter(|&&(_, v)| v != 0.0)
+            .count()
+    }
+
     /// Restrict a cell expansion to the face: `face[a] += Σ_i T_{ia} cell[i]`.
     /// `face` must be zeroed by the caller (allows accumulation patterns).
     #[inline]

@@ -65,7 +65,7 @@ fn main() {
     let eop = dofs / t_vlasov;
 
     // With LBO collisions.
-    let lbo = LboOp::new(Arc::clone(&sys.kernels), sys.grid.clone(), 0.5);
+    let mut lbo = LboOp::new(Arc::clone(&sys.kernels), sys.grid.clone(), 0.5);
     lbo.accumulate_rhs(&state.species_f[0], &mut out);
     let t0 = Instant::now();
     for _ in 0..reps {

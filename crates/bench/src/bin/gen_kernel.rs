@@ -1,8 +1,9 @@
 //! Regenerates (or verifies) every committed generated-kernel artifact.
 //!
 //! `cargo run -p dg-bench --bin gen_kernel` rewrites, for each entry of
-//! `dg_kernels::codegen::MANIFEST`, the unrolled volume kernel under
-//! `crates/kernels/src/generated/` plus the registry module `mod.rs`,
+//! `dg_kernels::codegen::MANIFEST`, the unrolled volume and surface
+//! kernels under `crates/kernels/src/generated/` plus the registry module
+//! `mod.rs`,
 //! closing the Gkeyll-style committed-codegen loop: the unit test
 //! `generated::tests::committed_artifacts_match_generator` (and the
 //! `--check` step in CI) then asserts the tree is clean, so generator
@@ -15,7 +16,9 @@
 //!   writing; exit non-zero listing any that differ (the CI mode);
 //! * `--stdout`  — print every artifact to stdout instead of writing.
 
-use dg_kernels::codegen::{generated_mod_source, manifest_kernel_source, MANIFEST};
+use dg_kernels::codegen::{
+    generated_mod_source, manifest_kernel_source, manifest_surface_source, MANIFEST,
+};
 use std::path::PathBuf;
 
 fn artifacts() -> Vec<(String, String)> {
@@ -23,6 +26,11 @@ fn artifacts() -> Vec<(String, String)> {
         .iter()
         .map(|spec| (spec.file_name(), manifest_kernel_source(spec)))
         .collect();
+    v.extend(
+        MANIFEST
+            .iter()
+            .map(|spec| (spec.surf_file_name(), manifest_surface_source(spec))),
+    );
     v.push(("mod.rs".to_string(), generated_mod_source()));
     v
 }

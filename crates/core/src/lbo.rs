@@ -29,9 +29,12 @@ use dg_basis::expand;
 use dg_grid::{DgField, PhaseGrid};
 use dg_kernels::surface::FaceScratch;
 use dg_kernels::triple::{build_triple, DimTable, SparseTriple, TripleSpec};
+use dg_kernels::weak::WeakDivScratch;
 use dg_kernels::PhaseKernels;
 use dg_poly::MAX_DIM;
 use std::sync::Arc;
+
+use crate::moments::MomentScratch;
 
 /// Sparse `∫ ∂_D w_l w_m dξ` (phase-basis gradient-mass, for the LDG
 /// gradient pass).
@@ -77,12 +80,76 @@ impl PhaseGradMass {
     }
 }
 
+/// Persistent scratch for one LBO operator: every moment field, primitive
+/// field, LDG stage, and per-cell buffer the RHS evaluation touches lives
+/// here, so a steady-state `accumulate_rhs` performs zero heap
+/// allocations (asserted by the counting-allocator test in
+/// `tests/alloc_free.rs`).
+#[derive(Clone, Debug)]
+struct LboScratch {
+    /// Raw moments M0 / M1_j / M2.
+    m0: DgField,
+    m1: Vec<DgField>,
+    m2: DgField,
+    /// Primitive moments u_j and vth².
+    u: Vec<DgField>,
+    vth2: DgField,
+    /// LDG gradient stage g = ∂f/∂v_j.
+    g: DgField,
+    /// Per-cell weak-algebra buffers (rhs of the vth² solve, weak
+    /// products, scaled densities) — formerly `vec!`'d per cell.
+    rhs: Vec<f64>,
+    prod: Vec<f64>,
+    dv_m0: Vec<f64>,
+    /// Weak-division factorization scratch.
+    div: WeakDivScratch,
+    /// Phase/face expansion buffers and face scratch.
+    alpha: Vec<f64>,
+    alpha_face: Vec<f64>,
+    trace: Vec<f64>,
+    ghat: Vec<f64>,
+    fs: FaceScratch,
+    vidx: Vec<usize>,
+    mom: MomentScratch,
+}
+
+impl LboScratch {
+    fn new(kernels: &PhaseKernels, grid: &PhaseGrid) -> Self {
+        let nconf = grid.conf.len();
+        let (nc, np, vdim) = (kernels.nc(), kernels.np(), kernels.layout.vdim);
+        let nf = kernels.max_face_len();
+        let mut fs = FaceScratch::default();
+        fs.ensure(nf);
+        LboScratch {
+            m0: DgField::zeros(nconf, nc),
+            m1: (0..vdim).map(|_| DgField::zeros(nconf, nc)).collect(),
+            m2: DgField::zeros(nconf, nc),
+            u: (0..vdim).map(|_| DgField::zeros(nconf, nc)).collect(),
+            vth2: DgField::zeros(nconf, nc),
+            g: DgField::zeros(nconf * grid.vel.len(), np),
+            rhs: vec![0.0; nc],
+            prod: vec![0.0; nc],
+            dv_m0: vec![0.0; nc],
+            div: WeakDivScratch::new(nc),
+            alpha: vec![0.0; np],
+            alpha_face: vec![0.0; nf],
+            trace: vec![0.0; nf],
+            ghat: vec![0.0; nf],
+            fs,
+            vidx: vec![0; vdim],
+            mom: MomentScratch::default(),
+        }
+    }
+}
+
 /// The LBO operator for one species on one phase grid.
 pub struct LboOp {
     kernels: Arc<PhaseKernels>,
     grid: PhaseGrid,
     /// Collision frequency ν.
     pub nu: f64,
+    /// Persistent scratch (why `accumulate_rhs` takes `&mut self`).
+    scratch: LboScratch,
     /// Per velocity dir: drag volume tensor (`m` support: conf ⊗ {1, ξ_j}).
     drag_vol: Vec<SparseTriple>,
     /// Per velocity dir: diffusion volume tensor (`m` support: conf only).
@@ -167,10 +234,12 @@ impl LboOp {
         }
         let w_phase = (2.0f64).powi(vdim as i32).sqrt();
         let w_face = (2.0f64).powi(vdim as i32 - 1).sqrt();
+        let scratch = LboScratch::new(&kernels, &grid);
         LboOp {
             kernels,
             grid,
             nu,
+            scratch,
             drag_vol,
             diff_vol,
             grad_mass,
@@ -181,64 +250,75 @@ impl LboOp {
         }
     }
 
-    /// Compute primitive moments `(u_j, vth²)` as conf fields.
-    fn primitive_moments(&self, f: &DgField) -> (Vec<DgField>, DgField) {
+    /// Compute primitive moments `(u_j, vth²)` into the scratch fields,
+    /// allocation-free.
+    fn primitive_moments(&mut self, f: &DgField) {
         let k = &*self.kernels;
         let grid = &self.grid;
         let vdim = grid.vdim();
         let nc = k.nc();
-        let m0 = crate::moments::number_density(k, grid, f);
-        let m1: Vec<DgField> = (0..vdim)
-            .map(|j| crate::moments::momentum_density(k, grid, f, j))
-            .collect();
-        let m2 = crate::moments::energy_density(k, grid, f);
+        let ws = &mut self.scratch;
+        crate::moments::number_density_into(k, grid, f, &mut ws.m0);
+        for (j, m1) in ws.m1.iter_mut().enumerate() {
+            crate::moments::momentum_density_into(k, grid, f, j, m1, &mut ws.mom);
+        }
+        crate::moments::energy_density_into(k, grid, f, &mut ws.m2, &mut ws.mom);
 
-        let mut u: Vec<DgField> = (0..vdim)
-            .map(|_| DgField::zeros(grid.conf.len(), nc))
-            .collect();
-        let mut vth2 = DgField::zeros(grid.conf.len(), nc);
-        let mut rhs = vec![0.0; nc];
         for c in 0..grid.conf.len() {
             for j in 0..vdim {
-                k.weak.divide(m0.cell(c), m1[j].cell(c), u[j].cell_mut(c));
+                k.weak.divide_with(
+                    ws.m0.cell(c),
+                    ws.m1[j].cell(c),
+                    ws.u[j].cell_mut(c),
+                    &mut ws.div,
+                );
             }
             // vth² · (d_v M0) = M2 − Σ_j u_j ⊙ M1_j (weak products).
-            rhs.copy_from_slice(m2.cell(c));
+            ws.rhs.copy_from_slice(ws.m2.cell(c));
             for j in 0..vdim {
-                let mut prod = vec![0.0; nc];
-                k.weak.multiply_acc(u[j].cell(c), m1[j].cell(c), &mut prod);
+                ws.prod.fill(0.0);
+                k.weak
+                    .multiply_acc(ws.u[j].cell(c), ws.m1[j].cell(c), &mut ws.prod);
                 for l in 0..nc {
-                    rhs[l] -= prod[l];
+                    ws.rhs[l] -= ws.prod[l];
                 }
             }
-            let mut dv_m0: Vec<f64> = m0.cell(c).to_vec();
-            for x in dv_m0.iter_mut() {
+            ws.dv_m0.copy_from_slice(ws.m0.cell(c));
+            for x in ws.dv_m0.iter_mut() {
                 *x *= vdim as f64;
             }
-            k.weak.divide(&dv_m0, &rhs, vth2.cell_mut(c));
+            k.weak
+                .divide_with(&ws.dv_m0, &ws.rhs, ws.vth2.cell_mut(c), &mut ws.div);
         }
-        (u, vth2)
     }
 
-    /// Accumulate `C[f]` into `out`.
-    pub fn accumulate_rhs(&self, f: &DgField, out: &mut DgField) {
+    /// Accumulate `C[f]` into `out`. Takes `&mut self` for the persistent
+    /// scratch; the evaluation itself performs no heap allocation.
+    pub fn accumulate_rhs(&mut self, f: &DgField, out: &mut DgField) {
+        self.primitive_moments(f);
+
         let k = &*self.kernels;
         let grid = &self.grid;
         let (cdim, vdim) = (k.layout.cdim, k.layout.vdim);
-        let np = k.np();
         let nv = grid.vel.len();
         let vdx = grid.vel.dx();
         let phase = &k.phase_basis;
 
-        let (u, vth2) = self.primitive_moments(f);
+        let LboScratch {
+            u,
+            vth2,
+            g,
+            alpha,
+            alpha_face,
+            trace,
+            ghat,
+            fs,
+            vidx,
+            ..
+        } = &mut self.scratch;
+        let (u, vth2) = (&*u, &*vth2);
 
         let c0p = expand::const_coeff(phase);
-        let mut alpha = vec![0.0; np];
-        let mut g = DgField::zeros(f.ncells(), np);
-        let mut fs = FaceScratch::default();
-        let mut trace = vec![0.0; k.max_face_len()];
-        let mut alpha_face = vec![0.0; k.max_face_len()];
-        let mut vidx = vec![0usize; vdim];
 
         for j in 0..vdim {
             let dir = cdim + j;
@@ -254,7 +334,7 @@ impl LboOp {
             for clin in 0..grid.conf.len() {
                 let uc = u[j].cell(clin);
                 for vlin in 0..nv {
-                    grid.vel.delinearize(vlin, &mut vidx);
+                    grid.vel.delinearize(vlin, vidx);
                     let vc = grid.vel.center(j, vidx[j]);
                     // α = −ν (v_j − u_j(x)).
                     alpha.fill(0.0);
@@ -264,11 +344,11 @@ impl LboOp {
                         alpha[e as usize] += self.nu * self.w_phase * uc[l];
                     }
                     let cell = clin * nv + vlin;
-                    self.drag_vol[j].apply(&alpha, f.cell(cell), scale, out.cell_mut(cell));
+                    self.drag_vol[j].apply(alpha, f.cell(cell), scale, out.cell_mut(cell));
                 }
                 // Drag surface fluxes along j-pencils (interior faces only).
                 for vlin in 0..nv {
-                    grid.vel.delinearize(vlin, &mut vidx);
+                    grid.vel.delinearize(vlin, vidx);
                     if vidx[j] + 1 >= n_j {
                         continue;
                     }
@@ -290,7 +370,7 @@ impl LboOp {
                         scale,
                         Some(o_lo),
                         Some(o_hi),
-                        &mut fs,
+                        fs,
                     );
                 }
             }
@@ -299,7 +379,7 @@ impl LboOp {
             g.fill(0.0);
             for clin in 0..grid.conf.len() {
                 for vlin in 0..nv {
-                    grid.vel.delinearize(vlin, &mut vidx);
+                    grid.vel.delinearize(vlin, vidx);
                     let cell = clin * nv + vlin;
                     let gc = g.cell_mut(cell);
                     self.grad_mass[j].apply(f.cell(cell), -scale, gc);
@@ -307,16 +387,14 @@ impl LboOp {
                     // upper trace at the boundary).
                     trace[..nf].fill(0.0);
                     if vidx[j] + 1 < n_j {
-                        surf.kernel
-                            .face
-                            .restrict(-1, f.cell(cell + stride), &mut trace);
+                        surf.kernel.face.restrict(-1, f.cell(cell + stride), trace);
                     } else {
-                        surf.kernel.face.restrict(1, f.cell(cell), &mut trace);
+                        surf.kernel.face.restrict(1, f.cell(cell), trace);
                     }
                     surf.kernel.face.lift(1, &trace[..nf], scale, gc);
                     // Lower face: f̂ = own lower trace (f⁺ of that face).
                     trace[..nf].fill(0.0);
-                    surf.kernel.face.restrict(-1, f.cell(cell), &mut trace);
+                    surf.kernel.face.restrict(-1, f.cell(cell), trace);
                     surf.kernel.face.lift(-1, &trace[..nf], -scale, gc);
                 }
             }
@@ -336,13 +414,13 @@ impl LboOp {
                     alpha_face[e as usize] = self.w_face * tc[l];
                 }
                 for vlin in 0..nv {
-                    grid.vel.delinearize(vlin, &mut vidx);
+                    grid.vel.delinearize(vlin, vidx);
                     let cell = clin * nv + vlin;
                     // Volume: −(2/Δ)·ν·∫∂w (vth² g) … sign folded: the weak
                     // form of +∇·F gives −∫∇w·F, and the kernels accumulate
                     // +∫∂w; pass negative scale.
                     self.diff_vol[j].apply(
-                        &alpha,
+                        alpha,
                         g.cell(cell),
                         -self.nu * scale,
                         out.cell_mut(cell),
@@ -350,22 +428,22 @@ impl LboOp {
                     // Upper interior face: Ĝ = (vth² g)⁻ (trace from below).
                     if vidx[j] + 1 < n_j {
                         trace[..nf].fill(0.0);
-                        surf.kernel.face.restrict(1, g.cell(cell), &mut trace);
+                        surf.kernel.face.restrict(1, g.cell(cell), trace);
                         // Ĝ_a = Σ D_abc vth²_b g⁻_c.
-                        fs.ensure(nf);
-                        fs.ghat[..nf].fill(0.0);
+                        ghat[..nf].fill(0.0);
                         surf.kernel.dmat.apply(
                             &alpha_face[..nf],
                             &trace[..nf],
                             1.0,
-                            &mut fs.ghat[..nf],
+                            &mut ghat[..nf],
                         );
-                        let ghat: Vec<f64> = fs.ghat[..nf].to_vec();
                         let (o_lo, o_hi) = out.cell_pair_mut(cell, cell + stride);
                         // ∫w ∇·F: upper face of the lower cell gains
                         // +T⁺Ĝ, lower face of the upper cell −T⁻Ĝ.
-                        surf.kernel.face.lift(1, &ghat, self.nu * scale, o_lo);
-                        surf.kernel.face.lift(-1, &ghat, -self.nu * scale, o_hi);
+                        surf.kernel.face.lift(1, &ghat[..nf], self.nu * scale, o_lo);
+                        surf.kernel
+                            .face
+                            .lift(-1, &ghat[..nf], -self.nu * scale, o_hi);
                     }
                 }
             }
@@ -403,14 +481,14 @@ mod tests {
     fn maxwellian_is_near_equilibrium() {
         // C[Maxwellian] ≈ 0: the discrete residual is projection error that
         // shrinks rapidly with velocity resolution.
-        let (k, grid, lbo) = setup(2, 16);
+        let (k, grid, mut lbo) = setup(2, 16);
         let mut sp = Species::new("e", -1.0, 1.0, &grid, k.np());
         sp.project_initial(&k, &grid, 5, &mut |_x, v| maxwellian(1.0, &[0.4], 0.9, v));
         let mut out = DgField::zeros(sp.f.ncells(), sp.f.ncoeff());
         lbo.accumulate_rhs(&sp.f, &mut out);
         let r16 = out.max_abs();
 
-        let (k2, grid2, lbo2) = setup(2, 32);
+        let (k2, grid2, mut lbo2) = setup(2, 32);
         let mut sp2 = Species::new("e", -1.0, 1.0, &grid2, k2.np());
         sp2.project_initial(&k2, &grid2, 5, &mut |_x, v| maxwellian(1.0, &[0.4], 0.9, v));
         let mut out2 = DgField::zeros(sp2.f.ncells(), sp2.f.ncoeff());
@@ -426,7 +504,7 @@ mod tests {
 
     #[test]
     fn density_is_conserved_exactly() {
-        let (k, grid, lbo) = setup(2, 12);
+        let (k, grid, mut lbo) = setup(2, 12);
         let mut sp = Species::new("e", -1.0, 1.0, &grid, k.np());
         // Decisively non-Maxwellian: two bumps.
         sp.project_initial(&k, &grid, 5, &mut |_x, v| {
@@ -447,7 +525,7 @@ mod tests {
     fn relaxes_toward_maxwellian() {
         // Forward-Euler a bi-Maxwellian; the L2 distance to the equivalent
         // Maxwellian must decrease.
-        let (k, grid, lbo) = setup(1, 24);
+        let (k, grid, mut lbo) = setup(1, 24);
         let mut sp = Species::new("e", -1.0, 1.0, &grid, k.np());
         sp.project_initial(&k, &grid, 5, &mut |_x, v| {
             maxwellian(0.5, &[-1.5], 0.6, v) + maxwellian(0.5, &[1.5], 0.6, v)
@@ -488,7 +566,7 @@ mod tests {
                 CartGrid::new(&[-vmax], &[vmax], &[24]),
                 vec![Bc::Periodic],
             );
-            let lbo = LboOp::new(Arc::clone(&kernels), grid.clone(), 1.0);
+            let mut lbo = LboOp::new(Arc::clone(&kernels), grid.clone(), 1.0);
             let mut sp = Species::new("e", -1.0, 1.0, &grid, kernels.np());
             sp.project_initial(&kernels, &grid, 5, &mut |_x, v| {
                 maxwellian(1.0, &[0.8], 0.9, v)

@@ -11,10 +11,11 @@
 use dg_grid::{DgField, PhaseGrid};
 use dg_kernels::PhaseKernels;
 
-/// Scratch for moment reductions (velocity indices).
+/// Scratch for moment reductions (velocity indices and centers).
 #[derive(Clone, Debug, Default)]
 pub struct MomentScratch {
     vidx: Vec<usize>,
+    vc: Vec<f64>,
 }
 
 /// Accumulate the charge-weighted current (3 components × Nc per
@@ -65,6 +66,19 @@ pub fn accumulate_current(
 /// Number-density field `M0(x)` (fresh allocation).
 pub fn number_density(kernels: &PhaseKernels, grid: &PhaseGrid, f: &DgField) -> DgField {
     let mut out = DgField::zeros(grid.conf.len(), kernels.nc());
+    number_density_into(kernels, grid, f, &mut out);
+    out
+}
+
+/// [`number_density`] into a caller-held field (zeroed here) — the
+/// hot-loop form (no allocation).
+pub fn number_density_into(
+    kernels: &PhaseKernels,
+    grid: &PhaseGrid,
+    f: &DgField,
+    out: &mut DgField,
+) {
+    out.fill(0.0);
     let nv = grid.vel.len();
     let jv = grid.vel_jacobian();
     for clin in 0..grid.conf.len() {
@@ -74,7 +88,6 @@ pub fn number_density(kernels: &PhaseKernels, grid: &PhaseGrid, f: &DgField) -> 
                 .accumulate_m0(f.cell(clin * nv + vlin), jv, out.cell_mut(clin));
         }
     }
-    out
 }
 
 /// Momentum-density field `M1_j(x)` for one velocity direction.
@@ -85,13 +98,28 @@ pub fn momentum_density(
     j: usize,
 ) -> DgField {
     let mut out = DgField::zeros(grid.conf.len(), kernels.nc());
+    momentum_density_into(kernels, grid, f, j, &mut out, &mut MomentScratch::default());
+    out
+}
+
+/// [`momentum_density`] into a caller-held field (zeroed here) — the
+/// hot-loop form (no allocation once `ws` is warm).
+pub fn momentum_density_into(
+    kernels: &PhaseKernels,
+    grid: &PhaseGrid,
+    f: &DgField,
+    j: usize,
+    out: &mut DgField,
+    ws: &mut MomentScratch,
+) {
+    out.fill(0.0);
     let nv = grid.vel.len();
     let jv = grid.vel_jacobian();
-    let mut vidx = vec![0usize; grid.vdim()];
+    ws.vidx.resize(grid.vdim(), 0);
     for clin in 0..grid.conf.len() {
         for vlin in 0..nv {
-            grid.vel.delinearize(vlin, &mut vidx);
-            let vc = grid.vel.center(j, vidx[j]);
+            grid.vel.delinearize(vlin, &mut ws.vidx);
+            let vc = grid.vel.center(j, ws.vidx[j]);
             kernels.moments.accumulate_m1(
                 j,
                 f.cell(clin * nv + vlin),
@@ -102,33 +130,45 @@ pub fn momentum_density(
             );
         }
     }
-    out
 }
 
 /// Energy-density field `M2(x) = ∫ |v|² f dv`.
 pub fn energy_density(kernels: &PhaseKernels, grid: &PhaseGrid, f: &DgField) -> DgField {
     let mut out = DgField::zeros(grid.conf.len(), kernels.nc());
+    energy_density_into(kernels, grid, f, &mut out, &mut MomentScratch::default());
+    out
+}
+
+/// [`energy_density`] into a caller-held field (zeroed here) — the
+/// hot-loop form (no allocation once `ws` is warm).
+pub fn energy_density_into(
+    kernels: &PhaseKernels,
+    grid: &PhaseGrid,
+    f: &DgField,
+    out: &mut DgField,
+    ws: &mut MomentScratch,
+) {
+    out.fill(0.0);
     let nv = grid.vel.len();
     let jv = grid.vel_jacobian();
     let vdim = grid.vdim();
-    let mut vidx = vec![0usize; vdim];
-    let mut vc = vec![0.0; vdim];
+    ws.vidx.resize(vdim, 0);
+    ws.vc.resize(vdim, 0.0);
     for clin in 0..grid.conf.len() {
         for vlin in 0..nv {
-            grid.vel.delinearize(vlin, &mut vidx);
+            grid.vel.delinearize(vlin, &mut ws.vidx);
             for d in 0..vdim {
-                vc[d] = grid.vel.center(d, vidx[d]);
+                ws.vc[d] = grid.vel.center(d, ws.vidx[d]);
             }
             kernels.moments.accumulate_m2(
                 f.cell(clin * nv + vlin),
                 jv,
-                &vc,
+                &ws.vc,
                 grid.vel.dx(),
                 out.cell_mut(clin),
             );
         }
     }
-    out
 }
 
 /// Particle kinetic energy `∫∫ ½ m |v|² f dv dx`.

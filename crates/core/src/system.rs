@@ -158,7 +158,7 @@ impl VlasovMaxwell {
                 &mut out.species_f[s],
                 ws,
             );
-            if let Some(lbo) = &self.collisions[s] {
+            if let Some(lbo) = self.collisions[s].as_mut() {
                 lbo.accumulate_rhs(&state.species_f[s], &mut out.species_f[s]);
             }
         }

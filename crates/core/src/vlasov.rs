@@ -25,7 +25,9 @@
 
 use dg_grid::{CellStoreMut, DgField, PhaseGrid};
 use dg_kernels::accel::VelGeom;
-use dg_kernels::dispatch::{DispatchPath, KernelDispatch, ResolvedVolume};
+use dg_kernels::dispatch::{
+    DispatchPath, KernelDispatch, ResolvedSurfaceDir, ResolvedVolume, SurfaceKernelFn,
+};
 use dg_kernels::ops::OpReport;
 use dg_kernels::surface::FaceScratch;
 use dg_kernels::PhaseKernels;
@@ -44,20 +46,30 @@ pub enum FluxKind {
     Central,
 }
 
-/// Per-thread scratch for the Vlasov update (no allocation in the loops).
+/// Per-thread scratch for the Vlasov update (no allocation in the loops —
+/// every buffer, including the face scratch, is sized here once).
 #[derive(Clone, Debug, Default)]
 pub struct VlasovWorkspace {
     alpha: Vec<f64>,
     alpha_face: Vec<f64>,
     face: FaceScratch,
+    /// Per-side face-update staging: the single-cell periodic wrap (both
+    /// sides are the same cell) and one-sided subdomain-edge writes land
+    /// here instead of allocating per velocity cell.
+    tmp_lo: Vec<f64>,
+    tmp_hi: Vec<f64>,
 }
 
 impl VlasovWorkspace {
     pub fn for_kernels(k: &PhaseKernels) -> Self {
+        let mut face = FaceScratch::default();
+        face.ensure(k.max_face_len());
         VlasovWorkspace {
             alpha: vec![0.0; k.np()],
             alpha_face: vec![0.0; k.max_face_len()],
-            face: FaceScratch::default(),
+            face,
+            tmp_lo: vec![0.0; k.np()],
+            tmp_hi: vec![0.0; k.np()],
         }
     }
 }
@@ -78,12 +90,23 @@ pub struct VlasovOp {
     /// Volume-kernel path, resolved against the dispatch registry once at
     /// construction — the hot loop never branches per cell.
     volume_path: ResolvedVolume,
+    /// Surface-kernel path per phase direction (configuration first),
+    /// resolved once at construction — zero per-face branching.
+    surface_paths: Vec<ResolvedSurfaceDir>,
+    /// Summary tag of the surface resolution (all directions resolve
+    /// together; the registry always carries the full direction set).
+    surface_path_tag: DispatchPath,
     /// Full phase-space cell sizes `[Δx…, Δv…]` (the grid is uniform), in
     /// the committed kernels' calling convention.
     dxv: Vec<f64>,
     /// Configuration-cell centers, flattened `nconf × cdim` (the `x…` part
     /// of the committed kernels' `w`).
     conf_centers: Vec<f64>,
+    /// Per configuration direction: upper-neighbour configuration cell of
+    /// each lower cell (periodic wrap included, `None` at non-periodic
+    /// boundaries). Precomputed so the surface sweep never delinearizes or
+    /// allocates index scratch per cell.
+    conf_nbr: Vec<Vec<Option<u32>>>,
 }
 
 impl VlasovOp {
@@ -139,6 +162,16 @@ impl VlasovOp {
                 kernels.phase_basis.poly_order(),
             )
             .unwrap_or_else(|e| panic!("kernel dispatch: {e}"));
+        let surface = dispatch
+            .resolve_surface(
+                kernels.phase_basis.kind(),
+                kernels.layout,
+                kernels.phase_basis.poly_order(),
+            )
+            .unwrap_or_else(|e| panic!("kernel dispatch: {e}"));
+        let ndim = kernels.layout.ndim();
+        let surface_paths: Vec<ResolvedSurfaceDir> = (0..ndim).map(|d| surface.dir(d)).collect();
+        let surface_path_tag = surface.path();
         let cdim = grid.cdim();
         let dxv: Vec<f64> = grid
             .conf
@@ -155,6 +188,18 @@ impl VlasovOp {
                 conf_centers[clin * cdim + d] = grid.conf.center(d, cidx[d]);
             }
         }
+        let mut conf_nbr = vec![vec![None; grid.conf.len()]; cdim];
+        let mut nidx = vec![0usize; cdim];
+        for (d, nbrs) in conf_nbr.iter_mut().enumerate() {
+            for (clin, slot) in nbrs.iter_mut().enumerate() {
+                grid.conf.delinearize(clin, &mut cidx);
+                if let Some(nbr) = grid.conf_neighbor(cidx[d], d, 1) {
+                    nidx.copy_from_slice(&cidx);
+                    nidx[d] = nbr;
+                    *slot = Some(grid.conf.linearize(&nidx) as u32);
+                }
+            }
+        }
         VlasovOp {
             kernels,
             grid,
@@ -163,8 +208,11 @@ impl VlasovOp {
             dv,
             pencil_bases,
             volume_path,
+            surface_paths,
+            surface_path_tag,
             dxv,
             conf_centers,
+            conf_nbr,
         }
     }
 
@@ -173,10 +221,20 @@ impl VlasovOp {
         self.volume_path.path()
     }
 
-    /// Per-cell operation counts, tagged with the resolved dispatch path
-    /// so bench output states explicitly which path was measured.
+    /// Which surface path this operator resolved to (all directions
+    /// resolve together).
+    pub fn surface_dispatch_path(&self) -> DispatchPath {
+        self.surface_path_tag
+    }
+
+    /// Per-cell operation counts, tagged with the resolved volume *and*
+    /// surface dispatch paths so bench output states explicitly which
+    /// paths were measured.
     pub fn op_report(&self) -> OpReport {
-        self.kernels.op_report().tagged(self.dispatch_path())
+        self.kernels
+            .op_report()
+            .tagged(self.dispatch_path())
+            .tagged_surface(self.surface_dispatch_path())
     }
 
     fn nc_em(&self) -> usize {
@@ -287,9 +345,121 @@ impl VlasovOp {
         write_lo: bool,
         write_hi: bool,
     ) {
+        match self.surface_paths[d] {
+            ResolvedSurfaceDir::Generated(kernel) => {
+                self.surface_config_face_gen(kernel, f, out, ws, clo, chi, write_lo, write_hi)
+            }
+            ResolvedSurfaceDir::RuntimeSparse => {
+                self.surface_config_face_rt(d, f, out, ws, clo, chi, write_lo, write_hi)
+            }
+        }
+    }
+
+    /// Committed-kernel variant of one configuration-direction face: a
+    /// straight-line call per velocity cell. One-sided writes and the
+    /// single-cell periodic wrap stage the discarded/aliased side in the
+    /// workspace (the kernels always compute both sides).
+    #[allow(clippy::too_many_arguments)]
+    fn surface_config_face_gen<S: CellStoreMut>(
+        &self,
+        kernel: SurfaceKernelFn,
+        f: &DgField,
+        out: &mut S,
+        ws: &mut VlasovWorkspace,
+        clo: usize,
+        chi: usize,
+        write_lo: bool,
+        write_hi: bool,
+    ) {
+        if !write_lo && !write_hi {
+            return;
+        }
+        let k = &*self.kernels;
+        let (cdim, vdim) = (k.layout.cdim, k.layout.vdim);
+        let ndim = cdim + vdim;
+        let nv = self.grid.vel.len();
+        let np = k.np();
+        let penalty = self.flux != FluxKind::Central;
+        let mut w = [0.0f64; MAX_DIM];
+        w[..cdim].copy_from_slice(&self.conf_centers[clo * cdim..][..cdim]);
+        for vlin in 0..nv {
+            w[cdim..ndim].copy_from_slice(&self.vel_centers[vlin][..vdim]);
+            let lo_cell = clo * nv + vlin;
+            let hi_cell = chi * nv + vlin;
+            let f_lo = f.cell(lo_cell);
+            let f_hi = f.cell(hi_cell);
+            // Streaming kernels never read `qm`/`em` (α̂ = v_d).
+            if lo_cell == hi_cell {
+                // Single-cell periodic direction: both sides are the same
+                // cell; stage and accumulate sequentially.
+                ws.tmp_lo[..np].fill(0.0);
+                ws.tmp_hi[..np].fill(0.0);
+                kernel(
+                    &w[..ndim],
+                    &self.dxv,
+                    0.0,
+                    &[],
+                    penalty,
+                    f_lo,
+                    f_hi,
+                    &mut ws.tmp_lo,
+                    &mut ws.tmp_hi,
+                );
+                let oc = out.cell_mut(lo_cell);
+                for (o, (a, b)) in oc.iter_mut().zip(ws.tmp_lo.iter().zip(&ws.tmp_hi)) {
+                    *o += a + b;
+                }
+                continue;
+            }
+            match (write_lo, write_hi) {
+                (true, true) => {
+                    let (a, b) = out.cell_pair_mut(lo_cell, hi_cell);
+                    kernel(&w[..ndim], &self.dxv, 0.0, &[], penalty, f_lo, f_hi, a, b);
+                }
+                (true, false) => kernel(
+                    &w[..ndim],
+                    &self.dxv,
+                    0.0,
+                    &[],
+                    penalty,
+                    f_lo,
+                    f_hi,
+                    out.cell_mut(lo_cell),
+                    &mut ws.tmp_hi,
+                ),
+                (false, true) => kernel(
+                    &w[..ndim],
+                    &self.dxv,
+                    0.0,
+                    &[],
+                    penalty,
+                    f_lo,
+                    f_hi,
+                    &mut ws.tmp_lo,
+                    out.cell_mut(hi_cell),
+                ),
+                (false, false) => unreachable!(),
+            }
+        }
+    }
+
+    /// Runtime sparse-tensor variant of one configuration-direction face.
+    #[allow(clippy::too_many_arguments)]
+    fn surface_config_face_rt<S: CellStoreMut>(
+        &self,
+        d: usize,
+        f: &DgField,
+        out: &mut S,
+        ws: &mut VlasovWorkspace,
+        clo: usize,
+        chi: usize,
+        write_lo: bool,
+        write_hi: bool,
+    ) {
         let k = &*self.kernels;
         let nv = self.grid.vel.len();
         let vdx = self.grid.vel.dx();
+        let np = k.np();
         let scale = 2.0 / self.grid.conf.dx()[d];
         let surf = &k.surfaces[d];
         let nf = surf.kernel.face.len();
@@ -303,21 +473,22 @@ impl VlasovOp {
             let f_lo = f.cell(lo_cell);
             let f_hi = f.cell(hi_cell);
             if lo_cell == hi_cell {
-                // Single-cell periodic direction: apply sequentially.
-                let mut tmp_lo = vec![0.0; f_lo.len()];
-                let mut tmp_hi = vec![0.0; f_hi.len()];
+                // Single-cell periodic direction: stage both sides in the
+                // workspace, then accumulate sequentially.
+                ws.tmp_lo[..np].fill(0.0);
+                ws.tmp_hi[..np].fill(0.0);
                 surf.kernel.apply(
                     f_lo,
                     f_hi,
                     &ws.alpha_face[..nf],
                     lam,
                     scale,
-                    Some(&mut tmp_lo),
-                    Some(&mut tmp_hi),
+                    Some(&mut ws.tmp_lo),
+                    Some(&mut ws.tmp_hi),
                     &mut ws.face,
                 );
                 let oc = out.cell_mut(lo_cell);
-                for (o, (a, b)) in oc.iter_mut().zip(tmp_lo.iter().zip(&tmp_hi)) {
+                for (o, (a, b)) in oc.iter_mut().zip(ws.tmp_lo.iter().zip(&ws.tmp_hi)) {
                     *o += a + b;
                 }
                 continue;
@@ -372,17 +543,12 @@ impl VlasovOp {
         ws: &mut VlasovWorkspace,
         conf_range: Range<usize>,
     ) {
-        let cdim = self.grid.cdim();
-        let mut cidx = vec![0usize; cdim];
+        let nbrs = &self.conf_nbr[d];
         for clin in conf_range {
-            self.grid.conf.delinearize(clin, &mut cidx);
-            let Some(nbr) = self.grid.conf_neighbor(cidx[d], d, 1) else {
+            let Some(nlin) = nbrs[clin] else {
                 continue;
             };
-            let mut nidx = cidx.clone();
-            nidx[d] = nbr;
-            let nlin = self.grid.conf.linearize(&nidx);
-            self.surface_config_face(d, f, out, ws, clin, nlin, true, true);
+            self.surface_config_face(d, f, out, ws, clin, nlin as usize, true, true);
         }
     }
 
@@ -399,51 +565,87 @@ impl VlasovOp {
     ) {
         let k = &*self.kernels;
         let (cdim, vdim) = (k.layout.cdim, k.layout.vdim);
+        let ndim = cdim + vdim;
         let nv = self.grid.vel.len();
         let nc = self.nc_em();
         let vdx = self.grid.vel.dx();
         let central = self.flux == FluxKind::Central;
+        let penalty = !central;
         for clin in conf_range {
             let em_cell = em.cell(clin);
-            let (e, b) = self.em_slices(em_cell);
             for j in 0..vdim {
                 let dir = cdim + j;
-                let surf = &k.surfaces[dir];
-                let nf = surf.kernel.face.len();
                 let stride = self.grid.vel.stride(j);
                 let n_j = self.grid.vel.cells()[j];
-                let scale = 2.0 / vdx[j];
-                let proj = surf.face_accel.as_ref().expect("velocity face");
-                for &base in &self.pencil_bases[j] {
-                    let base = base as usize;
-                    // α̂ cannot depend on v_j, so one projection serves the
-                    // whole pencil.
-                    let vc = &self.vel_centers[base];
-                    let lam = proj.project(
-                        qm,
-                        &e[j * nc..(j + 1) * nc],
-                        b,
-                        VelGeom {
-                            v_c: &vc[..vdim],
-                            dv: &self.dv[..vdim],
-                        },
-                        &mut ws.alpha_face[..nf],
-                    );
-                    let lam = if central { 0.0 } else { lam };
-                    for i in 0..n_j - 1 {
-                        let lo_cell = clin * nv + base + i * stride;
-                        let hi_cell = lo_cell + stride;
-                        let (o_lo, o_hi) = out.cell_pair_mut(lo_cell, hi_cell);
-                        surf.kernel.apply(
-                            f.cell(lo_cell),
-                            f.cell(hi_cell),
-                            &ws.alpha_face[..nf],
-                            lam,
-                            scale,
-                            Some(o_lo),
-                            Some(o_hi),
-                            &mut ws.face,
-                        );
+                match self.surface_paths[dir] {
+                    ResolvedSurfaceDir::Generated(kernel) => {
+                        // Committed unrolled kernel: one straight-line call
+                        // per interior face. The inlined α̂ projection reads
+                        // only the transverse velocity centers, so it is the
+                        // same exact polynomial the runtime path projects
+                        // once per pencil.
+                        let mut w = [0.0f64; MAX_DIM];
+                        w[..cdim].copy_from_slice(&self.conf_centers[clin * cdim..][..cdim]);
+                        for &base in &self.pencil_bases[j] {
+                            let base = base as usize;
+                            for i in 0..n_j - 1 {
+                                let vlo = base + i * stride;
+                                w[cdim..ndim].copy_from_slice(&self.vel_centers[vlo][..vdim]);
+                                let lo_cell = clin * nv + vlo;
+                                let hi_cell = lo_cell + stride;
+                                let (o_lo, o_hi) = out.cell_pair_mut(lo_cell, hi_cell);
+                                kernel(
+                                    &w[..ndim],
+                                    &self.dxv,
+                                    qm,
+                                    em_cell,
+                                    penalty,
+                                    f.cell(lo_cell),
+                                    f.cell(hi_cell),
+                                    o_lo,
+                                    o_hi,
+                                );
+                            }
+                        }
+                    }
+                    ResolvedSurfaceDir::RuntimeSparse => {
+                        let (e, b) = self.em_slices(em_cell);
+                        let surf = &k.surfaces[dir];
+                        let nf = surf.kernel.face.len();
+                        let scale = 2.0 / vdx[j];
+                        let proj = surf.face_accel.as_ref().expect("velocity face");
+                        for &base in &self.pencil_bases[j] {
+                            let base = base as usize;
+                            // α̂ cannot depend on v_j, so one projection
+                            // serves the whole pencil.
+                            let vc = &self.vel_centers[base];
+                            let lam = proj.project(
+                                qm,
+                                &e[j * nc..(j + 1) * nc],
+                                b,
+                                VelGeom {
+                                    v_c: &vc[..vdim],
+                                    dv: &self.dv[..vdim],
+                                },
+                                &mut ws.alpha_face[..nf],
+                            );
+                            let lam = if central { 0.0 } else { lam };
+                            for i in 0..n_j - 1 {
+                                let lo_cell = clin * nv + base + i * stride;
+                                let hi_cell = lo_cell + stride;
+                                let (o_lo, o_hi) = out.cell_pair_mut(lo_cell, hi_cell);
+                                surf.kernel.apply(
+                                    f.cell(lo_cell),
+                                    f.cell(hi_cell),
+                                    &ws.alpha_face[..nf],
+                                    lam,
+                                    scale,
+                                    Some(o_lo),
+                                    Some(o_hi),
+                                    &mut ws.face,
+                                );
+                            }
+                        }
                     }
                 }
             }
@@ -538,6 +740,65 @@ mod tests {
                     "cell {c}: generated {a} vs runtime {b}"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn generated_full_rhs_conserves_on_short_periodic_directions() {
+        // nx = 1 exercises the single-cell periodic wrap (both face sides
+        // are the same cell — the workspace-staged branch); nx = 2 the
+        // two-cell periodic direction where every face is also the wrap
+        // partner's face. Dispatch is forced Generated so the committed
+        // surface kernels run, and the RHS must (a) match the runtime
+        // sparse path to round-off and (b) conserve mass exactly.
+        for nx in [1usize, 2] {
+            let (op_rt, sp, mut em) = setup_1x1v(nx, 12, 2);
+            for c in 0..op_rt.grid.conf.len() {
+                for (i, v) in em.cell_mut(c).iter_mut().enumerate() {
+                    *v = ((c * 17 + i) as f64 * 0.37).sin() * 0.25;
+                }
+            }
+            let op_rt = VlasovOp::with_dispatch(
+                Arc::clone(&op_rt.kernels),
+                op_rt.grid.clone(),
+                FluxKind::Upwind,
+                KernelDispatch::RuntimeSparse,
+            );
+            let op_gen = VlasovOp::with_dispatch(
+                Arc::clone(&op_rt.kernels),
+                op_rt.grid.clone(),
+                FluxKind::Upwind,
+                KernelDispatch::Generated,
+            );
+            assert_eq!(op_gen.surface_dispatch_path(), DispatchPath::Generated);
+            assert_eq!(op_gen.op_report().surface_path, DispatchPath::Generated);
+            assert_eq!(op_rt.op_report().surface_path, DispatchPath::RuntimeSparse);
+
+            let mut ws = VlasovWorkspace::for_kernels(&op_gen.kernels);
+            let mut out_gen = DgField::zeros(sp.f.ncells(), sp.f.ncoeff());
+            op_gen.accumulate_rhs(sp.qm(), &sp.f, &em, &mut out_gen, &mut ws);
+            let mut out_rt = DgField::zeros(sp.f.ncells(), sp.f.ncoeff());
+            op_rt.accumulate_rhs(sp.qm(), &sp.f, &em, &mut out_rt, &mut ws);
+
+            let scale = out_rt.max_abs().max(1.0);
+            for c in 0..out_rt.ncells() {
+                for (a, b) in out_gen.cell(c).iter().zip(out_rt.cell(c)) {
+                    assert!(
+                        (a - b).abs() < 1e-13 * scale,
+                        "nx={nx} cell {c}: generated {a} vs runtime {b}"
+                    );
+                }
+            }
+            // Mass conservation: single-valued fluxes telescope (including
+            // across the wrap), velocity boundaries are zero-flux.
+            let total: f64 = (0..out_gen.ncells()).map(|c| out_gen.cell(c)[0]).sum();
+            let mag: f64 = (0..out_gen.ncells())
+                .map(|c| out_gen.cell(c)[0].abs())
+                .sum();
+            assert!(
+                total.abs() < 1e-12 * mag.max(1e-30) + 1e-13,
+                "nx={nx}: mass leak {total} (scale {mag})"
+            );
         }
     }
 

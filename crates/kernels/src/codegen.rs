@@ -59,6 +59,34 @@ impl KernelSpec {
         format!("{}.rs", self.fn_name())
     }
 
+    /// Stem of the generated surface-kernel family (registry `name` and
+    /// source-file stem; per-direction functions append a suffix).
+    pub fn surf_name(&self) -> String {
+        format!(
+            "vlasov_surf_{}x{}v_p{}_{}",
+            self.cdim,
+            self.vdim,
+            self.poly_order,
+            self.kind_tag()
+        )
+    }
+
+    /// Name of the generated surface kernel for one phase direction
+    /// (Gkeyll's `surfx`/`surfvx` split: `_x<d>` for configuration
+    /// directions, `_v<j>` for velocity directions).
+    pub fn surf_fn_name(&self, dir: usize) -> String {
+        if dir < self.cdim {
+            format!("{}_x{dir}", self.surf_name())
+        } else {
+            format!("{}_v{}", self.surf_name(), dir - self.cdim)
+        }
+    }
+
+    /// File name of the committed surface artifact under `src/generated/`.
+    pub fn surf_file_name(&self) -> String {
+        format!("{}.rs", self.surf_name())
+    }
+
     /// The `BasisKind` variant path for emission into generated source.
     fn kind_variant(&self) -> &'static str {
         match self.kind {
@@ -89,6 +117,13 @@ pub const MANIFEST: &[KernelSpec] = &[
 pub fn manifest_kernel_source(spec: &KernelSpec) -> String {
     let pk = crate::cache::kernels_for(spec.kind, spec.layout(), spec.poly_order);
     volume_kernel_source(&pk, &spec.fn_name())
+}
+
+/// Emit the surface-kernel source (all phase directions) for one manifest
+/// entry.
+pub fn manifest_surface_source(spec: &KernelSpec) -> String {
+    let pk = crate::cache::kernels_for(spec.kind, spec.layout(), spec.poly_order);
+    surface_kernel_source(&pk, spec)
 }
 
 /// Emit the full `src/generated/mod.rs`: the `include!` lines for every
@@ -127,8 +162,14 @@ pub fn generated_mod_source() -> String {
     for spec in MANIFEST {
         let _ = writeln!(s, "include!(\"{}\");", spec.file_name());
     }
+    for spec in MANIFEST {
+        let _ = writeln!(s, "include!(\"{}\");", spec.surf_file_name());
+    }
     let _ = writeln!(s);
-    let _ = writeln!(s, "use crate::dispatch::{{KernelKey, VolumeKernelEntry}};");
+    let _ = writeln!(
+        s,
+        "use crate::dispatch::{{KernelKey, SurfaceKernelEntry, VolumeKernelEntry}};"
+    );
     let _ = writeln!(s, "use dg_basis::BasisKind;");
     let _ = writeln!(s);
     let _ = writeln!(
@@ -149,6 +190,43 @@ pub fn generated_mod_source() -> String {
         let _ = writeln!(s, "        }},");
         let _ = writeln!(s, "        name: \"{}\",", spec.fn_name());
         let _ = writeln!(s, "        func: {},", spec.fn_name());
+        let _ = writeln!(s, "    }},");
+    }
+    let _ = writeln!(s, "];");
+    let _ = writeln!(s);
+    let _ = writeln!(
+        s,
+        "/// Registry of all committed unrolled surface kernels (one row per"
+    );
+    let _ = writeln!(
+        s,
+        "/// manifest entry; per-direction functions, configuration first)."
+    );
+    let _ = writeln!(s, "pub static SURFACE_REGISTRY: &[SurfaceKernelEntry] = &[");
+    for spec in MANIFEST {
+        let _ = writeln!(s, "    SurfaceKernelEntry {{");
+        let _ = writeln!(s, "        key: KernelKey {{");
+        let _ = writeln!(s, "            kind: BasisKind::{},", spec.kind_variant());
+        let _ = writeln!(s, "            cdim: {},", spec.cdim);
+        let _ = writeln!(s, "            vdim: {},", spec.vdim);
+        let _ = writeln!(s, "            poly_order: {},", spec.poly_order);
+        let _ = writeln!(s, "        }},");
+        let _ = writeln!(s, "        name: \"{}\",", spec.surf_name());
+        // Mirror rustfmt's array layout (the artifact must be a fmt fixed
+        // point): one line when it fits the 100-column width, else vertical.
+        let names: Vec<String> = (0..spec.cdim + spec.vdim)
+            .map(|dir| spec.surf_fn_name(dir))
+            .collect();
+        let one_line = format!("        dirs: &[{}],", names.join(", "));
+        if one_line.len() < 100 {
+            let _ = writeln!(s, "{one_line}");
+        } else {
+            let _ = writeln!(s, "        dirs: &[");
+            for name in &names {
+                let _ = writeln!(s, "            {name},");
+            }
+            let _ = writeln!(s, "        ],");
+        }
         let _ = writeln!(s, "    }},");
     }
     let _ = writeln!(s, "];");
@@ -259,6 +337,177 @@ pub fn volume_kernel_source(pk: &PhaseKernels, fn_name: &str) -> String {
         }
     }
     let _ = writeln!(s, "}}");
+    s
+}
+
+/// Emit the surface kernels (one fully unrolled function per phase
+/// direction) for a kernel set, in the committed calling convention
+/// (`SurfaceKernelFn`): lower-cell center `w`, cell sizes `dxv`, `qm`,
+/// flattened E/B coefficients `em`, the penalty switch, the two adjacent
+/// cells' coefficients and their accumulated RHS increments.
+///
+/// Configuration (streaming) directions inline the affine `α̂ = v_d` and
+/// its exact `sup |α̂|` penalty; velocity (acceleration) directions inline
+/// the face projection of `q/m (E + v×B)_j` and its modal sup bound. The
+/// trace → flux-tensor → lift pipeline is emitted statement by statement
+/// from the same exact tables the runtime kernels interpret, so the two
+/// paths are the same arithmetic.
+pub fn surface_kernel_source(pk: &PhaseKernels, spec: &KernelSpec) -> String {
+    let layout = pk.layout;
+    let (cdim, vdim) = (layout.cdim, layout.vdim);
+    let ndim = cdim + vdim;
+    let nc = pk.nc();
+    let np = pk.np();
+    let mut s = String::new();
+    // Plain `//` comments: the file is `include!`d into `generated/mod.rs`,
+    // where inner `//!` docs would be ill-placed.
+    let _ = writeln!(
+        s,
+        "// Surface kernels for the Vlasov phase-space advection, {} p={} {} basis.",
+        layout.tag(),
+        pk.phase_basis.poly_order(),
+        pk.phase_basis.kind()
+    );
+    let _ = writeln!(
+        s,
+        "// Auto-generated from exact integral tables — do not edit by hand."
+    );
+    let _ = writeln!(
+        s,
+        "// One function per face-normal phase direction (configuration first);"
+    );
+    let _ = writeln!(
+        s,
+        "// see `crate::dispatch::SurfaceKernelFn` for the calling convention."
+    );
+    for dir in 0..ndim {
+        let surf = &pk.surfaces[dir];
+        let fb = &surf.kernel.face;
+        let nf = fb.len();
+        let fn_name = spec.surf_fn_name(dir);
+        let is_conf = layout.is_config_dir(dir);
+        let _ = writeln!(s);
+        if is_conf {
+            let _ = writeln!(
+                s,
+                "/// Streaming surface kernel, faces normal to x{dir} (α̂ = v{dir})."
+            );
+        } else {
+            let _ = writeln!(
+                s,
+                "/// Acceleration surface kernel, faces normal to v{} (α̂ = q/m (E + v×B)_{}).",
+                dir - cdim,
+                dir - cdim
+            );
+        }
+        let _ = writeln!(s, "#[allow(clippy::all)]");
+        let _ = writeln!(s, "#[rustfmt::skip]");
+        let _ = writeln!(
+            s,
+            "pub fn {fn_name}(w: &[f64], dxv: &[f64], qm: f64, em: &[f64], penalty: bool, f_lo: &[f64], f_hi: &[f64], out_lo: &mut [f64], out_hi: &mut [f64]) {{"
+        );
+        let _ = writeln!(s, "    let rd = 2.0 / dxv[{dir}];");
+        let _ = writeln!(s, "    let mut alpha = [0.0f64; {nf}];");
+        // α̂ assembly + penalty speed λ, mirroring the runtime builders
+        // operation for operation.
+        if is_conf {
+            let _ = writeln!(s, "    let _ = (qm, em);");
+            let vd = layout.vel_phase_dim(dir);
+            let (lin_idx, c0, c1) = surf.stream_affine.expect("config dir has affine α̂");
+            let _ = writeln!(s, "    alpha[0] = w[{vd}] * {c0:?};");
+            let _ = writeln!(s, "    alpha[{lin_idx}] += 0.5 * dxv[{vd}] * {c1:?};");
+            let _ = writeln!(
+                s,
+                "    let lam = if penalty {{ w[{vd}].abs() + 0.5 * dxv[{vd}].abs() }} else {{ 0.0 }};"
+            );
+        } else {
+            let j = dir - cdim;
+            let proj = surf
+                .face_accel
+                .as_ref()
+                .expect("velocity dir has projector");
+            let terms: Vec<(usize, usize, f64)> = cross_terms_pub(j, vdim);
+            if terms.is_empty() {
+                // 1V: no v×B cross terms, so the cell center is never read.
+                let _ = writeln!(s, "    let _ = w;");
+            }
+            for l in 0..nc {
+                let mut center = format!("em[{}]", j * nc + l);
+                for &(k, bc, sign) in &terms {
+                    let op = if sign > 0.0 { "+" } else { "-" };
+                    let _ = write!(center, " {op} w[{}] * em[{}]", cdim + k, (3 + bc) * nc + l);
+                }
+                let i0 = proj.emb0[l];
+                let _ = writeln!(s, "    alpha[{i0}] += qm * {:?} * ({center});", proj.w0);
+                for &(k, bc, sign) in &terms {
+                    if let Some(i1) = proj.emb1[k][l] {
+                        let _ = writeln!(
+                            s,
+                            "    alpha[{i1}] += qm * {:?} * (0.5 * dxv[{}]) * em[{}];",
+                            proj.w1 * sign,
+                            cdim + k,
+                            (3 + bc) * nc + l
+                        );
+                    }
+                }
+            }
+            // Modal sup bound over the face modes α̂ can populate, in
+            // ascending mode order (matches the runtime reduction; the
+            // structurally-zero modes contribute exact zeros there).
+            let mut support: Vec<usize> = Vec::new();
+            for l in 0..nc {
+                support.push(proj.emb0[l] as usize);
+                for emb in &proj.emb1 {
+                    if let Some(i1) = emb[l] {
+                        support.push(i1 as usize);
+                    }
+                }
+            }
+            support.sort_unstable();
+            support.dedup();
+            let bound = support
+                .iter()
+                .map(|&a| format!("alpha[{a}].abs() * {:?}", surf.kernel.sup[a]))
+                .collect::<Vec<_>>()
+                .join(" + ");
+            let _ = writeln!(s, "    let lam = if penalty {{ {bound} }} else {{ 0.0 }};");
+        }
+        // Traces: exactly one face mode per cell mode (sparse restrict).
+        let _ = writeln!(s, "    let mut fm = [0.0f64; {nf}];");
+        let _ = writeln!(s, "    let mut fp = [0.0f64; {nf}];");
+        for i in 0..np {
+            let (a, v) = fb.trace_of(1, i);
+            let _ = writeln!(s, "    fm[{a}] += {v:?} * f_lo[{i}];");
+        }
+        for i in 0..np {
+            let (a, v) = fb.trace_of(-1, i);
+            let _ = writeln!(s, "    fp[{a}] += {v:?} * f_hi[{i}];");
+        }
+        // Numerical flux Ĝ = D·α̂·½(f⁻+f⁺) − (λ/2)(f⁺−f⁻).
+        let _ = writeln!(s, "    let mut favg = [0.0f64; {nf}];");
+        let _ = writeln!(s, "    let mut ghat = [0.0f64; {nf}];");
+        for a in 0..nf {
+            let _ = writeln!(s, "    favg[{a}] = 0.5 * (fm[{a}] + fp[{a}]);");
+            let _ = writeln!(s, "    ghat[{a}] = -0.5 * lam * (fp[{a}] - fm[{a}]);");
+        }
+        for e in &surf.kernel.dmat.entries {
+            let _ = writeln!(
+                s,
+                "    ghat[{}] += {:?} * alpha[{}] * favg[{}];",
+                e.l, e.coeff, e.m, e.n
+            );
+        }
+        // Lift to both cells (sparse transpose of the traces).
+        for i in 0..np {
+            let (a, v) = fb.trace_of(1, i);
+            let _ = writeln!(s, "    out_lo[{i}] += -rd * {v:?} * ghat[{a}];");
+        }
+        for i in 0..np {
+            let (a, v) = fb.trace_of(-1, i);
+            let _ = writeln!(s, "    out_hi[{i}] += rd * {v:?} * ghat[{a}];");
+        }
+        let _ = writeln!(s, "}}");
+    }
     s
 }
 

@@ -9,17 +9,22 @@
 //! * [`VolumeKernelFn`] is the calling convention of a committed volume
 //!   kernel (the paper's Fig. 1 signature: cell center, cell sizes, `q/m`,
 //!   flattened EM coefficients, distribution coefficients, RHS increment);
-//! * the **registry** ([`volume_registry`]) is a static table, emitted by
-//!   the same generator as the kernels themselves, mapping a [`KernelKey`]
-//!   to the committed function;
+//! * [`SurfaceKernelFn`] is the calling convention of a committed surface
+//!   kernel — one function per *face-normal direction* (streaming kernels
+//!   for configuration directions, acceleration kernels for velocity
+//!   directions), mirroring Gkeyll's `vlasov_surf[x|vx]_*` split;
+//! * the **registries** ([`volume_registry`], [`surface_registry`]) are
+//!   static tables, emitted by the same generator as the kernels
+//!   themselves, mapping a [`KernelKey`] to the committed function(s);
 //! * [`KernelDispatch`] is the public knob: `Auto` resolves to the
 //!   committed kernel when one exists and falls back to the runtime
 //!   sparse-tensor path otherwise, while `Generated`/`RuntimeSparse` force
 //!   a path (benches and equivalence tests).
 //!
 //! Resolution happens **once**, when an operator is constructed
-//! ([`KernelDispatch::resolve`]); the hot loop then calls through the
-//! resolved [`ResolvedVolume`] with zero per-cell branching.
+//! ([`KernelDispatch::resolve`] / [`KernelDispatch::resolve_surface`]); the
+//! hot loop then calls through the resolved [`ResolvedVolume`] /
+//! [`ResolvedSurfaceDir`] with zero per-cell (and per-face) branching.
 //!
 //! To add a configuration, extend [`crate::codegen::MANIFEST`] and rerun
 //! `cargo run -p dg-bench --bin gen_kernel` (see DESIGN.md, "Kernel
@@ -40,6 +45,39 @@ use dg_basis::BasisKind;
 /// * `out` — RHS increment, length `Np` (accumulated, not overwritten).
 pub type VolumeKernelFn =
     fn(w: &[f64], dxv: &[f64], qm: f64, em: &[f64], f: &[f64], out: &mut [f64]);
+
+/// Calling convention of a committed, fully unrolled surface kernel for
+/// the face between a lower and an upper cell along one phase direction
+/// (the direction is baked into the function; the registry holds one
+/// function per direction, configuration directions first).
+///
+/// * `w`   — phase-space center of the *lower* cell `[x…, v…]` (only the
+///   coordinates the face flux `α̂` depends on are read: the paired
+///   velocity center for streaming faces, the transverse velocity centers
+///   for acceleration faces — `α̂` never depends on the face's own normal
+///   coordinate, which is what makes the flux single-valued);
+/// * `dxv` — phase-space cell sizes, length `cdim + vdim`;
+/// * `qm`  — charge-to-mass ratio `q/m`; ignored by streaming kernels;
+/// * `em`  — flattened EM configuration coefficients as for
+///   [`VolumeKernelFn`]; streaming (configuration-direction) kernels never
+///   read it and tolerate an empty slice;
+/// * `penalty` — `true` applies the local Lax–Friedrichs penalty with the
+///   kernel's built-in exact `sup |α̂|` bound; `false` is the central flux
+///   (the energy-conservation experiments);
+/// * `f_lo`/`f_hi` — distribution coefficients of the two adjacent cells;
+/// * `out_lo`/`out_hi` — RHS increments of the two adjacent cells
+///   (accumulated, not overwritten; pass scratch for sides you discard).
+pub type SurfaceKernelFn = fn(
+    w: &[f64],
+    dxv: &[f64],
+    qm: f64,
+    em: &[f64],
+    penalty: bool,
+    f_lo: &[f64],
+    f_hi: &[f64],
+    out_lo: &mut [f64],
+    out_hi: &mut [f64],
+);
 
 /// Registry key: one kernel configuration.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -75,9 +113,28 @@ pub struct VolumeKernelEntry {
     pub func: VolumeKernelFn,
 }
 
+/// One row of the committed surface-kernel registry: all per-direction
+/// unrolled surface kernels of one configuration (generated table in
+/// `generated/mod.rs`).
+#[derive(Clone, Copy, Debug)]
+pub struct SurfaceKernelEntry {
+    pub key: KernelKey,
+    /// The generated source-file stem (per-direction functions append
+    /// `_x<d>` / `_v<j>` suffixes).
+    pub name: &'static str,
+    /// One kernel per phase direction: configuration (streaming) directions
+    /// `0..cdim` first, then velocity (acceleration) directions.
+    pub dirs: &'static [SurfaceKernelFn],
+}
+
 /// All committed unrolled volume kernels.
 pub fn volume_registry() -> &'static [VolumeKernelEntry] {
     crate::generated::VOLUME_REGISTRY
+}
+
+/// All committed unrolled surface kernels.
+pub fn surface_registry() -> &'static [SurfaceKernelEntry] {
+    crate::generated::SURFACE_REGISTRY
 }
 
 /// Look up the committed volume kernel for a configuration, if one exists.
@@ -88,6 +145,16 @@ pub fn find_volume_kernel(
 ) -> Option<&'static VolumeKernelEntry> {
     let key = KernelKey::new(kind, layout, poly_order);
     volume_registry().iter().find(|e| e.key == key)
+}
+
+/// Look up the committed surface kernels for a configuration, if any exist.
+pub fn find_surface_kernel(
+    kind: BasisKind,
+    layout: PhaseLayout,
+    poly_order: usize,
+) -> Option<&'static SurfaceKernelEntry> {
+    let key = KernelKey::new(kind, layout, poly_order);
+    surface_registry().iter().find(|e| e.key == key)
 }
 
 /// Which volume-kernel path an operator should take. The default, `Auto`,
@@ -140,6 +207,41 @@ impl ResolvedVolume {
     }
 }
 
+/// Outcome of resolving [`KernelDispatch`] for the surface terms; all
+/// directions of one configuration resolve together (the generator always
+/// emits the full direction set).
+#[derive(Clone, Copy, Debug)]
+pub enum ResolvedSurface {
+    Generated(&'static SurfaceKernelEntry),
+    RuntimeSparse,
+}
+
+/// One direction's resolved surface path — what the solver stores per
+/// phase direction and calls through without branching per face.
+#[derive(Clone, Copy, Debug)]
+pub enum ResolvedSurfaceDir {
+    Generated(SurfaceKernelFn),
+    RuntimeSparse,
+}
+
+impl ResolvedSurface {
+    pub fn path(&self) -> DispatchPath {
+        match self {
+            ResolvedSurface::Generated(_) => DispatchPath::Generated,
+            ResolvedSurface::RuntimeSparse => DispatchPath::RuntimeSparse,
+        }
+    }
+
+    /// The resolved kernel for one phase direction (configuration
+    /// directions first, as in [`SurfaceKernelEntry::dirs`]).
+    pub fn dir(&self, d: usize) -> ResolvedSurfaceDir {
+        match self {
+            ResolvedSurface::Generated(e) => ResolvedSurfaceDir::Generated(e.dirs[d]),
+            ResolvedSurface::RuntimeSparse => ResolvedSurfaceDir::RuntimeSparse,
+        }
+    }
+}
+
 impl KernelDispatch {
     /// Resolve this knob for a configuration. `Err` only when `Generated`
     /// is forced for a configuration with no committed kernel; `Auto`
@@ -174,6 +276,41 @@ impl KernelDispatch {
             },
         }
     }
+
+    /// Resolve this knob for the surface terms of a configuration. Same
+    /// semantics as [`KernelDispatch::resolve`]: `Err` only when
+    /// `Generated` is forced for a configuration with no committed surface
+    /// kernels; `Auto` falls back gracefully.
+    pub fn resolve_surface(
+        self,
+        kind: BasisKind,
+        layout: PhaseLayout,
+        poly_order: usize,
+    ) -> Result<ResolvedSurface, String> {
+        match self {
+            KernelDispatch::RuntimeSparse => Ok(ResolvedSurface::RuntimeSparse),
+            KernelDispatch::Auto => Ok(match find_surface_kernel(kind, layout, poly_order) {
+                Some(e) => ResolvedSurface::Generated(e),
+                None => ResolvedSurface::RuntimeSparse,
+            }),
+            KernelDispatch::Generated => match find_surface_kernel(kind, layout, poly_order) {
+                Some(e) => Ok(ResolvedSurface::Generated(e)),
+                None => Err(format!(
+                    "no committed surface kernel for {:?} {} p={} (registry: {}); \
+                     extend dg_kernels::codegen::MANIFEST and rerun \
+                     `cargo run -p dg-bench --bin gen_kernel`",
+                    kind,
+                    layout.tag(),
+                    poly_order,
+                    surface_registry()
+                        .iter()
+                        .map(|e| e.name)
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                )),
+            },
+        }
+    }
 }
 
 #[cfg(test)]
@@ -197,6 +334,26 @@ mod tests {
     }
 
     #[test]
+    fn surface_registry_covers_the_whole_manifest() {
+        for spec in MANIFEST {
+            let e = find_surface_kernel(spec.kind, spec.layout(), spec.poly_order)
+                .unwrap_or_else(|| panic!("{} missing from surface registry", spec.surf_name()));
+            assert_eq!(e.name, spec.surf_name(), "registry/manifest name drift");
+            assert_eq!(
+                e.dirs.len(),
+                spec.cdim + spec.vdim,
+                "{}: one surface kernel per phase direction",
+                spec.surf_name()
+            );
+        }
+        assert_eq!(
+            surface_registry().len(),
+            MANIFEST.len(),
+            "surface registry has entries the manifest does not know about"
+        );
+    }
+
+    #[test]
     fn auto_falls_back_gracefully() {
         // 3x3v p1 is deliberately not committed (Np = 64 would dominate the
         // crate); Auto must fall back, forced Generated must error.
@@ -207,6 +364,14 @@ mod tests {
         assert_eq!(auto.path(), DispatchPath::RuntimeSparse);
         assert!(KernelDispatch::Generated
             .resolve(BasisKind::Serendipity, layout, 1)
+            .is_err());
+        let auto_s = KernelDispatch::Auto
+            .resolve_surface(BasisKind::Serendipity, layout, 1)
+            .unwrap();
+        assert_eq!(auto_s.path(), DispatchPath::RuntimeSparse);
+        assert!(matches!(auto_s.dir(0), ResolvedSurfaceDir::RuntimeSparse));
+        assert!(KernelDispatch::Generated
+            .resolve_surface(BasisKind::Serendipity, layout, 1)
             .is_err());
     }
 
@@ -223,6 +388,22 @@ mod tests {
         assert_eq!(auto.path(), DispatchPath::Generated);
         let rt = KernelDispatch::RuntimeSparse
             .resolve(BasisKind::Tensor, layout, 1)
+            .unwrap();
+        assert_eq!(rt.path(), DispatchPath::RuntimeSparse);
+    }
+
+    #[test]
+    fn forced_surface_paths_resolve_for_fig1_config() {
+        let layout = PhaseLayout::new(1, 2);
+        let gen = KernelDispatch::Generated
+            .resolve_surface(BasisKind::Tensor, layout, 1)
+            .unwrap();
+        assert_eq!(gen.path(), DispatchPath::Generated);
+        for d in 0..3 {
+            assert!(matches!(gen.dir(d), ResolvedSurfaceDir::Generated(_)));
+        }
+        let rt = KernelDispatch::RuntimeSparse
+            .resolve_surface(BasisKind::Tensor, layout, 1)
             .unwrap();
         assert_eq!(rt.path(), DispatchPath::RuntimeSparse);
     }

@@ -4,18 +4,22 @@
 //!
 //! Two properties per manifest entry:
 //!
-//! 1. **no drift** — every committed artifact (kernel files *and* the
-//!    registry module) is byte-identical to what the current generator
-//!    emits, so generator changes cannot land without regenerated
-//!    artifacts;
-//! 2. **equivalence** — executing the committed, fully unrolled function
+//! 1. **no drift** — every committed artifact (volume *and* surface kernel
+//!    files plus the registry module) is byte-identical to what the
+//!    current generator emits, so generator changes cannot land without
+//!    regenerated artifacts;
+//! 2. **equivalence** — executing the committed, fully unrolled functions
 //!    reproduces the runtime sparse-tensor kernels on random cell data to
-//!    round-off (the property the dispatch layer's correctness rests on).
+//!    round-off (the property the dispatch layer's correctness rests on),
+//!    for the volume kernel and for every per-direction surface kernel.
 
 use crate::accel::VelGeom;
-use crate::codegen::{generated_mod_source, manifest_kernel_source, MANIFEST};
-use crate::dispatch::volume_registry;
+use crate::codegen::{
+    generated_mod_source, manifest_kernel_source, manifest_surface_source, MANIFEST,
+};
+use crate::dispatch::{surface_registry, volume_registry};
 use crate::kernels_for;
+use crate::surface::FaceScratch;
 use proptest::prelude::*;
 
 #[test]
@@ -29,6 +33,16 @@ fn committed_artifacts_match_generator() {
             committed,
             "{} drifted — regenerate with `cargo run -p dg-bench --bin gen_kernel`",
             spec.file_name()
+        );
+        let committed_surf = std::fs::read_to_string(dir.join(spec.surf_file_name()))
+            .unwrap_or_else(|e| {
+                panic!("missing committed artifact {}: {e}", spec.surf_file_name())
+            });
+        assert_eq!(
+            manifest_surface_source(spec),
+            committed_surf,
+            "{} drifted — regenerate with `cargo run -p dg-bench --bin gen_kernel`",
+            spec.surf_file_name()
         );
     }
     let committed_mod = std::fs::read_to_string(dir.join("mod.rs")).unwrap();
@@ -110,6 +124,117 @@ proptest! {
                     "{} mode {i}: generated {} vs runtime {}",
                     entry.name, out_gen[i], out_rt[i]
                 );
+            }
+        }
+    }
+}
+
+/// Apply the runtime surface path (α̂ builder + [`SurfaceKernel::apply`])
+/// with the generated kernels' calling convention for one direction.
+///
+/// [`SurfaceKernel::apply`]: crate::surface::SurfaceKernel::apply
+#[allow(clippy::too_many_arguments)]
+fn runtime_surface_reference(
+    pk: &crate::PhaseKernels,
+    dir: usize,
+    w: &[f64],
+    dxv: &[f64],
+    qm: f64,
+    em: &[f64],
+    penalty: bool,
+    f_lo: &[f64],
+    f_hi: &[f64],
+    out_lo: &mut [f64],
+    out_hi: &mut [f64],
+) {
+    let (cdim, vdim) = (pk.layout.cdim, pk.layout.vdim);
+    let nc = pk.nc();
+    let surf = &pk.surfaces[dir];
+    let nf = surf.kernel.face.len();
+    let mut alpha_face = vec![0.0; nf];
+    let lam = if dir < cdim {
+        let vd = cdim + dir;
+        pk.stream_face_alpha(dir, w[vd], dxv[vd], &mut alpha_face)
+    } else {
+        let j = dir - cdim;
+        let e = &em[..3 * nc];
+        let b = [
+            &em[3 * nc..4 * nc],
+            &em[4 * nc..5 * nc],
+            &em[5 * nc..6 * nc],
+        ];
+        surf.face_accel.as_ref().expect("velocity face").project(
+            qm,
+            &e[j * nc..(j + 1) * nc],
+            b,
+            VelGeom {
+                v_c: &w[cdim..cdim + vdim],
+                dv: &dxv[cdim..cdim + vdim],
+            },
+            &mut alpha_face,
+        )
+    };
+    let lam = if penalty { lam } else { 0.0 };
+    let mut ws = FaceScratch::default();
+    surf.kernel.apply(
+        f_lo,
+        f_hi,
+        &alpha_face,
+        lam,
+        2.0 / dxv[dir],
+        Some(out_lo),
+        Some(out_hi),
+        &mut ws,
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn every_registry_surface_kernel_matches_runtime(
+        qm in -3.0..3.0f64,
+        penalty_raw in 0usize..2,
+        w_raw in proptest::collection::vec(-2.0..2.0f64, 6),
+        dxv_raw in proptest::collection::vec(0.1..2.0f64, 6),
+        em_raw in proptest::collection::vec(-1.0..1.0f64, 8 * 16),
+        f_lo_raw in proptest::collection::vec(-1.0..1.0f64, 128),
+        f_hi_raw in proptest::collection::vec(-1.0..1.0f64, 128),
+    ) {
+        let penalty = penalty_raw == 1;
+        for entry in surface_registry() {
+            let k = entry.key;
+            let pk = kernels_for(k.kind, k.layout(), k.poly_order);
+            let ndim = k.cdim + k.vdim;
+            let (np, nc) = (pk.np(), pk.nc());
+            prop_assert!(np <= f_lo_raw.len() && 8 * nc <= em_raw.len());
+            let w = &w_raw[..ndim];
+            let dxv = &dxv_raw[..ndim];
+            let em = &em_raw[..8 * nc];
+            let f_lo = &f_lo_raw[..np];
+            let f_hi = &f_hi_raw[..np];
+
+            prop_assert!(entry.dirs.len() == ndim, "{}: direction count", entry.name);
+            for (dir, kernel) in entry.dirs.iter().enumerate() {
+                let mut lo_gen = vec![0.0; np];
+                let mut hi_gen = vec![0.0; np];
+                kernel(w, dxv, qm, em, penalty, f_lo, f_hi, &mut lo_gen, &mut hi_gen);
+                let mut lo_rt = vec![0.0; np];
+                let mut hi_rt = vec![0.0; np];
+                runtime_surface_reference(
+                    &pk, dir, w, dxv, qm, em, penalty, f_lo, f_hi, &mut lo_rt, &mut hi_rt,
+                );
+                for i in 0..np {
+                    prop_assert!(
+                        (lo_gen[i] - lo_rt[i]).abs() < 1e-13,
+                        "{} dir {dir} lower mode {i}: generated {} vs runtime {}",
+                        entry.name, lo_gen[i], lo_rt[i]
+                    );
+                    prop_assert!(
+                        (hi_gen[i] - hi_rt[i]).abs() < 1e-13,
+                        "{} dir {dir} upper mode {i}: generated {} vs runtime {}",
+                        entry.name, hi_gen[i], hi_rt[i]
+                    );
+                }
             }
         }
     }

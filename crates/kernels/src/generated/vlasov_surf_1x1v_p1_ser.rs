@@ -1,0 +1,84 @@
+// Surface kernels for the Vlasov phase-space advection, 1x1v p=1 Serendipity basis.
+// Auto-generated from exact integral tables — do not edit by hand.
+// One function per face-normal phase direction (configuration first);
+// see `crate::dispatch::SurfaceKernelFn` for the calling convention.
+
+/// Streaming surface kernel, faces normal to x0 (α̂ = v0).
+#[allow(clippy::all)]
+#[rustfmt::skip]
+pub fn vlasov_surf_1x1v_p1_ser_x0(w: &[f64], dxv: &[f64], qm: f64, em: &[f64], penalty: bool, f_lo: &[f64], f_hi: &[f64], out_lo: &mut [f64], out_hi: &mut [f64]) {
+    let rd = 2.0 / dxv[0];
+    let mut alpha = [0.0f64; 2];
+    let _ = (qm, em);
+    alpha[0] = w[1] * 1.4142135623730951;
+    alpha[1] += 0.5 * dxv[1] * 0.816496580927726;
+    let lam = if penalty { w[1].abs() + 0.5 * dxv[1].abs() } else { 0.0 };
+    let mut fm = [0.0f64; 2];
+    let mut fp = [0.0f64; 2];
+    fm[0] += 0.7071067811865476 * f_lo[0];
+    fm[1] += 0.7071067811865476 * f_lo[1];
+    fm[0] += 1.224744871391589 * f_lo[2];
+    fm[1] += 1.224744871391589 * f_lo[3];
+    fp[0] += 0.7071067811865476 * f_hi[0];
+    fp[1] += 0.7071067811865476 * f_hi[1];
+    fp[0] += -1.224744871391589 * f_hi[2];
+    fp[1] += -1.224744871391589 * f_hi[3];
+    let mut favg = [0.0f64; 2];
+    let mut ghat = [0.0f64; 2];
+    favg[0] = 0.5 * (fm[0] + fp[0]);
+    ghat[0] = -0.5 * lam * (fp[0] - fm[0]);
+    favg[1] = 0.5 * (fm[1] + fp[1]);
+    ghat[1] = -0.5 * lam * (fp[1] - fm[1]);
+    ghat[0] += 0.7071067811865476 * alpha[0] * favg[0];
+    ghat[0] += 0.7071067811865475 * alpha[1] * favg[1];
+    ghat[1] += 0.7071067811865475 * alpha[0] * favg[1];
+    ghat[1] += 0.7071067811865475 * alpha[1] * favg[0];
+    out_lo[0] += -rd * 0.7071067811865476 * ghat[0];
+    out_lo[1] += -rd * 0.7071067811865476 * ghat[1];
+    out_lo[2] += -rd * 1.224744871391589 * ghat[0];
+    out_lo[3] += -rd * 1.224744871391589 * ghat[1];
+    out_hi[0] += rd * 0.7071067811865476 * ghat[0];
+    out_hi[1] += rd * 0.7071067811865476 * ghat[1];
+    out_hi[2] += rd * -1.224744871391589 * ghat[0];
+    out_hi[3] += rd * -1.224744871391589 * ghat[1];
+}
+
+/// Acceleration surface kernel, faces normal to v0 (α̂ = q/m (E + v×B)_0).
+#[allow(clippy::all)]
+#[rustfmt::skip]
+pub fn vlasov_surf_1x1v_p1_ser_v0(w: &[f64], dxv: &[f64], qm: f64, em: &[f64], penalty: bool, f_lo: &[f64], f_hi: &[f64], out_lo: &mut [f64], out_hi: &mut [f64]) {
+    let rd = 2.0 / dxv[1];
+    let mut alpha = [0.0f64; 2];
+    let _ = w;
+    alpha[0] += qm * 1.0 * (em[0]);
+    alpha[1] += qm * 1.0 * (em[1]);
+    let lam = if penalty { alpha[0].abs() * 0.7071067811865476 + alpha[1].abs() * 1.224744871391589 } else { 0.0 };
+    let mut fm = [0.0f64; 2];
+    let mut fp = [0.0f64; 2];
+    fm[0] += 0.7071067811865476 * f_lo[0];
+    fm[0] += 1.224744871391589 * f_lo[1];
+    fm[1] += 0.7071067811865476 * f_lo[2];
+    fm[1] += 1.224744871391589 * f_lo[3];
+    fp[0] += 0.7071067811865476 * f_hi[0];
+    fp[0] += -1.224744871391589 * f_hi[1];
+    fp[1] += 0.7071067811865476 * f_hi[2];
+    fp[1] += -1.224744871391589 * f_hi[3];
+    let mut favg = [0.0f64; 2];
+    let mut ghat = [0.0f64; 2];
+    favg[0] = 0.5 * (fm[0] + fp[0]);
+    ghat[0] = -0.5 * lam * (fp[0] - fm[0]);
+    favg[1] = 0.5 * (fm[1] + fp[1]);
+    ghat[1] = -0.5 * lam * (fp[1] - fm[1]);
+    ghat[0] += 0.7071067811865476 * alpha[0] * favg[0];
+    ghat[0] += 0.7071067811865475 * alpha[1] * favg[1];
+    ghat[1] += 0.7071067811865475 * alpha[0] * favg[1];
+    ghat[1] += 0.7071067811865475 * alpha[1] * favg[0];
+    out_lo[0] += -rd * 0.7071067811865476 * ghat[0];
+    out_lo[1] += -rd * 1.224744871391589 * ghat[0];
+    out_lo[2] += -rd * 0.7071067811865476 * ghat[1];
+    out_lo[3] += -rd * 1.224744871391589 * ghat[1];
+    out_hi[0] += rd * 0.7071067811865476 * ghat[0];
+    out_hi[1] += rd * -1.224744871391589 * ghat[0];
+    out_hi[2] += rd * 0.7071067811865476 * ghat[1];
+    out_hi[3] += rd * -1.224744871391589 * ghat[1];
+}

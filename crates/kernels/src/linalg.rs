@@ -66,6 +66,70 @@ impl DMat {
     }
 }
 
+/// Factor `a` in place (LU with partial pivoting, pivots into `piv`).
+/// Returns `false` if numerically singular; `a`/`piv` are then garbage.
+pub fn lu_factor_in_place(a: &mut DMat, piv: &mut [usize]) -> bool {
+    assert_eq!(a.rows, a.cols);
+    let n = a.rows;
+    assert_eq!(piv.len(), n);
+    for (r, p) in piv.iter_mut().enumerate() {
+        *p = r;
+    }
+    for k in 0..n {
+        // Pivot search.
+        let (mut pr, mut pv) = (k, a.at(k, k).abs());
+        for r in k + 1..n {
+            let v = a.at(r, k).abs();
+            if v > pv {
+                pr = r;
+                pv = v;
+            }
+        }
+        if pv < 1e-300 {
+            return false;
+        }
+        if pr != k {
+            for c in 0..n {
+                let t = a.at(k, c);
+                *a.at_mut(k, c) = a.at(pr, c);
+                *a.at_mut(pr, c) = t;
+            }
+            piv.swap(k, pr);
+        }
+        let inv = 1.0 / a.at(k, k);
+        for r in k + 1..n {
+            let f = a.at(r, k) * inv;
+            *a.at_mut(r, k) = f;
+            for c in k + 1..n {
+                *a.at_mut(r, c) -= f * a.at(k, c);
+            }
+        }
+    }
+    true
+}
+
+/// Solve `A x = b` against a factorization from [`lu_factor_in_place`].
+pub fn lu_solve_in_place(lu: &DMat, piv: &[usize], b: &[f64], x: &mut [f64]) {
+    let n = lu.rows;
+    debug_assert_eq!(b.len(), n);
+    // Apply permutation, forward substitution.
+    for r in 0..n {
+        x[r] = b[piv[r]];
+    }
+    for r in 0..n {
+        for c in 0..r {
+            x[r] -= lu.at(r, c) * x[c];
+        }
+    }
+    // Back substitution.
+    for r in (0..n).rev() {
+        for c in r + 1..n {
+            x[r] -= lu.at(r, c) * x[c];
+        }
+        x[r] /= lu.at(r, r);
+    }
+}
+
 /// LU factorization with partial pivoting, in place.
 #[derive(Clone, Debug)]
 pub struct Lu {
@@ -76,62 +140,18 @@ pub struct Lu {
 impl Lu {
     /// Factor `a` (consumed). Returns `None` if numerically singular.
     pub fn factor(mut a: DMat) -> Option<Self> {
-        assert_eq!(a.rows, a.cols);
         let n = a.rows;
         let mut piv: Vec<usize> = (0..n).collect();
-        for k in 0..n {
-            // Pivot search.
-            let (mut pr, mut pv) = (k, a.at(k, k).abs());
-            for r in k + 1..n {
-                let v = a.at(r, k).abs();
-                if v > pv {
-                    pr = r;
-                    pv = v;
-                }
-            }
-            if pv < 1e-300 {
-                return None;
-            }
-            if pr != k {
-                for c in 0..n {
-                    let t = a.at(k, c);
-                    *a.at_mut(k, c) = a.at(pr, c);
-                    *a.at_mut(pr, c) = t;
-                }
-                piv.swap(k, pr);
-            }
-            let inv = 1.0 / a.at(k, k);
-            for r in k + 1..n {
-                let f = a.at(r, k) * inv;
-                *a.at_mut(r, k) = f;
-                for c in k + 1..n {
-                    *a.at_mut(r, c) -= f * a.at(k, c);
-                }
-            }
+        if lu_factor_in_place(&mut a, &mut piv) {
+            Some(Lu { lu: a, piv })
+        } else {
+            None
         }
-        Some(Lu { lu: a, piv })
     }
 
     /// Solve `A x = b`, writing into `x`.
     pub fn solve(&self, b: &[f64], x: &mut [f64]) {
-        let n = self.lu.rows;
-        debug_assert_eq!(b.len(), n);
-        // Apply permutation, forward substitution.
-        for r in 0..n {
-            x[r] = b[self.piv[r]];
-        }
-        for r in 0..n {
-            for c in 0..r {
-                x[r] -= self.lu.at(r, c) * x[c];
-            }
-        }
-        // Back substitution.
-        for r in (0..n).rev() {
-            for c in r + 1..n {
-                x[r] -= self.lu.at(r, c) * x[c];
-            }
-            x[r] /= self.lu.at(r, r);
-        }
+        lu_solve_in_place(&self.lu, &self.piv, b, x);
     }
 }
 

@@ -143,11 +143,20 @@ impl SurfaceKernel {
     }
 
     /// Multiplications per face application (both sides).
+    ///
+    /// Restrict and lift are counted against the *actual* non-zero trace
+    /// entries (exactly one per cell mode for these bases — `Np` per side,
+    /// not a guess from the face-basis size), so `op_report` flop ratios
+    /// and the EXPERIMENTS.md tables reflect what the kernels execute.
     pub fn mult_count(&self) -> usize {
         let nf = self.face.len();
-        let np_terms = 2 * self.face.basis.len().max(1);
-        // restrict (2 sides) + flux tensor + penalty + lift (2 sides)
-        2 * np_terms + self.dmat.mult_count() + 2 * nf + 2 * np_terms
+        // One multiply per trace entry on each side: f_lo restricts through
+        // the upper trace, f_hi through the lower one; the lifts reuse the
+        // same entries (scale folded as in the fused production kernels).
+        let restrict = self.face.nnz(1) + self.face.nnz(-1);
+        let lift = self.face.nnz(1) + self.face.nnz(-1);
+        // restrict (2 sides) + flux tensor + avg/penalty + lift (2 sides)
+        restrict + self.dmat.mult_count() + 2 * nf + lift
     }
 }
 

@@ -8,10 +8,27 @@
 //! solve per configuration cell with the exact triple-product tensor as the
 //! bilinear form.
 
-use crate::linalg::{DMat, Lu};
+use crate::linalg::{lu_factor_in_place, lu_solve_in_place, DMat};
 use crate::tables1d::ExactTables;
 use crate::triple::{build_triple, DimTable, SparseTriple, TripleSpec};
 use dg_basis::Basis;
+
+/// Reusable factorization scratch for [`WeakOps::divide_with`] — hold one
+/// per thread and the per-cell weak solves allocate nothing.
+#[derive(Clone, Debug)]
+pub struct WeakDivScratch {
+    a: DMat,
+    piv: Vec<usize>,
+}
+
+impl WeakDivScratch {
+    pub fn new(np: usize) -> Self {
+        WeakDivScratch {
+            a: DMat::zeros(np, np),
+            piv: vec![0; np],
+        }
+    }
+}
 
 /// Weak multiply/divide operator set on one configuration basis.
 #[derive(Clone, Debug)]
@@ -44,24 +61,41 @@ impl WeakOps {
         self.tensor.apply(a, b, 1.0, out);
     }
 
+    /// A correctly sized scratch for [`WeakOps::divide_with`].
+    pub fn div_scratch(&self) -> WeakDivScratch {
+        WeakDivScratch::new(self.np)
+    }
+
     /// Weak division `out = m / ρ`: solves `A(ρ) out = m` with
     /// `A_lk = Σ_m t_lmk ρ_m`. Returns `false` (and leaves `out` zeroed) if
     /// the local system is singular — e.g. vacuum cells with `ρ_h ≈ 0`.
     pub fn divide(&self, rho: &[f64], m: &[f64], out: &mut [f64]) -> bool {
-        let n = self.np;
-        let mut a = DMat::zeros(n, n);
+        self.divide_with(rho, m, out, &mut self.div_scratch())
+    }
+
+    /// [`WeakOps::divide`] against caller-held scratch — the hot-loop form
+    /// (no allocation per solve).
+    pub fn divide_with(
+        &self,
+        rho: &[f64],
+        m: &[f64],
+        out: &mut [f64],
+        ws: &mut WeakDivScratch,
+    ) -> bool {
+        // Hard assert: a mis-sized scratch would otherwise read as a
+        // singular system and silently zero the quotient (callers treat
+        // `false` as vacuum). Negligible next to the O(n³) factorization.
+        assert_eq!(ws.a.rows, self.np, "WeakDivScratch sized for this basis");
+        ws.a.data.fill(0.0);
         for e in &self.tensor.entries {
-            *a.at_mut(e.l as usize, e.n as usize) += e.coeff * rho[e.m as usize];
+            *ws.a.at_mut(e.l as usize, e.n as usize) += e.coeff * rho[e.m as usize];
         }
-        match Lu::factor(a) {
-            Some(lu) => {
-                lu.solve(m, out);
-                true
-            }
-            None => {
-                out.fill(0.0);
-                false
-            }
+        if lu_factor_in_place(&mut ws.a, &mut ws.piv) {
+            lu_solve_in_place(&ws.a, &ws.piv, m, out);
+            true
+        } else {
+            out.fill(0.0);
+            false
         }
     }
 }

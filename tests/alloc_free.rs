@@ -1,0 +1,137 @@
+//! Zero-allocation guarantee for the per-step hot loops.
+//!
+//! The ISSUE-3 acceptance gate: once an operator and its workspace exist,
+//! evaluating the collisionless RHS (through either dispatch path) and the
+//! LBO collision RHS must perform **zero heap allocations** — every
+//! buffer, index scratch, staging slice, and weak-solve factorization
+//! lives in persistent scratch. A counting global allocator enforces this
+//! directly: warm everything up once, then count.
+//!
+//! This file deliberately holds a single `#[test]` — the counter is
+//! process-global, and a sibling test allocating concurrently would
+//! produce false positives.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering::Relaxed};
+
+use vlasov_dg::basis::BasisKind;
+use vlasov_dg::core::lbo::LboOp;
+use vlasov_dg::core::species::{maxwellian, Species};
+use vlasov_dg::core::vlasov::{FluxKind, VlasovOp, VlasovWorkspace};
+use vlasov_dg::grid::{Bc, CartGrid, DgField, PhaseGrid};
+use vlasov_dg::kernels::{kernels_for, KernelDispatch, PhaseLayout};
+use vlasov_dg::maxwell::NCOMP;
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicUsize = AtomicUsize::new(0);
+static COUNTING: AtomicBool = AtomicBool::new(false);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if COUNTING.load(Relaxed) {
+            ALLOCS.fetch_add(1, Relaxed);
+        }
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        if COUNTING.load(Relaxed) {
+            ALLOCS.fetch_add(1, Relaxed);
+        }
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if COUNTING.load(Relaxed) {
+            ALLOCS.fetch_add(1, Relaxed);
+        }
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+/// Run `body` with the allocation counter armed; returns the count.
+fn count_allocs(body: impl FnOnce()) -> usize {
+    ALLOCS.store(0, Relaxed);
+    COUNTING.store(true, Relaxed);
+    body();
+    COUNTING.store(false, Relaxed);
+    ALLOCS.load(Relaxed)
+}
+
+#[test]
+fn rhs_and_lbo_loops_allocate_nothing() {
+    // --- Collisionless RHS, both dispatch paths, 1x2v p=2 Serendipity
+    // (in the committed registry; exercises streaming + both acceleration
+    // directions, pencil reuse, and the v×B cross terms). ---
+    let kernels = kernels_for(BasisKind::Serendipity, PhaseLayout::new(1, 2), 2);
+    let grid = PhaseGrid::new(
+        CartGrid::new(&[0.0], &[1.0], &[3]),
+        CartGrid::new(&[-4.0, -4.0], &[4.0, 4.0], &[4, 4]),
+        vec![Bc::Periodic],
+    );
+    let mut sp = Species::new("elc", -1.0, 1.0, &grid, kernels.np());
+    sp.project_initial(&kernels, &grid, 4, &mut |x, v| {
+        maxwellian(1.0 + 0.05 * (2.0 * x[0]).cos(), &[0.3, -0.2], 0.9, v)
+    });
+    let mut em = DgField::zeros(grid.conf.len(), NCOMP * kernels.nc());
+    for c in 0..grid.conf.len() {
+        for (i, v) in em.cell_mut(c).iter_mut().enumerate() {
+            *v = ((c * 13 + i) as f64 * 0.41).sin() * 0.2;
+        }
+    }
+    let mut out = DgField::zeros(sp.f.ncells(), sp.f.ncoeff());
+    let mut ws = VlasovWorkspace::for_kernels(&kernels);
+
+    for dispatch in [KernelDispatch::Generated, KernelDispatch::RuntimeSparse] {
+        let op = VlasovOp::with_dispatch(
+            std::sync::Arc::clone(&kernels),
+            grid.clone(),
+            FluxKind::Upwind,
+            dispatch,
+        );
+        // Warm-up: first evaluation may size lazily-grown scratch.
+        out.fill(0.0);
+        op.accumulate_rhs(sp.qm(), &sp.f, &em, &mut out, &mut ws);
+        let n = count_allocs(|| {
+            for _ in 0..3 {
+                out.fill(0.0);
+                op.accumulate_rhs(sp.qm(), &sp.f, &em, &mut out, &mut ws);
+            }
+        });
+        assert_eq!(
+            n, 0,
+            "collisionless RHS ({dispatch:?}) allocated {n} times in the hot loop"
+        );
+    }
+
+    // --- LBO collision RHS, 1x1v p=2 (weak divides, drag + LDG
+    // diffusion). ---
+    let kernels = kernels_for(BasisKind::Serendipity, PhaseLayout::new(1, 1), 2);
+    let grid = PhaseGrid::new(
+        CartGrid::new(&[0.0], &[1.0], &[2]),
+        CartGrid::new(&[-6.0], &[6.0], &[12]),
+        vec![Bc::Periodic],
+    );
+    let mut sp = Species::new("elc", -1.0, 1.0, &grid, kernels.np());
+    sp.project_initial(&kernels, &grid, 4, &mut |_x, v| {
+        maxwellian(0.7, &[-1.0], 0.7, v) + maxwellian(0.3, &[1.5], 0.5, v)
+    });
+    let mut lbo = LboOp::new(std::sync::Arc::clone(&kernels), grid.clone(), 0.8);
+    let mut out = DgField::zeros(sp.f.ncells(), sp.f.ncoeff());
+    lbo.accumulate_rhs(&sp.f, &mut out); // warm-up
+    let n = count_allocs(|| {
+        for _ in 0..3 {
+            out.fill(0.0);
+            lbo.accumulate_rhs(&sp.f, &mut out);
+        }
+    });
+    assert_eq!(n, 0, "LBO RHS allocated {n} times in the hot loop");
+}
