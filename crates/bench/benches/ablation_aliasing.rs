@@ -51,9 +51,8 @@ struct RunResult {
 }
 
 fn run(nq: usize, steps: usize, dt: f64) -> RunResult {
-    let app = build();
-    let mut sys = NodalSystem::new(app.system, nq);
-    let mut state = app.state;
+    let (inner, mut state) = build().into_parts();
+    let mut sys = NodalSystem::new(inner, nq);
     let mut stage = sys.inner.new_state();
     let mut rhs = sys.inner.new_state();
     let n0: f64 = sys.inner.particle_numbers(&state).iter().sum();

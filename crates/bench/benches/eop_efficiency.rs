@@ -44,11 +44,11 @@ fn main() {
         .build()
         .unwrap();
 
-    let sys = &app.system;
+    let sys = app.system();
     let np = sys.kernels.np();
     let ncells = sys.grid.len();
     let dofs = (np * ncells) as f64;
-    let state = &app.state;
+    let state = app.state();
     let mut out = DgField::zeros(ncells, np);
     let mut ws = VlasovWorkspace::for_kernels(&sys.kernels);
 

@@ -10,7 +10,7 @@
 //! `cargo run --release --example weibel_2x2v`.
 
 use dg_basis::BasisKind;
-use dg_bench::env_usize;
+use dg_bench::{env_f64, env_usize};
 use dg_core::app::{AppBuilder, FieldSpec, SpeciesSpec};
 use dg_core::species::maxwellian;
 use dg_diag::EnergyHistory;
@@ -18,10 +18,7 @@ use dg_diag::EnergyHistory;
 fn main() {
     let nx = env_usize("F5_NX", 6);
     let nv = env_usize("F5_NV", 6);
-    let t_end = std::env::var("F5_TEND")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(8.0);
+    let t_end = env_f64("F5_TEND", 8.0);
     let u = 0.3;
     let l = 2.0 * std::f64::consts::PI / 0.4;
     println!("=== Fig. 5 reproduction: 2X2V counter-streaming beams ===");
@@ -62,18 +59,14 @@ fn main() {
         .build()
         .unwrap();
 
-    let mut h = EnergyHistory::new();
-    h.record(&app.system, &app.state, app.time());
     println!(
         "{:>8} {:>16} {:>16} {:>16}",
         "t", "kinetic", "field", "total"
     );
     let samples = 8usize;
-    for i in 0..samples {
-        app.advance_by(t_end / samples as f64).unwrap();
-        h.record(&app.system, &app.state, app.time());
-        let s = h.samples.last().unwrap();
-        let _ = i;
+    let mut h = EnergyHistory::every(t_end / samples as f64);
+    app.run(t_end, &mut [&mut h]).unwrap();
+    for s in &h.samples {
         println!(
             "{:>8.2} {:>16.8} {:>16.6e} {:>16.8}",
             s.time,

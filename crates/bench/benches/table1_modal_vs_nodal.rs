@@ -56,7 +56,7 @@ fn main() {
 
     // --- modal ---
     let mut app = build();
-    let np = app.system.kernels.np();
+    let np = app.system().kernels.np();
     assert_eq!(np, 112, "paper's 112 DOF per cell");
     let dt = 1e-4;
     app.set_fixed_dt(dt);
@@ -68,22 +68,21 @@ fn main() {
     let modal_total = t0.elapsed().as_secs_f64() / steps as f64;
 
     // Vlasov-only share: time the kinetic RHS alone (3 stages per step).
-    let state = app.state.clone();
-    let mut ws = VlasovWorkspace::for_kernels(&app.system.kernels);
+    let state = app.state().clone();
+    let sys = app.system();
+    let mut ws = VlasovWorkspace::for_kernels(&sys.kernels);
     let mut out = DgField::zeros(state.species_f[0].ncells(), np);
     let t0 = Instant::now();
-    for s in 0..app.system.species.len() {
-        let qm = app.system.species[s].qm();
-        app.system
-            .vlasov
+    for s in 0..sys.species.len() {
+        let qm = sys.species[s].qm();
+        sys.vlasov
             .accumulate_rhs(qm, &state.species_f[s], &state.em, &mut out, &mut ws);
     }
     let modal_vlasov = 3.0 * t0.elapsed().as_secs_f64();
 
     // --- nodal ---
-    let app2 = build();
-    let mut nodal = NodalSystem::new(app2.system, alias_free_points(2));
-    let mut n_state = app2.state;
+    let (sys2, mut n_state) = build().into_parts();
+    let mut nodal = NodalSystem::new(sys2, alias_free_points(2));
     let mut stage = nodal.inner.new_state();
     let mut rhs = nodal.inner.new_state();
     nodal.step(&mut n_state, &mut stage, &mut rhs, dt); // warm-up

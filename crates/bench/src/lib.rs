@@ -14,13 +14,10 @@ use std::hint::black_box;
 use std::sync::Arc;
 use std::time::Instant;
 
-/// Environment-variable override helper for scalable benches.
-pub fn env_usize(name: &str, default: usize) -> usize {
-    std::env::var(name)
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(default)
-}
+// The canonical env-override parsers live in `dg_diag::util` (also
+// re-exported from the `vlasov_dg` facade); re-exported here so every
+// bench target keeps one import path.
+pub use dg_diag::util::{env_f64, env_usize};
 
 /// Deterministic pseudo-random coefficients (no RNG dependency in the hot
 /// setup; reproducible across runs).

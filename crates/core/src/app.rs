@@ -22,10 +22,11 @@
 //! assert!(dt > 0.0 && app.time() > 0.0);
 //! ```
 
-use crate::cfl::suggest_dt;
+use crate::backend::{Backend, BackendFactory, Serial};
+use crate::error::Error;
 use crate::lbo::LboOp;
+use crate::observer::{Frame, Observer, Trigger};
 use crate::species::Species;
-use crate::ssprk::SspRk3;
 use crate::system::{FluxKind, SystemState, VlasovMaxwell};
 use dg_basis::{project, Basis, BasisKind};
 use dg_grid::{Bc, CartGrid, DgField, PhaseGrid};
@@ -159,6 +160,7 @@ pub struct AppBuilder {
     species: Vec<SpeciesSpec>,
     field: Option<FieldSpec>,
     init_quad_npts: Option<usize>,
+    backend: Box<dyn BackendFactory>,
 }
 
 impl Default for AppBuilder {
@@ -180,6 +182,7 @@ impl AppBuilder {
             species: Vec::new(),
             field: None,
             init_quad_npts: None,
+            backend: Box::new(Serial),
         }
     }
 
@@ -240,16 +243,30 @@ impl AppBuilder {
         self
     }
 
-    pub fn build(mut self) -> Result<App, String> {
-        let (clo, chi, ccells) = self.conf.ok_or("configuration grid not specified")?;
+    /// Execution backend (default [`Serial`]). `dg-parallel` exports
+    /// `RankParallel { ranks, threads }` for the two-level decomposition;
+    /// the same declaration runs unchanged — and bit-identically — on
+    /// either.
+    pub fn backend(mut self, factory: impl BackendFactory + 'static) -> Self {
+        self.backend = Box::new(factory);
+        self
+    }
+
+    pub fn build(mut self) -> Result<App, Error> {
+        let (clo, chi, ccells) = self
+            .conf
+            .ok_or_else(|| Error::Build("configuration grid not specified".into()))?;
         let cdim = ccells.len();
         if self.species.is_empty() {
-            return Err("at least one species required".into());
+            return Err(Error::Build("at least one species required".into()));
         }
         let vdim = self.species[0].vcells.len();
         for s in &self.species {
             if s.vcells.len() != vdim || s.vlower.len() != vdim || s.vupper.len() != vdim {
-                return Err(format!("species {} has inconsistent velocity dims", s.name));
+                return Err(Error::Build(format!(
+                    "species {} has inconsistent velocity dims",
+                    s.name
+                )));
             }
         }
         // All species share one velocity grid shape in this implementation
@@ -259,7 +276,9 @@ impl AppBuilder {
         let vcells = self.species[0].vcells.clone();
         for s in &self.species {
             if s.vlower != vlo || s.vupper != vhi || s.vcells != vcells {
-                return Err("all species must share one velocity grid in this build".into());
+                return Err(Error::Build(
+                    "all species must share one velocity grid in this build".into(),
+                ));
             }
         }
         let layout = PhaseLayout::new(cdim, vdim);
@@ -305,9 +324,9 @@ impl AppBuilder {
         if self.dispatch != KernelDispatch::Auto {
             system.set_kernel_dispatch(self.dispatch);
         }
-        system.collisions = collisions;
-        system.evolve_field = fspec.evolve;
-        system.track_charge = fspec.chi_e != 0.0;
+        system.set_collisions(collisions);
+        system.set_evolve_field(fspec.evolve);
+        system.set_track_charge(fspec.chi_e != 0.0);
 
         // Initial EM field.
         let mut em = system.maxwell.new_field();
@@ -322,16 +341,17 @@ impl AppBuilder {
         }
         if fspec.poisson_init {
             if cdim != 1 {
-                return Err("with_poisson_init is implemented for 1D configurations".into());
+                return Err(Error::Build(
+                    "with_poisson_init is implemented for 1D configurations".into(),
+                ));
             }
             poisson_init_1d(&mut system, &mut em)?;
         }
         let state = system.initial_state(em);
-        let stepper = SspRk3::new(&system);
+        let backend = self.backend.make(system)?;
         Ok(App {
-            system,
+            backend,
             state,
-            stepper,
             time: 0.0,
             steps_taken: 0,
             cfl: self.cfl,
@@ -367,7 +387,7 @@ fn project_field_ic(
 /// Solve `dE_x/dx = ρ/ε₀` exactly on a periodic 1D configuration grid,
 /// subtracting the neutralizing background (domain-average charge) and the
 /// mean field (periodic gauge).
-fn poisson_init_1d(system: &mut VlasovMaxwell, em: &mut DgField) -> Result<(), String> {
+fn poisson_init_1d(system: &mut VlasovMaxwell, em: &mut DgField) -> Result<(), Error> {
     let nc = system.kernels.nc();
     let grid = system.maxwell.grid.clone();
     let nconf = grid.len();
@@ -387,7 +407,7 @@ fn poisson_init_1d(system: &mut VlasovMaxwell, em: &mut DgField) -> Result<(), S
     for c in 0..nconf {
         rho.cell_mut(c)[0] -= mean * c0;
     }
-    system.background_charge = mean;
+    system.set_background_charge(mean);
 
     // Cumulative integration cell by cell; E(ξ) inside a cell is the exact
     // antiderivative of the modal ρ, projected back onto the basis.
@@ -433,18 +453,34 @@ fn poisson_init_1d(system: &mut VlasovMaxwell, em: &mut DgField) -> Result<(), S
     // Consistency: with zero net charge the field must close periodically.
     if (e_in).abs() > 1e-8 * (1.0 + emean.abs()) {
         // e_in now holds E at the domain end relative to the start.
-        return Err(format!(
+        return Err(Error::Build(format!(
             "Poisson init inconsistency: net field jump {e_in:.3e} (non-neutral plasma?)"
-        ));
+        )));
     }
     Ok(())
 }
 
-/// A runnable simulation.
+/// Termination tolerance for the run/advance loops: relative to the
+/// target time, so long runs (`t_end ~ 60`) never take a spurious
+/// ulp-sized final step, while short runs keep landing exactly.
+fn end_tolerance(t_end: f64) -> f64 {
+    4.0 * f64::EPSILON * t_end.abs().max(1.0)
+}
+
+/// Per-observer scheduling state inside one `App::run` call.
+enum Sched {
+    Time { next: f64, period: f64 },
+    Steps { period: usize },
+    End,
+}
+
+/// A runnable simulation: a declaration bound to an execution
+/// [`Backend`]. Diagnostics reach the system and state through the
+/// accessors; stepping goes through [`App::step`], [`App::advance_by`],
+/// or the observer-scheduled [`App::run`] driver.
 pub struct App {
-    pub system: VlasovMaxwell,
-    pub state: SystemState,
-    stepper: SspRk3,
+    backend: Box<dyn Backend>,
+    state: SystemState,
     time: f64,
     steps_taken: usize,
     cfl: f64,
@@ -460,59 +496,278 @@ impl App {
         self.steps_taken
     }
 
+    /// The underlying system (operators, species, grids) — diagnostics
+    /// access, backend-agnostic.
+    pub fn system(&self) -> &VlasovMaxwell {
+        self.backend.system()
+    }
+
+    /// Mutable system access (dispatch forcing, collision swaps).
+    pub fn system_mut(&mut self) -> &mut VlasovMaxwell {
+        self.backend.system_mut()
+    }
+
+    /// The current dynamical state.
+    pub fn state(&self) -> &SystemState {
+        &self.state
+    }
+
+    /// Mutable state access (custom initial data, hand-wired drivers).
+    pub fn state_mut(&mut self) -> &mut SystemState {
+        &mut self.state
+    }
+
+    /// The executing backend's tag ("serial", "rank-parallel").
+    pub fn backend_name(&self) -> &'static str {
+        self.backend.name()
+    }
+
+    /// Dissolve the App into its system and state (hand-wired drivers,
+    /// nodal twins, the scaling harness).
+    pub fn into_parts(self) -> (VlasovMaxwell, SystemState) {
+        (self.backend.into_system(), self.state)
+    }
+
+    /// Restore a checkpointed `(state, time)` pair — the restart path.
+    /// Continuing with the same `dt` policy reproduces the uninterrupted
+    /// trajectory bit-for-bit (asserted in the restart integration test).
+    ///
+    /// Snapshots do not record the step counter; [`App::steps_taken`]
+    /// keeps its current value. Restart tooling that relies on
+    /// step-stamped artifacts (e.g. the `Checkpoint` observer's file
+    /// names) should re-align it with [`App::set_steps_taken`] so resumed
+    /// runs don't re-stamp — and overwrite — pre-interruption outputs.
+    pub fn restore(&mut self, state: SystemState, time: f64) -> Result<(), Error> {
+        let shape_ok = state.species_f.len() == self.state.species_f.len()
+            && state
+                .species_f
+                .iter()
+                .zip(&self.state.species_f)
+                .all(|(a, b)| a.ncells() == b.ncells() && a.ncoeff() == b.ncoeff())
+            && state.em.ncells() == self.state.em.ncells()
+            && state.em.ncoeff() == self.state.em.ncoeff();
+        if !shape_ok {
+            return Err(Error::Build(
+                "restored state shape does not match this App's declaration".into(),
+            ));
+        }
+        self.state = state;
+        self.time = time;
+        Ok(())
+    }
+
+    /// Re-align the step counter after a [`App::restore`] (it is not part
+    /// of a snapshot). Has no effect on the trajectory — only on
+    /// step-triggered observers and step-stamped artifact names.
+    pub fn set_steps_taken(&mut self, steps: usize) {
+        self.steps_taken = steps;
+    }
+
     /// Override adaptive CFL stepping with a fixed `dt`.
     pub fn set_fixed_dt(&mut self, dt: f64) {
         self.fixed_dt = Some(dt);
     }
 
-    /// Take one SSP-RK3 step; returns the `dt` used.
-    pub fn step(&mut self) -> Result<f64, String> {
-        let dt = match self.fixed_dt {
+    /// The `dt` the driver would take next (fixed override or CFL bound).
+    pub fn suggest_dt(&self) -> f64 {
+        match self.fixed_dt {
             Some(dt) => dt,
-            None => suggest_dt(&self.system, &self.state, self.cfl),
-        };
+            None => self.backend.suggest_dt(&self.state, self.cfl),
+        }
+    }
+
+    /// Take one SSP-RK3 step; returns the `dt` used.
+    pub fn step(&mut self) -> Result<f64, Error> {
+        let dt = self.suggest_dt();
         self.step_dt(dt)?;
         Ok(dt)
     }
 
     /// Take one step with an explicit `dt`.
-    pub fn step_dt(&mut self, dt: f64) -> Result<(), String> {
+    pub fn step_dt(&mut self, dt: f64) -> Result<(), Error> {
         if !(dt.is_finite() && dt > 0.0) {
-            return Err(format!("invalid dt {dt}"));
+            return Err(Error::InvalidDt(dt));
         }
-        self.stepper.step(&mut self.system, &mut self.state, dt);
+        self.backend.step(&mut self.state, dt);
         self.time += dt;
         self.steps_taken += 1;
-        if !self.state.species_f[0].max_abs().is_finite() {
-            return Err(format!("solution blew up at t = {}", self.time));
+        for (s, f) in self.state.species_f.iter().enumerate() {
+            if !f.max_abs().is_finite() {
+                return Err(Error::BlowUp {
+                    time: self.time,
+                    species: Some(self.backend.system().species[s].name.clone()),
+                });
+            }
+        }
+        if !self.state.em.max_abs().is_finite() {
+            return Err(Error::BlowUp {
+                time: self.time,
+                species: None,
+            });
         }
         Ok(())
     }
 
     /// Advance until `self.time()` has increased by `duration` (the last
     /// step is clamped to land exactly).
-    pub fn advance_by(&mut self, duration: f64) -> Result<(), String> {
+    pub fn advance_by(&mut self, duration: f64) -> Result<(), Error> {
         let t_end = self.time + duration;
-        while self.time < t_end - 1e-14 {
-            let dt = match self.fixed_dt {
-                Some(dt) => dt,
-                None => suggest_dt(&self.system, &self.state, self.cfl),
-            };
-            let dt = dt.min(t_end - self.time);
+        let tol = end_tolerance(t_end);
+        while self.time < t_end - tol {
+            let dt = self.suggest_dt().min(t_end - self.time);
             self.step_dt(dt)?;
+        }
+        Ok(())
+    }
+
+    /// The run driver: advance to `until` with trigger-scheduled
+    /// observers (see [`crate::observer`] for the scheduling semantics).
+    /// Steps are clamped so `EveryTime` observers sample at exactly their
+    /// due times and the run lands exactly on `until`.
+    pub fn run(&mut self, until: f64, observers: &mut [&mut dyn Observer]) -> Result<(), Error> {
+        if !until.is_finite() {
+            return Err(Error::Build(format!("run target time {until} not finite")));
+        }
+        let tol = end_tolerance(until);
+        let mut scheds = Vec::with_capacity(observers.len());
+        for obs in observers.iter() {
+            scheds.push(match obs.trigger() {
+                Trigger::EveryTime(period) => {
+                    if !(period.is_finite() && period > 0.0) {
+                        return Err(Error::Build(format!(
+                            "observer {:?}: EveryTime period must be positive, got {period}",
+                            obs.name()
+                        )));
+                    }
+                    // Schedule on the absolute simulation clock — the
+                    // smallest multiple of `period` past the current time
+                    // — so segmented/resumed runs keep sampling the same
+                    // grid as an uninterrupted one (for a fresh run this
+                    // is exactly `start + period`).
+                    let mut next = ((self.time / period).floor() + 1.0) * period;
+                    while next <= self.time + tol {
+                        next += period;
+                    }
+                    Sched::Time { next, period }
+                }
+                Trigger::EverySteps(period) => {
+                    if period == 0 {
+                        return Err(Error::Build(format!(
+                            "observer {:?}: EverySteps period must be ≥ 1",
+                            obs.name()
+                        )));
+                    }
+                    Sched::Steps { period }
+                }
+                Trigger::AtEnd => Sched::End,
+            });
+        }
+
+        // Initial firing for periodic observers: the t = start sample.
+        for (obs, sched) in observers.iter_mut().zip(&scheds) {
+            if !matches!(sched, Sched::End) {
+                fire(
+                    self.backend.system(),
+                    &self.state,
+                    self.time,
+                    self.steps_taken,
+                    false,
+                    &mut **obs,
+                )?;
+            }
+        }
+
+        let mut steps_run = 0usize;
+        while self.time < until - tol {
+            let mut dt = self.suggest_dt().min(until - self.time);
+            for sched in &scheds {
+                if let Sched::Time { next, .. } = sched {
+                    if *next < until {
+                        dt = dt.min(*next - self.time);
+                    }
+                }
+            }
+            self.step_dt(dt)?;
+            steps_run += 1;
+            for (obs, sched) in observers.iter_mut().zip(scheds.iter_mut()) {
+                let due = match sched {
+                    Sched::Time { next, period } => {
+                        let due = self.time >= *next - tol;
+                        if due {
+                            // Re-arm past the current clock (guards against
+                            // double firing from rounding residue).
+                            while *next <= self.time + tol {
+                                *next += *period;
+                            }
+                        }
+                        due
+                    }
+                    Sched::Steps { period } => steps_run.is_multiple_of(*period),
+                    Sched::End => false,
+                };
+                if due {
+                    fire(
+                        self.backend.system(),
+                        &self.state,
+                        self.time,
+                        self.steps_taken,
+                        false,
+                        &mut **obs,
+                    )?;
+                }
+            }
+        }
+
+        // Final firing for AtEnd observers.
+        for (obs, sched) in observers.iter_mut().zip(&scheds) {
+            if matches!(sched, Sched::End) {
+                fire(
+                    self.backend.system(),
+                    &self.state,
+                    self.time,
+                    self.steps_taken,
+                    true,
+                    &mut **obs,
+                )?;
+            }
         }
         Ok(())
     }
 
     /// Conserved-quantity probe at the current time.
     pub fn conserved(&self) -> crate::diagnostics::ConservedQuantities {
-        crate::diagnostics::probe(&self.system, &self.state, self.time)
+        crate::diagnostics::probe(self.backend.system(), &self.state, self.time)
     }
 
     /// EM field energy (convenience).
     pub fn field_energy(&self) -> f64 {
-        self.system.field_energy(&self.state)
+        self.backend.system().field_energy(&self.state)
     }
+}
+
+/// Invoke one observer, wrapping foreign errors with its name.
+fn fire(
+    system: &VlasovMaxwell,
+    state: &SystemState,
+    time: f64,
+    steps: usize,
+    at_end: bool,
+    obs: &mut dyn Observer,
+) -> Result<(), Error> {
+    let frame = Frame {
+        system,
+        state,
+        time,
+        steps,
+        at_end,
+    };
+    obs.observe(&frame).map_err(|e| match e {
+        Error::Io(io) => Error::Observer {
+            name: obs.name().to_string(),
+            message: io.to_string(),
+        },
+        other => other,
+    })
 }
 
 #[cfg(test)]
@@ -563,11 +818,11 @@ mod tests {
             .build()
             .unwrap();
         // Analytic: ρ = −0.1 cos(kx) (mean removed), E = −0.1 sin(kx)/k.
-        let nc = app.system.kernels.nc();
-        let basis = &app.system.maxwell.basis;
-        let grid = &app.system.maxwell.grid;
+        let nc = app.system().kernels.nc();
+        let basis = &app.system().maxwell.basis;
+        let grid = &app.system().maxwell.grid;
         for c in 0..grid.len() {
-            let ex = &app.state.em.cell(c)[..nc];
+            let ex = &app.state().em.cell(c)[..nc];
             for &xi in &[-0.5, 0.0, 0.5] {
                 let x = grid.center(0, c) + 0.5 * grid.dx()[0] * xi;
                 let want = -0.1 * (kx * x).sin() / kx;
@@ -575,6 +830,175 @@ mod tests {
                 assert!((got - want).abs() < 2e-4, "E at x={x}: {got} vs {want}");
             }
         }
+    }
+
+    #[test]
+    fn run_schedules_observers_and_lands_exactly() {
+        use crate::observer::{observe, Trigger};
+        let mut app = AppBuilder::new()
+            .conf_grid(&[0.0], &[1.0], &[2])
+            .poly_order(1)
+            .species(
+                SpeciesSpec::new("e", -1.0, 1.0, &[-4.0], &[4.0], &[4])
+                    .initial(|_x, v| maxwellian(1.0, &[0.0], 1.0, v)),
+            )
+            .field(FieldSpec::new(1.0))
+            .build()
+            .unwrap();
+        app.set_fixed_dt(3e-3);
+        let mut sample_times = Vec::new();
+        let mut step_fires = 0usize;
+        let mut end_frames = Vec::new();
+        {
+            let mut sampler = observe(Trigger::EveryTime(0.01), |fr| {
+                sample_times.push(fr.time);
+                Ok(())
+            });
+            let mut per_step = observe(Trigger::EverySteps(2), |_fr| {
+                step_fires += 1;
+                Ok(())
+            });
+            let mut at_end = observe(Trigger::AtEnd, |fr| {
+                end_frames.push((fr.time, fr.at_end));
+                Ok(())
+            });
+            app.run(0.03, &mut [&mut sampler, &mut per_step, &mut at_end])
+                .unwrap();
+        }
+        // EveryTime: initial sample + one per 0.01 boundary (steps clamp to
+        // land exactly on the multiples).
+        assert_eq!(sample_times.len(), 4, "samples at {sample_times:?}");
+        for (i, t) in sample_times.iter().enumerate() {
+            assert!((t - 0.01 * i as f64).abs() < 1e-12, "sample {i} at {t}");
+        }
+        // AtEnd: exactly once, flagged, at the target time.
+        assert_eq!(end_frames.len(), 1);
+        assert!(end_frames[0].1);
+        assert!((end_frames[0].0 - 0.03).abs() < 1e-12);
+        // EverySteps(2) fired at start plus every other step.
+        assert!(step_fires >= 2);
+        assert!((app.time() - 0.03).abs() < 1e-12);
+    }
+
+    #[test]
+    fn every_time_stays_on_the_absolute_grid_across_run_segments() {
+        use crate::observer::{observe, Trigger};
+        let mut app = AppBuilder::new()
+            .conf_grid(&[0.0], &[1.0], &[2])
+            .poly_order(1)
+            .species(
+                SpeciesSpec::new("e", -1.0, 1.0, &[-4.0], &[4.0], &[4])
+                    .initial(|_x, v| maxwellian(1.0, &[0.0], 1.0, v)),
+            )
+            .field(FieldSpec::new(1.0))
+            .build()
+            .unwrap();
+        app.set_fixed_dt(1e-3);
+        let mut times = Vec::new();
+        {
+            let mut sampler = observe(Trigger::EveryTime(0.01), |fr| {
+                times.push(fr.time);
+                Ok(())
+            });
+            // Split one run at an off-grid point: the second segment must
+            // keep sampling multiples of 0.01 (0.02, 0.03), not
+            // start-relative times (0.025).
+            app.run(0.015, &mut [&mut sampler]).unwrap();
+            app.run(0.03, &mut [&mut sampler]).unwrap();
+        }
+        assert!(
+            times.iter().any(|t| (t - 0.02).abs() < 1e-12),
+            "missing on-grid sample at 0.02: {times:?}"
+        );
+        assert!(
+            !times.iter().any(|t| (t - 0.025).abs() < 1e-12),
+            "off-grid start-relative sample leaked in: {times:?}"
+        );
+    }
+
+    #[test]
+    fn run_rejects_bad_triggers_and_observer_errors_carry_names() {
+        use crate::observer::{observe, Trigger};
+        let build = || {
+            AppBuilder::new()
+                .conf_grid(&[0.0], &[1.0], &[2])
+                .poly_order(1)
+                .species(
+                    SpeciesSpec::new("e", -1.0, 1.0, &[-4.0], &[4.0], &[4])
+                        .initial(|_x, v| maxwellian(1.0, &[0.0], 1.0, v)),
+                )
+                .field(FieldSpec::new(1.0))
+                .build()
+                .unwrap()
+        };
+        let mut app = build();
+        let mut bad = observe(Trigger::EveryTime(0.0), |_| Ok(()));
+        assert!(matches!(
+            app.run(0.01, &mut [&mut bad]),
+            Err(Error::Build(_))
+        ));
+
+        let mut app = build();
+        let mut failing = observe(Trigger::EverySteps(1), |_| {
+            Err(Error::Io(std::io::Error::other("disk full")))
+        })
+        .named("ckpt");
+        let err = app.run(0.01, &mut [&mut failing]).unwrap_err();
+        match err {
+            Error::Observer { name, message } => {
+                assert_eq!(name, "ckpt");
+                assert!(message.contains("disk full"));
+            }
+            other => panic!("expected Observer error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn advance_by_termination_is_relative_not_absolute() {
+        // At t_end ≈ 60 an absolute 1e-14 epsilon sits below one ulp of the
+        // clock, which used to allow a spurious ulp-sized trailing step.
+        // The relative tolerance must cover at least a few ulps there.
+        let ulp60 = 60.0f64.next_up() - 60.0;
+        assert!(super::end_tolerance(60.0) > 2.0 * ulp60);
+        assert!(super::end_tolerance(0.02) < 1e-14);
+        let mut app = AppBuilder::new()
+            .conf_grid(&[0.0], &[1.0], &[2])
+            .poly_order(1)
+            .species(
+                SpeciesSpec::new("e", -1.0, 1.0, &[-4.0], &[4.0], &[4])
+                    .initial(|_x, v| maxwellian(1.0, &[0.0], 1.0, v)),
+            )
+            .field(FieldSpec::new(1.0))
+            .build()
+            .unwrap();
+        app.set_fixed_dt(2e-3);
+        app.advance_by(0.01).unwrap();
+        let steps = app.steps_taken();
+        assert_eq!(steps, 5, "exactly duration/dt steps, no trailing sliver");
+    }
+
+    #[test]
+    fn restore_rejects_shape_mismatch() {
+        let build = |nv: usize| {
+            AppBuilder::new()
+                .conf_grid(&[0.0], &[1.0], &[2])
+                .poly_order(1)
+                .species(
+                    SpeciesSpec::new("e", -1.0, 1.0, &[-4.0], &[4.0], &[nv])
+                        .initial(|_x, v| maxwellian(1.0, &[0.0], 1.0, v)),
+                )
+                .field(FieldSpec::new(1.0))
+                .build()
+                .unwrap()
+        };
+        let donor = build(6);
+        let mut app = build(4);
+        let (_, state) = donor.into_parts();
+        assert!(matches!(app.restore(state, 0.5), Err(Error::Build(_))));
+        let twin = build(4);
+        let (_, state) = twin.into_parts();
+        app.restore(state, 0.5).unwrap();
+        assert_eq!(app.time(), 0.5);
     }
 
     #[test]

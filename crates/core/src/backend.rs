@@ -1,0 +1,108 @@
+//! Execution backends: one [`App`](crate::app::App) API over serial and
+//! rank-parallel drivers.
+//!
+//! The paper's scaling story (Fig. 3) rests on the same simulation
+//! declaration running unchanged across decompositions — in Gkeyll the
+//! LuaJIT App layer hides the backend entirely. [`Backend`] is the Rust
+//! analogue: the App owns a boxed backend and only ever asks it to step a
+//! [`SystemState`] by `dt`, suggest a CFL-stable `dt`, and expose the
+//! underlying [`VlasovMaxwell`] for diagnostics.
+//!
+//! **Dependency-inversion choice.** `dg-parallel` depends on `dg-core`
+//! (the parallel driver reuses the serial operators), so the trait pair
+//! lives *here* and each execution engine ships its own
+//! [`BackendFactory`]: [`Serial`] in this crate, `RankParallel` in
+//! `dg-parallel`. `AppBuilder::backend(...)` accepts any factory object,
+//! which is how the rank-parallel implementation plugs into an `App` that
+//! `dg-core` itself constructs — no registry, no generics leaking into
+//! `App`, and downstream crates can provide further engines (GPU, real
+//! MPI) without touching this crate.
+
+use crate::cfl::suggest_dt;
+use crate::error::Error;
+use crate::ssprk::SspRk3;
+use crate::system::{SystemState, VlasovMaxwell};
+
+/// An execution engine that can advance a [`SystemState`] in time.
+///
+/// Contract: for a given [`VlasovMaxwell`] system and state, `step` must
+/// produce the *same bits* as the serial SSP-RK3 sweep — backends are an
+/// implementation switch, never a physics switch (asserted in the
+/// `backend_equiv` integration test for the rank-parallel engine).
+pub trait Backend {
+    /// Advance `state` by one SSP-RK3 step of size `dt`.
+    fn step(&mut self, state: &mut SystemState, dt: f64);
+
+    /// CFL-stable `dt` suggestion for `state` (same bound for every
+    /// backend: the decomposition does not change the spectrum).
+    fn suggest_dt(&self, state: &SystemState, cfl: f64) -> f64 {
+        suggest_dt(self.system(), state, cfl)
+    }
+
+    /// The underlying system, for diagnostics and moments.
+    fn system(&self) -> &VlasovMaxwell;
+
+    /// Mutable system access (dispatch forcing, collision swaps).
+    fn system_mut(&mut self) -> &mut VlasovMaxwell;
+
+    /// Dissolve the backend and hand the system back (used by hand-wired
+    /// drivers and the nodal twin benches).
+    fn into_system(self: Box<Self>) -> VlasovMaxwell;
+
+    /// Short human-readable tag ("serial", "rank-parallel").
+    fn name(&self) -> &'static str;
+}
+
+/// Builds a [`Backend`] from an assembled system. Factories are plain
+/// value objects (`Serial`, `RankParallel { ranks, threads }`) handed to
+/// `AppBuilder::backend(...)`.
+pub trait BackendFactory {
+    /// Wrap `system` in a runnable backend.
+    fn make(&self, system: VlasovMaxwell) -> Result<Box<dyn Backend>, Error>;
+}
+
+/// The default backend: the single-threaded SSP-RK3 sweep.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Serial;
+
+impl BackendFactory for Serial {
+    fn make(&self, system: VlasovMaxwell) -> Result<Box<dyn Backend>, Error> {
+        Ok(Box::new(SerialBackend::new(system)))
+    }
+}
+
+/// Serial execution engine: owns the system plus the stepper's reusable
+/// stage buffers.
+pub struct SerialBackend {
+    system: VlasovMaxwell,
+    stepper: SspRk3,
+}
+
+impl SerialBackend {
+    pub fn new(system: VlasovMaxwell) -> Self {
+        let stepper = SspRk3::new(&system);
+        SerialBackend { system, stepper }
+    }
+}
+
+impl Backend for SerialBackend {
+    fn step(&mut self, state: &mut SystemState, dt: f64) {
+        self.stepper.step(&mut self.system, state, dt);
+    }
+
+    fn system(&self) -> &VlasovMaxwell {
+        &self.system
+    }
+
+    fn system_mut(&mut self) -> &mut VlasovMaxwell {
+        &mut self.system
+    }
+
+    fn into_system(self: Box<Self>) -> VlasovMaxwell {
+        self.system
+    }
+
+    fn name(&self) -> &'static str {
+        "serial"
+    }
+}

@@ -60,7 +60,7 @@ pub fn suggest_dt(system: &VlasovMaxwell, state: &SystemState, cfl: f64) -> f64 
         sum += fac * qm_max * a / grid.vel.dx()[j];
     }
     // Field solver.
-    if system.evolve_field {
+    if system.evolve_field() {
         let s = system.maxwell.params.max_speed();
         for d in 0..cdim {
             sum += fac * s / grid.conf.dx()[d];

@@ -1,0 +1,110 @@
+//! The `dg-core` error taxonomy.
+//!
+//! Every fallible public operation in this crate — declaration assembly,
+//! time stepping, the run driver, observers — reports through this one
+//! enum, so callers can match on failure kinds (a blow-up carries the
+//! simulation time and the offending species; an observer failure carries
+//! the observer's name) instead of parsing strings.
+
+use std::fmt;
+
+/// Error type for the dg-core public API.
+#[derive(Debug)]
+pub enum Error {
+    /// A simulation declaration could not be assembled into a runnable
+    /// [`App`](crate::app::App) (missing pieces, inconsistent grids,
+    /// unsupported configuration, failed initial-condition solve).
+    Build(String),
+    /// A non-finite or non-positive time step was requested.
+    InvalidDt(f64),
+    /// The solution lost finiteness. `species` names the offending
+    /// distribution function; `None` means the EM field.
+    BlowUp {
+        /// Simulation time at which non-finite values were detected.
+        time: f64,
+        /// Offending species, or `None` for the EM field.
+        species: Option<String>,
+    },
+    /// An IO failure (checkpoint, CSV series, slice output).
+    Io(std::io::Error),
+    /// An observer reported a failure during [`App::run`](crate::app::App::run).
+    Observer {
+        /// The observer's [`name`](crate::observer::Observer::name).
+        name: String,
+        /// What went wrong.
+        message: String,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Build(msg) => write!(f, "build error: {msg}"),
+            Error::InvalidDt(dt) => write!(f, "invalid time step dt = {dt}"),
+            Error::BlowUp {
+                time,
+                species: Some(name),
+            } => {
+                write!(f, "species {name:?} blew up (non-finite f) at t = {time}")
+            }
+            Error::BlowUp {
+                time,
+                species: None,
+            } => {
+                write!(
+                    f,
+                    "EM field blew up (non-finite coefficients) at t = {time}"
+                )
+            }
+            Error::Io(e) => write!(f, "io error: {e}"),
+            Error::Observer { name, message } => {
+                write!(f, "observer {name:?} failed: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_carries_context() {
+        let e = Error::BlowUp {
+            time: 1.5,
+            species: Some("elc".into()),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("elc") && msg.contains("1.5"), "{msg}");
+        assert!(Error::BlowUp {
+            time: 0.25,
+            species: None
+        }
+        .to_string()
+        .contains("EM field"));
+        assert!(Error::InvalidDt(f64::NAN).to_string().contains("NaN"));
+    }
+
+    #[test]
+    fn io_errors_convert_and_chain() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e: Error = io.into();
+        assert!(matches!(e, Error::Io(_)));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -17,17 +17,27 @@
 //!   operator (the paper's footnote 7: "roughly doubles the cost");
 //! * [`app`] — a builder-style front end mirroring Gkeyll's App system
 //!   (Fig. 4): declare a domain, species with initial conditions, and field
-//!   parameters; get a runnable simulation.
+//!   parameters; get a runnable simulation;
+//! * [`backend`] / [`observer`] / [`error`] — the run-driver layer: one
+//!   App API over serial and rank-parallel execution, trigger-scheduled
+//!   observers replacing hand-rolled sampling loops, and the typed error
+//!   taxonomy of every fallible public operation.
 
 pub mod app;
+pub mod backend;
 pub mod cfl;
 pub mod diagnostics;
+pub mod error;
 pub mod lbo;
 pub mod moments;
+pub mod observer;
 pub mod species;
 pub mod ssprk;
 pub mod system;
 pub mod vlasov;
 
+pub use backend::{Backend, BackendFactory, Serial};
+pub use error::Error;
+pub use observer::{observe, Frame, Observer, Trigger};
 pub use species::Species;
 pub use system::{FluxKind, SystemState, VlasovMaxwell};

@@ -1,0 +1,135 @@
+//! Trigger-scheduled observers for the run driver.
+//!
+//! Every paper experiment interleaves stepping with measurement — energy
+//! series each 0.05 ωₚ⁻¹, checkpoints every N steps, slices at the end.
+//! Instead of each example hand-rolling its own
+//! `while t < t_end { advance; sample; }` loop, an [`Observer`] declares
+//! *when* it wants to look ([`Trigger`]) and *what* it does with a
+//! read-only [`Frame`] of the simulation; `App::run` owns the loop,
+//! clamping steps so time-triggered observers sample at exactly their due
+//! times (the last step of a sampling interval lands on the boundary, as
+//! the old `advance_by` loops did).
+//!
+//! Scheduling semantics of [`App::run`](crate::app::App::run):
+//!
+//! * at run start, every `EveryTime`/`EverySteps` observer fires once
+//!   (recording the initial state of this run segment);
+//! * after each step, `EveryTime(dt)` observers fire whenever the clock
+//!   reaches their next multiple of `dt` (the driver clamps the step to
+//!   hit it exactly), and `EverySteps(n)` observers fire every `n`-th
+//!   step of the run;
+//! * at run end, `AtEnd` observers fire exactly once with
+//!   [`Frame::at_end`] set.
+//!
+//! Observers never mutate the state: a run with observers produces the
+//! bit-identical trajectory of the same run without them (given the same
+//! step sequence).
+
+use crate::diagnostics::{probe, ConservedQuantities};
+use crate::error::Error;
+use crate::system::{SystemState, VlasovMaxwell};
+
+/// When an [`Observer`] wants to be called.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Trigger {
+    /// Fire at every multiple of `dt` on the absolute simulation clock
+    /// (and once at run start) — segmented or resumed runs keep sampling
+    /// the same grid as an uninterrupted one.
+    EveryTime(f64),
+    /// Fire after every `n`-th step of the run (and at run start).
+    EverySteps(usize),
+    /// Fire exactly once, when the run reaches its end time.
+    AtEnd,
+}
+
+/// A read-only view of the simulation handed to observers.
+pub struct Frame<'a> {
+    /// The system (operators, species parameters, grids).
+    pub system: &'a VlasovMaxwell,
+    /// The dynamical state at this instant.
+    pub state: &'a SystemState,
+    /// Simulation time.
+    pub time: f64,
+    /// Total steps taken by the `App` (not just this run).
+    pub steps: usize,
+    /// True only for the final `AtEnd` firing of a run.
+    pub at_end: bool,
+}
+
+impl Frame<'_> {
+    /// EM field energy at this instant.
+    pub fn field_energy(&self) -> f64 {
+        self.system.field_energy(self.state)
+    }
+
+    /// Total particle kinetic energy at this instant.
+    pub fn particle_energy(&self) -> f64 {
+        self.system.particle_energy(self.state)
+    }
+
+    /// Full conserved-quantity probe at this instant.
+    pub fn conserved(&self) -> ConservedQuantities {
+        probe(self.system, self.state, self.time)
+    }
+}
+
+/// A scheduled hook over the run driver. Ready-made implementations live
+/// in `dg-diag` (`EnergyHistory`, `CsvSeries`, `Checkpoint`,
+/// `SliceSeries`); ad-hoc sampling uses the [`observe`] closure adapter.
+pub trait Observer {
+    /// When this observer fires.
+    fn trigger(&self) -> Trigger;
+
+    /// Look at the simulation. Errors abort the run (wrapped in
+    /// [`Error::Observer`] unless already a core error).
+    fn observe(&mut self, frame: &Frame<'_>) -> Result<(), Error>;
+
+    /// Name used in error reports.
+    fn name(&self) -> &str {
+        "observer"
+    }
+}
+
+/// Closure adapter: `observe(Trigger::EveryTime(0.05), |f| { ... Ok(()) })`.
+pub struct ObserverFn<F> {
+    trigger: Trigger,
+    name: String,
+    f: F,
+}
+
+impl<F> ObserverFn<F> {
+    /// Attach a name (used in error reports).
+    pub fn named(mut self, name: &str) -> Self {
+        self.name = name.to_string();
+        self
+    }
+}
+
+/// Build an [`Observer`] from a trigger and a closure.
+pub fn observe<F>(trigger: Trigger, f: F) -> ObserverFn<F>
+where
+    F: FnMut(&Frame<'_>) -> Result<(), Error>,
+{
+    ObserverFn {
+        trigger,
+        name: "closure".to_string(),
+        f,
+    }
+}
+
+impl<F> Observer for ObserverFn<F>
+where
+    F: FnMut(&Frame<'_>) -> Result<(), Error>,
+{
+    fn trigger(&self) -> Trigger {
+        self.trigger
+    }
+
+    fn observe(&mut self, frame: &Frame<'_>) -> Result<(), Error> {
+        (self.f)(frame)
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}

@@ -64,14 +64,14 @@ pub struct VlasovMaxwell {
     pub maxwell: MaxwellDg,
     pub species: Vec<Species>,
     /// Optional Dougherty-LBO collisions, per species (paper footnote 7).
-    pub collisions: Vec<Option<LboOp>>,
+    collisions: Vec<Option<LboOp>>,
     /// Evolve the EM field and couple currents (off = external fields only).
-    pub evolve_field: bool,
+    evolve_field: bool,
     /// Feed `χ_e ρ/ε₀` to the cleaning potential φ.
-    pub track_charge: bool,
+    track_charge: bool,
     /// Uniform neutralizing background charge density (subtracted from the
     /// cleaning source; e.g. immobile ions under a mobile electron species).
-    pub background_charge: f64,
+    background_charge: f64,
     scratch_j: DgField,
     scratch_rho: DgField,
     /// Moment-reduction scratch, persistent so steady-state RHS evaluation
@@ -122,6 +122,57 @@ impl VlasovMaxwell {
             self.vlasov.flux,
             dispatch,
         );
+    }
+
+    /// Install per-species collision operators (one slot per species, in
+    /// species order; `None` = collisionless).
+    ///
+    /// # Panics
+    ///
+    /// When `collisions.len()` differs from the species count.
+    pub fn set_collisions(&mut self, collisions: Vec<Option<LboOp>>) {
+        assert_eq!(
+            collisions.len(),
+            self.species.len(),
+            "one collision slot per species"
+        );
+        self.collisions = collisions;
+    }
+
+    /// Per-species collision operators (species order).
+    pub fn collisions(&self) -> &[Option<LboOp>] {
+        &self.collisions
+    }
+
+    /// Evolve the EM field and couple currents (off = external fields only).
+    pub fn set_evolve_field(&mut self, evolve: bool) {
+        self.evolve_field = evolve;
+    }
+
+    /// Whether the EM field is evolved and currents are coupled.
+    pub fn evolve_field(&self) -> bool {
+        self.evolve_field
+    }
+
+    /// Feed `χ_e ρ/ε₀` to the divergence-cleaning potential φ.
+    pub fn set_track_charge(&mut self, track: bool) {
+        self.track_charge = track;
+    }
+
+    /// Whether the charge density feeds the cleaning potential.
+    pub fn track_charge(&self) -> bool {
+        self.track_charge
+    }
+
+    /// Uniform neutralizing background charge density (subtracted from the
+    /// cleaning source; e.g. immobile ions under a mobile electron species).
+    pub fn set_background_charge(&mut self, rho: f64) {
+        self.background_charge = rho;
+    }
+
+    /// The neutralizing background charge density.
+    pub fn background_charge(&self) -> f64 {
+        self.background_charge
     }
 
     /// A zeroed state with this system's shape.

@@ -5,6 +5,7 @@
 //! heavyweight IO dependency (the ADIOS substitution is documented in
 //! DESIGN.md).
 
+use dg_core::observer::{Frame, Observer, Trigger};
 use std::fs::File;
 use std::io::{BufWriter, Write};
 use std::path::Path;
@@ -40,6 +41,74 @@ impl CsvWriter {
 
     pub fn finish(mut self) -> std::io::Result<()> {
         self.out.flush()
+    }
+}
+
+/// A trigger-scheduled CSV time-series writer for `App::run`: each firing
+/// appends one row produced by the caller's closure.
+///
+/// ```no_run
+/// # use dg_diag::csv::CsvSeries;
+/// # use dg_core::observer::Trigger;
+/// let mut series = CsvSeries::create(
+///     "field_energy.csv",
+///     Trigger::EveryTime(0.05),
+///     &["t", "field_energy"],
+///     |fr| vec![fr.time, fr.field_energy()],
+/// ).unwrap();
+/// // app.run(t_end, &mut [&mut series])?;
+/// ```
+///
+/// Rows stream through a buffered writer as the run progresses (flushed
+/// on drop or [`CsvSeries::finish`]) — no post-run dump step.
+pub struct CsvSeries<F> {
+    w: CsvWriter,
+    trigger: Trigger,
+    rows_written: usize,
+    row: F,
+}
+
+impl<F: FnMut(&Frame<'_>) -> Vec<f64>> CsvSeries<F> {
+    /// Open `path`, write the header, and schedule on `trigger`.
+    pub fn create(
+        path: impl AsRef<Path>,
+        trigger: Trigger,
+        header: &[&str],
+        row: F,
+    ) -> std::io::Result<Self> {
+        Ok(CsvSeries {
+            w: CsvWriter::create(path, header)?,
+            trigger,
+            rows_written: 0,
+            row,
+        })
+    }
+
+    /// Rows written so far (excluding the header).
+    pub fn rows_written(&self) -> usize {
+        self.rows_written
+    }
+
+    /// Flush and close.
+    pub fn finish(self) -> std::io::Result<()> {
+        self.w.finish()
+    }
+}
+
+impl<F: FnMut(&Frame<'_>) -> Vec<f64>> Observer for CsvSeries<F> {
+    fn trigger(&self) -> Trigger {
+        self.trigger
+    }
+
+    fn observe(&mut self, frame: &Frame<'_>) -> Result<(), dg_core::Error> {
+        let values = (self.row)(frame);
+        self.w.row(&values)?;
+        self.rows_written += 1;
+        Ok(())
+    }
+
+    fn name(&self) -> &str {
+        "csv-series"
     }
 }
 

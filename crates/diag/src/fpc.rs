@@ -87,9 +87,9 @@ mod tests {
         let nsteps = 40;
         for _ in 0..nsteps {
             // Midpoint-ish accumulation: sample before and after the step.
-            let (before, _) = joule_heating(&app.system, &app.state);
+            let (before, _) = joule_heating(app.system(), app.state());
             app.step().unwrap();
-            let (after, _) = joule_heating(&app.system, &app.state);
+            let (after, _) = joule_heating(app.system(), app.state());
             jdote_integral += 0.5 * (before + after) * dt;
         }
         let q1 = app.conserved();
@@ -185,10 +185,10 @@ mod fpc_velocity_tests {
             .build()
             .unwrap();
         app.advance_by(0.5).unwrap();
-        let (v, c) = fpc_velocity_profile(&app.system, &app.state, 0);
+        let (v, c) = fpc_velocity_profile(app.system(), app.state(), 0);
         assert_eq!(v.len(), 16);
         let total_from_profile: f64 = c.iter().sum();
-        let (total, _) = joule_heating(&app.system, &app.state);
+        let (total, _) = joule_heating(app.system(), app.state());
         assert!(
             (total_from_profile - total).abs() < 1e-12 * total.abs().max(1e-12),
             "velocity decomposition must sum to ∫J·E: {total_from_profile} vs {total}"

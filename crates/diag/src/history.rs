@@ -1,20 +1,50 @@
 //! Conserved-quantity and energy-partition time series.
 
 use dg_core::diagnostics::{probe, ConservedQuantities};
+use dg_core::observer::{Frame, Observer, Trigger};
 use dg_core::system::{SystemState, VlasovMaxwell};
 use std::path::Path;
 
 /// A growing record of [`ConservedQuantities`] samples — the
 /// kinetic→electromagnetic→thermal energy-conversion story of the paper's
 /// Fig. 5 is read off exactly this series.
-#[derive(Clone, Debug, Default)]
+///
+/// Implements [`Observer`]: hand it to `App::run` and it samples on its
+/// trigger (default: every step; [`EnergyHistory::every`] for a sampling
+/// interval in simulation time).
+#[derive(Clone, Debug)]
 pub struct EnergyHistory {
     pub samples: Vec<ConservedQuantities>,
+    trigger: Trigger,
+}
+
+impl Default for EnergyHistory {
+    fn default() -> Self {
+        EnergyHistory {
+            samples: Vec::new(),
+            trigger: Trigger::EverySteps(1),
+        }
+    }
 }
 
 impl EnergyHistory {
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// A history sampling every `dt` of simulation time when driven by
+    /// `App::run`.
+    pub fn every(dt: f64) -> Self {
+        EnergyHistory {
+            samples: Vec::new(),
+            trigger: Trigger::EveryTime(dt),
+        }
+    }
+
+    /// Override the observer trigger.
+    pub fn with_trigger(mut self, trigger: Trigger) -> Self {
+        self.trigger = trigger;
+        self
     }
 
     pub fn record(&mut self, system: &VlasovMaxwell, state: &SystemState, time: f64) {
@@ -77,6 +107,21 @@ impl EnergyHistory {
     }
 }
 
+impl Observer for EnergyHistory {
+    fn trigger(&self) -> Trigger {
+        self.trigger
+    }
+
+    fn observe(&mut self, frame: &Frame<'_>) -> Result<(), dg_core::Error> {
+        self.record(frame.system, frame.state, frame.time);
+        Ok(())
+    }
+
+    fn name(&self) -> &str {
+        "energy-history"
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -98,9 +143,9 @@ mod tests {
             .build()
             .unwrap();
         let mut h = EnergyHistory::new();
-        h.record(&app.system, &app.state, app.time());
+        h.record(app.system(), app.state(), app.time());
         app.advance_by(0.02).unwrap();
-        h.record(&app.system, &app.state, app.time());
+        h.record(app.system(), app.state(), app.time());
         assert_eq!(h.samples.len(), 2);
         assert!(h.mass_drift() < 1e-12);
         assert!(h.times()[1] > h.times()[0]);
@@ -110,5 +155,27 @@ mod tests {
         let p = dir.join("hist.csv");
         h.write_csv(&p).unwrap();
         assert_eq!(std::fs::read_to_string(&p).unwrap().lines().count(), 3);
+    }
+
+    #[test]
+    fn history_as_observer_samples_on_its_trigger() {
+        let mut app = AppBuilder::new()
+            .conf_grid(&[0.0], &[1.0], &[2])
+            .poly_order(1)
+            .basis(BasisKind::Serendipity)
+            .species(
+                SpeciesSpec::new("e", -1.0, 1.0, &[-5.0], &[5.0], &[6])
+                    .initial(|_x, v| maxwellian(1.0, &[0.0], 1.0, v)),
+            )
+            .field(FieldSpec::new(1.0))
+            .build()
+            .unwrap();
+        app.set_fixed_dt(2e-3);
+        let mut h = EnergyHistory::every(0.01);
+        app.run(0.03, &mut [&mut h]).unwrap();
+        // Initial sample + one per 0.01 boundary.
+        assert_eq!(h.samples.len(), 4, "times: {:?}", h.times());
+        assert!((h.times()[3] - 0.03).abs() < 1e-12);
+        assert!(h.mass_drift() < 1e-12);
     }
 }

@@ -15,7 +15,13 @@
 //! * [`fpc`] — the `∫ J·E dx` field–particle energy-transfer diagnostic
 //!   (paper Eq. 9) and its per-cell decomposition;
 //! * [`fit`] — exponential growth/damping-rate fits used to compare runs
-//!   against linear theory (Landau damping, two-stream, Weibel).
+//!   against linear theory (Landau damping, two-stream, Weibel);
+//! * [`util`] — the shared environment-override helpers every scalable
+//!   harness reads its problem size through.
+//!
+//! The series/snapshot/slice writers double as trigger-scheduled
+//! [`Observer`](dg_core::observer::Observer)s for the `App::run` driver:
+//! [`EnergyHistory`], [`CsvSeries`], [`Checkpoint`], [`SliceSeries`].
 //!
 //! [`SystemState`]: dg_core::system::SystemState
 
@@ -25,5 +31,10 @@ pub mod fpc;
 pub mod history;
 pub mod slices;
 pub mod snapshot;
+pub mod util;
 
+pub use csv::CsvSeries;
 pub use history::EnergyHistory;
+pub use slices::SliceSeries;
+pub use snapshot::Checkpoint;
+pub use util::{env_f64, env_usize};

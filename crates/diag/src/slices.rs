@@ -6,8 +6,10 @@
 //! cell centers of the fixed axes) and returns a dense grid ready for
 //! [`crate::csv::write_grid_csv`].
 
+use dg_core::observer::{Frame, Observer, Trigger};
 use dg_core::system::VlasovMaxwell;
 use dg_grid::DgField;
+use std::path::PathBuf;
 
 /// Which phase-space axis (global numbering: configuration dims first).
 pub type Axis = usize;
@@ -98,6 +100,97 @@ pub fn slice_2d(system: &VlasovMaxwell, f: &DgField, ax: Axis, ay: Axis, fixed: 
     Slice2d { xs, ys, values }
 }
 
+/// Trigger-scheduled 2D-slice writer for `App::run`: each firing samples
+/// one species on the `(ax, ay)` plane and writes a
+/// [`write_grid_csv`](crate::csv::write_grid_csv) grid to
+/// `outdir/stem_<label>.csv`, where the label is `t<time>` (or `final`
+/// for the `AtEnd` firing) — the Fig. 5 panel pipeline as an observer.
+pub struct SliceSeries {
+    outdir: PathBuf,
+    stem: String,
+    species: usize,
+    ax: Axis,
+    ay: Axis,
+    fixed: Vec<f64>,
+    labels: (String, String),
+    trigger: Trigger,
+    pub written: Vec<PathBuf>,
+}
+
+impl SliceSeries {
+    pub fn new(
+        outdir: impl Into<PathBuf>,
+        stem: &str,
+        species: usize,
+        ax: Axis,
+        ay: Axis,
+        fixed: &[f64],
+        trigger: Trigger,
+    ) -> Self {
+        SliceSeries {
+            outdir: outdir.into(),
+            stem: stem.to_string(),
+            species,
+            ax,
+            ay,
+            fixed: fixed.to_vec(),
+            labels: (format!("axis{ax}"), format!("axis{ay}")),
+            trigger,
+            written: Vec::new(),
+        }
+    }
+
+    /// Axis labels for the CSV header (default `axis<n>`).
+    pub fn labels(mut self, x: &str, y: &str) -> Self {
+        self.labels = (x.to_string(), y.to_string());
+        self
+    }
+}
+
+impl Observer for SliceSeries {
+    fn trigger(&self) -> Trigger {
+        self.trigger
+    }
+
+    fn observe(&mut self, frame: &Frame<'_>) -> Result<(), dg_core::Error> {
+        let s = slice_2d(
+            frame.system,
+            &frame.state.species_f[self.species],
+            self.ax,
+            self.ay,
+            &self.fixed,
+        );
+        let label = if frame.at_end {
+            "final".to_string()
+        } else {
+            format!("t{:.3}", frame.time)
+        };
+        let mut path = self.outdir.join(format!("{}_{label}.csv", self.stem));
+        if self.written.contains(&path) {
+            // Firings closer than the label resolution: disambiguate by
+            // step stamp instead of silently overwriting.
+            path = self
+                .outdir
+                .join(format!("{}_{label}_s{:06}.csv", self.stem, frame.steps));
+        }
+        std::fs::create_dir_all(&self.outdir)?;
+        crate::csv::write_grid_csv(
+            &path,
+            &self.labels.0,
+            &self.labels.1,
+            &s.xs,
+            &s.ys,
+            &s.values,
+        )?;
+        self.written.push(path);
+        Ok(())
+    }
+
+    fn name(&self) -> &str {
+        "slice-series"
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -119,7 +212,13 @@ mod tests {
             .build()
             .unwrap();
         // v_x–v_y slice at x = 0.5 (axis 0 fixed).
-        let s = slice_2d(&app.system, &app.state.species_f[0], 1, 2, &[0.5, 0.0, 0.0]);
+        let s = slice_2d(
+            app.system(),
+            &app.state().species_f[0],
+            1,
+            2,
+            &[0.5, 0.0, 0.0],
+        );
         assert_eq!(s.xs.len(), 8);
         assert_eq!(s.ys.len(), 8);
         // Peak near (1, −1).

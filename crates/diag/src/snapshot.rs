@@ -8,11 +8,12 @@
 //! function, so the format streams without intermediate copies.
 
 use bytes::{Buf, BufMut};
+use dg_core::observer::{Frame, Observer, Trigger};
 use dg_core::system::SystemState;
 use dg_grid::DgField;
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Read, Write};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 const MAGIC: u64 = 0x564C_4153_4F56_4447; // "VLASOVDG"
 const VERSION: u32 = 1;
@@ -99,6 +100,72 @@ pub fn save(path: impl AsRef<Path>, state: &SystemState, time: f64) -> std::io::
 
 pub fn load(path: impl AsRef<Path>) -> std::io::Result<(SystemState, f64)> {
     read_state(BufReader::new(File::open(path)?))
+}
+
+/// A checkpoint record: which step/time a file holds.
+#[derive(Clone, Debug)]
+pub struct CheckpointRecord {
+    pub steps: usize,
+    pub time: f64,
+    pub path: PathBuf,
+}
+
+/// Trigger-scheduled checkpoint observer for `App::run`: each firing
+/// writes the full state to `dir/stem_NNNNNN.vdg` (step-stamped, so a
+/// mid-run file survives later firings) and records it in
+/// [`Checkpoint::written`]. Restart with `snapshot::load` +
+/// `App::restore` reproduces the interrupted trajectory bit-for-bit
+/// (asserted in the restart integration test).
+pub struct Checkpoint {
+    dir: PathBuf,
+    stem: String,
+    trigger: Trigger,
+    pub written: Vec<CheckpointRecord>,
+}
+
+impl Checkpoint {
+    pub fn new(dir: impl Into<PathBuf>, stem: &str, trigger: Trigger) -> Self {
+        Checkpoint {
+            dir: dir.into(),
+            stem: stem.to_string(),
+            trigger,
+            written: Vec::new(),
+        }
+    }
+
+    /// The most recent checkpoint, if any.
+    pub fn last(&self) -> Option<&CheckpointRecord> {
+        self.written.last()
+    }
+
+    /// The checkpoint written at exactly `steps` total steps, if any.
+    pub fn at_steps(&self, steps: usize) -> Option<&CheckpointRecord> {
+        self.written.iter().find(|r| r.steps == steps)
+    }
+}
+
+impl Observer for Checkpoint {
+    fn trigger(&self) -> Trigger {
+        self.trigger
+    }
+
+    fn observe(&mut self, frame: &Frame<'_>) -> Result<(), dg_core::Error> {
+        std::fs::create_dir_all(&self.dir)?;
+        let path = self
+            .dir
+            .join(format!("{}_{:06}.vdg", self.stem, frame.steps));
+        save(&path, frame.state, frame.time)?;
+        self.written.push(CheckpointRecord {
+            steps: frame.steps,
+            time: frame.time,
+            path,
+        });
+        Ok(())
+    }
+
+    fn name(&self) -> &str {
+        "checkpoint"
+    }
 }
 
 #[cfg(test)]

@@ -60,7 +60,7 @@ impl NodalSystem {
                 &mut self.ws,
             );
         }
-        if self.inner.evolve_field {
+        if self.inner.evolve_field() {
             self.inner.maxwell.rhs(&state.em, &mut out.em);
             self.scratch_j.fill(0.0);
             self.scratch_rho.fill(0.0);
@@ -72,7 +72,7 @@ impl NodalSystem {
                     sp.charge,
                     &state.species_f[s],
                     &mut self.scratch_j,
-                    if self.inner.track_charge {
+                    if self.inner.track_charge() {
                         Some(&mut self.scratch_rho)
                     } else {
                         None
@@ -83,7 +83,7 @@ impl NodalSystem {
             }
             self.inner.maxwell.add_sources(
                 &self.scratch_j,
-                if self.inner.track_charge {
+                if self.inner.track_charge() {
                     Some(&self.scratch_rho)
                 } else {
                     None
@@ -143,9 +143,8 @@ mod tests {
         let mut app = two_stream_app(p);
         let dt = 1e-3;
         // Nodal twin of the same initial state.
-        let app2 = two_stream_app(p);
-        let mut nodal = NodalSystem::new(app2.system, alias_free_points(p));
-        let mut n_state = app2.state;
+        let (sys2, mut n_state) = two_stream_app(p).into_parts();
+        let mut nodal = NodalSystem::new(sys2, alias_free_points(p));
         let mut stage = nodal.inner.new_state();
         let mut rhs = nodal.inner.new_state();
 
@@ -154,7 +153,7 @@ mod tests {
             app.step().unwrap();
             nodal.step(&mut n_state, &mut stage, &mut rhs, dt);
         }
-        let fm = &app.state.species_f[0];
+        let fm = &app.state().species_f[0];
         let fn_ = &n_state.species_f[0];
         let scale = fm.max_abs();
         let mut diff: f64 = 0.0;
@@ -170,13 +169,12 @@ mod tests {
     #[test]
     fn aliased_system_diverges_from_exact() {
         let p = 2;
-        let app = two_stream_app(p);
         let dt = 2e-3;
-        let mut exact = NodalSystem::new(app.system, alias_free_points(p));
-        let mut e_state = app.state.clone();
-        let app2 = two_stream_app(p);
-        let mut alia = NodalSystem::new(app2.system, aliased_points(p));
-        let mut a_state = app2.state;
+        let (sys, e_state) = two_stream_app(p).into_parts();
+        let mut e_state = e_state;
+        let mut exact = NodalSystem::new(sys, alias_free_points(p));
+        let (sys2, mut a_state) = two_stream_app(p).into_parts();
+        let mut alia = NodalSystem::new(sys2, aliased_points(p));
 
         let mut stage = exact.inner.new_state();
         let mut rhs = exact.inner.new_state();

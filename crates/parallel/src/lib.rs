@@ -30,4 +30,4 @@ pub mod par_system;
 pub mod scaling;
 
 pub use decomp::RankDecomp;
-pub use par_system::ParVlasovMaxwell;
+pub use par_system::{ParVlasovMaxwell, RankParallel, RankParallelBackend};

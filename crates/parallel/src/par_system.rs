@@ -11,6 +11,8 @@
 //! rank applies its sending side in natural order.
 
 use crate::decomp::RankDecomp;
+use dg_core::backend::{Backend, BackendFactory};
+use dg_core::error::Error;
 use dg_core::moments::MomentScratch;
 use dg_core::ssprk::ssp_rk3_generic;
 use dg_core::system::{SystemState, VlasovMaxwell};
@@ -140,7 +142,7 @@ impl ParVlasovMaxwell {
         // Field + coupling. Moments are rank-parallel over disjoint
         // configuration slices (no all-reduce in velocity space — the
         // paper's point about the shared-memory layer).
-        if system.evolve_field {
+        if system.evolve_field() {
             system.maxwell.rhs(&state.em, &mut out.em);
             self.scratch_j.fill(0.0);
             self.scratch_rho.fill(0.0);
@@ -158,7 +160,11 @@ impl ParVlasovMaxwell {
                                 sp.charge,
                                 &state.species_f[s],
                                 jv,
-                                if system.track_charge { Some(rv) } else { None },
+                                if system.track_charge() {
+                                    Some(rv)
+                                } else {
+                                    None
+                                },
                                 range.clone(),
                                 &mut mws,
                             );
@@ -166,15 +172,15 @@ impl ParVlasovMaxwell {
                     });
                 }
             });
-            if system.track_charge && system.background_charge != 0.0 {
+            if system.track_charge() && system.background_charge() != 0.0 {
                 let c0 = dg_basis::expand::const_coeff(&system.kernels.conf_basis);
                 for c in 0..system.grid.conf.len() {
-                    self.scratch_rho.cell_mut(c)[0] -= system.background_charge * c0;
+                    self.scratch_rho.cell_mut(c)[0] -= system.background_charge() * c0;
                 }
             }
             system.maxwell.add_sources(
                 &self.scratch_j,
-                if system.track_charge {
+                if system.track_charge() {
                     Some(&self.scratch_rho)
                 } else {
                     None
@@ -198,6 +204,78 @@ impl ParVlasovMaxwell {
             // its arguments never alias `self`'s internals.
             unsafe { (*this).rhs(s, o) }
         });
+    }
+}
+
+/// Backend factory for the rank-parallel driver:
+/// `AppBuilder::backend(RankParallel { ranks: 4, threads: 2 })`.
+///
+/// This is `dg-parallel`'s half of the dependency inversion documented in
+/// `dg_core::backend`: the trait lives in `dg-core`, the rank-parallel
+/// engine registers itself by being handed to the builder as a plain
+/// value object. The produced trajectories are bit-identical to the
+/// [`dg_core::backend::Serial`] backend (asserted in the `backend_equiv`
+/// integration test), so backend choice is pure execution policy.
+#[derive(Clone, Copy, Debug)]
+pub struct RankParallel {
+    /// Simulated MPI ranks (units of decomposition).
+    pub ranks: usize,
+    /// OS threads executing them (units of execution; oversubscribe
+    /// freely).
+    pub threads: usize,
+}
+
+impl BackendFactory for RankParallel {
+    fn make(&self, system: VlasovMaxwell) -> Result<Box<dyn Backend>, Error> {
+        if self.ranks == 0 || self.threads == 0 {
+            return Err(Error::Build(format!(
+                "RankParallel needs ranks ≥ 1 and threads ≥ 1, got ranks={} threads={}",
+                self.ranks, self.threads
+            )));
+        }
+        Ok(Box::new(RankParallelBackend::new(ParVlasovMaxwell::new(
+            system,
+            self.ranks,
+            self.threads,
+        ))))
+    }
+}
+
+/// The rank-parallel execution engine: wraps [`ParVlasovMaxwell`] plus
+/// the SSP-RK3 stage buffers the hand-wired drivers used to carry around.
+pub struct RankParallelBackend {
+    par: ParVlasovMaxwell,
+    stage: SystemState,
+    rhs: SystemState,
+}
+
+impl RankParallelBackend {
+    pub fn new(par: ParVlasovMaxwell) -> Self {
+        let stage = par.system.new_state();
+        let rhs = par.system.new_state();
+        RankParallelBackend { par, stage, rhs }
+    }
+}
+
+impl Backend for RankParallelBackend {
+    fn step(&mut self, state: &mut SystemState, dt: f64) {
+        self.par.step(state, &mut self.stage, &mut self.rhs, dt);
+    }
+
+    fn system(&self) -> &VlasovMaxwell {
+        &self.par.system
+    }
+
+    fn system_mut(&mut self) -> &mut VlasovMaxwell {
+        &mut self.par.system
+    }
+
+    fn into_system(self: Box<Self>) -> VlasovMaxwell {
+        self.par.system
+    }
+
+    fn name(&self) -> &'static str {
+        "rank-parallel"
     }
 }
 
@@ -269,14 +347,13 @@ mod tests {
     #[test]
     fn parallel_rhs_is_bit_identical_to_serial() {
         for ranks in [1usize, 2, 3, 5] {
-            let mut app = make_app(7);
-            let mut serial_out = app.system.new_state();
-            let mut ws = VlasovWorkspace::for_kernels(&app.system.kernels);
-            let state = app.state.clone();
-            app.system.rhs(&state, &mut serial_out, &mut ws);
+            let (mut serial_sys, state) = make_app(7).into_parts();
+            let mut serial_out = serial_sys.new_state();
+            let mut ws = VlasovWorkspace::for_kernels(&serial_sys.kernels);
+            serial_sys.rhs(&state, &mut serial_out, &mut ws);
 
-            let app2 = make_app(7);
-            let mut par = ParVlasovMaxwell::new(app2.system, ranks, 2);
+            let (par_sys, _) = make_app(7).into_parts();
+            let mut par = ParVlasovMaxwell::new(par_sys, ranks, 2);
             let mut par_out = par.system.new_state();
             par.rhs(&state, &mut par_out);
 
@@ -297,9 +374,8 @@ mod tests {
     fn parallel_steps_track_serial_exactly() {
         let mut app = make_app(6);
         app.set_fixed_dt(5e-4);
-        let app2 = make_app(6);
-        let mut par = ParVlasovMaxwell::new(app2.system, 3, 2);
-        let mut p_state = app2.state;
+        let (par_sys, mut p_state) = make_app(6).into_parts();
+        let mut par = ParVlasovMaxwell::new(par_sys, 3, 2);
         let mut stage = par.system.new_state();
         let mut rhs = par.system.new_state();
         for _ in 0..5 {
@@ -307,19 +383,51 @@ mod tests {
             par.step(&mut p_state, &mut stage, &mut rhs, 5e-4);
         }
         assert_eq!(
-            app.state.species_f[0].as_slice(),
+            app.state().species_f[0].as_slice(),
             p_state.species_f[0].as_slice()
         );
-        assert_eq!(app.state.em.as_slice(), p_state.em.as_slice());
+        assert_eq!(app.state().em.as_slice(), p_state.em.as_slice());
     }
 
     #[test]
     fn more_ranks_than_slabs_degenerates_gracefully() {
-        let app = make_app(3);
-        let mut par = ParVlasovMaxwell::new(app.system, 8, 2);
-        let state = app.state.clone();
+        let (sys, state) = make_app(3).into_parts();
+        let mut par = ParVlasovMaxwell::new(sys, 8, 2);
         let mut out = par.system.new_state();
         par.rhs(&state, &mut out); // empty slabs must be harmless
         assert!(out.species_f[0].max_abs().is_finite());
+    }
+
+    #[test]
+    fn backend_factory_validates_and_steps() {
+        use dg_core::backend::BackendFactory;
+        let (sys, _) = make_app(4).into_parts();
+        assert!(matches!(
+            RankParallel {
+                ranks: 0,
+                threads: 2
+            }
+            .make(sys),
+            Err(Error::Build(_))
+        ));
+
+        // One step through the Backend trait matches the serial App step.
+        let mut serial = make_app(5);
+        serial.set_fixed_dt(5e-4);
+        serial.step().unwrap();
+
+        let (sys, mut state) = make_app(5).into_parts();
+        let mut backend = RankParallel {
+            ranks: 2,
+            threads: 2,
+        }
+        .make(sys)
+        .unwrap();
+        assert_eq!(backend.name(), "rank-parallel");
+        backend.step(&mut state, 5e-4);
+        assert_eq!(
+            serial.state().species_f[0].as_slice(),
+            state.species_f[0].as_slice()
+        );
     }
 }

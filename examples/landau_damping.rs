@@ -12,58 +12,90 @@
 //! ```text
 //! cargo run --release --example landau_damping
 //! ```
+//!
+//! CI smoke sizes via `LANDAU_NX`, `LANDAU_NV`, `LANDAU_TEND` (the
+//! rate-accuracy assertion only arms at publication scale).
 
 use vlasov_dg::core::species::maxwellian;
 use vlasov_dg::diag::fit::{envelope_peaks, growth_rate};
 use vlasov_dg::prelude::*;
+use vlasov_dg::util::{env_f64, env_usize};
 
-fn main() -> Result<(), String> {
+fn main() -> Result<(), Error> {
     let k = 0.5;
     let length = 2.0 * std::f64::consts::PI / k;
     let gamma_theory = -0.1533;
+    let nx = env_usize("LANDAU_NX", 24);
+    let nv = env_usize("LANDAU_NV", 32);
+    let t_end = env_f64("LANDAU_TEND", 20.0);
+    let full_fidelity = t_end >= 15.0 && nx >= 16 && nv >= 24;
 
     let mut app = AppBuilder::new()
-        .conf_grid(&[0.0], &[length], &[24])
+        .conf_grid(&[0.0], &[length], &[nx])
         .poly_order(2)
         .basis(BasisKind::Serendipity)
         .cfl(0.5)
         .species(
-            SpeciesSpec::new("elc", -1.0, 1.0, &[-6.0], &[6.0], &[32])
+            SpeciesSpec::new("elc", -1.0, 1.0, &[-6.0], &[6.0], &[nv])
                 .initial(move |x, v| maxwellian(1.0 + 1e-4 * (k * x[0]).cos(), &[0.0], 1.0, v)),
         )
         .field(FieldSpec::new(10.0).with_poisson_init())
         .build()?;
 
-    let mut times = Vec::new();
-    let mut energies = Vec::new();
-    let t_end = 20.0;
-    let sample_dt = 0.05;
-    while app.time() < t_end {
-        app.advance_by(sample_dt)?;
-        times.push(app.time());
-        energies.push(app.field_energy());
-    }
+    // One observer does it all: the history records the full conserved-
+    // quantity probe every 0.05 ωₚ⁻¹, and the envelope fit reads the
+    // field-energy series straight off it.
+    let mut history = EnergyHistory::every(0.05);
+    app.run(t_end, &mut [&mut history])?;
+    let times = history.times();
+    let energies = history.field_energy();
 
-    // Fit the envelope of the oscillating field energy.
+    // Fit the envelope of the oscillating field energy (needs at least two
+    // envelope peaks inside the fit window — shrunk smoke runs may not
+    // have them).
     let (peak_t, peak_e) = envelope_peaks(&times, &energies);
-    let gamma = growth_rate(&peak_t, &peak_e, 1.0, 18.0);
-    println!("Landau damping, k λ_D = 0.5, p=2 Serendipity, 24×32 cells");
-    println!("  fitted   γ/ω_p = {gamma:+.4}");
-    println!("  theory   γ/ω_p = {gamma_theory:+.4}");
-    println!(
-        "  relative error = {:.1}%",
-        100.0 * ((gamma - gamma_theory) / gamma_theory).abs()
-    );
+    let window = (1.0, 0.9 * t_end);
+    let usable_peaks = peak_t
+        .iter()
+        .filter(|&&t| t >= window.0 && t <= window.1)
+        .count();
+    let gamma = (usable_peaks >= 2).then(|| growth_rate(&peak_t, &peak_e, window.0, window.1));
+    println!("Landau damping, k λ_D = 0.5, p=2 Serendipity, {nx}×{nv} cells, t_end = {t_end}");
+    match gamma {
+        Some(g) => {
+            println!("  fitted   γ/ω_p = {g:+.4}");
+            println!("  theory   γ/ω_p = {gamma_theory:+.4}");
+            println!(
+                "  relative error = {:.1}%",
+                100.0 * ((g - gamma_theory) / gamma_theory).abs()
+            );
+        }
+        None => println!(
+            "  (too few envelope peaks in t ∈ [{}, {}] for a rate fit)",
+            window.0, window.1
+        ),
+    }
     let q = app.conserved();
-    println!("  mass drift     = {:.3e}", {
-        // single sample: report field/particle balance instead
+    println!("  mass drift     = {:.3e}", history.mass_drift());
+    println!(
+        "  field/particle energy ratio = {:.3e}",
         q.field_energy / q.particle_energy
-    });
+    );
 
     assert!(
-        (gamma - gamma_theory).abs() < 0.02,
-        "Landau damping rate off: {gamma} vs {gamma_theory}"
+        history.mass_drift() < 1e-10,
+        "mass must be conserved to round-off, drift {:.3e}",
+        history.mass_drift()
     );
+    if full_fidelity {
+        let gamma = gamma.expect("publication-scale run must yield an envelope fit");
+        assert!(
+            (gamma - gamma_theory).abs() < 0.02,
+            "Landau damping rate off: {gamma} vs {gamma_theory}"
+        );
+    } else {
+        println!("  (shrunk run: skipping the rate-accuracy assertion)");
+    }
     println!("landau_damping OK");
     Ok(())
 }

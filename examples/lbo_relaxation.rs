@@ -6,6 +6,7 @@
 //! moments stay near their initial values (the equivalent Maxwellian's
 //! parameters), and the L2 distance to that Maxwellian decays
 //! monotonically — the paper's footnote-7 collision capability in action.
+//! The per-frame report is a time-triggered observer over `app.run`.
 //!
 //! ```text
 //! cargo run --release --example lbo_relaxation
@@ -14,7 +15,7 @@
 use vlasov_dg::core::species::maxwellian;
 use vlasov_dg::prelude::*;
 
-fn main() -> Result<(), String> {
+fn main() -> Result<(), Error> {
     let nu = 1.0;
     let u_beam: f64 = 1.5;
     let vth_beam = 0.6;
@@ -37,7 +38,7 @@ fn main() -> Result<(), String> {
         .build()?;
 
     // Reference Maxwellian coefficients for the distance diagnostic.
-    let mut eq_app = AppBuilder::new()
+    let eq_app = AppBuilder::new()
         .conf_grid(&[0.0], &[1.0], &[2])
         .poly_order(2)
         .basis(BasisKind::Serendipity)
@@ -47,17 +48,8 @@ fn main() -> Result<(), String> {
         )
         .field(FieldSpec::new(1.0).frozen())
         .build()?;
-    let f_eq = eq_app.state.species_f.remove(0);
-
-    let distance = |app: &App| -> f64 {
-        app.state.species_f[0]
-            .as_slice()
-            .iter()
-            .zip(f_eq.as_slice())
-            .map(|(a, b)| (a - b) * (a - b))
-            .sum::<f64>()
-            .sqrt()
-    };
+    let (_, mut eq_state) = eq_app.into_parts();
+    let f_eq = eq_state.species_f.remove(0);
 
     let q0 = app.conserved();
     println!(
@@ -67,29 +59,36 @@ fn main() -> Result<(), String> {
         "{:>8} {:>16} {:>16} {:>16}",
         "t·ν", "‖f−f_eq‖", "density", "energy"
     );
-    let mut last = f64::INFINITY;
     app.set_fixed_dt(4e-4);
-    for frame in 0..=8 {
-        if frame > 0 {
-            app.advance_by(0.5)?;
-        }
-        let q = app.conserved();
-        let d = distance(&app);
-        println!(
-            "{:>8.2} {:>16.6e} {:>16.10} {:>16.8}",
-            app.time() * nu,
-            d,
-            q.numbers[0],
-            q.particle_energy
-        );
-        // Monotone decay until the discrete-equilibrium floor (the LDG
-        // equilibrium differs from the projected Maxwellian at the 1e-4
-        // level), where the distance may wiggle within the floor.
-        assert!(
-            d <= last * (1.0 + 1e-9) + 1e-3,
-            "relaxation must be monotone: {last} → {d}"
-        );
-        last = d;
+    let mut last = f64::INFINITY;
+    {
+        let mut monitor = observe(Trigger::EveryTime(0.5), |fr| {
+            let d = fr.state.species_f[0]
+                .as_slice()
+                .iter()
+                .zip(f_eq.as_slice())
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum::<f64>()
+                .sqrt();
+            let q = fr.conserved();
+            println!(
+                "{:>8.2} {:>16.6e} {:>16.10} {:>16.8}",
+                fr.time * nu,
+                d,
+                q.numbers[0],
+                q.particle_energy
+            );
+            // Monotone decay until the discrete-equilibrium floor (the LDG
+            // equilibrium differs from the projected Maxwellian at the 1e-4
+            // level), where the distance may wiggle within the floor.
+            assert!(
+                d <= last * (1.0 + 1e-9) + 1e-3,
+                "relaxation must be monotone: {last} → {d}"
+            );
+            last = d;
+            Ok(())
+        });
+        app.run(4.0, &mut [&mut monitor])?;
     }
     let q1 = app.conserved();
     println!(

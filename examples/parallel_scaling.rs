@@ -1,24 +1,72 @@
 //! Mini weak/strong scaling demo (the Fig. 3 harness at example scale).
 //!
-//! Runs the paper's 3X3V p=1 two-species problem family at container-sized
-//! grids over 1, 2 and 4 simulated ranks and prints the per-step timings
-//! and halo volumes. On a single-CPU container the point is the
-//! decomposition *machinery* (bit-identical to serial — see the
-//! `parallel_equiv` test); on a multicore host the same binary produces
-//! real speedups.
+//! First drives the *same* App declaration through both execution
+//! backends — `Serial` and `RankParallel` — via the public builder, and
+//! checks the trajectories match bit-for-bit (backend choice is pure
+//! execution policy). Then runs the paper's 3X3V p=1 two-species problem
+//! family at container-sized grids over 1, 2 and 4 simulated ranks and
+//! prints the per-step timings and halo volumes. On a single-CPU
+//! container the point is the decomposition *machinery*; on a multicore
+//! host the same binary produces real speedups.
 //!
 //! ```text
-//! cargo run --release --example parallel_scaling
+//! PS_RANKS=4 cargo run --release --example parallel_scaling
 //! ```
 
+use std::time::Instant;
+use vlasov_dg::core::species::maxwellian;
 use vlasov_dg::parallel::scaling::{strong_scaling_series, weak_scaling_series};
+use vlasov_dg::prelude::*;
+use vlasov_dg::util::env_usize;
 
-fn main() {
+/// One small 1X2V declaration, parameterized only by its backend.
+fn build_demo(backend: Option<RankParallel>) -> Result<App, Error> {
+    let k = 0.5;
+    let mut b = AppBuilder::new()
+        .conf_grid(&[0.0], &[2.0 * std::f64::consts::PI / k], &[12])
+        .poly_order(1)
+        .basis(BasisKind::Serendipity)
+        .species(
+            SpeciesSpec::new("elc", -1.0, 1.0, &[-6.0, -6.0], &[6.0, 6.0], &[6, 6]).initial(
+                move |x, v| maxwellian(1.0 + 0.08 * (k * x[0]).cos(), &[0.3, -0.2], 1.0, v),
+            ),
+        )
+        .field(FieldSpec::new(2.0).with_poisson_init().cleaning(1.0, 1.0));
+    if let Some(factory) = backend {
+        b = b.backend(factory);
+    }
+    b.build()
+}
+
+fn main() -> Result<(), Error> {
     let threads = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
+    let ranks = env_usize("PS_RANKS", 4);
     println!("host threads: {threads}");
 
+    // --- backend demo: one declaration, two engines, identical bits ---
+    let t_demo = 0.05;
+    let mut serial = build_demo(None)?;
+    let t0 = Instant::now();
+    serial.run(t_demo, &mut [])?;
+    let serial_s = t0.elapsed().as_secs_f64();
+
+    let mut par = build_demo(Some(RankParallel { ranks, threads }))?;
+    let t0 = Instant::now();
+    par.run(t_demo, &mut [])?;
+    let par_s = t0.elapsed().as_secs_f64();
+
+    let identical = serial.state().species_f[0].as_slice() == par.state().species_f[0].as_slice()
+        && serial.state().em.as_slice() == par.state().em.as_slice();
+    println!(
+        "\nbackend demo (t = {t_demo}, {} steps): serial {serial_s:.3}s vs {} x{ranks} {par_s:.3}s, bit-identical: {identical}",
+        serial.steps_taken(),
+        par.backend_name(),
+    );
+    assert!(identical, "backends must agree bit-for-bit");
+
+    // --- Fig. 3 style series through the hand-wired harness ---
     println!("\nweak scaling (3X3V p=1, per-rank conf block 2x4x4, vel 4^3):");
     println!(
         "{:>6} {:>12} {:>14} {:>14}",
@@ -55,4 +103,5 @@ fn main() {
         );
     }
     println!("\nparallel_scaling OK");
+    Ok(())
 }

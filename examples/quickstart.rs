@@ -2,8 +2,8 @@
 //!
 //! Builds the smallest meaningful Vlasov–Maxwell simulation — one electron
 //! species with a sinusoidal density perturbation over a neutralizing ion
-//! background — advances it for a few plasma periods, and prints the
-//! conserved-quantity report. Run with:
+//! background — drives it through `app.run` with an energy-history
+//! observer, and prints the conserved-quantity report. Run with:
 //!
 //! ```text
 //! cargo run --release --example quickstart
@@ -12,7 +12,7 @@
 use vlasov_dg::core::species::maxwellian;
 use vlasov_dg::prelude::*;
 
-fn main() -> Result<(), String> {
+fn main() -> Result<(), Error> {
     let k = 0.5; // k λ_D for vth = 1
     let length = 2.0 * std::f64::consts::PI / k;
 
@@ -29,17 +29,14 @@ fn main() -> Result<(), String> {
         .build()?;
 
     let q0 = app.conserved();
-    println!("t = 0");
+    println!("t = 0  [backend: {}]", app.backend_name());
     println!("  particles      : {:.12}", q0.numbers[0]);
     println!("  kinetic energy : {:.12}", q0.particle_energy);
     println!("  field energy   : {:.6e}", q0.field_energy);
 
-    let mut history = EnergyHistory::new();
-    history.record(&app.system, &app.state, app.time());
-    for _ in 0..10 {
-        app.advance_by(0.5)?;
-        history.record(&app.system, &app.state, app.time());
-    }
+    // The run driver samples the conserved quantities every 0.5 ωₚ⁻¹.
+    let mut history = EnergyHistory::every(0.5);
+    app.run(5.0, &mut [&mut history])?;
 
     let q1 = app.conserved();
     println!("t = {:.2} ({} steps)", app.time(), app.steps_taken());

@@ -17,7 +17,7 @@ use vlasov_dg::core::species::maxwellian;
 use vlasov_dg::diag::fit::growth_rate;
 use vlasov_dg::prelude::*;
 
-fn main() -> Result<(), String> {
+fn main() -> Result<(), Error> {
     let u = 3.0;
     let gamma_theory = 1.0 / (8.0f64).sqrt();
     let k = (3.0f64 / 8.0).sqrt() / u; // fastest-growing mode
@@ -41,10 +41,13 @@ fn main() -> Result<(), String> {
     let mut times = Vec::new();
     let mut energies = Vec::new();
     let t_end = 25.0;
-    while app.time() < t_end {
-        app.advance_by(0.25)?;
-        times.push(app.time());
-        energies.push(app.field_energy());
+    {
+        let mut sampler = observe(Trigger::EveryTime(0.25), |fr| {
+            times.push(fr.time);
+            energies.push(fr.field_energy());
+            Ok(())
+        });
+        app.run(t_end, &mut [&mut sampler])?;
     }
 
     // Linear phase: once the field has grown clear of the initial

@@ -44,12 +44,12 @@ fn langmuir_app(p: usize, vlasov_flux: FluxKind, mx_flux: MaxwellFlux) -> App {
 
 fn run_and_record(app: &mut App, dt: f64, steps: usize) -> EnergyHistory {
     app.set_fixed_dt(dt);
+    // Sample every step through the run driver (the EverySteps(1) default
+    // also fires once at run start, matching the old record-then-step
+    // loop).
     let mut h = EnergyHistory::new();
-    h.record(&app.system, &app.state, app.time());
-    for _ in 0..steps {
-        app.step().unwrap();
-        h.record(&app.system, &app.state, app.time());
-    }
+    app.run(app.time() + steps as f64 * dt, &mut [&mut h])
+        .unwrap();
     h
 }
 
@@ -67,7 +67,7 @@ fn forced_generated_dispatch_conserves_mass_and_matches_runtime() {
         KernelDispatch::Generated,
     );
     assert_eq!(
-        app_gen.system.vlasov.dispatch_path(),
+        app_gen.system().vlasov.dispatch_path(),
         DispatchPath::Generated
     );
     let h = run_and_record(&mut app_gen, 2e-3, 100);
@@ -84,12 +84,12 @@ fn forced_generated_dispatch_conserves_mass_and_matches_runtime() {
         KernelDispatch::RuntimeSparse,
     );
     assert_eq!(
-        app_rt.system.vlasov.dispatch_path(),
+        app_rt.system().vlasov.dispatch_path(),
         DispatchPath::RuntimeSparse
     );
     run_and_record(&mut app_rt, 2e-3, 100);
 
-    let (fg, fr) = (&app_gen.state.species_f[0], &app_rt.state.species_f[0]);
+    let (fg, fr) = (&app_gen.state().species_f[0], &app_rt.state().species_f[0]);
     let scale = fr.max_abs().max(1.0);
     for c in 0..fr.ncells() {
         for (a, b) in fg.cell(c).iter().zip(fr.cell(c)) {

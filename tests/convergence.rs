@@ -32,17 +32,13 @@ fn advection_error(p: usize, n: usize, t_end: f64) -> f64 {
         .unwrap();
     // Keep temporal error subdominant.
     app.set_fixed_dt(2e-3 * (8.0 / n as f64));
-    while app.time() < t_end - 1e-12 {
-        let remaining = t_end - app.time();
-        let dt = remaining.min(2e-3 * (8.0 / n as f64));
-        app.step_dt(dt).unwrap();
-    }
+    app.advance_by(t_end).unwrap();
 
     // Cell-wise Gauss quadrature of (f_h − f_exact)².
-    let sys = &app.system;
+    let sys = app.system();
     let grid = &sys.grid;
     let basis = &sys.kernels.phase_basis;
-    let f = &app.state.species_f[0];
+    let f = &app.state().species_f[0];
     let mut err2 = 0.0;
     let jac = 0.5 * grid.conf.dx()[0] * 0.5 * grid.vel.dx()[0];
     let mut xi = [0.0; 2];

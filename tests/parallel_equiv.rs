@@ -40,9 +40,8 @@ fn trajectories_match_bitwise_for_all_rank_counts() {
     }
 
     for ranks in [2usize, 3, 4, 9] {
-        let app = make_app(9);
-        let mut par = ParVlasovMaxwell::new(app.system, ranks, 2);
-        let mut state = app.state;
+        let (sys, mut state) = make_app(9).into_parts();
+        let mut par = ParVlasovMaxwell::new(sys, ranks, 2);
         let mut stage = par.system.new_state();
         let mut rhs = par.system.new_state();
         for _ in 0..steps {
@@ -50,13 +49,13 @@ fn trajectories_match_bitwise_for_all_rank_counts() {
         }
         for s in 0..2 {
             assert_eq!(
-                serial.state.species_f[s].as_slice(),
+                serial.state().species_f[s].as_slice(),
                 state.species_f[s].as_slice(),
                 "ranks={ranks}, species {s}: trajectory diverged"
             );
         }
         assert_eq!(
-            serial.state.em.as_slice(),
+            serial.state().em.as_slice(),
             state.em.as_slice(),
             "ranks={ranks}: EM trajectory diverged"
         );
@@ -72,16 +71,15 @@ fn decomposition_survives_awkward_grid_sizes() {
     for _ in 0..3 {
         serial.step().unwrap();
     }
-    let app = make_app(7);
-    let mut par = ParVlasovMaxwell::new(app.system, 5, 3);
-    let mut state = app.state;
+    let (sys, mut state) = make_app(7).into_parts();
+    let mut par = ParVlasovMaxwell::new(sys, 5, 3);
     let mut stage = par.system.new_state();
     let mut rhs = par.system.new_state();
     for _ in 0..3 {
         par.step(&mut state, &mut stage, &mut rhs, dt);
     }
     assert_eq!(
-        serial.state.species_f[0].as_slice(),
+        serial.state().species_f[0].as_slice(),
         state.species_f[0].as_slice()
     );
 }

@@ -3,9 +3,25 @@
 //! publication-quality versions).
 
 use vlasov_dg::basis::BasisKind;
-use vlasov_dg::core::app::{AppBuilder, FieldSpec, SpeciesSpec};
+use vlasov_dg::core::app::{App, AppBuilder, FieldSpec, SpeciesSpec};
+use vlasov_dg::core::observer::{observe, Trigger};
 use vlasov_dg::core::species::maxwellian;
 use vlasov_dg::diag::fit::{envelope_peaks, growth_rate};
+
+/// Drive `app` to `t_end` sampling the field energy every `sample_dt`
+/// (the run-driver replacement for the old advance-and-sample loops).
+fn sample_field_energy(app: &mut App, t_end: f64, sample_dt: f64) -> (Vec<f64>, Vec<f64>) {
+    let mut times = Vec::new();
+    let mut energies = Vec::new();
+    let mut sampler = observe(Trigger::EveryTime(sample_dt), |fr| {
+        times.push(fr.time);
+        energies.push(fr.field_energy());
+        Ok(())
+    });
+    app.run(t_end, &mut [&mut sampler]).unwrap();
+    drop(sampler);
+    (times, energies)
+}
 
 #[test]
 fn landau_damping_rate_is_negative_and_near_theory() {
@@ -23,13 +39,7 @@ fn landau_damping_rate_is_negative_and_near_theory() {
         .build()
         .unwrap();
 
-    let mut times = Vec::new();
-    let mut energies = Vec::new();
-    while app.time() < 12.0 {
-        app.advance_by(0.05).unwrap();
-        times.push(app.time());
-        energies.push(app.field_energy());
-    }
+    let (times, energies) = sample_field_energy(&mut app, 12.0, 0.05);
     let (pt, pe) = envelope_peaks(&times, &energies);
     let gamma = growth_rate(&pt, &pe, 0.5, 11.0);
     // Theory: γ ≈ −0.153 at kλ_D = 0.5. Coarse grid ⇒ ±30% tolerance.
@@ -57,13 +67,7 @@ fn two_stream_grows_at_the_cold_beam_rate() {
         .field(FieldSpec::new(8.0).with_poisson_init())
         .build()
         .unwrap();
-    let mut times = Vec::new();
-    let mut energies = Vec::new();
-    while app.time() < 16.0 {
-        app.advance_by(0.25).unwrap();
-        times.push(app.time());
-        energies.push(app.field_energy());
-    }
+    let (times, energies) = sample_field_energy(&mut app, 16.0, 0.25);
     let gamma = growth_rate(&times, &energies, 5.0, 14.0);
     let theory = 1.0 / (8.0f64).sqrt();
     assert!(
@@ -90,13 +94,7 @@ fn langmuir_oscillation_frequency_is_plasma_frequency() {
         .field(FieldSpec::new(8.0).with_poisson_init())
         .build()
         .unwrap();
-    let mut times = Vec::new();
-    let mut energies = Vec::new();
-    while app.time() < 10.0 {
-        app.advance_by(0.02).unwrap();
-        times.push(app.time());
-        energies.push(app.field_energy());
-    }
+    let (times, energies) = sample_field_energy(&mut app, 10.0, 0.02);
     let (pt, _) = envelope_peaks(&times, &energies);
     assert!(pt.len() >= 2, "need at least two energy peaks");
     // Energy peaks are half a wave period apart: Δt ≈ π/ω.
@@ -137,10 +135,7 @@ fn cyclotron_rotation_in_uniform_magnetic_field() {
 
     let quarter = 0.5 * std::f64::consts::PI / omega_c;
     app.set_fixed_dt(5e-4);
-    while app.time() < quarter {
-        let dt = (quarter - app.time()).min(5e-4);
-        app.step_dt(dt).unwrap();
-    }
+    app.advance_by(quarter).unwrap();
     let q = app.conserved();
     // After a quarter gyration the initial u = (1, 0) must become (0, ∓1);
     // with q = −1, du_y/dt = (q/m)(−u_x B_z) < 0 … sign check via both

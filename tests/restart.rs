@@ -1,11 +1,16 @@
 //! Checkpoint/restart: the ADIOS-substitution IO path must reproduce the
 //! interrupted trajectory bit-for-bit (a production requirement the paper's
 //! §IV discusses for terabyte-scale distribution functions).
+//!
+//! The checkpoint is produced *by the run driver* — a trigger-scheduled
+//! `Checkpoint` observer — and restored through the public
+//! `App::restore`, so this also asserts that observers never perturb the
+//! trajectory.
 
-use vlasov_dg::basis::BasisKind;
-use vlasov_dg::core::app::{App, AppBuilder, FieldSpec, SpeciesSpec};
+use vlasov_dg::core::app::App;
 use vlasov_dg::core::species::maxwellian;
 use vlasov_dg::diag::snapshot;
+use vlasov_dg::prelude::*;
 
 fn make_app() -> App {
     let k = 0.5;
@@ -27,42 +32,63 @@ fn make_app() -> App {
 fn restart_reproduces_trajectory_bitwise() {
     let dir = std::env::temp_dir().join("vlasov_dg_restart_test");
     std::fs::create_dir_all(&dir).unwrap();
-    let ckpt = dir.join("mid.vdg");
     let dt = 1e-3;
+    let t_end = 20.0 * dt;
 
-    // Reference: 20 uninterrupted steps.
+    // Reference: one uninterrupted run, no observers.
     let mut reference = make_app();
     reference.set_fixed_dt(dt);
-    for _ in 0..20 {
-        reference.step().unwrap();
-    }
+    reference.run(t_end, &mut []).unwrap();
+    assert_eq!(reference.steps_taken(), 20);
 
-    // Interrupted: 10 steps, checkpoint, fresh App, restore, 10 more.
+    // Interrupted twin: same run with a mid-run checkpoint observer
+    // firing every 10 steps (so at steps 0, 10, 20).
     let mut first = make_app();
     first.set_fixed_dt(dt);
-    for _ in 0..10 {
-        first.step().unwrap();
-    }
-    snapshot::save(&ckpt, &first.state, first.time()).unwrap();
-    drop(first);
+    let mut ckpt = Checkpoint::new(&dir, "mid", Trigger::EverySteps(10));
+    first.run(t_end, &mut [&mut ckpt]).unwrap();
 
+    // Observers must not perturb the trajectory.
+    assert_eq!(
+        reference.state().species_f[0].as_slice(),
+        first.state().species_f[0].as_slice(),
+        "checkpoint observer changed the trajectory"
+    );
+
+    // Resume from the step-10 checkpoint and finish the run — with its
+    // own checkpoint observer, step counter re-aligned so the resumed
+    // run's stamps continue the interrupted sequence instead of
+    // overwriting the t = 0 file.
+    let record = ckpt.at_steps(10).expect("mid-run checkpoint written");
+    assert!((record.time - 10.0 * dt).abs() < 1e-14);
+    let final_ckpt_bytes =
+        std::fs::read(&ckpt.at_steps(20).expect("end checkpoint written").path).unwrap();
+    let (state, time) = snapshot::load(&record.path).unwrap();
     let mut resumed = make_app();
-    let (state, time) = snapshot::load(&ckpt).unwrap();
-    resumed.state = state;
-    assert!((time - 10.0 * dt).abs() < 1e-14);
+    resumed.restore(state, time).unwrap();
+    resumed.set_steps_taken(record.steps);
+    assert_eq!(resumed.time(), record.time, "clock restored bit-exactly");
     resumed.set_fixed_dt(dt);
-    for _ in 0..10 {
-        resumed.step().unwrap();
-    }
+    let mut ckpt2 = Checkpoint::new(&dir, "mid", Trigger::EverySteps(10));
+    resumed.run(t_end, &mut [&mut ckpt2]).unwrap();
+    // The resumed run stamped steps 10 (its start) and 20 — never 0 —
+    // and its final checkpoint is byte-identical to the uninterrupted
+    // run's.
+    assert!(ckpt2.at_steps(0).is_none());
+    let resumed_final = ckpt2.at_steps(20).expect("resumed end checkpoint");
+    assert_eq!(
+        std::fs::read(&resumed_final.path).unwrap(),
+        final_ckpt_bytes
+    );
 
     assert_eq!(
-        reference.state.species_f[0].as_slice(),
-        resumed.state.species_f[0].as_slice(),
+        reference.state().species_f[0].as_slice(),
+        resumed.state().species_f[0].as_slice(),
         "distribution function must match bit-for-bit after restart"
     );
     assert_eq!(
-        reference.state.em.as_slice(),
-        resumed.state.em.as_slice(),
+        reference.state().em.as_slice(),
+        resumed.state().em.as_slice(),
         "EM field must match bit-for-bit after restart"
     );
 }
@@ -71,15 +97,15 @@ fn restart_reproduces_trajectory_bitwise() {
 fn snapshot_size_matches_state_size() {
     let app = make_app();
     let mut buf = Vec::new();
-    snapshot::write_state(&app.state, 0.0, &mut buf).unwrap();
+    snapshot::write_state(app.state(), 0.0, &mut buf).unwrap();
     let doubles: usize = app
-        .state
+        .state()
         .species_f
         .iter()
         .map(|f| f.as_slice().len())
         .sum::<usize>()
-        + app.state.em.as_slice().len();
+        + app.state().em.as_slice().len();
     // Header (24 B) + per-field metadata (16 B each) + payload.
-    let expected = 24 + 16 * (app.state.species_f.len() + 1) + 8 * doubles;
+    let expected = 24 + 16 * (app.state().species_f.len() + 1) + 8 * doubles;
     assert_eq!(buf.len(), expected);
 }
