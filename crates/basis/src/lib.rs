@@ -29,6 +29,7 @@ pub mod expand;
 pub mod face;
 pub mod family;
 pub mod multi_index;
+pub mod parity;
 pub mod project;
 
 pub use basis::Basis;

@@ -1,0 +1,83 @@
+//! Reflection parities of modal basis functions.
+//!
+//! Every mode of the modal families is a product of 1D Legendre
+//! polynomials, and `P̃_k(−ξ) = (−1)^k P̃_k(ξ)`, so reflecting any subset of
+//! reference coordinates maps each mode to **itself** up to a sign — the
+//! admissible exponent sets are closed under parity. This is what makes
+//! ghost-state synthesis for mirror-type boundary conditions a pure
+//! sign-flip on the coefficient vector (no re-projection, no quadrature):
+//!
+//! * an *even* (copy/open) ghost mirrors the cell in the wall-normal
+//!   reference coordinate (`dims = [d]`), making the ghost trace equal to
+//!   the interior trace;
+//! * a *specular-reflection* ghost additionally negates the paired
+//!   velocity coordinate (`dims = [d, cdim + d]`) — the velocity-parity
+//!   map of the face basis used by `Bc::Reflect`;
+//! * a perfectly-conducting-wall EM ghost combines the spatial mirror with
+//!   per-component sign flips (tangential **E** and normal **B** odd).
+
+use crate::basis::Basis;
+
+/// Sign of each basis mode under the reflection `ξ_d → −ξ_d` for every `d`
+/// in `dims`: `signs[l] = (−1)^{Σ_d e_l[d]}`.
+///
+/// Reflecting an expansion is `g_l = signs[l] · f_l`; the table is an
+/// involution (`signs[l]² = 1`) and leaves mode 0 — and hence the cell
+/// mean — untouched.
+pub fn reflection_signs(basis: &Basis, dims: &[usize]) -> Vec<f64> {
+    (0..basis.len())
+        .map(|l| {
+            let e = basis.exps(l);
+            let odd: u32 = dims.iter().map(|&d| u32::from(e[d] % 2 == 1)).sum();
+            if odd.is_multiple_of(2) {
+                1.0
+            } else {
+                -1.0
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::family::BasisKind;
+
+    #[test]
+    fn signs_match_pointwise_reflection() {
+        for &kind in &[
+            BasisKind::MaximalOrder,
+            BasisKind::Serendipity,
+            BasisKind::Tensor,
+        ] {
+            let b = Basis::new(kind, 3, 2);
+            for dims in [vec![0], vec![2], vec![0, 1], vec![0, 1, 2]] {
+                let signs = reflection_signs(&b, &dims);
+                let coeffs: Vec<f64> = (0..b.len()).map(|i| (i as f64 * 0.7).sin()).collect();
+                let reflected: Vec<f64> = coeffs.iter().zip(&signs).map(|(c, s)| c * s).collect();
+                for &pt in &[[0.3, -0.5, 0.8], [-0.9, 0.1, 0.2]] {
+                    let mut mirrored = pt;
+                    for &d in &dims {
+                        mirrored[d] = -mirrored[d];
+                    }
+                    let direct = b.eval_expansion(&coeffs, &mirrored);
+                    let via_signs = b.eval_expansion(&reflected, &pt);
+                    assert!(
+                        (direct - via_signs).abs() < 1e-13,
+                        "{kind:?} dims {dims:?}: {direct} vs {via_signs}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reflection_is_an_involution_and_fixes_the_mean() {
+        let b = Basis::new(BasisKind::Serendipity, 4, 2);
+        let signs = reflection_signs(&b, &[1, 3]);
+        assert_eq!(signs[0], 1.0, "mode 0 is parity-even");
+        for s in &signs {
+            assert_eq!(s * s, 1.0);
+        }
+    }
+}

@@ -27,9 +27,9 @@ use crate::error::Error;
 use crate::lbo::LboOp;
 use crate::observer::{Frame, Observer, Trigger};
 use crate::species::Species;
-use crate::system::{FluxKind, SystemState, VlasovMaxwell};
+use crate::system::{validate_conf_bcs, FluxKind, SystemState, VlasovMaxwell};
 use dg_basis::{project, Basis, BasisKind};
-use dg_grid::{Bc, CartGrid, DgField, PhaseGrid};
+use dg_grid::{Bc, CartGrid, DgField, DimBc, PhaseGrid};
 use dg_kernels::{kernels_for, KernelDispatch, PhaseLayout};
 use dg_maxwell::flux::PhmParams;
 use dg_maxwell::{MaxwellDg, MaxwellFlux};
@@ -49,6 +49,8 @@ pub struct SpeciesSpec {
     vcells: Vec<usize>,
     init: Option<DistFn>,
     collision_nu: Option<f64>,
+    conf_bc: Option<Vec<DimBc>>,
+    vel_bc: Option<Vec<DimBc>>,
 }
 
 impl SpeciesSpec {
@@ -69,6 +71,8 @@ impl SpeciesSpec {
             vcells: vcells.to_vec(),
             init: None,
             collision_nu: None,
+            conf_bc: None,
+            vel_bc: None,
         }
     }
 
@@ -81,6 +85,24 @@ impl SpeciesSpec {
     /// Enable Dougherty-LBO self collisions with frequency ν.
     pub fn collisions(mut self, nu: f64) -> Self {
         self.collision_nu = Some(nu);
+        self
+    }
+
+    /// Override this species' configuration-space BCs (per dimension, per
+    /// side). Periodicity must match the domain declared with
+    /// [`AppBuilder::conf_bc`]; only the wall flavor may differ per
+    /// species (e.g. reflecting electrons against absorbing ions).
+    pub fn conf_bc(mut self, bc: Vec<impl Into<DimBc>>) -> Self {
+        self.conf_bc = Some(bc.into_iter().map(Into::into).collect());
+        self
+    }
+
+    /// Request velocity-space BCs. Only [`Bc::ZeroFlux`] is admissible —
+    /// the velocity extremes carry no flux by construction (that is what
+    /// conserves particles) — so anything else is a build error; the knob
+    /// exists to make the constraint explicit and checkable.
+    pub fn velocity_bc(mut self, bc: Vec<impl Into<DimBc>>) -> Self {
+        self.vel_bc = Some(bc.into_iter().map(Into::into).collect());
         self
     }
 }
@@ -151,7 +173,7 @@ impl FieldSpec {
 /// The simulation builder.
 pub struct AppBuilder {
     conf: Option<(Vec<f64>, Vec<f64>, Vec<usize>)>,
-    conf_bc: Option<Vec<Bc>>,
+    conf_bc: Option<Vec<DimBc>>,
     poly_order: usize,
     kind: BasisKind,
     cfl: f64,
@@ -192,8 +214,13 @@ impl AppBuilder {
     }
 
     /// Per-dimension configuration boundary conditions (default periodic).
-    pub fn conf_bc(mut self, bc: Vec<Bc>) -> Self {
-        self.conf_bc = Some(bc);
+    /// Accepts plain [`Bc`] values (same treatment both sides) or
+    /// [`DimBc`] pairs for per-side walls. These are the *domain* BCs: the
+    /// field solver derives its treatment from them (walls become
+    /// perfectly conducting boundaries), and species default to them
+    /// unless overridden via [`SpeciesSpec::conf_bc`].
+    pub fn conf_bc(mut self, bc: Vec<impl Into<DimBc>>) -> Self {
+        self.conf_bc = Some(bc.into_iter().map(Into::into).collect());
         self
     }
 
@@ -285,8 +312,44 @@ impl AppBuilder {
         let kernels = kernels_for(self.kind, layout, self.poly_order);
         let conf_grid = CartGrid::new(&clo, &chi, &ccells);
         let vel_grid = CartGrid::new(&vlo, &vhi, &vcells);
-        let bc = self.conf_bc.unwrap_or_else(|| vec![Bc::Periodic; cdim]);
+        let bc = self
+            .conf_bc
+            .unwrap_or_else(|| vec![DimBc::periodic(); cdim]);
+        if bc.len() != cdim {
+            return Err(Error::Build(format!(
+                "{} boundary-condition pairs for {cdim} configuration dimensions",
+                bc.len()
+            )));
+        }
         let grid = PhaseGrid::new(conf_grid.clone(), vel_grid, bc.clone());
+        // Domain BCs: side pairing, Reflect symmetry. (Periodicity agrees
+        // with itself by construction — the grid *is* the domain.)
+        validate_conf_bcs(&grid, &bc, "domain")?;
+        // Per-species requests: velocity space must stay zero-flux; conf
+        // overrides may only change the wall flavor.
+        for spec in &self.species {
+            if let Some(vbc) = &spec.vel_bc {
+                if vbc.len() != vdim {
+                    return Err(Error::Build(format!(
+                        "species {}: {} velocity BC pairs for {vdim} velocity dimensions",
+                        spec.name,
+                        vbc.len()
+                    )));
+                }
+                if let Some(j) = vbc
+                    .iter()
+                    .position(|b| b.lower != Bc::ZeroFlux || b.upper != Bc::ZeroFlux)
+                {
+                    return Err(Error::Build(format!(
+                        "species {}, velocity dim {j}: only ZeroFlux velocity-space \
+                         boundaries are supported (particle conservation); got {:?}/{:?}",
+                        spec.name, vbc[j].lower, vbc[j].upper
+                    )));
+                }
+            }
+            // Per-species conf overrides are validated by `set_conf_bcs`
+            // below — one rule set, one code path.
+        }
 
         let fspec = self.field.unwrap_or_else(|| FieldSpec::new(1.0));
         let params = PhmParams {
@@ -327,6 +390,11 @@ impl AppBuilder {
         system.set_collisions(collisions);
         system.set_evolve_field(fspec.evolve);
         system.set_track_charge(fspec.chi_e != 0.0);
+        for (s, spec) in self.species.iter_mut().enumerate() {
+            if let Some(cbc) = spec.conf_bc.take() {
+                system.set_conf_bcs(s, cbc)?;
+            }
+        }
 
         // Initial EM field.
         let mut em = system.maxwell.new_field();
@@ -343,6 +411,13 @@ impl AppBuilder {
             if cdim != 1 {
                 return Err(Error::Build(
                     "with_poisson_init is implemented for 1D configurations".into(),
+                ));
+            }
+            if !system.grid.is_conf_periodic(0) {
+                return Err(Error::Build(
+                    "with_poisson_init assumes a periodic configuration (it fixes the \
+                     periodic gauge); start bounded runs from an explicit field IC"
+                        .into(),
                 ));
             }
             poisson_init_1d(&mut system, &mut em)?;

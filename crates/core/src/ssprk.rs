@@ -10,6 +10,13 @@
 use crate::system::{SystemState, VlasovMaxwell};
 use crate::vlasov::VlasovWorkspace;
 
+/// Effective quadrature weights of the three SSP-RK3 stage RHS
+/// evaluations: `uⁿ⁺¹ = uⁿ + Δt (⅙ L(u) + ⅙ L(u⁽¹⁾) + ⅔ L(u⁽²⁾))`. The
+/// steppers fold per-stage wall-flux rates into the time-integrated wall
+/// ledger with exactly these weights, so the ledger matches the state's
+/// actual mass change to round-off.
+pub const STAGE_WEIGHTS: [f64; 3] = [1.0 / 6.0, 1.0 / 6.0, 2.0 / 3.0];
+
 /// One SSP-RK3 step with a caller-supplied RHS evaluator — shared by the
 /// modal solver, the nodal baseline (`dg-nodal`) and the parallel driver
 /// (`dg-parallel`), so every Table-I/Fig.-3 contender uses the identical
@@ -54,14 +61,17 @@ impl SspRk3 {
     pub fn step(&mut self, system: &mut VlasovMaxwell, state: &mut SystemState, dt: f64) {
         // Stage 1: stage = u + dt L(u)
         system.rhs(state, &mut self.rhs, &mut self.ws);
+        system.integrate_wall_ledger(STAGE_WEIGHTS[0] * dt);
         self.stage.copy_from(state);
         self.stage.axpy(dt, &self.rhs);
         // Stage 2: stage = ¾ u + ¼ (stage + dt L(stage))
         system.rhs(&self.stage, &mut self.rhs, &mut self.ws);
+        system.integrate_wall_ledger(STAGE_WEIGHTS[1] * dt);
         self.stage.axpy(dt, &self.rhs);
         self.stage.lincomb(0.25, 0.75, state);
         // Stage 3: u = ⅓ u + ⅔ (stage + dt L(stage))
         system.rhs(&self.stage, &mut self.rhs, &mut self.ws);
+        system.integrate_wall_ledger(STAGE_WEIGHTS[2] * dt);
         self.stage.axpy(dt, &self.rhs);
         state.lincomb(1.0 / 3.0, 2.0 / 3.0, &self.stage);
     }

@@ -6,16 +6,57 @@
 //! (plus, with cleaning, charge) coupling — the complete per-stage work of
 //! the paper's Table I measurement.
 
+use crate::error::Error;
 use crate::lbo::LboOp;
 use crate::moments::{accumulate_current, MomentScratch};
 use crate::species::Species;
-use crate::vlasov::{VlasovOp, VlasovWorkspace};
-use dg_grid::{DgField, PhaseGrid};
+use crate::vlasov::{VlasovOp, VlasovWorkspace, WallAccum};
+use dg_grid::{Bc, DgField, DimBc, PhaseGrid};
 use dg_kernels::{KernelDispatch, PhaseKernels};
 use dg_maxwell::MaxwellDg;
 use std::sync::Arc;
 
 pub use crate::vlasov::FluxKind;
+
+/// Per-wall channels of one species in *physical units*: the rate of
+/// change (rates) or accumulated change (ledger totals) of the species'
+/// particle count and kinetic energy attributable to each wall — the
+/// same bucket container the sweep fills in basis units (see
+/// [`WallAccum`]'s unit table).
+pub type WallChannels = WallAccum;
+
+/// Validate a per-dimension BC set against a phase grid: side pairing,
+/// periodicity agreement with the domain topology, and the symmetric
+/// velocity grid `Bc::Reflect` requires. `who` names the owner in errors.
+pub fn validate_conf_bcs(grid: &PhaseGrid, bcs: &[DimBc], who: &str) -> Result<(), Error> {
+    if bcs.len() != grid.cdim() {
+        return Err(Error::Build(format!(
+            "{who}: {} boundary-condition pairs for {} configuration dimensions",
+            bcs.len(),
+            grid.cdim()
+        )));
+    }
+    for (d, bc) in bcs.iter().enumerate() {
+        bc.validate()
+            .map_err(|e| Error::Build(format!("{who}, dim {d}: {e}")))?;
+        if bc.is_periodic() != grid.is_conf_periodic(d) {
+            return Err(Error::Build(format!(
+                "{who}, dim {d}: periodicity must match the domain topology \
+                 (domain is {}periodic)",
+                if grid.is_conf_periodic(d) { "" } else { "non-" }
+            )));
+        }
+        if (bc.lower == Bc::Reflect || bc.upper == Bc::Reflect) && !grid.vel_symmetric(d) {
+            return Err(Error::Build(format!(
+                "{who}, dim {d}: Reflect requires a velocity grid symmetric about \
+                 v = 0 in the paired dimension (got [{}, {}])",
+                grid.vel.lower()[d],
+                grid.vel.upper()[d]
+            )));
+        }
+    }
+    Ok(())
+}
 
 /// The dynamical state: one distribution function per species plus the EM
 /// field. RK stages operate on whole states.
@@ -72,6 +113,21 @@ pub struct VlasovMaxwell {
     /// Uniform neutralizing background charge density (subtracted from the
     /// cleaning source; e.g. immobile ions under a mobile electron species).
     background_charge: f64,
+    /// Per-species configuration-space BCs (default: the grid's domain
+    /// BCs; overridable per species on non-periodic axes).
+    species_bc: Vec<Vec<DimBc>>,
+    /// Per-species wall-flux rates of the last RHS evaluation.
+    wall_rates: Vec<WallChannels>,
+    /// Per-species time-integrated wall-flux ledger (filled by the
+    /// steppers with the SSP-RK3 stage weights).
+    wall_totals: Vec<WallChannels>,
+    /// Phase-cell mode-0 → particle-count conversion (shared by the wall
+    /// ledger and `particle_numbers` so the balance invariant cannot
+    /// drift between the two).
+    phase_mode0_w: f64,
+    /// Conf-cell `M2`-mode-0 → `∫ Σ v² · f` conversion (the ½m factor is
+    /// applied per species).
+    conf_mode0_w: f64,
     scratch_j: DgField,
     scratch_rho: DgField,
     /// Moment-reduction scratch, persistent so steady-state RHS evaluation
@@ -89,8 +145,21 @@ impl VlasovMaxwell {
     ) -> Self {
         let nconf = grid.conf.len();
         let nc = kernels.nc();
+        let cdim = grid.cdim();
         let collisions = species.iter().map(|_| None).collect();
         let vlasov = VlasovOp::new(Arc::clone(&kernels), grid.clone(), flux);
+        let species_bc = species.iter().map(|_| grid.conf_bc.clone()).collect();
+        let wall_rates = species
+            .iter()
+            .map(|_| WallChannels::for_cdim(cdim))
+            .collect();
+        let wall_totals = species
+            .iter()
+            .map(|_| WallChannels::for_cdim(cdim))
+            .collect();
+        let phase_vol: f64 = grid.conf.dx().iter().chain(grid.vel.dx()).product();
+        let conf_vol: f64 = grid.conf.dx().iter().product();
+        let ndim = grid.ndim() as i32;
         VlasovMaxwell {
             kernels,
             grid,
@@ -101,6 +170,11 @@ impl VlasovMaxwell {
             evolve_field: true,
             track_charge: true,
             background_charge: 0.0,
+            species_bc,
+            wall_rates,
+            wall_totals,
+            phase_mode0_w: phase_vol * (2.0f64).powi(-ndim).sqrt(),
+            conf_mode0_w: conf_vol * (2.0f64).powi(-(cdim as i32)).sqrt(),
             scratch_j: DgField::zeros(nconf, 3 * nc),
             scratch_rho: DgField::zeros(nconf, nc),
             scratch_mom: MomentScratch::default(),
@@ -175,6 +249,86 @@ impl VlasovMaxwell {
         self.background_charge
     }
 
+    /// Override the configuration-space BCs of one species (per dimension,
+    /// per side). Periodicity must match the domain topology — overrides
+    /// change the wall flavor, never the connectivity — and `Reflect`
+    /// requires a velocity grid symmetric about `v = 0` in the paired
+    /// dimension.
+    pub fn set_conf_bcs(&mut self, species: usize, bcs: Vec<DimBc>) -> Result<(), Error> {
+        if species >= self.species.len() {
+            return Err(Error::Build(format!(
+                "set_conf_bcs: no species with index {species}"
+            )));
+        }
+        let who = format!("species {:?}", self.species[species].name);
+        validate_conf_bcs(&self.grid, &bcs, &who)?;
+        self.species_bc[species] = bcs;
+        Ok(())
+    }
+
+    /// The configuration-space BCs of one species.
+    pub fn conf_bcs(&self, species: usize) -> &[DimBc] {
+        &self.species_bc[species]
+    }
+
+    /// Per-species wall-flux rates of the last RHS evaluation (physical
+    /// units; negative = the domain is losing content through that wall).
+    pub fn wall_rates(&self) -> &[WallChannels] {
+        &self.wall_rates
+    }
+
+    /// Per-species time-integrated wall-flux ledger: the accumulated mass
+    /// and energy change of the domain attributable to each wall since the
+    /// start of the run (or the last [`VlasovMaxwell::reset_wall_ledger`]).
+    /// With absorbing walls, a species' total mass change equals its
+    /// ledger's [`WallAccum::net_mass`] to round-off.
+    ///
+    /// Backend note: the *state* is bit-identical across backends
+    /// unconditionally; the ledger is additionally bit-identical for
+    /// dim-0 walls (each owned whole by one edge rank — every 1D
+    /// configuration qualifies, asserted in `tests/backend_equiv.rs`).
+    /// Walls of higher configuration directions are split across ranks,
+    /// so their ledger entries agree with serial to round-off rather than
+    /// to the bit.
+    pub fn wall_totals(&self) -> &[WallChannels] {
+        &self.wall_totals
+    }
+
+    /// Fold the last RHS evaluation's wall rates into the ledger with
+    /// weight `w` (the steppers call this once per RK stage with
+    /// `stage weight × dt`).
+    pub fn integrate_wall_ledger(&mut self, w: f64) {
+        for (tot, rate) in self.wall_totals.iter_mut().zip(&self.wall_rates) {
+            tot.axpy(w, rate);
+        }
+    }
+
+    /// Zero the time-integrated wall ledger.
+    pub fn reset_wall_ledger(&mut self) {
+        for tot in &mut self.wall_totals {
+            tot.reset();
+        }
+    }
+
+    /// Convert a sweep's raw wall accumulators into this species' physical
+    /// wall rates — the hook execution engines (`dg-parallel`) use after
+    /// reducing their per-rank partial sums.
+    pub fn record_wall_rates(&mut self, species: usize, accum: &WallAccum) {
+        let half_m = 0.5 * self.species[species].mass;
+        let rates = &mut self.wall_rates[species];
+        for (d, (mr, er)) in rates
+            .mass
+            .iter_mut()
+            .zip(rates.energy.iter_mut())
+            .enumerate()
+        {
+            for side in 0..2 {
+                mr[side] = accum.mass[d][side] * self.phase_mode0_w;
+                er[side] = half_m * accum.energy[d][side] * self.conf_mode0_w;
+            }
+        }
+    }
+
     /// A zeroed state with this system's shape.
     pub fn new_state(&self) -> SystemState {
         SystemState {
@@ -200,18 +354,21 @@ impl VlasovMaxwell {
     pub fn rhs(&mut self, state: &SystemState, out: &mut SystemState, ws: &mut VlasovWorkspace) {
         out.fill(0.0);
         let nconf = self.grid.conf.len();
-        // Kinetic updates.
-        for (s, sp) in self.species.iter().enumerate() {
-            self.vlasov.accumulate_rhs(
-                sp.qm(),
+        // Kinetic updates (per-species BCs; the sweep fills the workspace
+        // wall ledger, harvested right after).
+        for s in 0..self.species.len() {
+            self.vlasov.accumulate_rhs_bc(
+                self.species[s].qm(),
                 &state.species_f[s],
                 &state.em,
                 &mut out.species_f[s],
                 ws,
+                &self.species_bc[s],
             );
             if let Some(lbo) = self.collisions[s].as_mut() {
                 lbo.accumulate_rhs(&state.species_f[s], &mut out.species_f[s]);
             }
+            self.record_wall_rates(s, &ws.wall);
         }
         // Field update + coupling.
         if self.evolve_field {
@@ -273,19 +430,11 @@ impl VlasovMaxwell {
         dg_maxwell::energy::em_energy(&self.maxwell, &state.em)
     }
 
-    /// Total particle count, per species.
+    /// Total particle count, per species (the same mode-0 weight the wall
+    /// ledger converts with, so the balance invariant is exact by
+    /// construction).
     pub fn particle_numbers(&self, state: &SystemState) -> Vec<f64> {
-        let vol: f64 = self
-            .grid
-            .conf
-            .dx()
-            .iter()
-            .chain(self.grid.vel.dx())
-            .product();
-        let w = vol
-            * (2.0f64)
-                .powi(-(self.kernels.phase_basis.ndim() as i32))
-                .sqrt();
+        let w = self.phase_mode0_w;
         state
             .species_f
             .iter()

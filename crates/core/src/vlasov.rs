@@ -19,11 +19,20 @@
 //!   depend on the face's own velocity coordinate) and reused along it;
 //!   the outermost velocity faces use zero flux (particle conservation).
 //!
+//! Non-periodic configuration boundaries do not skip their faces: each
+//! wall face synthesizes a **ghost state** into workspace scratch
+//! ([`VlasovWorkspace`]) — vacuum for [`Bc::Absorb`], the even mirror of
+//! the interior for [`Bc::Copy`], the velocity-parity-mapped mirror of the
+//! reflected velocity cell for [`Bc::Reflect`] — and runs the ordinary
+//! single-valued numerical flux against it, staging the interior update so
+//! the net wall flux (mass and energy) is recorded in the workspace's
+//! [`WallAccum`] ledger as a by-product.
+//!
 //! Each public method takes an explicit configuration-cell range so the
 //! shared-memory layer (`dg-parallel`) can partition work without ghost
 //! layers — the paper's intra-node decomposition.
 
-use dg_grid::{CellStoreMut, DgField, PhaseGrid};
+use dg_grid::{Bc, CellStoreMut, DgField, DimBc, PhaseGrid};
 use dg_kernels::accel::VelGeom;
 use dg_kernels::dispatch::{
     DispatchPath, KernelDispatch, ResolvedSurfaceDir, ResolvedVolume, SurfaceKernelFn,
@@ -46,18 +55,95 @@ pub enum FluxKind {
     Central,
 }
 
+/// Per-(configuration direction, wall side) mass/energy buckets — the one
+/// container behind every stage of the wall-flux ledger. Side index `0`
+/// is the lower wall, `1` the upper. The *units* depend on where a value
+/// sits in the pipeline:
+///
+/// * sweep accumulators ([`VlasovWorkspace::wall`]): raw basis units —
+///   `mass[d][s]` sums the interior cells' mode-0 RHS updates at the
+///   wall, `energy[d][s]` the conf-mode-0 `M2` reduction of the same
+///   updates;
+/// * `VlasovMaxwell::wall_rates` / `wall_totals` (re-exported there as
+///   `WallChannels`): physical units — rate (resp. accumulated change)
+///   of the species' particle count and kinetic energy; negative = the
+///   domain is losing content through that wall.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct WallAccum {
+    pub mass: Vec<[f64; 2]>,
+    pub energy: Vec<[f64; 2]>,
+}
+
+impl WallAccum {
+    pub fn for_cdim(cdim: usize) -> Self {
+        WallAccum {
+            mass: vec![[0.0; 2]; cdim],
+            energy: vec![[0.0; 2]; cdim],
+        }
+    }
+
+    pub fn reset(&mut self) {
+        self.mass.fill([0.0; 2]);
+        self.energy.fill([0.0; 2]);
+    }
+
+    /// `self += other` (rank-reduction of per-rank partial sums).
+    pub fn add(&mut self, other: &WallAccum) {
+        self.axpy(1.0, other);
+    }
+
+    /// `self += a · other` — the steppers fold stage rates into the
+    /// time-integrated ledger with the SSP-RK3 stage weights.
+    pub fn axpy(&mut self, a: f64, other: &WallAccum) {
+        for (x, y) in self.mass.iter_mut().zip(&other.mass) {
+            x[0] += a * y[0];
+            x[1] += a * y[1];
+        }
+        for (x, y) in self.energy.iter_mut().zip(&other.energy) {
+            x[0] += a * y[0];
+            x[1] += a * y[1];
+        }
+    }
+
+    pub fn copy_from(&mut self, other: &WallAccum) {
+        self.mass.copy_from_slice(&other.mass);
+        self.energy.copy_from_slice(&other.energy);
+    }
+
+    /// Net mass change over all walls.
+    pub fn net_mass(&self) -> f64 {
+        self.mass.iter().map(|s| s[0] + s[1]).sum()
+    }
+
+    /// Net energy change over all walls.
+    pub fn net_energy(&self) -> f64 {
+        self.energy.iter().map(|s| s[0] + s[1]).sum()
+    }
+}
+
 /// Per-thread scratch for the Vlasov update (no allocation in the loops —
-/// every buffer, including the face scratch, is sized here once).
+/// every buffer, including the face scratch and the wall-ghost staging,
+/// is sized here once).
 #[derive(Clone, Debug, Default)]
 pub struct VlasovWorkspace {
     alpha: Vec<f64>,
     alpha_face: Vec<f64>,
     face: FaceScratch,
     /// Per-side face-update staging: the single-cell periodic wrap (both
-    /// sides are the same cell) and one-sided subdomain-edge writes land
-    /// here instead of allocating per velocity cell.
+    /// sides are the same cell), one-sided subdomain-edge writes, and the
+    /// interior side of every wall face land here instead of allocating
+    /// per velocity cell.
     tmp_lo: Vec<f64>,
     tmp_hi: Vec<f64>,
+    /// Synthesized ghost-cell coefficients for wall faces.
+    ghost: Vec<f64>,
+    /// `M2` reduction scratch for the wall energy ledger (conf-basis
+    /// length).
+    wall_m2: Vec<f64>,
+    /// Wall-flux ledger accumulators, filled by the configuration-surface
+    /// sweep; reset by [`VlasovOp::accumulate_rhs_bc`] (or manually when
+    /// driving the sweep methods directly, as `dg-parallel` does).
+    pub wall: WallAccum,
 }
 
 impl VlasovWorkspace {
@@ -70,6 +156,9 @@ impl VlasovWorkspace {
             face,
             tmp_lo: vec![0.0; k.np()],
             tmp_hi: vec![0.0; k.np()],
+            ghost: vec![0.0; k.np()],
+            wall_m2: vec![0.0; k.nc()],
+            wall: WallAccum::for_cdim(k.layout.cdim),
         }
     }
 }
@@ -107,6 +196,14 @@ pub struct VlasovOp {
     /// boundaries). Precomputed so the surface sweep never delinearizes or
     /// allocates index scratch per cell.
     conf_nbr: Vec<Vec<Option<u32>>>,
+    /// Per configuration direction: the conf cells touching the lower /
+    /// upper domain boundary, ascending — the wall-face work lists.
+    wall_lo: Vec<Vec<u32>>,
+    wall_hi: Vec<Vec<u32>>,
+    /// Per configuration direction `d`: velocity-cell index with the
+    /// paired velocity dimension mirrored (`idx_d → n_d − 1 − idx_d`) —
+    /// the cell holding `−v_d` on a symmetric grid (`Bc::Reflect`).
+    vel_mirror: Vec<Vec<u32>>,
 }
 
 impl VlasovOp {
@@ -189,15 +286,33 @@ impl VlasovOp {
             }
         }
         let mut conf_nbr = vec![vec![None; grid.conf.len()]; cdim];
+        let mut wall_lo = vec![Vec::new(); cdim];
+        let mut wall_hi = vec![Vec::new(); cdim];
         let mut nidx = vec![0usize; cdim];
-        for (d, nbrs) in conf_nbr.iter_mut().enumerate() {
-            for (clin, slot) in nbrs.iter_mut().enumerate() {
+        for d in 0..cdim {
+            let n_d = grid.conf.cells()[d];
+            for clin in 0..grid.conf.len() {
                 grid.conf.delinearize(clin, &mut cidx);
                 if let Some(nbr) = grid.conf_neighbor(cidx[d], d, 1) {
                     nidx.copy_from_slice(&cidx);
                     nidx[d] = nbr;
-                    *slot = Some(grid.conf.linearize(&nidx) as u32);
+                    conf_nbr[d][clin] = Some(grid.conf.linearize(&nidx) as u32);
                 }
+                if cidx[d] == 0 {
+                    wall_lo[d].push(clin as u32);
+                }
+                if cidx[d] == n_d - 1 {
+                    wall_hi[d].push(clin as u32);
+                }
+            }
+        }
+        let mut vel_mirror = vec![vec![0u32; grid.vel.len()]; cdim.min(vdim)];
+        for (d, mirror) in vel_mirror.iter_mut().enumerate() {
+            let n_d = grid.vel.cells()[d];
+            for (vlin, slot) in mirror.iter_mut().enumerate() {
+                grid.vel.delinearize(vlin, &mut vidx);
+                vidx[d] = n_d - 1 - vidx[d];
+                *slot = grid.vel.linearize(&vidx) as u32;
             }
         }
         VlasovOp {
@@ -213,6 +328,9 @@ impl VlasovOp {
             dxv,
             conf_centers,
             conf_nbr,
+            wall_lo,
+            wall_hi,
+            vel_mirror,
         }
     }
 
@@ -532,9 +650,174 @@ impl VlasovOp {
         }
     }
 
-    /// All configuration-direction surface terms for faces whose *lower*
-    /// cell's configuration index lies in `conf_range` (periodic wrap
-    /// included). With the full range this covers every face exactly once.
+    /// Synthesize the ghost-cell coefficients for a wall face of direction
+    /// `d` into `ws.ghost`: the interior velocity block is at phase cell
+    /// `clin · Nv + vlin`.
+    fn stage_ghost(&self, d: usize, bc: Bc, f: &DgField, ws: &mut VlasovWorkspace, cell: usize) {
+        let np = self.kernels.np();
+        match bc {
+            // Vacuum ghost: pure outgoing upwind flux, exactly zero inflow.
+            Bc::Absorb => ws.ghost[..np].fill(0.0),
+            // Even mirror in ξ_d: the ghost trace equals the interior
+            // trace, so the face flux is the pure upwind flux of the
+            // interior state (open/outflow).
+            Bc::Copy => {
+                let fc = f.cell(cell);
+                for (g, (v, s)) in ws.ghost[..np]
+                    .iter_mut()
+                    .zip(fc.iter().zip(&self.kernels.mirror_signs[d]))
+                {
+                    *g = v * s;
+                }
+            }
+            // Specular reflection: mirror in ξ_d and in the paired
+            // velocity coordinate, sourced from the velocity cell holding
+            // `−v_d` (callers must be on a symmetric velocity grid —
+            // validated at App assembly).
+            Bc::Reflect => {
+                let nv = self.grid.vel.len();
+                let (clin, vlin) = (cell / nv, cell % nv);
+                let src = f.cell(clin * nv + self.vel_mirror[d][vlin] as usize);
+                for (g, (v, s)) in ws.ghost[..np]
+                    .iter_mut()
+                    .zip(src.iter().zip(&self.kernels.reflect_signs[d]))
+                {
+                    *g = v * s;
+                }
+            }
+            Bc::Periodic | Bc::ZeroFlux => {
+                unreachable!("{bc:?} is not a ghost-synthesizing boundary")
+            }
+        }
+    }
+
+    /// One wall face of configuration direction `d` (all velocity cells)
+    /// at boundary cell `clin`; `side` is `-1` for the lower wall, `+1`
+    /// for the upper. The ghost state is synthesized per velocity cell
+    /// into workspace scratch, the ordinary single-valued face flux runs
+    /// against it, and only the interior side is accumulated — staged
+    /// through `ws.tmp_lo` so the net wall mass/energy flux lands in the
+    /// `ws.wall` ledger as a by-product (no extra flux evaluation).
+    #[allow(clippy::too_many_arguments)]
+    pub fn surface_config_wall<S: CellStoreMut>(
+        &self,
+        d: usize,
+        side: i32,
+        bc: Bc,
+        f: &DgField,
+        out: &mut S,
+        ws: &mut VlasovWorkspace,
+        clin: usize,
+    ) {
+        debug_assert!(side == 1 || side == -1);
+        debug_assert!(bc.is_wall());
+        let k = &*self.kernels;
+        let (cdim, vdim) = (k.layout.cdim, k.layout.vdim);
+        let ndim = cdim + vdim;
+        let nv = self.grid.vel.len();
+        let np = k.np();
+        let nc = k.nc();
+        let jv = self.grid.vel_jacobian();
+        let sidx = usize::from(side > 0);
+        let central = self.flux == FluxKind::Central;
+        let mut w = [0.0f64; MAX_DIM];
+        w[..cdim].copy_from_slice(&self.conf_centers[clin * cdim..][..cdim]);
+        for vlin in 0..nv {
+            let cell = clin * nv + vlin;
+            self.stage_ghost(d, bc, f, ws, cell);
+            ws.tmp_lo[..np].fill(0.0);
+            match self.surface_paths[d] {
+                ResolvedSurfaceDir::Generated(kernel) => {
+                    // `w` of the streaming kernels only feeds the paired
+                    // velocity center of `α̂ = v_d` — identical for ghost
+                    // and interior — so the interior cell's center serves
+                    // both wall orientations.
+                    w[cdim..ndim].copy_from_slice(&self.vel_centers[vlin][..vdim]);
+                    ws.tmp_hi[..np].fill(0.0);
+                    if side > 0 {
+                        kernel(
+                            &w[..ndim],
+                            &self.dxv,
+                            0.0,
+                            &[],
+                            !central,
+                            f.cell(cell),
+                            &ws.ghost,
+                            &mut ws.tmp_lo,
+                            &mut ws.tmp_hi,
+                        );
+                    } else {
+                        kernel(
+                            &w[..ndim],
+                            &self.dxv,
+                            0.0,
+                            &[],
+                            !central,
+                            &ws.ghost,
+                            f.cell(cell),
+                            &mut ws.tmp_hi,
+                            &mut ws.tmp_lo,
+                        );
+                    }
+                }
+                ResolvedSurfaceDir::RuntimeSparse => {
+                    let surf = &k.surfaces[d];
+                    let nf = surf.kernel.face.len();
+                    let scale = 2.0 / self.grid.conf.dx()[d];
+                    let vc = self.vel_centers[vlin][d];
+                    let lam = k.stream_face_alpha(d, vc, self.dv[d], &mut ws.alpha_face[..nf]);
+                    let lam = if central { 0.0 } else { lam };
+                    if side > 0 {
+                        surf.kernel.apply(
+                            f.cell(cell),
+                            &ws.ghost,
+                            &ws.alpha_face[..nf],
+                            lam,
+                            scale,
+                            Some(&mut ws.tmp_lo[..np]),
+                            None,
+                            &mut ws.face,
+                        );
+                    } else {
+                        surf.kernel.apply(
+                            &ws.ghost,
+                            f.cell(cell),
+                            &ws.alpha_face[..nf],
+                            lam,
+                            scale,
+                            None,
+                            Some(&mut ws.tmp_lo[..np]),
+                            &mut ws.face,
+                        );
+                    }
+                }
+            }
+            let oc = out.cell_mut(cell);
+            for (o, t) in oc.iter_mut().zip(&ws.tmp_lo[..np]) {
+                *o += t;
+            }
+            // Ledger: the staged interior update *is* the wall's flux
+            // divergence for this velocity block.
+            ws.wall.mass[d][sidx] += ws.tmp_lo[0];
+            ws.wall_m2[..nc].fill(0.0);
+            k.moments.accumulate_m2(
+                &ws.tmp_lo[..np],
+                jv,
+                &self.vel_centers[vlin][..vdim],
+                &self.dv[..vdim],
+                &mut ws.wall_m2,
+            );
+            ws.wall.energy[d][sidx] += ws.wall_m2[0];
+        }
+    }
+
+    /// All configuration-direction surface terms of direction `d` for the
+    /// given range: the lower-wall faces of boundary cells in the range,
+    /// then every interior face whose *lower* cell's configuration index
+    /// lies in `conf_range` (periodic wrap included), then the upper-wall
+    /// faces. With the full range this covers every face exactly once, and
+    /// the per-cell accumulation order (lower face first, then upper) is
+    /// what the rank-parallel sweep replicates for bit-identity.
     pub fn surface_config<S: CellStoreMut>(
         &self,
         d: usize,
@@ -542,13 +825,31 @@ impl VlasovOp {
         out: &mut S,
         ws: &mut VlasovWorkspace,
         conf_range: Range<usize>,
+        bc: DimBc,
     ) {
+        // Periodicity is baked into the neighbour table at construction;
+        // per-species overrides may only change the wall flavor.
+        debug_assert_eq!(bc.is_periodic(), self.grid.is_conf_periodic(d));
+        if bc.lower.is_wall() {
+            for &clin in &self.wall_lo[d] {
+                if conf_range.contains(&(clin as usize)) {
+                    self.surface_config_wall(d, -1, bc.lower, f, out, ws, clin as usize);
+                }
+            }
+        }
         let nbrs = &self.conf_nbr[d];
-        for clin in conf_range {
+        for clin in conf_range.clone() {
             let Some(nlin) = nbrs[clin] else {
                 continue;
             };
             self.surface_config_face(d, f, out, ws, clin, nlin as usize, true, true);
+        }
+        if bc.upper.is_wall() {
+            for &clin in &self.wall_hi[d] {
+                if conf_range.contains(&(clin as usize)) {
+                    self.surface_config_wall(d, 1, bc.upper, f, out, ws, clin as usize);
+                }
+            }
         }
     }
 
@@ -652,7 +953,8 @@ impl VlasovOp {
         }
     }
 
-    /// The full collisionless RHS, serial: `out += L(f; E, B)`.
+    /// The full collisionless RHS, serial: `out += L(f; E, B)`, with the
+    /// grid's domain-default boundary conditions.
     pub fn accumulate_rhs(
         &self,
         qm: f64,
@@ -661,10 +963,28 @@ impl VlasovOp {
         out: &mut DgField,
         ws: &mut VlasovWorkspace,
     ) {
+        self.accumulate_rhs_bc(qm, f, em, out, ws, &self.grid.conf_bc);
+    }
+
+    /// The full collisionless RHS with explicit per-dimension boundary
+    /// conditions (the per-species hook: species may override the wall
+    /// flavor on non-periodic axes). Resets and refills the workspace's
+    /// wall-flux ledger (`ws.wall`).
+    pub fn accumulate_rhs_bc(
+        &self,
+        qm: f64,
+        f: &DgField,
+        em: &DgField,
+        out: &mut DgField,
+        ws: &mut VlasovWorkspace,
+        bcs: &[DimBc],
+    ) {
+        debug_assert_eq!(bcs.len(), self.grid.cdim());
         let nconf = self.grid.conf.len();
+        ws.wall.reset();
         self.volume(qm, f, em, out, ws, 0..nconf);
         for d in 0..self.grid.cdim() {
-            self.surface_config(d, f, out, ws, 0..nconf);
+            self.surface_config(d, f, out, ws, 0..nconf, bcs[d]);
         }
         self.surface_velocity(qm, f, em, out, ws, 0..nconf);
     }

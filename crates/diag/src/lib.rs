@@ -16,12 +16,16 @@
 //!   (paper Eq. 9) and its per-cell decomposition;
 //! * [`fit`] — exponential growth/damping-rate fits used to compare runs
 //!   against linear theory (Landau damping, two-stream, Weibel);
+//! * [`walls`] — the bounded-domain wall-flux ledger: per-wall mass/energy
+//!   accounting that balances what absorbing walls drain from the domain
+//!   to round-off;
 //! * [`util`] — the shared environment-override helpers every scalable
 //!   harness reads its problem size through.
 //!
 //! The series/snapshot/slice writers double as trigger-scheduled
 //! [`Observer`](dg_core::observer::Observer)s for the `App::run` driver:
-//! [`EnergyHistory`], [`CsvSeries`], [`Checkpoint`], [`SliceSeries`].
+//! [`EnergyHistory`], [`CsvSeries`], [`Checkpoint`], [`SliceSeries`],
+//! [`WallFluxLedger`].
 //!
 //! [`SystemState`]: dg_core::system::SystemState
 
@@ -32,9 +36,11 @@ pub mod history;
 pub mod slices;
 pub mod snapshot;
 pub mod util;
+pub mod walls;
 
 pub use csv::CsvSeries;
 pub use history::EnergyHistory;
 pub use slices::SliceSeries;
 pub use snapshot::Checkpoint;
 pub use util::{env_f64, env_usize};
+pub use walls::WallFluxLedger;

@@ -1,27 +1,59 @@
-//! Boundary conditions as neighbour-resolution rules.
+//! Boundary conditions: domain topology plus ghost-state synthesis rules.
 //!
 //! Velocity-space extremes always use `ZeroFlux` (the distribution function
 //! is negligible at the velocity-domain edge; the numerical flux through
 //! those faces is zero, which together with single-valued interior fluxes
-//! gives exact mass conservation). Configuration space is `Periodic` in all
-//! the paper's test problems.
+//! gives exact mass conservation). Configuration space supports the full
+//! bounded-domain matrix: periodic wrap, open (copy) outflow, absorbing
+//! walls, and specular reflecting walls — each side of each dimension
+//! independently via [`DimBc`], so a plasma can, e.g., reflect off one wall
+//! and be absorbed at the other (the sheath setups of Juno et al., JCP
+//! 2018).
+//!
+//! Two pieces of information live here:
+//!
+//! * **topology** — [`Bc::neighbor`]/[`DimBc::neighbor`] resolve the
+//!   neighbour index of a cell (periodic wrap included) or report that a
+//!   face is a domain boundary (`None`);
+//! * **ghost semantics** — for non-periodic boundaries the solvers do not
+//!   skip the face: they synthesize a *ghost state* next to the wall and
+//!   run the ordinary single-valued numerical flux against it
+//!   (`dg_core::vlasov` for distribution functions, `dg_maxwell::solver`
+//!   for the EM field). [`Bc::is_wall`] classifies which variants do so.
 
-/// Per-dimension boundary treatment.
+/// Per-side boundary treatment of one dimension.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum Bc {
     /// Wrap to the opposite side.
     Periodic,
-    /// No flux through the domain face (skip the face entirely).
+    /// No flux through the domain face (skip the face entirely). The
+    /// correct — and only — choice for velocity-space extremes.
     ZeroFlux,
-    /// Copy (outflow): the ghost state equals the interior state, so the
-    /// face flux is the pure upwind flux of the interior cell.
+    /// Open/outflow boundary: the ghost state is the even extension of the
+    /// interior state (trace-continuous), so the face flux is the pure
+    /// upwind flux of the interior trace. Fields treat this as a
+    /// zero-gradient open boundary.
     Copy,
+    /// Absorbing wall: the ghost state is vacuum (`f ≡ 0`), giving pure
+    /// outgoing upwind flux and exactly zero inflow. Everything that
+    /// crosses the face is lost from the domain (and accounted by the
+    /// wall-flux ledger). Fields treat this as a perfectly conducting
+    /// wall.
+    Absorb,
+    /// Specular reflecting wall: the ghost state is the interior state
+    /// mirrored in the wall plane with the wall-normal velocity negated
+    /// (`f_g(x, v_d) = f(2x_w − x, −v_d)`), so the wall-normal particle
+    /// flux cancels pairwise across mirrored velocity cells and mass is
+    /// conserved to round-off. Requires the velocity grid to be symmetric
+    /// about `v_d = 0` in the paired dimension. Fields treat this as a
+    /// perfectly conducting wall.
+    Reflect,
 }
 
 impl Bc {
     /// Index of the neighbour of cell `i` in `+1`/`-1` direction along a
-    /// dimension with `n` cells, or `None` when the face is a no-flux or
-    /// self-coupled boundary handled by the caller.
+    /// dimension with `n` cells, or `None` when the face is a domain
+    /// boundary handled by ghost synthesis (or skipped, for `ZeroFlux`).
     #[inline]
     pub fn neighbor(&self, i: usize, side: i32, n: usize) -> Option<usize> {
         debug_assert!(side == 1 || side == -1);
@@ -33,6 +65,82 @@ impl Bc {
             _ => None,
         }
     }
+
+    /// Does this boundary synthesize a ghost state (as opposed to wrapping
+    /// periodically or carrying no flux at all)?
+    pub fn is_wall(&self) -> bool {
+        matches!(self, Bc::Copy | Bc::Absorb | Bc::Reflect)
+    }
+}
+
+/// The boundary-condition pair of one dimension: lower side, upper side.
+///
+/// Periodicity is a property of the *dimension* (a torus direction has no
+/// walls), so `Periodic` must pair with `Periodic`; [`DimBc::validate`]
+/// reports violations and the `AppBuilder` surfaces them as build errors.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct DimBc {
+    pub lower: Bc,
+    pub upper: Bc,
+}
+
+impl DimBc {
+    pub fn new(lower: Bc, upper: Bc) -> Self {
+        DimBc { lower, upper }
+    }
+
+    /// The same treatment on both sides.
+    pub fn uniform(bc: Bc) -> Self {
+        DimBc {
+            lower: bc,
+            upper: bc,
+        }
+    }
+
+    /// Periodic wrap (the paper's benchmark default).
+    pub fn periodic() -> Self {
+        Self::uniform(Bc::Periodic)
+    }
+
+    /// Is this a periodic (torus) dimension?
+    pub fn is_periodic(&self) -> bool {
+        self.lower == Bc::Periodic
+    }
+
+    /// The treatment of one side (`-1` lower, `+1` upper).
+    #[inline]
+    pub fn side(&self, side: i32) -> Bc {
+        debug_assert!(side == 1 || side == -1);
+        if side > 0 {
+            self.upper
+        } else {
+            self.lower
+        }
+    }
+
+    /// Neighbour resolution honoring the side-specific treatment.
+    #[inline]
+    pub fn neighbor(&self, i: usize, side: i32, n: usize) -> Option<usize> {
+        self.side(side).neighbor(i, side, n)
+    }
+
+    /// Structural consistency: `Periodic` cannot pair with a wall or
+    /// zero-flux treatment on the same axis.
+    pub fn validate(&self) -> Result<(), String> {
+        if (self.lower == Bc::Periodic) != (self.upper == Bc::Periodic) {
+            return Err(format!(
+                "Periodic must pair with Periodic on the same axis, got lower {:?} / upper {:?}",
+                self.lower, self.upper
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl From<Bc> for DimBc {
+    fn from(bc: Bc) -> Self {
+        DimBc::uniform(bc)
+    }
 }
 
 #[cfg(test)]
@@ -41,7 +149,13 @@ mod tests {
 
     #[test]
     fn interior_neighbors() {
-        for bc in [Bc::Periodic, Bc::ZeroFlux, Bc::Copy] {
+        for bc in [
+            Bc::Periodic,
+            Bc::ZeroFlux,
+            Bc::Copy,
+            Bc::Absorb,
+            Bc::Reflect,
+        ] {
             assert_eq!(bc.neighbor(3, 1, 8), Some(4));
             assert_eq!(bc.neighbor(3, -1, 8), Some(2));
         }
@@ -54,9 +168,43 @@ mod tests {
     }
 
     #[test]
-    fn zero_flux_terminates() {
+    fn non_periodic_terminates() {
         assert_eq!(Bc::ZeroFlux.neighbor(7, 1, 8), None);
         assert_eq!(Bc::ZeroFlux.neighbor(0, -1, 8), None);
         assert_eq!(Bc::Copy.neighbor(7, 1, 8), None);
+        assert_eq!(Bc::Absorb.neighbor(7, 1, 8), None);
+        assert_eq!(Bc::Reflect.neighbor(0, -1, 8), None);
+    }
+
+    #[test]
+    fn wall_classification() {
+        assert!(!Bc::Periodic.is_wall());
+        assert!(!Bc::ZeroFlux.is_wall());
+        assert!(Bc::Copy.is_wall());
+        assert!(Bc::Absorb.is_wall());
+        assert!(Bc::Reflect.is_wall());
+    }
+
+    #[test]
+    fn dim_bc_sides_and_neighbors() {
+        let bc = DimBc::new(Bc::Reflect, Bc::Absorb);
+        assert_eq!(bc.side(-1), Bc::Reflect);
+        assert_eq!(bc.side(1), Bc::Absorb);
+        assert!(!bc.is_periodic());
+        assert_eq!(bc.neighbor(0, -1, 4), None);
+        assert_eq!(bc.neighbor(3, 1, 4), None);
+        assert_eq!(bc.neighbor(1, 1, 4), Some(2));
+
+        let per: DimBc = Bc::Periodic.into();
+        assert!(per.is_periodic());
+        assert_eq!(per.neighbor(3, 1, 4), Some(0));
+    }
+
+    #[test]
+    fn validation_rejects_half_periodic_axes() {
+        assert!(DimBc::new(Bc::Periodic, Bc::Periodic).validate().is_ok());
+        assert!(DimBc::new(Bc::Absorb, Bc::Reflect).validate().is_ok());
+        assert!(DimBc::new(Bc::Periodic, Bc::Absorb).validate().is_err());
+        assert!(DimBc::new(Bc::Copy, Bc::Periodic).validate().is_err());
     }
 }

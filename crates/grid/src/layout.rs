@@ -1,6 +1,6 @@
 //! The phase-space grid: configuration × velocity, configuration-major.
 
-use crate::boundary::Bc;
+use crate::boundary::DimBc;
 use crate::grid::CartGrid;
 
 /// Product grid over phase space with the configuration-major cell
@@ -9,13 +9,15 @@ use crate::grid::CartGrid;
 pub struct PhaseGrid {
     pub conf: CartGrid,
     pub vel: CartGrid,
-    /// Per configuration-dimension boundary conditions.
-    pub conf_bc: Vec<Bc>,
+    /// Per configuration-dimension, per-side boundary conditions (the
+    /// domain defaults; species may override the wall flavor per side).
+    pub conf_bc: Vec<DimBc>,
 }
 
 impl PhaseGrid {
-    pub fn new(conf: CartGrid, vel: CartGrid, conf_bc: Vec<Bc>) -> Self {
+    pub fn new(conf: CartGrid, vel: CartGrid, conf_bc: Vec<impl Into<DimBc>>) -> Self {
         assert_eq!(conf_bc.len(), conf.ndim());
+        let conf_bc = conf_bc.into_iter().map(Into::into).collect();
         PhaseGrid { conf, vel, conf_bc }
     }
 
@@ -78,11 +80,25 @@ impl PhaseGrid {
     pub fn conf_neighbor(&self, cidx_d: usize, d: usize, side: i32) -> Option<usize> {
         self.conf_bc[d].neighbor(cidx_d, side, self.conf.cells()[d])
     }
+
+    /// Is configuration dimension `d` periodic (a torus direction)?
+    #[inline]
+    pub fn is_conf_periodic(&self, d: usize) -> bool {
+        self.conf_bc[d].is_periodic()
+    }
+
+    /// Is the velocity grid symmetric about `v = 0` in dimension `j`
+    /// (the prerequisite for specular reflection off a wall whose normal
+    /// pairs with `j`)?
+    pub fn vel_symmetric(&self, j: usize) -> bool {
+        self.vel.lower()[j] == -self.vel.upper()[j]
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::boundary::Bc;
 
     fn grid_1x2v() -> PhaseGrid {
         PhaseGrid::new(
@@ -119,5 +135,22 @@ mod tests {
         let g = grid_1x2v();
         assert_eq!(g.conf_neighbor(3, 0, 1), Some(0)); // periodic wrap
         assert_eq!(g.conf_neighbor(0, 0, -1), Some(3));
+        assert!(g.is_conf_periodic(0));
+    }
+
+    #[test]
+    fn walled_grids_terminate_and_report_symmetry() {
+        use crate::boundary::DimBc;
+        let g = PhaseGrid::new(
+            CartGrid::new(&[0.0], &[1.0], &[4]),
+            CartGrid::new(&[-2.0, -1.0], &[2.0, 3.0], &[8, 6]),
+            vec![DimBc::new(Bc::Reflect, Bc::Absorb)],
+        );
+        assert!(!g.is_conf_periodic(0));
+        assert_eq!(g.conf_neighbor(3, 0, 1), None);
+        assert_eq!(g.conf_neighbor(0, 0, -1), None);
+        assert_eq!(g.conf_neighbor(1, 0, -1), Some(0));
+        assert!(g.vel_symmetric(0));
+        assert!(!g.vel_symmetric(1));
     }
 }

@@ -14,9 +14,11 @@
 //!   sharing of `dg-parallel` slices contiguous ranges (the paper's MPI-3
 //!   shared-memory layer without ghost layers in velocity space);
 //! * no ghost cells are allocated: neighbours resolve through
-//!   [`boundary::Bc`]-aware index wrapping (periodic) or are absent
-//!   (zero-flux), which is exactly the paper's observation that shared
-//!   memory removes intra-node ghost-layer memory (§IV).
+//!   [`boundary::DimBc`]-aware index wrapping (periodic), and non-periodic
+//!   boundary faces synthesize their ghost *state* on the fly into solver
+//!   workspace scratch (copy/absorb/reflect walls) — the paper's
+//!   observation that shared memory removes intra-node ghost-layer memory
+//!   (§IV) extends to bounded domains.
 
 pub mod boundary;
 pub mod field;
@@ -24,7 +26,7 @@ pub mod grid;
 pub mod layout;
 pub mod slab;
 
-pub use boundary::Bc;
+pub use boundary::{Bc, DimBc};
 pub use field::{CellStoreMut, DgField, DgFieldSlice};
 pub use grid::CartGrid;
 pub use layout::PhaseGrid;

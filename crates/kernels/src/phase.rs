@@ -85,6 +85,14 @@ pub struct PhaseKernels {
     pub moments: MomentKernels,
     /// Weak multiply/divide on the configuration basis (primitive moments).
     pub weak: WeakOps,
+    /// Per configuration direction `d`: sign of each phase mode under the
+    /// even mirror `ξ_d → −ξ_d` (the `Bc::Copy` ghost, whose trace equals
+    /// the interior trace).
+    pub mirror_signs: Vec<Vec<f64>>,
+    /// Per configuration direction `d`: sign of each phase mode under the
+    /// specular reflection `(ξ_d, ξ_{v_d}) → (−ξ_d, −ξ_{v_d})` — the
+    /// velocity-parity map behind the `Bc::Reflect` ghost.
+    pub reflect_signs: Vec<Vec<f64>>,
 }
 
 impl PhaseKernels {
@@ -190,6 +198,14 @@ impl PhaseKernels {
 
         let moments = MomentKernels::build(&phase_basis, &conf_basis, cdim, vdim);
         let weak = WeakOps::build(&conf_basis, &tables);
+        let mirror_signs = (0..cdim)
+            .map(|d| dg_basis::parity::reflection_signs(&phase_basis, &[d]))
+            .collect();
+        let reflect_signs = (0..cdim)
+            .map(|d| {
+                dg_basis::parity::reflection_signs(&phase_basis, &[d, layout.vel_phase_dim(d)])
+            })
+            .collect();
 
         PhaseKernels {
             layout,
@@ -202,6 +218,8 @@ impl PhaseKernels {
             surfaces,
             moments,
             weak,
+            mirror_signs,
+            reflect_signs,
         }
     }
 

@@ -1,8 +1,17 @@
 //! The modal DG Maxwell operator on the configuration grid.
+//!
+//! Boundary treatment mirrors the kinetic layer's ghost-state model: a
+//! periodic dimension wraps, `ZeroFlux` skips the face (legacy no-flux),
+//! `Copy` synthesizes an even-mirror ghost (open boundary), and the wall
+//! conditions (`Absorb`/`Reflect` — walls for particles) become a
+//! **perfectly conducting wall** for the field: the ghost flips the
+//! tangential electric field and the normal magnetic field (plus the
+//! electric cleaning potential φ, which rides with the tangential E), so
+//! the upwind face flux drives `E_t → 0` and `B_n → 0` on the wall.
 
-use crate::flux::{MaxwellFlux, PhmParams, EX, PHI};
+use crate::flux::{MaxwellFlux, PhmParams, BX, EX, PHI, PSI};
 use dg_basis::{Basis, BasisKind, FaceBasis};
-use dg_grid::{Bc, CartGrid, DgField};
+use dg_grid::{Bc, CartGrid, DgField, DimBc};
 use dg_poly::tables::Tables1d;
 
 /// Number of PHM state components.
@@ -55,11 +64,14 @@ impl GradMass {
 pub struct MaxwellDg {
     pub grid: CartGrid,
     pub basis: Basis,
-    pub bc: Vec<Bc>,
+    pub bc: Vec<DimBc>,
     pub params: PhmParams,
     pub flux: MaxwellFlux,
     grad: Vec<GradMass>,
     faces: Vec<FaceBasis>,
+    /// Per dimension: sign of each conf mode under the mirror `ξ_d → −ξ_d`
+    /// (ghost-state synthesis at walls).
+    mirror: Vec<Vec<f64>>,
     nc: usize,
 }
 
@@ -67,19 +79,23 @@ impl MaxwellDg {
     pub fn new(
         kind: BasisKind,
         grid: CartGrid,
-        bc: Vec<Bc>,
+        bc: Vec<impl Into<DimBc>>,
         p: usize,
         params: PhmParams,
         flux: MaxwellFlux,
     ) -> Self {
         let cdim = grid.ndim();
         assert_eq!(bc.len(), cdim);
+        let bc: Vec<DimBc> = bc.into_iter().map(Into::into).collect();
         let basis = Basis::new(kind, cdim, p);
         let tables = Tables1d::new(p);
         let grad = (0..cdim)
             .map(|d| GradMass::build(&basis, &tables, d))
             .collect();
         let faces = (0..cdim).map(|d| FaceBasis::new(&basis, d)).collect();
+        let mirror = (0..cdim)
+            .map(|d| dg_basis::parity::reflection_signs(&basis, &[d]))
+            .collect();
         let nc = basis.len();
         MaxwellDg {
             grid,
@@ -89,7 +105,29 @@ impl MaxwellDg {
             flux,
             grad,
             faces,
+            mirror,
             nc,
+        }
+    }
+
+    /// Component sign of the wall ghost for a boundary of dimension `d`:
+    /// `Copy` extends evenly (open boundary); particle walls are perfectly
+    /// conducting — tangential E, normal B, and φ flip.
+    fn ghost_comp_sign(&self, bc: Bc, d: usize, comp: usize) -> f64 {
+        match bc {
+            Bc::Copy => 1.0,
+            Bc::Absorb | Bc::Reflect => match comp {
+                c if c == EX + d => 1.0,  // normal E (surface charge)
+                c if c < 3 => -1.0,       // tangential E → 0
+                c if c == BX + d => -1.0, // normal B → 0
+                c if c < 6 => 1.0,        // tangential B
+                PHI => -1.0,              // rides with tangential E
+                PSI => 1.0,
+                _ => unreachable!("PHM has {NCOMP} components"),
+            },
+            Bc::Periodic | Bc::ZeroFlux => {
+                unreachable!("{bc:?} does not synthesize a ghost state")
+            }
         }
     }
 
@@ -135,49 +173,30 @@ impl MaxwellDg {
         }
     }
 
-    /// All faces normal to configuration direction `d`.
+    /// All faces normal to configuration direction `d`: the lower-wall
+    /// face of boundary cells first, then the face on each cell's upper
+    /// side (interior neighbour, periodic wrap, or upper wall) — so each
+    /// cell accumulates its lower-face contribution before its upper one,
+    /// matching the kinetic sweep's ordering convention.
     fn surface_dir(&self, d: usize, em: &DgField, out: &mut DgField) {
         let grid = &self.grid;
         let cdim = grid.ndim();
         let nc = self.nc;
         let face = &self.faces[d];
         let nf = face.len();
-        let scale = 2.0 / grid.dx()[d];
         let table = self.params.flux_table(d);
         let speeds = self.params.wave_speeds(d);
         let upwind = self.flux == MaxwellFlux::Upwind;
+        let n_d = grid.cells()[d];
 
         let mut idx = vec![0usize; cdim];
         let mut ul = vec![0.0; NCOMP * nf];
         let mut ur = vec![0.0; NCOMP * nf];
         let mut ghat = vec![0.0; NCOMP * nf];
+        let mut ghost = vec![0.0; NCOMP * nc];
 
-        for lin in 0..grid.len() {
-            grid.delinearize(lin, &mut idx);
-            // Own the face on our upper side: neighbor in +d.
-            let Some(nbr_d) = self.bc[d].neighbor(idx[d], 1, grid.cells()[d]) else {
-                continue; // no-flux / open boundary: zero flux contribution
-            };
-            let mut nidx = idx.clone();
-            nidx[d] = nbr_d;
-            let nlin = grid.linearize(&nidx);
-
-            let cl = em.cell(lin);
-            let cr = em.cell(nlin);
-            ul.fill(0.0);
-            ur.fill(0.0);
-            for comp in 0..NCOMP {
-                face.restrict(
-                    1,
-                    &cl[comp * nc..(comp + 1) * nc],
-                    &mut ul[comp * nf..(comp + 1) * nf],
-                );
-                face.restrict(
-                    -1,
-                    &cr[comp * nc..(comp + 1) * nc],
-                    &mut ur[comp * nf..(comp + 1) * nf],
-                );
-            }
+        // Single-valued face flux from the two cell traces.
+        let flux = |ul: &[f64], ur: &[f64], ghat: &mut [f64]| {
             ghat.fill(0.0);
             for &(tgt, src, coef) in &table {
                 for a in 0..nf {
@@ -192,40 +211,82 @@ impl MaxwellDg {
                     }
                 }
             }
+        };
+        let restrict_all = |side: i32, cell: &[f64], u: &mut [f64]| {
+            u.fill(0.0);
+            for comp in 0..NCOMP {
+                face.restrict(
+                    side,
+                    &cell[comp * nc..(comp + 1) * nc],
+                    &mut u[comp * nf..(comp + 1) * nf],
+                );
+            }
+        };
+        let scale = 2.0 / grid.dx()[d];
+        let lift_all = |side: i32, ghat: &[f64], sgn: f64, cell: &mut [f64]| {
+            for comp in 0..NCOMP {
+                face.lift(
+                    side,
+                    &ghat[comp * nf..(comp + 1) * nf],
+                    sgn * scale,
+                    &mut cell[comp * nc..(comp + 1) * nc],
+                );
+            }
+        };
+
+        for lin in 0..grid.len() {
+            grid.delinearize(lin, &mut idx);
+            // Lower-wall face of boundary cells: ghost below, lift only the
+            // interior (upper) side.
+            if idx[d] == 0 && self.bc[d].lower.is_wall() {
+                self.stage_ghost(self.bc[d].lower, d, em.cell(lin), &mut ghost);
+                restrict_all(1, &ghost, &mut ul);
+                restrict_all(-1, em.cell(lin), &mut ur);
+                flux(&ul, &ur, &mut ghat);
+                lift_all(-1, &ghat, 1.0, out.cell_mut(lin));
+            }
+            // The face on our upper side: neighbor in +d, or the upper wall.
+            let Some(nbr_d) = self.bc[d].neighbor(idx[d], 1, n_d) else {
+                if idx[d] == n_d - 1 && self.bc[d].upper.is_wall() {
+                    self.stage_ghost(self.bc[d].upper, d, em.cell(lin), &mut ghost);
+                    restrict_all(1, em.cell(lin), &mut ul);
+                    restrict_all(-1, &ghost, &mut ur);
+                    flux(&ul, &ur, &mut ghat);
+                    lift_all(1, &ghat, -1.0, out.cell_mut(lin));
+                }
+                continue; // ZeroFlux: skip the face entirely
+            };
+            let mut nidx = idx.clone();
+            nidx[d] = nbr_d;
+            let nlin = grid.linearize(&nidx);
+
+            restrict_all(1, em.cell(lin), &mut ul);
+            restrict_all(-1, em.cell(nlin), &mut ur);
+            flux(&ul, &ur, &mut ghat);
             if lin == nlin {
                 // Single-cell periodic direction: both sides of the face are
                 // the same cell; apply the two lifts sequentially.
                 let o = out.cell_mut(lin);
-                for comp in 0..NCOMP {
-                    face.lift(
-                        1,
-                        &ghat[comp * nf..(comp + 1) * nf],
-                        -scale,
-                        &mut o[comp * nc..(comp + 1) * nc],
-                    );
-                    face.lift(
-                        -1,
-                        &ghat[comp * nf..(comp + 1) * nf],
-                        scale,
-                        &mut o[comp * nc..(comp + 1) * nc],
-                    );
-                }
+                lift_all(1, &ghat, -1.0, o);
+                lift_all(-1, &ghat, 1.0, o);
                 continue;
             }
             let (ol, or_) = out.cell_pair_mut(lin, nlin);
-            for comp in 0..NCOMP {
-                face.lift(
-                    1,
-                    &ghat[comp * nf..(comp + 1) * nf],
-                    -scale,
-                    &mut ol[comp * nc..(comp + 1) * nc],
-                );
-                face.lift(
-                    -1,
-                    &ghat[comp * nf..(comp + 1) * nf],
-                    scale,
-                    &mut or_[comp * nc..(comp + 1) * nc],
-                );
+            lift_all(1, &ghat, -1.0, ol);
+            lift_all(-1, &ghat, 1.0, or_);
+        }
+    }
+
+    /// Synthesize the wall ghost state for a boundary of dimension `d`:
+    /// the even mirror of the interior cell with the per-component signs
+    /// of [`MaxwellDg::ghost_comp_sign`] applied.
+    fn stage_ghost(&self, bc: Bc, d: usize, interior: &[f64], ghost: &mut [f64]) {
+        let nc = self.nc;
+        let mirror = &self.mirror[d];
+        for comp in 0..NCOMP {
+            let s = self.ghost_comp_sign(bc, d, comp);
+            for l in 0..nc {
+                ghost[comp * nc + l] = s * mirror[l] * interior[comp * nc + l];
             }
         }
     }
@@ -417,6 +478,97 @@ mod tests {
         assert!(
             rhs.max_abs() < 1e-12,
             "uniform state not steady: {}",
+            rhs.max_abs()
+        );
+    }
+
+    #[test]
+    fn pec_wall_admits_normal_e_and_damps_tangential_e() {
+        // Perfectly conducting walls: a uniform *normal* E (surface
+        // charge) and a uniform *tangential* B are steady states, while
+        // uniform tangential E and normal B violate the wall condition
+        // and must be damped by the upwind flux at the boundary.
+        let make = || {
+            MaxwellDg::new(
+                BasisKind::Serendipity,
+                CartGrid::new(&[0.0], &[1.0], &[6]),
+                vec![DimBc::uniform(Bc::Absorb)],
+                2,
+                PhmParams::vacuum(1.0),
+                MaxwellFlux::Upwind,
+            )
+        };
+        let mx = make();
+        let nc = mx.nc();
+        let c0 = dg_basis::expand::const_coeff(&mx.basis);
+        let uniform = |comp: usize| {
+            let mut em = mx.new_field();
+            for i in 0..mx.grid.len() {
+                em.cell_mut(i)[comp * nc] = c0;
+            }
+            em
+        };
+        for (comp, steady) in [
+            (EX, true),      // normal E: surface charge, admissible
+            (EX + 1, false), // tangential E → 0 on the wall
+            (BX, false),     // normal B → 0 on the wall
+            (BX + 1, true),  // tangential B: admissible
+        ] {
+            let em = uniform(comp);
+            let mut rhs = mx.new_field();
+            mx.rhs(&em, &mut rhs);
+            if steady {
+                assert!(
+                    rhs.max_abs() < 1e-12,
+                    "comp {comp} should be a PEC steady state: {}",
+                    rhs.max_abs()
+                );
+            } else {
+                assert!(
+                    rhs.max_abs() > 1e-3,
+                    "comp {comp} violates the PEC condition and must react"
+                );
+                // And the reaction is dissipative: energy decays.
+                let mut em = em.clone();
+                let e0 = em_energy(&mx, &em);
+                let dt = mx.max_dt(0.3);
+                for _ in 0..20 {
+                    step(&mx, &mut em, dt);
+                }
+                let e1 = em_energy(&mx, &em);
+                assert!(
+                    e1 < e0 * (1.0 - 1e-4),
+                    "comp {comp}: wall should damp the inadmissible field ({e0} → {e1})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn copy_open_boundary_keeps_uniform_fields_steady() {
+        // The even-mirror (copy) ghost makes every uniform component
+        // trace-continuous at the boundary: nothing reacts.
+        let mx = MaxwellDg::new(
+            BasisKind::Serendipity,
+            CartGrid::new(&[0.0], &[1.0], &[5]),
+            vec![DimBc::uniform(Bc::Copy)],
+            1,
+            PhmParams::vacuum(1.0),
+            MaxwellFlux::Upwind,
+        );
+        let nc = mx.nc();
+        let c0 = dg_basis::expand::const_coeff(&mx.basis);
+        let mut em = mx.new_field();
+        for i in 0..mx.grid.len() {
+            for comp in 0..6 {
+                em.cell_mut(i)[comp * nc] = (1.0 + comp as f64) * c0;
+            }
+        }
+        let mut rhs = mx.new_field();
+        mx.rhs(&em, &mut rhs);
+        assert!(
+            rhs.max_abs() < 1e-12,
+            "uniform fields must pass through open boundaries: {}",
             rhs.max_abs()
         );
     }

@@ -14,10 +14,10 @@ use crate::decomp::RankDecomp;
 use dg_core::backend::{Backend, BackendFactory};
 use dg_core::error::Error;
 use dg_core::moments::MomentScratch;
-use dg_core::ssprk::ssp_rk3_generic;
+use dg_core::ssprk::{ssp_rk3_generic, STAGE_WEIGHTS};
 use dg_core::system::{SystemState, VlasovMaxwell};
-use dg_core::vlasov::VlasovWorkspace;
-use dg_grid::{CellStoreMut, DgField};
+use dg_core::vlasov::{VlasovWorkspace, WallAccum};
+use dg_grid::{CellStoreMut, DgField, DimBc};
 use rayon::ThreadPool;
 
 /// Parallel driver wrapping a [`VlasovMaxwell`] system.
@@ -50,7 +50,10 @@ impl ParVlasovMaxwell {
     }
 
     /// Rank-local kinetic RHS for one species: the exact work one MPI rank
-    /// performs per stage in the paper's decomposition.
+    /// performs per stage in the paper's decomposition. Fills `ws.wall`
+    /// with this rank's wall-flux partial sums (only the edge ranks touch
+    /// a dim-0 wall, so the rank-ordered reduction reproduces the serial
+    /// ledger bits for 1D configurations).
     #[allow(clippy::too_many_arguments)]
     fn rank_species_rhs<S: CellStoreMut>(
         system: &VlasovMaxwell,
@@ -61,10 +64,12 @@ impl ParVlasovMaxwell {
         em: &DgField,
         out: &mut S,
         ws: &mut VlasovWorkspace,
+        bcs: &[DimBc],
     ) {
         let op = &system.vlasov;
         let grid = &system.grid;
         let cdim = grid.cdim();
+        ws.wall.reset();
         let conf_range = decomp.conf_range(rank);
         let slab = decomp.slabs[rank].clone();
         if slab.is_empty() {
@@ -72,12 +77,14 @@ impl ParVlasovMaxwell {
         }
         let n0 = decomp.n0;
         let stride0 = decomp.stride0;
+        let bc0 = bcs[0];
 
         // Volume everywhere in the rank.
         op.volume(qm, f, em, out, ws, conf_range.clone());
 
-        // dim-0 surfaces. Serial order: faces by ascending lower-cell index;
-        // the wrap face (n0−1 → 0) comes last.
+        // dim-0 surfaces. Serial order: lower-wall faces first, then faces
+        // by ascending lower-cell index; the periodic wrap face (n0−1 → 0)
+        // and the upper-wall faces come last.
         let apply_dim0 = |i0_lo: usize,
                           i0_hi: usize,
                           write_lo: bool,
@@ -90,9 +97,15 @@ impl ParVlasovMaxwell {
                 op.surface_config_face(0, f, out, ws, clo, chi, write_lo, write_hi);
             }
         };
+        // The decomposed lower domain edge: rank 0 owns the wall faces.
+        if slab.start == 0 && bc0.lower.is_wall() {
+            for rest in 0..stride0 {
+                op.surface_config_wall(0, -1, bc0.lower, f, out, ws, rest);
+            }
+        }
         // Halo face below this slab (received side), except for rank 0
-        // whose below-face is the wrap face, handled last like the serial
-        // sweep does.
+        // whose below-face is the wrap face (periodic topology only),
+        // handled last like the serial sweep does.
         if slab.start > 0 {
             apply_dim0(slab.start - 1, slab.start, false, true, out, ws);
         }
@@ -101,19 +114,25 @@ impl ParVlasovMaxwell {
             apply_dim0(i0, i0 + 1, true, true, out, ws);
         }
         // Face above the slab (sending side) or, for the last rank, the
-        // periodic wrap (write_lo); rank 0 then also receives the wrap.
+        // periodic wrap (write_lo) / the upper wall; rank 0 then also
+        // receives the wrap.
         if slab.end < n0 {
             apply_dim0(slab.end - 1, slab.end, true, false, out, ws);
-        } else if n0 > 1 {
+        } else if bc0.is_periodic() && n0 > 1 {
             apply_dim0(n0 - 1, 0, true, false, out, ws);
+        } else if bc0.upper.is_wall() {
+            for rest in 0..stride0 {
+                op.surface_config_wall(0, 1, bc0.upper, f, out, ws, (n0 - 1) * stride0 + rest);
+            }
         }
-        if slab.start == 0 && n0 > 1 {
+        if slab.start == 0 && bc0.is_periodic() && n0 > 1 {
             apply_dim0(n0 - 1, 0, false, true, out, ws);
         }
 
-        // Remaining configuration directions stay inside the slab.
+        // Remaining configuration directions stay inside the slab (wall
+        // faces included: every face of a d ≥ 1 column is rank-local).
         for d in 1..cdim {
-            op.surface_config(d, f, out, ws, conf_range.clone());
+            op.surface_config(d, f, out, ws, conf_range.clone(), bcs[d]);
         }
         // Velocity surfaces are cell-local in configuration space.
         op.surface_velocity(qm, f, em, out, ws, conf_range);
@@ -122,26 +141,45 @@ impl ParVlasovMaxwell {
     /// Full coupled RHS, rank-parallel species updates.
     pub fn rhs(&mut self, state: &SystemState, out: &mut SystemState) {
         out.fill(0.0);
-        let system = &self.system;
         let decomp = &self.decomp;
         let boundaries = decomp.phase_boundaries();
-        for (s, sp) in system.species.iter().enumerate() {
-            let qm = sp.qm();
-            let f = &state.species_f[s];
-            let em = &state.em;
-            let mut views = out.species_f[s].split_cells_mut(&boundaries);
-            self.pool.scope(|scope| {
-                for (rank, view) in views.iter_mut().enumerate() {
-                    scope.spawn(move |_| {
-                        let mut ws = VlasovWorkspace::for_kernels(&system.kernels);
-                        Self::rank_species_rhs(system, decomp, rank, qm, f, em, view, &mut ws);
-                    });
-                }
-            });
+        let nspecies = self.system.species.len();
+        let cdim = self.system.grid.cdim();
+        let ranks = decomp.ranks();
+        for s in 0..nspecies {
+            let mut accums: Vec<WallAccum> =
+                (0..ranks).map(|_| WallAccum::for_cdim(cdim)).collect();
+            {
+                let system = &self.system;
+                let qm = system.species[s].qm();
+                let bcs = system.conf_bcs(s);
+                let f = &state.species_f[s];
+                let em = &state.em;
+                let mut views = out.species_f[s].split_cells_mut(&boundaries);
+                self.pool.scope(|scope| {
+                    for (rank, (view, acc)) in views.iter_mut().zip(accums.iter_mut()).enumerate() {
+                        scope.spawn(move |_| {
+                            let mut ws = VlasovWorkspace::for_kernels(&system.kernels);
+                            Self::rank_species_rhs(
+                                system, decomp, rank, qm, f, em, view, &mut ws, bcs,
+                            );
+                            acc.copy_from(&ws.wall);
+                        });
+                    }
+                });
+            }
+            // Rank-ordered reduction of the wall partial sums, then the
+            // same physical-unit conversion the serial path applies.
+            let mut total = WallAccum::for_cdim(cdim);
+            for acc in &accums {
+                total.add(acc);
+            }
+            self.system.record_wall_rates(s, &total);
         }
         // Field + coupling. Moments are rank-parallel over disjoint
         // configuration slices (no all-reduce in velocity space — the
         // paper's point about the shared-memory layer).
+        let system = &self.system;
         if system.evolve_field() {
             system.maxwell.rhs(&state.em, &mut out.em);
             self.scratch_j.fill(0.0);
@@ -199,10 +237,19 @@ impl ParVlasovMaxwell {
         dt: f64,
     ) {
         let this: *mut ParVlasovMaxwell = self;
+        let mut stage_idx = 0usize;
         ssp_rk3_generic(state, stage, rhs_buf, dt, |s, o| {
             // SAFETY: the generic stepper invokes the closure serially and
             // its arguments never alias `self`'s internals.
-            unsafe { (*this).rhs(s, o) }
+            unsafe {
+                (*this).rhs(s, o);
+                // Fold this stage's wall rates into the ledger with the
+                // same weights as the serial stepper.
+                (*this)
+                    .system
+                    .integrate_wall_ledger(STAGE_WEIGHTS[stage_idx] * dt);
+            }
+            stage_idx += 1;
         });
     }
 }

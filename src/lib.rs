@@ -65,11 +65,13 @@ pub mod prelude {
     pub use dg_core::backend::{Backend, BackendFactory, Serial};
     pub use dg_core::error::Error;
     pub use dg_core::observer::{observe, Frame, Observer, Trigger};
-    pub use dg_core::system::{FluxKind, SystemState, VlasovMaxwell};
+    pub use dg_core::system::{FluxKind, SystemState, VlasovMaxwell, WallChannels};
     pub use dg_diag::csv::CsvSeries;
     pub use dg_diag::history::EnergyHistory;
     pub use dg_diag::slices::SliceSeries;
     pub use dg_diag::snapshot::Checkpoint;
+    pub use dg_diag::walls::WallFluxLedger;
+    pub use dg_grid::boundary::{Bc, DimBc};
     pub use dg_grid::grid::CartGrid;
     pub use dg_kernels::{DispatchPath, KernelDispatch};
     pub use dg_parallel::RankParallel;

@@ -18,7 +18,7 @@ use vlasov_dg::basis::BasisKind;
 use vlasov_dg::core::lbo::LboOp;
 use vlasov_dg::core::species::{maxwellian, Species};
 use vlasov_dg::core::vlasov::{FluxKind, VlasovOp, VlasovWorkspace};
-use vlasov_dg::grid::{Bc, CartGrid, DgField, PhaseGrid};
+use vlasov_dg::grid::{Bc, CartGrid, DgField, DimBc, PhaseGrid};
 use vlasov_dg::kernels::{kernels_for, KernelDispatch, PhaseLayout};
 use vlasov_dg::maxwell::NCOMP;
 
@@ -109,6 +109,49 @@ fn rhs_and_lbo_loops_allocate_nothing() {
         assert_eq!(
             n, 0,
             "collisionless RHS ({dispatch:?}) allocated {n} times in the hot loop"
+        );
+    }
+
+    // --- Wall boundary conditions: ghost synthesis (absorb + reflect),
+    // staged interior updates, and the wall-flux ledger must all run out
+    // of the persistent workspace — zero allocations with walls active,
+    // through both dispatch paths. ---
+    let kernels = kernels_for(BasisKind::Serendipity, PhaseLayout::new(1, 1), 2);
+    let grid = PhaseGrid::new(
+        CartGrid::new(&[0.0], &[1.0], &[4]),
+        CartGrid::new(&[-6.0], &[6.0], &[8]),
+        vec![DimBc::new(Bc::Reflect, Bc::Absorb)],
+    );
+    let mut sp = Species::new("elc", -1.0, 1.0, &grid, kernels.np());
+    sp.project_initial(&kernels, &grid, 4, &mut |x, v| {
+        maxwellian(1.0 + 0.1 * x[0], &[0.7], 0.9, v)
+    });
+    let mut em = DgField::zeros(grid.conf.len(), NCOMP * kernels.nc());
+    for c in 0..grid.conf.len() {
+        for (i, v) in em.cell_mut(c).iter_mut().enumerate() {
+            *v = ((c * 7 + i) as f64 * 0.53).sin() * 0.2;
+        }
+    }
+    let mut out = DgField::zeros(sp.f.ncells(), sp.f.ncoeff());
+    let mut ws = VlasovWorkspace::for_kernels(&kernels);
+    for dispatch in [KernelDispatch::Generated, KernelDispatch::RuntimeSparse] {
+        let op = VlasovOp::with_dispatch(
+            std::sync::Arc::clone(&kernels),
+            grid.clone(),
+            FluxKind::Upwind,
+            dispatch,
+        );
+        out.fill(0.0);
+        op.accumulate_rhs(sp.qm(), &sp.f, &em, &mut out, &mut ws);
+        let n = count_allocs(|| {
+            for _ in 0..3 {
+                out.fill(0.0);
+                op.accumulate_rhs(sp.qm(), &sp.f, &em, &mut out, &mut ws);
+            }
+        });
+        assert_eq!(
+            n, 0,
+            "walled RHS ({dispatch:?}) allocated {n} times in the hot loop"
         );
     }
 
