@@ -10,6 +10,7 @@
 
 use dg_basis::BasisKind;
 use dg_bench::env_usize;
+use dg_bench::report::{bench_json_path, merge_section, JsonObj};
 use dg_core::app::{AppBuilder, FieldSpec, SpeciesSpec};
 use dg_core::lbo::LboOp;
 use dg_core::species::maxwellian;
@@ -98,5 +99,24 @@ fn main() {
         factor > 1.2 && factor < 5.0,
         "collision cost factor {factor:.2} outside the paper's ~2x ballpark"
     );
+
+    let section = JsonObj::new()
+        .obj(
+            "config",
+            JsonObj::new()
+                .str("layout", "2x3v")
+                .str("basis", "serendipity")
+                .int("poly_order", 2)
+                .int("conf_cells_per_dim", nx as u64)
+                .int("vel_cells_per_dim", nv as u64)
+                .int("dofs", dofs as u64),
+        )
+        .num("eop_collisionless_dof_per_s_per_core", eop)
+        .num("eop_with_lbo_dof_per_s_per_core", eop_lbo)
+        .num("collision_cost_factor", factor)
+        .num("paper_eop_collisionless", 1.67e7);
+    let path = bench_json_path();
+    merge_section(&path, "eop_efficiency", &section);
+    println!("wrote section \"eop_efficiency\" to {}", path.display());
     println!("\neop_efficiency OK");
 }

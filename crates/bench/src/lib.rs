@@ -6,6 +6,8 @@
 //! by the Fig. 2 study and the synthetic cell data all micro-measurements
 //! share.
 
+pub mod report;
+
 use dg_basis::BasisKind;
 use dg_kernels::accel::VelGeom;
 use dg_kernels::surface::FaceScratch;

@@ -1,0 +1,271 @@
+//! Machine-readable bench results: a tiny JSON writer with top-level-key
+//! merge semantics, so independent bench targets can each own one section
+//! of the same committed report file (`BENCH_6.json`) without a JSON
+//! dependency in the workspace.
+//!
+//! The supported grammar is deliberately the subset these benches emit: a
+//! top-level object whose values are arbitrary well-formed JSON. Merging
+//! re-scans only the *top level* (strings and nesting are honoured when
+//! skipping), replaces the section if the key exists, appends otherwise —
+//! so `dispatch_speedup` and `eop_efficiency` can run in any order and
+//! each refresh only its own numbers.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Builder for one JSON object, kept as raw JSON fragments so nesting is
+/// just recursion over builders.
+#[derive(Default)]
+pub struct JsonObj {
+    entries: Vec<(String, String)>,
+}
+
+/// A finite `f64` as JSON: shortest round-trip form via `{:?}`.
+fn fnum(v: f64) -> String {
+    assert!(v.is_finite(), "JSON has no representation for {v}");
+    format!("{v:?}")
+}
+
+impl JsonObj {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert a raw, already-serialized JSON value.
+    pub fn raw(mut self, key: &str, json: impl Into<String>) -> Self {
+        self.entries.push((key.to_string(), json.into()));
+        self
+    }
+
+    pub fn num(self, key: &str, v: f64) -> Self {
+        self.raw(key, fnum(v))
+    }
+
+    pub fn int(self, key: &str, v: u64) -> Self {
+        self.raw(key, v.to_string())
+    }
+
+    pub fn str(self, key: &str, v: &str) -> Self {
+        assert!(
+            !v.contains(['"', '\\']) && !v.chars().any(|c| c.is_control()),
+            "string needs escaping, which this mini-writer does not do: {v:?}"
+        );
+        self.raw(key, format!("\"{v}\""))
+    }
+
+    pub fn obj(self, key: &str, v: JsonObj) -> Self {
+        let json = v.render(0);
+        self.raw(key, json)
+    }
+
+    pub fn num_array(self, key: &str, vs: &[f64]) -> Self {
+        let items: Vec<String> = vs.iter().map(|&v| fnum(v)).collect();
+        self.raw(key, format!("[{}]", items.join(", ")))
+    }
+
+    pub fn int_array(self, key: &str, vs: &[u64]) -> Self {
+        let items: Vec<String> = vs.iter().map(u64::to_string).collect();
+        self.raw(key, format!("[{}]", items.join(", ")))
+    }
+
+    /// Serialize with two-space indentation at `indent` nesting depth.
+    /// Nested values are emitted as-is, re-indented line by line.
+    pub fn render(&self, indent: usize) -> String {
+        let pad = "  ".repeat(indent + 1);
+        let mut s = String::from("{\n");
+        for (i, (k, v)) in self.entries.iter().enumerate() {
+            let sep = if i + 1 < self.entries.len() { "," } else { "" };
+            let v = v.replace('\n', &format!("\n{pad}"));
+            let _ = writeln!(s, "{pad}\"{k}\": {v}{sep}");
+        }
+        let _ = write!(s, "{}}}", "  ".repeat(indent));
+        s
+    }
+}
+
+/// Byte offsets `(start, end)` of each top-level `"key": value` entry, with
+/// the key it carries. `end` points one past the value (before any comma).
+fn scan_top_level(body: &str) -> Vec<(String, usize, usize)> {
+    let bytes = body.as_bytes();
+    let open = body.find('{').expect("report is not a JSON object");
+    let mut i = open + 1;
+    let mut out = Vec::new();
+    while i < bytes.len() {
+        match bytes[i] {
+            b'}' => break,
+            b'"' => {
+                let (key, after_key) = scan_string(body, i);
+                let colon = body[after_key..].find(':').expect("missing ':'") + after_key;
+                let vstart = colon + 1;
+                let vend = scan_value(body, vstart);
+                out.push((key, i, vend));
+                i = vend;
+            }
+            _ => i += 1,
+        }
+    }
+    out
+}
+
+/// Scan the JSON string starting at the opening quote `at`; returns the
+/// unescaped-as-written key text and the index one past the closing quote.
+fn scan_string(body: &str, at: usize) -> (String, usize) {
+    let bytes = body.as_bytes();
+    let mut i = at + 1;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'"' => return (body[at + 1..i].to_string(), i + 1),
+            _ => i += 1,
+        }
+    }
+    panic!("unterminated string in report");
+}
+
+/// Index one past the value starting at (or after whitespace from) `from`.
+fn scan_value(body: &str, from: usize) -> usize {
+    let bytes = body.as_bytes();
+    let mut i = from;
+    while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+        i += 1;
+    }
+    match bytes[i] {
+        b'"' => scan_string(body, i).1,
+        b'{' | b'[' => {
+            let mut depth = 0usize;
+            while i < bytes.len() {
+                match bytes[i] {
+                    b'{' | b'[' => depth += 1,
+                    b'}' | b']' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            return i + 1;
+                        }
+                    }
+                    b'"' => {
+                        i = scan_string(body, i).1 - 1;
+                    }
+                    _ => {}
+                }
+                i += 1;
+            }
+            panic!("unterminated container in report");
+        }
+        _ => {
+            // number / true / false / null
+            while i < bytes.len() && !matches!(bytes[i], b',' | b'}' | b']') {
+                i += 1;
+            }
+            while i > from && bytes[i - 1].is_ascii_whitespace() {
+                i -= 1;
+            }
+            i
+        }
+    }
+}
+
+/// Undo the indentation a value picked up from its position in the file,
+/// so re-rendering at a (possibly different) depth is idempotent: the last
+/// line (a closing brace/bracket for multi-line values) sits at the
+/// value's own base indent — strip that prefix from every continuation
+/// line. The mini-writer never emits strings containing newlines, so
+/// whitespace at line starts is always structural.
+fn dedent(v: &str) -> String {
+    let base = v
+        .lines()
+        .last()
+        .map_or(0, |l| l.len() - l.trim_start().len());
+    if base == 0 || !v.contains('\n') {
+        return v.to_string();
+    }
+    let prefix = " ".repeat(base);
+    let lines: Vec<&str> = v
+        .lines()
+        .enumerate()
+        .map(|(i, l)| {
+            if i == 0 {
+                l
+            } else {
+                l.strip_prefix(prefix.as_str()).unwrap_or(l)
+            }
+        })
+        .collect();
+    lines.join("\n")
+}
+
+/// Replace (or append) the top-level `section` of the JSON report at
+/// `path` with `value` and write it back, creating the file if absent.
+pub fn merge_section(path: &Path, section: &str, value: &JsonObj) {
+    let existing = std::fs::read_to_string(path).unwrap_or_else(|_| String::from("{\n}"));
+    let mut entries: Vec<(String, String)> = scan_top_level(&existing)
+        .into_iter()
+        .map(|(k, s, e)| {
+            let body = existing[s..e].split_once(':').unwrap().1.trim();
+            (k, dedent(body))
+        })
+        .collect();
+    let rendered = value.render(0);
+    match entries.iter_mut().find(|(k, _)| k == section) {
+        Some(slot) => slot.1 = rendered,
+        None => entries.push((section.to_string(), rendered)),
+    }
+    let mut top = JsonObj::new();
+    for (k, v) in entries {
+        top = top.raw(&k, v);
+    }
+    let mut text = top.render(0);
+    text.push('\n');
+    std::fs::write(path, text).unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+}
+
+/// The committed report path: `BENCH_6.json` at the workspace root, next
+/// to EXPERIMENTS.md (override with the `BENCH_JSON` env var).
+pub fn bench_json_path() -> std::path::PathBuf {
+    match std::env::var("BENCH_JSON") {
+        Ok(p) => p.into(),
+        Err(_) => Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_6.json"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_and_merge_round_trip() {
+        let dir = std::env::temp_dir().join(format!("dg_bench_report_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("report.json");
+        let _ = std::fs::remove_file(&path);
+
+        let a = JsonObj::new()
+            .str("name", "alpha")
+            .num("speedup", 2.5)
+            .int_array("threads", &[1, 2, 4])
+            .obj("nested", JsonObj::new().num("x", 0.125));
+        merge_section(&path, "a", &a);
+        merge_section(&path, "b", &JsonObj::new().int("n", 7));
+        // Refresh section "a": must replace in place, preserving "b".
+        merge_section(&path, "a", &JsonObj::new().num("speedup", 3.0));
+
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"speedup\": 3.0"), "{text}");
+        assert!(!text.contains("alpha"), "old section content left: {text}");
+        assert!(text.contains("\"n\": 7"), "{text}");
+        let keys: Vec<String> = scan_top_level(&text).into_iter().map(|e| e.0).collect();
+        assert_eq!(keys, ["a", "b"]);
+
+        // Re-merging an identical section must be byte-for-byte idempotent
+        // (no indentation creep on untouched sections).
+        merge_section(&path, "a", &JsonObj::new().num("speedup", 3.0));
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), text);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn scanner_skips_strings_with_braces_and_escapes() {
+        let text = r#"{ "k1": {"s": "a}b\"c", "arr": [1, {"q": "]"}]}, "k2": 3.5 }"#;
+        let keys: Vec<String> = scan_top_level(text).into_iter().map(|e| e.0).collect();
+        assert_eq!(keys, ["k1", "k2"]);
+    }
+}

@@ -183,6 +183,8 @@ pub struct AppBuilder {
     field: Option<FieldSpec>,
     init_quad_npts: Option<usize>,
     backend: Box<dyn BackendFactory>,
+    backend_overridden: bool,
+    threads: Option<usize>,
 }
 
 impl Default for AppBuilder {
@@ -204,7 +206,9 @@ impl AppBuilder {
             species: Vec::new(),
             field: None,
             init_quad_npts: None,
-            backend: Box::new(Serial),
+            backend: Box::new(Serial::default()),
+            backend_overridden: false,
+            threads: None,
         }
     }
 
@@ -276,6 +280,17 @@ impl AppBuilder {
     /// either.
     pub fn backend(mut self, factory: impl BackendFactory + 'static) -> Self {
         self.backend = Box::new(factory);
+        self.backend_overridden = true;
+        self
+    }
+
+    /// Intra-process worker threads for the default [`Serial`] backend's
+    /// cell-block parallel RHS sweep (default 1; trajectories are
+    /// bit-identical for every thread count). `0` is a build error, as is
+    /// combining this with an explicit [`AppBuilder::backend`] — parallel
+    /// factories carry their own thread knob (`RankParallel { threads }`).
+    pub fn threads(mut self, n: usize) -> Self {
+        self.threads = Some(n);
         self
     }
 
@@ -423,6 +438,21 @@ impl AppBuilder {
             poisson_init_1d(&mut system, &mut em)?;
         }
         let state = system.initial_state(em);
+        if let Some(n) = self.threads {
+            if self.backend_overridden {
+                return Err(Error::Build(
+                    "AppBuilder::threads applies to the default Serial backend; an explicit \
+                     backend carries its own thread knob (e.g. RankParallel { threads })"
+                        .into(),
+                ));
+            }
+            if n == 0 {
+                return Err(Error::Build(
+                    "AppBuilder::threads needs n ≥ 1, got 0".into(),
+                ));
+            }
+            self.backend = Box::new(Serial { threads: n });
+        }
         let backend = self.backend.make(system)?;
         Ok(App {
             backend,

@@ -18,9 +18,10 @@
 //! `App`, and downstream crates can provide further engines (GPU, real
 //! MPI) without touching this crate.
 
+use crate::blocks::BlockRhs;
 use crate::cfl::suggest_dt;
 use crate::error::Error;
-use crate::ssprk::SspRk3;
+use crate::ssprk::{ssp_rk3_generic, SspRk3, STAGE_WEIGHTS};
 use crate::system::{SystemState, VlasovMaxwell};
 
 /// An execution engine that can advance a [`SystemState`] in time.
@@ -61,13 +62,32 @@ pub trait BackendFactory {
     fn make(&self, system: VlasovMaxwell) -> Result<Box<dyn Backend>, Error>;
 }
 
-/// The default backend: the single-threaded SSP-RK3 sweep.
-#[derive(Clone, Copy, Debug, Default)]
-pub struct Serial;
+/// The default backend: the in-process SSP-RK3 sweep, single-threaded by
+/// default, cell-block parallel with `threads > 1` (bit-identical either
+/// way — the block decomposition preserves every cell's floating-point
+/// addition order; see [`crate::blocks`]).
+#[derive(Clone, Copy, Debug)]
+pub struct Serial {
+    /// Intra-process worker threads for the RHS sweep (1 = the plain
+    /// serial sweep; 0 is a build error).
+    pub threads: usize,
+}
+
+impl Default for Serial {
+    fn default() -> Self {
+        Serial { threads: 1 }
+    }
+}
 
 impl BackendFactory for Serial {
     fn make(&self, system: VlasovMaxwell) -> Result<Box<dyn Backend>, Error> {
-        Ok(Box::new(SerialBackend::new(system)))
+        match self.threads {
+            0 => Err(Error::Build(
+                "Serial backend needs threads ≥ 1, got 0".into(),
+            )),
+            1 => Ok(Box::new(SerialBackend::new(system))),
+            n => Ok(Box::new(ThreadedBackend::new(system, n))),
+        }
     }
 }
 
@@ -88,6 +108,66 @@ impl SerialBackend {
 impl Backend for SerialBackend {
     fn step(&mut self, state: &mut SystemState, dt: f64) {
         self.stepper.step(&mut self.system, state, dt);
+    }
+
+    fn system(&self) -> &VlasovMaxwell {
+        &self.system
+    }
+
+    fn system_mut(&mut self) -> &mut VlasovMaxwell {
+        &mut self.system
+    }
+
+    fn into_system(self: Box<Self>) -> VlasovMaxwell {
+        self.system
+    }
+
+    fn name(&self) -> &'static str {
+        "serial"
+    }
+}
+
+/// Cell-block threaded execution engine (`Serial { threads: n > 1 }`):
+/// the same SSP-RK3 sequence as [`SerialBackend`], with the species RHS
+/// evaluated by [`BlockRhs`] on a persistent worker pool. Reports the
+/// same backend name — thread count is execution policy, not physics, and
+/// the trajectories are bit-identical (`tests/threaded_equiv.rs`).
+pub struct ThreadedBackend {
+    system: VlasovMaxwell,
+    block: BlockRhs,
+    stage: SystemState,
+    rhs: SystemState,
+}
+
+impl ThreadedBackend {
+    pub fn new(system: VlasovMaxwell, threads: usize) -> Self {
+        let block = BlockRhs::new(&system, 1, threads);
+        let stage = system.new_state();
+        let rhs = system.new_state();
+        ThreadedBackend {
+            system,
+            block,
+            stage,
+            rhs,
+        }
+    }
+}
+
+impl Backend for ThreadedBackend {
+    fn step(&mut self, state: &mut SystemState, dt: f64) {
+        let this: *mut ThreadedBackend = self;
+        let mut stage_idx = 0usize;
+        ssp_rk3_generic(state, &mut self.stage, &mut self.rhs, dt, |s, o| {
+            // SAFETY: the generic stepper invokes the closure serially and
+            // its arguments never alias `self.system` / `self.block`.
+            unsafe {
+                (*this).block.rhs(&mut (*this).system, s, o);
+                (*this)
+                    .system
+                    .integrate_wall_ledger(STAGE_WEIGHTS[stage_idx] * dt);
+            }
+            stage_idx += 1;
+        });
     }
 
     fn system(&self) -> &VlasovMaxwell {

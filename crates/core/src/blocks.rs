@@ -1,0 +1,441 @@
+//! Intra-rank cell-block parallelism for the RHS sweep.
+//!
+//! The paper's single-node story (§III, Fig. 3) layers shared-memory
+//! parallelism over cells on top of the per-cell unrolled kernels. This
+//! module is that layer: configuration space is split into contiguous
+//! dim-0 **cell blocks** — the rank slabs of `dg-parallel`, each further
+//! split into per-thread sub-slabs — and every block evaluates its own
+//! volume + surface + LBO contributions on the persistent workers of the
+//! rayon-shim [`ThreadPool`].
+//!
+//! **Bit-identity.** The serial sweep's contribution order within one
+//! output cell is volume → dim-0 faces (one-sided writes) → higher
+//! configuration faces → velocity faces → LBO. Every one of those
+//! contributions comes exclusively from the cell's owning block: dim-0
+//! faces write one side each (both adjacent blocks evaluate the shared
+//! flux, the paper's redundant-halo-flux trick), `d ≥ 1` faces never leave
+//! a dim-0 row, and velocity faces and the LBO never leave a configuration
+//! cell. So each output cell receives exactly the serial sequence of
+//! additions no matter how many blocks run concurrently — the threaded
+//! sweep is bit-identical to serial *by construction*, for any thread
+//! count ([`tests/threaded_equiv.rs`] asserts it).
+//!
+//! **Deterministic ledger reduction.** Each block accumulates wall-flux
+//! partials into its own workspace; after the barrier the main thread
+//! reduces them in ascending block order — lower-wall blocks first,
+//! interior, upper-wall blocks last. Dim-0 wall channels are wholly owned
+//! by the first/last block, so the 1D ledger is bit-identical to serial.
+//!
+//! **Zero allocation.** Per-block [`VlasovWorkspace`]/[`LboScratch`]
+//! instances persist across calls, blocks reach their output cells through
+//! [`DgFieldSlice::from_raw`] (no per-call view `Vec`), and the pool's
+//! `broadcast` publishes work through a fixed command slot — the threaded
+//! sweep passes the counting-allocator gate in `tests/alloc_free.rs`.
+
+use std::ops::Range;
+use std::sync::Mutex;
+
+use dg_grid::slab::slab_ranges;
+use dg_grid::{CellStoreMut, DgField, DgFieldSlice, DimBc, PhaseGrid};
+use rayon::ThreadPool;
+
+use crate::lbo::LboScratch;
+use crate::system::{SystemState, VlasovMaxwell};
+use crate::vlasov::{VlasovOp, VlasovWorkspace, WallAccum};
+
+/// Contiguous dim-0 cell blocks: the rank slabs of the two-level
+/// decomposition, each sub-split into per-thread pieces. Blocks ascend in
+/// dim-0 globally, so "reduce in block order" and "reduce in rank order,
+/// then intra-rank block order" are the same reduction.
+#[derive(Clone, Debug)]
+pub struct CellBlocks {
+    /// Per-block dim-0 index range, globally ascending (empty ranges
+    /// allowed when blocks outnumber cells).
+    pub blocks: Vec<Range<usize>>,
+    /// Total dim-0 extent.
+    pub n0: usize,
+    /// Configuration cells per unit of dim-0.
+    pub stride0: usize,
+}
+
+impl CellBlocks {
+    /// Split `n0` dim-0 cells into `ranks` slabs of `blocks_per_rank`
+    /// blocks each (the serial backend uses `ranks = 1`).
+    pub fn new(grid: &dg_grid::PhaseGrid, ranks: usize, blocks_per_rank: usize) -> Self {
+        assert!(ranks >= 1 && blocks_per_rank >= 1);
+        let n0 = grid.conf.cells()[0];
+        let mut blocks = Vec::with_capacity(ranks * blocks_per_rank);
+        for slab in slab_ranges(n0, ranks) {
+            for sub in slab_ranges(slab.len(), blocks_per_rank) {
+                blocks.push(slab.start + sub.start..slab.start + sub.end);
+            }
+        }
+        CellBlocks {
+            blocks,
+            n0,
+            stride0: grid.conf.len() / n0,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// Linear configuration-cell range of one block.
+    pub fn conf_range(&self, b: usize) -> Range<usize> {
+        let s = &self.blocks[b];
+        s.start * self.stride0..s.end * self.stride0
+    }
+}
+
+/// Kinetic RHS of one species restricted to one dim-0 cell block: the unit
+/// of work of both the threaded serial backend and each simulated rank of
+/// `dg-parallel` (a rank is just a block that happens to span its whole
+/// slab). Fills `ws.wall` with the block's wall-flux partial sums.
+///
+/// The sweep order matches the serial one restricted to the block: volume,
+/// lower-wall faces (first block only), the received face below the block,
+/// interior dim-0 faces ascending, the sending face above the block — or
+/// the periodic wrap / upper wall for the last block, with the first block
+/// applying its received wrap side last, exactly where the serial sweep
+/// visits it.
+#[allow(clippy::too_many_arguments)]
+pub fn block_species_rhs<S: CellStoreMut>(
+    op: &VlasovOp,
+    grid: &PhaseGrid,
+    block: Range<usize>,
+    n0: usize,
+    stride0: usize,
+    qm: f64,
+    f: &DgField,
+    em: &DgField,
+    out: &mut S,
+    ws: &mut VlasovWorkspace,
+    bcs: &[DimBc],
+) {
+    let cdim = grid.cdim();
+    ws.wall.reset();
+    if block.is_empty() {
+        return; // more blocks than dim-0 cells: idle block
+    }
+    let conf_range = block.start * stride0..block.end * stride0;
+    let bc0 = bcs[0];
+
+    // Volume everywhere in the block.
+    op.volume(qm, f, em, out, ws, conf_range.clone());
+
+    // dim-0 surfaces. Serial order: lower-wall faces first, then faces by
+    // ascending lower-cell index; the periodic wrap face (n0−1 → 0) and
+    // the upper-wall faces come last.
+    let apply_dim0 = |i0_lo: usize,
+                      i0_hi: usize,
+                      write_lo: bool,
+                      write_hi: bool,
+                      out: &mut S,
+                      ws: &mut VlasovWorkspace| {
+        for rest in 0..stride0 {
+            let clo = i0_lo * stride0 + rest;
+            let chi = i0_hi * stride0 + rest;
+            op.surface_config_face(0, f, out, ws, clo, chi, write_lo, write_hi);
+        }
+    };
+    // The decomposed lower domain edge: the first block owns the wall.
+    if block.start == 0 && bc0.lower.is_wall() {
+        for rest in 0..stride0 {
+            op.surface_config_wall(0, -1, bc0.lower, f, out, ws, rest);
+        }
+    }
+    // Shared face below this block (received side), except for the first
+    // block whose below-face is the wrap face (periodic topology only),
+    // handled last like the serial sweep does.
+    if block.start > 0 {
+        apply_dim0(block.start - 1, block.start, false, true, out, ws);
+    }
+    // Interior faces of the block.
+    for i0 in block.start..block.end.saturating_sub(1) {
+        apply_dim0(i0, i0 + 1, true, true, out, ws);
+    }
+    // Face above the block (sending side) or, for the last block, the
+    // periodic wrap (write_lo) / the upper wall; the first block then also
+    // receives the wrap.
+    if block.end < n0 {
+        apply_dim0(block.end - 1, block.end, true, false, out, ws);
+    } else if bc0.is_periodic() && n0 > 1 {
+        apply_dim0(n0 - 1, 0, true, false, out, ws);
+    } else if bc0.upper.is_wall() {
+        for rest in 0..stride0 {
+            op.surface_config_wall(0, 1, bc0.upper, f, out, ws, (n0 - 1) * stride0 + rest);
+        }
+    }
+    if block.start == 0 && bc0.is_periodic() && n0 > 1 {
+        apply_dim0(n0 - 1, 0, false, true, out, ws);
+    }
+
+    // Remaining configuration directions stay inside the block (wall faces
+    // included: every face of a d ≥ 1 column is block-local).
+    for d in 1..cdim {
+        op.surface_config(d, f, out, ws, conf_range.clone(), bcs[d]);
+    }
+    // Velocity surfaces are cell-local in configuration space.
+    op.surface_velocity(qm, f, em, out, ws, conf_range);
+}
+
+/// Shareable base pointer of an output field (each worker derives its own
+/// disjoint [`DgFieldSlice`] from it).
+#[derive(Clone, Copy)]
+struct SendPtr(*mut f64);
+// SAFETY: workers write strictly disjoint cell ranges of the field.
+unsafe impl Send for SendPtr {}
+unsafe impl Sync for SendPtr {}
+
+impl SendPtr {
+    /// Accessor (rather than field access) so closures capture the
+    /// `Sync` wrapper, not the raw pointer field.
+    fn get(&self) -> *mut f64 {
+        self.0
+    }
+}
+
+/// The cell-block parallel RHS driver: owns the worker pool, the block
+/// decomposition, and one persistent workspace per block.
+pub struct BlockRhs {
+    pool: ThreadPool,
+    blocks: CellBlocks,
+    /// One kinetic workspace per block — `Mutex` only to satisfy the
+    /// compiler: block `b` is touched by exactly one worker per sweep
+    /// (`b % nthreads == worker index`), so every lock is uncontended (and
+    /// the std mutex is futex-based: locking never allocates).
+    ws: Vec<Mutex<VlasovWorkspace>>,
+    /// One LBO scratch per block, built on the first sweep of a system
+    /// with collisions enabled.
+    lbo_ws: Vec<Mutex<LboScratch>>,
+    /// Persistent block-ordered reduction target for the wall ledger.
+    total: WallAccum,
+}
+
+impl BlockRhs {
+    /// A driver over `ranks × threads` blocks executed by `threads`
+    /// workers (the serial backend passes `ranks = 1`; `dg-parallel`
+    /// composes simulated ranks × intra-rank threads).
+    pub fn new(system: &VlasovMaxwell, ranks: usize, threads: usize) -> Self {
+        assert!(threads >= 1, "BlockRhs needs at least one thread");
+        let blocks = CellBlocks::new(&system.grid, ranks, threads);
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("worker pool");
+        let ws = (0..blocks.len())
+            .map(|_| Mutex::new(VlasovWorkspace::for_kernels(&system.kernels)))
+            .collect();
+        let mut this = BlockRhs {
+            pool,
+            blocks,
+            ws,
+            lbo_ws: Vec::new(),
+            total: WallAccum::for_cdim(system.grid.cdim()),
+        };
+        this.ensure_lbo_scratch(system);
+        this
+    }
+
+    /// The worker pool (shared with `dg-parallel`'s moment reduction).
+    pub fn pool(&self) -> &ThreadPool {
+        &self.pool
+    }
+
+    /// The block decomposition.
+    pub fn blocks(&self) -> &CellBlocks {
+        &self.blocks
+    }
+
+    /// Allocate per-block LBO scratch if the system has collisions and we
+    /// have none yet (collisions may be enabled after construction; this
+    /// runs once, outside the counted hot loop).
+    fn ensure_lbo_scratch(&mut self, system: &VlasovMaxwell) {
+        if !self.lbo_ws.is_empty() {
+            return;
+        }
+        if let Some(lbo) = system.collisions().iter().flatten().next() {
+            self.lbo_ws = (0..self.blocks.len())
+                .map(|_| Mutex::new(lbo.make_scratch()))
+                .collect();
+        }
+    }
+
+    /// Kinetic RHS of every species, cell-block parallel, plus the
+    /// block-ordered wall-ledger reduction. `out`'s species fields must be
+    /// zeroed by the caller (the RHS accumulates).
+    pub fn species_rhs(
+        &mut self,
+        system: &mut VlasovMaxwell,
+        state: &SystemState,
+        out: &mut SystemState,
+    ) {
+        self.ensure_lbo_scratch(system);
+        let nblocks = self.blocks.len();
+        let (n0, stride0) = (self.blocks.n0, self.blocks.stride0);
+        let nv = system.grid.vel.len();
+        for s in 0..system.species.len() {
+            {
+                let sys: &VlasovMaxwell = system;
+                let qm = sys.species[s].qm();
+                let bcs = sys.conf_bcs(s);
+                let f = &state.species_f[s];
+                let em = &state.em;
+                let lbo = sys.collisions()[s].as_ref();
+                let op = &sys.vlasov;
+                let grid = &sys.grid;
+                let np = out.species_f[s].ncoeff();
+                let base = SendPtr(out.species_f[s].as_mut_slice().as_mut_ptr());
+                let blocks = &self.blocks.blocks;
+                let ws = &self.ws;
+                let lbo_ws = &self.lbo_ws;
+                self.pool.broadcast(|ctx| {
+                    let me = ctx.index();
+                    let nthreads = ctx.num_threads();
+                    for b in (me..nblocks).step_by(nthreads) {
+                        let block = blocks[b].clone();
+                        let conf_range = block.start * stride0..block.end * stride0;
+                        let first = conf_range.start * nv;
+                        let ncells = conf_range.len() * nv;
+                        // SAFETY: blocks are disjoint cell ranges of the
+                        // output field and each block is visited by
+                        // exactly one worker, so the views never overlap.
+                        let mut view = unsafe {
+                            DgFieldSlice::from_raw(base.get().add(first * np), first, ncells, np)
+                        };
+                        let mut bws = ws[b].lock().unwrap();
+                        block_species_rhs(
+                            op, grid, block, n0, stride0, qm, f, em, &mut view, &mut bws, bcs,
+                        );
+                        if let Some(lbo) = lbo {
+                            let mut lws = lbo_ws[b].lock().unwrap();
+                            lbo.accumulate_rhs_range(f, &mut view, &mut lws, conf_range);
+                        }
+                    }
+                });
+            }
+            // Deterministic ledger reduction: ascending block order =
+            // lower-walls → interior → upper-walls.
+            self.total.reset();
+            for bws in &self.ws {
+                self.total.add(&bws.lock().unwrap().wall);
+            }
+            system.record_wall_rates(s, &self.total);
+        }
+    }
+
+    /// Full coupled RHS: threaded species sweep + the serial field/moment
+    /// coupling of [`VlasovMaxwell::field_rhs`].
+    pub fn rhs(&mut self, system: &mut VlasovMaxwell, state: &SystemState, out: &mut SystemState) {
+        out.fill(0.0);
+        self.species_rhs(system, state, out);
+        system.field_rhs(state, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::species::{maxwellian, Species};
+    use crate::vlasov::{FluxKind, VlasovOp};
+    use dg_basis::BasisKind;
+    use dg_grid::{Bc, CartGrid, PhaseGrid};
+    use dg_kernels::{kernels_for, KernelDispatch, PhaseLayout};
+
+    #[test]
+    fn blocks_tile_the_grid_in_order() {
+        let grid = PhaseGrid::new(
+            CartGrid::new(&[0.0], &[1.0], &[7]),
+            CartGrid::new(&[-1.0], &[1.0], &[4]),
+            vec![Bc::Periodic],
+        );
+        let cb = CellBlocks::new(&grid, 3, 2);
+        assert_eq!(cb.len(), 6);
+        let mut next = 0;
+        for b in &cb.blocks {
+            assert_eq!(b.start, next, "blocks must be contiguous and ascending");
+            next = b.end;
+        }
+        assert_eq!(next, 7);
+        // More blocks than cells: empties, still a tiling.
+        let cb = CellBlocks::new(&grid, 5, 3);
+        assert_eq!(cb.len(), 15);
+        assert_eq!(cb.blocks.iter().map(|b| b.len()).sum::<usize>(), 7);
+    }
+
+    #[test]
+    fn block_sweep_matches_serial_sweep_bitwise() {
+        // Direct operator-level check (the system/backend level is covered
+        // by tests/threaded_equiv.rs): sum of per-block sweeps over any
+        // block partition == one full-range sweep, bit for bit.
+        let kernels = kernels_for(BasisKind::Serendipity, PhaseLayout::new(1, 1), 2);
+        let grid = PhaseGrid::new(
+            CartGrid::new(&[0.0], &[1.0], &[5]),
+            CartGrid::new(&[-6.0], &[6.0], &[6]),
+            vec![Bc::Periodic],
+        );
+        let op = VlasovOp::with_dispatch(
+            std::sync::Arc::clone(&kernels),
+            grid.clone(),
+            FluxKind::Upwind,
+            KernelDispatch::Generated,
+        );
+        let mut sp = Species::new("elc", -1.0, 1.0, &grid, kernels.np());
+        sp.project_initial(&kernels, &grid, 4, &mut |x, v| {
+            maxwellian(1.0 + 0.1 * (2.0 * x[0]).cos(), &[0.4], 0.8, v)
+        });
+        let mut em = DgField::zeros(grid.conf.len(), dg_maxwell::NCOMP * kernels.nc());
+        for c in 0..grid.conf.len() {
+            for (i, v) in em.cell_mut(c).iter_mut().enumerate() {
+                *v = ((c * 11 + i) as f64 * 0.37).sin() * 0.3;
+            }
+        }
+
+        let mut ws = VlasovWorkspace::for_kernels(&kernels);
+        let bcs = grid.conf_bc.clone();
+
+        let mut serial = DgField::zeros(grid.len(), kernels.np());
+        block_species_rhs(
+            &op,
+            &grid,
+            0..5,
+            5,
+            1,
+            -1.0,
+            &sp.f,
+            &em,
+            &mut serial,
+            &mut ws,
+            &bcs,
+        );
+
+        for parts in [2usize, 3, 5, 7] {
+            let mut blocked = DgField::zeros(grid.len(), kernels.np());
+            for blk in slab_ranges(5, parts) {
+                block_species_rhs(
+                    &op,
+                    &grid,
+                    blk,
+                    5,
+                    1,
+                    -1.0,
+                    &sp.f,
+                    &em,
+                    &mut blocked,
+                    &mut ws,
+                    &bcs,
+                );
+            }
+            assert_eq!(
+                serial.as_slice(),
+                blocked.as_slice(),
+                "{parts}-way block partition diverged from the full sweep"
+            );
+        }
+    }
+}

@@ -26,7 +26,7 @@
 //!   corrections for exact conservation; documented difference).
 
 use dg_basis::expand;
-use dg_grid::{DgField, PhaseGrid};
+use dg_grid::{CellStoreMut, DgField, PhaseGrid};
 use dg_kernels::surface::FaceScratch;
 use dg_kernels::triple::{build_triple, DimTable, SparseTriple, TripleSpec};
 use dg_kernels::weak::WeakDivScratch;
@@ -85,8 +85,14 @@ impl PhaseGradMass {
 /// here, so a steady-state `accumulate_rhs` performs zero heap
 /// allocations (asserted by the counting-allocator test in
 /// `tests/alloc_free.rs`).
+///
+/// The cell-block parallel sweep gives every thread its own instance
+/// (built with [`LboOp::make_scratch`]) and calls
+/// [`LboOp::accumulate_rhs_range`] on disjoint configuration ranges — the
+/// moment/primitive/LDG fields are conf-sized, but each thread only
+/// touches its own range's cells.
 #[derive(Clone, Debug)]
-struct LboScratch {
+pub struct LboScratch {
     /// Raw moments M0 / M1_j / M2.
     m0: DgField,
     m1: Vec<DgField>,
@@ -148,8 +154,10 @@ pub struct LboOp {
     grid: PhaseGrid,
     /// Collision frequency ν.
     pub nu: f64,
-    /// Persistent scratch (why `accumulate_rhs` takes `&mut self`).
-    scratch: LboScratch,
+    /// Persistent scratch (why `accumulate_rhs` takes `&mut self`);
+    /// `Option` so it can be lent out around the `&self`-ranged core
+    /// without a self-borrow conflict — always `Some` between calls.
+    scratch: Option<LboScratch>,
     /// Per velocity dir: drag volume tensor (`m` support: conf ⊗ {1, ξ_j}).
     drag_vol: Vec<SparseTriple>,
     /// Per velocity dir: diffusion volume tensor (`m` support: conf only).
@@ -234,7 +242,7 @@ impl LboOp {
         }
         let w_phase = (2.0f64).powi(vdim as i32).sqrt();
         let w_face = (2.0f64).powi(vdim as i32 - 1).sqrt();
-        let scratch = LboScratch::new(&kernels, &grid);
+        let scratch = Some(LboScratch::new(&kernels, &grid));
         LboOp {
             kernels,
             grid,
@@ -250,21 +258,46 @@ impl LboOp {
         }
     }
 
-    /// Compute primitive moments `(u_j, vth²)` into the scratch fields,
-    /// allocation-free.
-    fn primitive_moments(&mut self, f: &DgField) {
+    /// A fresh scratch instance sized for this operator — one per thread
+    /// in the cell-block parallel sweep.
+    pub fn make_scratch(&self) -> LboScratch {
+        LboScratch::new(&self.kernels, &self.grid)
+    }
+
+    /// Compute primitive moments `(u_j, vth²)` into the scratch fields for
+    /// configuration cells in `conf_range`, allocation-free.
+    fn primitive_moments_range(
+        &self,
+        f: &DgField,
+        ws: &mut LboScratch,
+        conf_range: std::ops::Range<usize>,
+    ) {
         let k = &*self.kernels;
         let grid = &self.grid;
         let vdim = grid.vdim();
         let nc = k.nc();
-        let ws = &mut self.scratch;
-        crate::moments::number_density_into(k, grid, f, &mut ws.m0);
+        crate::moments::number_density_range_into(k, grid, f, &mut ws.m0, conf_range.clone());
         for (j, m1) in ws.m1.iter_mut().enumerate() {
-            crate::moments::momentum_density_into(k, grid, f, j, m1, &mut ws.mom);
+            crate::moments::momentum_density_range_into(
+                k,
+                grid,
+                f,
+                j,
+                m1,
+                &mut ws.mom,
+                conf_range.clone(),
+            );
         }
-        crate::moments::energy_density_into(k, grid, f, &mut ws.m2, &mut ws.mom);
+        crate::moments::energy_density_range_into(
+            k,
+            grid,
+            f,
+            &mut ws.m2,
+            &mut ws.mom,
+            conf_range.clone(),
+        );
 
-        for c in 0..grid.conf.len() {
+        for c in conf_range {
             for j in 0..vdim {
                 k.weak.divide_with(
                     ws.m0.cell(c),
@@ -295,7 +328,26 @@ impl LboOp {
     /// Accumulate `C[f]` into `out`. Takes `&mut self` for the persistent
     /// scratch; the evaluation itself performs no heap allocation.
     pub fn accumulate_rhs(&mut self, f: &DgField, out: &mut DgField) {
-        self.primitive_moments(f);
+        let mut ws = self.scratch.take().expect("LBO scratch present");
+        self.accumulate_rhs_range(f, out, &mut ws, 0..self.grid.conf.len());
+        self.scratch = Some(ws);
+    }
+
+    /// Accumulate `C[f]` into `out` for configuration cells in
+    /// `conf_range`, using caller-owned scratch — the cell-block parallel
+    /// form. Every write lands in phase cells of `conf_range` (the LBO is
+    /// local in configuration space: velocity-face fluxes stay inside one
+    /// configuration cell), so disjoint ranges with per-thread scratch are
+    /// race-free, and running blocks in any order then reducing in block
+    /// order reproduces the serial sweep bit for bit.
+    pub fn accumulate_rhs_range<S: CellStoreMut>(
+        &self,
+        f: &DgField,
+        out: &mut S,
+        ws: &mut LboScratch,
+        conf_range: std::ops::Range<usize>,
+    ) {
+        self.primitive_moments_range(f, ws, conf_range.clone());
 
         let k = &*self.kernels;
         let grid = &self.grid;
@@ -303,6 +355,7 @@ impl LboOp {
         let nv = grid.vel.len();
         let vdx = grid.vel.dx();
         let phase = &k.phase_basis;
+        let np = k.np();
 
         let LboScratch {
             u,
@@ -315,7 +368,7 @@ impl LboOp {
             fs,
             vidx,
             ..
-        } = &mut self.scratch;
+        } = ws;
         let (u, vth2) = (&*u, &*vth2);
 
         let c0p = expand::const_coeff(phase);
@@ -331,7 +384,7 @@ impl LboOp {
             let c0f = expand::const_coeff(&surf.kernel.face.basis);
 
             // ---- Drag: volume + LF surface fluxes ----
-            for clin in 0..grid.conf.len() {
+            for clin in conf_range.clone() {
                 let uc = u[j].cell(clin);
                 for vlin in 0..nv {
                     grid.vel.delinearize(vlin, vidx);
@@ -376,8 +429,8 @@ impl LboOp {
             }
 
             // ---- Diffusion, LDG pass 1: g = ∂f/∂v_j, trace from above ----
-            g.fill(0.0);
-            for clin in 0..grid.conf.len() {
+            g.as_mut_slice()[conf_range.start * nv * np..conf_range.end * nv * np].fill(0.0);
+            for clin in conf_range.clone() {
                 for vlin in 0..nv {
                     grid.vel.delinearize(vlin, vidx);
                     let cell = clin * nv + vlin;
@@ -401,7 +454,7 @@ impl LboOp {
 
             // ---- Diffusion, LDG pass 2: out += ν ∇·(vth² g), trace from
             // below, zero flux at velocity boundaries ----
-            for clin in 0..grid.conf.len() {
+            for clin in conf_range.clone() {
                 let tc = vth2.cell(clin);
                 // Embed vth² into the phase basis for the volume term.
                 alpha.fill(0.0);

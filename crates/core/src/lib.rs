@@ -18,6 +18,9 @@
 //! * [`app`] — a builder-style front end mirroring Gkeyll's App system
 //!   (Fig. 4): declare a domain, species with initial conditions, and field
 //!   parameters; get a runnable simulation;
+//! * [`blocks`] — intra-rank shared-memory parallelism: the RHS sweep
+//!   split into contiguous dim-0 cell blocks on a persistent worker pool,
+//!   bit-identical to serial for any thread count;
 //! * [`backend`] / [`observer`] / [`error`] — the run-driver layer: one
 //!   App API over serial and rank-parallel execution, trigger-scheduled
 //!   observers replacing hand-rolled sampling loops, and the typed error
@@ -25,6 +28,7 @@
 
 pub mod app;
 pub mod backend;
+pub mod blocks;
 pub mod cfl;
 pub mod diagnostics;
 pub mod error;

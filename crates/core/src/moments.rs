@@ -78,10 +78,23 @@ pub fn number_density_into(
     f: &DgField,
     out: &mut DgField,
 ) {
-    out.fill(0.0);
+    number_density_range_into(kernels, grid, f, out, 0..grid.conf.len());
+}
+
+/// [`number_density_into`] restricted to configuration cells in
+/// `conf_range` (only those cells of `out` are zeroed and written) — the
+/// form the cell-block parallel LBO uses with block-private scratch.
+pub fn number_density_range_into(
+    kernels: &PhaseKernels,
+    grid: &PhaseGrid,
+    f: &DgField,
+    out: &mut DgField,
+    conf_range: std::ops::Range<usize>,
+) {
     let nv = grid.vel.len();
     let jv = grid.vel_jacobian();
-    for clin in 0..grid.conf.len() {
+    for clin in conf_range {
+        out.cell_mut(clin).fill(0.0);
         for vlin in 0..nv {
             kernels
                 .moments
@@ -112,11 +125,26 @@ pub fn momentum_density_into(
     out: &mut DgField,
     ws: &mut MomentScratch,
 ) {
-    out.fill(0.0);
+    momentum_density_range_into(kernels, grid, f, j, out, ws, 0..grid.conf.len());
+}
+
+/// [`momentum_density_into`] restricted to configuration cells in
+/// `conf_range` (only those cells of `out` are zeroed and written).
+#[allow(clippy::too_many_arguments)]
+pub fn momentum_density_range_into(
+    kernels: &PhaseKernels,
+    grid: &PhaseGrid,
+    f: &DgField,
+    j: usize,
+    out: &mut DgField,
+    ws: &mut MomentScratch,
+    conf_range: std::ops::Range<usize>,
+) {
     let nv = grid.vel.len();
     let jv = grid.vel_jacobian();
     ws.vidx.resize(grid.vdim(), 0);
-    for clin in 0..grid.conf.len() {
+    for clin in conf_range {
+        out.cell_mut(clin).fill(0.0);
         for vlin in 0..nv {
             grid.vel.delinearize(vlin, &mut ws.vidx);
             let vc = grid.vel.center(j, ws.vidx[j]);
@@ -148,13 +176,26 @@ pub fn energy_density_into(
     out: &mut DgField,
     ws: &mut MomentScratch,
 ) {
-    out.fill(0.0);
+    energy_density_range_into(kernels, grid, f, out, ws, 0..grid.conf.len());
+}
+
+/// [`energy_density_into`] restricted to configuration cells in
+/// `conf_range` (only those cells of `out` are zeroed and written).
+pub fn energy_density_range_into(
+    kernels: &PhaseKernels,
+    grid: &PhaseGrid,
+    f: &DgField,
+    out: &mut DgField,
+    ws: &mut MomentScratch,
+    conf_range: std::ops::Range<usize>,
+) {
     let nv = grid.vel.len();
     let jv = grid.vel_jacobian();
     let vdim = grid.vdim();
     ws.vidx.resize(vdim, 0);
     ws.vc.resize(vdim, 0.0);
-    for clin in 0..grid.conf.len() {
+    for clin in conf_range {
+        out.cell_mut(clin).fill(0.0);
         for vlin in 0..nv {
             grid.vel.delinearize(vlin, &mut ws.vidx);
             for d in 0..vdim {

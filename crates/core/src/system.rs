@@ -353,7 +353,6 @@ impl VlasovMaxwell {
     /// Evaluate the full coupled RHS at `state` into `out` (zeroed here).
     pub fn rhs(&mut self, state: &SystemState, out: &mut SystemState, ws: &mut VlasovWorkspace) {
         out.fill(0.0);
-        let nconf = self.grid.conf.len();
         // Kinetic updates (per-species BCs; the sweep fills the workspace
         // wall ledger, harvested right after).
         for s in 0..self.species.len() {
@@ -370,7 +369,15 @@ impl VlasovMaxwell {
             }
             self.record_wall_rates(s, &ws.wall);
         }
-        // Field update + coupling.
+        self.field_rhs(state, out);
+    }
+
+    /// The field half of [`VlasovMaxwell::rhs`]: Maxwell RHS plus the
+    /// moment-coupled current/charge sources. Split out so the parallel
+    /// drivers (cell-block threaded sweep, rank decomposition) can replace
+    /// the species sweep while reusing the field update unchanged.
+    pub fn field_rhs(&mut self, state: &SystemState, out: &mut SystemState) {
+        let nconf = self.grid.conf.len();
         if self.evolve_field {
             self.maxwell.rhs(&state.em, &mut out.em);
             self.scratch_j.fill(0.0);

@@ -35,7 +35,8 @@
 use dg_grid::{Bc, CellStoreMut, DgField, DimBc, PhaseGrid};
 use dg_kernels::accel::VelGeom;
 use dg_kernels::dispatch::{
-    DispatchPath, KernelDispatch, ResolvedSurfaceDir, ResolvedVolume, SurfaceKernelFn,
+    CellLanes, DispatchPath, KernelDispatch, ResolvedSurfaceDir, ResolvedVolume, SurfaceKernelFn,
+    LANES,
 };
 use dg_kernels::ops::OpReport;
 use dg_kernels::surface::FaceScratch;
@@ -140,6 +141,14 @@ pub struct VlasovWorkspace {
     /// `M2` reduction scratch for the wall energy ledger (conf-basis
     /// length).
     wall_m2: Vec<f64>,
+    /// SoA panels for the batched volume kernel: cell centers (`ndim`
+    /// coordinates × [`LANES`] velocity cells of one configuration cell),
+    /// distribution coefficients, and the zero-initialized accumulation
+    /// panel whose lanes are unpacked into `out` (phase-dim / `Np` / `Np`
+    /// slots).
+    panel_w: Vec<CellLanes>,
+    panel_f: Vec<CellLanes>,
+    panel_out: Vec<CellLanes>,
     /// Wall-flux ledger accumulators, filled by the configuration-surface
     /// sweep; reset by [`VlasovOp::accumulate_rhs_bc`] (or manually when
     /// driving the sweep methods directly, as `dg-parallel` does).
@@ -158,6 +167,9 @@ impl VlasovWorkspace {
             tmp_hi: vec![0.0; k.np()],
             ghost: vec![0.0; k.np()],
             wall_m2: vec![0.0; k.nc()],
+            panel_w: vec![CellLanes::default(); k.layout.ndim()],
+            panel_f: vec![CellLanes::default(); k.np()],
+            panel_out: vec![CellLanes::default(); k.np()],
             wall: WallAccum::for_cdim(k.layout.cdim),
         }
     }
@@ -391,15 +403,62 @@ impl VlasovOp {
         let nv = self.grid.vel.len();
         match self.volume_path {
             ResolvedVolume::Generated(entry) => {
-                // Committed unrolled kernel: one straight-line call per
-                // cell. The EM cell slice is passed whole (the kernel reads
-                // only the leading 6 × Nc E/B coefficients).
+                // Committed unrolled kernel. Runs of LANES velocity cells
+                // of one configuration cell go through the SIMD-batched
+                // companion (SoA panels from workspace scratch — zeroed
+                // accumulation panel, lanes unpacked into `out`), the
+                // `nv % LANES` tail through the scalar kernel. The split
+                // depends only on `nv`, never on `conf_range`, so any
+                // block decomposition batches identically; per lane the
+                // batched kernel is bit-identical to the scalar one, and
+                // the volume term is each cell's first contribution (out
+                // still zero), so the unpack-add reproduces the scalar
+                // accumulation exactly. The EM cell slice is passed whole
+                // (the kernels read only the leading 6 × Nc E/B
+                // coefficients).
                 let kernel = entry.func;
+                let batch = entry.batch;
+                let np = k.np();
+                let nv_full = nv - nv % LANES;
                 let mut w = [0.0f64; MAX_DIM];
                 for clin in conf_range {
                     let em_cell = em.cell(clin);
                     w[..cdim].copy_from_slice(&self.conf_centers[clin * cdim..][..cdim]);
-                    for vlin in 0..nv {
+                    for d in 0..cdim {
+                        ws.panel_w[d].0.fill(w[d]);
+                    }
+                    let mut v0 = 0;
+                    while v0 < nv_full {
+                        for lane in 0..LANES {
+                            let vlin = v0 + lane;
+                            for j in 0..vdim {
+                                ws.panel_w[cdim + j].0[lane] = self.vel_centers[vlin][j];
+                            }
+                            let fc = f.cell(clin * nv + vlin);
+                            for n in 0..np {
+                                ws.panel_f[n].0[lane] = fc[n];
+                            }
+                        }
+                        for p in ws.panel_out[..np].iter_mut() {
+                            p.0.fill(0.0);
+                        }
+                        batch(
+                            &ws.panel_w[..ndim],
+                            &self.dxv,
+                            qm,
+                            em_cell,
+                            &ws.panel_f[..np],
+                            &mut ws.panel_out[..np],
+                        );
+                        for lane in 0..LANES {
+                            let oc = out.cell_mut(clin * nv + v0 + lane);
+                            for n in 0..np {
+                                oc[n] += ws.panel_out[n].0[lane];
+                            }
+                        }
+                        v0 += LANES;
+                    }
+                    for vlin in nv_full..nv {
                         let cell = clin * nv + vlin;
                         w[cdim..ndim].copy_from_slice(&self.vel_centers[vlin][..vdim]);
                         kernel(

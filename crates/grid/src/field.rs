@@ -162,6 +162,33 @@ pub struct DgFieldSlice<'a> {
 }
 
 impl DgFieldSlice<'_> {
+    /// Build a view over `ncells` cells starting at global cell
+    /// `first_cell`, from a raw pointer to that cell's first coefficient.
+    ///
+    /// This is the allocation-free sibling of
+    /// [`DgField::split_cells_mut`] for the threaded RHS sweep: each
+    /// worker derives its own disjoint view from the field's base pointer
+    /// without materializing a `Vec` of views per call.
+    ///
+    /// # Safety
+    ///
+    /// `data` must point to `ncells * ncoeff` valid, exclusively borrowed
+    /// `f64`s (no other live reference — shared or mutable — may overlap
+    /// them for `'a`), laid out as `ncells` consecutive cells of `ncoeff`
+    /// coefficients each.
+    pub unsafe fn from_raw<'a>(
+        data: *mut f64,
+        first_cell: usize,
+        ncells: usize,
+        ncoeff: usize,
+    ) -> DgFieldSlice<'a> {
+        DgFieldSlice {
+            first_cell,
+            ncoeff,
+            data: std::slice::from_raw_parts_mut(data, ncells * ncoeff),
+        }
+    }
+
     pub fn first_cell(&self) -> usize {
         self.first_cell
     }

@@ -113,10 +113,14 @@ pub const MANIFEST: &[KernelSpec] = &[
     KernelSpec::new(BasisKind::Serendipity, 2, 2, 1),
 ];
 
-/// Emit the volume-kernel source for one manifest entry.
+/// Emit the volume-kernel source for one manifest entry: the scalar
+/// function followed by its SIMD-batched `_b4` companion (both committed
+/// into the same artifact file and registered in the same registry row).
 pub fn manifest_kernel_source(spec: &KernelSpec) -> String {
     let pk = crate::cache::kernels_for(spec.kind, spec.layout(), spec.poly_order);
-    volume_kernel_source(&pk, &spec.fn_name())
+    let scalar = volume_kernel_source(&pk, &spec.fn_name());
+    let batch = volume_kernel_batch_source(&pk, &spec.fn_name());
+    format!("{scalar}\n{batch}")
 }
 
 /// Emit the surface-kernel source (all phase directions) for one manifest
@@ -166,10 +170,14 @@ pub fn generated_mod_source() -> String {
         let _ = writeln!(s, "include!(\"{}\");", spec.surf_file_name());
     }
     let _ = writeln!(s);
+    // Emitted pre-wrapped in rustfmt's item order (lowercase, CamelCase,
+    // SCREAMING_CASE) so the artifact is a fmt fixed point.
+    let _ = writeln!(s, "use crate::dispatch::{{");
     let _ = writeln!(
         s,
-        "use crate::dispatch::{{KernelKey, SurfaceKernelEntry, VolumeKernelEntry}};"
+        "    ax4, sx4, CellLanes, KernelKey, SurfaceKernelEntry, VolumeKernelEntry, LANES,"
     );
+    let _ = writeln!(s, "}};");
     let _ = writeln!(s, "use dg_basis::BasisKind;");
     let _ = writeln!(s);
     let _ = writeln!(
@@ -190,6 +198,7 @@ pub fn generated_mod_source() -> String {
         let _ = writeln!(s, "        }},");
         let _ = writeln!(s, "        name: \"{}\",", spec.fn_name());
         let _ = writeln!(s, "        func: {},", spec.fn_name());
+        let _ = writeln!(s, "        batch: {}_b4,", spec.fn_name());
         let _ = writeln!(s, "    }},");
     }
     let _ = writeln!(s, "];");
@@ -332,6 +341,129 @@ pub fn volume_kernel_source(pk: &PhaseKernels, fn_name: &str) -> String {
             let _ = writeln!(
                 s,
                 "    out[{}] += {:?} * rv{j} * alpha{j}[{}] * f[{}];",
+                e.l, e.coeff, e.m, e.n
+            );
+        }
+    }
+    let _ = writeln!(s, "}}");
+    s
+}
+
+/// Emit the SIMD-batched volume kernel (`<fn_name>_b4`) for a kernel set,
+/// in the [`crate::dispatch::VolumeKernelBatchFn`] calling convention:
+/// the scalar kernel over a structure-of-arrays panel of `LANES` phase
+/// cells sharing one configuration cell (`em` lane-constant, `w` per
+/// lane).
+///
+/// Every emitted statement performs, per lane, the *same* floating-point
+/// operations in the *same* association order as the corresponding scalar
+/// statement — `out[l] += c * a * f[n]` becomes `ax4(&mut out[l], c, &a,
+/// &f[n])` with the identical `(c * a) * f` grouping, and lane-constant
+/// scale factors are pre-multiplied exactly as the scalar kernel
+/// parenthesizes them. Batched results therefore match the scalar kernel
+/// bit for bit (asserted by proptest in `generated/tests.rs`), which is
+/// what lets dispatch mix batched panels and scalar remainders freely.
+pub fn volume_kernel_batch_source(pk: &PhaseKernels, fn_name: &str) -> String {
+    let layout = pk.layout;
+    let (cdim, vdim) = (layout.cdim, layout.vdim);
+    let nc = pk.nc();
+    let np = pk.np();
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "/// Batched volume kernel, {} p={} {} basis: [`{fn_name}`] over an SoA",
+        layout.tag(),
+        pk.phase_basis.poly_order(),
+        pk.phase_basis.kind()
+    );
+    let _ = writeln!(
+        s,
+        "/// panel of `LANES` cells sharing one configuration cell, bit-identical"
+    );
+    let _ = writeln!(
+        s,
+        "/// per lane. Auto-generated from exact integral tables — do not edit by"
+    );
+    let _ = writeln!(s, "/// hand.");
+    let _ = writeln!(s, "#[allow(clippy::all)]");
+    let _ = writeln!(s, "#[rustfmt::skip]");
+    let _ = writeln!(
+        s,
+        "pub fn {fn_name}_b4(w: &[CellLanes], dxv: &[f64], qm: f64, em: &[f64], f: &[CellLanes], out: &mut [CellLanes]) {{"
+    );
+
+    // Streaming terms: `a0` carries the per-lane cell center, `a1` is
+    // lane-constant (cell sizes are one grid).
+    for sv in &pk.streaming {
+        let d = sv.dir;
+        let vd = sv.vdim_of;
+        let _ = writeln!(s, "    // streaming: ∂/∂x{d} of (v{} f)", vd - cdim);
+        let _ = writeln!(s, "    let rd{d} = 2.0 / dxv[{d}];");
+        let _ = writeln!(s, "    let mut a0_{d} = CellLanes([0.0f64; LANES]);");
+        let _ = writeln!(s, "    for k in 0..LANES {{");
+        let _ = writeln!(
+            s,
+            "        a0_{d}.0[k] = {:?} * w[{vd}].0[k] * rd{d};",
+            sv.c0
+        );
+        let _ = writeln!(s, "    }}");
+        let _ = writeln!(s, "    let a1_{d} = {:?} * 0.5 * dxv[{vd}] * rd{d};", sv.c1);
+        for &(l, n, c) in &sv.s0.entries {
+            let _ = writeln!(s, "    ax4(&mut out[{l}], {c:?}, &a0_{d}, &f[{n}]);");
+        }
+        for &(l, n, c) in &sv.s1.entries {
+            let _ = writeln!(s, "    sx4(&mut out[{l}], {c:?} * a1_{d}, &f[{n}]);");
+        }
+    }
+
+    // Acceleration terms: α_j assembled per lane (velocity coordinates
+    // vary across the panel; E/B coefficients are lane-constant), then
+    // contracted with `ax4` in the scalar kernel's association order.
+    for j in 0..vdim {
+        let pd = cdim + j;
+        let proj = &pk.cell_accel[j];
+        let _ = writeln!(s, "    // acceleration: ∂/∂v{j} of (q/m (E + v×B)_{j} f)");
+        let _ = writeln!(s, "    let rv{j} = 2.0 / dxv[{pd}];");
+        let _ = writeln!(
+            s,
+            "    let mut alpha{j} = [CellLanes([0.0f64; LANES]); {np}];"
+        );
+        let _ = writeln!(s, "    for k in 0..LANES {{");
+        let terms: Vec<(usize, usize, f64)> = crate::codegen::cross_terms_pub(j, vdim);
+        for l in 0..nc {
+            let mut center = format!("em[{}]", j * nc + l);
+            for &(k, bc, sign) in &terms {
+                let op = if sign > 0.0 { "+" } else { "-" };
+                let _ = write!(
+                    center,
+                    " {op} w[{}].0[k] * em[{}]",
+                    cdim + k,
+                    (3 + bc) * nc + l
+                );
+            }
+            let i0 = proj.emb0[l];
+            let _ = writeln!(
+                s,
+                "        alpha{j}[{i0}].0[k] += qm * {:?} * ({center});",
+                proj.w0
+            );
+            for &(k, bc, sign) in &terms {
+                if let Some(i1) = proj.emb1[k][l] {
+                    let _ = writeln!(
+                        s,
+                        "        alpha{j}[{i1}].0[k] += qm * {:?} * (0.5 * dxv[{}]) * em[{}];",
+                        proj.w1 * sign,
+                        cdim + k,
+                        (3 + bc) * nc + l
+                    );
+                }
+            }
+        }
+        let _ = writeln!(s, "    }}");
+        for e in pk.accel_vol[j].entries() {
+            let _ = writeln!(
+                s,
+                "    ax4(&mut out[{}], {:?} * rv{j}, &alpha{j}[{}], &f[{}]);",
                 e.l, e.coeff, e.m, e.n
             );
         }

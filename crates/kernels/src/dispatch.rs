@@ -79,6 +79,63 @@ pub type SurfaceKernelFn = fn(
     out_hi: &mut [f64],
 );
 
+/// SIMD batch width of the batched volume kernels: four cells per panel
+/// (one 256-bit AVX2 register of `f64`, two NEON/SSE registers — wide
+/// enough to saturate common FMA pipes, small enough that velocity-grid
+/// remainders stay cheap).
+pub const LANES: usize = 4;
+
+/// One coefficient across [`LANES`] cells — the structure-of-arrays unit
+/// of the batched calling convention. The 64-byte alignment puts each
+/// lane group on its own cache line and lets the autovectorizer use
+/// aligned packed loads/stores.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+#[repr(align(64))]
+pub struct CellLanes(pub [f64; LANES]);
+
+/// `out[k] += c * a[k] * x[k]` over the four lanes — the batched kernels'
+/// fused accumulate (one multiply by a lane-constant coefficient, one
+/// per-lane coefficient, one per-lane operand). `#[inline(always)]` so the
+/// generated kernels stay straight-line code.
+#[inline(always)]
+pub fn ax4(out: &mut CellLanes, c: f64, a: &CellLanes, x: &CellLanes) {
+    for k in 0..LANES {
+        out.0[k] += c * a.0[k] * x.0[k];
+    }
+}
+
+/// `out[k] += c * x[k]` over the four lanes (lane-constant coefficient).
+#[inline(always)]
+pub fn sx4(out: &mut CellLanes, c: f64, x: &CellLanes) {
+    for k in 0..LANES {
+        out.0[k] += c * x.0[k];
+    }
+}
+
+/// Calling convention of a committed batched volume kernel: the scalar
+/// [`VolumeKernelFn`] over an SoA panel of [`LANES`] phase cells that
+/// share one configuration cell (so `em` is lane-constant while `w`
+/// varies per lane).
+///
+/// * `w`   — per-coordinate SoA panel of the four cell centers, length
+///   `cdim + vdim` (`w[d].0[k]` = coordinate `d` of lane `k`);
+/// * `dxv` — phase-space cell sizes (lane-constant: one grid), length
+///   `cdim + vdim`;
+/// * `qm`  — charge-to-mass ratio;
+/// * `em`  — flattened EM coefficients of the shared configuration cell,
+///   as for [`VolumeKernelFn`];
+/// * `f`   — SoA panel of distribution coefficients, length `Np`
+///   (`f[n].0[k]` = coefficient `n` of lane `k`);
+/// * `out` — SoA panel of RHS increments, length `Np` (accumulated).
+///
+/// Per lane, the arithmetic is statement-for-statement identical to the
+/// scalar kernel (same products, same association, same order), so
+/// packing four cells, running the batch, and unpacking produces the
+/// scalar results **bit for bit** — dispatch may freely mix batched and
+/// scalar calls over a sweep (asserted in `generated/tests.rs`).
+pub type VolumeKernelBatchFn =
+    fn(w: &[CellLanes], dxv: &[f64], qm: f64, em: &[f64], f: &[CellLanes], out: &mut [CellLanes]);
+
 /// Registry key: one kernel configuration.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct KernelKey {
@@ -111,6 +168,9 @@ pub struct VolumeKernelEntry {
     /// The generated function's name (also its source file stem).
     pub name: &'static str,
     pub func: VolumeKernelFn,
+    /// The SIMD-batched companion (`<name>_b4`): `func` over an SoA panel
+    /// of [`LANES`] cells, bit-identical per lane.
+    pub batch: VolumeKernelBatchFn,
 }
 
 /// One row of the committed surface-kernel registry: all per-direction

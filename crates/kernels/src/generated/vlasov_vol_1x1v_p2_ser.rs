@@ -51,3 +51,57 @@ pub fn vlasov_vol_1x1v_p2_ser(w: &[f64], dxv: &[f64], qm: f64, em: &[f64], f: &[
     out[7] += 0.8660254037844388 * rv0 * alpha0[5] * f[0];
     out[7] += 0.5532833351724881 * rv0 * alpha0[5] * f[5];
 }
+
+/// Batched volume kernel, 1x1v p=2 Serendipity basis: [`vlasov_vol_1x1v_p2_ser`] over an SoA
+/// panel of `LANES` cells sharing one configuration cell, bit-identical
+/// per lane. Auto-generated from exact integral tables — do not edit by
+/// hand.
+#[allow(clippy::all)]
+#[rustfmt::skip]
+pub fn vlasov_vol_1x1v_p2_ser_b4(w: &[CellLanes], dxv: &[f64], qm: f64, em: &[f64], f: &[CellLanes], out: &mut [CellLanes]) {
+    // streaming: ∂/∂x0 of (v0 f)
+    let rd0 = 2.0 / dxv[0];
+    let mut a0_0 = CellLanes([0.0f64; LANES]);
+    for k in 0..LANES {
+        a0_0.0[k] = 2.0 * w[1].0[k] * rd0;
+    }
+    let a1_0 = 1.1547005383792517 * 0.5 * dxv[1] * rd0;
+    ax4(&mut out[2], 0.8660254037844386, &a0_0, &f[0]);
+    ax4(&mut out[4], 0.8660254037844386, &a0_0, &f[1]);
+    ax4(&mut out[5], 1.9364916731037085, &a0_0, &f[2]);
+    ax4(&mut out[6], 0.8660254037844388, &a0_0, &f[3]);
+    ax4(&mut out[7], 1.9364916731037083, &a0_0, &f[4]);
+    sx4(&mut out[2], 0.8660254037844386 * a1_0, &f[1]);
+    sx4(&mut out[4], 0.8660254037844386 * a1_0, &f[0]);
+    sx4(&mut out[4], 0.7745966692414833 * a1_0, &f[3]);
+    sx4(&mut out[5], 1.9364916731037083 * a1_0, &f[4]);
+    sx4(&mut out[6], 0.7745966692414833 * a1_0, &f[1]);
+    sx4(&mut out[7], 1.9364916731037083 * a1_0, &f[2]);
+    sx4(&mut out[7], 1.7320508075688774 * a1_0, &f[6]);
+    // acceleration: ∂/∂v0 of (q/m (E + v×B)_0 f)
+    let rv0 = 2.0 / dxv[1];
+    let mut alpha0 = [CellLanes([0.0f64; LANES]); 8];
+    for k in 0..LANES {
+        alpha0[0].0[k] += qm * 1.4142135623730951 * (em[0]);
+        alpha0[2].0[k] += qm * 1.4142135623730951 * (em[1]);
+        alpha0[5].0[k] += qm * 1.4142135623730951 * (em[2]);
+    }
+    ax4(&mut out[1], 0.8660254037844386 * rv0, &alpha0[0], &f[0]);
+    ax4(&mut out[1], 0.8660254037844386 * rv0, &alpha0[2], &f[2]);
+    ax4(&mut out[1], 0.8660254037844388 * rv0, &alpha0[5], &f[5]);
+    ax4(&mut out[3], 1.9364916731037085 * rv0, &alpha0[0], &f[1]);
+    ax4(&mut out[3], 1.9364916731037083 * rv0, &alpha0[2], &f[4]);
+    ax4(&mut out[3], 1.9364916731037085 * rv0, &alpha0[5], &f[7]);
+    ax4(&mut out[4], 0.8660254037844386 * rv0, &alpha0[0], &f[2]);
+    ax4(&mut out[4], 0.8660254037844386 * rv0, &alpha0[2], &f[0]);
+    ax4(&mut out[4], 0.7745966692414833 * rv0, &alpha0[2], &f[5]);
+    ax4(&mut out[4], 0.7745966692414833 * rv0, &alpha0[5], &f[2]);
+    ax4(&mut out[6], 1.9364916731037083 * rv0, &alpha0[0], &f[4]);
+    ax4(&mut out[6], 1.9364916731037083 * rv0, &alpha0[2], &f[1]);
+    ax4(&mut out[6], 1.7320508075688774 * rv0, &alpha0[2], &f[7]);
+    ax4(&mut out[6], 1.7320508075688774 * rv0, &alpha0[5], &f[4]);
+    ax4(&mut out[7], 0.8660254037844388 * rv0, &alpha0[0], &f[5]);
+    ax4(&mut out[7], 0.7745966692414833 * rv0, &alpha0[2], &f[2]);
+    ax4(&mut out[7], 0.8660254037844388 * rv0, &alpha0[5], &f[0]);
+    ax4(&mut out[7], 0.5532833351724881 * rv0, &alpha0[5], &f[5]);
+}

@@ -59,6 +59,19 @@ impl GradMass {
     }
 }
 
+/// Persistent surface-sweep scratch (traces, flux, ghost, index buffers) —
+/// sized once at construction so [`MaxwellDg::rhs`] is allocation-free
+/// (gated in `tests/alloc_free.rs`).
+#[derive(Debug, Default)]
+struct SurfScratch {
+    idx: Vec<usize>,
+    nidx: Vec<usize>,
+    ul: Vec<f64>,
+    ur: Vec<f64>,
+    ghat: Vec<f64>,
+    ghost: Vec<f64>,
+}
+
 /// Modal DG discretization of the PHM Maxwell system.
 #[derive(Debug)]
 pub struct MaxwellDg {
@@ -73,6 +86,10 @@ pub struct MaxwellDg {
     /// (ghost-state synthesis at walls).
     mirror: Vec<Vec<f64>>,
     nc: usize,
+    /// `Mutex` keeps the operator `Sync` (it is shared immutably across
+    /// the intra-rank workers); the field solve runs on one thread, so the
+    /// lock is never contended — and a futex lock never allocates.
+    scratch: std::sync::Mutex<SurfScratch>,
 }
 
 impl MaxwellDg {
@@ -92,11 +109,20 @@ impl MaxwellDg {
         let grad = (0..cdim)
             .map(|d| GradMass::build(&basis, &tables, d))
             .collect();
-        let faces = (0..cdim).map(|d| FaceBasis::new(&basis, d)).collect();
+        let faces: Vec<FaceBasis> = (0..cdim).map(|d| FaceBasis::new(&basis, d)).collect();
         let mirror = (0..cdim)
             .map(|d| dg_basis::parity::reflection_signs(&basis, &[d]))
             .collect();
         let nc = basis.len();
+        let max_nf = faces.iter().map(FaceBasis::len).max().unwrap_or(0);
+        let scratch = std::sync::Mutex::new(SurfScratch {
+            idx: vec![0; cdim],
+            nidx: vec![0; cdim],
+            ul: vec![0.0; NCOMP * max_nf],
+            ur: vec![0.0; NCOMP * max_nf],
+            ghat: vec![0.0; NCOMP * max_nf],
+            ghost: vec![0.0; NCOMP * nc],
+        });
         MaxwellDg {
             grid,
             basis,
@@ -107,6 +133,7 @@ impl MaxwellDg {
             faces,
             mirror,
             nc,
+            scratch,
         }
     }
 
@@ -189,11 +216,16 @@ impl MaxwellDg {
         let upwind = self.flux == MaxwellFlux::Upwind;
         let n_d = grid.cells()[d];
 
-        let mut idx = vec![0usize; cdim];
-        let mut ul = vec![0.0; NCOMP * nf];
-        let mut ur = vec![0.0; NCOMP * nf];
-        let mut ghat = vec![0.0; NCOMP * nf];
-        let mut ghost = vec![0.0; NCOMP * nc];
+        // Buffers are sized for the widest direction; borrow the slice this
+        // direction needs. Uncontended lock: the field solve is single-threaded.
+        let mut guard = self.scratch.lock().unwrap();
+        let sc = &mut *guard;
+        let idx = &mut sc.idx[..cdim];
+        let nidx = &mut sc.nidx[..cdim];
+        let ul = &mut sc.ul[..NCOMP * nf];
+        let ur = &mut sc.ur[..NCOMP * nf];
+        let ghat = &mut sc.ghat[..NCOMP * nf];
+        let ghost = &mut sc.ghost[..NCOMP * nc];
 
         // Single-valued face flux from the two cell traces.
         let flux = |ul: &[f64], ur: &[f64], ghat: &mut [f64]| {
@@ -235,45 +267,45 @@ impl MaxwellDg {
         };
 
         for lin in 0..grid.len() {
-            grid.delinearize(lin, &mut idx);
+            grid.delinearize(lin, idx);
             // Lower-wall face of boundary cells: ghost below, lift only the
             // interior (upper) side.
             if idx[d] == 0 && self.bc[d].lower.is_wall() {
-                self.stage_ghost(self.bc[d].lower, d, em.cell(lin), &mut ghost);
-                restrict_all(1, &ghost, &mut ul);
-                restrict_all(-1, em.cell(lin), &mut ur);
-                flux(&ul, &ur, &mut ghat);
-                lift_all(-1, &ghat, 1.0, out.cell_mut(lin));
+                self.stage_ghost(self.bc[d].lower, d, em.cell(lin), ghost);
+                restrict_all(1, ghost, ul);
+                restrict_all(-1, em.cell(lin), ur);
+                flux(ul, ur, ghat);
+                lift_all(-1, ghat, 1.0, out.cell_mut(lin));
             }
             // The face on our upper side: neighbor in +d, or the upper wall.
             let Some(nbr_d) = self.bc[d].neighbor(idx[d], 1, n_d) else {
                 if idx[d] == n_d - 1 && self.bc[d].upper.is_wall() {
-                    self.stage_ghost(self.bc[d].upper, d, em.cell(lin), &mut ghost);
-                    restrict_all(1, em.cell(lin), &mut ul);
-                    restrict_all(-1, &ghost, &mut ur);
-                    flux(&ul, &ur, &mut ghat);
-                    lift_all(1, &ghat, -1.0, out.cell_mut(lin));
+                    self.stage_ghost(self.bc[d].upper, d, em.cell(lin), ghost);
+                    restrict_all(1, em.cell(lin), ul);
+                    restrict_all(-1, ghost, ur);
+                    flux(ul, ur, ghat);
+                    lift_all(1, ghat, -1.0, out.cell_mut(lin));
                 }
                 continue; // ZeroFlux: skip the face entirely
             };
-            let mut nidx = idx.clone();
+            nidx.copy_from_slice(idx);
             nidx[d] = nbr_d;
-            let nlin = grid.linearize(&nidx);
+            let nlin = grid.linearize(nidx);
 
-            restrict_all(1, em.cell(lin), &mut ul);
-            restrict_all(-1, em.cell(nlin), &mut ur);
-            flux(&ul, &ur, &mut ghat);
+            restrict_all(1, em.cell(lin), ul);
+            restrict_all(-1, em.cell(nlin), ur);
+            flux(ul, ur, ghat);
             if lin == nlin {
                 // Single-cell periodic direction: both sides of the face are
                 // the same cell; apply the two lifts sequentially.
                 let o = out.cell_mut(lin);
-                lift_all(1, &ghat, -1.0, o);
-                lift_all(-1, &ghat, 1.0, o);
+                lift_all(1, ghat, -1.0, o);
+                lift_all(-1, ghat, 1.0, o);
                 continue;
             }
             let (ol, or_) = out.cell_pair_mut(lin, nlin);
-            lift_all(1, &ghat, -1.0, ol);
-            lift_all(-1, &ghat, 1.0, or_);
+            lift_all(1, ghat, -1.0, ol);
+            lift_all(-1, ghat, 1.0, or_);
         }
     }
 

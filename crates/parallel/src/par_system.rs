@@ -12,19 +12,21 @@
 
 use crate::decomp::RankDecomp;
 use dg_core::backend::{Backend, BackendFactory};
+use dg_core::blocks::BlockRhs;
 use dg_core::error::Error;
 use dg_core::moments::MomentScratch;
 use dg_core::ssprk::{ssp_rk3_generic, STAGE_WEIGHTS};
 use dg_core::system::{SystemState, VlasovMaxwell};
-use dg_core::vlasov::{VlasovWorkspace, WallAccum};
-use dg_grid::{CellStoreMut, DgField, DimBc};
-use rayon::ThreadPool;
+use dg_grid::{CellStoreMut, DgField};
 
 /// Parallel driver wrapping a [`VlasovMaxwell`] system.
 pub struct ParVlasovMaxwell {
     pub system: VlasovMaxwell,
     pub decomp: RankDecomp,
-    pool: ThreadPool,
+    /// Two-level species sweep: `ranks × threads` cell blocks executed by
+    /// the pool's `threads` workers (each simulated rank's slab is
+    /// sub-split per thread — the intra-rank shared-memory layer).
+    block: BlockRhs,
     scratch_j: DgField,
     scratch_rho: DgField,
 }
@@ -34,148 +36,25 @@ impl ParVlasovMaxwell {
     /// freely: ranks are units of decomposition, threads of execution).
     pub fn new(system: VlasovMaxwell, ranks: usize, threads: usize) -> Self {
         let decomp = RankDecomp::new(&system.grid, ranks);
-        let pool = rayon::ThreadPoolBuilder::new()
-            .num_threads(threads)
-            .build()
-            .expect("worker pool");
+        let block = BlockRhs::new(&system, ranks, threads);
         let nconf = system.grid.conf.len();
         let nc = system.kernels.nc();
         ParVlasovMaxwell {
             system,
             decomp,
-            pool,
+            block,
             scratch_j: DgField::zeros(nconf, 3 * nc),
             scratch_rho: DgField::zeros(nconf, nc),
         }
     }
 
-    /// Rank-local kinetic RHS for one species: the exact work one MPI rank
-    /// performs per stage in the paper's decomposition. Fills `ws.wall`
-    /// with this rank's wall-flux partial sums (only the edge ranks touch
-    /// a dim-0 wall, so the rank-ordered reduction reproduces the serial
-    /// ledger bits for 1D configurations).
-    #[allow(clippy::too_many_arguments)]
-    fn rank_species_rhs<S: CellStoreMut>(
-        system: &VlasovMaxwell,
-        decomp: &RankDecomp,
-        rank: usize,
-        qm: f64,
-        f: &DgField,
-        em: &DgField,
-        out: &mut S,
-        ws: &mut VlasovWorkspace,
-        bcs: &[DimBc],
-    ) {
-        let op = &system.vlasov;
-        let grid = &system.grid;
-        let cdim = grid.cdim();
-        ws.wall.reset();
-        let conf_range = decomp.conf_range(rank);
-        let slab = decomp.slabs[rank].clone();
-        if slab.is_empty() {
-            return; // more ranks than dim-0 slabs: idle rank
-        }
-        let n0 = decomp.n0;
-        let stride0 = decomp.stride0;
-        let bc0 = bcs[0];
-
-        // Volume everywhere in the rank.
-        op.volume(qm, f, em, out, ws, conf_range.clone());
-
-        // dim-0 surfaces. Serial order: lower-wall faces first, then faces
-        // by ascending lower-cell index; the periodic wrap face (n0−1 → 0)
-        // and the upper-wall faces come last.
-        let apply_dim0 = |i0_lo: usize,
-                          i0_hi: usize,
-                          write_lo: bool,
-                          write_hi: bool,
-                          out: &mut S,
-                          ws: &mut VlasovWorkspace| {
-            for rest in 0..stride0 {
-                let clo = i0_lo * stride0 + rest;
-                let chi = i0_hi * stride0 + rest;
-                op.surface_config_face(0, f, out, ws, clo, chi, write_lo, write_hi);
-            }
-        };
-        // The decomposed lower domain edge: rank 0 owns the wall faces.
-        if slab.start == 0 && bc0.lower.is_wall() {
-            for rest in 0..stride0 {
-                op.surface_config_wall(0, -1, bc0.lower, f, out, ws, rest);
-            }
-        }
-        // Halo face below this slab (received side), except for rank 0
-        // whose below-face is the wrap face (periodic topology only),
-        // handled last like the serial sweep does.
-        if slab.start > 0 {
-            apply_dim0(slab.start - 1, slab.start, false, true, out, ws);
-        }
-        // Interior faces of the slab.
-        for i0 in slab.start..slab.end.saturating_sub(1) {
-            apply_dim0(i0, i0 + 1, true, true, out, ws);
-        }
-        // Face above the slab (sending side) or, for the last rank, the
-        // periodic wrap (write_lo) / the upper wall; rank 0 then also
-        // receives the wrap.
-        if slab.end < n0 {
-            apply_dim0(slab.end - 1, slab.end, true, false, out, ws);
-        } else if bc0.is_periodic() && n0 > 1 {
-            apply_dim0(n0 - 1, 0, true, false, out, ws);
-        } else if bc0.upper.is_wall() {
-            for rest in 0..stride0 {
-                op.surface_config_wall(0, 1, bc0.upper, f, out, ws, (n0 - 1) * stride0 + rest);
-            }
-        }
-        if slab.start == 0 && bc0.is_periodic() && n0 > 1 {
-            apply_dim0(n0 - 1, 0, false, true, out, ws);
-        }
-
-        // Remaining configuration directions stay inside the slab (wall
-        // faces included: every face of a d ≥ 1 column is rank-local).
-        for d in 1..cdim {
-            op.surface_config(d, f, out, ws, conf_range.clone(), bcs[d]);
-        }
-        // Velocity surfaces are cell-local in configuration space.
-        op.surface_velocity(qm, f, em, out, ws, conf_range);
-    }
-
-    /// Full coupled RHS, rank-parallel species updates.
+    /// Full coupled RHS: species updates over `ranks × threads` cell
+    /// blocks (volume + surfaces + LBO, block-ordered ledger reduction —
+    /// see `dg_core::blocks`), then the rank-parallel field coupling.
     pub fn rhs(&mut self, state: &SystemState, out: &mut SystemState) {
         out.fill(0.0);
         let decomp = &self.decomp;
-        let boundaries = decomp.phase_boundaries();
-        let nspecies = self.system.species.len();
-        let cdim = self.system.grid.cdim();
-        let ranks = decomp.ranks();
-        for s in 0..nspecies {
-            let mut accums: Vec<WallAccum> =
-                (0..ranks).map(|_| WallAccum::for_cdim(cdim)).collect();
-            {
-                let system = &self.system;
-                let qm = system.species[s].qm();
-                let bcs = system.conf_bcs(s);
-                let f = &state.species_f[s];
-                let em = &state.em;
-                let mut views = out.species_f[s].split_cells_mut(&boundaries);
-                self.pool.scope(|scope| {
-                    for (rank, (view, acc)) in views.iter_mut().zip(accums.iter_mut()).enumerate() {
-                        scope.spawn(move |_| {
-                            let mut ws = VlasovWorkspace::for_kernels(&system.kernels);
-                            Self::rank_species_rhs(
-                                system, decomp, rank, qm, f, em, view, &mut ws, bcs,
-                            );
-                            acc.copy_from(&ws.wall);
-                        });
-                    }
-                });
-            }
-            // Rank-ordered reduction of the wall partial sums, then the
-            // same physical-unit conversion the serial path applies.
-            let mut total = WallAccum::for_cdim(cdim);
-            for acc in &accums {
-                total.add(acc);
-            }
-            self.system.record_wall_rates(s, &total);
-        }
+        self.block.species_rhs(&mut self.system, state, out);
         // Field + coupling. Moments are rank-parallel over disjoint
         // configuration slices (no all-reduce in velocity space — the
         // paper's point about the shared-memory layer).
@@ -187,7 +66,7 @@ impl ParVlasovMaxwell {
             let conf_bounds = decomp.conf_boundaries();
             let mut j_views = self.scratch_j.split_cells_mut(&conf_bounds);
             let mut rho_views = self.scratch_rho.split_cells_mut(&conf_bounds);
-            self.pool.scope(|scope| {
+            self.block.pool().scope(|scope| {
                 for (rank, (jv, rv)) in j_views.iter_mut().zip(rho_views.iter_mut()).enumerate() {
                     scope.spawn(move |_| {
                         let range = decomp.conf_range(rank);
@@ -374,6 +253,7 @@ mod tests {
     use dg_basis::BasisKind;
     use dg_core::app::{AppBuilder, FieldSpec, SpeciesSpec};
     use dg_core::species::maxwellian;
+    use dg_core::vlasov::VlasovWorkspace;
 
     fn make_app(nx: usize) -> dg_core::app::App {
         let kx = 0.5;

@@ -14,7 +14,10 @@
 //! ```
 //!
 //! CI smoke sizes via `LANDAU_NX`, `LANDAU_NV`, `LANDAU_TEND` (the
-//! rate-accuracy assertion only arms at publication scale).
+//! rate-accuracy assertion only arms at publication scale);
+//! `LANDAU_THREADS` runs the identical declaration on the intra-rank
+//! cell-block worker pool (bit-identical by construction — the
+//! conservation assertions hold unchanged at every thread count).
 
 use vlasov_dg::core::species::maxwellian;
 use vlasov_dg::diag::fit::{envelope_peaks, growth_rate};
@@ -28,9 +31,10 @@ fn main() -> Result<(), Error> {
     let nx = env_usize("LANDAU_NX", 24);
     let nv = env_usize("LANDAU_NV", 32);
     let t_end = env_f64("LANDAU_TEND", 20.0);
+    let threads = env_usize("LANDAU_THREADS", 1);
     let full_fidelity = t_end >= 15.0 && nx >= 16 && nv >= 24;
 
-    let mut app = AppBuilder::new()
+    let mut b = AppBuilder::new()
         .conf_grid(&[0.0], &[length], &[nx])
         .poly_order(2)
         .basis(BasisKind::Serendipity)
@@ -39,8 +43,11 @@ fn main() -> Result<(), Error> {
             SpeciesSpec::new("elc", -1.0, 1.0, &[-6.0], &[6.0], &[nv])
                 .initial(move |x, v| maxwellian(1.0 + 1e-4 * (k * x[0]).cos(), &[0.0], 1.0, v)),
         )
-        .field(FieldSpec::new(10.0).with_poisson_init())
-        .build()?;
+        .field(FieldSpec::new(10.0).with_poisson_init());
+    if threads > 1 {
+        b = b.threads(threads);
+    }
+    let mut app = b.build()?;
 
     // One observer does it all: the history records the full conserved-
     // quantity probe every 0.05 ωₚ⁻¹, and the envelope fit reads the
@@ -60,7 +67,10 @@ fn main() -> Result<(), Error> {
         .filter(|&&t| t >= window.0 && t <= window.1)
         .count();
     let gamma = (usable_peaks >= 2).then(|| growth_rate(&peak_t, &peak_e, window.0, window.1));
-    println!("Landau damping, k λ_D = 0.5, p=2 Serendipity, {nx}×{nv} cells, t_end = {t_end}");
+    println!(
+        "Landau damping, k λ_D = 0.5, p=2 Serendipity, {nx}×{nv} cells, t_end = {t_end}, \
+         {threads} thread(s)"
+    );
     match gamma {
         Some(g) => {
             println!("  fitted   γ/ω_p = {g:+.4}");

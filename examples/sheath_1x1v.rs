@@ -21,7 +21,8 @@
 //! ```
 //!
 //! CI smoke sizes via `SHEATH_NX`, `SHEATH_NV`, `SHEATH_TEND`,
-//! `SHEATH_RANKS`.
+//! `SHEATH_RANKS`, `SHEATH_THREADS` (intra-rank cell-block workers; with
+//! `SHEATH_RANKS ≥ 2` the two compose as ranks × threads).
 
 use vlasov_dg::core::species::maxwellian;
 use vlasov_dg::prelude::*;
@@ -31,7 +32,7 @@ use vlasov_dg::util::{env_f64, env_usize};
 /// the ion thermal width: vth_i = 1/√25 = 0.2 at T_i = T_e).
 const MASS_RATIO: f64 = 25.0;
 
-fn build(nx: usize, nv: usize, length: f64, ranks: usize) -> Result<App, Error> {
+fn build(nx: usize, nv: usize, length: f64, ranks: usize, threads: usize) -> Result<App, Error> {
     let vth_i = (1.0 / MASS_RATIO).sqrt();
     let mut b = AppBuilder::new()
         .conf_grid(&[0.0], &[length], &[nx])
@@ -53,7 +54,9 @@ fn build(nx: usize, nv: usize, length: f64, ranks: usize) -> Result<App, Error> 
         // cleaning keeps Gauss's law coupled to the evolving charge.
         .field(FieldSpec::new(5.0).cleaning(1.0, 0.0));
     if ranks >= 2 {
-        b = b.backend(RankParallel { ranks, threads: 2 });
+        b = b.backend(RankParallel { ranks, threads });
+    } else if threads > 1 {
+        b = b.threads(threads);
     }
     b.build()
 }
@@ -80,17 +83,19 @@ fn main() -> Result<(), Error> {
     let nv = env_usize("SHEATH_NV", 64);
     let t_end = env_f64("SHEATH_TEND", 5.0);
     let ranks = env_usize("SHEATH_RANKS", 1);
+    let threads = env_usize("SHEATH_THREADS", 2);
     let length = 10.0;
     let full_fidelity = t_end >= 4.0 && nx >= 16 && nv >= 48;
 
-    let mut app = build(nx, nv, length, ranks)?;
+    let mut app = build(nx, nv, length, ranks, threads)?;
     let mut ledger = WallFluxLedger::every(0.1);
     let mut history = EnergyHistory::every(0.1);
     app.run(t_end, &mut [&mut ledger, &mut history])?;
 
     let backend = app.backend_name();
     println!(
-        "sheath_1x1v: {nx}×{nv} cells, p=2, m_i/m_e = {MASS_RATIO}, t_end = {t_end} [{backend}]"
+        "sheath_1x1v: {nx}×{nv} cells, p=2, m_i/m_e = {MASS_RATIO}, t_end = {t_end} \
+         [{backend}, {ranks} rank(s) × {threads} thread(s)]"
     );
     let elc_lost = -ledger.net_mass(0);
     let ion_lost = -ledger.net_mass(1);
@@ -115,9 +120,10 @@ fn main() -> Result<(), Error> {
     );
 
     if ranks >= 2 {
-        // The identical declaration through the serial backend must match
-        // the rank-parallel trajectory bit for bit, ledger included.
-        let mut twin = build(nx, nv, length, 1)?;
+        // The identical declaration through the single-threaded serial
+        // backend must match the ranks × threads trajectory bit for bit,
+        // ledger included.
+        let mut twin = build(nx, nv, length, 1, 1)?;
         let mut twin_ledger = WallFluxLedger::every(0.1);
         let mut twin_history = EnergyHistory::every(0.1);
         twin.run(t_end, &mut [&mut twin_ledger, &mut twin_history])?;

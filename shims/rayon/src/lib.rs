@@ -2,15 +2,28 @@
 //!
 //! The build container has no crates-io access, so the workspace patches
 //! `rayon` to this shim (see `shims/README.md`). It covers the surface the
-//! parallel layer uses — [`ThreadPoolBuilder`] / [`ThreadPool::scope`] /
-//! [`Scope::spawn`] — with real OS-thread parallelism built on
-//! [`std::thread::scope`]. One deliberate divergence: every `spawn` gets its
-//! own scoped thread instead of being queued onto `num_threads` workers.
-//! The rank decomposition spawns one task per simulated MPI rank (tens at
-//! most), so per-task thread spawn cost is noise next to the per-rank DG
-//! sweep, and oversubscription is explicitly allowed by the callers.
+//! parallel layers use — [`ThreadPoolBuilder`] / [`ThreadPool::scope`] /
+//! [`Scope::spawn`] / [`ThreadPool::broadcast`] — with real OS-thread
+//! parallelism on a pool of **persistent workers**: `build()` spawns
+//! `num_threads` threads once, and both `scope` tasks and `broadcast` jobs
+//! are dispatched onto them (no per-task thread spawn, so per-cell-block
+//! task granularity stays cheap).
+//!
+//! Two implementation notes that matter to callers:
+//!
+//! * [`ThreadPool::broadcast`] is **allocation-free** for `R = ()`: the job
+//!   is published through a fixed epoch-stamped command slot (mutex +
+//!   condvars, no channels — channel sends heap-allocate), which is what
+//!   lets the threaded RHS sweep in `dg-core` pass the counting-allocator
+//!   gate in `tests/alloc_free.rs`.
+//! * [`ThreadPool::scope`] boxes each spawned task (like real rayon); the
+//!   caller participates in draining the queue, and nested
+//!   [`Scope::spawn`] from inside a task is supported.
 
 use std::fmt;
+use std::marker::PhantomData;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Condvar, Mutex};
 
 /// Builder mirroring `rayon::ThreadPoolBuilder`.
 #[derive(Default)]
@@ -35,53 +48,351 @@ impl ThreadPoolBuilder {
         Self::default()
     }
 
-    /// Recorded for introspection; see the module docs for why the shim
-    /// does not queue onto a fixed worker count.
+    /// Worker count; 0 (the default) resolves to the machine's available
+    /// parallelism at `build()` time.
     pub fn num_threads(mut self, n: usize) -> Self {
         self.num_threads = n;
         self
     }
 
     pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
-        Ok(ThreadPool {
-            num_threads: self.num_threads,
-        })
-    }
-}
-
-/// Pool handle mirroring `rayon::ThreadPool`.
-pub struct ThreadPool {
-    num_threads: usize,
-}
-
-impl ThreadPool {
-    /// The configured thread count (0 = "choose automatically").
-    pub fn current_num_threads(&self) -> usize {
-        if self.num_threads != 0 {
+        let n = if self.num_threads != 0 {
             self.num_threads
         } else {
             std::thread::available_parallelism()
                 .map(|n| n.get())
                 .unwrap_or(1)
+        };
+        let shared: &'static PoolShared = Box::leak(Box::new(PoolShared {
+            state: Mutex::new(PoolState {
+                epoch: 0,
+                job: None,
+                remaining: 0,
+                shutdown: false,
+                panicked: false,
+            }),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+        }));
+        let workers = (0..n)
+            .map(|index| {
+                std::thread::Builder::new()
+                    .name(format!("rayon-shim-{index}"))
+                    .spawn(move || worker_loop(shared, index, n))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        Ok(ThreadPool {
+            num_threads: n,
+            shared,
+            workers,
+        })
+    }
+}
+
+/// A job published to every worker: a type-erased `(context, call)` pair.
+/// The context pointer references caller-stack data that outlives the job
+/// (the publisher blocks until `remaining == 0`).
+#[derive(Clone, Copy)]
+struct RawJob {
+    ctx: *const (),
+    call: unsafe fn(ctx: *const (), index: usize, num_threads: usize),
+}
+
+// SAFETY: the pointed-to context is required (by the publishing functions)
+// to be Sync and to outlive the job's execution on every worker.
+unsafe impl Send for RawJob {}
+
+struct PoolState {
+    /// Bumped once per published job so workers run each job exactly once.
+    epoch: u64,
+    job: Option<RawJob>,
+    /// Workers still executing the current job.
+    remaining: usize,
+    shutdown: bool,
+    /// A worker's job panicked; re-raised on the publishing thread.
+    panicked: bool,
+}
+
+struct PoolShared {
+    state: Mutex<PoolState>,
+    /// Workers wait here for a new epoch (or shutdown).
+    work_cv: Condvar,
+    /// The publisher waits here for `remaining == 0`.
+    done_cv: Condvar,
+}
+
+fn worker_loop(shared: &'static PoolShared, index: usize, num_threads: usize) {
+    let mut seen = 0u64;
+    loop {
+        let job = {
+            let mut st = shared.state.lock().unwrap();
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if st.epoch != seen {
+                    if let Some(job) = st.job {
+                        seen = st.epoch;
+                        break job;
+                    }
+                }
+                st = shared.work_cv.wait(st).unwrap();
+            }
+        };
+        let ok = catch_unwind(AssertUnwindSafe(|| unsafe {
+            (job.call)(job.ctx, index, num_threads)
+        }))
+        .is_ok();
+        let mut st = shared.state.lock().unwrap();
+        if !ok {
+            st.panicked = true;
+        }
+        st.remaining -= 1;
+        if st.remaining == 0 {
+            shared.done_cv.notify_all();
+        }
+    }
+}
+
+/// Pool handle mirroring `rayon::ThreadPool`. Dropping the pool joins its
+/// workers.
+pub struct ThreadPool {
+    num_threads: usize,
+    shared: &'static PoolShared,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.state.lock().unwrap();
+            st.shutdown = true;
+        }
+        self.shared.work_cv.notify_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        // The leaked PoolShared is intentionally not reclaimed: pools are
+        // long-lived (one per backend), and a 'static shared block keeps the
+        // worker loop free of lifetime plumbing.
+    }
+}
+
+/// Per-invocation context handed to a [`ThreadPool::broadcast`] closure.
+pub struct BroadcastContext<'a> {
+    index: usize,
+    num_threads: usize,
+    _marker: PhantomData<&'a ()>,
+}
+
+impl BroadcastContext<'_> {
+    /// This worker's index in `0..num_threads()`.
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// The pool's worker count.
+    pub fn num_threads(&self) -> usize {
+        self.num_threads
+    }
+}
+
+impl ThreadPool {
+    /// The pool's worker count.
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+
+    /// Publish `job` to every worker and return immediately; pair with
+    /// [`ThreadPool::wait_done`].
+    fn post(&self, job: RawJob) {
+        let mut st = self.shared.state.lock().unwrap();
+        debug_assert_eq!(st.remaining, 0, "pool already has a job in flight");
+        st.epoch += 1;
+        st.job = Some(job);
+        st.remaining = self.num_threads;
+        drop(st);
+        self.shared.work_cv.notify_all();
+    }
+
+    /// Block until every worker finished the current job; re-raises worker
+    /// panics on the calling thread.
+    fn wait_done(&self) {
+        let mut st = self.shared.state.lock().unwrap();
+        while st.remaining > 0 {
+            st = self.shared.done_cv.wait(st).unwrap();
+        }
+        st.job = None;
+        let panicked = std::mem::replace(&mut st.panicked, false);
+        drop(st);
+        if panicked {
+            panic!("a rayon-shim pool task panicked");
         }
     }
 
-    /// Scoped fork-join: every `Scope::spawn` is joined before `scope`
-    /// returns, so borrows of stack data are sound (delegates to
-    /// [`std::thread::scope`]).
+    /// Run `op` once on every worker (rayon's `ThreadPool::broadcast`):
+    /// blocks until all invocations finish and returns their results in
+    /// worker-index order. Allocation-free for `R = ()` — the job travels
+    /// through the pool's fixed command slot and results are written in
+    /// place.
+    pub fn broadcast<OP, R>(&self, op: OP) -> Vec<R>
+    where
+        OP: Fn(BroadcastContext<'_>) -> R + Sync,
+        R: Send,
+    {
+        let n = self.num_threads;
+        let mut results: Vec<R> = Vec::with_capacity(n);
+        struct Ctx<OP, R> {
+            op: *const OP,
+            results: *mut R,
+        }
+        unsafe fn call<OP, R>(ctx: *const (), index: usize, num_threads: usize)
+        where
+            OP: Fn(BroadcastContext<'_>) -> R + Sync,
+            R: Send,
+        {
+            let ctx = &*(ctx as *const Ctx<OP, R>);
+            let r = (*ctx.op)(BroadcastContext {
+                index,
+                num_threads,
+                _marker: PhantomData,
+            });
+            ctx.results.add(index).write(r);
+        }
+        let ctx = Ctx::<OP, R> {
+            op: &op,
+            results: results.as_mut_ptr(),
+        };
+        self.post(RawJob {
+            ctx: &ctx as *const Ctx<OP, R> as *const (),
+            call: call::<OP, R>,
+        });
+        self.wait_done();
+        // SAFETY: every worker wrote exactly its own slot (wait_done saw
+        // remaining == 0 with no panic; on panic we never reach here).
+        unsafe { results.set_len(n) };
+        results
+    }
+
+    /// Scoped fork-join on the pool's workers: every [`Scope::spawn`] is
+    /// executed by a pool worker (or by the calling thread, which drains
+    /// the queue too) and joined before `scope` returns, so borrows of
+    /// stack data are sound.
     pub fn scope<'env, F, R>(&self, f: F) -> R
     where
         F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R + Send,
         R: Send,
     {
-        std::thread::scope(|s| f(&Scope { inner: s }))
+        let data = ScopeData {
+            q: Mutex::new(ScopeQueue {
+                tasks: Vec::new(),
+                // The caller's own execution of `f` counts as one pending
+                // unit, so workers don't see a transiently drained scope.
+                pending: 1,
+                panicked: false,
+            }),
+            cv: Condvar::new(),
+        };
+        unsafe fn call_drain(ctx: *const (), _index: usize, _n: usize) {
+            drain(&*(ctx as *const ScopeData));
+        }
+        self.post(RawJob {
+            ctx: &data as *const ScopeData as *const (),
+            call: call_drain,
+        });
+        let scope = Scope {
+            data: &data,
+            _env: PhantomData,
+        };
+        let result = catch_unwind(AssertUnwindSafe(|| f(&scope)));
+        // Close the scope: the caller's pending unit retires, then the
+        // caller helps drain until all spawned tasks have run.
+        {
+            let mut q = data.q.lock().unwrap();
+            q.pending -= 1;
+            if result.is_err() {
+                q.panicked = true;
+            }
+            if q.pending == 0 && q.tasks.is_empty() {
+                drop(q);
+                data.cv.notify_all();
+            }
+        }
+        drain(&data);
+        // Workers have all returned from call_drain before wait_done
+        // returns, so `data` may safely leave the stack afterwards.
+        self.wait_done();
+        let panicked = data.q.lock().unwrap().panicked;
+        match result {
+            Ok(r) => {
+                if panicked {
+                    panic!("a scope task panicked");
+                }
+                r
+            }
+            Err(payload) => std::panic::resume_unwind(payload),
+        }
+    }
+}
+
+/// A queued scope task. The `'static` is a lie told once, in
+/// [`Scope::spawn`]: the true lifetime is the scope's `'scope`, and
+/// `ThreadPool::scope` blocks until the queue is fully drained before the
+/// borrowed data can go away.
+type ScopeTask = Box<dyn FnOnce(&ScopeData) + Send + 'static>;
+
+struct ScopeQueue {
+    tasks: Vec<ScopeTask>,
+    /// Spawned-but-unfinished tasks, plus 1 while the scope closure itself
+    /// is still running (it may spawn more).
+    pending: usize,
+    panicked: bool,
+}
+
+struct ScopeData {
+    q: Mutex<ScopeQueue>,
+    cv: Condvar,
+}
+
+/// Run queued scope tasks until none remain and none can appear.
+fn drain(data: &ScopeData) {
+    loop {
+        let task = {
+            let mut q = data.q.lock().unwrap();
+            loop {
+                if let Some(t) = q.tasks.pop() {
+                    break Some(t);
+                }
+                if q.pending == 0 {
+                    break None;
+                }
+                q = data.cv.wait(q).unwrap();
+            }
+        };
+        let Some(task) = task else {
+            // Wake any sibling still parked on the queue.
+            data.cv.notify_all();
+            return;
+        };
+        let ok = catch_unwind(AssertUnwindSafe(|| task(data))).is_ok();
+        let mut q = data.q.lock().unwrap();
+        if !ok {
+            q.panicked = true;
+        }
+        q.pending -= 1;
+        if q.pending == 0 && q.tasks.is_empty() {
+            drop(q);
+            data.cv.notify_all();
+        }
     }
 }
 
 /// Scope handle passed to the `ThreadPool::scope` closure and to every
 /// spawned task (rayon's nested-spawn capability).
 pub struct Scope<'scope, 'env: 'scope> {
-    inner: &'scope std::thread::Scope<'scope, 'env>,
+    data: &'scope ScopeData,
+    _env: PhantomData<&'env mut &'env ()>,
 }
 
 impl<'scope, 'env> Clone for Scope<'scope, 'env> {
@@ -97,18 +408,58 @@ impl<'scope, 'env> Scope<'scope, 'env> {
     where
         F: FnOnce(&Scope<'scope, 'env>) + Send + 'scope,
     {
-        let handle = *self;
-        self.inner.spawn(move || f(&handle));
+        let task: Box<dyn FnOnce(&ScopeData) + Send + 'scope> = Box::new(move |data| {
+            // SAFETY: `data` is the ScopeData owned by the enclosing
+            // ThreadPool::scope frame, which strictly outlives 'scope.
+            let data: &'scope ScopeData = unsafe { &*(data as *const ScopeData) };
+            let scope = Scope {
+                data,
+                _env: PhantomData,
+            };
+            f(&scope)
+        });
+        // SAFETY: lifetime erasure to queue the task; ThreadPool::scope
+        // joins every task before 'scope data can be invalidated.
+        let task: ScopeTask = unsafe { std::mem::transmute(task) };
+        let mut q = self.data.q.lock().unwrap();
+        q.pending += 1;
+        q.tasks.push(task);
+        drop(q);
+        self.data.cv.notify_one();
     }
 }
 
-/// Free-standing `rayon::scope`, same semantics as [`ThreadPool::scope`].
+/// Free-standing `rayon::scope`: same API as [`ThreadPool::scope`], on
+/// ad-hoc scoped threads (no persistent pool to dispatch to).
 pub fn scope<'env, F, R>(f: F) -> R
 where
-    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R + Send,
+    F: for<'scope> FnOnce(&FreeScope<'scope, 'env>) -> R + Send,
     R: Send,
 {
-    std::thread::scope(|s| f(&Scope { inner: s }))
+    std::thread::scope(|s| f(&FreeScope { inner: s }))
+}
+
+/// Scope handle of the free-standing [`scope`] (spawns scoped threads).
+pub struct FreeScope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Clone for FreeScope<'scope, 'env> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<'scope, 'env> Copy for FreeScope<'scope, 'env> {}
+
+impl<'scope, 'env> FreeScope<'scope, 'env> {
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce(&FreeScope<'scope, 'env>) + Send + 'scope,
+    {
+        let handle = *self;
+        self.inner.spawn(move || f(&handle));
+    }
 }
 
 /// Two-way fork-join mirroring `rayon::join`.
@@ -129,6 +480,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering::SeqCst};
 
     #[test]
     fn scope_joins_all_spawns_and_allows_disjoint_borrows() {
@@ -150,16 +502,16 @@ mod tests {
     #[test]
     fn nested_spawn_via_scope_handle() {
         let pool = ThreadPoolBuilder::new().build().unwrap();
-        let counter = std::sync::atomic::AtomicUsize::new(0);
+        let counter = AtomicUsize::new(0);
         pool.scope(|s| {
             s.spawn(|s2| {
-                counter.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                counter.fetch_add(1, SeqCst);
                 s2.spawn(|_| {
-                    counter.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                    counter.fetch_add(1, SeqCst);
                 });
             });
         });
-        assert_eq!(counter.load(std::sync::atomic::Ordering::SeqCst), 2);
+        assert_eq!(counter.load(SeqCst), 2);
     }
 
     #[test]
@@ -167,5 +519,68 @@ mod tests {
         let (a, b) = join(|| 2 + 2, || "ok");
         assert_eq!(a, 4);
         assert_eq!(b, "ok");
+    }
+
+    #[test]
+    fn broadcast_runs_once_per_worker_in_index_order() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        let results = pool.broadcast(|ctx| {
+            assert_eq!(ctx.num_threads(), 3);
+            ctx.index() * 10
+        });
+        assert_eq!(results, vec![0, 10, 20]);
+    }
+
+    #[test]
+    fn broadcast_allows_disjoint_mutable_chunks() {
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let mut data = vec![0u64; 13];
+        {
+            let base = data.as_mut_ptr() as usize;
+            let len = data.len();
+            pool.broadcast(|ctx| {
+                // Strided ownership: worker i owns elements i, i+n, i+2n, …
+                let (i, n) = (ctx.index(), ctx.num_threads());
+                let mut k = i;
+                while k < len {
+                    unsafe { *(base as *mut u64).add(k) = k as u64 + 1 };
+                    k += n;
+                }
+            });
+        }
+        for (k, v) in data.iter().enumerate() {
+            assert_eq!(*v, k as u64 + 1);
+        }
+    }
+
+    #[test]
+    fn pool_survives_repeated_jobs() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let counter = AtomicUsize::new(0);
+        for _ in 0..50 {
+            pool.broadcast(|_| {
+                counter.fetch_add(1, SeqCst);
+            });
+            pool.scope(|s| {
+                s.spawn(|_| {
+                    counter.fetch_add(1, SeqCst);
+                });
+            });
+        }
+        assert_eq!(counter.load(SeqCst), 50 * 2 + 50);
+    }
+
+    #[test]
+    fn scope_task_panic_propagates() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            pool.scope(|s| {
+                s.spawn(|_| panic!("boom"));
+            });
+        }));
+        assert!(caught.is_err());
+        // The pool remains usable after a task panic.
+        let r = pool.broadcast(|ctx| ctx.index());
+        assert_eq!(r, vec![0, 1]);
     }
 }

@@ -15,6 +15,8 @@ use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering::Relaxed};
 
 use vlasov_dg::basis::BasisKind;
+use vlasov_dg::core::app::{AppBuilder, FieldSpec, SpeciesSpec};
+use vlasov_dg::core::blocks::BlockRhs;
 use vlasov_dg::core::lbo::LboOp;
 use vlasov_dg::core::species::{maxwellian, Species};
 use vlasov_dg::core::vlasov::{FluxKind, VlasovOp, VlasovWorkspace};
@@ -177,4 +179,37 @@ fn rhs_and_lbo_loops_allocate_nothing() {
         }
     });
     assert_eq!(n, 0, "LBO RHS allocated {n} times in the hot loop");
+
+    // --- Cell-block threaded sweep: the full coupled RHS (kinetic sweep
+    // on the worker pool + LBO + wall ledger + field/moment coupling) must
+    // also be allocation-free after warm-up. The counter is
+    // process-global, so worker-thread allocations are caught too —
+    // per-block workspaces, raw-pointer field views, and the pool's fixed
+    // broadcast command slot are what make this pass. ---
+    let (mut sys, state) = AppBuilder::new()
+        .conf_grid(&[0.0], &[4.0], &[5])
+        .poly_order(1)
+        .basis(BasisKind::Serendipity)
+        .conf_bc(vec![DimBc::new(Bc::Reflect, Bc::Absorb)])
+        .species(
+            SpeciesSpec::new("elc", -1.0, 1.0, &[-6.0], &[6.0], &[6])
+                .initial(|x, v| maxwellian(1.0 + 0.05 * x[0], &[0.3], 0.9, v))
+                .collisions(0.4),
+        )
+        .field(FieldSpec::new(2.0).cleaning(1.0, 0.0))
+        .build()
+        .unwrap()
+        .into_parts();
+    let mut block = BlockRhs::new(&sys, 1, 3);
+    let mut out = sys.new_state();
+    block.rhs(&mut sys, &state, &mut out); // warm-up
+    let n = count_allocs(|| {
+        for _ in 0..3 {
+            block.rhs(&mut sys, &state, &mut out);
+        }
+    });
+    assert_eq!(
+        n, 0,
+        "threaded block RHS allocated {n} times in the hot loop"
+    );
 }
