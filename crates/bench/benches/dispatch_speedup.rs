@@ -63,19 +63,29 @@ fn main() {
 
     let mut fig1_vol = None;
     let mut fig1_rhs = None;
+    let mut full_dim_vol = None;
+    let mut full_dim_rhs = None;
     for spec in MANIFEST {
         let layout = spec.layout();
         let kernels = kernels_for(spec.kind, layout, spec.poly_order);
+        // 5D/6D rows: cap the per-dimension cell counts so the working set
+        // stays laptop-sized (16^2 x 8^3 cells at Np = 112 would be
+        // hundreds of MB per field); the per-cell timings are what matter.
+        let (nx_d, nv_d) = if layout.cdim + layout.vdim >= 5 {
+            (nx.min(4), nv.min(4))
+        } else {
+            (nx, nv)
+        };
         let grid = PhaseGrid::new(
             CartGrid::new(
                 &vec![0.0; layout.cdim],
                 &vec![1.0; layout.cdim],
-                &vec![nx; layout.cdim],
+                &vec![nx_d; layout.cdim],
             ),
             CartGrid::new(
                 &vec![-4.0; layout.vdim],
                 &vec![4.0; layout.vdim],
-                &vec![nv; layout.vdim],
+                &vec![nv_d; layout.vdim],
             ),
             vec![Bc::Periodic; layout.cdim],
         );
@@ -152,6 +162,10 @@ fn main() {
             fig1_vol = Some(s_vol);
             fig1_rhs = Some(s_rhs);
         }
+        if layout.cdim == 2 && layout.vdim == 3 && spec.poly_order == 2 {
+            full_dim_vol = Some(s_vol);
+            full_dim_rhs = Some(s_rhs);
+        }
     }
 
     // ISSUE acceptance gates: the Fig. 1 configuration must be in the
@@ -161,6 +175,15 @@ fn main() {
     let sv = fig1_vol.expect("1x2v p1 tensor (Fig. 1) missing from the manifest");
     let sr = fig1_rhs.expect("1x2v p1 tensor (Fig. 1) missing from the manifest");
     println!("# Fig. 1 configuration (1x2v p1 tensor): volume {sv:.2}x, full RHS {sr:.2}x");
+    // ISSUE 7: the paper's Eop configuration (2x3v p2 ser, Np = 112) must
+    // be in the manifest and its generated path must win end to end.
+    let fdv = full_dim_vol.expect("2x3v p2 ser (Eop config) missing from the manifest");
+    let fdr = full_dim_rhs.expect("2x3v p2 ser (Eop config) missing from the manifest");
+    println!("# Eop configuration (2x3v p2 ser): volume {fdv:.2}x, full RHS {fdr:.2}x");
+    assert!(
+        fdv > 1.0 && fdr > 1.0,
+        "generated path lost to runtime sparse on the Eop config (vol {fdv:.2}x, rhs {fdr:.2}x)"
+    );
     assert!(
         sv > 1.0,
         "generated path lost to runtime sparse on the Fig. 1 volume sweep ({sv:.2}x)"
@@ -244,6 +267,12 @@ fn main() {
             JsonObj::new()
                 .num("volume_speedup_vs_runtime_sparse", sv)
                 .num("full_rhs_speedup_vs_runtime_sparse", sr),
+        )
+        .obj(
+            "eop_config_dispatch_2x3v_p2_ser",
+            JsonObj::new()
+                .num("volume_speedup_vs_runtime_sparse", fdv)
+                .num("full_rhs_speedup_vs_runtime_sparse", fdr),
         )
         .obj(
             "threading",

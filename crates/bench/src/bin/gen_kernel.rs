@@ -1,9 +1,9 @@
 //! Regenerates (or verifies) every committed generated-kernel artifact.
 //!
 //! `cargo run -p dg-bench --bin gen_kernel` rewrites, for each entry of
-//! `dg_kernels::codegen::MANIFEST`, the unrolled volume and surface
-//! kernels under `crates/kernels/src/generated/` plus the registry module
-//! `mod.rs`,
+//! `dg_kernels::codegen::MANIFEST`, the unrolled volume, surface, moment,
+//! and LBO kernels under `crates/kernels/src/generated/` plus the registry
+//! module `mod.rs`,
 //! closing the Gkeyll-style committed-codegen loop: the unit test
 //! `generated::tests::committed_artifacts_match_generator` (and the
 //! `--check` step in CI) then asserts the tree is clean, so generator
@@ -17,7 +17,8 @@
 //! * `--stdout`  — print every artifact to stdout instead of writing.
 
 use dg_kernels::codegen::{
-    generated_mod_source, manifest_kernel_source, manifest_surface_source, MANIFEST,
+    generated_mod_source, manifest_kernel_source, manifest_lbo_source, manifest_moment_source,
+    manifest_surface_source, MANIFEST,
 };
 use std::path::PathBuf;
 
@@ -30,6 +31,16 @@ fn artifacts() -> Vec<(String, String)> {
         MANIFEST
             .iter()
             .map(|spec| (spec.surf_file_name(), manifest_surface_source(spec))),
+    );
+    v.extend(
+        MANIFEST
+            .iter()
+            .map(|spec| (spec.mom_file_name(), manifest_moment_source(spec))),
+    );
+    v.extend(
+        MANIFEST
+            .iter()
+            .map(|spec| (spec.lbo_file_name(), manifest_lbo_source(spec))),
     );
     v.push(("mod.rs".to_string(), generated_mod_source()));
     v

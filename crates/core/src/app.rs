@@ -249,7 +249,8 @@ impl AppBuilder {
         self
     }
 
-    /// Volume-kernel dispatch policy (default [`KernelDispatch::Auto`]:
+    /// Kernel dispatch policy for all four families — volume, surface,
+    /// moment, and LBO kernels (default [`KernelDispatch::Auto`]:
     /// committed unrolled kernels when registered). Tests and benches use
     /// this to force either path.
     pub fn kernel_dispatch(mut self, dispatch: KernelDispatch) -> Self {
@@ -390,10 +391,9 @@ impl AppBuilder {
             if let Some(init) = spec.init.as_mut() {
                 sp.project_initial(&kernels, &grid, npts, init);
             }
-            collisions.push(
-                spec.collision_nu
-                    .map(|nu| LboOp::new(Arc::clone(&kernels), grid.clone(), nu)),
-            );
+            collisions.push(spec.collision_nu.map(|nu| {
+                LboOp::with_dispatch(Arc::clone(&kernels), grid.clone(), nu, self.dispatch)
+            }));
             species.push(sp);
         }
 

@@ -18,7 +18,7 @@
 //! cell. So each output cell receives exactly the serial sequence of
 //! additions no matter how many blocks run concurrently — the threaded
 //! sweep is bit-identical to serial *by construction*, for any thread
-//! count ([`tests/threaded_equiv.rs`] asserts it).
+//! count (`tests/threaded_equiv.rs` asserts it).
 //!
 //! **Deterministic ledger reduction.** Each block accumulates wall-flux
 //! partials into its own workspace; after the barrier the main thread

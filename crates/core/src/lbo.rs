@@ -27,6 +27,7 @@
 
 use dg_basis::expand;
 use dg_grid::{CellStoreMut, DgField, PhaseGrid};
+use dg_kernels::dispatch::{DispatchPath, KernelDispatch, LboKernelEntry, ResolvedLbo};
 use dg_kernels::surface::FaceScratch;
 use dg_kernels::triple::{build_triple, DimTable, SparseTriple, TripleSpec};
 use dg_kernels::weak::WeakDivScratch;
@@ -120,7 +121,7 @@ pub struct LboScratch {
 }
 
 impl LboScratch {
-    fn new(kernels: &PhaseKernels, grid: &PhaseGrid) -> Self {
+    fn new(kernels: &PhaseKernels, grid: &PhaseGrid, dispatch: KernelDispatch) -> Self {
         let nconf = grid.conf.len();
         let (nc, np, vdim) = (kernels.nc(), kernels.np(), kernels.layout.vdim);
         let nf = kernels.max_face_len();
@@ -143,7 +144,9 @@ impl LboScratch {
             ghat: vec![0.0; nf],
             fs,
             vidx: vec![0; vdim],
-            mom: MomentScratch::default(),
+            // The moment path follows the operator's dispatch knob, so a
+            // forced-`Generated` LBO also takes the generated moment path.
+            mom: MomentScratch::with_dispatch(kernels, dispatch),
         }
     }
 }
@@ -171,10 +174,29 @@ pub struct LboOp {
     /// Weights of the conf→phase / conf→face constant-velocity embeddings.
     w_phase: f64,
     w_face: f64,
+    /// LBO kernel path, resolved once at construction.
+    path: ResolvedLbo,
+    /// The knob the path came from (propagated to per-thread scratch).
+    dispatch: KernelDispatch,
 }
 
 impl LboOp {
     pub fn new(kernels: Arc<PhaseKernels>, grid: PhaseGrid, nu: f64) -> Self {
+        Self::with_dispatch(kernels, grid, nu, KernelDispatch::default())
+    }
+
+    /// Like [`LboOp::new`] with an explicit kernel-dispatch policy.
+    ///
+    /// # Panics
+    ///
+    /// When `dispatch` is [`KernelDispatch::Generated`] and no committed
+    /// LBO kernel exists for this configuration.
+    pub fn with_dispatch(
+        kernels: Arc<PhaseKernels>,
+        grid: PhaseGrid,
+        nu: f64,
+        dispatch: KernelDispatch,
+    ) -> Self {
         let (cdim, vdim) = (kernels.layout.cdim, kernels.layout.vdim);
         let p = kernels.phase_basis.poly_order();
         let phase = &kernels.phase_basis;
@@ -242,7 +264,14 @@ impl LboOp {
         }
         let w_phase = (2.0f64).powi(vdim as i32).sqrt();
         let w_face = (2.0f64).powi(vdim as i32 - 1).sqrt();
-        let scratch = Some(LboScratch::new(&kernels, &grid));
+        let path = dispatch
+            .resolve_lbo(
+                kernels.phase_basis.kind(),
+                kernels.layout,
+                kernels.phase_basis.poly_order(),
+            )
+            .unwrap_or_else(|e| panic!("kernel dispatch: {e}"));
+        let scratch = Some(LboScratch::new(&kernels, &grid, dispatch));
         LboOp {
             kernels,
             grid,
@@ -255,13 +284,20 @@ impl LboOp {
             emb_face,
             w_phase,
             w_face,
+            path,
+            dispatch,
         }
+    }
+
+    /// Which LBO kernel path this operator resolved to.
+    pub fn dispatch_path(&self) -> DispatchPath {
+        self.path.path()
     }
 
     /// A fresh scratch instance sized for this operator — one per thread
     /// in the cell-block parallel sweep.
     pub fn make_scratch(&self) -> LboScratch {
-        LboScratch::new(&self.kernels, &self.grid)
+        LboScratch::new(&self.kernels, &self.grid, self.dispatch)
     }
 
     /// Compute primitive moments `(u_j, vth²)` into the scratch fields for
@@ -276,7 +312,14 @@ impl LboOp {
         let grid = &self.grid;
         let vdim = grid.vdim();
         let nc = k.nc();
-        crate::moments::number_density_range_into(k, grid, f, &mut ws.m0, conf_range.clone());
+        crate::moments::number_density_range_into(
+            k,
+            grid,
+            f,
+            &mut ws.m0,
+            &ws.mom,
+            conf_range.clone(),
+        );
         for (j, m1) in ws.m1.iter_mut().enumerate() {
             crate::moments::momentum_density_range_into(
                 k,
@@ -373,6 +416,13 @@ impl LboOp {
 
         let c0p = expand::const_coeff(phase);
 
+        // Path resolved once at construction; each stage below branches
+        // once per (direction, section), never per cell.
+        let gen: Option<&'static LboKernelEntry> = match self.path {
+            ResolvedLbo::Generated(e) => Some(e),
+            ResolvedLbo::RuntimeSparse => None,
+        };
+
         for j in 0..vdim {
             let dir = cdim + j;
             let surf = &k.surfaces[dir];
@@ -384,76 +434,143 @@ impl LboOp {
             let c0f = expand::const_coeff(&surf.kernel.face.basis);
 
             // ---- Drag: volume + LF surface fluxes ----
-            for clin in conf_range.clone() {
-                let uc = u[j].cell(clin);
-                for vlin in 0..nv {
-                    grid.vel.delinearize(vlin, vidx);
-                    let vc = grid.vel.center(j, vidx[j]);
-                    // α = −ν (v_j − u_j(x)).
-                    alpha.fill(0.0);
-                    alpha[0] = -self.nu * vc * c0p;
-                    alpha[lin_idx] = -self.nu * 0.5 * vdx[j] * c1p;
-                    for (l, &e) in self.emb_phase.iter().enumerate() {
-                        alpha[e as usize] += self.nu * self.w_phase * uc[l];
+            if let Some(e) = gen {
+                for clin in conf_range.clone() {
+                    let uc = u[j].cell(clin);
+                    for vlin in 0..nv {
+                        grid.vel.delinearize(vlin, vidx);
+                        let vc = grid.vel.center(j, vidx[j]);
+                        let cell = clin * nv + vlin;
+                        (e.drag_vol[j])(self.nu, vc, vdx[j], uc, f.cell(cell), out.cell_mut(cell));
                     }
-                    let cell = clin * nv + vlin;
-                    self.drag_vol[j].apply(alpha, f.cell(cell), scale, out.cell_mut(cell));
+                    // Drag surface fluxes along j-pencils (interior faces only).
+                    for vlin in 0..nv {
+                        grid.vel.delinearize(vlin, vidx);
+                        if vidx[j] + 1 >= n_j {
+                            continue;
+                        }
+                        let vstar = grid.vel.lower()[j] + (vidx[j] as f64 + 1.0) * vdx[j];
+                        let lo = clin * nv + vlin;
+                        let hi = lo + stride;
+                        let (o_lo, o_hi) = out.cell_pair_mut(lo, hi);
+                        (e.drag_surf[j])(
+                            self.nu,
+                            vstar,
+                            vdx[j],
+                            uc,
+                            f.cell(lo),
+                            f.cell(hi),
+                            o_lo,
+                            o_hi,
+                        );
+                    }
                 }
-                // Drag surface fluxes along j-pencils (interior faces only).
-                for vlin in 0..nv {
-                    grid.vel.delinearize(vlin, vidx);
-                    if vidx[j] + 1 >= n_j {
-                        continue;
+            } else {
+                for clin in conf_range.clone() {
+                    let uc = u[j].cell(clin);
+                    for vlin in 0..nv {
+                        grid.vel.delinearize(vlin, vidx);
+                        let vc = grid.vel.center(j, vidx[j]);
+                        // α = −ν (v_j − u_j(x)).
+                        alpha.fill(0.0);
+                        alpha[0] = -self.nu * vc * c0p;
+                        alpha[lin_idx] = -self.nu * 0.5 * vdx[j] * c1p;
+                        for (l, &e) in self.emb_phase.iter().enumerate() {
+                            alpha[e as usize] += self.nu * self.w_phase * uc[l];
+                        }
+                        let cell = clin * nv + vlin;
+                        self.drag_vol[j].apply(alpha, f.cell(cell), scale, out.cell_mut(cell));
                     }
-                    let vstar = grid.vel.lower()[j] + (vidx[j] as f64 + 1.0) * vdx[j];
-                    alpha_face[..nf].fill(0.0);
-                    alpha_face[0] = -self.nu * vstar * c0f;
-                    for (l, &e) in self.emb_face[j].iter().enumerate() {
-                        alpha_face[e as usize] += self.nu * self.w_face * uc[l];
+                    // Drag surface fluxes along j-pencils (interior faces only).
+                    for vlin in 0..nv {
+                        grid.vel.delinearize(vlin, vidx);
+                        if vidx[j] + 1 >= n_j {
+                            continue;
+                        }
+                        let vstar = grid.vel.lower()[j] + (vidx[j] as f64 + 1.0) * vdx[j];
+                        alpha_face[..nf].fill(0.0);
+                        alpha_face[0] = -self.nu * vstar * c0f;
+                        for (l, &e) in self.emb_face[j].iter().enumerate() {
+                            alpha_face[e as usize] += self.nu * self.w_face * uc[l];
+                        }
+                        let lam = surf.kernel.sup_bound(&alpha_face[..nf]);
+                        let lo = clin * nv + vlin;
+                        let hi = lo + stride;
+                        let (o_lo, o_hi) = out.cell_pair_mut(lo, hi);
+                        surf.kernel.apply(
+                            f.cell(lo),
+                            f.cell(hi),
+                            &alpha_face[..nf],
+                            lam,
+                            scale,
+                            Some(o_lo),
+                            Some(o_hi),
+                            fs,
+                        );
                     }
-                    let lam = surf.kernel.sup_bound(&alpha_face[..nf]);
-                    let lo = clin * nv + vlin;
-                    let hi = lo + stride;
-                    let (o_lo, o_hi) = out.cell_pair_mut(lo, hi);
-                    surf.kernel.apply(
-                        f.cell(lo),
-                        f.cell(hi),
-                        &alpha_face[..nf],
-                        lam,
-                        scale,
-                        Some(o_lo),
-                        Some(o_hi),
-                        fs,
-                    );
                 }
             }
 
             // ---- Diffusion, LDG pass 1: g = ∂f/∂v_j, trace from above ----
             g.as_mut_slice()[conf_range.start * nv * np..conf_range.end * nv * np].fill(0.0);
-            for clin in conf_range.clone() {
-                for vlin in 0..nv {
-                    grid.vel.delinearize(vlin, vidx);
-                    let cell = clin * nv + vlin;
-                    let gc = g.cell_mut(cell);
-                    self.grad_mass[j].apply(f.cell(cell), -scale, gc);
-                    // Upper face: f̂ = trace of the upper neighbour (or own
-                    // upper trace at the boundary).
-                    trace[..nf].fill(0.0);
-                    if vidx[j] + 1 < n_j {
-                        surf.kernel.face.restrict(-1, f.cell(cell + stride), trace);
-                    } else {
-                        surf.kernel.face.restrict(1, f.cell(cell), trace);
+            if let Some(e) = gen {
+                for clin in conf_range.clone() {
+                    for vlin in 0..nv {
+                        grid.vel.delinearize(vlin, vidx);
+                        let cell = clin * nv + vlin;
+                        let at_upper = vidx[j] + 1 >= n_j;
+                        // `f_up` is ignored at the boundary; pass the cell
+                        // itself to keep the call uniform.
+                        let f_up = if at_upper {
+                            f.cell(cell)
+                        } else {
+                            f.cell(cell + stride)
+                        };
+                        (e.diff_grad[j])(vdx[j], at_upper, f.cell(cell), f_up, g.cell_mut(cell));
                     }
-                    surf.kernel.face.lift(1, &trace[..nf], scale, gc);
-                    // Lower face: f̂ = own lower trace (f⁺ of that face).
-                    trace[..nf].fill(0.0);
-                    surf.kernel.face.restrict(-1, f.cell(cell), trace);
-                    surf.kernel.face.lift(-1, &trace[..nf], -scale, gc);
+                }
+            } else {
+                for clin in conf_range.clone() {
+                    for vlin in 0..nv {
+                        grid.vel.delinearize(vlin, vidx);
+                        let cell = clin * nv + vlin;
+                        let gc = g.cell_mut(cell);
+                        self.grad_mass[j].apply(f.cell(cell), -scale, gc);
+                        // Upper face: f̂ = trace of the upper neighbour (or own
+                        // upper trace at the boundary).
+                        trace[..nf].fill(0.0);
+                        if vidx[j] + 1 < n_j {
+                            surf.kernel.face.restrict(-1, f.cell(cell + stride), trace);
+                        } else {
+                            surf.kernel.face.restrict(1, f.cell(cell), trace);
+                        }
+                        surf.kernel.face.lift(1, &trace[..nf], scale, gc);
+                        // Lower face: f̂ = own lower trace (f⁺ of that face).
+                        trace[..nf].fill(0.0);
+                        surf.kernel.face.restrict(-1, f.cell(cell), trace);
+                        surf.kernel.face.lift(-1, &trace[..nf], -scale, gc);
+                    }
                 }
             }
 
             // ---- Diffusion, LDG pass 2: out += ν ∇·(vth² g), trace from
             // below, zero flux at velocity boundaries ----
+            if let Some(e) = gen {
+                for clin in conf_range.clone() {
+                    let tc = vth2.cell(clin);
+                    for vlin in 0..nv {
+                        grid.vel.delinearize(vlin, vidx);
+                        let cell = clin * nv + vlin;
+                        (e.diff_vol[j])(self.nu, vdx[j], tc, g.cell(cell), out.cell_mut(cell));
+                        // Upper interior face: Ĝ = (vth² g)⁻ (trace from below).
+                        if vidx[j] + 1 < n_j {
+                            let (o_lo, o_hi) = out.cell_pair_mut(cell, cell + stride);
+                            (e.diff_surf[j])(self.nu, vdx[j], tc, g.cell(cell), o_lo, o_hi);
+                        }
+                    }
+                }
+                continue;
+            }
             for clin in conf_range.clone() {
                 let tc = vth2.cell(clin);
                 // Embed vth² into the phase basis for the volume term.

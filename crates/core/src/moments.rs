@@ -8,28 +8,72 @@
 //! round-off — the property the paper's §II builds the whole algorithm
 //! around.
 
-use dg_grid::{DgField, PhaseGrid};
+use dg_grid::{CellStoreMut, DgField, PhaseGrid};
+use dg_kernels::dispatch::{DispatchPath, KernelDispatch, ResolvedMoments};
 use dg_kernels::PhaseKernels;
 
-/// Scratch for moment reductions (velocity indices and centers).
+/// Scratch for moment reductions (velocity indices and centers), carrying
+/// the moment-kernel path resolved once at construction. `Default` is the
+/// runtime weak-op path; [`MomentScratch::for_kernels`] resolves
+/// [`KernelDispatch::Auto`] against the committed registry, so
+/// moment-consuming operators get the unrolled kernels without per-cell
+/// branching.
 #[derive(Clone, Debug, Default)]
 pub struct MomentScratch {
     vidx: Vec<usize>,
     vc: Vec<f64>,
+    path: ResolvedMoments,
+}
+
+impl MomentScratch {
+    /// Scratch with the moment path resolved via [`KernelDispatch::Auto`]:
+    /// the committed unrolled moment kernels when registered, the runtime
+    /// weak-op reduction otherwise.
+    pub fn for_kernels(kernels: &PhaseKernels) -> Self {
+        Self::with_dispatch(kernels, KernelDispatch::Auto)
+    }
+
+    /// Scratch with an explicit dispatch policy (benches and equivalence
+    /// tests force a path this way).
+    ///
+    /// # Panics
+    ///
+    /// When `dispatch` is [`KernelDispatch::Generated`] and no committed
+    /// moment kernel exists for this configuration.
+    pub fn with_dispatch(kernels: &PhaseKernels, dispatch: KernelDispatch) -> Self {
+        let path = dispatch
+            .resolve_moments(
+                kernels.phase_basis.kind(),
+                kernels.layout,
+                kernels.phase_basis.poly_order(),
+            )
+            .unwrap_or_else(|e| panic!("kernel dispatch: {e}"));
+        MomentScratch {
+            path,
+            ..Default::default()
+        }
+    }
+
+    /// Which moment path this scratch resolved to.
+    pub fn dispatch_path(&self) -> DispatchPath {
+        self.path.path()
+    }
 }
 
 /// Accumulate the charge-weighted current (3 components × Nc per
 /// configuration cell) and optionally charge density of one distribution
 /// function into `j_out` / `rho_out`, for configuration cells in
-/// `conf_range`.
+/// `conf_range`. Generic over the output store so rank-local views (the
+/// parallel driver's `split_cells_mut` slices) work as well as whole
+/// fields.
 #[allow(clippy::too_many_arguments)]
-pub fn accumulate_current(
+pub fn accumulate_current<S: CellStoreMut>(
     kernels: &PhaseKernels,
     grid: &PhaseGrid,
     charge: f64,
     f: &DgField,
-    j_out: &mut DgField,
-    mut rho_out: Option<&mut DgField>,
+    j_out: &mut S,
+    mut rho_out: Option<&mut S>,
     conf_range: std::ops::Range<usize>,
     ws: &mut MomentScratch,
 ) {
@@ -38,26 +82,53 @@ pub fn accumulate_current(
     let nv = grid.vel.len();
     let jv = grid.vel_jacobian();
     ws.vidx.resize(vdim, 0);
-    for clin in conf_range {
-        for vlin in 0..nv {
-            grid.vel.delinearize(vlin, &mut ws.vidx);
-            let fc = f.cell(clin * nv + vlin);
-            let jc = j_out.cell_mut(clin);
-            for j in 0..vdim {
-                let vc = grid.vel.center(j, ws.vidx[j]);
-                kernels.moments.accumulate_m1(
-                    j,
-                    fc,
-                    charge * jv,
-                    vc,
-                    grid.vel.dx()[j],
-                    &mut jc[j * nc..(j + 1) * nc],
-                );
+    // Branch on the resolved path once per call, not per cell.
+    match ws.path {
+        ResolvedMoments::Generated(e) => {
+            for clin in conf_range {
+                for vlin in 0..nv {
+                    grid.vel.delinearize(vlin, &mut ws.vidx);
+                    let fc = f.cell(clin * nv + vlin);
+                    let jc = j_out.cell_mut(clin);
+                    for j in 0..vdim {
+                        let vc = grid.vel.center(j, ws.vidx[j]);
+                        (e.m1[j])(
+                            fc,
+                            charge * jv,
+                            vc,
+                            grid.vel.dx()[j],
+                            &mut jc[j * nc..(j + 1) * nc],
+                        );
+                    }
+                    if let Some(rho) = rho_out.as_deref_mut() {
+                        (e.m0)(fc, charge * jv, rho.cell_mut(clin));
+                    }
+                }
             }
-            if let Some(rho) = rho_out.as_deref_mut() {
-                kernels
-                    .moments
-                    .accumulate_m0(fc, charge * jv, rho.cell_mut(clin));
+        }
+        ResolvedMoments::RuntimeSparse => {
+            for clin in conf_range {
+                for vlin in 0..nv {
+                    grid.vel.delinearize(vlin, &mut ws.vidx);
+                    let fc = f.cell(clin * nv + vlin);
+                    let jc = j_out.cell_mut(clin);
+                    for j in 0..vdim {
+                        let vc = grid.vel.center(j, ws.vidx[j]);
+                        kernels.moments.accumulate_m1(
+                            j,
+                            fc,
+                            charge * jv,
+                            vc,
+                            grid.vel.dx()[j],
+                            &mut jc[j * nc..(j + 1) * nc],
+                        );
+                    }
+                    if let Some(rho) = rho_out.as_deref_mut() {
+                        kernels
+                            .moments
+                            .accumulate_m0(fc, charge * jv, rho.cell_mut(clin));
+                    }
+                }
             }
         }
     }
@@ -66,7 +137,13 @@ pub fn accumulate_current(
 /// Number-density field `M0(x)` (fresh allocation).
 pub fn number_density(kernels: &PhaseKernels, grid: &PhaseGrid, f: &DgField) -> DgField {
     let mut out = DgField::zeros(grid.conf.len(), kernels.nc());
-    number_density_into(kernels, grid, f, &mut out);
+    number_density_into(
+        kernels,
+        grid,
+        f,
+        &mut out,
+        &MomentScratch::for_kernels(kernels),
+    );
     out
 }
 
@@ -77,8 +154,9 @@ pub fn number_density_into(
     grid: &PhaseGrid,
     f: &DgField,
     out: &mut DgField,
+    ws: &MomentScratch,
 ) {
-    number_density_range_into(kernels, grid, f, out, 0..grid.conf.len());
+    number_density_range_into(kernels, grid, f, out, ws, 0..grid.conf.len());
 }
 
 /// [`number_density_into`] restricted to configuration cells in
@@ -89,16 +167,29 @@ pub fn number_density_range_into(
     grid: &PhaseGrid,
     f: &DgField,
     out: &mut DgField,
+    ws: &MomentScratch,
     conf_range: std::ops::Range<usize>,
 ) {
     let nv = grid.vel.len();
     let jv = grid.vel_jacobian();
-    for clin in conf_range {
-        out.cell_mut(clin).fill(0.0);
-        for vlin in 0..nv {
-            kernels
-                .moments
-                .accumulate_m0(f.cell(clin * nv + vlin), jv, out.cell_mut(clin));
+    match ws.path {
+        ResolvedMoments::Generated(e) => {
+            for clin in conf_range {
+                out.cell_mut(clin).fill(0.0);
+                for vlin in 0..nv {
+                    (e.m0)(f.cell(clin * nv + vlin), jv, out.cell_mut(clin));
+                }
+            }
+        }
+        ResolvedMoments::RuntimeSparse => {
+            for clin in conf_range {
+                out.cell_mut(clin).fill(0.0);
+                for vlin in 0..nv {
+                    kernels
+                        .moments
+                        .accumulate_m0(f.cell(clin * nv + vlin), jv, out.cell_mut(clin));
+                }
+            }
         }
     }
 }
@@ -111,7 +202,14 @@ pub fn momentum_density(
     j: usize,
 ) -> DgField {
     let mut out = DgField::zeros(grid.conf.len(), kernels.nc());
-    momentum_density_into(kernels, grid, f, j, &mut out, &mut MomentScratch::default());
+    momentum_density_into(
+        kernels,
+        grid,
+        f,
+        j,
+        &mut out,
+        &mut MomentScratch::for_kernels(kernels),
+    );
     out
 }
 
@@ -143,19 +241,39 @@ pub fn momentum_density_range_into(
     let nv = grid.vel.len();
     let jv = grid.vel_jacobian();
     ws.vidx.resize(grid.vdim(), 0);
-    for clin in conf_range {
-        out.cell_mut(clin).fill(0.0);
-        for vlin in 0..nv {
-            grid.vel.delinearize(vlin, &mut ws.vidx);
-            let vc = grid.vel.center(j, ws.vidx[j]);
-            kernels.moments.accumulate_m1(
-                j,
-                f.cell(clin * nv + vlin),
-                jv,
-                vc,
-                grid.vel.dx()[j],
-                out.cell_mut(clin),
-            );
+    match ws.path {
+        ResolvedMoments::Generated(e) => {
+            for clin in conf_range {
+                out.cell_mut(clin).fill(0.0);
+                for vlin in 0..nv {
+                    grid.vel.delinearize(vlin, &mut ws.vidx);
+                    let vc = grid.vel.center(j, ws.vidx[j]);
+                    (e.m1[j])(
+                        f.cell(clin * nv + vlin),
+                        jv,
+                        vc,
+                        grid.vel.dx()[j],
+                        out.cell_mut(clin),
+                    );
+                }
+            }
+        }
+        ResolvedMoments::RuntimeSparse => {
+            for clin in conf_range {
+                out.cell_mut(clin).fill(0.0);
+                for vlin in 0..nv {
+                    grid.vel.delinearize(vlin, &mut ws.vidx);
+                    let vc = grid.vel.center(j, ws.vidx[j]);
+                    kernels.moments.accumulate_m1(
+                        j,
+                        f.cell(clin * nv + vlin),
+                        jv,
+                        vc,
+                        grid.vel.dx()[j],
+                        out.cell_mut(clin),
+                    );
+                }
+            }
         }
     }
 }
@@ -163,7 +281,13 @@ pub fn momentum_density_range_into(
 /// Energy-density field `M2(x) = ∫ |v|² f dv`.
 pub fn energy_density(kernels: &PhaseKernels, grid: &PhaseGrid, f: &DgField) -> DgField {
     let mut out = DgField::zeros(grid.conf.len(), kernels.nc());
-    energy_density_into(kernels, grid, f, &mut out, &mut MomentScratch::default());
+    energy_density_into(
+        kernels,
+        grid,
+        f,
+        &mut out,
+        &mut MomentScratch::for_kernels(kernels),
+    );
     out
 }
 
@@ -194,20 +318,42 @@ pub fn energy_density_range_into(
     let vdim = grid.vdim();
     ws.vidx.resize(vdim, 0);
     ws.vc.resize(vdim, 0.0);
-    for clin in conf_range {
-        out.cell_mut(clin).fill(0.0);
-        for vlin in 0..nv {
-            grid.vel.delinearize(vlin, &mut ws.vidx);
-            for d in 0..vdim {
-                ws.vc[d] = grid.vel.center(d, ws.vidx[d]);
+    match ws.path {
+        ResolvedMoments::Generated(e) => {
+            for clin in conf_range {
+                out.cell_mut(clin).fill(0.0);
+                for vlin in 0..nv {
+                    grid.vel.delinearize(vlin, &mut ws.vidx);
+                    for d in 0..vdim {
+                        ws.vc[d] = grid.vel.center(d, ws.vidx[d]);
+                    }
+                    (e.m2)(
+                        f.cell(clin * nv + vlin),
+                        jv,
+                        &ws.vc,
+                        grid.vel.dx(),
+                        out.cell_mut(clin),
+                    );
+                }
             }
-            kernels.moments.accumulate_m2(
-                f.cell(clin * nv + vlin),
-                jv,
-                &ws.vc,
-                grid.vel.dx(),
-                out.cell_mut(clin),
-            );
+        }
+        ResolvedMoments::RuntimeSparse => {
+            for clin in conf_range {
+                out.cell_mut(clin).fill(0.0);
+                for vlin in 0..nv {
+                    grid.vel.delinearize(vlin, &mut ws.vidx);
+                    for d in 0..vdim {
+                        ws.vc[d] = grid.vel.center(d, ws.vidx[d]);
+                    }
+                    kernels.moments.accumulate_m2(
+                        f.cell(clin * nv + vlin),
+                        jv,
+                        &ws.vc,
+                        grid.vel.dx(),
+                        out.cell_mut(clin),
+                    );
+                }
+            }
         }
     }
 }

@@ -160,6 +160,7 @@ impl VlasovMaxwell {
         let phase_vol: f64 = grid.conf.dx().iter().chain(grid.vel.dx()).product();
         let conf_vol: f64 = grid.conf.dx().iter().product();
         let ndim = grid.ndim() as i32;
+        let scratch_mom = MomentScratch::for_kernels(&kernels);
         VlasovMaxwell {
             kernels,
             grid,
@@ -177,13 +178,16 @@ impl VlasovMaxwell {
             conf_mode0_w: conf_vol * (2.0f64).powi(-(cdim as i32)).sqrt(),
             scratch_j: DgField::zeros(nconf, 3 * nc),
             scratch_rho: DgField::zeros(nconf, nc),
-            scratch_mom: MomentScratch::default(),
+            scratch_mom,
         }
     }
 
-    /// Force the volume-kernel dispatch path (rebuilds the Vlasov operator;
-    /// the default from construction is [`KernelDispatch::Auto`]). Benches
-    /// and equivalence tests use this to pin a path.
+    /// Force the kernel dispatch path (rebuilds the Vlasov operator and
+    /// the moment scratch; the default from construction is
+    /// [`KernelDispatch::Auto`]). Benches and equivalence tests use this
+    /// to pin a path. Collision operators installed via
+    /// [`Self::set_collisions`] carry their own resolved path — build them
+    /// with `LboOp::with_dispatch` to force it (`AppBuilder` does).
     ///
     /// # Panics
     ///
@@ -196,6 +200,7 @@ impl VlasovMaxwell {
             self.vlasov.flux,
             dispatch,
         );
+        self.scratch_mom = MomentScratch::with_dispatch(&self.kernels, dispatch);
     }
 
     /// Install per-species collision operators (one slot per species, in

@@ -35,8 +35,8 @@
 use dg_grid::{Bc, CellStoreMut, DgField, DimBc, PhaseGrid};
 use dg_kernels::accel::VelGeom;
 use dg_kernels::dispatch::{
-    CellLanes, DispatchPath, KernelDispatch, ResolvedSurfaceDir, ResolvedVolume, SurfaceKernelFn,
-    LANES,
+    CellLanes, DispatchPath, KernelDispatch, ResolvedSurfaceDir, ResolvedVolume,
+    SurfaceKernelBatchFn, SurfaceKernelFn, LANES,
 };
 use dg_kernels::ops::OpReport;
 use dg_kernels::surface::FaceScratch;
@@ -149,6 +149,11 @@ pub struct VlasovWorkspace {
     panel_w: Vec<CellLanes>,
     panel_f: Vec<CellLanes>,
     panel_out: Vec<CellLanes>,
+    /// Second coefficient/accumulation panels for the batched *surface*
+    /// kernels (the upper side of each face; `panel_f`/`panel_out` carry
+    /// the lower side).
+    panel_f2: Vec<CellLanes>,
+    panel_out2: Vec<CellLanes>,
     /// Wall-flux ledger accumulators, filled by the configuration-surface
     /// sweep; reset by [`VlasovOp::accumulate_rhs_bc`] (or manually when
     /// driving the sweep methods directly, as `dg-parallel` does).
@@ -170,6 +175,8 @@ impl VlasovWorkspace {
             panel_w: vec![CellLanes::default(); k.layout.ndim()],
             panel_f: vec![CellLanes::default(); k.np()],
             panel_out: vec![CellLanes::default(); k.np()],
+            panel_f2: vec![CellLanes::default(); k.np()],
+            panel_out2: vec![CellLanes::default(); k.np()],
             wall: WallAccum::for_cdim(k.layout.cdim),
         }
     }
@@ -523,8 +530,8 @@ impl VlasovOp {
         write_hi: bool,
     ) {
         match self.surface_paths[d] {
-            ResolvedSurfaceDir::Generated(kernel) => {
-                self.surface_config_face_gen(kernel, f, out, ws, clo, chi, write_lo, write_hi)
+            ResolvedSurfaceDir::Generated { func, batch } => {
+                self.surface_config_face_gen(func, batch, f, out, ws, clo, chi, write_lo, write_hi)
             }
             ResolvedSurfaceDir::RuntimeSparse => {
                 self.surface_config_face_rt(d, f, out, ws, clo, chi, write_lo, write_hi)
@@ -532,14 +539,21 @@ impl VlasovOp {
         }
     }
 
-    /// Committed-kernel variant of one configuration-direction face: a
-    /// straight-line call per velocity cell. One-sided writes and the
-    /// single-cell periodic wrap stage the discarded/aliased side in the
-    /// workspace (the kernels always compute both sides).
+    /// Committed-kernel variant of one configuration-direction face. The
+    /// common case — an interior face with both sides written — sends runs
+    /// of [`LANES`] velocity cells through the SIMD-batched kernel (SoA
+    /// panels from workspace scratch), the `nv % LANES` tail through the
+    /// scalar kernel. Each output coefficient receives exactly one
+    /// increment per face (one face mode per cell mode), so unpacking the
+    /// zeroed accumulation panels reproduces the scalar accumulation bit
+    /// for bit. One-sided writes and the single-cell periodic wrap stage
+    /// the discarded/aliased side in the workspace and stay scalar (the
+    /// kernels always compute both sides).
     #[allow(clippy::too_many_arguments)]
     fn surface_config_face_gen<S: CellStoreMut>(
         &self,
         kernel: SurfaceKernelFn,
+        batch: SurfaceKernelBatchFn,
         f: &DgField,
         out: &mut S,
         ws: &mut VlasovWorkspace,
@@ -559,7 +573,58 @@ impl VlasovOp {
         let penalty = self.flux != FluxKind::Central;
         let mut w = [0.0f64; MAX_DIM];
         w[..cdim].copy_from_slice(&self.conf_centers[clo * cdim..][..cdim]);
-        for vlin in 0..nv {
+        let scalar_from = if clo != chi && write_lo && write_hi {
+            let nv_full = nv - nv % LANES;
+            for d in 0..cdim {
+                ws.panel_w[d].0.fill(w[d]);
+            }
+            let mut v0 = 0;
+            while v0 < nv_full {
+                for lane in 0..LANES {
+                    let vlin = v0 + lane;
+                    for j in 0..vdim {
+                        ws.panel_w[cdim + j].0[lane] = self.vel_centers[vlin][j];
+                    }
+                    let fl = f.cell(clo * nv + vlin);
+                    let fh = f.cell(chi * nv + vlin);
+                    for n in 0..np {
+                        ws.panel_f[n].0[lane] = fl[n];
+                        ws.panel_f2[n].0[lane] = fh[n];
+                    }
+                }
+                for p in ws.panel_out[..np].iter_mut() {
+                    p.0.fill(0.0);
+                }
+                for p in ws.panel_out2[..np].iter_mut() {
+                    p.0.fill(0.0);
+                }
+                // Streaming kernels never read `qm`/`em` (α̂ = v_d).
+                batch(
+                    &ws.panel_w[..ndim],
+                    &self.dxv,
+                    0.0,
+                    &[],
+                    penalty,
+                    &ws.panel_f[..np],
+                    &ws.panel_f2[..np],
+                    &mut ws.panel_out[..np],
+                    &mut ws.panel_out2[..np],
+                );
+                for lane in 0..LANES {
+                    let vlin = v0 + lane;
+                    let (a, b) = out.cell_pair_mut(clo * nv + vlin, chi * nv + vlin);
+                    for n in 0..np {
+                        a[n] += ws.panel_out[n].0[lane];
+                        b[n] += ws.panel_out2[n].0[lane];
+                    }
+                }
+                v0 += LANES;
+            }
+            nv_full
+        } else {
+            0
+        };
+        for vlin in scalar_from..nv {
             w[cdim..ndim].copy_from_slice(&self.vel_centers[vlin][..vdim]);
             let lo_cell = clo * nv + vlin;
             let hi_cell = chi * nv + vlin;
@@ -786,7 +851,8 @@ impl VlasovOp {
             self.stage_ghost(d, bc, f, ws, cell);
             ws.tmp_lo[..np].fill(0.0);
             match self.surface_paths[d] {
-                ResolvedSurfaceDir::Generated(kernel) => {
+                // Wall faces stay scalar: each boundary cell is one face.
+                ResolvedSurfaceDir::Generated { func: kernel, .. } => {
                     // `w` of the streaming kernels only feeds the paired
                     // velocity center of `α̂ = v_d` — identical for ghost
                     // and interior — so the interior cell's center serves
@@ -938,17 +1004,75 @@ impl VlasovOp {
                 let stride = self.grid.vel.stride(j);
                 let n_j = self.grid.vel.cells()[j];
                 match self.surface_paths[dir] {
-                    ResolvedSurfaceDir::Generated(kernel) => {
-                        // Committed unrolled kernel: one straight-line call
-                        // per interior face. The inlined α̂ projection reads
-                        // only the transverse velocity centers, so it is the
-                        // same exact polynomial the runtime path projects
-                        // once per pencil.
+                    ResolvedSurfaceDir::Generated {
+                        func: kernel,
+                        batch,
+                    } => {
+                        // Committed unrolled kernel: runs of LANES
+                        // consecutive faces of a pencil go through the
+                        // SIMD-batched kernel, the tail through the scalar
+                        // one. Consecutive faces share a cell, so the
+                        // zeroed accumulation panels are unpacked
+                        // lane-by-lane in face order (lower side first,
+                        // then upper) — each side's unpack-add is the
+                        // single increment the scalar kernel would apply,
+                        // so the scalar accumulation order (and result) is
+                        // reproduced bit for bit. The inlined α̂ projection
+                        // reads only the transverse velocity centers, so it
+                        // is the same exact polynomial the runtime path
+                        // projects once per pencil.
+                        let np = k.np();
+                        let n_faces = n_j - 1;
+                        let faces_full = n_faces - n_faces % LANES;
                         let mut w = [0.0f64; MAX_DIM];
                         w[..cdim].copy_from_slice(&self.conf_centers[clin * cdim..][..cdim]);
+                        for d in 0..cdim {
+                            ws.panel_w[d].0.fill(w[d]);
+                        }
                         for &base in &self.pencil_bases[j] {
                             let base = base as usize;
-                            for i in 0..n_j - 1 {
+                            let mut i0 = 0;
+                            while i0 < faces_full {
+                                for lane in 0..LANES {
+                                    let vlo = base + (i0 + lane) * stride;
+                                    for jj in 0..vdim {
+                                        ws.panel_w[cdim + jj].0[lane] = self.vel_centers[vlo][jj];
+                                    }
+                                    let fl = f.cell(clin * nv + vlo);
+                                    let fh = f.cell(clin * nv + vlo + stride);
+                                    for n in 0..np {
+                                        ws.panel_f[n].0[lane] = fl[n];
+                                        ws.panel_f2[n].0[lane] = fh[n];
+                                    }
+                                }
+                                for p in ws.panel_out[..np].iter_mut() {
+                                    p.0.fill(0.0);
+                                }
+                                for p in ws.panel_out2[..np].iter_mut() {
+                                    p.0.fill(0.0);
+                                }
+                                batch(
+                                    &ws.panel_w[..ndim],
+                                    &self.dxv,
+                                    qm,
+                                    em_cell,
+                                    penalty,
+                                    &ws.panel_f[..np],
+                                    &ws.panel_f2[..np],
+                                    &mut ws.panel_out[..np],
+                                    &mut ws.panel_out2[..np],
+                                );
+                                for lane in 0..LANES {
+                                    let lo_cell = clin * nv + base + (i0 + lane) * stride;
+                                    let (o_lo, o_hi) = out.cell_pair_mut(lo_cell, lo_cell + stride);
+                                    for n in 0..np {
+                                        o_lo[n] += ws.panel_out[n].0[lane];
+                                        o_hi[n] += ws.panel_out2[n].0[lane];
+                                    }
+                                }
+                                i0 += LANES;
+                            }
+                            for i in faces_full..n_faces {
                                 let vlo = base + i * stride;
                                 w[cdim..ndim].copy_from_slice(&self.vel_centers[vlo][..vdim]);
                                 let lo_cell = clin * nv + vlo;

@@ -18,7 +18,7 @@ pub fn joule_heating(system: &VlasovMaxwell, state: &SystemState) -> (f64, Vec<f
     let nc = system.kernels.nc();
     let nconf = system.grid.conf.len();
     let mut j = DgField::zeros(nconf, 3 * nc);
-    let mut ws = MomentScratch::default();
+    let mut ws = MomentScratch::for_kernels(&system.kernels);
     for (s, sp) in system.species.iter().enumerate() {
         accumulate_current(
             &system.kernels,

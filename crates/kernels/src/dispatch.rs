@@ -136,6 +136,76 @@ pub fn sx4(out: &mut CellLanes, c: f64, x: &CellLanes) {
 pub type VolumeKernelBatchFn =
     fn(w: &[CellLanes], dxv: &[f64], qm: f64, em: &[f64], f: &[CellLanes], out: &mut [CellLanes]);
 
+/// Calling convention of a committed batched surface kernel: the scalar
+/// [`SurfaceKernelFn`] over an SoA panel of [`LANES`] faces that share one
+/// configuration cell (`em` lane-constant, the lower-cell centers `w` per
+/// lane). As with [`VolumeKernelBatchFn`], each lane's arithmetic is
+/// statement-for-statement identical to the scalar kernel — including the
+/// per-lane penalty speed `λ` — so batched and scalar calls may be mixed
+/// freely over a sweep, bit for bit (asserted in `generated/tests.rs`).
+pub type SurfaceKernelBatchFn = fn(
+    w: &[CellLanes],
+    dxv: &[f64],
+    qm: f64,
+    em: &[f64],
+    penalty: bool,
+    f_lo: &[CellLanes],
+    f_hi: &[CellLanes],
+    out_lo: &mut [CellLanes],
+    out_hi: &mut [CellLanes],
+);
+
+/// Calling convention of a committed `M0` moment kernel: accumulate one
+/// phase cell's contribution (`jv` = velocity-cell Jacobian `∏ Δv_j/2`)
+/// into the configuration coefficients `m0` (the `_into` convention of
+/// `MomentKernels::accumulate_m0`).
+pub type MomentM0Fn = fn(f: &[f64], jv: f64, m0: &mut [f64]);
+
+/// Calling convention of a committed `M1_j` moment kernel for one velocity
+/// direction (`v_c`/`dv`: the cell's center and width in that direction).
+pub type MomentM1Fn = fn(f: &[f64], jv: f64, v_c: f64, dv: f64, m1: &mut [f64]);
+
+/// Calling convention of a committed `M2 = Σ_j ∫ v_j² f dv` moment kernel
+/// (`v_c`/`dv`: the velocity cell's centers and widths, length `vdim`).
+pub type MomentM2Fn = fn(f: &[f64], jv: f64, v_c: &[f64], dv: &[f64], m2: &mut [f64]);
+
+/// Calling convention of a committed LBO drag *volume* kernel for one
+/// velocity direction: accumulate the weak `∇_{v_j} · (ν (v_j − u_j) f)`
+/// cell term. `v_c`/`dv` are the cell's center and width in `v_j`, `u` the
+/// flow-velocity configuration coefficients for this direction.
+pub type LboDragVolFn = fn(nu: f64, v_c: f64, dv: f64, u: &[f64], f: &[f64], out: &mut [f64]);
+
+/// Calling convention of a committed LBO drag *surface* kernel at one
+/// interior velocity face (`vstar` = the face's velocity coordinate);
+/// updates both adjacent cells with the penalized central flux.
+pub type LboDragSurfFn = fn(
+    nu: f64,
+    vstar: f64,
+    dv: f64,
+    u: &[f64],
+    f_lo: &[f64],
+    f_hi: &[f64],
+    out_lo: &mut [f64],
+    out_hi: &mut [f64],
+);
+
+/// Calling convention of a committed LDG gradient kernel for one velocity
+/// direction: `g += ∇_{v_j} f` for one cell, one-sided fluxes (the upper
+/// neighbor's lower trace `f_up`, or the cell's own upper trace when
+/// `at_upper` — i.e. the cell sits on the upper velocity boundary).
+pub type LboDiffGradFn = fn(dv: f64, at_upper: bool, f: &[f64], f_up: &[f64], g: &mut [f64]);
+
+/// Calling convention of a committed LBO diffusion *volume* kernel for one
+/// velocity direction: weak `ν vth²(x) ∂_{v_j} g` cell term (`vth2` =
+/// thermal-speed-squared configuration coefficients).
+pub type LboDiffVolFn = fn(nu: f64, dv: f64, vth2: &[f64], g: &[f64], out: &mut [f64]);
+
+/// Calling convention of a committed LBO diffusion *surface* kernel at one
+/// interior velocity face: one-sided flux of the LDG gradient (the lower
+/// cell's upper trace), updating both adjacent cells.
+pub type LboDiffSurfFn =
+    fn(nu: f64, dv: f64, vth2: &[f64], g_lo: &[f64], out_lo: &mut [f64], out_hi: &mut [f64]);
+
 /// Registry key: one kernel configuration.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct KernelKey {
@@ -185,6 +255,42 @@ pub struct SurfaceKernelEntry {
     /// One kernel per phase direction: configuration (streaming) directions
     /// `0..cdim` first, then velocity (acceleration) directions.
     pub dirs: &'static [SurfaceKernelFn],
+    /// The SIMD-batched companions (`<dir name>_b4`), same order as
+    /// [`Self::dirs`]: each direction's kernel over an SoA panel of
+    /// [`LANES`] faces, bit-identical per lane.
+    pub batch: &'static [SurfaceKernelBatchFn],
+}
+
+/// One row of the committed moment-kernel registry: the unrolled
+/// `M0`/`M1_j`/`M2` reductions of one configuration (generated table in
+/// `generated/mod.rs`).
+#[derive(Clone, Copy, Debug)]
+pub struct MomentKernelEntry {
+    pub key: KernelKey,
+    /// The generated source-file stem (functions append `_m0` / `_m1_v<j>`
+    /// / `_m2` suffixes).
+    pub name: &'static str,
+    pub m0: MomentM0Fn,
+    /// One `M1` kernel per velocity direction.
+    pub m1: &'static [MomentM1Fn],
+    pub m2: MomentM2Fn,
+}
+
+/// One row of the committed LBO-kernel registry: the five unrolled stage
+/// functions (drag volume/surface, LDG gradient, diffusion volume/surface)
+/// per velocity direction of one configuration (generated table in
+/// `generated/mod.rs`).
+#[derive(Clone, Copy, Debug)]
+pub struct LboKernelEntry {
+    pub key: KernelKey,
+    /// The generated source-file stem (functions append
+    /// `_<stage>_v<j>` suffixes).
+    pub name: &'static str,
+    pub drag_vol: &'static [LboDragVolFn],
+    pub drag_surf: &'static [LboDragSurfFn],
+    pub diff_grad: &'static [LboDiffGradFn],
+    pub diff_vol: &'static [LboDiffVolFn],
+    pub diff_surf: &'static [LboDiffSurfFn],
 }
 
 /// All committed unrolled volume kernels.
@@ -195,6 +301,16 @@ pub fn volume_registry() -> &'static [VolumeKernelEntry] {
 /// All committed unrolled surface kernels.
 pub fn surface_registry() -> &'static [SurfaceKernelEntry] {
     crate::generated::SURFACE_REGISTRY
+}
+
+/// All committed unrolled moment kernels.
+pub fn moment_registry() -> &'static [MomentKernelEntry] {
+    crate::generated::MOMENT_REGISTRY
+}
+
+/// All committed unrolled LBO collision kernels.
+pub fn lbo_registry() -> &'static [LboKernelEntry] {
+    crate::generated::LBO_REGISTRY
 }
 
 /// Look up the committed volume kernel for a configuration, if one exists.
@@ -215,6 +331,26 @@ pub fn find_surface_kernel(
 ) -> Option<&'static SurfaceKernelEntry> {
     let key = KernelKey::new(kind, layout, poly_order);
     surface_registry().iter().find(|e| e.key == key)
+}
+
+/// Look up the committed moment kernels for a configuration, if any exist.
+pub fn find_moment_kernel(
+    kind: BasisKind,
+    layout: PhaseLayout,
+    poly_order: usize,
+) -> Option<&'static MomentKernelEntry> {
+    let key = KernelKey::new(kind, layout, poly_order);
+    moment_registry().iter().find(|e| e.key == key)
+}
+
+/// Look up the committed LBO kernels for a configuration, if any exist.
+pub fn find_lbo_kernel(
+    kind: BasisKind,
+    layout: PhaseLayout,
+    poly_order: usize,
+) -> Option<&'static LboKernelEntry> {
+    let key = KernelKey::new(kind, layout, poly_order);
+    lbo_registry().iter().find(|e| e.key == key)
 }
 
 /// Which volume-kernel path an operator should take. The default, `Auto`,
@@ -280,7 +416,11 @@ pub enum ResolvedSurface {
 /// phase direction and calls through without branching per face.
 #[derive(Clone, Copy, Debug)]
 pub enum ResolvedSurfaceDir {
-    Generated(SurfaceKernelFn),
+    Generated {
+        func: SurfaceKernelFn,
+        /// The direction's SIMD-batched companion for panel sweeps.
+        batch: SurfaceKernelBatchFn,
+    },
     RuntimeSparse,
 }
 
@@ -296,8 +436,48 @@ impl ResolvedSurface {
     /// directions first, as in [`SurfaceKernelEntry::dirs`]).
     pub fn dir(&self, d: usize) -> ResolvedSurfaceDir {
         match self {
-            ResolvedSurface::Generated(e) => ResolvedSurfaceDir::Generated(e.dirs[d]),
+            ResolvedSurface::Generated(e) => ResolvedSurfaceDir::Generated {
+                func: e.dirs[d],
+                batch: e.batch[d],
+            },
             ResolvedSurface::RuntimeSparse => ResolvedSurfaceDir::RuntimeSparse,
+        }
+    }
+}
+
+/// Outcome of resolving [`KernelDispatch`] for the velocity-moment
+/// reductions (`M0`/`M1`/`M2`). `Default` is the runtime path so a
+/// default-constructed scratch stays valid; moment-consuming operators
+/// resolve once at construction.
+#[derive(Clone, Copy, Debug, Default)]
+pub enum ResolvedMoments {
+    Generated(&'static MomentKernelEntry),
+    #[default]
+    RuntimeSparse,
+}
+
+impl ResolvedMoments {
+    pub fn path(&self) -> DispatchPath {
+        match self {
+            ResolvedMoments::Generated(_) => DispatchPath::Generated,
+            ResolvedMoments::RuntimeSparse => DispatchPath::RuntimeSparse,
+        }
+    }
+}
+
+/// Outcome of resolving [`KernelDispatch`] for the LBO collision operator;
+/// all five stage-function families resolve together.
+#[derive(Clone, Copy, Debug)]
+pub enum ResolvedLbo {
+    Generated(&'static LboKernelEntry),
+    RuntimeSparse,
+}
+
+impl ResolvedLbo {
+    pub fn path(&self) -> DispatchPath {
+        match self {
+            ResolvedLbo::Generated(_) => DispatchPath::Generated,
+            ResolvedLbo::RuntimeSparse => DispatchPath::RuntimeSparse,
         }
     }
 }
@@ -371,6 +551,72 @@ impl KernelDispatch {
             },
         }
     }
+
+    /// Resolve this knob for the moment reductions of a configuration.
+    /// Same semantics as [`KernelDispatch::resolve`].
+    pub fn resolve_moments(
+        self,
+        kind: BasisKind,
+        layout: PhaseLayout,
+        poly_order: usize,
+    ) -> Result<ResolvedMoments, String> {
+        match self {
+            KernelDispatch::RuntimeSparse => Ok(ResolvedMoments::RuntimeSparse),
+            KernelDispatch::Auto => Ok(match find_moment_kernel(kind, layout, poly_order) {
+                Some(e) => ResolvedMoments::Generated(e),
+                None => ResolvedMoments::RuntimeSparse,
+            }),
+            KernelDispatch::Generated => match find_moment_kernel(kind, layout, poly_order) {
+                Some(e) => Ok(ResolvedMoments::Generated(e)),
+                None => Err(format!(
+                    "no committed moment kernel for {:?} {} p={} (registry: {}); \
+                     extend dg_kernels::codegen::MANIFEST and rerun \
+                     `cargo run -p dg-bench --bin gen_kernel`",
+                    kind,
+                    layout.tag(),
+                    poly_order,
+                    moment_registry()
+                        .iter()
+                        .map(|e| e.name)
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                )),
+            },
+        }
+    }
+
+    /// Resolve this knob for the LBO collision operator of a configuration.
+    /// Same semantics as [`KernelDispatch::resolve`].
+    pub fn resolve_lbo(
+        self,
+        kind: BasisKind,
+        layout: PhaseLayout,
+        poly_order: usize,
+    ) -> Result<ResolvedLbo, String> {
+        match self {
+            KernelDispatch::RuntimeSparse => Ok(ResolvedLbo::RuntimeSparse),
+            KernelDispatch::Auto => Ok(match find_lbo_kernel(kind, layout, poly_order) {
+                Some(e) => ResolvedLbo::Generated(e),
+                None => ResolvedLbo::RuntimeSparse,
+            }),
+            KernelDispatch::Generated => match find_lbo_kernel(kind, layout, poly_order) {
+                Some(e) => Ok(ResolvedLbo::Generated(e)),
+                None => Err(format!(
+                    "no committed LBO kernel for {:?} {} p={} (registry: {}); \
+                     extend dg_kernels::codegen::MANIFEST and rerun \
+                     `cargo run -p dg-bench --bin gen_kernel`",
+                    kind,
+                    layout.tag(),
+                    poly_order,
+                    lbo_registry()
+                        .iter()
+                        .map(|e| e.name)
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                )),
+            },
+        }
+    }
 }
 
 #[cfg(test)]
@@ -414,24 +660,63 @@ mod tests {
     }
 
     #[test]
+    fn moment_and_lbo_registries_cover_the_whole_manifest() {
+        for spec in MANIFEST {
+            let m = find_moment_kernel(spec.kind, spec.layout(), spec.poly_order)
+                .unwrap_or_else(|| panic!("{} missing from moment registry", spec.mom_name()));
+            assert_eq!(m.name, spec.mom_name(), "registry/manifest name drift");
+            assert_eq!(m.m1.len(), spec.vdim, "one M1 kernel per velocity dir");
+            let l = find_lbo_kernel(spec.kind, spec.layout(), spec.poly_order)
+                .unwrap_or_else(|| panic!("{} missing from LBO registry", spec.lbo_name()));
+            assert_eq!(l.name, spec.lbo_name(), "registry/manifest name drift");
+            for len in [
+                l.drag_vol.len(),
+                l.drag_surf.len(),
+                l.diff_grad.len(),
+                l.diff_vol.len(),
+                l.diff_surf.len(),
+            ] {
+                assert_eq!(len, spec.vdim, "one stage kernel per velocity dir");
+            }
+        }
+        assert_eq!(moment_registry().len(), MANIFEST.len());
+        assert_eq!(lbo_registry().len(), MANIFEST.len());
+    }
+
+    #[test]
     fn auto_falls_back_gracefully() {
-        // 3x3v p1 is deliberately not committed (Np = 64 would dominate the
-        // crate); Auto must fall back, forced Generated must error.
+        // 3x3v p2 is deliberately not committed (Np = 256 would dominate
+        // crate compile time); Auto must fall back, forced Generated must
+        // error — for every kernel family.
         let layout = PhaseLayout::new(3, 3);
         let auto = KernelDispatch::Auto
-            .resolve(BasisKind::Serendipity, layout, 1)
+            .resolve(BasisKind::Serendipity, layout, 2)
             .unwrap();
         assert_eq!(auto.path(), DispatchPath::RuntimeSparse);
         assert!(KernelDispatch::Generated
-            .resolve(BasisKind::Serendipity, layout, 1)
+            .resolve(BasisKind::Serendipity, layout, 2)
             .is_err());
         let auto_s = KernelDispatch::Auto
-            .resolve_surface(BasisKind::Serendipity, layout, 1)
+            .resolve_surface(BasisKind::Serendipity, layout, 2)
             .unwrap();
         assert_eq!(auto_s.path(), DispatchPath::RuntimeSparse);
         assert!(matches!(auto_s.dir(0), ResolvedSurfaceDir::RuntimeSparse));
         assert!(KernelDispatch::Generated
-            .resolve_surface(BasisKind::Serendipity, layout, 1)
+            .resolve_surface(BasisKind::Serendipity, layout, 2)
+            .is_err());
+        let auto_m = KernelDispatch::Auto
+            .resolve_moments(BasisKind::Serendipity, layout, 2)
+            .unwrap();
+        assert_eq!(auto_m.path(), DispatchPath::RuntimeSparse);
+        assert!(KernelDispatch::Generated
+            .resolve_moments(BasisKind::Serendipity, layout, 2)
+            .is_err());
+        let auto_l = KernelDispatch::Auto
+            .resolve_lbo(BasisKind::Serendipity, layout, 2)
+            .unwrap();
+        assert_eq!(auto_l.path(), DispatchPath::RuntimeSparse);
+        assert!(KernelDispatch::Generated
+            .resolve_lbo(BasisKind::Serendipity, layout, 2)
             .is_err());
     }
 
@@ -460,7 +745,7 @@ mod tests {
             .unwrap();
         assert_eq!(gen.path(), DispatchPath::Generated);
         for d in 0..3 {
-            assert!(matches!(gen.dir(d), ResolvedSurfaceDir::Generated(_)));
+            assert!(matches!(gen.dir(d), ResolvedSurfaceDir::Generated { .. }));
         }
         let rt = KernelDispatch::RuntimeSparse
             .resolve_surface(BasisKind::Tensor, layout, 1)

@@ -1,0 +1,427 @@
+// LBO (Lenard–Bernstein / Dougherty) collision kernels, 1x2v p=1 tensor basis.
+// Auto-generated from exact integral tables — do not edit by hand.
+// Five stage functions per velocity direction (drag volume/surface,
+// LDG gradient, diffusion volume/surface); see
+// `crate::dispatch::LboKernelEntry` for the calling conventions.
+
+/// LBO drag volume term in v0: weak `∇_v · (ν(v − u) f)`, cell interior.
+#[allow(clippy::all)]
+#[rustfmt::skip]
+pub fn lbo_1x2v_p1_tensor_drag_vol_v0(nu: f64, v_c: f64, dv: f64, u: &[f64], f: &[f64], out: &mut [f64]) {
+    let scale = 2.0 / dv;
+    let mut alpha = [0.0f64; 8];
+    alpha[0] = -nu * v_c * 2.8284271247461903;
+    alpha[2] = -nu * 0.5 * dv * 1.632993161855452;
+    alpha[0] += nu * 2.0 * u[0];
+    alpha[3] += nu * 2.0 * u[1];
+    out[2] += scale * 0.6123724356957945 * alpha[0] * f[0];
+    out[2] += scale * 0.6123724356957945 * alpha[2] * f[2];
+    out[2] += scale * 0.6123724356957945 * alpha[3] * f[3];
+    out[4] += scale * 0.6123724356957945 * alpha[0] * f[1];
+    out[4] += scale * 0.6123724356957945 * alpha[2] * f[4];
+    out[4] += scale * 0.6123724356957945 * alpha[3] * f[5];
+    out[6] += scale * 0.6123724356957945 * alpha[0] * f[3];
+    out[6] += scale * 0.6123724356957945 * alpha[2] * f[6];
+    out[6] += scale * 0.6123724356957945 * alpha[3] * f[0];
+    out[7] += scale * 0.6123724356957945 * alpha[0] * f[5];
+    out[7] += scale * 0.6123724356957945 * alpha[2] * f[7];
+    out[7] += scale * 0.6123724356957945 * alpha[3] * f[1];
+}
+
+/// LBO drag surface term in v0 at one interior face (`vstar` = face
+/// velocity coordinate); penalized central flux, both sides updated.
+#[allow(clippy::all)]
+#[rustfmt::skip]
+pub fn lbo_1x2v_p1_tensor_drag_surf_v0(nu: f64, vstar: f64, dv: f64, u: &[f64], f_lo: &[f64], f_hi: &[f64], out_lo: &mut [f64], out_hi: &mut [f64]) {
+    let scale = 2.0 / dv;
+    let mut alpha = [0.0f64; 4];
+    alpha[0] = -nu * vstar * 2.0;
+    alpha[0] += nu * 1.4142135623730951 * u[0];
+    alpha[2] += nu * 1.4142135623730951 * u[1];
+    let lam = alpha[0].abs() * 0.5000000000000001 + alpha[2].abs() * 0.8660254037844386;
+    let mut fm = [0.0f64; 4];
+    let mut fp = [0.0f64; 4];
+    fm[0] += 0.7071067811865476 * f_lo[0];
+    fm[1] += 0.7071067811865476 * f_lo[1];
+    fm[0] += 1.224744871391589 * f_lo[2];
+    fm[2] += 0.7071067811865476 * f_lo[3];
+    fm[1] += 1.224744871391589 * f_lo[4];
+    fm[3] += 0.7071067811865476 * f_lo[5];
+    fm[2] += 1.224744871391589 * f_lo[6];
+    fm[3] += 1.224744871391589 * f_lo[7];
+    fp[0] += 0.7071067811865476 * f_hi[0];
+    fp[1] += 0.7071067811865476 * f_hi[1];
+    fp[0] += -1.224744871391589 * f_hi[2];
+    fp[2] += 0.7071067811865476 * f_hi[3];
+    fp[1] += -1.224744871391589 * f_hi[4];
+    fp[3] += 0.7071067811865476 * f_hi[5];
+    fp[2] += -1.224744871391589 * f_hi[6];
+    fp[3] += -1.224744871391589 * f_hi[7];
+    let mut favg = [0.0f64; 4];
+    let mut ghat = [0.0f64; 4];
+    favg[0] = 0.5 * (fm[0] + fp[0]);
+    ghat[0] = -0.5 * lam * (fp[0] - fm[0]);
+    favg[1] = 0.5 * (fm[1] + fp[1]);
+    ghat[1] = -0.5 * lam * (fp[1] - fm[1]);
+    favg[2] = 0.5 * (fm[2] + fp[2]);
+    ghat[2] = -0.5 * lam * (fp[2] - fm[2]);
+    favg[3] = 0.5 * (fm[3] + fp[3]);
+    ghat[3] = -0.5 * lam * (fp[3] - fm[3]);
+    ghat[0] += 0.5 * alpha[0] * favg[0];
+    ghat[0] += 0.5 * alpha[2] * favg[2];
+    ghat[1] += 0.5 * alpha[0] * favg[1];
+    ghat[1] += 0.5 * alpha[2] * favg[3];
+    ghat[2] += 0.5 * alpha[0] * favg[2];
+    ghat[2] += 0.5 * alpha[2] * favg[0];
+    ghat[3] += 0.5 * alpha[0] * favg[3];
+    ghat[3] += 0.5 * alpha[2] * favg[1];
+    out_lo[0] += -scale * 0.7071067811865476 * ghat[0];
+    out_lo[1] += -scale * 0.7071067811865476 * ghat[1];
+    out_lo[2] += -scale * 1.224744871391589 * ghat[0];
+    out_lo[3] += -scale * 0.7071067811865476 * ghat[2];
+    out_lo[4] += -scale * 1.224744871391589 * ghat[1];
+    out_lo[5] += -scale * 0.7071067811865476 * ghat[3];
+    out_lo[6] += -scale * 1.224744871391589 * ghat[2];
+    out_lo[7] += -scale * 1.224744871391589 * ghat[3];
+    out_hi[0] += scale * 0.7071067811865476 * ghat[0];
+    out_hi[1] += scale * 0.7071067811865476 * ghat[1];
+    out_hi[2] += scale * -1.224744871391589 * ghat[0];
+    out_hi[3] += scale * 0.7071067811865476 * ghat[2];
+    out_hi[4] += scale * -1.224744871391589 * ghat[1];
+    out_hi[5] += scale * 0.7071067811865476 * ghat[3];
+    out_hi[6] += scale * -1.224744871391589 * ghat[2];
+    out_hi[7] += scale * -1.224744871391589 * ghat[3];
+}
+
+/// LDG gradient in v0 for one cell: volume gradient-mass plus the
+/// upper-neighbor trace (`f_up`; own upper trace when `at_upper`) and
+/// the cell's own lower trace.
+#[allow(clippy::all)]
+#[rustfmt::skip]
+pub fn lbo_1x2v_p1_tensor_diff_grad_v0(dv: f64, at_upper: bool, f: &[f64], f_up: &[f64], g: &mut [f64]) {
+    let scale = 2.0 / dv;
+    g[2] += -scale * 1.7320508075688772 * f[0];
+    g[4] += -scale * 1.7320508075688772 * f[1];
+    g[6] += -scale * 1.7320508075688772 * f[3];
+    g[7] += -scale * 1.7320508075688772 * f[5];
+    let mut tr = [0.0f64; 4];
+    if at_upper {
+        tr[0] += 0.7071067811865476 * f[0];
+        tr[1] += 0.7071067811865476 * f[1];
+        tr[0] += 1.224744871391589 * f[2];
+        tr[2] += 0.7071067811865476 * f[3];
+        tr[1] += 1.224744871391589 * f[4];
+        tr[3] += 0.7071067811865476 * f[5];
+        tr[2] += 1.224744871391589 * f[6];
+        tr[3] += 1.224744871391589 * f[7];
+    } else {
+        tr[0] += 0.7071067811865476 * f_up[0];
+        tr[1] += 0.7071067811865476 * f_up[1];
+        tr[0] += -1.224744871391589 * f_up[2];
+        tr[2] += 0.7071067811865476 * f_up[3];
+        tr[1] += -1.224744871391589 * f_up[4];
+        tr[3] += 0.7071067811865476 * f_up[5];
+        tr[2] += -1.224744871391589 * f_up[6];
+        tr[3] += -1.224744871391589 * f_up[7];
+    }
+    g[0] += scale * 0.7071067811865476 * tr[0];
+    g[1] += scale * 0.7071067811865476 * tr[1];
+    g[2] += scale * 1.224744871391589 * tr[0];
+    g[3] += scale * 0.7071067811865476 * tr[2];
+    g[4] += scale * 1.224744871391589 * tr[1];
+    g[5] += scale * 0.7071067811865476 * tr[3];
+    g[6] += scale * 1.224744871391589 * tr[2];
+    g[7] += scale * 1.224744871391589 * tr[3];
+    let mut tl = [0.0f64; 4];
+    tl[0] += 0.7071067811865476 * f[0];
+    tl[1] += 0.7071067811865476 * f[1];
+    tl[0] += -1.224744871391589 * f[2];
+    tl[2] += 0.7071067811865476 * f[3];
+    tl[1] += -1.224744871391589 * f[4];
+    tl[3] += 0.7071067811865476 * f[5];
+    tl[2] += -1.224744871391589 * f[6];
+    tl[3] += -1.224744871391589 * f[7];
+    g[0] += -scale * 0.7071067811865476 * tl[0];
+    g[1] += -scale * 0.7071067811865476 * tl[1];
+    g[2] += -scale * -1.224744871391589 * tl[0];
+    g[3] += -scale * 0.7071067811865476 * tl[2];
+    g[4] += -scale * -1.224744871391589 * tl[1];
+    g[5] += -scale * 0.7071067811865476 * tl[3];
+    g[6] += -scale * -1.224744871391589 * tl[2];
+    g[7] += -scale * -1.224744871391589 * tl[3];
+}
+
+/// LBO diffusion volume term in v0: weak `ν vth²(x) ∂_v g`.
+#[allow(clippy::all)]
+#[rustfmt::skip]
+pub fn lbo_1x2v_p1_tensor_diff_vol_v0(nu: f64, dv: f64, vth2: &[f64], g: &[f64], out: &mut [f64]) {
+    let scale = 2.0 / dv;
+    let mut alpha = [0.0f64; 8];
+    alpha[0] = 2.0 * vth2[0];
+    alpha[3] = 2.0 * vth2[1];
+    out[2] += -nu * scale * 0.6123724356957945 * alpha[0] * g[0];
+    out[2] += -nu * scale * 0.6123724356957945 * alpha[3] * g[3];
+    out[4] += -nu * scale * 0.6123724356957945 * alpha[0] * g[1];
+    out[4] += -nu * scale * 0.6123724356957945 * alpha[3] * g[5];
+    out[6] += -nu * scale * 0.6123724356957945 * alpha[0] * g[3];
+    out[6] += -nu * scale * 0.6123724356957945 * alpha[3] * g[0];
+    out[7] += -nu * scale * 0.6123724356957945 * alpha[0] * g[5];
+    out[7] += -nu * scale * 0.6123724356957945 * alpha[3] * g[1];
+}
+
+/// LBO diffusion surface term in v0 at one interior face: one-sided
+/// flux of the LDG gradient (lower cell's upper trace), both sides
+/// updated.
+#[allow(clippy::all)]
+#[rustfmt::skip]
+pub fn lbo_1x2v_p1_tensor_diff_surf_v0(nu: f64, dv: f64, vth2: &[f64], g_lo: &[f64], out_lo: &mut [f64], out_hi: &mut [f64]) {
+    let scale = 2.0 / dv;
+    let mut alpha = [0.0f64; 4];
+    alpha[0] = 1.4142135623730951 * vth2[0];
+    alpha[2] = 1.4142135623730951 * vth2[1];
+    let mut tr = [0.0f64; 4];
+    tr[0] += 0.7071067811865476 * g_lo[0];
+    tr[1] += 0.7071067811865476 * g_lo[1];
+    tr[0] += 1.224744871391589 * g_lo[2];
+    tr[2] += 0.7071067811865476 * g_lo[3];
+    tr[1] += 1.224744871391589 * g_lo[4];
+    tr[3] += 0.7071067811865476 * g_lo[5];
+    tr[2] += 1.224744871391589 * g_lo[6];
+    tr[3] += 1.224744871391589 * g_lo[7];
+    let mut ghat = [0.0f64; 4];
+    ghat[0] += 0.5 * alpha[0] * tr[0];
+    ghat[0] += 0.5 * alpha[2] * tr[2];
+    ghat[1] += 0.5 * alpha[0] * tr[1];
+    ghat[1] += 0.5 * alpha[2] * tr[3];
+    ghat[2] += 0.5 * alpha[0] * tr[2];
+    ghat[2] += 0.5 * alpha[2] * tr[0];
+    ghat[3] += 0.5 * alpha[0] * tr[3];
+    ghat[3] += 0.5 * alpha[2] * tr[1];
+    out_lo[0] += nu * scale * 0.7071067811865476 * ghat[0];
+    out_lo[1] += nu * scale * 0.7071067811865476 * ghat[1];
+    out_lo[2] += nu * scale * 1.224744871391589 * ghat[0];
+    out_lo[3] += nu * scale * 0.7071067811865476 * ghat[2];
+    out_lo[4] += nu * scale * 1.224744871391589 * ghat[1];
+    out_lo[5] += nu * scale * 0.7071067811865476 * ghat[3];
+    out_lo[6] += nu * scale * 1.224744871391589 * ghat[2];
+    out_lo[7] += nu * scale * 1.224744871391589 * ghat[3];
+    out_hi[0] += -nu * scale * 0.7071067811865476 * ghat[0];
+    out_hi[1] += -nu * scale * 0.7071067811865476 * ghat[1];
+    out_hi[2] += -nu * scale * -1.224744871391589 * ghat[0];
+    out_hi[3] += -nu * scale * 0.7071067811865476 * ghat[2];
+    out_hi[4] += -nu * scale * -1.224744871391589 * ghat[1];
+    out_hi[5] += -nu * scale * 0.7071067811865476 * ghat[3];
+    out_hi[6] += -nu * scale * -1.224744871391589 * ghat[2];
+    out_hi[7] += -nu * scale * -1.224744871391589 * ghat[3];
+}
+
+/// LBO drag volume term in v1: weak `∇_v · (ν(v − u) f)`, cell interior.
+#[allow(clippy::all)]
+#[rustfmt::skip]
+pub fn lbo_1x2v_p1_tensor_drag_vol_v1(nu: f64, v_c: f64, dv: f64, u: &[f64], f: &[f64], out: &mut [f64]) {
+    let scale = 2.0 / dv;
+    let mut alpha = [0.0f64; 8];
+    alpha[0] = -nu * v_c * 2.8284271247461903;
+    alpha[1] = -nu * 0.5 * dv * 1.632993161855452;
+    alpha[0] += nu * 2.0 * u[0];
+    alpha[3] += nu * 2.0 * u[1];
+    out[1] += scale * 0.6123724356957945 * alpha[0] * f[0];
+    out[1] += scale * 0.6123724356957945 * alpha[1] * f[1];
+    out[1] += scale * 0.6123724356957945 * alpha[3] * f[3];
+    out[4] += scale * 0.6123724356957945 * alpha[0] * f[2];
+    out[4] += scale * 0.6123724356957945 * alpha[1] * f[4];
+    out[4] += scale * 0.6123724356957945 * alpha[3] * f[6];
+    out[5] += scale * 0.6123724356957945 * alpha[0] * f[3];
+    out[5] += scale * 0.6123724356957945 * alpha[1] * f[5];
+    out[5] += scale * 0.6123724356957945 * alpha[3] * f[0];
+    out[7] += scale * 0.6123724356957945 * alpha[0] * f[6];
+    out[7] += scale * 0.6123724356957945 * alpha[1] * f[7];
+    out[7] += scale * 0.6123724356957945 * alpha[3] * f[2];
+}
+
+/// LBO drag surface term in v1 at one interior face (`vstar` = face
+/// velocity coordinate); penalized central flux, both sides updated.
+#[allow(clippy::all)]
+#[rustfmt::skip]
+pub fn lbo_1x2v_p1_tensor_drag_surf_v1(nu: f64, vstar: f64, dv: f64, u: &[f64], f_lo: &[f64], f_hi: &[f64], out_lo: &mut [f64], out_hi: &mut [f64]) {
+    let scale = 2.0 / dv;
+    let mut alpha = [0.0f64; 4];
+    alpha[0] = -nu * vstar * 2.0;
+    alpha[0] += nu * 1.4142135623730951 * u[0];
+    alpha[2] += nu * 1.4142135623730951 * u[1];
+    let lam = alpha[0].abs() * 0.5000000000000001 + alpha[2].abs() * 0.8660254037844386;
+    let mut fm = [0.0f64; 4];
+    let mut fp = [0.0f64; 4];
+    fm[0] += 0.7071067811865476 * f_lo[0];
+    fm[0] += 1.224744871391589 * f_lo[1];
+    fm[1] += 0.7071067811865476 * f_lo[2];
+    fm[2] += 0.7071067811865476 * f_lo[3];
+    fm[1] += 1.224744871391589 * f_lo[4];
+    fm[2] += 1.224744871391589 * f_lo[5];
+    fm[3] += 0.7071067811865476 * f_lo[6];
+    fm[3] += 1.224744871391589 * f_lo[7];
+    fp[0] += 0.7071067811865476 * f_hi[0];
+    fp[0] += -1.224744871391589 * f_hi[1];
+    fp[1] += 0.7071067811865476 * f_hi[2];
+    fp[2] += 0.7071067811865476 * f_hi[3];
+    fp[1] += -1.224744871391589 * f_hi[4];
+    fp[2] += -1.224744871391589 * f_hi[5];
+    fp[3] += 0.7071067811865476 * f_hi[6];
+    fp[3] += -1.224744871391589 * f_hi[7];
+    let mut favg = [0.0f64; 4];
+    let mut ghat = [0.0f64; 4];
+    favg[0] = 0.5 * (fm[0] + fp[0]);
+    ghat[0] = -0.5 * lam * (fp[0] - fm[0]);
+    favg[1] = 0.5 * (fm[1] + fp[1]);
+    ghat[1] = -0.5 * lam * (fp[1] - fm[1]);
+    favg[2] = 0.5 * (fm[2] + fp[2]);
+    ghat[2] = -0.5 * lam * (fp[2] - fm[2]);
+    favg[3] = 0.5 * (fm[3] + fp[3]);
+    ghat[3] = -0.5 * lam * (fp[3] - fm[3]);
+    ghat[0] += 0.5 * alpha[0] * favg[0];
+    ghat[0] += 0.5 * alpha[2] * favg[2];
+    ghat[1] += 0.5 * alpha[0] * favg[1];
+    ghat[1] += 0.5 * alpha[2] * favg[3];
+    ghat[2] += 0.5 * alpha[0] * favg[2];
+    ghat[2] += 0.5 * alpha[2] * favg[0];
+    ghat[3] += 0.5 * alpha[0] * favg[3];
+    ghat[3] += 0.5 * alpha[2] * favg[1];
+    out_lo[0] += -scale * 0.7071067811865476 * ghat[0];
+    out_lo[1] += -scale * 1.224744871391589 * ghat[0];
+    out_lo[2] += -scale * 0.7071067811865476 * ghat[1];
+    out_lo[3] += -scale * 0.7071067811865476 * ghat[2];
+    out_lo[4] += -scale * 1.224744871391589 * ghat[1];
+    out_lo[5] += -scale * 1.224744871391589 * ghat[2];
+    out_lo[6] += -scale * 0.7071067811865476 * ghat[3];
+    out_lo[7] += -scale * 1.224744871391589 * ghat[3];
+    out_hi[0] += scale * 0.7071067811865476 * ghat[0];
+    out_hi[1] += scale * -1.224744871391589 * ghat[0];
+    out_hi[2] += scale * 0.7071067811865476 * ghat[1];
+    out_hi[3] += scale * 0.7071067811865476 * ghat[2];
+    out_hi[4] += scale * -1.224744871391589 * ghat[1];
+    out_hi[5] += scale * -1.224744871391589 * ghat[2];
+    out_hi[6] += scale * 0.7071067811865476 * ghat[3];
+    out_hi[7] += scale * -1.224744871391589 * ghat[3];
+}
+
+/// LDG gradient in v1 for one cell: volume gradient-mass plus the
+/// upper-neighbor trace (`f_up`; own upper trace when `at_upper`) and
+/// the cell's own lower trace.
+#[allow(clippy::all)]
+#[rustfmt::skip]
+pub fn lbo_1x2v_p1_tensor_diff_grad_v1(dv: f64, at_upper: bool, f: &[f64], f_up: &[f64], g: &mut [f64]) {
+    let scale = 2.0 / dv;
+    g[1] += -scale * 1.7320508075688772 * f[0];
+    g[4] += -scale * 1.7320508075688772 * f[2];
+    g[5] += -scale * 1.7320508075688772 * f[3];
+    g[7] += -scale * 1.7320508075688772 * f[6];
+    let mut tr = [0.0f64; 4];
+    if at_upper {
+        tr[0] += 0.7071067811865476 * f[0];
+        tr[0] += 1.224744871391589 * f[1];
+        tr[1] += 0.7071067811865476 * f[2];
+        tr[2] += 0.7071067811865476 * f[3];
+        tr[1] += 1.224744871391589 * f[4];
+        tr[2] += 1.224744871391589 * f[5];
+        tr[3] += 0.7071067811865476 * f[6];
+        tr[3] += 1.224744871391589 * f[7];
+    } else {
+        tr[0] += 0.7071067811865476 * f_up[0];
+        tr[0] += -1.224744871391589 * f_up[1];
+        tr[1] += 0.7071067811865476 * f_up[2];
+        tr[2] += 0.7071067811865476 * f_up[3];
+        tr[1] += -1.224744871391589 * f_up[4];
+        tr[2] += -1.224744871391589 * f_up[5];
+        tr[3] += 0.7071067811865476 * f_up[6];
+        tr[3] += -1.224744871391589 * f_up[7];
+    }
+    g[0] += scale * 0.7071067811865476 * tr[0];
+    g[1] += scale * 1.224744871391589 * tr[0];
+    g[2] += scale * 0.7071067811865476 * tr[1];
+    g[3] += scale * 0.7071067811865476 * tr[2];
+    g[4] += scale * 1.224744871391589 * tr[1];
+    g[5] += scale * 1.224744871391589 * tr[2];
+    g[6] += scale * 0.7071067811865476 * tr[3];
+    g[7] += scale * 1.224744871391589 * tr[3];
+    let mut tl = [0.0f64; 4];
+    tl[0] += 0.7071067811865476 * f[0];
+    tl[0] += -1.224744871391589 * f[1];
+    tl[1] += 0.7071067811865476 * f[2];
+    tl[2] += 0.7071067811865476 * f[3];
+    tl[1] += -1.224744871391589 * f[4];
+    tl[2] += -1.224744871391589 * f[5];
+    tl[3] += 0.7071067811865476 * f[6];
+    tl[3] += -1.224744871391589 * f[7];
+    g[0] += -scale * 0.7071067811865476 * tl[0];
+    g[1] += -scale * -1.224744871391589 * tl[0];
+    g[2] += -scale * 0.7071067811865476 * tl[1];
+    g[3] += -scale * 0.7071067811865476 * tl[2];
+    g[4] += -scale * -1.224744871391589 * tl[1];
+    g[5] += -scale * -1.224744871391589 * tl[2];
+    g[6] += -scale * 0.7071067811865476 * tl[3];
+    g[7] += -scale * -1.224744871391589 * tl[3];
+}
+
+/// LBO diffusion volume term in v1: weak `ν vth²(x) ∂_v g`.
+#[allow(clippy::all)]
+#[rustfmt::skip]
+pub fn lbo_1x2v_p1_tensor_diff_vol_v1(nu: f64, dv: f64, vth2: &[f64], g: &[f64], out: &mut [f64]) {
+    let scale = 2.0 / dv;
+    let mut alpha = [0.0f64; 8];
+    alpha[0] = 2.0 * vth2[0];
+    alpha[3] = 2.0 * vth2[1];
+    out[1] += -nu * scale * 0.6123724356957945 * alpha[0] * g[0];
+    out[1] += -nu * scale * 0.6123724356957945 * alpha[3] * g[3];
+    out[4] += -nu * scale * 0.6123724356957945 * alpha[0] * g[2];
+    out[4] += -nu * scale * 0.6123724356957945 * alpha[3] * g[6];
+    out[5] += -nu * scale * 0.6123724356957945 * alpha[0] * g[3];
+    out[5] += -nu * scale * 0.6123724356957945 * alpha[3] * g[0];
+    out[7] += -nu * scale * 0.6123724356957945 * alpha[0] * g[6];
+    out[7] += -nu * scale * 0.6123724356957945 * alpha[3] * g[2];
+}
+
+/// LBO diffusion surface term in v1 at one interior face: one-sided
+/// flux of the LDG gradient (lower cell's upper trace), both sides
+/// updated.
+#[allow(clippy::all)]
+#[rustfmt::skip]
+pub fn lbo_1x2v_p1_tensor_diff_surf_v1(nu: f64, dv: f64, vth2: &[f64], g_lo: &[f64], out_lo: &mut [f64], out_hi: &mut [f64]) {
+    let scale = 2.0 / dv;
+    let mut alpha = [0.0f64; 4];
+    alpha[0] = 1.4142135623730951 * vth2[0];
+    alpha[2] = 1.4142135623730951 * vth2[1];
+    let mut tr = [0.0f64; 4];
+    tr[0] += 0.7071067811865476 * g_lo[0];
+    tr[0] += 1.224744871391589 * g_lo[1];
+    tr[1] += 0.7071067811865476 * g_lo[2];
+    tr[2] += 0.7071067811865476 * g_lo[3];
+    tr[1] += 1.224744871391589 * g_lo[4];
+    tr[2] += 1.224744871391589 * g_lo[5];
+    tr[3] += 0.7071067811865476 * g_lo[6];
+    tr[3] += 1.224744871391589 * g_lo[7];
+    let mut ghat = [0.0f64; 4];
+    ghat[0] += 0.5 * alpha[0] * tr[0];
+    ghat[0] += 0.5 * alpha[2] * tr[2];
+    ghat[1] += 0.5 * alpha[0] * tr[1];
+    ghat[1] += 0.5 * alpha[2] * tr[3];
+    ghat[2] += 0.5 * alpha[0] * tr[2];
+    ghat[2] += 0.5 * alpha[2] * tr[0];
+    ghat[3] += 0.5 * alpha[0] * tr[3];
+    ghat[3] += 0.5 * alpha[2] * tr[1];
+    out_lo[0] += nu * scale * 0.7071067811865476 * ghat[0];
+    out_lo[1] += nu * scale * 1.224744871391589 * ghat[0];
+    out_lo[2] += nu * scale * 0.7071067811865476 * ghat[1];
+    out_lo[3] += nu * scale * 0.7071067811865476 * ghat[2];
+    out_lo[4] += nu * scale * 1.224744871391589 * ghat[1];
+    out_lo[5] += nu * scale * 1.224744871391589 * ghat[2];
+    out_lo[6] += nu * scale * 0.7071067811865476 * ghat[3];
+    out_lo[7] += nu * scale * 1.224744871391589 * ghat[3];
+    out_hi[0] += -nu * scale * 0.7071067811865476 * ghat[0];
+    out_hi[1] += -nu * scale * -1.224744871391589 * ghat[0];
+    out_hi[2] += -nu * scale * 0.7071067811865476 * ghat[1];
+    out_hi[3] += -nu * scale * 0.7071067811865476 * ghat[2];
+    out_hi[4] += -nu * scale * -1.224744871391589 * ghat[1];
+    out_hi[5] += -nu * scale * -1.224744871391589 * ghat[2];
+    out_hi[6] += -nu * scale * 0.7071067811865476 * ghat[3];
+    out_hi[7] += -nu * scale * -1.224744871391589 * ghat[3];
+}

@@ -2,22 +2,29 @@
 //! surrounding `mod.rs` is itself a generated artifact and only declares
 //! this module).
 //!
-//! Two properties per manifest entry:
+//! Three properties per manifest entry:
 //!
-//! 1. **no drift** — every committed artifact (volume *and* surface kernel
-//!    files plus the registry module) is byte-identical to what the
-//!    current generator emits, so generator changes cannot land without
-//!    regenerated artifacts;
+//! 1. **no drift** — every committed artifact (volume, surface, moment,
+//!    and LBO kernel files plus the registry module) is byte-identical to
+//!    what the current generator emits, so generator changes cannot land
+//!    without regenerated artifacts;
 //! 2. **equivalence** — executing the committed, fully unrolled functions
 //!    reproduces the runtime sparse-tensor kernels on random cell data to
 //!    round-off (the property the dispatch layer's correctness rests on),
-//!    for the volume kernel and for every per-direction surface kernel.
+//!    for the volume kernel, every per-direction surface kernel, all three
+//!    moment kernels, and all five LBO stage-kernel families;
+//! 3. **bitwise batching** — the `_b4` SIMD companions (volume and
+//!    surface) reproduce their scalar kernels bit for bit on mixed
+//!    panel-plus-remainder sweeps.
 
 use crate::accel::VelGeom;
 use crate::codegen::{
-    generated_mod_source, manifest_kernel_source, manifest_surface_source, MANIFEST,
+    generated_mod_source, lbo_dir_tables, manifest_kernel_source, manifest_lbo_source,
+    manifest_moment_source, manifest_surface_source, LboDirTables, MANIFEST,
 };
-use crate::dispatch::{surface_registry, volume_registry, CellLanes, LANES};
+use crate::dispatch::{
+    lbo_registry, moment_registry, surface_registry, volume_registry, CellLanes, LANES,
+};
 use crate::kernels_for;
 use crate::surface::FaceScratch;
 use proptest::prelude::*;
@@ -43,6 +50,22 @@ fn committed_artifacts_match_generator() {
             committed_surf,
             "{} drifted — regenerate with `cargo run -p dg-bench --bin gen_kernel`",
             spec.surf_file_name()
+        );
+        let committed_mom = std::fs::read_to_string(dir.join(spec.mom_file_name()))
+            .unwrap_or_else(|e| panic!("missing committed artifact {}: {e}", spec.mom_file_name()));
+        assert_eq!(
+            manifest_moment_source(spec),
+            committed_mom,
+            "{} drifted — regenerate with `cargo run -p dg-bench --bin gen_kernel`",
+            spec.mom_file_name()
+        );
+        let committed_lbo = std::fs::read_to_string(dir.join(spec.lbo_file_name()))
+            .unwrap_or_else(|e| panic!("missing committed artifact {}: {e}", spec.lbo_file_name()));
+        assert_eq!(
+            manifest_lbo_source(spec),
+            committed_lbo,
+            "{} drifted — regenerate with `cargo run -p dg-bench --bin gen_kernel`",
+            spec.lbo_file_name()
         );
     }
     let committed_mod = std::fs::read_to_string(dir.join("mod.rs")).unwrap();
@@ -314,5 +337,464 @@ proptest! {
                 }
             }
         }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+    /// The `_b4` surface companions reproduce their scalar kernels bit for
+    /// bit on a mixed sweep: full SoA panels of [`LANES`] faces (zeroed
+    /// panel outputs, unpack-add) plus a scalar remainder, for every run
+    /// length 1..=9. This is what lets the RHS sweep batch pencil
+    /// interiors and keep wall/tail faces scalar without perturbing the
+    /// trajectory.
+    #[test]
+    fn every_registry_surface_batch_matches_scalar_bitwise(
+        qm in -3.0..3.0f64,
+        penalty_raw in 0usize..2,
+        n_faces in 1usize..=9,
+        w_raw in proptest::collection::vec(-2.0..2.0f64, 6 * 9),
+        dxv_raw in proptest::collection::vec(0.1..2.0f64, 6),
+        em_raw in proptest::collection::vec(-1.0..1.0f64, 8 * 16),
+        f_lo_raw in proptest::collection::vec(-1.0..1.0f64, 128 * 9),
+        f_hi_raw in proptest::collection::vec(-1.0..1.0f64, 128 * 9),
+    ) {
+        let penalty = penalty_raw == 1;
+        for entry in surface_registry() {
+            let k = entry.key;
+            let pk = kernels_for(k.kind, k.layout(), k.poly_order);
+            let ndim = k.cdim + k.vdim;
+            let (np, nc) = (pk.np(), pk.nc());
+            prop_assert!(np <= 128 && 8 * nc <= em_raw.len());
+            let dxv = &dxv_raw[..ndim];
+            let em = &em_raw[..8 * nc];
+            let w_of = |i: usize| &w_raw[i * 6..i * 6 + ndim];
+            let fl_of = |i: usize| &f_lo_raw[i * 128..i * 128 + np];
+            let fh_of = |i: usize| &f_hi_raw[i * 128..i * 128 + np];
+
+            prop_assert!(entry.batch.len() == ndim, "{}: batch count", entry.name);
+            for (dir, (kernel, batch)) in
+                entry.dirs.iter().zip(entry.batch.iter()).enumerate()
+            {
+                let _ = dir;
+                // Per-face scalar reference (zero-initialized outputs).
+                let mut lo_ref = vec![vec![0.0f64; np]; n_faces];
+                let mut hi_ref = vec![vec![0.0f64; np]; n_faces];
+                for i in 0..n_faces {
+                    kernel(
+                        w_of(i), dxv, qm, em, penalty,
+                        fl_of(i), fh_of(i), &mut lo_ref[i], &mut hi_ref[i],
+                    );
+                }
+
+                // Mixed path: full panels batched, remainder scalar.
+                let mut lo_mix = vec![vec![0.0f64; np]; n_faces];
+                let mut hi_mix = vec![vec![0.0f64; np]; n_faces];
+                let mut i0 = 0;
+                while i0 + LANES <= n_faces {
+                    let mut wp = vec![CellLanes([0.0; LANES]); ndim];
+                    let mut flp = vec![CellLanes([0.0; LANES]); np];
+                    let mut fhp = vec![CellLanes([0.0; LANES]); np];
+                    let mut olp = vec![CellLanes([0.0; LANES]); np];
+                    let mut ohp = vec![CellLanes([0.0; LANES]); np];
+                    for lane in 0..LANES {
+                        for d in 0..ndim {
+                            wp[d].0[lane] = w_of(i0 + lane)[d];
+                        }
+                        for n in 0..np {
+                            flp[n].0[lane] = fl_of(i0 + lane)[n];
+                            fhp[n].0[lane] = fh_of(i0 + lane)[n];
+                        }
+                    }
+                    batch(&wp, dxv, qm, em, penalty, &flp, &fhp, &mut olp, &mut ohp);
+                    for lane in 0..LANES {
+                        for n in 0..np {
+                            lo_mix[i0 + lane][n] += olp[n].0[lane];
+                            hi_mix[i0 + lane][n] += ohp[n].0[lane];
+                        }
+                    }
+                    i0 += LANES;
+                }
+                for i in i0..n_faces {
+                    kernel(
+                        w_of(i), dxv, qm, em, penalty,
+                        fl_of(i), fh_of(i), &mut lo_mix[i], &mut hi_mix[i],
+                    );
+                }
+
+                for i in 0..n_faces {
+                    for n in 0..np {
+                        prop_assert!(
+                            lo_ref[i][n].to_bits() == lo_mix[i][n].to_bits(),
+                            "{} dir {dir} face {i} lower mode {n}: batched {} vs scalar {}",
+                            entry.name, lo_mix[i][n], lo_ref[i][n]
+                        );
+                        prop_assert!(
+                            hi_ref[i][n].to_bits() == hi_mix[i][n].to_bits(),
+                            "{} dir {dir} face {i} upper mode {n}: batched {} vs scalar {}",
+                            entry.name, hi_mix[i][n], hi_ref[i][n]
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    /// Every committed moment kernel (`M0`, per-direction `M1`, `M2`)
+    /// reproduces the runtime weak-op reduction of `MomentKernels`.
+    #[test]
+    fn every_moment_registry_kernel_matches_runtime(
+        jv in 0.1..2.0f64,
+        vc_raw in proptest::collection::vec(-2.0..2.0f64, 3),
+        dv_raw in proptest::collection::vec(0.1..2.0f64, 3),
+        f_raw in proptest::collection::vec(-1.0..1.0f64, 128),
+    ) {
+        for entry in moment_registry() {
+            let k = entry.key;
+            let pk = kernels_for(k.kind, k.layout(), k.poly_order);
+            let (np, nc) = (pk.np(), pk.nc());
+            prop_assert!(np <= f_raw.len());
+            let f = &f_raw[..np];
+            let vc = &vc_raw[..k.vdim];
+            let dv = &dv_raw[..k.vdim];
+
+            let compare = |gen: &[f64], rt: &[f64], what: &str| {
+                for l in 0..nc {
+                    prop_assert!(
+                        (gen[l] - rt[l]).abs() < 1e-13,
+                        "{} {what} mode {l}: generated {} vs runtime {}",
+                        entry.name, gen[l], rt[l]
+                    );
+                }
+            };
+
+            let mut gen = vec![0.0; nc];
+            let mut rt = vec![0.0; nc];
+            (entry.m0)(f, jv, &mut gen);
+            pk.moments.accumulate_m0(f, jv, &mut rt);
+            compare(&gen, &rt, "M0");
+
+            prop_assert!(entry.m1.len() == k.vdim, "{}: M1 count", entry.name);
+            for j in 0..k.vdim {
+                gen.iter_mut().for_each(|x| *x = 0.0);
+                rt.iter_mut().for_each(|x| *x = 0.0);
+                (entry.m1[j])(f, jv, vc[j], dv[j], &mut gen);
+                pk.moments.accumulate_m1(j, f, jv, vc[j], dv[j], &mut rt);
+                compare(&gen, &rt, &format!("M1_v{j}"));
+            }
+
+            gen.iter_mut().for_each(|x| *x = 0.0);
+            rt.iter_mut().for_each(|x| *x = 0.0);
+            (entry.m2)(f, jv, vc, dv, &mut gen);
+            pk.moments.accumulate_m2(f, jv, vc, dv, &mut rt);
+            compare(&gen, &rt, "M2");
+        }
+    }
+}
+
+/// Interpreted [`LboDirTables`] per registry entry, built once — the
+/// sparse-tensor construction is the expensive part, not the applies.
+fn lbo_reference_tables() -> &'static [Vec<LboDirTables>] {
+    static TABLES: std::sync::OnceLock<Vec<Vec<LboDirTables>>> = std::sync::OnceLock::new();
+    TABLES.get_or_init(|| {
+        lbo_registry()
+            .iter()
+            .map(|e| {
+                let pk = kernels_for(e.key.kind, e.key.layout(), e.key.poly_order);
+                (0..e.key.vdim).map(|j| lbo_dir_tables(&pk, j)).collect()
+            })
+            .collect()
+    })
+}
+
+/// Runtime drag-volume reference: the exact statement sequence of
+/// `dg_core::lbo::LboOp::accumulate_rhs_range`'s drag volume loop,
+/// interpreted from [`LboDirTables`].
+#[allow(clippy::too_many_arguments)]
+fn runtime_lbo_drag_vol(
+    np: usize,
+    td: &LboDirTables,
+    nu: f64,
+    v_c: f64,
+    dv: f64,
+    u: &[f64],
+    f: &[f64],
+    out: &mut [f64],
+) {
+    let mut alpha = vec![0.0; np];
+    alpha[0] = -nu * v_c * td.c0p;
+    alpha[td.lin_idx] = -nu * 0.5 * dv * td.c1p;
+    for (l, &e) in td.emb_phase.iter().enumerate() {
+        alpha[e as usize] += nu * td.w_phase * u[l];
+    }
+    td.drag_vol.apply(&alpha, f, 2.0 / dv, out);
+}
+
+/// Runtime drag-surface reference (penalized central flux at one interior
+/// velocity face).
+#[allow(clippy::too_many_arguments)]
+fn runtime_lbo_drag_surf(
+    pk: &crate::PhaseKernels,
+    td: &LboDirTables,
+    j: usize,
+    nu: f64,
+    vstar: f64,
+    dv: f64,
+    u: &[f64],
+    f_lo: &[f64],
+    f_hi: &[f64],
+    out_lo: &mut [f64],
+    out_hi: &mut [f64],
+) {
+    let surf = &pk.surfaces[pk.layout.cdim + j].kernel;
+    let nf = surf.face.len();
+    let mut alpha_face = vec![0.0; nf];
+    alpha_face[0] = -nu * vstar * td.c0f;
+    for (l, &e) in td.emb_face.iter().enumerate() {
+        alpha_face[e as usize] += nu * td.w_face * u[l];
+    }
+    let lam = surf.sup_bound(&alpha_face);
+    let mut fs = FaceScratch::default();
+    surf.apply(
+        f_lo,
+        f_hi,
+        &alpha_face,
+        lam,
+        2.0 / dv,
+        Some(out_lo),
+        Some(out_hi),
+        &mut fs,
+    );
+}
+
+/// Runtime LDG gradient reference (`g += ∂f/∂v_j`, trace from above).
+#[allow(clippy::too_many_arguments)]
+fn runtime_lbo_diff_grad(
+    pk: &crate::PhaseKernels,
+    td: &LboDirTables,
+    j: usize,
+    dv: f64,
+    at_upper: bool,
+    f: &[f64],
+    f_up: &[f64],
+    g: &mut [f64],
+) {
+    let surf = &pk.surfaces[pk.layout.cdim + j].kernel;
+    let nf = surf.face.len();
+    let scale = 2.0 / dv;
+    for &(l, m, c) in &td.grad_mass {
+        g[l as usize] += -scale * c * f[m as usize];
+    }
+    let mut trace = vec![0.0; nf];
+    if at_upper {
+        surf.face.restrict(1, f, &mut trace);
+    } else {
+        surf.face.restrict(-1, f_up, &mut trace);
+    }
+    surf.face.lift(1, &trace, scale, g);
+    trace.iter_mut().for_each(|x| *x = 0.0);
+    surf.face.restrict(-1, f, &mut trace);
+    surf.face.lift(-1, &trace, -scale, g);
+}
+
+/// Runtime diffusion-volume reference (weak `ν vth² ∂_{v_j} g` cell term).
+fn runtime_lbo_diff_vol(
+    np: usize,
+    td: &LboDirTables,
+    nu: f64,
+    dv: f64,
+    vth2: &[f64],
+    g: &[f64],
+    out: &mut [f64],
+) {
+    let mut alpha = vec![0.0; np];
+    for (l, &e) in td.emb_phase.iter().enumerate() {
+        alpha[e as usize] = td.w_phase * vth2[l];
+    }
+    td.diff_vol.apply(&alpha, g, -nu * (2.0 / dv), out);
+}
+
+/// Runtime diffusion-surface reference (one-sided LDG flux at one interior
+/// velocity face, trace from below).
+#[allow(clippy::too_many_arguments)]
+fn runtime_lbo_diff_surf(
+    pk: &crate::PhaseKernels,
+    td: &LboDirTables,
+    j: usize,
+    nu: f64,
+    dv: f64,
+    vth2: &[f64],
+    g_lo: &[f64],
+    out_lo: &mut [f64],
+    out_hi: &mut [f64],
+) {
+    let surf = &pk.surfaces[pk.layout.cdim + j].kernel;
+    let nf = surf.face.len();
+    let scale = 2.0 / dv;
+    let mut alpha_face = vec![0.0; nf];
+    for (l, &e) in td.emb_face.iter().enumerate() {
+        alpha_face[e as usize] = td.w_face * vth2[l];
+    }
+    let mut trace = vec![0.0; nf];
+    surf.face.restrict(1, g_lo, &mut trace);
+    let mut ghat = vec![0.0; nf];
+    surf.dmat.apply(&alpha_face, &trace, 1.0, &mut ghat);
+    surf.face.lift(1, &ghat, nu * scale, out_lo);
+    surf.face.lift(-1, &ghat, -nu * scale, out_hi);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+    /// Every committed LBO stage kernel (drag volume/surface, LDG
+    /// gradient, diffusion volume/surface, per velocity direction)
+    /// reproduces the runtime sparse path interpreted from the same
+    /// [`LboDirTables`] the generator unrolled.
+    #[test]
+    fn every_lbo_registry_kernel_matches_runtime(
+        nu in 0.1..2.0f64,
+        v_c in -2.0..2.0f64,
+        vstar in -2.0..2.0f64,
+        at_upper_raw in 0usize..2,
+        dv_raw in proptest::collection::vec(0.1..2.0f64, 3),
+        u_raw in proptest::collection::vec(-1.0..1.0f64, 8),
+        vth2_raw in proptest::collection::vec(0.1..2.0f64, 8),
+        f_raw in proptest::collection::vec(-1.0..1.0f64, 128),
+        f2_raw in proptest::collection::vec(-1.0..1.0f64, 128),
+    ) {
+        let at_upper = at_upper_raw == 1;
+        for (ei, entry) in lbo_registry().iter().enumerate() {
+            let k = entry.key;
+            let pk = kernels_for(k.kind, k.layout(), k.poly_order);
+            let (np, nc) = (pk.np(), pk.nc());
+            prop_assert!(np <= f_raw.len() && nc <= u_raw.len());
+            let f = &f_raw[..np];
+            let f2 = &f2_raw[..np];
+            let u = &u_raw[..nc];
+            let vth2 = &vth2_raw[..nc];
+
+            let stages = [
+                entry.drag_vol.len(), entry.drag_surf.len(), entry.diff_grad.len(),
+                entry.diff_vol.len(), entry.diff_surf.len(),
+            ];
+            prop_assert!(stages == [k.vdim; 5], "{}: stage counts {stages:?}", entry.name);
+
+            let compare = |gen: &[f64], rt: &[f64], what: &str| {
+                for i in 0..np {
+                    prop_assert!(
+                        (gen[i] - rt[i]).abs() < 1e-13,
+                        "{} {what} mode {i}: generated {} vs runtime {}",
+                        entry.name, gen[i], rt[i]
+                    );
+                }
+            };
+
+            for j in 0..k.vdim {
+                let td = &lbo_reference_tables()[ei][j];
+                let dv = dv_raw[j];
+
+                let mut gen = vec![0.0; np];
+                let mut rt = vec![0.0; np];
+                (entry.drag_vol[j])(nu, v_c, dv, u, f, &mut gen);
+                runtime_lbo_drag_vol(np, td, nu, v_c, dv, u, f, &mut rt);
+                compare(&gen, &rt, &format!("drag_vol_v{j}"));
+
+                let (mut gen_hi, mut rt_hi) = (vec![0.0; np], vec![0.0; np]);
+                gen.iter_mut().for_each(|x| *x = 0.0);
+                rt.iter_mut().for_each(|x| *x = 0.0);
+                (entry.drag_surf[j])(nu, vstar, dv, u, f, f2, &mut gen, &mut gen_hi);
+                runtime_lbo_drag_surf(
+                    &pk, td, j, nu, vstar, dv, u, f, f2, &mut rt, &mut rt_hi,
+                );
+                compare(&gen, &rt, &format!("drag_surf_v{j} lower"));
+                compare(&gen_hi, &rt_hi, &format!("drag_surf_v{j} upper"));
+
+                gen.iter_mut().for_each(|x| *x = 0.0);
+                rt.iter_mut().for_each(|x| *x = 0.0);
+                (entry.diff_grad[j])(dv, at_upper, f, f2, &mut gen);
+                runtime_lbo_diff_grad(&pk, td, j, dv, at_upper, f, f2, &mut rt);
+                compare(&gen, &rt, &format!("diff_grad_v{j}"));
+
+                gen.iter_mut().for_each(|x| *x = 0.0);
+                rt.iter_mut().for_each(|x| *x = 0.0);
+                (entry.diff_vol[j])(nu, dv, vth2, f, &mut gen);
+                runtime_lbo_diff_vol(np, td, nu, dv, vth2, f, &mut rt);
+                compare(&gen, &rt, &format!("diff_vol_v{j}"));
+
+                gen.iter_mut().for_each(|x| *x = 0.0);
+                rt.iter_mut().for_each(|x| *x = 0.0);
+                gen_hi.iter_mut().for_each(|x| *x = 0.0);
+                rt_hi.iter_mut().for_each(|x| *x = 0.0);
+                (entry.diff_surf[j])(nu, dv, vth2, f, &mut gen, &mut gen_hi);
+                runtime_lbo_diff_surf(&pk, td, j, nu, dv, vth2, f, &mut rt, &mut rt_hi);
+                compare(&gen, &rt, &format!("diff_surf_v{j} lower"));
+                compare(&gen_hi, &rt_hi, &format!("diff_surf_v{j} upper"));
+            }
+        }
+    }
+}
+
+/// The MANIFEST must cover every `(basis, cdim, vdim, poly_order)`
+/// configuration exercised end to end by a committed example or bench
+/// scenario, so none of them silently falls back to the runtime sparse
+/// path under the default `Auto` dispatch. Parameter *scans*
+/// (`fig2_scaling`, `micro_kernels`) intentionally sweep past the
+/// manifest and are exempt. When a new example or bench scenario lands,
+/// add its configuration here and to `codegen::MANIFEST` (then rerun
+/// `cargo run -p dg-bench --bin gen_kernel`).
+#[test]
+fn manifest_covers_committed_example_and_bench_configs() {
+    use dg_basis::BasisKind;
+    let used: &[(BasisKind, usize, usize, usize, &str)] = &[
+        (
+            BasisKind::Serendipity,
+            1,
+            1,
+            1,
+            "tests/threaded_equiv.rs, dispatch registry baseline",
+        ),
+        (
+            BasisKind::Serendipity,
+            1,
+            1,
+            2,
+            "examples/{quickstart,two_stream,landau_damping,sheath_1x1v,lbo_relaxation}, \
+             benches/ablation_aliasing",
+        ),
+        (
+            BasisKind::Tensor,
+            1,
+            2,
+            1,
+            "examples/kernel_inspect, benches/{fig1_kernel,dispatch_speedup}",
+        ),
+        (BasisKind::Serendipity, 1, 2, 1, "examples/parallel_scaling"),
+        (BasisKind::Serendipity, 2, 2, 1, "benches/fig5_oblique"),
+        (BasisKind::Serendipity, 2, 2, 2, "examples/weibel_2x2v"),
+        (
+            BasisKind::Serendipity,
+            2,
+            3,
+            2,
+            "benches/{eop_efficiency,table1_modal_vs_nodal}",
+        ),
+        (
+            BasisKind::Serendipity,
+            3,
+            3,
+            1,
+            "benches/fig3_parallel_scaling (dg_parallel::scaling)",
+        ),
+    ];
+    for &(kind, cdim, vdim, p, where_) in used {
+        assert!(
+            MANIFEST
+                .iter()
+                .any(|s| s.kind == kind && s.cdim == cdim && s.vdim == vdim && s.poly_order == p),
+            "{kind:?} {cdim}x{vdim}v p={p} is used by {where_} but missing from \
+             codegen::MANIFEST — committed scenarios must run on committed kernels"
+        );
     }
 }

@@ -1,0 +1,47 @@
+// Velocity-moment kernels (M0 / M1_j / M2), 1x1v p=2 Serendipity basis.
+// Auto-generated from exact integral tables — do not edit by hand.
+// See `crate::dispatch::MomentKernelEntry` for the calling convention.
+
+/// `M0` contribution of one phase cell (`jv` = velocity-cell Jacobian).
+#[allow(clippy::all)]
+#[rustfmt::skip]
+pub fn vlasov_mom_1x1v_p2_ser_m0(f: &[f64], jv: f64, m0: &mut [f64]) {
+    let s = jv * 1.4142135623730951;
+    m0[0] += s * f[0];
+    m0[1] += s * f[2];
+    m0[2] += s * f[5];
+}
+
+/// `M1_0` contribution of one phase cell (`v_c`/`dv`: cell center and width in v0).
+#[allow(clippy::all)]
+#[rustfmt::skip]
+pub fn vlasov_mom_1x1v_p2_ser_m1_v0(f: &[f64], jv: f64, v_c: f64, dv: f64, m1: &mut [f64]) {
+    let s0 = jv * 1.4142135623730951 * v_c;
+    m1[0] += s0 * f[0];
+    m1[1] += s0 * f[2];
+    m1[2] += s0 * f[5];
+    let s1 = jv * 0.816496580927726 * 0.5 * dv;
+    m1[0] += s1 * f[1];
+    m1[1] += s1 * f[4];
+    m1[2] += s1 * f[7];
+}
+
+/// `M2 = Σ_j ∫ v_j² f dv` contribution of one phase cell.
+#[allow(clippy::all)]
+#[rustfmt::skip]
+pub fn vlasov_mom_1x1v_p2_ser_m2(f: &[f64], jv: f64, v_c: &[f64], dv: &[f64], m2: &mut [f64]) {
+    let mut s0 = 0.0;
+    let h0 = 0.5 * dv[0];
+    s0 += v_c[0] * v_c[0] + h0 * h0 / 3.0;
+    let s0 = jv * 1.4142135623730951 * s0;
+    m2[0] += s0 * f[0];
+    m2[1] += s0 * f[2];
+    m2[2] += s0 * f[5];
+    let s1_0 = jv * 0.816496580927726 * 2.0 * v_c[0] * 0.5 * dv[0];
+    m2[0] += s1_0 * f[1];
+    m2[1] += s1_0 * f[4];
+    m2[2] += s1_0 * f[7];
+    let s2_0 = jv * 0.4216370213557839 * h0 * h0;
+    m2[0] += s2_0 * f[3];
+    m2[1] += s2_0 * f[6];
+}

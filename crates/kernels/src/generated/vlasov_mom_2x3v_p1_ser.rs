@@ -1,0 +1,95 @@
+// Velocity-moment kernels (M0 / M1_j / M2), 2x3v p=1 Serendipity basis.
+// Auto-generated from exact integral tables — do not edit by hand.
+// See `crate::dispatch::MomentKernelEntry` for the calling convention.
+
+/// `M0` contribution of one phase cell (`jv` = velocity-cell Jacobian).
+#[allow(clippy::all)]
+#[rustfmt::skip]
+pub fn vlasov_mom_2x3v_p1_ser_m0(f: &[f64], jv: f64, m0: &mut [f64]) {
+    let s = jv * 2.8284271247461903;
+    m0[0] += s * f[0];
+    m0[1] += s * f[4];
+    m0[2] += s * f[5];
+    m0[3] += s * f[15];
+}
+
+/// `M1_0` contribution of one phase cell (`v_c`/`dv`: cell center and width in v0).
+#[allow(clippy::all)]
+#[rustfmt::skip]
+pub fn vlasov_mom_2x3v_p1_ser_m1_v0(f: &[f64], jv: f64, v_c: f64, dv: f64, m1: &mut [f64]) {
+    let s0 = jv * 2.8284271247461903 * v_c;
+    m1[0] += s0 * f[0];
+    m1[1] += s0 * f[4];
+    m1[2] += s0 * f[5];
+    m1[3] += s0 * f[15];
+    let s1 = jv * 1.632993161855452 * 0.5 * dv;
+    m1[0] += s1 * f[3];
+    m1[1] += s1 * f[11];
+    m1[2] += s1 * f[14];
+    m1[3] += s1 * f[25];
+}
+
+/// `M1_1` contribution of one phase cell (`v_c`/`dv`: cell center and width in v1).
+#[allow(clippy::all)]
+#[rustfmt::skip]
+pub fn vlasov_mom_2x3v_p1_ser_m1_v1(f: &[f64], jv: f64, v_c: f64, dv: f64, m1: &mut [f64]) {
+    let s0 = jv * 2.8284271247461903 * v_c;
+    m1[0] += s0 * f[0];
+    m1[1] += s0 * f[4];
+    m1[2] += s0 * f[5];
+    m1[3] += s0 * f[15];
+    let s1 = jv * 1.632993161855452 * 0.5 * dv;
+    m1[0] += s1 * f[2];
+    m1[1] += s1 * f[10];
+    m1[2] += s1 * f[13];
+    m1[3] += s1 * f[24];
+}
+
+/// `M1_2` contribution of one phase cell (`v_c`/`dv`: cell center and width in v2).
+#[allow(clippy::all)]
+#[rustfmt::skip]
+pub fn vlasov_mom_2x3v_p1_ser_m1_v2(f: &[f64], jv: f64, v_c: f64, dv: f64, m1: &mut [f64]) {
+    let s0 = jv * 2.8284271247461903 * v_c;
+    m1[0] += s0 * f[0];
+    m1[1] += s0 * f[4];
+    m1[2] += s0 * f[5];
+    m1[3] += s0 * f[15];
+    let s1 = jv * 1.632993161855452 * 0.5 * dv;
+    m1[0] += s1 * f[1];
+    m1[1] += s1 * f[9];
+    m1[2] += s1 * f[12];
+    m1[3] += s1 * f[23];
+}
+
+/// `M2 = Σ_j ∫ v_j² f dv` contribution of one phase cell.
+#[allow(clippy::all)]
+#[rustfmt::skip]
+pub fn vlasov_mom_2x3v_p1_ser_m2(f: &[f64], jv: f64, v_c: &[f64], dv: &[f64], m2: &mut [f64]) {
+    let mut s0 = 0.0;
+    let h0 = 0.5 * dv[0];
+    s0 += v_c[0] * v_c[0] + h0 * h0 / 3.0;
+    let h1 = 0.5 * dv[1];
+    s0 += v_c[1] * v_c[1] + h1 * h1 / 3.0;
+    let h2 = 0.5 * dv[2];
+    s0 += v_c[2] * v_c[2] + h2 * h2 / 3.0;
+    let s0 = jv * 2.8284271247461903 * s0;
+    m2[0] += s0 * f[0];
+    m2[1] += s0 * f[4];
+    m2[2] += s0 * f[5];
+    m2[3] += s0 * f[15];
+    let s1_0 = jv * 1.632993161855452 * 2.0 * v_c[0] * 0.5 * dv[0];
+    m2[0] += s1_0 * f[3];
+    m2[1] += s1_0 * f[11];
+    m2[2] += s1_0 * f[14];
+    m2[3] += s1_0 * f[25];
+    let s1_1 = jv * 1.632993161855452 * 2.0 * v_c[1] * 0.5 * dv[1];
+    m2[0] += s1_1 * f[2];
+    m2[1] += s1_1 * f[10];
+    m2[2] += s1_1 * f[13];
+    m2[3] += s1_1 * f[24];
+    let s1_2 = jv * 1.632993161855452 * 2.0 * v_c[2] * 0.5 * dv[2];
+    m2[0] += s1_2 * f[1];
+    m2[1] += s1_2 * f[9];
+    m2[2] += s1_2 * f[12];
+    m2[3] += s1_2 * f[23];
+}

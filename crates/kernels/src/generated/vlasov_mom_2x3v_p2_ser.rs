@@ -1,0 +1,154 @@
+// Velocity-moment kernels (M0 / M1_j / M2), 2x3v p=2 Serendipity basis.
+// Auto-generated from exact integral tables — do not edit by hand.
+// See `crate::dispatch::MomentKernelEntry` for the calling convention.
+
+/// `M0` contribution of one phase cell (`jv` = velocity-cell Jacobian).
+#[allow(clippy::all)]
+#[rustfmt::skip]
+pub fn vlasov_mom_2x3v_p2_ser_m0(f: &[f64], jv: f64, m0: &mut [f64]) {
+    let s = jv * 2.8284271247461903;
+    m0[0] += s * f[0];
+    m0[1] += s * f[4];
+    m0[2] += s * f[5];
+    m0[3] += s * f[15];
+    m0[4] += s * f[19];
+    m0[5] += s * f[20];
+    m0[6] += s * f[46];
+    m0[7] += s * f[50];
+}
+
+/// `M1_0` contribution of one phase cell (`v_c`/`dv`: cell center and width in v0).
+#[allow(clippy::all)]
+#[rustfmt::skip]
+pub fn vlasov_mom_2x3v_p2_ser_m1_v0(f: &[f64], jv: f64, v_c: f64, dv: f64, m1: &mut [f64]) {
+    let s0 = jv * 2.8284271247461903 * v_c;
+    m1[0] += s0 * f[0];
+    m1[1] += s0 * f[4];
+    m1[2] += s0 * f[5];
+    m1[3] += s0 * f[15];
+    m1[4] += s0 * f[19];
+    m1[5] += s0 * f[20];
+    m1[6] += s0 * f[46];
+    m1[7] += s0 * f[50];
+    let s1 = jv * 1.632993161855452 * 0.5 * dv;
+    m1[0] += s1 * f[3];
+    m1[1] += s1 * f[14];
+    m1[2] += s1 * f[18];
+    m1[3] += s1 * f[36];
+    m1[4] += s1 * f[45];
+    m1[5] += s1 * f[49];
+    m1[6] += s1 * f[79];
+    m1[7] += s1 * f[85];
+}
+
+/// `M1_1` contribution of one phase cell (`v_c`/`dv`: cell center and width in v1).
+#[allow(clippy::all)]
+#[rustfmt::skip]
+pub fn vlasov_mom_2x3v_p2_ser_m1_v1(f: &[f64], jv: f64, v_c: f64, dv: f64, m1: &mut [f64]) {
+    let s0 = jv * 2.8284271247461903 * v_c;
+    m1[0] += s0 * f[0];
+    m1[1] += s0 * f[4];
+    m1[2] += s0 * f[5];
+    m1[3] += s0 * f[15];
+    m1[4] += s0 * f[19];
+    m1[5] += s0 * f[20];
+    m1[6] += s0 * f[46];
+    m1[7] += s0 * f[50];
+    let s1 = jv * 1.632993161855452 * 0.5 * dv;
+    m1[0] += s1 * f[2];
+    m1[1] += s1 * f[13];
+    m1[2] += s1 * f[17];
+    m1[3] += s1 * f[35];
+    m1[4] += s1 * f[44];
+    m1[5] += s1 * f[48];
+    m1[6] += s1 * f[78];
+    m1[7] += s1 * f[84];
+}
+
+/// `M1_2` contribution of one phase cell (`v_c`/`dv`: cell center and width in v2).
+#[allow(clippy::all)]
+#[rustfmt::skip]
+pub fn vlasov_mom_2x3v_p2_ser_m1_v2(f: &[f64], jv: f64, v_c: f64, dv: f64, m1: &mut [f64]) {
+    let s0 = jv * 2.8284271247461903 * v_c;
+    m1[0] += s0 * f[0];
+    m1[1] += s0 * f[4];
+    m1[2] += s0 * f[5];
+    m1[3] += s0 * f[15];
+    m1[4] += s0 * f[19];
+    m1[5] += s0 * f[20];
+    m1[6] += s0 * f[46];
+    m1[7] += s0 * f[50];
+    let s1 = jv * 1.632993161855452 * 0.5 * dv;
+    m1[0] += s1 * f[1];
+    m1[1] += s1 * f[12];
+    m1[2] += s1 * f[16];
+    m1[3] += s1 * f[34];
+    m1[4] += s1 * f[43];
+    m1[5] += s1 * f[47];
+    m1[6] += s1 * f[77];
+    m1[7] += s1 * f[83];
+}
+
+/// `M2 = Σ_j ∫ v_j² f dv` contribution of one phase cell.
+#[allow(clippy::all)]
+#[rustfmt::skip]
+pub fn vlasov_mom_2x3v_p2_ser_m2(f: &[f64], jv: f64, v_c: &[f64], dv: &[f64], m2: &mut [f64]) {
+    let mut s0 = 0.0;
+    let h0 = 0.5 * dv[0];
+    s0 += v_c[0] * v_c[0] + h0 * h0 / 3.0;
+    let h1 = 0.5 * dv[1];
+    s0 += v_c[1] * v_c[1] + h1 * h1 / 3.0;
+    let h2 = 0.5 * dv[2];
+    s0 += v_c[2] * v_c[2] + h2 * h2 / 3.0;
+    let s0 = jv * 2.8284271247461903 * s0;
+    m2[0] += s0 * f[0];
+    m2[1] += s0 * f[4];
+    m2[2] += s0 * f[5];
+    m2[3] += s0 * f[15];
+    m2[4] += s0 * f[19];
+    m2[5] += s0 * f[20];
+    m2[6] += s0 * f[46];
+    m2[7] += s0 * f[50];
+    let s1_0 = jv * 1.632993161855452 * 2.0 * v_c[0] * 0.5 * dv[0];
+    m2[0] += s1_0 * f[3];
+    m2[1] += s1_0 * f[14];
+    m2[2] += s1_0 * f[18];
+    m2[3] += s1_0 * f[36];
+    m2[4] += s1_0 * f[45];
+    m2[5] += s1_0 * f[49];
+    m2[6] += s1_0 * f[79];
+    m2[7] += s1_0 * f[85];
+    let s2_0 = jv * 0.8432740427115678 * h0 * h0;
+    m2[0] += s2_0 * f[11];
+    m2[1] += s2_0 * f[33];
+    m2[2] += s2_0 * f[42];
+    m2[4] += s2_0 * f[76];
+    let s1_1 = jv * 1.632993161855452 * 2.0 * v_c[1] * 0.5 * dv[1];
+    m2[0] += s1_1 * f[2];
+    m2[1] += s1_1 * f[13];
+    m2[2] += s1_1 * f[17];
+    m2[3] += s1_1 * f[35];
+    m2[4] += s1_1 * f[44];
+    m2[5] += s1_1 * f[48];
+    m2[6] += s1_1 * f[78];
+    m2[7] += s1_1 * f[84];
+    let s2_1 = jv * 0.8432740427115678 * h1 * h1;
+    m2[0] += s2_1 * f[8];
+    m2[1] += s2_1 * f[30];
+    m2[2] += s2_1 * f[39];
+    m2[4] += s2_1 * f[73];
+    let s1_2 = jv * 1.632993161855452 * 2.0 * v_c[2] * 0.5 * dv[2];
+    m2[0] += s1_2 * f[1];
+    m2[1] += s1_2 * f[12];
+    m2[2] += s1_2 * f[16];
+    m2[3] += s1_2 * f[34];
+    m2[4] += s1_2 * f[43];
+    m2[5] += s1_2 * f[47];
+    m2[6] += s1_2 * f[77];
+    m2[7] += s1_2 * f[83];
+    let s2_2 = jv * 0.8432740427115678 * h2 * h2;
+    m2[0] += s2_2 * f[6];
+    m2[1] += s2_2 * f[28];
+    m2[2] += s2_2 * f[37];
+    m2[4] += s2_2 * f[71];
+}

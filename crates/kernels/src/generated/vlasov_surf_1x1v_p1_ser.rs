@@ -43,6 +43,51 @@ pub fn vlasov_surf_1x1v_p1_ser_x0(w: &[f64], dxv: &[f64], qm: f64, em: &[f64], p
     out_hi[3] += rd * -1.224744871391589 * ghat[1];
 }
 
+/// Batched companion of [`vlasov_surf_1x1v_p1_ser_x0`]: `LANES` faces per call, bit-identical per lane.
+#[allow(clippy::all)]
+#[rustfmt::skip]
+pub fn vlasov_surf_1x1v_p1_ser_x0_b4(w: &[CellLanes], dxv: &[f64], qm: f64, em: &[f64], penalty: bool, f_lo: &[CellLanes], f_hi: &[CellLanes], out_lo: &mut [CellLanes], out_hi: &mut [CellLanes]) {
+    let rd = 2.0 / dxv[0];
+    let mut alpha = [CellLanes([0.0f64; LANES]); 2];
+    let mut lam = CellLanes([0.0f64; LANES]);
+    let _ = (qm, em);
+    for k in 0..LANES {
+        alpha[0].0[k] = w[1].0[k] * 1.4142135623730951;
+        alpha[1].0[k] += 0.5 * dxv[1] * 0.816496580927726;
+        lam.0[k] = if penalty { w[1].0[k].abs() + 0.5 * dxv[1].abs() } else { 0.0 };
+    }
+    let mut fm = [CellLanes([0.0f64; LANES]); 2];
+    let mut fp = [CellLanes([0.0f64; LANES]); 2];
+    sx4(&mut fm[0], 0.7071067811865476, &f_lo[0]);
+    sx4(&mut fm[1], 0.7071067811865476, &f_lo[1]);
+    sx4(&mut fm[0], 1.224744871391589, &f_lo[2]);
+    sx4(&mut fm[1], 1.224744871391589, &f_lo[3]);
+    sx4(&mut fp[0], 0.7071067811865476, &f_hi[0]);
+    sx4(&mut fp[1], 0.7071067811865476, &f_hi[1]);
+    sx4(&mut fp[0], -1.224744871391589, &f_hi[2]);
+    sx4(&mut fp[1], -1.224744871391589, &f_hi[3]);
+    let mut favg = [CellLanes([0.0f64; LANES]); 2];
+    let mut ghat = [CellLanes([0.0f64; LANES]); 2];
+    for k in 0..LANES {
+        favg[0].0[k] = 0.5 * (fm[0].0[k] + fp[0].0[k]);
+        ghat[0].0[k] = -0.5 * lam.0[k] * (fp[0].0[k] - fm[0].0[k]);
+        favg[1].0[k] = 0.5 * (fm[1].0[k] + fp[1].0[k]);
+        ghat[1].0[k] = -0.5 * lam.0[k] * (fp[1].0[k] - fm[1].0[k]);
+    }
+    ax4(&mut ghat[0], 0.7071067811865476, &alpha[0], &favg[0]);
+    ax4(&mut ghat[0], 0.7071067811865475, &alpha[1], &favg[1]);
+    ax4(&mut ghat[1], 0.7071067811865475, &alpha[0], &favg[1]);
+    ax4(&mut ghat[1], 0.7071067811865475, &alpha[1], &favg[0]);
+    sx4(&mut out_lo[0], -rd * 0.7071067811865476, &ghat[0]);
+    sx4(&mut out_lo[1], -rd * 0.7071067811865476, &ghat[1]);
+    sx4(&mut out_lo[2], -rd * 1.224744871391589, &ghat[0]);
+    sx4(&mut out_lo[3], -rd * 1.224744871391589, &ghat[1]);
+    sx4(&mut out_hi[0], rd * 0.7071067811865476, &ghat[0]);
+    sx4(&mut out_hi[1], rd * 0.7071067811865476, &ghat[1]);
+    sx4(&mut out_hi[2], rd * -1.224744871391589, &ghat[0]);
+    sx4(&mut out_hi[3], rd * -1.224744871391589, &ghat[1]);
+}
+
 /// Acceleration surface kernel, faces normal to v0 (α̂ = q/m (E + v×B)_0).
 #[allow(clippy::all)]
 #[rustfmt::skip]
@@ -81,4 +126,49 @@ pub fn vlasov_surf_1x1v_p1_ser_v0(w: &[f64], dxv: &[f64], qm: f64, em: &[f64], p
     out_hi[1] += rd * -1.224744871391589 * ghat[0];
     out_hi[2] += rd * 0.7071067811865476 * ghat[1];
     out_hi[3] += rd * -1.224744871391589 * ghat[1];
+}
+
+/// Batched companion of [`vlasov_surf_1x1v_p1_ser_v0`]: `LANES` faces per call, bit-identical per lane.
+#[allow(clippy::all)]
+#[rustfmt::skip]
+pub fn vlasov_surf_1x1v_p1_ser_v0_b4(w: &[CellLanes], dxv: &[f64], qm: f64, em: &[f64], penalty: bool, f_lo: &[CellLanes], f_hi: &[CellLanes], out_lo: &mut [CellLanes], out_hi: &mut [CellLanes]) {
+    let rd = 2.0 / dxv[1];
+    let mut alpha = [CellLanes([0.0f64; LANES]); 2];
+    let mut lam = CellLanes([0.0f64; LANES]);
+    let _ = w;
+    for k in 0..LANES {
+        alpha[0].0[k] += qm * 1.0 * (em[0]);
+        alpha[1].0[k] += qm * 1.0 * (em[1]);
+        lam.0[k] = if penalty { alpha[0].0[k].abs() * 0.7071067811865476 + alpha[1].0[k].abs() * 1.224744871391589 } else { 0.0 };
+    }
+    let mut fm = [CellLanes([0.0f64; LANES]); 2];
+    let mut fp = [CellLanes([0.0f64; LANES]); 2];
+    sx4(&mut fm[0], 0.7071067811865476, &f_lo[0]);
+    sx4(&mut fm[0], 1.224744871391589, &f_lo[1]);
+    sx4(&mut fm[1], 0.7071067811865476, &f_lo[2]);
+    sx4(&mut fm[1], 1.224744871391589, &f_lo[3]);
+    sx4(&mut fp[0], 0.7071067811865476, &f_hi[0]);
+    sx4(&mut fp[0], -1.224744871391589, &f_hi[1]);
+    sx4(&mut fp[1], 0.7071067811865476, &f_hi[2]);
+    sx4(&mut fp[1], -1.224744871391589, &f_hi[3]);
+    let mut favg = [CellLanes([0.0f64; LANES]); 2];
+    let mut ghat = [CellLanes([0.0f64; LANES]); 2];
+    for k in 0..LANES {
+        favg[0].0[k] = 0.5 * (fm[0].0[k] + fp[0].0[k]);
+        ghat[0].0[k] = -0.5 * lam.0[k] * (fp[0].0[k] - fm[0].0[k]);
+        favg[1].0[k] = 0.5 * (fm[1].0[k] + fp[1].0[k]);
+        ghat[1].0[k] = -0.5 * lam.0[k] * (fp[1].0[k] - fm[1].0[k]);
+    }
+    ax4(&mut ghat[0], 0.7071067811865476, &alpha[0], &favg[0]);
+    ax4(&mut ghat[0], 0.7071067811865475, &alpha[1], &favg[1]);
+    ax4(&mut ghat[1], 0.7071067811865475, &alpha[0], &favg[1]);
+    ax4(&mut ghat[1], 0.7071067811865475, &alpha[1], &favg[0]);
+    sx4(&mut out_lo[0], -rd * 0.7071067811865476, &ghat[0]);
+    sx4(&mut out_lo[1], -rd * 1.224744871391589, &ghat[0]);
+    sx4(&mut out_lo[2], -rd * 0.7071067811865476, &ghat[1]);
+    sx4(&mut out_lo[3], -rd * 1.224744871391589, &ghat[1]);
+    sx4(&mut out_hi[0], rd * 0.7071067811865476, &ghat[0]);
+    sx4(&mut out_hi[1], rd * -1.224744871391589, &ghat[0]);
+    sx4(&mut out_hi[2], rd * 0.7071067811865476, &ghat[1]);
+    sx4(&mut out_hi[3], rd * -1.224744871391589, &ghat[1]);
 }

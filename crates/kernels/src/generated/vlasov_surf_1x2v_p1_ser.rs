@@ -1,4 +1,4 @@
-// Surface kernels for the Vlasov phase-space advection, 1x2v p=1 tensor basis.
+// Surface kernels for the Vlasov phase-space advection, 1x2v p=1 Serendipity basis.
 // Auto-generated from exact integral tables — do not edit by hand.
 // One function per face-normal phase direction (configuration first);
 // see `crate::dispatch::SurfaceKernelFn` for the calling convention.
@@ -6,7 +6,7 @@
 /// Streaming surface kernel, faces normal to x0 (α̂ = v0).
 #[allow(clippy::all)]
 #[rustfmt::skip]
-pub fn vlasov_surf_1x2v_p1_tensor_x0(w: &[f64], dxv: &[f64], qm: f64, em: &[f64], penalty: bool, f_lo: &[f64], f_hi: &[f64], out_lo: &mut [f64], out_hi: &mut [f64]) {
+pub fn vlasov_surf_1x2v_p1_ser_x0(w: &[f64], dxv: &[f64], qm: f64, em: &[f64], penalty: bool, f_lo: &[f64], f_hi: &[f64], out_lo: &mut [f64], out_hi: &mut [f64]) {
     let rd = 2.0 / dxv[0];
     let mut alpha = [0.0f64; 4];
     let _ = (qm, em);
@@ -67,10 +67,10 @@ pub fn vlasov_surf_1x2v_p1_tensor_x0(w: &[f64], dxv: &[f64], qm: f64, em: &[f64]
     out_hi[7] += rd * -1.224744871391589 * ghat[3];
 }
 
-/// Batched companion of [`vlasov_surf_1x2v_p1_tensor_x0`]: `LANES` faces per call, bit-identical per lane.
+/// Batched companion of [`vlasov_surf_1x2v_p1_ser_x0`]: `LANES` faces per call, bit-identical per lane.
 #[allow(clippy::all)]
 #[rustfmt::skip]
-pub fn vlasov_surf_1x2v_p1_tensor_x0_b4(w: &[CellLanes], dxv: &[f64], qm: f64, em: &[f64], penalty: bool, f_lo: &[CellLanes], f_hi: &[CellLanes], out_lo: &mut [CellLanes], out_hi: &mut [CellLanes]) {
+pub fn vlasov_surf_1x2v_p1_ser_x0_b4(w: &[CellLanes], dxv: &[f64], qm: f64, em: &[f64], penalty: bool, f_lo: &[CellLanes], f_hi: &[CellLanes], out_lo: &mut [CellLanes], out_hi: &mut [CellLanes]) {
     let rd = 2.0 / dxv[0];
     let mut alpha = [CellLanes([0.0f64; LANES]); 4];
     let mut lam = CellLanes([0.0f64; LANES]);
@@ -139,7 +139,7 @@ pub fn vlasov_surf_1x2v_p1_tensor_x0_b4(w: &[CellLanes], dxv: &[f64], qm: f64, e
 /// Acceleration surface kernel, faces normal to v0 (α̂ = q/m (E + v×B)_0).
 #[allow(clippy::all)]
 #[rustfmt::skip]
-pub fn vlasov_surf_1x2v_p1_tensor_v0(w: &[f64], dxv: &[f64], qm: f64, em: &[f64], penalty: bool, f_lo: &[f64], f_hi: &[f64], out_lo: &mut [f64], out_hi: &mut [f64]) {
+pub fn vlasov_surf_1x2v_p1_ser_v0(w: &[f64], dxv: &[f64], qm: f64, em: &[f64], penalty: bool, f_lo: &[f64], f_hi: &[f64], out_lo: &mut [f64], out_hi: &mut [f64]) {
     let rd = 2.0 / dxv[1];
     let mut alpha = [0.0f64; 4];
     alpha[0] += qm * 1.4142135623730951 * (em[0] + w[2] * em[10]);
@@ -209,10 +209,10 @@ pub fn vlasov_surf_1x2v_p1_tensor_v0(w: &[f64], dxv: &[f64], qm: f64, em: &[f64]
     out_hi[7] += rd * -1.224744871391589 * ghat[3];
 }
 
-/// Batched companion of [`vlasov_surf_1x2v_p1_tensor_v0`]: `LANES` faces per call, bit-identical per lane.
+/// Batched companion of [`vlasov_surf_1x2v_p1_ser_v0`]: `LANES` faces per call, bit-identical per lane.
 #[allow(clippy::all)]
 #[rustfmt::skip]
-pub fn vlasov_surf_1x2v_p1_tensor_v0_b4(w: &[CellLanes], dxv: &[f64], qm: f64, em: &[f64], penalty: bool, f_lo: &[CellLanes], f_hi: &[CellLanes], out_lo: &mut [CellLanes], out_hi: &mut [CellLanes]) {
+pub fn vlasov_surf_1x2v_p1_ser_v0_b4(w: &[CellLanes], dxv: &[f64], qm: f64, em: &[f64], penalty: bool, f_lo: &[CellLanes], f_hi: &[CellLanes], out_lo: &mut [CellLanes], out_hi: &mut [CellLanes]) {
     let rd = 2.0 / dxv[1];
     let mut alpha = [CellLanes([0.0f64; LANES]); 4];
     let mut lam = CellLanes([0.0f64; LANES]);
@@ -290,7 +290,7 @@ pub fn vlasov_surf_1x2v_p1_tensor_v0_b4(w: &[CellLanes], dxv: &[f64], qm: f64, e
 /// Acceleration surface kernel, faces normal to v1 (α̂ = q/m (E + v×B)_1).
 #[allow(clippy::all)]
 #[rustfmt::skip]
-pub fn vlasov_surf_1x2v_p1_tensor_v1(w: &[f64], dxv: &[f64], qm: f64, em: &[f64], penalty: bool, f_lo: &[f64], f_hi: &[f64], out_lo: &mut [f64], out_hi: &mut [f64]) {
+pub fn vlasov_surf_1x2v_p1_ser_v1(w: &[f64], dxv: &[f64], qm: f64, em: &[f64], penalty: bool, f_lo: &[f64], f_hi: &[f64], out_lo: &mut [f64], out_hi: &mut [f64]) {
     let rd = 2.0 / dxv[2];
     let mut alpha = [0.0f64; 4];
     alpha[0] += qm * 1.4142135623730951 * (em[2] - w[1] * em[10]);
@@ -360,10 +360,10 @@ pub fn vlasov_surf_1x2v_p1_tensor_v1(w: &[f64], dxv: &[f64], qm: f64, em: &[f64]
     out_hi[7] += rd * -1.224744871391589 * ghat[3];
 }
 
-/// Batched companion of [`vlasov_surf_1x2v_p1_tensor_v1`]: `LANES` faces per call, bit-identical per lane.
+/// Batched companion of [`vlasov_surf_1x2v_p1_ser_v1`]: `LANES` faces per call, bit-identical per lane.
 #[allow(clippy::all)]
 #[rustfmt::skip]
-pub fn vlasov_surf_1x2v_p1_tensor_v1_b4(w: &[CellLanes], dxv: &[f64], qm: f64, em: &[f64], penalty: bool, f_lo: &[CellLanes], f_hi: &[CellLanes], out_lo: &mut [CellLanes], out_hi: &mut [CellLanes]) {
+pub fn vlasov_surf_1x2v_p1_ser_v1_b4(w: &[CellLanes], dxv: &[f64], qm: f64, em: &[f64], penalty: bool, f_lo: &[CellLanes], f_hi: &[CellLanes], out_lo: &mut [CellLanes], out_hi: &mut [CellLanes]) {
     let rd = 2.0 / dxv[2];
     let mut alpha = [CellLanes([0.0f64; LANES]); 4];
     let mut lam = CellLanes([0.0f64; LANES]);

@@ -22,16 +22,18 @@ pub struct MomentKernels {
     pub cdim: usize,
     pub vdim: usize,
     /// Modes with all velocity exponents zero; weight `(√2)^{vdim}`.
-    r0: Vec<Pair>,
+    /// (`pub(crate)`: the codegen emitter unrolls these tables into the
+    /// committed moment kernels.)
+    pub(crate) r0: Vec<Pair>,
     /// Per velocity dim `j`: modes with velocity exponents `e_j`;
     /// weight `√(2/3)(√2)^{vdim−1}`.
-    r1: Vec<Vec<Pair>>,
+    pub(crate) r1: Vec<Vec<Pair>>,
     /// Per velocity dim `j`: modes with velocity exponents `2 e_j`;
     /// weight `(4/15)√(5/2)(√2)^{vdim−1}` (empty for p = 1).
-    r2: Vec<Vec<Pair>>,
-    w0: f64,
-    w1: f64,
-    w2_of_2: f64,
+    pub(crate) r2: Vec<Vec<Pair>>,
+    pub(crate) w0: f64,
+    pub(crate) w1: f64,
+    pub(crate) w2_of_2: f64,
 }
 
 impl MomentKernels {

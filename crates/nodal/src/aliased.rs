@@ -64,7 +64,7 @@ impl NodalSystem {
             self.inner.maxwell.rhs(&state.em, &mut out.em);
             self.scratch_j.fill(0.0);
             self.scratch_rho.fill(0.0);
-            let mut mws = MomentScratch::default();
+            let mut mws = MomentScratch::for_kernels(&self.inner.kernels);
             for (s, sp) in self.inner.species.iter().enumerate() {
                 accumulate_current(
                     &self.inner.kernels,

@@ -17,7 +17,7 @@ use dg_core::error::Error;
 use dg_core::moments::MomentScratch;
 use dg_core::ssprk::{ssp_rk3_generic, STAGE_WEIGHTS};
 use dg_core::system::{SystemState, VlasovMaxwell};
-use dg_grid::{CellStoreMut, DgField};
+use dg_grid::DgField;
 
 /// Parallel driver wrapping a [`VlasovMaxwell`] system.
 pub struct ParVlasovMaxwell {
@@ -70,10 +70,11 @@ impl ParVlasovMaxwell {
                 for (rank, (jv, rv)) in j_views.iter_mut().zip(rho_views.iter_mut()).enumerate() {
                     scope.spawn(move |_| {
                         let range = decomp.conf_range(rank);
-                        let mut mws = MomentScratch::default();
+                        let mut mws = MomentScratch::for_kernels(&system.kernels);
                         for (s, sp) in system.species.iter().enumerate() {
-                            accumulate_current_view(
-                                system,
+                            dg_core::moments::accumulate_current(
+                                &system.kernels,
+                                &system.grid,
                                 sp.charge,
                                 &state.species_f[s],
                                 jv,
@@ -202,48 +203,6 @@ impl Backend for RankParallelBackend {
 
     fn name(&self) -> &'static str {
         "rank-parallel"
-    }
-}
-
-/// Moment accumulation into rank-local views (global conf indices).
-fn accumulate_current_view<S: CellStoreMut>(
-    system: &VlasovMaxwell,
-    charge: f64,
-    f: &DgField,
-    j_out: &mut S,
-    mut rho_out: Option<&mut S>,
-    conf_range: std::ops::Range<usize>,
-    _ws: &mut MomentScratch,
-) {
-    let kernels = &system.kernels;
-    let grid = &system.grid;
-    let vdim = grid.vdim();
-    let nc = kernels.nc();
-    let nv = grid.vel.len();
-    let jv = grid.vel_jacobian();
-    let mut vidx = vec![0usize; vdim];
-    for clin in conf_range {
-        for vlin in 0..nv {
-            grid.vel.delinearize(vlin, &mut vidx);
-            let fc = f.cell(clin * nv + vlin);
-            let jc = j_out.cell_mut(clin);
-            for j in 0..vdim {
-                let vc = grid.vel.center(j, vidx[j]);
-                kernels.moments.accumulate_m1(
-                    j,
-                    fc,
-                    charge * jv,
-                    vc,
-                    grid.vel.dx()[j],
-                    &mut jc[j * nc..(j + 1) * nc],
-                );
-            }
-            if let Some(rho) = rho_out.as_deref_mut() {
-                kernels
-                    .moments
-                    .accumulate_m0(fc, charge * jv, rho.cell_mut(clin));
-            }
-        }
     }
 }
 

@@ -1,8 +1,10 @@
 //! Zero-allocation guarantee for the per-step hot loops.
 //!
 //! The ISSUE-3 acceptance gate: once an operator and its workspace exist,
-//! evaluating the collisionless RHS (through either dispatch path) and the
-//! LBO collision RHS must perform **zero heap allocations** — every
+//! evaluating the collisionless RHS, the LBO collision RHS, and the
+//! moment reductions (each through either dispatch path — committed
+//! unrolled kernels and runtime sparse) must perform **zero heap
+//! allocations** — every
 //! buffer, index scratch, staging slice, and weak-solve factorization
 //! lives in persistent scratch. A counting global allocator enforces this
 //! directly: warm everything up once, then count.
@@ -18,6 +20,7 @@ use vlasov_dg::basis::BasisKind;
 use vlasov_dg::core::app::{AppBuilder, FieldSpec, SpeciesSpec};
 use vlasov_dg::core::blocks::BlockRhs;
 use vlasov_dg::core::lbo::LboOp;
+use vlasov_dg::core::moments::{accumulate_current, MomentScratch};
 use vlasov_dg::core::species::{maxwellian, Species};
 use vlasov_dg::core::vlasov::{FluxKind, VlasovOp, VlasovWorkspace};
 use vlasov_dg::grid::{Bc, CartGrid, DgField, DimBc, PhaseGrid};
@@ -158,7 +161,8 @@ fn rhs_and_lbo_loops_allocate_nothing() {
     }
 
     // --- LBO collision RHS, 1x1v p=2 (weak divides, drag + LDG
-    // diffusion). ---
+    // diffusion) — both dispatch paths: the committed stage kernels and
+    // the runtime sparse sweep each run out of `LboScratch`. ---
     let kernels = kernels_for(BasisKind::Serendipity, PhaseLayout::new(1, 1), 2);
     let grid = PhaseGrid::new(
         CartGrid::new(&[0.0], &[1.0], &[2]),
@@ -169,16 +173,62 @@ fn rhs_and_lbo_loops_allocate_nothing() {
     sp.project_initial(&kernels, &grid, 4, &mut |_x, v| {
         maxwellian(0.7, &[-1.0], 0.7, v) + maxwellian(0.3, &[1.5], 0.5, v)
     });
-    let mut lbo = LboOp::new(std::sync::Arc::clone(&kernels), grid.clone(), 0.8);
-    let mut out = DgField::zeros(sp.f.ncells(), sp.f.ncoeff());
-    lbo.accumulate_rhs(&sp.f, &mut out); // warm-up
-    let n = count_allocs(|| {
-        for _ in 0..3 {
-            out.fill(0.0);
-            lbo.accumulate_rhs(&sp.f, &mut out);
-        }
-    });
-    assert_eq!(n, 0, "LBO RHS allocated {n} times in the hot loop");
+    for dispatch in [KernelDispatch::Generated, KernelDispatch::RuntimeSparse] {
+        let mut lbo =
+            LboOp::with_dispatch(std::sync::Arc::clone(&kernels), grid.clone(), 0.8, dispatch);
+        let mut out = DgField::zeros(sp.f.ncells(), sp.f.ncoeff());
+        lbo.accumulate_rhs(&sp.f, &mut out); // warm-up
+        let n = count_allocs(|| {
+            for _ in 0..3 {
+                out.fill(0.0);
+                lbo.accumulate_rhs(&sp.f, &mut out);
+            }
+        });
+        assert_eq!(
+            n, 0,
+            "LBO RHS ({dispatch:?}) allocated {n} times in the hot loop"
+        );
+    }
+
+    // --- Moment reduction (current + charge accumulation), both dispatch
+    // paths: the committed M0/M1 kernels and the runtime weak-op
+    // reductions both work cell-in-place through `MomentScratch`. ---
+    let mut j_out = DgField::zeros(grid.conf.len(), 3 * kernels.nc());
+    let mut rho_out = DgField::zeros(grid.conf.len(), kernels.nc());
+    for dispatch in [KernelDispatch::Generated, KernelDispatch::RuntimeSparse] {
+        let mut mws = MomentScratch::with_dispatch(&kernels, dispatch);
+        let nconf = grid.conf.len();
+        accumulate_current(
+            &kernels,
+            &grid,
+            sp.charge,
+            &sp.f,
+            &mut j_out,
+            Some(&mut rho_out),
+            0..nconf,
+            &mut mws,
+        ); // warm-up
+        let n = count_allocs(|| {
+            for _ in 0..3 {
+                j_out.fill(0.0);
+                rho_out.fill(0.0);
+                accumulate_current(
+                    &kernels,
+                    &grid,
+                    sp.charge,
+                    &sp.f,
+                    &mut j_out,
+                    Some(&mut rho_out),
+                    0..nconf,
+                    &mut mws,
+                );
+            }
+        });
+        assert_eq!(
+            n, 0,
+            "moment accumulation ({dispatch:?}) allocated {n} times in the hot loop"
+        );
+    }
 
     // --- Cell-block threaded sweep: the full coupled RHS (kinetic sweep
     // on the worker pool + LBO + wall ledger + field/moment coupling) must
