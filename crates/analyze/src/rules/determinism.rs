@@ -1,0 +1,266 @@
+//! Rule family 3: the determinism lint.
+//!
+//! Bit-identical results at every thread/rank count are a load-bearing
+//! invariant (`tests/threaded_equiv.rs`, `tests/backend_equiv.rs`).
+//! Two static hazards are flagged:
+//!
+//! 1. **Hash-order iteration.** Iterating a `HashMap`/`HashSet` yields a
+//!    nondeterministic order; folding floats in that order breaks
+//!    bit-identity between runs. Keyed lookups (`get`/`entry`/`insert`/
+//!    `contains_key`) are exempt — that is why the kernel cache in
+//!    `crates/kernels/src/cache.rs` passes without a waiver.
+//! 2. **Worker-closure float accumulation.** Compound accumulation
+//!    (`+=`, `-=`, `*=`) or `fold`/`sum` inside a closure passed to
+//!    `.scope(` / `.broadcast(` / `.spawn(` runs in scheduler order.
+//!    The blessed pattern is what `BlockRhs` does: accumulate into
+//!    per-block scratch inside the closure-free sweep, reduce in block
+//!    order on the main thread after the barrier.
+//!
+//! `#[cfg(test)]` modules are exempt (tests assert determinism
+//! dynamically; their own bookkeeping is not a hazard).
+
+use crate::report::{Diagnostic, Rule, Severity};
+use crate::scan::{find_word, match_brace, SourceFile};
+use std::collections::BTreeSet;
+
+const ITER_METHODS: &[&str] = &[
+    ".iter()",
+    ".iter_mut()",
+    ".keys()",
+    ".values()",
+    ".values_mut()",
+    ".into_iter()",
+    ".into_keys()",
+    ".into_values()",
+    ".drain(",
+    ".retain(",
+];
+
+pub fn check(file: &SourceFile) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    hash_iteration(file, &mut diags);
+    worker_closure_accumulation(file, &mut diags);
+    diags
+}
+
+/// Collect identifiers bound to `HashMap`/`HashSet` values in this file
+/// (let-bindings, fields, statics), then flag iteration over them.
+fn hash_iteration(file: &SourceFile, diags: &mut Vec<Diagnostic>) {
+    let mut names: BTreeSet<String> = BTreeSet::new();
+    for line in &file.lines {
+        let code = &line.code;
+        if !(code.contains("HashMap") || code.contains("HashSet")) {
+            continue;
+        }
+        // `let [mut] name = …` / `let name: HashMap<…> = …`.
+        if let Some(p) = find_word(code, "let", 0) {
+            let rest = code[p + 3..].trim_start();
+            let rest = rest.strip_prefix("mut ").unwrap_or(rest).trim_start();
+            if let Some(name) = leading_ident(rest) {
+                names.insert(name);
+                continue;
+            }
+        }
+        // `name: HashMap<…>` field or static declarations.
+        if let Some(hp) = code.find("Hash") {
+            if let Some(colon) = code[..hp].rfind(':') {
+                let before = code[..colon].trim_end();
+                if let Some(name) = trailing_ident(before) {
+                    names.insert(name);
+                }
+            }
+        }
+    }
+    if names.is_empty() {
+        return;
+    }
+    for (li, line) in file.lines.iter().enumerate() {
+        if file.in_test[li] {
+            continue;
+        }
+        let code = &line.code;
+        for name in &names {
+            let method_iter = ITER_METHODS.iter().any(|m| {
+                find_word(code, name, 0)
+                    .map(|p| code[p + name.len()..].starts_with(m))
+                    .unwrap_or(false)
+            });
+            let for_iter = find_word(code, "for", 0)
+                .and_then(|fp| find_word(code, "in", fp))
+                .map(|ip| find_word(code, name, ip).is_some())
+                .unwrap_or(false);
+            if method_iter || for_iter {
+                diags.push(Diagnostic {
+                    file: file.rel_path.clone(),
+                    line: li + 1,
+                    rule: Rule::Determinism,
+                    severity: Severity::Error,
+                    message: format!(
+                        "iteration over hash-ordered `{name}` (nondeterministic order breaks \
+                         bit-identity; use a keyed lookup, a sorted container, or waive with a reason)"
+                    ),
+                });
+                break;
+            }
+        }
+    }
+}
+
+/// Flag compound accumulation inside `.scope(` / `.broadcast(` /
+/// `.spawn(` closure bodies.
+fn worker_closure_accumulation(file: &SourceFile, diags: &mut Vec<Diagnostic>) {
+    const SPAWNERS: &[&str] = &[".scope(", ".broadcast(", ".spawn("];
+    let mut flagged: BTreeSet<usize> = BTreeSet::new();
+    for (li, line) in file.lines.iter().enumerate() {
+        if file.in_test[li] {
+            continue;
+        }
+        for spawner in SPAWNERS {
+            let Some(p) = line.code.find(spawner) else {
+                continue;
+            };
+            // The closure body brace, if any, before the call's `)`.
+            let Some((bl, bc)) = closure_brace(file, li, p + spawner.len()) else {
+                continue;
+            };
+            let end = match_brace(&file.lines, bl, bc).unwrap_or(file.lines.len() - 1);
+            for j in bl..=end {
+                if flagged.contains(&j) || file.in_test[j] {
+                    continue;
+                }
+                let code = &file.lines[j].code;
+                let accum = ["+=", "-=", "*="].iter().any(|op| code.contains(op))
+                    || code.contains(".fold(")
+                    || code.contains(".sum()")
+                    || code.contains(".sum::");
+                if accum {
+                    flagged.insert(j);
+                    diags.push(Diagnostic {
+                        file: file.rel_path.clone(),
+                        line: j + 1,
+                        rule: Rule::Determinism,
+                        severity: Severity::Error,
+                        message: format!(
+                            "accumulation inside a worker closure (line {} `{}`): reductions must \
+                             be block-ordered on the main thread after the barrier, as in \
+                             `BlockRhs::species_rhs`",
+                            li + 1,
+                            spawner.trim_start_matches('.').trim_end_matches('('),
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    diags.sort_by_key(|d| d.line);
+}
+
+/// Find the `{` opening a closure body within the call starting at
+/// `(line, col)` (tracking paren depth so `.spawn(move || f(x))` —
+/// no braces — yields `None`).
+fn closure_brace(file: &SourceFile, line: usize, col: usize) -> Option<(usize, usize)> {
+    let mut depth = 1i64; // we start just inside the call's `(`
+    let mut li = line;
+    let mut c0 = col;
+    loop {
+        let code = &file.lines.get(li)?.code;
+        for (k, ch) in code[c0.min(code.len())..].char_indices() {
+            match ch {
+                '(' => depth += 1,
+                ')' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return None;
+                    }
+                }
+                '{' => return Some((li, c0 + k)),
+                _ => {}
+            }
+        }
+        li += 1;
+        c0 = 0;
+    }
+}
+
+fn leading_ident(s: &str) -> Option<String> {
+    let end = s
+        .char_indices()
+        .find(|(_, c)| !(c.is_alphanumeric() || *c == '_'))
+        .map(|(i, _)| i)
+        .unwrap_or(s.len());
+    (end > 0 && !s.as_bytes()[0].is_ascii_digit()).then(|| s[..end].to_string())
+}
+
+fn trailing_ident(s: &str) -> Option<String> {
+    let start = s
+        .char_indices()
+        .rev()
+        .take_while(|(_, c)| c.is_alphanumeric() || *c == '_')
+        .last()
+        .map(|(i, _)| i)?;
+    let id = &s[start..];
+    (!id.is_empty() && !id.as_bytes()[0].is_ascii_digit()).then(|| id.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::{scan_lines, test_mask};
+
+    fn run(src: &str) -> Vec<Diagnostic> {
+        let lines = scan_lines(src);
+        let in_test = test_mask(&lines);
+        check(&SourceFile {
+            rel_path: "x.rs".into(),
+            lines,
+            in_test,
+        })
+    }
+
+    #[test]
+    fn hashmap_iteration_fires_keyed_lookup_passes() {
+        let d = run("fn f(m: &std::collections::HashMap<u32, f64>) {\n    let map: HashMap<u32, f64> = g();\n    for (k, v) in map.iter() { h(k, v); }\n}\n");
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].line, 3);
+
+        let d = run("fn f() {\n    let map: HashMap<u32, f64> = g();\n    let x = map.get(&3);\n    map.entry(7).or_insert(0.0);\n}\n");
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn field_typed_hashset_for_loop_fires() {
+        let d = run(
+            "struct S { seen: HashSet<u64> }\nfn f(s: &S) {\n    for v in &s.seen { g(v); }\n}\n",
+        );
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].line, 3);
+    }
+
+    #[test]
+    fn worker_closure_accumulation_fires() {
+        let src = "\
+fn f(pool: &P, total: &mut f64) {
+    pool.broadcast(|ctx| {
+        *total += g(ctx);
+    });
+}
+";
+        let d = run(src);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].line, 3);
+    }
+
+    #[test]
+    fn braceless_spawn_and_main_thread_reduction_pass() {
+        let src = "\
+fn f(pool: &P, total: &mut f64) {
+    pool.scope(|s| s.spawn(move |_| g()));
+    for w in &ws {
+        *total += w.partial;
+    }
+}
+";
+        let d = run(src);
+        assert!(d.is_empty(), "{d:?}");
+    }
+}

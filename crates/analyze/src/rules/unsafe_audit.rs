@@ -1,0 +1,238 @@
+//! Rule family 1: the unsafe audit.
+//!
+//! Every `unsafe` block, `unsafe fn` declaration, and `unsafe impl` must
+//! be immediately preceded (same line, or the contiguous comment /
+//! attribute block above) by a `// SAFETY:` comment stating why the
+//! obligations hold. `pub unsafe fn` must additionally carry a
+//! `# Safety` doc section describing the caller contract — the same
+//! split clippy enforces via `undocumented_unsafe_blocks` +
+//! `missing_safety_doc`; this rule extends it to non-pub `unsafe fn`
+//! and runs without compiling.
+
+use crate::report::{Diagnostic, Rule, Severity};
+use crate::scan::{find_word, SourceFile};
+
+/// What the `unsafe` keyword introduces.
+#[derive(Debug, PartialEq)]
+enum Kind {
+    Block,
+    Fn {
+        is_pub: bool,
+    },
+    Impl,
+    /// `unsafe` in type position (`call: unsafe fn(…)`) or other
+    /// non-item use — no audit obligation.
+    Other,
+}
+
+pub fn check(file: &SourceFile) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for (li, line) in file.lines.iter().enumerate() {
+        let mut from = 0;
+        while let Some(pos) = find_word(&line.code, "unsafe", from) {
+            from = pos + "unsafe".len();
+            let kind = classify(file, li, from);
+            let needs_doc = matches!(kind, Kind::Fn { is_pub: true });
+            let needs_safety = !matches!(kind, Kind::Other);
+            if !needs_safety {
+                continue;
+            }
+            let (has_safety, has_safety_doc) = preceding_safety(file, li, pos);
+            // For fn declarations a `# Safety` doc section also
+            // discharges the comment obligation (the doc *is* the audit).
+            let discharged = has_safety || (matches!(kind, Kind::Fn { .. }) && has_safety_doc);
+            if !discharged {
+                diags.push(Diagnostic {
+                    file: file.rel_path.clone(),
+                    line: li + 1,
+                    rule: Rule::UnsafeAudit,
+                    severity: Severity::Error,
+                    message: format!(
+                        "`unsafe` {} without an immediately preceding `// SAFETY:` comment",
+                        match kind {
+                            Kind::Block => "block",
+                            Kind::Fn { .. } => "fn",
+                            Kind::Impl => "impl",
+                            Kind::Other => unreachable!(),
+                        }
+                    ),
+                });
+            }
+            if needs_doc && !has_safety_doc {
+                diags.push(Diagnostic {
+                    file: file.rel_path.clone(),
+                    line: li + 1,
+                    rule: Rule::UnsafeAudit,
+                    severity: Severity::Error,
+                    message: "`pub unsafe fn` without a `# Safety` doc section".into(),
+                });
+            }
+        }
+    }
+    diags
+}
+
+/// Classify the `unsafe` at `(line, after)` by its next meaningful token
+/// (scanning forward across lines for signatures split by rustfmt).
+fn classify(file: &SourceFile, line: usize, after: usize) -> Kind {
+    let mut li = line;
+    let mut col = after;
+    loop {
+        let code = &file.lines[li].code;
+        let rest = code[col.min(code.len())..].trim_start();
+        if !rest.is_empty() {
+            return if rest.starts_with('{') {
+                Kind::Block
+            } else if let Some(after_fn) = rest.strip_prefix("fn") {
+                // `unsafe fn(` is a function-pointer type, not an item.
+                if after_fn.trim_start().starts_with('(') {
+                    Kind::Other
+                } else {
+                    Kind::Fn {
+                        is_pub: is_pub_before(file, line, "unsafe"),
+                    }
+                }
+            } else if rest.starts_with("impl") || rest.starts_with("trait") {
+                Kind::Impl
+            } else if rest.starts_with("extern") {
+                // `unsafe extern "C" fn name` — treat like a declaration.
+                Kind::Fn {
+                    is_pub: is_pub_before(file, line, "unsafe"),
+                }
+            } else {
+                Kind::Other
+            };
+        }
+        li += 1;
+        col = 0;
+        if li >= file.lines.len() {
+            return Kind::Other;
+        }
+    }
+}
+
+/// Is the declaration `pub` (the `pub` token preceding `unsafe` on the
+/// keyword line)?
+fn is_pub_before(file: &SourceFile, line: usize, kw: &str) -> bool {
+    let code = &file.lines[line].code;
+    match (find_word(code, "pub", 0), find_word(code, kw, 0)) {
+        (Some(p), Some(u)) => p < u,
+        _ => false,
+    }
+}
+
+/// Walk the contiguous run of blank / comment-only / attribute lines
+/// directly above `line` (plus `line`'s own trailing comment) and report
+/// `(saw "SAFETY:", saw doc-comment "# Safety")`.
+fn preceding_safety(file: &SourceFile, line: usize, unsafe_col: usize) -> (bool, bool) {
+    let mut safety = false;
+    let mut safety_doc = false;
+    let note = |l: &crate::scan::Line, safety: &mut bool, safety_doc: &mut bool| {
+        if l.comment.contains("SAFETY:") {
+            *safety = true;
+        }
+        let c = l.comment.trim_start();
+        if (c.starts_with("///") || c.starts_with("//!") || c.starts_with("/**"))
+            && l.comment.contains("# Safety")
+        {
+            *safety_doc = true;
+        }
+    };
+    // Trailing comment on the keyword line itself (common for
+    // `unsafe { … } // SAFETY: …` one-liners we still accept), and a
+    // preceding comment on the same line (`/* SAFETY: … */ unsafe {`).
+    let _ = unsafe_col;
+    note(&file.lines[line], &mut safety, &mut safety_doc);
+    let mut li = line;
+    while li > 0 {
+        li -= 1;
+        let l = &file.lines[li];
+        let code = l.code.trim();
+        let is_attr = code.starts_with("#[") || code.starts_with("#![");
+        // Signature continuation lines: `pub unsafe fn` may sit below
+        // e.g. a multi-line generic bound — stop at any real code.
+        if !code.is_empty() && !is_attr {
+            break;
+        }
+        note(l, &mut safety, &mut safety_doc);
+        if code.is_empty() && l.comment.is_empty() {
+            // A fully blank line ends the "immediately preceding" run for
+            // the SAFETY comment but not for the doc section (rustdoc
+            // blocks may be separated from attributes by blank lines).
+            break;
+        }
+    }
+    // The `# Safety` doc section may sit further up, above attributes
+    // and blank lines, as long as only doc lines intervene.
+    if !safety_doc {
+        let mut li = line;
+        while li > 0 {
+            li -= 1;
+            let l = &file.lines[li];
+            let code = l.code.trim();
+            let is_attr = code.starts_with("#[") || code.starts_with("#![");
+            if !code.is_empty() && !is_attr {
+                break;
+            }
+            note(l, &mut safety, &mut safety_doc);
+        }
+    }
+    (safety, safety_doc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::{scan_lines, test_mask};
+
+    fn run(src: &str) -> Vec<Diagnostic> {
+        let lines = scan_lines(src);
+        let in_test = test_mask(&lines);
+        check(&SourceFile {
+            rel_path: "x.rs".into(),
+            lines,
+            in_test,
+        })
+    }
+
+    #[test]
+    fn undocumented_block_fires_documented_passes() {
+        let d = run("fn f() {\n    unsafe { g() };\n}\n");
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("block"));
+        let d =
+            run("fn f() {\n    // SAFETY: g has no preconditions here.\n    unsafe { g() };\n}\n");
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn each_unsafe_impl_needs_its_own_comment() {
+        let d = run("// SAFETY: only one.\nunsafe impl Send for A {}\nunsafe impl Sync for A {}\n");
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].line, 3);
+    }
+
+    #[test]
+    fn pub_unsafe_fn_needs_safety_doc() {
+        let d = run("// SAFETY: caller checks.\npub unsafe fn f() {}\n");
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("# Safety"));
+        let d = run("/// Does things.\n///\n/// # Safety\n///\n/// Caller must check.\npub unsafe fn f() {}\n");
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn fn_pointer_type_position_is_exempt() {
+        let d = run("struct J {\n    call: unsafe fn(*const ()),\n}\n");
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn private_unsafe_fn_accepts_safety_doc_or_comment() {
+        let d =
+            run("/// # Safety\n/// ctx must outlive the job.\nunsafe fn call(ctx: *const ()) {}\n");
+        assert!(d.is_empty());
+        let d = run("unsafe fn call(ctx: *const ()) {}\n");
+        assert_eq!(d.len(), 1);
+    }
+}

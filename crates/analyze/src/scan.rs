@@ -1,0 +1,376 @@
+//! Comment- and string-aware Rust source scanner.
+//!
+//! `dg-analyze` runs in an offline container with no external parser
+//! crates, so this module hand-rolls the one lexical distinction every
+//! rule needs: *which characters are code, and which are comment or
+//! string-literal content*. The scanner produces, per line, a `code`
+//! view (comments removed, string/char contents blanked to spaces, the
+//! delimiting quotes kept so tokens do not merge) and a `comment` view
+//! (the verbatim comment text, `//`/`/*` markers included).
+//!
+//! Handled: line and doc comments, nested block comments, string
+//! literals with escapes, byte strings, raw (byte) strings with any
+//! hash count, char literals (escaped and plain), and the char-literal
+//! vs. lifetime ambiguity (`'a'` vs. `&'a str`).
+
+/// One source line split into its code and comment parts.
+#[derive(Debug, Clone, Default)]
+pub struct Line {
+    /// The line with comments removed and literal contents blanked.
+    pub code: String,
+    /// The verbatim comment text on this line (may span-continue a block
+    /// comment opened on an earlier line).
+    pub comment: String,
+}
+
+impl Line {
+    /// True when the line carries no code tokens at all (blank, or
+    /// comment-only).
+    pub fn is_code_blank(&self) -> bool {
+        self.code.trim().is_empty()
+    }
+}
+
+/// A scanned source file: the per-line code/comment split plus the
+/// `#[cfg(test)]`-module mask the test-exempt rules consult.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Workspace-relative path, `/`-separated.
+    pub rel_path: String,
+    pub lines: Vec<Line>,
+    /// `in_test[i]` is true when line `i + 1` sits inside a
+    /// `#[cfg(test)] mod … { … }` region.
+    pub in_test: Vec<bool>,
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Code,
+    LineComment,
+    BlockComment(u32),
+    /// Plain or byte string literal.
+    Str,
+    /// Raw (byte) string literal with the given hash count.
+    RawStr(u32),
+}
+
+/// Lex `text` into per-line code/comment views.
+pub fn scan_lines(text: &str) -> Vec<Line> {
+    let chars: Vec<char> = text.chars().collect();
+    let mut lines = Vec::new();
+    let mut cur = Line::default();
+    let mut mode = Mode::Code;
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            lines.push(std::mem::take(&mut cur));
+            if mode == Mode::LineComment {
+                mode = Mode::Code;
+            }
+            i += 1;
+            continue;
+        }
+        let next = chars.get(i + 1).copied();
+        match mode {
+            Mode::Code => {
+                if c == '/' && next == Some('/') {
+                    mode = Mode::LineComment;
+                    cur.comment.push_str("//");
+                    i += 2;
+                } else if c == '/' && next == Some('*') {
+                    mode = Mode::BlockComment(1);
+                    cur.comment.push_str("/*");
+                    i += 2;
+                } else if c == '"' {
+                    cur.code.push('"');
+                    mode = Mode::Str;
+                    i += 1;
+                } else if let Some(hashes) = raw_string_open(&chars, i) {
+                    // `r"`, `r#"`, `br"`, … — emit the opener verbatim.
+                    let open_len = chars[i..].iter().take_while(|&&c| c != '"').count() + 1;
+                    for &oc in &chars[i..i + open_len] {
+                        cur.code.push(oc);
+                    }
+                    mode = Mode::RawStr(hashes);
+                    i += open_len;
+                } else if c == 'b' && next == Some('"') {
+                    cur.code.push_str("b\"");
+                    mode = Mode::Str;
+                    i += 2;
+                } else if c == '\'' && !is_ident_tail(chars.get(i.wrapping_sub(1))) {
+                    i = lex_quote(&chars, i, &mut cur.code);
+                } else {
+                    cur.code.push(c);
+                    i += 1;
+                }
+            }
+            Mode::LineComment => {
+                cur.comment.push(c);
+                i += 1;
+            }
+            Mode::BlockComment(depth) => {
+                if c == '*' && next == Some('/') {
+                    cur.comment.push_str("*/");
+                    mode = if depth == 1 {
+                        Mode::Code
+                    } else {
+                        Mode::BlockComment(depth - 1)
+                    };
+                    i += 2;
+                } else if c == '/' && next == Some('*') {
+                    cur.comment.push_str("/*");
+                    mode = Mode::BlockComment(depth + 1);
+                    i += 2;
+                } else {
+                    cur.comment.push(c);
+                    i += 1;
+                }
+            }
+            Mode::Str => {
+                if c == '\\' {
+                    cur.code.push(' ');
+                    if next.is_some() && next != Some('\n') {
+                        cur.code.push(' ');
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                } else if c == '"' {
+                    cur.code.push('"');
+                    mode = Mode::Code;
+                    i += 1;
+                } else {
+                    cur.code.push(' ');
+                    i += 1;
+                }
+            }
+            Mode::RawStr(hashes) => {
+                if c == '"' && closes_raw(&chars, i, hashes) {
+                    cur.code.push('"');
+                    for _ in 0..hashes {
+                        cur.code.push('#');
+                    }
+                    mode = Mode::Code;
+                    i += 1 + hashes as usize;
+                } else {
+                    cur.code.push(' ');
+                    i += 1;
+                }
+            }
+        }
+    }
+    if !cur.code.is_empty() || !cur.comment.is_empty() {
+        lines.push(cur);
+    }
+    lines
+}
+
+fn is_ident_tail(c: Option<&char>) -> bool {
+    matches!(c, Some(c) if c.is_alphanumeric() || *c == '_')
+}
+
+/// Does a raw (byte) string open at `i`? Returns the hash count.
+fn raw_string_open(chars: &[char], i: usize) -> Option<u32> {
+    let mut j = i;
+    if chars.get(j) == Some(&'b') {
+        j += 1;
+    }
+    if chars.get(j) != Some(&'r') {
+        return None;
+    }
+    // `r` must not be the tail of an identifier (`var"` is invalid Rust
+    // anyway, but `let r = …` must lex as code).
+    if i > 0 && is_ident_tail(chars.get(i - 1)) {
+        return None;
+    }
+    j += 1;
+    let mut hashes = 0;
+    while chars.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+    }
+    (chars.get(j) == Some(&'"')).then_some(hashes)
+}
+
+fn closes_raw(chars: &[char], i: usize, hashes: u32) -> bool {
+    (0..hashes as usize).all(|k| chars.get(i + 1 + k) == Some(&'#'))
+}
+
+/// Lex a `'` in code position: a char literal (contents blanked) or a
+/// lifetime (kept verbatim). Returns the index after the consumed text.
+fn lex_quote(chars: &[char], i: usize, code: &mut String) -> usize {
+    match chars.get(i + 1) {
+        // Escaped char literal: '\n', '\'', '\u{…}'.
+        Some('\\') => {
+            code.push('\'');
+            code.push(' ');
+            let mut j = i + 2;
+            while j < chars.len() && chars[j] != '\'' && chars[j] != '\n' {
+                code.push(' ');
+                j += 1;
+            }
+            if chars.get(j) == Some(&'\'') {
+                code.push('\'');
+                j += 1;
+            }
+            j
+        }
+        // Plain char literal 'x' (incl. '_', but not the lifetime `'_`).
+        Some(_) if chars.get(i + 2) == Some(&'\'') => {
+            code.push_str("' '");
+            i + 3
+        }
+        // Lifetime: keep the tick as code.
+        _ => {
+            code.push('\'');
+            i + 1
+        }
+    }
+}
+
+/// Compute the `#[cfg(test)] mod … { … }` mask: the attribute, the `mod`
+/// line, and everything through the matching close brace.
+pub fn test_mask(lines: &[Line]) -> Vec<bool> {
+    let mut mask = vec![false; lines.len()];
+    let mut i = 0;
+    while i < lines.len() {
+        let code = lines[i].code.trim();
+        if code.starts_with("#[cfg(test)]") {
+            // Find the mod / fn item the attribute decorates.
+            let mut j = i + 1;
+            while j < lines.len() && lines[j].is_code_blank() {
+                j += 1;
+            }
+            if j < lines.len() && has_word(&lines[j].code, "mod") {
+                if let Some((bl, bc)) = find_char_from(lines, j, 0, '{') {
+                    let end = match_brace(lines, bl, bc).unwrap_or(lines.len() - 1);
+                    for m in mask.iter_mut().take(end + 1).skip(i) {
+                        *m = true;
+                    }
+                    i = end + 1;
+                    continue;
+                }
+            }
+        }
+        i += 1;
+    }
+    mask
+}
+
+/// Does `code` contain `word` as a standalone token?
+pub fn has_word(code: &str, word: &str) -> bool {
+    find_word(code, word, 0).is_some()
+}
+
+/// Find `word` as a standalone token in `code`, starting at byte `from`.
+pub fn find_word(code: &str, word: &str, from: usize) -> Option<usize> {
+    let bytes = code.as_bytes();
+    let mut start = from;
+    while let Some(pos) = code[start..].find(word) {
+        let p = start + pos;
+        let before_ok = p == 0 || !is_word_byte(bytes[p - 1]);
+        let after = p + word.len();
+        let after_ok = after >= bytes.len() || !is_word_byte(bytes[after]);
+        if before_ok && after_ok {
+            return Some(p);
+        }
+        start = p + 1;
+    }
+    None
+}
+
+fn is_word_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Find the first occurrence of `what` in code at or after
+/// `(line, col)`; returns `(line, col)`.
+pub fn find_char_from(
+    lines: &[Line],
+    line: usize,
+    col: usize,
+    what: char,
+) -> Option<(usize, usize)> {
+    for (li, l) in lines.iter().enumerate().skip(line) {
+        let from = if li == line { col } else { 0 };
+        if let Some(p) = l.code[from.min(l.code.len())..].find(what) {
+            return Some((li, from + p));
+        }
+    }
+    None
+}
+
+/// Match the `{` at `(line, col)` to its closing brace; returns the close
+/// line index. Comments and strings are already blanked, so plain
+/// counting is exact.
+pub fn match_brace(lines: &[Line], line: usize, col: usize) -> Option<usize> {
+    let mut depth = 0i64;
+    for (li, l) in lines.iter().enumerate().skip(line) {
+        let from = if li == line { col } else { 0 };
+        for c in l.code[from.min(l.code.len())..].chars() {
+            match c {
+                '{' => depth += 1,
+                '}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return Some(li);
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_and_comments_are_separated() {
+        let lines = scan_lines("let x = \"vec![// not code\"; // trailing vec!\n");
+        assert_eq!(lines.len(), 1);
+        assert!(!lines[0].code.contains("vec!"));
+        assert!(lines[0].code.contains("let x ="));
+        assert!(lines[0].comment.contains("trailing vec!"));
+    }
+
+    #[test]
+    fn nested_block_comments_and_raw_strings() {
+        let src = "/* a /* b */ still */ code1\nlet s = r#\"hash \"quote\" inside\"#; code2\n";
+        let lines = scan_lines(src);
+        assert!(lines[0].code.contains("code1"));
+        assert!(!lines[0].code.contains('a'));
+        assert!(lines[1].code.contains("code2"));
+        assert!(!lines[1].code.contains("quote"));
+    }
+
+    #[test]
+    fn char_literals_vs_lifetimes() {
+        let lines = scan_lines("fn f<'a>(x: &'a str) { let c = '}'; let d = '\\''; }\n");
+        // The blanked char literals must not unbalance brace matching.
+        assert_eq!(
+            match_brace(&lines, 0, lines[0].code.find('{').unwrap()),
+            Some(0)
+        );
+        assert!(lines[0].code.contains("<'a>"));
+    }
+
+    #[test]
+    fn multiline_string_masks_every_line() {
+        let lines = scan_lines("let s = \"line one\nvec![0; 9] unsafe {\";\nlet t = 1;\n");
+        assert!(!lines[1].code.contains("vec!"));
+        assert!(!lines[1].code.contains("unsafe"));
+        assert!(lines[2].code.contains("let t"));
+    }
+
+    #[test]
+    fn test_mask_covers_cfg_test_mod() {
+        let src = "fn a() {}\n#[cfg(test)]\nmod tests {\n    fn b() {}\n}\nfn c() {}\n";
+        let lines = scan_lines(src);
+        let mask = test_mask(&lines);
+        assert_eq!(mask, vec![false, true, true, true, true, false]);
+    }
+}

@@ -1,0 +1,36 @@
+// Seeded-bad fixture for the `hot_alloc` rule (analyzed as if it were a
+// hot-path file; see ../golden.rs).
+
+pub struct Op {
+    coeff: Vec<f64>,
+}
+
+pub fn rhs_step(op: &Op, out: &mut [f64]) {
+    let staging = vec![0.0; out.len()];
+    let doubled: Vec<f64> = op.coeff.iter().map(|c| c * 2.0).collect();
+    let copy = op.coeff.clone();
+    for (o, (s, d)) in out.iter_mut().zip(staging.iter().zip(doubled.iter())) {
+        *o = s + d + copy[0];
+    }
+}
+
+// dg-analyze: allow(hot_alloc) — fixture constructor, waived whole-fn
+pub fn make_op(n: usize) -> Op {
+    Op {
+        coeff: vec![1.0; n],
+    }
+}
+
+pub fn not_really_allocating() {
+    // Deny-list words inside strings or comments must not fire:
+    // vec![…] Box::new format!
+    let _s = "vec![0] Box::new format!";
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_is_exempt() {
+        let _v = vec![0.0; 8];
+    }
+}

@@ -1,0 +1,43 @@
+// Seeded-bad fixture for the `unsafe_audit` rule. Golden assertions in
+// ../golden.rs locate expected diagnostics by the marker identifiers
+// below rather than hard-coded line numbers.
+
+pub struct Wrapper(*mut f64);
+
+// An unsafe impl with no safety comment above it: fires.
+unsafe impl Send for Wrapper {}
+
+// SAFETY: documented impl, must not fire.
+unsafe impl Sync for Wrapper {}
+
+fn undocumented_block(p: *mut f64) -> f64 {
+    unsafe { *p }
+}
+
+fn documented_block(p: *mut f64) -> f64 {
+    // SAFETY: caller guarantees `p` is valid, must not fire.
+    unsafe { *p }
+}
+
+pub unsafe fn exposed_undocumented(p: *mut f64) -> f64 {
+    *p
+}
+
+/// Reads through `p`.
+///
+/// # Safety
+///
+/// `p` must be valid for reads; must not fire.
+pub unsafe fn exposed_documented(p: *mut f64) -> f64 {
+    *p
+}
+
+/// Doc comment without the safety section: fires the doc-section check.
+pub unsafe fn exposed_half_documented(p: *mut f64) -> f64 {
+    *p
+}
+
+fn not_an_item() {
+    // Function-pointer *type* position, must not fire.
+    let _f: unsafe fn(*mut f64) -> f64 = exposed_undocumented;
+}

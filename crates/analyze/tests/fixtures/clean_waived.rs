@@ -1,0 +1,32 @@
+// Fixture proving waivers suppress diagnostics: analyzed as a hot-path
+// file, expected to produce zero diagnostics (see ../golden.rs).
+
+use std::collections::HashMap;
+
+pub struct Op {
+    lookup: HashMap<u64, usize>,
+}
+
+// dg-analyze: allow(hot_alloc) — constructor, allocations happen once at setup
+pub fn make_op(n: usize) -> Op {
+    let mut lookup = HashMap::new();
+    for k in 0..n as u64 {
+        lookup.insert(k, k as usize);
+    }
+    Op { lookup }
+}
+
+pub fn step(op: &Op, out: &mut [f64], range: std::ops::Range<usize>) {
+    for i in range.clone() { // dg-analyze: allow(hot_alloc) — Range clone is a word copy, no heap
+        if let Some(&slot) = op.lookup.get(&(i as u64)) {
+            out[slot] = 1.0;
+        }
+    }
+    // dg-analyze: allow(determinism) — sums commute here: integer keys, debug-only tally
+    for k in op.lookup.keys() {
+        std::hint::black_box(k);
+    }
+}
+
+// SAFETY: fixture impl documented, must not fire.
+unsafe impl Send for Op {}

@@ -1,0 +1,3 @@
+pub fn stale_vol_2x2v_p9(f: &[f64], out: &mut [f64]) {
+    out[0] += f[0];
+}

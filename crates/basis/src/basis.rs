@@ -1,5 +1,9 @@
 //! The modal orthonormal basis on a reference cell.
 
+// Stencil/loop style: index-coupled exponent/sign sweeps index several arrays in lockstep;
+// `needless_range_loop` rewrites would obscure that (workspace allow
+// was scoped down to the modules that need it).
+#![allow(clippy::needless_range_loop)]
 use crate::family::BasisKind;
 use crate::multi_index;
 use dg_poly::legendre::{legendre, norm_sq};

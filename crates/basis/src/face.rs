@@ -10,6 +10,10 @@
 //! dimensions, and the trace of any cell expansion is a sparse re-indexing:
 //! exactly one face mode per cell mode.
 
+// Stencil/loop style: index-coupled face-embedding sweeps index several arrays in lockstep;
+// `needless_range_loop` rewrites would obscure that (workspace allow
+// was scoped down to the modules that need it).
+#![allow(clippy::needless_range_loop)]
 use crate::basis::Basis;
 use dg_poly::legendre::edge_value;
 use dg_poly::mpoly::Exps;

@@ -1,5 +1,9 @@
 //! Basis family selection rules on exponent multi-indices.
 
+// Stencil/loop style: index-coupled exponent sweeps index several arrays in lockstep;
+// `needless_range_loop` rewrites would obscure that (workspace allow
+// was scoped down to the modules that need it).
+#![allow(clippy::needless_range_loop)]
 use dg_poly::mpoly::Exps;
 
 /// The three modal families compared throughout the paper (Fig. 2 colours:

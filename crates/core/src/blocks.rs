@@ -32,6 +32,10 @@
 //! `broadcast` publishes work through a fixed command slot — the threaded
 //! sweep passes the counting-allocator gate in `tests/alloc_free.rs`.
 
+// Stencil/loop style: index-coupled per-dimension sweeps index several arrays in lockstep;
+// `needless_range_loop` rewrites would obscure that (workspace allow
+// was scoped down to the modules that need it).
+#![allow(clippy::needless_range_loop)]
 use std::ops::Range;
 use std::sync::Mutex;
 
@@ -61,6 +65,7 @@ pub struct CellBlocks {
 impl CellBlocks {
     /// Split `n0` dim-0 cells into `ranks` slabs of `blocks_per_rank`
     /// blocks each (the serial backend uses `ranks = 1`).
+    // dg-analyze: allow(hot_alloc) — construction-time partitioning, runs once per solver setup
     pub fn new(grid: &dg_grid::PhaseGrid, ranks: usize, blocks_per_rank: usize) -> Self {
         assert!(ranks >= 1 && blocks_per_rank >= 1);
         let n0 = grid.conf.cells()[0];
@@ -126,7 +131,7 @@ pub fn block_species_rhs<S: CellStoreMut>(
     let bc0 = bcs[0];
 
     // Volume everywhere in the block.
-    op.volume(qm, f, em, out, ws, conf_range.clone());
+    op.volume(qm, f, em, out, ws, conf_range.clone()); // dg-analyze: allow(hot_alloc) — Range<usize> clone is a two-word copy, no heap
 
     // dim-0 surfaces. Serial order: lower-wall faces first, then faces by
     // ascending lower-cell index; the periodic wrap face (n0−1 → 0) and
@@ -178,7 +183,7 @@ pub fn block_species_rhs<S: CellStoreMut>(
     // Remaining configuration directions stay inside the block (wall faces
     // included: every face of a d ≥ 1 column is block-local).
     for d in 1..cdim {
-        op.surface_config(d, f, out, ws, conf_range.clone(), bcs[d]);
+        op.surface_config(d, f, out, ws, conf_range.clone(), bcs[d]); // dg-analyze: allow(hot_alloc) — Range<usize> clone is a two-word copy, no heap
     }
     // Velocity surfaces are cell-local in configuration space.
     op.surface_velocity(qm, f, em, out, ws, conf_range);
@@ -190,6 +195,8 @@ pub fn block_species_rhs<S: CellStoreMut>(
 struct SendPtr(*mut f64);
 // SAFETY: workers write strictly disjoint cell ranges of the field.
 unsafe impl Send for SendPtr {}
+// SAFETY: shared references only hand out the raw pointer; all writes
+// through it target disjoint per-worker cell ranges.
 unsafe impl Sync for SendPtr {}
 
 impl SendPtr {
@@ -221,6 +228,7 @@ impl BlockRhs {
     /// A driver over `ranks × threads` blocks executed by `threads`
     /// workers (the serial backend passes `ranks = 1`; `dg-parallel`
     /// composes simulated ranks × intra-rank threads).
+    // dg-analyze: allow(hot_alloc) — constructor: pool, per-block workspaces and scratch are built once
     pub fn new(system: &VlasovMaxwell, ranks: usize, threads: usize) -> Self {
         assert!(threads >= 1, "BlockRhs needs at least one thread");
         let blocks = CellBlocks::new(&system.grid, ranks, threads);
@@ -255,6 +263,7 @@ impl BlockRhs {
     /// Allocate per-block LBO scratch if the system has collisions and we
     /// have none yet (collisions may be enabled after construction; this
     /// runs once, outside the counted hot loop).
+    // dg-analyze: allow(hot_alloc) — one-time scratch growth outside the counted hot loop
     fn ensure_lbo_scratch(&mut self, system: &VlasovMaxwell) {
         if !self.lbo_ws.is_empty() {
             return;
@@ -298,7 +307,7 @@ impl BlockRhs {
                     let me = ctx.index();
                     let nthreads = ctx.num_threads();
                     for b in (me..nblocks).step_by(nthreads) {
-                        let block = blocks[b].clone();
+                        let block = blocks[b].clone(); // dg-analyze: allow(hot_alloc) — Range<usize> clone is a two-word copy, no heap
                         let conf_range = block.start * stride0..block.end * stride0;
                         let first = conf_range.start * nv;
                         let ncells = conf_range.len() * nv;

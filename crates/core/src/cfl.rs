@@ -6,6 +6,10 @@
 //! extents (exact); acceleration speeds from rigorous modal sup bounds of
 //! the fields.
 
+// Stencil/loop style: index-coupled per-dimension sweeps index several arrays in lockstep;
+// `needless_range_loop` rewrites would obscure that (workspace allow
+// was scoped down to the modules that need it).
+#![allow(clippy::needless_range_loop)]
 use crate::system::{SystemState, VlasovMaxwell};
 
 /// Rigorous per-cell sup bound of a configuration-space expansion.

@@ -45,6 +45,7 @@ struct PhaseGradMass {
 }
 
 impl PhaseGradMass {
+    // dg-analyze: allow(hot_alloc) — stencil-table construction, runs once per operator
     fn build(kernels: &PhaseKernels, dir: usize) -> Self {
         let basis = &kernels.phase_basis;
         let t = dg_poly::tables::Tables1d::new(basis.poly_order());
@@ -121,6 +122,7 @@ pub struct LboScratch {
 }
 
 impl LboScratch {
+    // dg-analyze: allow(hot_alloc) — scratch constructor: every field/buffer persists across calls
     fn new(kernels: &PhaseKernels, grid: &PhaseGrid, dispatch: KernelDispatch) -> Self {
         let nconf = grid.conf.len();
         let (nc, np, vdim) = (kernels.nc(), kernels.np(), kernels.layout.vdim);
@@ -191,6 +193,7 @@ impl LboOp {
     ///
     /// When `dispatch` is [`KernelDispatch::Generated`] and no committed
     /// LBO kernel exists for this configuration.
+    // dg-analyze: allow(hot_alloc) — operator constructor: per-direction tables are precomputed once
     pub fn with_dispatch(
         kernels: Arc<PhaseKernels>,
         grid: PhaseGrid,
@@ -318,7 +321,7 @@ impl LboOp {
             f,
             &mut ws.m0,
             &ws.mom,
-            conf_range.clone(),
+            conf_range.clone(), // dg-analyze: allow(hot_alloc) — Range<usize> clone is a two-word copy, no heap
         );
         for (j, m1) in ws.m1.iter_mut().enumerate() {
             crate::moments::momentum_density_range_into(
@@ -328,7 +331,7 @@ impl LboOp {
                 j,
                 m1,
                 &mut ws.mom,
-                conf_range.clone(),
+                conf_range.clone(), // dg-analyze: allow(hot_alloc) — Range<usize> clone is a two-word copy, no heap
             );
         }
         crate::moments::energy_density_range_into(
@@ -337,7 +340,7 @@ impl LboOp {
             f,
             &mut ws.m2,
             &mut ws.mom,
-            conf_range.clone(),
+            conf_range.clone(), // dg-analyze: allow(hot_alloc) — Range<usize> clone is a two-word copy, no heap
         );
 
         for c in conf_range {
@@ -390,7 +393,7 @@ impl LboOp {
         ws: &mut LboScratch,
         conf_range: std::ops::Range<usize>,
     ) {
-        self.primitive_moments_range(f, ws, conf_range.clone());
+        self.primitive_moments_range(f, ws, conf_range.clone()); // dg-analyze: allow(hot_alloc) — Range<usize> clone is a two-word copy, no heap
 
         let k = &*self.kernels;
         let grid = &self.grid;
@@ -435,6 +438,7 @@ impl LboOp {
 
             // ---- Drag: volume + LF surface fluxes ----
             if let Some(e) = gen {
+                // dg-analyze: allow(hot_alloc) — Range<usize> clone is a two-word copy, no heap
                 for clin in conf_range.clone() {
                     let uc = u[j].cell(clin);
                     for vlin in 0..nv {
@@ -466,6 +470,7 @@ impl LboOp {
                     }
                 }
             } else {
+                // dg-analyze: allow(hot_alloc) — Range<usize> clone is a two-word copy, no heap
                 for clin in conf_range.clone() {
                     let uc = u[j].cell(clin);
                     for vlin in 0..nv {
@@ -514,6 +519,7 @@ impl LboOp {
             // ---- Diffusion, LDG pass 1: g = ∂f/∂v_j, trace from above ----
             g.as_mut_slice()[conf_range.start * nv * np..conf_range.end * nv * np].fill(0.0);
             if let Some(e) = gen {
+                // dg-analyze: allow(hot_alloc) — Range<usize> clone is a two-word copy, no heap
                 for clin in conf_range.clone() {
                     for vlin in 0..nv {
                         grid.vel.delinearize(vlin, vidx);
@@ -530,6 +536,7 @@ impl LboOp {
                     }
                 }
             } else {
+                // dg-analyze: allow(hot_alloc) — Range<usize> clone is a two-word copy, no heap
                 for clin in conf_range.clone() {
                     for vlin in 0..nv {
                         grid.vel.delinearize(vlin, vidx);
@@ -556,6 +563,7 @@ impl LboOp {
             // ---- Diffusion, LDG pass 2: out += ν ∇·(vth² g), trace from
             // below, zero flux at velocity boundaries ----
             if let Some(e) = gen {
+                // dg-analyze: allow(hot_alloc) — Range<usize> clone is a two-word copy, no heap
                 for clin in conf_range.clone() {
                     let tc = vth2.cell(clin);
                     for vlin in 0..nv {
@@ -571,6 +579,7 @@ impl LboOp {
                 }
                 continue;
             }
+            // dg-analyze: allow(hot_alloc) — Range<usize> clone is a two-word copy, no heap
             for clin in conf_range.clone() {
                 let tc = vth2.cell(clin);
                 // Embed vth² into the phase basis for the volume term.

@@ -1,5 +1,9 @@
 //! A kinetic species: its distribution function and physical parameters.
 
+// Stencil/loop style: index-coupled per-dimension sweeps index several arrays in lockstep;
+// `needless_range_loop` rewrites would obscure that (workspace allow
+// was scoped down to the modules that need it).
+#![allow(clippy::needless_range_loop)]
 use dg_basis::project;
 use dg_grid::{DgField, PhaseGrid};
 use dg_kernels::PhaseKernels;

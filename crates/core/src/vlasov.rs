@@ -32,6 +32,10 @@
 //! shared-memory layer (`dg-parallel`) can partition work without ghost
 //! layers — the paper's intra-node decomposition.
 
+// Stencil/loop style: index-coupled stencil sweeps index several arrays in lockstep;
+// `needless_range_loop` rewrites would obscure that (workspace allow
+// was scoped down to the modules that need it).
+#![allow(clippy::needless_range_loop)]
 use dg_grid::{Bc, CellStoreMut, DgField, DimBc, PhaseGrid};
 use dg_kernels::accel::VelGeom;
 use dg_kernels::dispatch::{
@@ -76,6 +80,7 @@ pub struct WallAccum {
 }
 
 impl WallAccum {
+    // dg-analyze: allow(hot_alloc) — ledger constructor, two tiny Vecs built once per workspace
     pub fn for_cdim(cdim: usize) -> Self {
         WallAccum {
             mass: vec![[0.0; 2]; cdim],
@@ -161,6 +166,7 @@ pub struct VlasovWorkspace {
 }
 
 impl VlasovWorkspace {
+    // dg-analyze: allow(hot_alloc) — workspace constructor: every buffer here persists across RHS calls
     pub fn for_kernels(k: &PhaseKernels) -> Self {
         let mut face = FaceScratch::default();
         face.ensure(k.max_face_len());
@@ -241,6 +247,7 @@ impl VlasovOp {
     /// When `dispatch` is [`KernelDispatch::Generated`] and no committed
     /// kernel exists for this configuration (the error message lists the
     /// registry and how to extend it).
+    // dg-analyze: allow(hot_alloc) — operator constructor: geometry/stencil tables are precomputed once
     pub fn with_dispatch(
         kernels: Arc<PhaseKernels>,
         grid: PhaseGrid,
@@ -963,6 +970,7 @@ impl VlasovOp {
             }
         }
         let nbrs = &self.conf_nbr[d];
+        // dg-analyze: allow(hot_alloc) — Range<usize> clone is a two-word copy, no heap
         for clin in conf_range.clone() {
             let Some(nlin) = nbrs[clin] else {
                 continue;

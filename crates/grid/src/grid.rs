@@ -1,5 +1,9 @@
 //! Uniform Cartesian grids.
 
+// Stencil/loop style: index-coupled per-dimension sweeps index several arrays in lockstep;
+// `needless_range_loop` rewrites would obscure that (workspace allow
+// was scoped down to the modules that need it).
+#![allow(clippy::needless_range_loop)]
 /// A uniform rectangular grid in `ndim` dimensions.
 #[derive(Clone, Debug, PartialEq)]
 pub struct CartGrid {

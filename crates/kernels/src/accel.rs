@@ -23,6 +23,10 @@
 //! in the remaining coordinates — both neighbouring cells see the identical
 //! polynomial, making the numerical flux conservative by construction.
 
+// Stencil/loop style: index-coupled lane sweeps index several arrays in lockstep;
+// `needless_range_loop` rewrites would obscure that (workspace allow
+// was scoped down to the modules that need it).
+#![allow(clippy::needless_range_loop)]
 use dg_basis::{Basis, Exps};
 use dg_poly::MAX_DIM;
 

@@ -17,6 +17,10 @@
 //!    surface) reproduce their scalar kernels bit for bit on mixed
 //!    panel-plus-remainder sweeps.
 
+// Stencil/loop style: index-coupled kernel-argument sweeps index several arrays in lockstep;
+// `needless_range_loop` rewrites would obscure that (workspace allow
+// was scoped down to the modules that need it).
+#![allow(clippy::needless_range_loop)]
 use crate::accel::VelGeom;
 use crate::codegen::{
     generated_mod_source, lbo_dir_tables, manifest_kernel_source, manifest_lbo_source,

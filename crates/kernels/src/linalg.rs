@@ -6,6 +6,10 @@
 //! Eigen matvecs of the paper's Table I. The modal solver itself never
 //! touches a matrix — that is the point of the paper.
 
+// Stencil/loop style: index-coupled dense-matrix sweeps index several arrays in lockstep;
+// `needless_range_loop` rewrites would obscure that (workspace allow
+// was scoped down to the modules that need it).
+#![allow(clippy::needless_range_loop)]
 /// Row-major dense matrix.
 #[derive(Clone, Debug, PartialEq)]
 pub struct DMat {

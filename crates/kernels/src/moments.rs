@@ -10,6 +10,10 @@
 //! (k=2)}`), and the surviving configuration factor is itself a member of
 //! the configuration basis — so each moment is a short, exact, sparse sum.
 
+// Stencil/loop style: index-coupled stencil sweeps index several arrays in lockstep;
+// `needless_range_loop` rewrites would obscure that (workspace allow
+// was scoped down to the modules that need it).
+#![allow(clippy::needless_range_loop)]
 use dg_basis::Basis;
 
 /// `(phase mode, conf mode)` index pair with the constant velocity weight

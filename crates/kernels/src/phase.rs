@@ -7,6 +7,10 @@
 //! operations for the collision operator. Building the set performs all
 //! symbolic integration once; applying it is pure arithmetic on flat arrays.
 
+// Stencil/loop style: index-coupled stencil sweeps index several arrays in lockstep;
+// `needless_range_loop` rewrites would obscure that (workspace allow
+// was scoped down to the modules that need it).
+#![allow(clippy::needless_range_loop)]
 use crate::accel::AccelProject;
 use crate::moments::MomentKernels;
 use crate::surface::{FaceAlphaSupport, SurfaceKernel};

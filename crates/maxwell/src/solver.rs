@@ -24,6 +24,7 @@ struct GradMass {
 }
 
 impl GradMass {
+    // dg-analyze: allow(hot_alloc) — stencil-table construction, runs once per operator
     fn build(basis: &Basis, tables: &Tables1d, dir: usize) -> Self {
         let mut entries = Vec::new();
         for l in 0..basis.len() {
@@ -93,6 +94,7 @@ pub struct MaxwellDg {
 }
 
 impl MaxwellDg {
+    // dg-analyze: allow(hot_alloc) — operator constructor: bases, stencils and scratch are built once
     pub fn new(
         kind: BasisKind,
         grid: CartGrid,

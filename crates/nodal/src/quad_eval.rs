@@ -1,5 +1,9 @@
 //! Dense quadrature tables for a phase basis: the nodal pipeline's data.
 
+// Stencil/loop style: index-coupled quadrature sweeps index several arrays in lockstep;
+// `needless_range_loop` rewrites would obscure that (workspace allow
+// was scoped down to the modules that need it).
+#![allow(clippy::needless_range_loop)]
 use dg_basis::Basis;
 use dg_kernels::linalg::DMat;
 use dg_poly::quad::TensorGauss;

@@ -7,6 +7,10 @@
 //! the two pipelines (to one `f64` rounding) is the machine-checkable
 //! equivalent of trusting the paper's Maxima scripts.
 
+// Stencil/loop style: index-coupled exponent sweeps index several arrays in lockstep;
+// `needless_range_loop` rewrites would obscure that (workspace allow
+// was scoped down to the modules that need it).
+#![allow(clippy::needless_range_loop)]
 use crate::rational::Rational;
 use crate::MAX_DIM;
 use std::collections::BTreeMap;

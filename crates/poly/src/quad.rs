@@ -9,6 +9,10 @@
 //!    very same discrete operator through interpolation → pointwise product
 //!    → projection pipelines so Table I's cost comparison can be reproduced.
 
+// Stencil/loop style: index-coupled node sweeps index several arrays in lockstep;
+// `needless_range_loop` rewrites would obscure that (workspace allow
+// was scoped down to the modules that need it).
+#![allow(clippy::needless_range_loop)]
 use crate::legendre::legendre;
 use crate::poly1::Poly1;
 

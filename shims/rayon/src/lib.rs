@@ -140,6 +140,9 @@ fn worker_loop(shared: &'static PoolShared, index: usize, num_threads: usize) {
                 st = shared.work_cv.wait(st).unwrap();
             }
         };
+        // SAFETY: the posting thread keeps `job.ctx` alive until every
+        // worker has acknowledged this epoch (fixed-broadcast-slot
+        // protocol), so the erased pointer is valid for the whole call.
         let ok = catch_unwind(AssertUnwindSafe(|| unsafe {
             (job.call)(job.ctx, index, num_threads)
         }))
@@ -247,6 +250,9 @@ impl ThreadPool {
             op: *const OP,
             results: *mut R,
         }
+        // SAFETY: callers pass a `ctx` that really points at a live
+        // `Ctx<OP, R>` whose `results` buffer has capacity for
+        // `num_threads` slots; each worker writes only slot `index`.
         unsafe fn call<OP, R>(ctx: *const (), index: usize, num_threads: usize)
         where
             OP: Fn(BroadcastContext<'_>) -> R + Sync,
@@ -294,6 +300,9 @@ impl ThreadPool {
             }),
             cv: Condvar::new(),
         };
+        // SAFETY: callers pass a `ctx` pointing at the `ScopeData` owned
+        // by the enclosing `scope` call, which blocks until `pending`
+        // drains to zero — the data outlives every worker's use.
         unsafe fn call_drain(ctx: *const (), _index: usize, _n: usize) {
             drain(&*(ctx as *const ScopeData));
         }
@@ -543,6 +552,8 @@ mod tests {
                 let (i, n) = (ctx.index(), ctx.num_threads());
                 let mut k = i;
                 while k < len {
+                    // SAFETY: k ≡ i (mod n), so no two workers touch the
+                    // same element; `base` outlives the broadcast.
                     unsafe { *(base as *mut u64).add(k) = k as u64 + 1 };
                     k += n;
                 }

@@ -32,7 +32,10 @@ struct CountingAlloc;
 static ALLOCS: AtomicUsize = AtomicUsize::new(0);
 static COUNTING: AtomicBool = AtomicBool::new(false);
 
+// SAFETY: pure pass-through to `System` plus a relaxed atomic bump —
+// upholds `GlobalAlloc`'s contract exactly as `System` does.
 unsafe impl GlobalAlloc for CountingAlloc {
+    // SAFETY: delegates to `System::alloc` under the caller's layout.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         if COUNTING.load(Relaxed) {
             ALLOCS.fetch_add(1, Relaxed);
@@ -40,6 +43,7 @@ unsafe impl GlobalAlloc for CountingAlloc {
         System.alloc(layout)
     }
 
+    // SAFETY: delegates to `System::alloc_zeroed`.
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
         if COUNTING.load(Relaxed) {
             ALLOCS.fetch_add(1, Relaxed);
@@ -47,6 +51,8 @@ unsafe impl GlobalAlloc for CountingAlloc {
         System.alloc_zeroed(layout)
     }
 
+    // SAFETY: delegates to `System::realloc` with the caller's
+    // pointer/layout pair unchanged.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         if COUNTING.load(Relaxed) {
             ALLOCS.fetch_add(1, Relaxed);
@@ -54,6 +60,7 @@ unsafe impl GlobalAlloc for CountingAlloc {
         System.realloc(ptr, layout, new_size)
     }
 
+    // SAFETY: delegates to `System::dealloc`.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
         System.dealloc(ptr, layout)
     }
