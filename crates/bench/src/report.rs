@@ -1,6 +1,6 @@
 //! Machine-readable bench results: a tiny JSON writer with top-level-key
 //! merge semantics, so independent bench targets can each own one section
-//! of the same committed report file (`BENCH_7.json`) without a JSON
+//! of the same committed report file (`BENCH_8.json`) without a JSON
 //! dependency in the workspace.
 //!
 //! The supported grammar is deliberately the subset these benches emit: a
@@ -218,12 +218,13 @@ pub fn merge_section(path: &Path, section: &str, value: &JsonObj) {
     std::fs::write(path, text).unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
 }
 
-/// The committed report path: `BENCH_7.json` at the workspace root, next
-/// to EXPERIMENTS.md (override with the `BENCH_JSON` env var).
+/// The committed report path: `BENCH_8.json` at the workspace root, next
+/// to EXPERIMENTS.md (override with the `BENCH_JSON` env var). The
+/// previous report (`BENCH_7.json`) stays committed as the baseline.
 pub fn bench_json_path() -> std::path::PathBuf {
     match std::env::var("BENCH_JSON") {
         Ok(p) => p.into(),
-        Err(_) => Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_7.json"),
+        Err(_) => Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_8.json"),
     }
 }
 

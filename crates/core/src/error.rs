@@ -34,6 +34,11 @@ pub enum Error {
         /// What went wrong.
         message: String,
     },
+    /// The run was cancelled cooperatively (an observer requested a stop
+    /// rather than reporting a failure). The run driver propagates this
+    /// variant unwrapped, so schedulers — `dg_ensemble` — can tell a
+    /// deliberate cancellation apart from an [`Error::Observer`] fault.
+    Cancelled,
 }
 
 impl fmt::Display for Error {
@@ -60,6 +65,7 @@ impl fmt::Display for Error {
             Error::Observer { name, message } => {
                 write!(f, "observer {name:?} failed: {message}")
             }
+            Error::Cancelled => write!(f, "run cancelled"),
         }
     }
 }
@@ -98,6 +104,13 @@ mod tests {
         .to_string()
         .contains("EM field"));
         assert!(Error::InvalidDt(f64::NAN).to_string().contains("NaN"));
+    }
+
+    #[test]
+    fn cancelled_is_distinguishable() {
+        assert!(matches!(Error::Cancelled, Error::Cancelled));
+        assert!(Error::Cancelled.to_string().contains("cancelled"));
+        assert!(std::error::Error::source(&Error::Cancelled).is_none());
     }
 
     #[test]

@@ -26,6 +26,22 @@ impl CsvWriter {
         })
     }
 
+    /// Open `path` for appending, writing the header only when the file
+    /// is new or empty. Resumed writers (an ensemble job continuing from
+    /// a checkpoint) pick up exactly where the truncated series left off.
+    pub fn append(path: impl AsRef<Path>, header: &[&str]) -> std::io::Result<Self> {
+        let file = File::options().create(true).append(true).open(path)?;
+        let fresh = file.metadata()?.len() == 0;
+        let mut out = BufWriter::new(file);
+        if fresh {
+            writeln!(out, "{}", header.join(","))?;
+        }
+        Ok(CsvWriter {
+            out,
+            ncols: header.len(),
+        })
+    }
+
     pub fn row(&mut self, values: &[f64]) -> std::io::Result<()> {
         debug_assert_eq!(values.len(), self.ncols, "row width mismatch");
         let mut first = true;
@@ -37,6 +53,13 @@ impl CsvWriter {
             first = false;
         }
         writeln!(self.out)
+    }
+
+    /// Push buffered rows to the OS. Streaming observers flush after
+    /// every row so a killed process loses at most the in-flight line —
+    /// a torn *tail* that resume logic can discard, never a torn middle.
+    pub fn flush(&mut self) -> std::io::Result<()> {
+        self.out.flush()
     }
 
     pub fn finish(mut self) -> std::io::Result<()> {
@@ -59,8 +82,9 @@ impl CsvWriter {
 /// // app.run(t_end, &mut [&mut series])?;
 /// ```
 ///
-/// Rows stream through a buffered writer as the run progresses (flushed
-/// on drop or [`CsvSeries::finish`]) — no post-run dump step.
+/// Rows stream through a buffered writer as the run progresses and are
+/// flushed as they are written (crash-safe up to a torn final line) —
+/// no post-run dump step.
 pub struct CsvSeries<F> {
     w: CsvWriter,
     trigger: Trigger,
@@ -103,6 +127,10 @@ impl<F: FnMut(&Frame<'_>) -> Vec<f64>> Observer for CsvSeries<F> {
     fn observe(&mut self, frame: &Frame<'_>) -> Result<(), dg_core::Error> {
         let values = (self.row)(frame);
         self.w.row(&values)?;
+        // Series rows arrive at observer cadence (a handful per run
+        // second), so the per-row flush is cheap crash-safety: a killed
+        // sweep leaves at most a torn final line.
+        self.w.flush()?;
         self.rows_written += 1;
         Ok(())
     }
@@ -153,6 +181,25 @@ mod tests {
         // Round-trip the values.
         let vals: Vec<f64> = lines[2].split(',').map(|s| s.parse().unwrap()).collect();
         assert_eq!(vals, vec![0.1, 0.9]);
+    }
+
+    #[test]
+    fn append_resumes_without_duplicating_header() {
+        let dir = std::env::temp_dir().join("dg_diag_csv_append");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("series.csv");
+        let _ = std::fs::remove_file(&path);
+        let mut w = CsvWriter::append(&path, &["t", "e"]).unwrap();
+        w.row(&[0.0, 1.0]).unwrap();
+        w.finish().unwrap();
+        let mut w = CsvWriter::append(&path, &["t", "e"]).unwrap();
+        w.row(&[0.1, 0.9]).unwrap();
+        w.finish().unwrap();
+        let body = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = body.lines().collect();
+        assert_eq!(lines.len(), 3, "{body}");
+        assert_eq!(lines[0], "t,e");
+        assert!(lines.iter().skip(1).all(|l| !l.contains('t')), "{body}");
     }
 
     #[test]

@@ -91,15 +91,64 @@ pub fn read_state(mut input: impl Read) -> std::io::Result<(SystemState, f64)> {
     Ok((SystemState { species_f, em }, time))
 }
 
-/// File-based convenience wrappers.
+/// File-based convenience wrappers. `save` is crash-safe: the state is
+/// streamed to a `.tmp` sibling and renamed into place, so a process
+/// killed mid-write never leaves a torn file at `path` for
+/// `App::restore` to read — at worst a stale `.tmp` that `load` and
+/// [`latest_checkpoint`] both ignore. Concurrent writers of *different*
+/// paths (one directory per ensemble job) never collide; same-path
+/// writers last-wins a whole file, never interleave.
 pub fn save(path: impl AsRef<Path>, state: &SystemState, time: f64) -> std::io::Result<()> {
-    let mut w = BufWriter::new(File::create(path)?);
-    write_state(state, time, &mut w)?;
-    w.flush()
+    let path = path.as_ref();
+    let tmp = tmp_sibling(path);
+    {
+        let mut w = BufWriter::new(File::create(&tmp)?);
+        write_state(state, time, &mut w)?;
+        w.flush()?;
+    }
+    std::fs::rename(&tmp, path)
+}
+
+/// `path` with `.tmp` appended to the file name (same directory, so the
+/// final `rename` never crosses a filesystem boundary).
+fn tmp_sibling(path: &Path) -> PathBuf {
+    let mut name = path.file_name().unwrap_or_default().to_os_string();
+    name.push(".tmp");
+    path.with_file_name(name)
 }
 
 pub fn load(path: impl AsRef<Path>) -> std::io::Result<(SystemState, f64)> {
     read_state(BufReader::new(File::open(path)?))
+}
+
+/// Scan `dir` for step-stamped checkpoints written by [`Checkpoint`]
+/// (files named `{stem}_{NNNNNN}.vdg`) and return the one with the
+/// highest step count as `(path, steps)`. Stale `.tmp` files from an
+/// interrupted [`save`] and unrelated files are ignored; a missing
+/// directory is simply "no checkpoint yet". The reduction is a `max`
+/// over unique step stamps, so the result is deterministic regardless
+/// of directory-iteration order.
+pub fn latest_checkpoint(dir: impl AsRef<Path>, stem: &str) -> Option<(PathBuf, usize)> {
+    let entries = std::fs::read_dir(dir.as_ref()).ok()?;
+    let mut best: Option<(PathBuf, usize)> = None;
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let Some(stamp) = name
+            .strip_prefix(stem)
+            .and_then(|s| s.strip_prefix('_'))
+            .and_then(|s| s.strip_suffix(".vdg"))
+        else {
+            continue;
+        };
+        let Ok(steps) = stamp.parse::<usize>() else {
+            continue;
+        };
+        if best.as_ref().is_none_or(|(_, b)| steps > *b) {
+            best = Some((entry.path(), steps));
+        }
+    }
+    best
 }
 
 /// A checkpoint record: which step/time a file holds.
@@ -218,5 +267,48 @@ mod tests {
         let (back, t) = load(&p).unwrap();
         assert_eq!(t, 0.5);
         assert_eq!(back.em.as_slice(), state.em.as_slice());
+    }
+
+    #[test]
+    fn save_is_atomic_and_overwrites_whole_files() {
+        let dir = std::env::temp_dir().join("dg_diag_snap_atomic");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("ckpt_000004.vdg");
+        // A longer stale file first: a torn in-place rewrite would leave
+        // trailing bytes; the rename replaces the whole file.
+        save(&p, &random_state(1), 1.0).unwrap();
+        std::fs::write(dir.join("ckpt_000004.vdg.tmp"), b"torn half-write").unwrap();
+        let state = random_state(2);
+        save(&p, &state, 2.0).unwrap();
+        let (back, t) = load(&p).unwrap();
+        assert_eq!(t, 2.0);
+        assert_eq!(back.em.as_slice(), state.em.as_slice());
+        // No .tmp left behind by a completed save.
+        assert!(!dir.join("ckpt_000004.vdg.tmp.tmp").exists());
+    }
+
+    #[test]
+    fn latest_checkpoint_picks_max_step_and_ignores_noise() {
+        let dir = std::env::temp_dir().join("dg_diag_snap_latest");
+        let _ = std::fs::remove_dir_all(&dir);
+        assert!(latest_checkpoint(&dir, "ckpt").is_none());
+        std::fs::create_dir_all(&dir).unwrap();
+        for steps in [0usize, 12, 7] {
+            save(
+                dir.join(format!("ckpt_{steps:06}.vdg")),
+                &random_state(steps as u64),
+                steps as f64,
+            )
+            .unwrap();
+        }
+        // Noise: interrupted tmp, other stem, non-numeric stamp.
+        std::fs::write(dir.join("ckpt_000099.vdg.tmp"), b"torn").unwrap();
+        std::fs::write(dir.join("other_000050.vdg"), b"x").unwrap();
+        std::fs::write(dir.join("ckpt_latest.vdg"), b"x").unwrap();
+        let (path, steps) = latest_checkpoint(&dir, "ckpt").unwrap();
+        assert_eq!(steps, 12);
+        assert_eq!(path, dir.join("ckpt_000012.vdg"));
+        let (_, t) = load(&path).unwrap();
+        assert_eq!(t, 12.0);
     }
 }

@@ -1,0 +1,85 @@
+//! # dg-ensemble — the ensemble service
+//!
+//! The paper's matrix-free kernels make a single run cheap; the
+//! interesting workload is then *fleets* of runs — growth-rate scans,
+//! physics campaigns, parameter studies. This crate is the typed front
+//! door for that traffic: describe each simulation as a [`JobSpec`] (or
+//! a whole grid as a [`SweepSpec`]), submit to an [`Ensemble`], and get
+//! back an [`EnsembleReport`] of typed per-job records in submission
+//! order.
+//!
+//! The contract that makes ensembles trustworthy for science:
+//!
+//! - **Determinism.** Job results and the report are bit-identical at
+//!   any worker count; completion order never leaks (records carry no
+//!   wall-clock or worker identity, and collection happens in
+//!   submission order on the main thread).
+//! - **Resumability.** With an output directory configured, jobs
+//!   checkpoint on a step cadence; a killed sweep re-`run` picks up
+//!   finished jobs from persisted summaries and unfinished ones from
+//!   their latest checkpoint, bit-exactly.
+//! - **Isolation.** A job failure (including [`dg_core::Error::BlowUp`]
+//!   after its retry budget) becomes a `Failed` record; sibling jobs
+//!   are unaffected. Cancellation via [`CancelToken`] drains or aborts
+//!   cleanly and still returns a complete report.
+//!
+//! ```
+//! use dg_basis::BasisKind;
+//! use dg_core::app::{AppBuilder, FieldSpec, SpeciesSpec};
+//! use dg_ensemble::{Ensemble, EnsembleConfig, SweepSpec};
+//! use std::sync::Arc;
+//!
+//! // A two-point Landau-damping scan over the perturbation wavenumber.
+//! let sweep = SweepSpec::new(
+//!     "landau",
+//!     Arc::new(|p| {
+//!         let k = p.get("k")?;
+//!         let l = 2.0 * std::f64::consts::PI / k;
+//!         Ok(AppBuilder::new()
+//!             .conf_grid(&[0.0], &[l], &[4])
+//!             .poly_order(1)
+//!             .basis(BasisKind::Serendipity)
+//!             .species(
+//!                 SpeciesSpec::new("elc", -1.0, 1.0, &[-6.0], &[6.0], &[6]).initial(
+//!                     move |x, v| {
+//!                         (1.0 + 1e-3 * (k * x[0]).cos())
+//!                             * (-v[0] * v[0] / 2.0).exp()
+//!                             / (2.0 * std::f64::consts::PI).sqrt()
+//!                     },
+//!                 ),
+//!             )
+//!             .field(FieldSpec::new(1.0).with_poisson_init()))
+//!     }),
+//! )
+//! .axis("k", &[0.4, 0.5])
+//! .cfl(0.5)
+//! .t_end(0.05);
+//!
+//! let cfg = EnsembleConfig::new()
+//!     .workers(2)
+//!     .sample_every(0.025)
+//!     .summarize(&["field_energy"], |o| {
+//!         vec![*o.field_energy.last().unwrap()]
+//!     });
+//! let mut ensemble = Ensemble::new(cfg).unwrap();
+//! ensemble.submit_sweep(&sweep).unwrap();
+//! let report = ensemble.run().unwrap();
+//! assert_eq!(report.counts(), (2, 0, 0));
+//! assert_eq!(report.jobs[0].name, "landau_0000");
+//! assert_eq!(report.column("field_energy").unwrap().len(), 2);
+//! ```
+//!
+//! See `DESIGN.md` ("Ensemble service") for the scheduling and resume
+//! contract, and `examples/landau_sweep.rs` for the 64-config Fig.-2
+//! style growth-rate scan.
+
+pub mod report;
+mod runner;
+pub mod scheduler;
+pub mod spec;
+
+pub use report::{EnsembleReport, JobRecord, JobStatus};
+pub use scheduler::{
+    CancelToken, Ensemble, EnsembleConfig, JobOutputs, JobState, ProbeFn, SummarizeFn,
+};
+pub use spec::{JobParams, JobSpec, RetryPolicy, SetupFn, SweepSpec};

@@ -1,0 +1,222 @@
+//! Results collection: typed per-job summary records and the aggregate
+//! report, ordered by submission id — never by completion order — so the
+//! same sweep produces the same report at any worker count.
+
+use crate::spec::JobParams;
+use dg_core::error::Error;
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+
+/// Terminal lifecycle state of one job.
+#[derive(Debug)]
+pub enum JobStatus {
+    /// Ran to `t_end` (or was loaded from a persisted summary).
+    Done,
+    /// Died with the carried error after exhausting any retry budget.
+    Failed(Error),
+    /// Cancelled before completion (drained while queued, or stopped by
+    /// an abort mid-run). Checkpoints on disk are kept, so a later
+    /// `Ensemble::run` resumes the job instead of restarting it.
+    Cancelled,
+}
+
+impl JobStatus {
+    pub fn is_done(&self) -> bool {
+        matches!(self, JobStatus::Done)
+    }
+
+    pub fn is_failed(&self) -> bool {
+        matches!(self, JobStatus::Failed(_))
+    }
+
+    pub fn is_cancelled(&self) -> bool {
+        matches!(self, JobStatus::Cancelled)
+    }
+
+    /// Stable one-word label (the `status` column of `report.csv`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            JobStatus::Done => "done",
+            JobStatus::Failed(_) => "failed",
+            JobStatus::Cancelled => "cancelled",
+        }
+    }
+}
+
+/// One job's result record. Contains no wall-clock or worker identity on
+/// purpose: every field is a deterministic function of the spec, so
+/// records are bit-comparable across worker counts and resumes.
+#[derive(Debug)]
+pub struct JobRecord {
+    /// Submission index (position in the report, stable across runs).
+    pub id: usize,
+    pub name: String,
+    pub params: JobParams,
+    pub status: JobStatus,
+    /// Total steps taken by the attempt that finished (checkpoint-resumed
+    /// steps included).
+    pub steps: usize,
+    /// Simulation clock reached.
+    pub time: f64,
+    /// Extra attempts consumed by the blow-up retry policy.
+    pub retries: usize,
+    /// The configured summary columns (empty unless `Done`).
+    pub summary: Vec<f64>,
+}
+
+/// The aggregate result of one `Ensemble::run`, jobs in submission order.
+#[derive(Debug)]
+pub struct EnsembleReport {
+    /// Names of the per-job summary columns.
+    pub columns: Vec<String>,
+    pub jobs: Vec<JobRecord>,
+}
+
+impl EnsembleReport {
+    /// `(done, failed, cancelled)` counts.
+    pub fn counts(&self) -> (usize, usize, usize) {
+        let done = self.jobs.iter().filter(|j| j.status.is_done()).count();
+        let failed = self.jobs.iter().filter(|j| j.status.is_failed()).count();
+        (done, failed, self.jobs.len() - done - failed)
+    }
+
+    /// Look a job up by name.
+    pub fn job(&self, name: &str) -> Option<&JobRecord> {
+        self.jobs.iter().find(|j| j.name == name)
+    }
+
+    /// The jobs that finished, in submission order.
+    pub fn done(&self) -> impl Iterator<Item = &JobRecord> {
+        self.jobs.iter().filter(|j| j.status.is_done())
+    }
+
+    /// One summary column across every `Done` job, in submission order.
+    pub fn column(&self, name: &str) -> Result<Vec<f64>, Error> {
+        let idx = self
+            .columns
+            .iter()
+            .position(|c| c == name)
+            .ok_or_else(|| Error::Build(format!("no summary column {name:?}")))?;
+        Ok(self.done().map(|j| j.summary[idx]).collect())
+    }
+
+    /// Render the report as CSV: fixed bookkeeping columns, then the
+    /// union of parameter names (sorted), then the summary columns.
+    /// Parameters a job does not define render empty.
+    pub fn to_csv_string(&self) -> String {
+        let mut pnames: BTreeSet<&str> = BTreeSet::new();
+        for j in &self.jobs {
+            pnames.extend(j.params.names());
+        }
+        let mut out = String::from("id,name,status,steps,time,retries");
+        for p in &pnames {
+            out.push(',');
+            out.push_str(p);
+        }
+        for c in &self.columns {
+            out.push(',');
+            out.push_str(c);
+        }
+        out.push('\n');
+        for j in &self.jobs {
+            out.push_str(&format!(
+                "{},{},{},{},{:.17e},{}",
+                j.id,
+                j.name,
+                j.status.label(),
+                j.steps,
+                j.time,
+                j.retries
+            ));
+            for p in &pnames {
+                out.push(',');
+                if let Some(v) = j.params.try_get(p) {
+                    out.push_str(&format!("{v:.17e}"));
+                }
+            }
+            for i in 0..self.columns.len() {
+                out.push(',');
+                if let Some(v) = j.summary.get(i) {
+                    out.push_str(&format!("{v:.17e}"));
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Write the CSV atomically (temp + rename).
+    pub fn write_csv(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        write_atomic(path.as_ref(), &self.to_csv_string())
+    }
+}
+
+/// Crash-safe small-file write: stream to a `.tmp` sibling, then rename
+/// into place. Concurrent jobs write disjoint paths (one directory per
+/// job), so tmp names never collide.
+pub(crate) fn write_atomic(path: &Path, contents: &str) -> std::io::Result<()> {
+    let tmp = tmp_sibling(path);
+    std::fs::write(&tmp, contents)?;
+    std::fs::rename(&tmp, path)
+}
+
+fn tmp_sibling(path: &Path) -> PathBuf {
+    let mut name = path.file_name().unwrap_or_default().to_os_string();
+    name.push(".tmp");
+    path.with_file_name(name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(id: usize, status: JobStatus, summary: Vec<f64>) -> JobRecord {
+        JobRecord {
+            id,
+            name: format!("job_{id:04}"),
+            params: JobParams::new().with("k", 0.1 * id as f64),
+            status,
+            steps: 10 * id,
+            time: 1.5,
+            retries: 0,
+            summary,
+        }
+    }
+
+    #[test]
+    fn report_orders_counts_and_extracts_columns() {
+        let report = EnsembleReport {
+            columns: vec!["gamma".into()],
+            jobs: vec![
+                record(0, JobStatus::Done, vec![-0.15]),
+                record(1, JobStatus::Failed(Error::Cancelled), vec![]),
+                record(2, JobStatus::Done, vec![-0.25]),
+                record(3, JobStatus::Cancelled, vec![]),
+            ],
+        };
+        assert_eq!(report.counts(), (2, 1, 1));
+        assert_eq!(report.column("gamma").unwrap(), vec![-0.15, -0.25]);
+        assert!(report.column("nope").is_err());
+        assert_eq!(report.job("job_0002").unwrap().id, 2);
+
+        let csv = report.to_csv_string();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 5);
+        assert_eq!(lines[0], "id,name,status,steps,time,retries,k,gamma");
+        assert!(lines[1].starts_with("0,job_0000,done,0,"));
+        assert!(lines[2].contains(",failed,"));
+        // Failed/cancelled jobs have an empty summary cell, not a fake 0.
+        assert!(lines[2].ends_with(','), "{:?}", lines[2]);
+    }
+
+    #[test]
+    fn write_atomic_replaces_and_leaves_no_tmp() {
+        let dir = std::env::temp_dir().join("dg_ensemble_report_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("report.csv");
+        write_atomic(&path, "old,long,content,that,is,longer\n").unwrap();
+        write_atomic(&path, "new\n").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "new\n");
+        assert!(!dir.join("report.csv.tmp").exists());
+    }
+}

@@ -107,9 +107,19 @@ impl DgField {
         self.data.iter().map(|x| x * x).sum()
     }
 
-    /// Maximum absolute coefficient (stability monitoring).
+    /// Maximum absolute coefficient (stability monitoring). NaN
+    /// propagates: `f64::max` would silently prefer its non-NaN operand,
+    /// reporting an all-NaN field as `0.0` and blinding the blow-up
+    /// guard that watches this value.
     pub fn max_abs(&self) -> f64 {
-        self.data.iter().fold(0.0f64, |m, &x| m.max(x.abs()))
+        self.data.iter().fold(0.0f64, |m, &x| {
+            let a = x.abs();
+            if a > m || a.is_nan() {
+                a
+            } else {
+                m
+            }
+        })
     }
 
     /// Split into disjoint mutable views at the given cell boundaries
@@ -286,6 +296,20 @@ mod tests {
         assert_eq!(a.as_slice(), &[3.5, 7.0, 10.5, 14.0]);
         assert!((b.coeff_norm_sq() - 3000.0).abs() < 1e-12);
         assert_eq!(b.max_abs(), 40.0);
+    }
+
+    #[test]
+    fn max_abs_propagates_nan() {
+        let mut f = DgField::zeros(2, 2);
+        f.as_mut_slice().copy_from_slice(&[1.0, -3.0, 2.0, 0.5]);
+        assert_eq!(f.max_abs(), 3.0);
+        // A state that is entirely NaN (no infinities left after an
+        // inf - inf) must still read as non-finite.
+        f.as_mut_slice().fill(f64::NAN);
+        assert!(f.max_abs().is_nan());
+        // And a single NaN among finite values is not masked.
+        f.as_mut_slice().copy_from_slice(&[1.0, f64::NAN, 2.0, 0.5]);
+        assert!(f.max_abs().is_nan());
     }
 }
 

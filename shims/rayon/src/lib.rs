@@ -151,6 +151,7 @@ fn worker_loop(shared: &'static PoolShared, index: usize, num_threads: usize) {
         if !ok {
             st.panicked = true;
         }
+        // dg-analyze: allow(determinism) — integer completion latch under the pool mutex (counts workers still in this epoch), not a floating-point reduction; order cannot affect the value.
         st.remaining -= 1;
         if st.remaining == 0 {
             shared.done_cv.notify_all();

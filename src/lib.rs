@@ -45,6 +45,7 @@
 pub use dg_basis as basis;
 pub use dg_core as core;
 pub use dg_diag as diag;
+pub use dg_ensemble as ensemble;
 pub use dg_grid as grid;
 pub use dg_kernels as kernels;
 pub use dg_maxwell as maxwell;
@@ -71,6 +72,10 @@ pub mod prelude {
     pub use dg_diag::slices::SliceSeries;
     pub use dg_diag::snapshot::Checkpoint;
     pub use dg_diag::walls::WallFluxLedger;
+    pub use dg_ensemble::{
+        CancelToken, Ensemble, EnsembleConfig, EnsembleReport, JobOutputs, JobParams, JobRecord,
+        JobSpec, JobStatus, RetryPolicy, SweepSpec,
+    };
     pub use dg_grid::boundary::{Bc, DimBc};
     pub use dg_grid::grid::CartGrid;
     pub use dg_kernels::{DispatchPath, KernelDispatch};

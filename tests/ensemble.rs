@@ -1,0 +1,362 @@
+//! Ensemble-service contract tests: worker-count determinism,
+//! kill-and-resume bit-exactness through the checkpoint store, the
+//! blow-up retry policy, and clean cancellation (drain and abort) —
+//! the acceptance criteria of the `dg_ensemble` subsystem.
+
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+use vlasov_dg::core::species::maxwellian;
+use vlasov_dg::ensemble::SetupFn;
+use vlasov_dg::prelude::*;
+
+const PI: f64 = std::f64::consts::PI;
+
+/// One shared recipe for every test: a 1X1V Landau-style box whose
+/// wavenumber `k`, density scale, and perturbation amplitude come from
+/// the parameter bag. `scale` is abused by the retry tests to park the
+/// amplitude close to the f64 overflow threshold so an unstable CFL
+/// blows up within a few steps.
+fn setup() -> Arc<SetupFn> {
+    Arc::new(|p| {
+        let k = p.get("k")?;
+        let scale = p.try_get("scale").unwrap_or(1.0);
+        let amp = p.try_get("amp").unwrap_or(0.01);
+        // The huge-amplitude retry jobs run chargeless with a zero field:
+        // with q = 0 nothing squares the near-overflow amplitude (the
+        // E·∂f/∂v coupling would overflow at any dt), so the only
+        // instability is attempt 0's CFL-violating time step — exactly
+        // what the retry policy is supposed to absorb.
+        let (charge, field) = if scale == 1.0 {
+            (-1.0, FieldSpec::new(1.0).with_poisson_init())
+        } else {
+            (0.0, FieldSpec::new(1.0))
+        };
+        Ok(AppBuilder::new()
+            .conf_grid(&[0.0], &[2.0 * PI / k], &[4])
+            .poly_order(1)
+            .basis(BasisKind::Serendipity)
+            .species(
+                SpeciesSpec::new("elc", charge, 1.0, &[-6.0], &[6.0], &[6]).initial(move |x, v| {
+                    maxwellian(scale * (1.0 + amp * (k * x[0]).cos()), &[0.0], 1.0, v)
+                }),
+            )
+            .field(field))
+    })
+}
+
+/// The 5-job wavenumber sweep used by the determinism/resume tests:
+/// 30 fixed-dt steps per job, sampled every 0.01, checkpoint every 7
+/// steps (so the final checkpoint lands mid-run at step 28, not at a
+/// tidy boundary).
+fn scan_sweep() -> SweepSpec {
+    SweepSpec::new("scan", setup())
+        .axis("k", &[0.4, 0.45, 0.5, 0.55, 0.6])
+        .fixed_dt(2e-3)
+        .t_end(0.06)
+}
+
+fn scan_config(dir: &Path, workers: usize) -> EnsembleConfig {
+    EnsembleConfig::new()
+        .workers(workers)
+        .out_dir(dir)
+        .sample_every(0.01)
+        .checkpoint_every_steps(7)
+        .summarize(&["efin", "pfin"], |o| {
+            vec![
+                *o.field_energy.last().unwrap(),
+                *o.particle_energy.last().unwrap(),
+            ]
+        })
+}
+
+fn fresh_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("dg_ensemble_itest").join(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn summary_bits(r: &JobRecord) -> Vec<u64> {
+    r.summary.iter().map(|v| v.to_bits()).collect()
+}
+
+/// Install a one-shot probe that calls `act(token)` the first time `job`
+/// reaches `t_at` (re-runs of the same ensemble are then undisturbed).
+/// The token slot is filled after `Ensemble::new` hands it out.
+type TokenSlot = Arc<Mutex<Option<CancelToken>>>;
+fn probe_config(
+    cfg: EnsembleConfig,
+    job: &str,
+    t_at: f64,
+    act: impl Fn(&CancelToken) + Send + Sync + 'static,
+) -> (EnsembleConfig, TokenSlot) {
+    let slot: TokenSlot = Arc::new(Mutex::new(None));
+    let probe_slot = slot.clone();
+    let job = job.to_string();
+    let fired = std::sync::atomic::AtomicBool::new(false);
+    let cfg = cfg.probe(move |spec, fr| {
+        if spec.name() == job
+            && fr.time >= t_at
+            && !fired.swap(true, std::sync::atomic::Ordering::SeqCst)
+        {
+            if let Some(token) = probe_slot.lock().unwrap().as_ref() {
+                act(token);
+            }
+        }
+        Ok(())
+    });
+    (cfg, slot)
+}
+
+#[test]
+fn results_are_bit_identical_at_1_2_and_5_workers() {
+    let mut reports = Vec::new();
+    let mut dirs = Vec::new();
+    for workers in [1usize, 2, 5] {
+        let dir = fresh_dir(&format!("det_{workers}w"));
+        let mut ens = Ensemble::new(scan_config(&dir, workers)).unwrap();
+        ens.submit_sweep(&scan_sweep()).unwrap();
+        reports.push(ens.run().unwrap());
+        dirs.push(dir);
+    }
+    let reference = &reports[0];
+    assert_eq!(reference.counts(), (5, 0, 0));
+    for (report, dir) in reports.iter().zip(&dirs).skip(1) {
+        for (a, b) in reference.jobs.iter().zip(&report.jobs) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.name, b.name, "submission order must not leak");
+            assert!(b.status.is_done());
+            assert_eq!(a.steps, b.steps);
+            assert_eq!(a.time.to_bits(), b.time.to_bits());
+            assert_eq!(summary_bits(a), summary_bits(b), "job {}", a.name);
+            // Final states bit-identical: compare the last checkpoint and
+            // the streamed series byte-for-byte across worker counts.
+            for file in ["ckpt_000028.vdg", "series.csv", "summary.csv"] {
+                let ours = std::fs::read(dir.join(&b.name).join(file)).unwrap();
+                let theirs = std::fs::read(dirs[0].join(&a.name).join(file)).unwrap();
+                assert_eq!(ours, theirs, "{}/{file} differs", b.name);
+            }
+        }
+        assert_eq!(
+            std::fs::read(dir.join("report.csv")).unwrap(),
+            std::fs::read(dirs[0].join("report.csv")).unwrap()
+        );
+    }
+}
+
+#[test]
+fn killed_sweep_resumes_bit_exactly_from_checkpoints() {
+    // Reference: the same sweep run to completion, uninterrupted.
+    let ref_dir = fresh_dir("resume_ref");
+    let mut reference = Ensemble::new(scan_config(&ref_dir, 2)).unwrap();
+    reference.submit_sweep(&scan_sweep()).unwrap();
+    let ref_report = reference.run().unwrap();
+    assert_eq!(ref_report.counts(), (5, 0, 0));
+
+    // "Killed" sweep: a probe aborts everything once job scan_0002
+    // reaches t = 0.03 (between the step-28-equivalent checkpoints).
+    let dir = fresh_dir("resume_killed");
+    let (cfg, slot) = probe_config(scan_config(&dir, 2), "scan_0002", 0.029, |t| t.abort());
+    let mut killed = Ensemble::new(cfg).unwrap();
+    killed.submit_sweep(&scan_sweep()).unwrap();
+    *slot.lock().unwrap() = Some(killed.cancel_token());
+    let killed_report = killed.run().unwrap();
+    let (done, failed, cancelled) = killed_report.counts();
+    assert_eq!(failed, 0);
+    assert!(cancelled >= 1, "abort must cancel at least scan_0002");
+    assert!(done < 5);
+    assert!(killed_report
+        .job("scan_0002")
+        .unwrap()
+        .status
+        .is_cancelled());
+
+    // Simulate the torn tail a hard kill can leave: chop the cancelled
+    // job's streamed series mid-line. Resume must shrug it off.
+    let series = dir.join("scan_0002").join("series.csv");
+    let mut body = std::fs::read(&series).unwrap();
+    assert!(body.len() > 6);
+    body.truncate(body.len() - 6);
+    std::fs::write(&series, &body).unwrap();
+
+    // Resume in a fresh ensemble (fresh token, no probe): finished jobs
+    // load from summaries, unfinished ones restore from checkpoints.
+    let mut resumed = Ensemble::new(scan_config(&dir, 2)).unwrap();
+    resumed.submit_sweep(&scan_sweep()).unwrap();
+    let resumed_report = resumed.run().unwrap();
+    assert_eq!(resumed_report.counts(), (5, 0, 0));
+    for (a, b) in ref_report.jobs.iter().zip(&resumed_report.jobs) {
+        assert_eq!(a.steps, b.steps, "job {}", a.name);
+        assert_eq!(a.time.to_bits(), b.time.to_bits());
+        assert_eq!(a.retries, b.retries);
+        assert_eq!(summary_bits(a), summary_bits(b), "job {}", a.name);
+        for file in ["ckpt_000028.vdg", "series.csv", "summary.csv"] {
+            assert_eq!(
+                std::fs::read(dir.join(&a.name).join(file)).unwrap(),
+                std::fs::read(ref_dir.join(&a.name).join(file)).unwrap(),
+                "{}/{file} differs after resume",
+                a.name
+            );
+        }
+    }
+    assert_eq!(
+        std::fs::read(dir.join("report.csv")).unwrap(),
+        std::fs::read(ref_dir.join("report.csv")).unwrap()
+    );
+
+    // Third run: persisted summaries satisfy every job without any
+    // recomputation — even with the checkpoints and series gone.
+    for job in &resumed_report.jobs {
+        let jdir = dir.join(&job.name);
+        for entry in std::fs::read_dir(&jdir).unwrap().flatten() {
+            let name = entry.file_name();
+            let name = name.to_str().unwrap().to_string();
+            if name != "summary.csv" {
+                std::fs::remove_file(entry.path()).unwrap();
+            }
+        }
+    }
+    let mut third = Ensemble::new(scan_config(&dir, 1)).unwrap();
+    third.submit_sweep(&scan_sweep()).unwrap();
+    let third_report = third.run().unwrap();
+    assert_eq!(third_report.counts(), (5, 0, 0));
+    for (a, b) in ref_report.jobs.iter().zip(&third_report.jobs) {
+        assert_eq!(summary_bits(a), summary_bits(b));
+        assert_eq!(a.steps, b.steps);
+        // No series was recreated: the jobs were loaded, not re-run.
+        assert!(!dir.join(&a.name).join("series.csv").exists());
+    }
+}
+
+/// Retry jobs: density scale ~1e280 parks the solution a few decades
+/// under f64 overflow, so an unstable CFL goes non-finite within a
+/// handful of steps while a stable CFL stays bounded (advection
+/// stability is amplitude-independent).
+fn flaky_spec(name: &str, retry: RetryPolicy) -> JobSpec {
+    JobSpec::new(name, setup())
+        .param("k", 4.0 * PI) // box length 0.5, dx = 0.125
+        .param("scale", 1e280)
+        .param("amp", 0.5)
+        .cfl(100.0)
+        .retry(retry)
+        .t_end(8.0)
+}
+
+#[test]
+fn blow_up_retries_rescale_dt_and_do_not_poison_siblings() {
+    let dir = fresh_dir("retry");
+    // Sparse sampling so the huge first-attempt dt is not clamped down
+    // to stability by the sampler's EveryTime trigger.
+    let cfg = EnsembleConfig::new()
+        .workers(2)
+        .out_dir(&dir)
+        .sample_every(2.0)
+        .checkpoint_every_steps(400)
+        .summarize(&["efin"], |o| vec![*o.field_energy.last().unwrap()]);
+    let mut ens = Ensemble::new(cfg).unwrap();
+    // cfl 100 blows up; one retry at cfl 100 * 0.005 = 0.5 succeeds.
+    let flaky = ens
+        .submit(flaky_spec("flaky", RetryPolicy::on_blow_up(1, 0.005)))
+        .unwrap();
+    // No retry budget: the same blow-up is terminal for this job.
+    let bad = ens.submit(flaky_spec("bad", RetryPolicy::none())).unwrap();
+    // A healthy sibling submitted after the failing jobs.
+    let good = ens
+        .submit(
+            JobSpec::new("good", setup())
+                .param("k", 0.5)
+                .fixed_dt(2e-3)
+                .t_end(0.06),
+        )
+        .unwrap();
+    let report = ens.run().unwrap();
+
+    let flaky_rec = &report.jobs[flaky];
+    assert!(
+        flaky_rec.status.is_done(),
+        "flaky job should succeed on retry: {:?}",
+        flaky_rec.status
+    );
+    assert_eq!(flaky_rec.retries, 1);
+    assert!(flaky_rec.steps > 100, "retry ran at the rescaled dt");
+    // The attempt stamp persisted the successful attempt index.
+    assert_eq!(
+        std::fs::read_to_string(dir.join("flaky").join("attempt"))
+            .unwrap()
+            .trim(),
+        "1"
+    );
+
+    let bad_rec = &report.jobs[bad];
+    match &bad_rec.status {
+        JobStatus::Failed(Error::BlowUp { time, .. }) => {
+            assert!(*time < 8.0, "blow-up happened mid-run");
+        }
+        other => panic!("expected Failed(BlowUp), got {other:?}"),
+    }
+    assert_eq!(bad_rec.retries, 0);
+    assert!(bad_rec.summary.is_empty());
+
+    let good_rec = &report.jobs[good];
+    assert!(
+        good_rec.status.is_done(),
+        "sibling poisoned: {:?}",
+        good_rec.status
+    );
+    assert_eq!(report.counts(), (2, 1, 0));
+}
+
+#[test]
+fn drain_finishes_running_jobs_and_cancels_queued_ones() {
+    let sweep = SweepSpec::new("drain", setup())
+        .axis("k", &[0.4, 0.5, 0.6])
+        .fixed_dt(2e-3)
+        .t_end(0.06);
+    let cfg = EnsembleConfig::new()
+        .workers(1)
+        .sample_every(0.01)
+        .summarize(&["efin"], |o| vec![*o.field_energy.last().unwrap()]);
+    let (cfg, slot) = probe_config(cfg, "drain_0000", 0.019, |t| t.drain());
+    let mut ens = Ensemble::new(cfg).unwrap();
+    ens.submit_sweep(&sweep).unwrap();
+    *slot.lock().unwrap() = Some(ens.cancel_token());
+    let report = ens.run().unwrap();
+
+    // The running job finished (drain is graceful); the queued ones
+    // were cancelled untouched.
+    assert!(report.jobs[0].status.is_done());
+    assert_eq!(report.jobs[0].time, 0.06);
+    for job in &report.jobs[1..] {
+        assert!(job.status.is_cancelled(), "{:?}", job.status);
+        assert_eq!(job.steps, 0);
+    }
+    assert_eq!(ens.state(1), Some(vlasov_dg::ensemble::JobState::Cancelled));
+
+    // Re-arming the token and re-running recomputes everything (no
+    // out_dir, so nothing persisted) with identical results.
+    ens.cancel_token().reset();
+    let rerun = ens.run().unwrap();
+    assert_eq!(rerun.counts(), (3, 0, 0));
+    assert_eq!(summary_bits(&rerun.jobs[0]), summary_bits(&report.jobs[0]));
+}
+
+#[test]
+fn abort_stops_running_jobs_at_the_next_step() {
+    let sweep = SweepSpec::new("abort", setup())
+        .axis("k", &[0.4, 0.5, 0.6])
+        .fixed_dt(2e-3)
+        .t_end(0.06);
+    let cfg = EnsembleConfig::new().workers(1).sample_every(0.01);
+    let (cfg, slot) = probe_config(cfg, "abort_0001", 0.019, |t| t.abort());
+    let mut ens = Ensemble::new(cfg).unwrap();
+    ens.submit_sweep(&sweep).unwrap();
+    *slot.lock().unwrap() = Some(ens.cancel_token());
+    let report = ens.run().unwrap();
+
+    // FIFO on one worker: job 0 completed before the abort, job 1 was
+    // stopped mid-run (steps taken, short of t_end), job 2 never ran.
+    assert!(report.jobs[0].status.is_done());
+    assert!(report.jobs[1].status.is_cancelled());
+    assert!(report.jobs[1].steps > 0 && report.jobs[1].time < 0.06);
+    assert!(report.jobs[2].status.is_cancelled());
+    assert_eq!(report.jobs[2].steps, 0);
+}
