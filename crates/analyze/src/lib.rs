@@ -16,6 +16,9 @@
 //!    reduction.
 //! 4. [`rules::registry`] — `codegen::MANIFEST` ⇔ committed artifacts ⇔
 //!    `mod.rs` includes ⇔ the four registry tables.
+//! 5. [`rules::telemetry_span`] — no raw clock reads inside the
+//!    hot-path set: timing goes through the non-allocating
+//!    `span!`/`now_ns()` telemetry API so collection stays disableable.
 //!
 //! See DESIGN.md "Static analysis & invariants" for the rule catalog
 //! and the waiver syntax. The binary (`cargo run -p dg-analyze --
@@ -57,6 +60,7 @@ pub fn analyze_file(file: &SourceFile) -> Vec<report::Diagnostic> {
         .into_iter()
         .chain(rules::hot_alloc::check(file))
         .chain(rules::determinism::check(file))
+        .chain(rules::telemetry_span::check(file))
     {
         if !sup.is_suppressed(d.rule, d.line) {
             diags.push(d);

@@ -16,6 +16,9 @@ pub enum Rule {
     /// `codegen::MANIFEST` vs. committed `generated/` artifacts,
     /// `mod.rs` includes and the four registry tables.
     Registry,
+    /// Raw clock read (`Instant::now` / `.elapsed` / `SystemTime`)
+    /// inside the hot-path set instead of the non-allocating span API.
+    TelemetrySpan,
     /// Malformed `// dg-analyze: allow(...)` waiver.
     Waiver,
 }
@@ -27,6 +30,7 @@ impl Rule {
             Rule::HotAlloc => "hot_alloc",
             Rule::Determinism => "determinism",
             Rule::Registry => "registry",
+            Rule::TelemetrySpan => "telemetry_span",
             Rule::Waiver => "waiver",
         }
     }
@@ -35,7 +39,10 @@ impl Rule {
     /// `waiver` are not waivable: a registry inconsistency has no
     /// meaningful inline site, and waiving waiver hygiene is circular.
     pub fn waivable(id: &str) -> bool {
-        matches!(id, "unsafe_audit" | "hot_alloc" | "determinism")
+        matches!(
+            id,
+            "unsafe_audit" | "hot_alloc" | "determinism" | "telemetry_span"
+        )
     }
 }
 

@@ -43,7 +43,8 @@ const DENY: &[(&str, &str, Severity)] = &[
 
 /// Is `rel_path` in the hot-path set? The set is the RHS call graph:
 /// the kinetic operator and its block-parallel driver, collisions,
-/// moments, the Maxwell surface path, and every generated kernel.
+/// moments, the Maxwell surface path, every generated kernel, and the
+/// telemetry collection layer those sweeps call into.
 pub fn is_hot_path(rel_path: &str) -> bool {
     const HOT: &[&str] = &[
         "crates/core/src/vlasov.rs",
@@ -51,6 +52,7 @@ pub fn is_hot_path(rel_path: &str) -> bool {
         "crates/core/src/lbo.rs",
         "crates/core/src/moments.rs",
         "crates/maxwell/src/solver.rs",
+        "crates/telemetry/src/collect.rs",
     ];
     // `generated/tests.rs` is the registry's handwritten test module
     // (included under `#[cfg(test)]` from mod.rs), not a kernel.

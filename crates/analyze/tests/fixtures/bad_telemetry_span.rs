@@ -1,0 +1,38 @@
+//! Seeded-bad fixture for the `telemetry_span` rule: raw clock reads
+//! inside a (pretend) hot-path file. Never compiled — scanned only.
+
+use std::time::{Instant, SystemTime};
+
+pub struct Sweep {
+    started: Instant, // type mention: legal
+}
+
+impl Sweep {
+    pub fn rhs_step(&mut self, ws: &mut Workspace) {
+        let t0 = Instant::now(); // raw clock read: fires
+        do_sweep(ws);
+        let dt = t0.elapsed(); // raw clock read: fires
+        let wall = SystemTime::now(); // raw clock read: fires
+        ws.record(dt, wall);
+    }
+
+    pub fn blessed(&self, ws: &Workspace) {
+        // dg-analyze: allow(telemetry_span) — fixture's pretend blessed clock
+        let t = Instant::now();
+        ws.stamp(t);
+    }
+
+    pub fn spanned(&self, ws: &mut Workspace) {
+        span!(ws.probe, Phase::Volume); // the sanctioned API: silent
+        do_sweep(ws);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn timing_in_tests_is_fine() {
+        let t = std::time::Instant::now();
+        assert!(t.elapsed().as_nanos() < u128::MAX);
+    }
+}

@@ -93,6 +93,33 @@ fn hot_alloc_fires_on_seeded_fixture_inside_hot_set_only() {
 }
 
 #[test]
+fn telemetry_span_fires_on_seeded_fixture_inside_hot_set_only() {
+    let (text, diags) = analyze_fixture("bad_telemetry_span.rs", "crates/core/src/vlasov.rs");
+    assert!(
+        diags.iter().all(|d| d.rule == Rule::TelemetrySpan),
+        "{diags:?}"
+    );
+    let expect = [
+        line_of(&text, "let t0 = Instant::now();"),
+        line_of(&text, "let dt = t0.elapsed();"),
+        line_of(&text, "let wall = SystemTime::now();"),
+    ];
+    assert_eq!(diags.len(), expect.len(), "{diags:?}");
+    for line in expect {
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.line == line && d.severity == Severity::Error),
+            "missing diagnostic at line {line}: {diags:?}"
+        );
+    }
+
+    // The same fixture outside the hot-path set produces nothing.
+    let (_, cold) = analyze_fixture("bad_telemetry_span.rs", "crates/demo/src/cold.rs");
+    assert!(cold.is_empty(), "{cold:?}");
+}
+
+#[test]
 fn determinism_fires_on_seeded_fixture() {
     let (text, diags) = analyze_fixture("bad_determinism.rs", "crates/demo/src/lib.rs");
     assert!(

@@ -16,6 +16,7 @@ use dg_core::lbo::LboOp;
 use dg_core::species::maxwellian;
 use dg_core::vlasov::VlasovWorkspace;
 use dg_grid::DgField;
+use dg_telemetry::{Counter, Registry};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -52,22 +53,48 @@ fn main() {
     let state = app.state();
     let mut out = DgField::zeros(ncells, np);
     let mut ws = VlasovWorkspace::for_kernels(&sys.kernels);
+    // Collect phase counters during the timed loops so the Eop the
+    // telemetry implies can be cross-checked against the wall-clock one.
+    let reg = Arc::new(Registry::new(1));
+    ws.probe = reg.collector(0);
 
     // Collisionless operator.
     sys.vlasov
         .accumulate_rhs(-1.0, &state.species_f[0], &state.em, &mut out, &mut ws);
     let reps = 3;
+    let snap0 = reg.snapshot();
     let t0 = Instant::now();
     for _ in 0..reps {
         sys.vlasov
             .accumulate_rhs(-1.0, &state.species_f[0], &state.em, &mut out, &mut ws);
     }
-    let t_vlasov = t0.elapsed().as_secs_f64() / reps as f64;
+    let t_total = t0.elapsed().as_secs_f64();
+    let t_vlasov = t_total / reps as f64;
     let eop = dofs / t_vlasov;
 
-    // With LBO collisions.
+    // Telemetry-derived Eop: counted DOFs over the same wall window. The
+    // counter must reproduce the analytic size exactly, so the two rates
+    // agree by construction.
+    let snap1 = reg.snapshot();
+    let delta = snap1.delta(&snap0);
+    let dof_tel = delta.counter(Counter::DofProcessed);
+    assert_eq!(
+        dof_tel,
+        reps as u64 * dofs as u64,
+        "telemetry DOF counter disagrees with the analytic operator size"
+    );
+    let eop_tel = dof_tel as f64 / t_total;
+    assert!(
+        (eop_tel - eop).abs() <= 1e-9 * eop,
+        "telemetry Eop {eop_tel:.3e} disagrees with wall-clock Eop {eop:.3e}"
+    );
+
+    // With LBO collisions (instrumented too, so the per-phase table
+    // below covers drag/diffusion alongside the Vlasov phases).
     let mut lbo = LboOp::new(Arc::clone(&sys.kernels), sys.grid.clone(), 0.5);
+    lbo.instrument_scratch(&ws.probe);
     lbo.accumulate_rhs(&state.species_f[0], &mut out);
+    let snap2 = reg.snapshot();
     let t0 = Instant::now();
     for _ in 0..reps {
         sys.vlasov
@@ -83,6 +110,10 @@ fn main() {
     println!("{:<44}{:>14.3e}", "collisionless Eop (DOF/s/core)", eop);
     println!(
         "{:<44}{:>14.3e}",
+        "collisionless Eop from telemetry", eop_tel
+    );
+    println!(
+        "{:<44}{:>14.3e}",
         "with LBO collisions (DOF/s/core)", eop_lbo
     );
     println!(
@@ -92,6 +123,23 @@ fn main() {
     );
     println!("\npaper: Eop ≈ 1.67e7 collisionless, ≈ 8e6 with collisions (≈2x cost);");
     println!("       Fehn et al. compressible Navier–Stokes (3D, p=2 tensor): ≈ 1e7.");
+
+    // Per-phase cost table over the timed windows only (warm-up calls
+    // excluded via snapshot deltas) — the EXPERIMENTS.md "Eop per-phase
+    // cost" table is regenerated from this output.
+    let mut timed = snap1.delta(&snap0);
+    timed.merge(&reg.snapshot().delta(&snap2));
+    let phase_report = dg_telemetry::RunReport {
+        name: "eop_2x3v_p2_ser".into(),
+        wall_s: t_vlasov * reps as f64 + t_with_lbo * reps as f64,
+        steps: 0,
+        last_dt: 0.0,
+        dt_trace: Vec::new(),
+        nslots: 1,
+        snapshot: timed,
+    };
+    println!();
+    print!("{}", phase_report.summary_table());
 
     assert!(eop > 1e6, "efficiency implausibly low: {eop:.3e}");
     let factor = t_with_lbo / t_vlasov;
@@ -112,6 +160,7 @@ fn main() {
                 .int("dofs", dofs as u64),
         )
         .num("eop_collisionless_dof_per_s_per_core", eop)
+        .num("eop_collisionless_dof_per_s_telemetry", eop_tel)
         .num("eop_with_lbo_dof_per_s_per_core", eop_lbo)
         .num("collision_cost_factor", factor)
         .num("paper_eop_collisionless", 1.67e7);

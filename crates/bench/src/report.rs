@@ -218,13 +218,13 @@ pub fn merge_section(path: &Path, section: &str, value: &JsonObj) {
     std::fs::write(path, text).unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
 }
 
-/// The committed report path: `BENCH_8.json` at the workspace root, next
+/// The committed report path: `BENCH_9.json` at the workspace root, next
 /// to EXPERIMENTS.md (override with the `BENCH_JSON` env var). The
-/// previous report (`BENCH_7.json`) stays committed as the baseline.
+/// previous report (`BENCH_8.json`) stays committed as the baseline.
 pub fn bench_json_path() -> std::path::PathBuf {
     match std::env::var("BENCH_JSON") {
         Ok(p) => p.into(),
-        Err(_) => Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_8.json"),
+        Err(_) => Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_9.json"),
     }
 }
 

@@ -34,6 +34,7 @@ use dg_kernels::{kernels_for, KernelDispatch, PhaseLayout};
 use dg_maxwell::flux::PhmParams;
 use dg_maxwell::{MaxwellDg, MaxwellFlux};
 use dg_poly::quad::GaussRule;
+use dg_telemetry::{now_ns, Breadcrumb, Collector, DtRing, Phase, Registry, RunReport, Snapshot};
 use std::sync::Arc;
 
 type DistFn = Box<dyn FnMut(&[f64], &[f64]) -> f64>;
@@ -185,6 +186,7 @@ pub struct AppBuilder {
     backend: Box<dyn BackendFactory>,
     backend_overridden: bool,
     threads: Option<usize>,
+    telemetry: Option<bool>,
 }
 
 impl Default for AppBuilder {
@@ -209,6 +211,7 @@ impl AppBuilder {
             backend: Box::new(Serial::default()),
             backend_overridden: false,
             threads: None,
+            telemetry: None,
         }
     }
 
@@ -292,6 +295,19 @@ impl AppBuilder {
     /// factories carry their own thread knob (`RankParallel { threads }`).
     pub fn threads(mut self, n: usize) -> Self {
         self.threads = Some(n);
+        self
+    }
+
+    /// Enable (or force off) phase telemetry: per-phase timers and work
+    /// counters across the backend, surfaced through
+    /// [`App::telemetry_report`], observer frames, and blow-up
+    /// breadcrumbs. Defaults to the `DG_TELEMETRY` environment variable
+    /// (`1` enables). Telemetry is observational: trajectories are
+    /// bit-identical with it on or off (`tests/telemetry.rs`), and the
+    /// instrumented hot path stays allocation-free
+    /// (`tests/alloc_free.rs`).
+    pub fn telemetry(mut self, on: bool) -> Self {
+        self.telemetry = Some(on);
         self
     }
 
@@ -453,7 +469,23 @@ impl AppBuilder {
             }
             self.backend = Box::new(Serial { threads: n });
         }
-        let backend = self.backend.make(system)?;
+        let mut backend = self.backend.make(system)?;
+        let telemetry_on = self.telemetry.unwrap_or_else(env_telemetry);
+        let (probe, telemetry) = if telemetry_on {
+            let reg = Arc::new(Registry::new(backend.telemetry_slots()));
+            backend.instrument(&reg);
+            let probe = reg.collector(0);
+            (
+                probe,
+                Some(TelemetryState {
+                    reg,
+                    dt_ring: DtRing::default(),
+                    wall_ns: 0,
+                }),
+            )
+        } else {
+            (Collector::default(), None)
+        };
         Ok(App {
             backend,
             state,
@@ -461,8 +493,19 @@ impl AppBuilder {
             steps_taken: 0,
             cfl: self.cfl,
             fixed_dt: None,
+            last_dt: 0.0,
+            probe,
+            telemetry,
         })
     }
+}
+
+/// Default telemetry policy: the `DG_TELEMETRY` environment variable
+/// (anything but unset/empty/`0` enables collection).
+fn env_telemetry() -> bool {
+    std::env::var("DG_TELEMETRY")
+        .map(|v| !v.is_empty() && v != "0")
+        .unwrap_or(false)
 }
 
 /// Project per-component field initial conditions onto the conf basis.
@@ -579,6 +622,15 @@ enum Sched {
     End,
 }
 
+/// Run-long telemetry carried by an instrumented [`App`]: the registry
+/// the backend writes into, the recent-dt trace, and accumulated
+/// stepping wall time.
+struct TelemetryState {
+    reg: Arc<Registry>,
+    dt_ring: DtRing,
+    wall_ns: u64,
+}
+
 /// A runnable simulation: a declaration bound to an execution
 /// [`Backend`]. Diagnostics reach the system and state through the
 /// accessors; stepping goes through [`App::step`], [`App::advance_by`],
@@ -590,6 +642,12 @@ pub struct App {
     steps_taken: usize,
     cfl: f64,
     fixed_dt: Option<f64>,
+    /// dt of the last *accepted* step (0 before the first).
+    last_dt: f64,
+    /// Slot-0 collector for App-level phases (step control, observers,
+    /// IO); the zero-cost `Noop` when telemetry is off.
+    probe: Collector,
+    telemetry: Option<TelemetryState>,
 }
 
 impl App {
@@ -675,6 +733,7 @@ impl App {
 
     /// The `dt` the driver would take next (fixed override or CFL bound).
     pub fn suggest_dt(&self) -> f64 {
+        let _span = self.probe.span(Phase::StepControl);
         match self.fixed_dt {
             Some(dt) => dt,
             None => self.backend.suggest_dt(&self.state, self.cfl),
@@ -693,24 +752,53 @@ impl App {
         if !(dt.is_finite() && dt > 0.0) {
             return Err(Error::InvalidDt(dt));
         }
+        // Step index of the step being attempted (completed steps so far).
+        let step_index = self.steps_taken as u64;
+        let t0 = if self.telemetry.is_some() {
+            now_ns()
+        } else {
+            0
+        };
         self.backend.step(&mut self.state, dt);
+        if let Some(tel) = self.telemetry.as_mut() {
+            tel.wall_ns += now_ns().saturating_sub(t0);
+        }
         self.time += dt;
         self.steps_taken += 1;
         for (s, f) in self.state.species_f.iter().enumerate() {
             if !f.max_abs().is_finite() {
-                return Err(Error::BlowUp {
-                    time: self.time,
-                    species: Some(self.backend.system().species[s].name.clone()),
-                });
+                let name = self.backend.system().species[s].name.clone();
+                return Err(self.blow_up(Some(name), step_index));
             }
         }
         if !self.state.em.max_abs().is_finite() {
-            return Err(Error::BlowUp {
-                time: self.time,
-                species: None,
-            });
+            return Err(self.blow_up(None, step_index));
+        }
+        // Step accepted: record its dt (failed steps never enter the
+        // trace, so breadcrumbs show the last *good* history).
+        self.last_dt = dt;
+        if let Some(tel) = self.telemetry.as_mut() {
+            tel.dt_ring.push(dt);
         }
         Ok(())
+    }
+
+    /// Assemble a blow-up error carrying the step index, the last
+    /// accepted dt, and — when telemetry is on — a breadcrumb with the
+    /// recent dt trace and the phase snapshot at the failure instant.
+    fn blow_up(&self, species: Option<String>, step: u64) -> Error {
+        Error::BlowUp {
+            time: self.time,
+            species,
+            step,
+            last_dt: self.last_dt,
+            breadcrumb: self.telemetry.as_ref().map(|tel| {
+                Box::new(Breadcrumb {
+                    dt_trace: tel.dt_ring.to_vec(),
+                    phases: tel.reg.snapshot(),
+                })
+            }),
+        }
     }
 
     /// Advance until `self.time()` has increased by `duration` (the last
@@ -777,6 +865,8 @@ impl App {
                     self.time,
                     self.steps_taken,
                     false,
+                    &self.probe,
+                    self.telemetry_snapshot(),
                     &mut **obs,
                 )?;
             }
@@ -817,6 +907,8 @@ impl App {
                         self.time,
                         self.steps_taken,
                         false,
+                        &self.probe,
+                        self.telemetry_snapshot(),
                         &mut **obs,
                     )?;
                 }
@@ -832,11 +924,48 @@ impl App {
                     self.time,
                     self.steps_taken,
                     true,
+                    &self.probe,
+                    self.telemetry_snapshot(),
                     &mut **obs,
                 )?;
             }
         }
         Ok(())
+    }
+
+    /// Whether this App was built with telemetry collection enabled.
+    pub fn telemetry_enabled(&self) -> bool {
+        self.telemetry.is_some()
+    }
+
+    /// Merged phase/counter snapshot across every backend slot, or
+    /// `None` when telemetry is off.
+    pub fn telemetry_snapshot(&self) -> Option<Snapshot> {
+        self.telemetry.as_ref().map(|tel| tel.reg.snapshot())
+    }
+
+    /// End-of-run report under `name`, or `None` when telemetry is off.
+    pub fn telemetry_report(&self, name: &str) -> Option<RunReport> {
+        self.telemetry.as_ref().map(|tel| RunReport {
+            name: name.to_string(),
+            wall_s: tel.wall_ns as f64 * 1e-9,
+            steps: self.steps_taken as u64,
+            last_dt: self.last_dt,
+            dt_trace: tel.dt_ring.to_vec(),
+            nslots: tel.reg.nslots(),
+            snapshot: tel.reg.snapshot(),
+        })
+    }
+
+    /// Crash-safe `telemetry.json` write (no-op returning `Ok(false)`
+    /// when telemetry is off; `Ok(true)` after a successful write).
+    pub fn write_telemetry(&self, path: &std::path::Path, name: &str) -> Result<bool, Error> {
+        let Some(report) = self.telemetry_report(name) else {
+            return Ok(false);
+        };
+        let _span = self.probe.span(Phase::Io);
+        report.write_atomic(path)?;
+        Ok(true)
     }
 
     /// Conserved-quantity probe at the current time.
@@ -851,20 +980,25 @@ impl App {
 }
 
 /// Invoke one observer, wrapping foreign errors with its name.
+#[allow(clippy::too_many_arguments)]
 fn fire(
     system: &VlasovMaxwell,
     state: &SystemState,
     time: f64,
     steps: usize,
     at_end: bool,
+    probe: &Collector,
+    metrics: Option<Snapshot>,
     obs: &mut dyn Observer,
 ) -> Result<(), Error> {
+    let _span = probe.span(Phase::Observers);
     let frame = Frame {
         system,
         state,
         time,
         steps,
         at_end,
+        metrics,
     };
     obs.observe(&frame).map_err(|e| match e {
         Error::Io(io) => Error::Observer {

@@ -18,6 +18,10 @@
 //! `App`, and downstream crates can provide further engines (GPU, real
 //! MPI) without touching this crate.
 
+use std::sync::Arc;
+
+use dg_telemetry::Registry;
+
 use crate::blocks::BlockRhs;
 use crate::cfl::suggest_dt;
 use crate::error::Error;
@@ -52,6 +56,21 @@ pub trait Backend {
 
     /// Short human-readable tag ("serial", "rank-parallel").
     fn name(&self) -> &'static str;
+
+    /// Telemetry slots this backend writes: slot 0 is the orchestrating
+    /// thread; parallel backends claim one extra slot per concurrent
+    /// writer. Sizes the [`Registry`] handed to [`Backend::instrument`].
+    fn telemetry_slots(&self) -> usize {
+        1
+    }
+
+    /// Attach a telemetry registry, pointing every workspace probe at its
+    /// slot. Default: stay on the zero-cost `Noop` collector. Telemetry is
+    /// observational only — instrumented and uninstrumented runs must
+    /// produce bit-identical trajectories (`tests/telemetry.rs`).
+    fn instrument(&mut self, reg: &Arc<Registry>) {
+        let _ = reg;
+    }
 }
 
 /// Builds a [`Backend`] from an assembled system. Factories are plain
@@ -125,6 +144,12 @@ impl Backend for SerialBackend {
     fn name(&self) -> &'static str {
         "serial"
     }
+
+    fn instrument(&mut self, reg: &Arc<Registry>) {
+        let probe = reg.collector(0);
+        self.system.instrument(&probe);
+        self.stepper.ws.probe = probe;
+    }
 }
 
 /// Cell-block threaded execution engine (`Serial { threads: n > 1 }`):
@@ -184,5 +209,14 @@ impl Backend for ThreadedBackend {
 
     fn name(&self) -> &'static str {
         "serial"
+    }
+
+    fn telemetry_slots(&self) -> usize {
+        1 + self.block.blocks().len()
+    }
+
+    fn instrument(&mut self, reg: &Arc<Registry>) {
+        self.system.instrument(&reg.collector(0));
+        self.block.instrument(reg);
     }
 }

@@ -43,6 +43,8 @@ use dg_grid::slab::slab_ranges;
 use dg_grid::{CellStoreMut, DgField, DgFieldSlice, DimBc, PhaseGrid};
 use rayon::ThreadPool;
 
+use dg_telemetry::{Counter, Phase, Registry};
+
 use crate::lbo::LboScratch;
 use crate::system::{SystemState, VlasovMaxwell};
 use crate::vlasov::{VlasovOp, VlasovWorkspace, WallAccum};
@@ -154,30 +156,42 @@ pub fn block_species_rhs<S: CellStoreMut>(
             op.surface_config_wall(0, -1, bc0.lower, f, out, ws, rest);
         }
     }
-    // Shared face below this block (received side), except for the first
-    // block whose below-face is the wrap face (periodic topology only),
-    // handled last like the serial sweep does.
-    if block.start > 0 {
-        apply_dim0(block.start - 1, block.start, false, true, out, ws);
+    {
+        // One Surface span for the block's whole dim-0 face sweep
+        // (per-face spans would cost two clock reads each); the wall
+        // calls before/after keep their own `Phase::Ghosts` spans, so
+        // phases stay non-overlapping. Hoisting the upper-wall branch out
+        // of the scope is order-preserving: it is mutually exclusive with
+        // the wrap faces inside.
+        let _surface_span = ws.probe.span(Phase::Surface);
+        // Shared face below this block (received side), except for the
+        // first block whose below-face is the wrap face (periodic
+        // topology only), handled last like the serial sweep does.
+        if block.start > 0 {
+            apply_dim0(block.start - 1, block.start, false, true, out, ws);
+        }
+        // Interior faces of the block.
+        for i0 in block.start..block.end.saturating_sub(1) {
+            apply_dim0(i0, i0 + 1, true, true, out, ws);
+        }
+        // Face above the block (sending side) or, for the last block, the
+        // periodic wrap (write_lo); the first block then also receives
+        // the wrap.
+        if block.end < n0 {
+            apply_dim0(block.end - 1, block.end, true, false, out, ws);
+        } else if bc0.is_periodic() && n0 > 1 {
+            apply_dim0(n0 - 1, 0, true, false, out, ws);
+        }
+        if block.start == 0 && bc0.is_periodic() && n0 > 1 {
+            apply_dim0(n0 - 1, 0, false, true, out, ws);
+        }
     }
-    // Interior faces of the block.
-    for i0 in block.start..block.end.saturating_sub(1) {
-        apply_dim0(i0, i0 + 1, true, true, out, ws);
-    }
-    // Face above the block (sending side) or, for the last block, the
-    // periodic wrap (write_lo) / the upper wall; the first block then also
-    // receives the wrap.
-    if block.end < n0 {
-        apply_dim0(block.end - 1, block.end, true, false, out, ws);
-    } else if bc0.is_periodic() && n0 > 1 {
-        apply_dim0(n0 - 1, 0, true, false, out, ws);
-    } else if bc0.upper.is_wall() {
+    // The last block's upper domain edge, when it is a wall rather than
+    // the periodic wrap handled above.
+    if block.end == n0 && !(bc0.is_periodic() && n0 > 1) && bc0.upper.is_wall() {
         for rest in 0..stride0 {
             op.surface_config_wall(0, 1, bc0.upper, f, out, ws, (n0 - 1) * stride0 + rest);
         }
-    }
-    if block.start == 0 && bc0.is_periodic() && n0 > 1 {
-        apply_dim0(n0 - 1, 0, false, true, out, ws);
     }
 
     // Remaining configuration directions stay inside the block (wall faces
@@ -222,6 +236,9 @@ pub struct BlockRhs {
     lbo_ws: Vec<Mutex<LboScratch>>,
     /// Persistent block-ordered reduction target for the wall ledger.
     total: WallAccum,
+    /// Telemetry registry, kept so lazily-built LBO scratch (see
+    /// [`Self::ensure_lbo_scratch`]) is instrumented like the rest.
+    probe_reg: Option<std::sync::Arc<Registry>>,
 }
 
 impl BlockRhs {
@@ -245,9 +262,24 @@ impl BlockRhs {
             ws,
             lbo_ws: Vec::new(),
             total: WallAccum::for_cdim(system.grid.cdim()),
+            probe_reg: None,
         };
         this.ensure_lbo_scratch(system);
         this
+    }
+
+    /// Point block `b`'s workspaces at telemetry slot `1 + b` (slot 0 is
+    /// the orchestrating thread). Each block is swept by exactly one worker
+    /// per broadcast, so each slot keeps a single writer.
+    // dg-analyze: allow(hot_alloc) — collector handoff is cold (once per run)
+    pub fn instrument(&mut self, reg: &std::sync::Arc<Registry>) {
+        self.probe_reg = Some(std::sync::Arc::clone(reg));
+        for (b, ws) in self.ws.iter_mut().enumerate() {
+            ws.get_mut().unwrap().probe = reg.collector(1 + b);
+        }
+        for (b, lws) in self.lbo_ws.iter_mut().enumerate() {
+            lws.get_mut().unwrap().instrument(&reg.collector(1 + b));
+        }
     }
 
     /// The worker pool (shared with `dg-parallel`'s moment reduction).
@@ -272,6 +304,11 @@ impl BlockRhs {
             self.lbo_ws = (0..self.blocks.len())
                 .map(|_| Mutex::new(lbo.make_scratch()))
                 .collect();
+            if let Some(reg) = self.probe_reg.clone() {
+                for (b, lws) in self.lbo_ws.iter_mut().enumerate() {
+                    lws.get_mut().unwrap().instrument(&reg.collector(1 + b));
+                }
+            }
         }
     }
 
@@ -329,10 +366,14 @@ impl BlockRhs {
                 });
             }
             // Deterministic ledger reduction: ascending block order =
-            // lower-walls → interior → upper-walls.
-            self.total.reset();
-            for bws in &self.ws {
-                self.total.add(&bws.lock().unwrap().wall);
+            // lower-walls → interior → upper-walls. (Scoped span: ends
+            // before record_wall_rates, which times itself.)
+            {
+                let _ledger_span = system.probe.span(Phase::Ledger);
+                self.total.reset();
+                for bws in &self.ws {
+                    self.total.add(&bws.lock().unwrap().wall);
+                }
             }
             system.record_wall_rates(s, &self.total);
         }
@@ -341,6 +382,7 @@ impl BlockRhs {
     /// Full coupled RHS: threaded species sweep + the serial field/moment
     /// coupling of [`VlasovMaxwell::field_rhs`].
     pub fn rhs(&mut self, system: &mut VlasovMaxwell, state: &SystemState, out: &mut SystemState) {
+        system.probe.count(Counter::RhsEvals, 1);
         out.fill(0.0);
         self.species_rhs(system, state, out);
         system.field_rhs(state, out);

@@ -8,6 +8,8 @@
 
 use std::fmt;
 
+use dg_telemetry::Breadcrumb;
+
 /// Error type for the dg-core public API.
 #[derive(Debug)]
 pub enum Error {
@@ -24,6 +26,15 @@ pub enum Error {
         time: f64,
         /// Offending species, or `None` for the EM field.
         species: Option<String>,
+        /// Step index at which the blow-up was detected (0-based count of
+        /// completed steps when the failing step began).
+        step: u64,
+        /// Last accepted time step before the failure (0 when the very
+        /// first step blew up).
+        last_dt: f64,
+        /// Recent dt trace and phase snapshot when telemetry was enabled
+        /// (boxed: breadcrumbs are rare, `Result` stays small).
+        breadcrumb: Option<Box<Breadcrumb>>,
     },
     /// An IO failure (checkpoint, CSV series, slice output).
     Io(std::io::Error),
@@ -49,16 +60,27 @@ impl fmt::Display for Error {
             Error::BlowUp {
                 time,
                 species: Some(name),
+                step,
+                last_dt,
+                ..
             } => {
-                write!(f, "species {name:?} blew up (non-finite f) at t = {time}")
+                write!(
+                    f,
+                    "species {name:?} blew up (non-finite f) at t = {time} \
+                     (step {step}, last accepted dt = {last_dt})"
+                )
             }
             Error::BlowUp {
                 time,
                 species: None,
+                step,
+                last_dt,
+                ..
             } => {
                 write!(
                     f,
-                    "EM field blew up (non-finite coefficients) at t = {time}"
+                    "EM field blew up (non-finite coefficients) at t = {time} \
+                     (step {step}, last accepted dt = {last_dt})"
                 )
             }
             Error::Io(e) => write!(f, "io error: {e}"),
@@ -94,12 +116,22 @@ mod tests {
         let e = Error::BlowUp {
             time: 1.5,
             species: Some("elc".into()),
+            step: 42,
+            last_dt: 2.5e-3,
+            breadcrumb: None,
         };
         let msg = e.to_string();
         assert!(msg.contains("elc") && msg.contains("1.5"), "{msg}");
+        assert!(
+            msg.contains("step 42") && msg.contains("0.0025"),
+            "blow-up must carry the step index and last accepted dt: {msg}"
+        );
         assert!(Error::BlowUp {
             time: 0.25,
-            species: None
+            species: None,
+            step: 0,
+            last_dt: 0.0,
+            breadcrumb: None,
         }
         .to_string()
         .contains("EM field"));

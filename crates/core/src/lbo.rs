@@ -33,6 +33,7 @@ use dg_kernels::triple::{build_triple, DimTable, SparseTriple, TripleSpec};
 use dg_kernels::weak::WeakDivScratch;
 use dg_kernels::PhaseKernels;
 use dg_poly::MAX_DIM;
+use dg_telemetry::{span, Collector, Phase};
 use std::sync::Arc;
 
 use crate::moments::MomentScratch;
@@ -119,6 +120,9 @@ pub struct LboScratch {
     fs: FaceScratch,
     vidx: Vec<usize>,
     mom: MomentScratch,
+    /// Telemetry writer for this scratch's thread (noop unless the
+    /// backend instruments the run).
+    pub probe: Collector,
 }
 
 impl LboScratch {
@@ -149,7 +153,16 @@ impl LboScratch {
             // The moment path follows the operator's dispatch knob, so a
             // forced-`Generated` LBO also takes the generated moment path.
             mom: MomentScratch::with_dispatch(kernels, dispatch),
+            probe: Collector::Noop,
         }
+    }
+
+    /// Point this scratch's telemetry (including its embedded moment
+    /// scratch) at `collector` — called once by backend instrumentation.
+    // dg-analyze: allow(hot_alloc) — collector handoff is cold (once per run); clones bump an Arc refcount
+    pub fn instrument(&mut self, collector: &Collector) {
+        self.probe = collector.clone();
+        self.mom.probe = collector.clone();
     }
 }
 
@@ -303,6 +316,15 @@ impl LboOp {
         LboScratch::new(&self.kernels, &self.grid, self.dispatch)
     }
 
+    /// Point the persistent serial scratch's telemetry at `collector` —
+    /// called once by backend instrumentation (parallel backends
+    /// instrument their per-block scratches instead).
+    pub fn instrument_scratch(&mut self, collector: &Collector) {
+        if let Some(ws) = self.scratch.as_mut() {
+            ws.instrument(collector);
+        }
+    }
+
     /// Compute primitive moments `(u_j, vth²)` into the scratch fields for
     /// configuration cells in `conf_range`, allocation-free.
     fn primitive_moments_range(
@@ -343,6 +365,9 @@ impl LboOp {
             conf_range.clone(), // dg-analyze: allow(hot_alloc) — Range<usize> clone is a two-word copy, no heap
         );
 
+        // The weak divisions below are part of the moment stage (the
+        // range_into calls above time themselves through `ws.mom.probe`).
+        span!(ws.probe, Phase::Moments);
         for c in conf_range {
             for j in 0..vdim {
                 k.weak.divide_with(
@@ -413,6 +438,7 @@ impl LboOp {
             ghat,
             fs,
             vidx,
+            probe,
             ..
         } = ws;
         let (u, vth2) = (&*u, &*vth2);
@@ -437,6 +463,7 @@ impl LboOp {
             let c0f = expand::const_coeff(&surf.kernel.face.basis);
 
             // ---- Drag: volume + LF surface fluxes ----
+            let drag_span = probe.span(Phase::LboDrag);
             if let Some(e) = gen {
                 // dg-analyze: allow(hot_alloc) — Range<usize> clone is a two-word copy, no heap
                 for clin in conf_range.clone() {
@@ -517,6 +544,10 @@ impl LboOp {
             }
 
             // ---- Diffusion, LDG pass 1: g = ∂f/∂v_j, trace from above ----
+            drop(drag_span);
+            // Covers both LDG passes; dropped at the end of this `j`
+            // iteration (including via the generated path's `continue`).
+            let _diff_span = probe.span(Phase::LboDiff);
             g.as_mut_slice()[conf_range.start * nv * np..conf_range.end * nv * np].fill(0.0);
             if let Some(e) = gen {
                 // dg-analyze: allow(hot_alloc) — Range<usize> clone is a two-word copy, no heap

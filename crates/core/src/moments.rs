@@ -11,6 +11,7 @@
 use dg_grid::{CellStoreMut, DgField, PhaseGrid};
 use dg_kernels::dispatch::{DispatchPath, KernelDispatch, ResolvedMoments};
 use dg_kernels::PhaseKernels;
+use dg_telemetry::{span, Collector, Phase};
 
 /// Scratch for moment reductions (velocity indices and centers), carrying
 /// the moment-kernel path resolved once at construction. `Default` is the
@@ -23,6 +24,9 @@ pub struct MomentScratch {
     vidx: Vec<usize>,
     vc: Vec<f64>,
     path: ResolvedMoments,
+    /// Telemetry writer for this scratch's thread (noop unless the
+    /// backend instruments the run).
+    pub probe: Collector,
 }
 
 impl MomentScratch {
@@ -81,6 +85,7 @@ pub fn accumulate_current<S: CellStoreMut>(
     let nc = kernels.nc();
     let nv = grid.vel.len();
     let jv = grid.vel_jacobian();
+    span!(ws.probe, Phase::FieldCoupling);
     ws.vidx.resize(vdim, 0);
     // Branch on the resolved path once per call, not per cell.
     match ws.path {
@@ -172,6 +177,7 @@ pub fn number_density_range_into(
 ) {
     let nv = grid.vel.len();
     let jv = grid.vel_jacobian();
+    span!(ws.probe, Phase::Moments);
     match ws.path {
         ResolvedMoments::Generated(e) => {
             for clin in conf_range {
@@ -240,6 +246,7 @@ pub fn momentum_density_range_into(
 ) {
     let nv = grid.vel.len();
     let jv = grid.vel_jacobian();
+    span!(ws.probe, Phase::Moments);
     ws.vidx.resize(grid.vdim(), 0);
     match ws.path {
         ResolvedMoments::Generated(e) => {
@@ -316,6 +323,7 @@ pub fn energy_density_range_into(
     let nv = grid.vel.len();
     let jv = grid.vel_jacobian();
     let vdim = grid.vdim();
+    span!(ws.probe, Phase::Moments);
     ws.vidx.resize(vdim, 0);
     ws.vc.resize(vdim, 0.0);
     match ws.path {

@@ -28,6 +28,7 @@
 use crate::diagnostics::{probe, ConservedQuantities};
 use crate::error::Error;
 use crate::system::{SystemState, VlasovMaxwell};
+use dg_telemetry::Snapshot;
 
 /// When an [`Observer`] wants to be called.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -54,6 +55,11 @@ pub struct Frame<'a> {
     pub steps: usize,
     /// True only for the final `AtEnd` firing of a run.
     pub at_end: bool,
+    /// Cumulative telemetry snapshot (all slots merged), present when the
+    /// `App` runs with telemetry enabled. Observers wanting per-interval
+    /// costs diff successive snapshots ([`Snapshot::delta`]) — see
+    /// `dg_diag::MetricsObserver`.
+    pub metrics: Option<Snapshot>,
 }
 
 impl Frame<'_> {

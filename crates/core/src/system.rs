@@ -14,6 +14,7 @@ use crate::vlasov::{VlasovOp, VlasovWorkspace, WallAccum};
 use dg_grid::{Bc, DgField, DimBc, PhaseGrid};
 use dg_kernels::{KernelDispatch, PhaseKernels};
 use dg_maxwell::MaxwellDg;
+use dg_telemetry::{span, Collector, Counter, Phase};
 use std::sync::Arc;
 
 pub use crate::vlasov::FluxKind;
@@ -133,6 +134,10 @@ pub struct VlasovMaxwell {
     /// Moment-reduction scratch, persistent so steady-state RHS evaluation
     /// allocates nothing.
     scratch_mom: MomentScratch,
+    /// System-level telemetry writer (main thread, slot 0): RHS-eval
+    /// counts and the wall-ledger phase. Noop unless the backend
+    /// instruments the run.
+    pub probe: Collector,
 }
 
 impl VlasovMaxwell {
@@ -179,6 +184,21 @@ impl VlasovMaxwell {
             scratch_j: DgField::zeros(nconf, 3 * nc),
             scratch_rho: DgField::zeros(nconf, nc),
             scratch_mom,
+            probe: Collector::Noop,
+        }
+    }
+
+    /// Point the system's main-thread telemetry (system probe, moment
+    /// scratch, Maxwell operator, serial LBO scratches) at `collector` —
+    /// called once by backend instrumentation. Parallel backends
+    /// additionally instrument their per-block workspaces with their own
+    /// slots.
+    pub fn instrument(&mut self, collector: &Collector) {
+        self.probe = collector.clone();
+        self.scratch_mom.probe = collector.clone();
+        self.maxwell.instrument(collector);
+        for lbo in self.collisions.iter_mut().flatten() {
+            lbo.instrument_scratch(collector);
         }
     }
 
@@ -303,6 +323,7 @@ impl VlasovMaxwell {
     /// weight `w` (the steppers call this once per RK stage with
     /// `stage weight × dt`).
     pub fn integrate_wall_ledger(&mut self, w: f64) {
+        span!(self.probe, Phase::Ledger);
         for (tot, rate) in self.wall_totals.iter_mut().zip(&self.wall_rates) {
             tot.axpy(w, rate);
         }
@@ -319,6 +340,7 @@ impl VlasovMaxwell {
     /// wall rates — the hook execution engines (`dg-parallel`) use after
     /// reducing their per-rank partial sums.
     pub fn record_wall_rates(&mut self, species: usize, accum: &WallAccum) {
+        span!(self.probe, Phase::Ledger);
         let half_m = 0.5 * self.species[species].mass;
         let rates = &mut self.wall_rates[species];
         for (d, (mr, er)) in rates
@@ -357,6 +379,7 @@ impl VlasovMaxwell {
 
     /// Evaluate the full coupled RHS at `state` into `out` (zeroed here).
     pub fn rhs(&mut self, state: &SystemState, out: &mut SystemState, ws: &mut VlasovWorkspace) {
+        self.probe.count(Counter::RhsEvals, 1);
         out.fill(0.0);
         // Kinetic updates (per-species BCs; the sweep fills the workspace
         // wall ledger, harvested right after).

@@ -47,6 +47,7 @@ use dg_kernels::surface::FaceScratch;
 use dg_kernels::PhaseKernels;
 use dg_maxwell::NCOMP;
 use dg_poly::MAX_DIM;
+use dg_telemetry::{span, Collector, Counter, Phase};
 use std::ops::Range;
 use std::sync::Arc;
 
@@ -163,6 +164,9 @@ pub struct VlasovWorkspace {
     /// sweep; reset by [`VlasovOp::accumulate_rhs_bc`] (or manually when
     /// driving the sweep methods directly, as `dg-parallel` does).
     pub wall: WallAccum,
+    /// Telemetry writer for this workspace's thread (noop unless the
+    /// backend instruments the run; see `dg_telemetry`).
+    pub probe: Collector,
 }
 
 impl VlasovWorkspace {
@@ -184,6 +188,7 @@ impl VlasovWorkspace {
             panel_f2: vec![CellLanes::default(); k.np()],
             panel_out2: vec![CellLanes::default(); k.np()],
             wall: WallAccum::for_cdim(k.layout.cdim),
+            probe: Collector::Noop,
         }
     }
 }
@@ -415,6 +420,10 @@ impl VlasovOp {
         let (cdim, vdim) = (k.layout.cdim, k.layout.vdim);
         let ndim = cdim + vdim;
         let nv = self.grid.vel.len();
+        span!(ws.probe, Phase::Volume);
+        let swept = (conf_range.len() * nv) as u64;
+        ws.probe.count(Counter::CellsSwept, swept);
+        ws.probe.count(Counter::DofProcessed, swept * k.np() as u64);
         match self.volume_path {
             ResolvedVolume::Generated(entry) => {
                 // Committed unrolled kernel. Runs of LANES velocity cells
@@ -536,6 +545,12 @@ impl VlasovOp {
         write_lo: bool,
         write_hi: bool,
     ) {
+        // Telemetry: the *caller's sweep* owns the `Phase::Surface` span
+        // (one per face would cost two clock reads per face); only the
+        // cheap face counter is bumped here, so counts stay exact no
+        // matter which sweep drives the face.
+        ws.probe
+            .count(Counter::FacesSwept, self.grid.vel.len() as u64);
         match self.surface_paths[d] {
             ResolvedSurfaceDir::Generated { func, batch } => {
                 self.surface_config_face_gen(func, batch, f, out, ws, clo, chi, write_lo, write_hi)
@@ -846,6 +861,8 @@ impl VlasovOp {
         let (cdim, vdim) = (k.layout.cdim, k.layout.vdim);
         let ndim = cdim + vdim;
         let nv = self.grid.vel.len();
+        span!(ws.probe, Phase::Ghosts);
+        ws.probe.count(Counter::FacesSwept, nv as u64);
         let np = k.np();
         let nc = k.nc();
         let jv = self.grid.vel_jacobian();
@@ -970,12 +987,18 @@ impl VlasovOp {
             }
         }
         let nbrs = &self.conf_nbr[d];
-        // dg-analyze: allow(hot_alloc) — Range<usize> clone is a two-word copy, no heap
-        for clin in conf_range.clone() {
-            let Some(nlin) = nbrs[clin] else {
-                continue;
-            };
-            self.surface_config_face(d, f, out, ws, clin, nlin as usize, true, true);
+        {
+            // One Surface span for the whole interior-face sweep; wall
+            // faces stay outside under their own `Phase::Ghosts` spans so
+            // the phase taxonomy remains non-overlapping.
+            span!(ws.probe, Phase::Surface);
+            // dg-analyze: allow(hot_alloc) — Range<usize> clone is a two-word copy, no heap
+            for clin in conf_range.clone() {
+                let Some(nlin) = nbrs[clin] else {
+                    continue;
+                };
+                self.surface_config_face(d, f, out, ws, clin, nlin as usize, true, true);
+            }
         }
         if bc.upper.is_wall() {
             for &clin in &self.wall_hi[d] {
@@ -1005,6 +1028,16 @@ impl VlasovOp {
         let vdx = self.grid.vel.dx();
         let central = self.flux == FluxKind::Central;
         let penalty = !central;
+        span!(ws.probe, Phase::Surface);
+        let mut faces_per_conf = 0u64;
+        for j in 0..vdim {
+            let n_j = self.grid.vel.cells()[j];
+            faces_per_conf += (nv / n_j * (n_j - 1)) as u64;
+        }
+        ws.probe.count(
+            Counter::FacesSwept,
+            conf_range.len() as u64 * faces_per_conf,
+        );
         for clin in conf_range {
             let em_cell = em.cell(clin);
             for j in 0..vdim {

@@ -33,6 +33,7 @@ pub mod csv;
 pub mod fit;
 pub mod fpc;
 pub mod history;
+pub mod metrics;
 pub mod slices;
 pub mod snapshot;
 pub mod util;
@@ -40,6 +41,7 @@ pub mod walls;
 
 pub use csv::CsvSeries;
 pub use history::EnergyHistory;
+pub use metrics::MetricsObserver;
 pub use slices::SliceSeries;
 pub use snapshot::Checkpoint;
 pub use util::{env_f64, env_usize};

@@ -1,0 +1,167 @@
+//! Streaming per-phase telemetry series for `App::run`.
+//!
+//! [`MetricsObserver`] turns the cumulative [`Snapshot`] the run driver
+//! attaches to each [`Frame`] into a per-interval CSV: one row per
+//! firing with the seconds spent in every [`Phase`] and the work
+//! counters advanced since the previous firing. Pair it with the
+//! energy-history observers to see *where* a growth phase or a
+//! collision-dominated interval spends its time — the per-phase cost
+//! table in EXPERIMENTS.md is produced this way.
+//!
+//! The observer is inert (writes nothing) when the `App` runs without
+//! telemetry; enable collection with `AppBuilder::telemetry(true)` or
+//! `DG_TELEMETRY=1`.
+
+use crate::csv::CsvWriter;
+use dg_core::observer::{Frame, Observer, Trigger};
+use dg_telemetry::{Counter, Phase, Snapshot};
+use std::path::Path;
+
+/// Trigger-scheduled per-phase cost series: columns `t`, `steps`, one
+/// `<phase>_s` seconds column per phase, then the raw counters — every
+/// value the *delta* since the previous firing.
+pub struct MetricsObserver {
+    w: CsvWriter,
+    trigger: Trigger,
+    prev: Snapshot,
+    rows_written: usize,
+}
+
+impl MetricsObserver {
+    /// Open `path`, write the header, and schedule on `trigger`.
+    pub fn create(path: impl AsRef<Path>, trigger: Trigger) -> std::io::Result<Self> {
+        let mut header = vec!["t", "steps"];
+        for p in Phase::ALL {
+            header.push(phase_col(p));
+        }
+        for c in Counter::ALL {
+            header.push(c.name());
+        }
+        Ok(MetricsObserver {
+            w: CsvWriter::create(path, &header)?,
+            trigger,
+            prev: Snapshot::default(),
+            rows_written: 0,
+        })
+    }
+
+    /// Rows written so far (excluding the header).
+    pub fn rows_written(&self) -> usize {
+        self.rows_written
+    }
+
+    /// Flush and close.
+    pub fn finish(self) -> std::io::Result<()> {
+        self.w.finish()
+    }
+}
+
+/// Static `<phase>_s` column label for one phase.
+fn phase_col(p: Phase) -> &'static str {
+    match p {
+        Phase::Volume => "volume_s",
+        Phase::Surface => "surface_s",
+        Phase::LboDrag => "lbo_drag_s",
+        Phase::LboDiff => "lbo_diff_s",
+        Phase::Moments => "moments_s",
+        Phase::MaxwellRhs => "maxwell_rhs_s",
+        Phase::FieldCoupling => "field_coupling_s",
+        Phase::Ghosts => "ghosts_s",
+        Phase::Ledger => "ledger_s",
+        Phase::StepControl => "step_control_s",
+        Phase::Observers => "observers_s",
+        Phase::Io => "io_s",
+    }
+}
+
+impl Observer for MetricsObserver {
+    fn trigger(&self) -> Trigger {
+        self.trigger
+    }
+
+    fn observe(&mut self, frame: &Frame<'_>) -> Result<(), dg_core::Error> {
+        // Inert without telemetry: the run is bit-identical either way,
+        // the series is simply empty.
+        let Some(cur) = frame.metrics else {
+            return Ok(());
+        };
+        let delta = cur.delta(&self.prev);
+        self.prev = cur;
+        let mut row = Vec::with_capacity(2 + dg_telemetry::NPHASES + dg_telemetry::NCOUNTERS);
+        row.push(frame.time);
+        row.push(frame.steps as f64);
+        for p in Phase::ALL {
+            row.push(delta.phase_ns(p) as f64 * 1e-9);
+        }
+        for c in Counter::ALL {
+            row.push(delta.counter(c) as f64);
+        }
+        self.w.row(&row)?;
+        self.w.flush()?;
+        self.rows_written += 1;
+        Ok(())
+    }
+
+    fn name(&self) -> &str {
+        "metrics"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dg_basis::BasisKind;
+    use dg_core::app::{AppBuilder, FieldSpec, SpeciesSpec};
+    use dg_core::species::maxwellian;
+
+    fn app(telemetry: bool) -> dg_core::app::App {
+        AppBuilder::new()
+            .conf_grid(&[0.0], &[1.0], &[2])
+            .poly_order(1)
+            .basis(BasisKind::Serendipity)
+            .species(
+                SpeciesSpec::new("e", -1.0, 1.0, &[-4.0], &[4.0], &[4])
+                    .initial(|_x, v| maxwellian(1.0, &[0.0], 1.0, v)),
+            )
+            .field(FieldSpec::new(1.0))
+            .telemetry(telemetry)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn streams_interval_rows_when_telemetry_is_on() {
+        let dir = std::env::temp_dir().join("dg_diag_metrics_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("metrics.csv");
+        let mut app = app(true);
+        app.set_fixed_dt(2e-3);
+        let mut obs = MetricsObserver::create(&path, Trigger::EverySteps(2)).unwrap();
+        app.run(0.01, &mut [&mut obs]).unwrap();
+        assert!(obs.rows_written() >= 2);
+        obs.finish().unwrap();
+        let body = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = body.lines().collect();
+        assert!(lines[0].starts_with("t,steps,volume_s,"));
+        assert!(lines[0].ends_with("retries"));
+        // Interval deltas: summed volume calls across rows must match the
+        // cumulative snapshot (3 RK stages per step, one volume sweep each).
+        let vol_col = lines[0].split(',').position(|c| c == "volume_s").unwrap();
+        let any_positive = lines[1..]
+            .iter()
+            .any(|l| l.split(',').nth(vol_col).unwrap().parse::<f64>().unwrap() > 0.0);
+        assert!(any_positive, "no volume time recorded:\n{body}");
+    }
+
+    #[test]
+    fn inert_without_telemetry() {
+        let dir = std::env::temp_dir().join("dg_diag_metrics_off");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("metrics.csv");
+        let mut app = app(false);
+        app.set_fixed_dt(2e-3);
+        let mut obs = MetricsObserver::create(&path, Trigger::EverySteps(1)).unwrap();
+        app.run(0.004, &mut [&mut obs]).unwrap();
+        assert_eq!(obs.rows_written(), 0);
+    }
+}

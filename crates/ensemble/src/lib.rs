@@ -11,9 +11,10 @@
 //! The contract that makes ensembles trustworthy for science:
 //!
 //! - **Determinism.** Job results and the report are bit-identical at
-//!   any worker count; completion order never leaks (records carry no
-//!   wall-clock or worker identity, and collection happens in
-//!   submission order on the main thread).
+//!   any worker count; completion order never leaks (wall-clock data is
+//!   quarantined in [`JobTiming`]/[`SchedulerStats`] and kept out of
+//!   `report.csv`, and collection happens in submission order on the
+//!   main thread).
 //! - **Resumability.** With an output directory configured, jobs
 //!   checkpoint on a step cadence; a killed sweep re-`run` picks up
 //!   finished jobs from persisted summaries and unfinished ones from
@@ -78,7 +79,7 @@ mod runner;
 pub mod scheduler;
 pub mod spec;
 
-pub use report::{EnsembleReport, JobRecord, JobStatus};
+pub use report::{EnsembleReport, JobRecord, JobStatus, JobTiming, SchedulerStats};
 pub use scheduler::{
     CancelToken, Ensemble, EnsembleConfig, JobOutputs, JobState, ProbeFn, SummarizeFn,
 };

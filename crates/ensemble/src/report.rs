@@ -43,9 +43,26 @@ impl JobStatus {
     }
 }
 
-/// One job's result record. Contains no wall-clock or worker identity on
-/// purpose: every field is a deterministic function of the spec, so
-/// records are bit-comparable across worker counts and resumes.
+/// Wall-clock timing of one job on its worker. Kept out of
+/// [`EnsembleReport::to_csv_string`] (`report.csv` stays bit-comparable
+/// across worker counts and resumes); persisted to the job's own
+/// `summary.csv` and surfaced here for live inspection.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct JobTiming {
+    /// Seconds between `Ensemble::run` starting and this job's dequeue.
+    pub queue_wait_s: f64,
+    /// Seconds the job spent on its worker (all attempts, resume
+    /// restores the originally persisted value instead of re-running).
+    pub run_s: f64,
+    /// Attempts consumed (`1 + retries`); 0 when the job never started
+    /// (cancelled while queued).
+    pub attempts: usize,
+}
+
+/// One job's result record. The deterministic fields (`steps`, `time`,
+/// `retries`, `summary`) are bit-comparable across worker counts and
+/// resumes and are what `report.csv` renders; wall-clock scheduling data
+/// is quarantined in [`JobTiming`].
 #[derive(Debug)]
 pub struct JobRecord {
     /// Submission index (position in the report, stable across runs).
@@ -62,6 +79,25 @@ pub struct JobRecord {
     pub retries: usize,
     /// The configured summary columns (empty unless `Done`).
     pub summary: Vec<f64>,
+    /// Wall-clock queue-wait/run durations (never in `report.csv`).
+    pub timing: JobTiming,
+}
+
+/// Wall-clock scheduling statistics of one `Ensemble::run`. Like
+/// [`JobTiming`], never part of `report.csv`.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct SchedulerStats {
+    /// Wall-clock seconds of the whole `run` call.
+    pub wall_s: f64,
+    /// Worker threads the run was configured with.
+    pub workers: usize,
+    /// Peak queue depth. The queue is fully populated before workers
+    /// start, so this is the submission count; it is tracked as a
+    /// high-water mark so streaming submission keeps the field honest.
+    pub queue_depth_hwm: usize,
+    /// Σ per-job run seconds / (workers × wall seconds): 1.0 means the
+    /// pool was packed for the whole run.
+    pub utilization: f64,
 }
 
 /// The aggregate result of one `Ensemble::run`, jobs in submission order.
@@ -70,6 +106,8 @@ pub struct EnsembleReport {
     /// Names of the per-job summary columns.
     pub columns: Vec<String>,
     pub jobs: Vec<JobRecord>,
+    /// Wall-clock scheduling statistics (excluded from `report.csv`).
+    pub stats: SchedulerStats,
 }
 
 impl EnsembleReport {
@@ -180,6 +218,7 @@ mod tests {
             time: 1.5,
             retries: 0,
             summary,
+            timing: JobTiming::default(),
         }
     }
 
@@ -193,6 +232,7 @@ mod tests {
                 record(2, JobStatus::Done, vec![-0.25]),
                 record(3, JobStatus::Cancelled, vec![]),
             ],
+            stats: SchedulerStats::default(),
         };
         assert_eq!(report.counts(), (2, 1, 1));
         assert_eq!(report.column("gamma").unwrap(), vec![-0.15, -0.25]);

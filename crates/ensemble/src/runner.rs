@@ -31,39 +31,77 @@
 //! `dt_factor^attempt`. Any other error — and a blow-up at the budget —
 //! is terminal `Failed`.
 
-use crate::report::{write_atomic, JobRecord, JobStatus};
+use crate::report::{write_atomic, JobRecord, JobStatus, JobTiming};
 use crate::scheduler::{CancelToken, EnsembleConfig, JobOutputs};
 use crate::spec::JobSpec;
 use dg_core::error::Error;
 use dg_core::observer::{observe, Frame, Observer, Trigger};
 use dg_diag::csv::CsvWriter;
 use dg_diag::snapshot::{self, Checkpoint};
+use dg_telemetry::{now_ns, Counter};
 use std::path::Path;
 
 pub(crate) const SERIES_FILE: &str = "series.csv";
 pub(crate) const SUMMARY_FILE: &str = "summary.csv";
 pub(crate) const ATTEMPT_FILE: &str = "attempt";
 pub(crate) const CKPT_STEM: &str = "ckpt";
+pub(crate) const TELEMETRY_FILE: &str = "telemetry.json";
 const SERIES_HEADER: [&str; 3] = ["t", "field_energy", "particle_energy"];
 
 /// Drive one job to a terminal state. Never panics on job failure —
 /// every error becomes a `Failed` record so sibling jobs keep running.
+/// `queue_wait_s` is how long the job sat queued before its worker
+/// dequeued it (measured by the scheduler).
 pub(crate) fn run_job(
     cfg: &EnsembleConfig,
     spec: &JobSpec,
     id: usize,
     token: &CancelToken,
+    queue_wait_s: f64,
 ) -> JobRecord {
-    let (status, steps, time, retries, summary) = match drive(cfg, spec, token) {
-        Outcome::Done(d) => (JobStatus::Done, d.steps, d.time, d.retries, d.summary),
+    let t0 = now_ns();
+    let outcome = drive(cfg, spec, token, queue_wait_s, t0);
+    let run_s = now_ns().saturating_sub(t0) as f64 * 1e-9;
+    let (status, steps, time, retries, summary, timing) = match outcome {
+        // A job loaded from its persisted summary keeps the timing of the
+        // run that actually produced it; a freshly finished one was
+        // stamped by `run_attempt` just before `write_summary`.
+        Outcome::Done(d) => (
+            JobStatus::Done,
+            d.steps,
+            d.time,
+            d.retries,
+            d.summary,
+            d.timing,
+        ),
         Outcome::Cancelled {
             steps,
             time,
             retries,
-        } => (JobStatus::Cancelled, steps, time, retries, Vec::new()),
-        Outcome::Failed { error, retries } => {
-            (JobStatus::Failed(error), 0, 0.0, retries, Vec::new())
-        }
+        } => (
+            JobStatus::Cancelled,
+            steps,
+            time,
+            retries,
+            Vec::new(),
+            JobTiming {
+                queue_wait_s,
+                run_s,
+                attempts: retries + 1,
+            },
+        ),
+        Outcome::Failed { error, retries } => (
+            JobStatus::Failed(error),
+            0,
+            0.0,
+            retries,
+            Vec::new(),
+            JobTiming {
+                queue_wait_s,
+                run_s,
+                attempts: retries + 1,
+            },
+        ),
     };
     JobRecord {
         id,
@@ -74,6 +112,7 @@ pub(crate) fn run_job(
         time,
         retries,
         summary,
+        timing,
     }
 }
 
@@ -91,15 +130,24 @@ enum Outcome {
 }
 
 /// What `summary.csv` persists (everything a `Done` record needs beyond
-/// the spec itself).
+/// the spec itself). The timing columns are wall-clock and therefore the
+/// only part of the file that is *not* bit-comparable across runs; the
+/// bit-exactness tests compare the deterministic columns.
 struct DoneSummary {
     steps: usize,
     time: f64,
     retries: usize,
     summary: Vec<f64>,
+    timing: JobTiming,
 }
 
-fn drive(cfg: &EnsembleConfig, spec: &JobSpec, token: &CancelToken) -> Outcome {
+fn drive(
+    cfg: &EnsembleConfig,
+    spec: &JobSpec,
+    token: &CancelToken,
+    queue_wait_s: f64,
+    t0: u64,
+) -> Outcome {
     let job_dir = cfg.out_dir.as_ref().map(|d| d.join(spec.name()));
     if let Some(dir) = &job_dir {
         if let Some(done) = read_summary(dir, &cfg.columns) {
@@ -132,7 +180,15 @@ fn drive(cfg: &EnsembleConfig, spec: &JobSpec, token: &CancelToken) -> Outcome {
                 };
             }
         }
-        match run_attempt(cfg, spec, attempt, job_dir.as_deref(), token) {
+        match run_attempt(
+            cfg,
+            spec,
+            attempt,
+            job_dir.as_deref(),
+            token,
+            queue_wait_s,
+            t0,
+        ) {
             Ok(done) => return Outcome::Done(done),
             Err(Halt::Cancelled { steps, time }) => {
                 return Outcome::Cancelled {
@@ -182,8 +238,18 @@ fn run_attempt(
     attempt: usize,
     job_dir: Option<&Path>,
     token: &CancelToken,
+    queue_wait_s: f64,
+    t0: u64,
 ) -> Result<DoneSummary, Halt> {
     let mut app = spec.build_app(attempt).map_err(Halt::Error)?;
+    if attempt > 0 {
+        // Each attempt builds a fresh registry, so seed the cumulative
+        // retry history into this one: `attempt` prior attempts blew up
+        // and each rebuild rejected the previous stepping scale.
+        let probe = &app.system().probe;
+        probe.count(Counter::Retries, attempt as u64);
+        probe.count(Counter::DtRejections, attempt as u64);
+    }
     let mut series = SampleSeries::new(cfg.sample_every, spec.end_time());
     if let Some(dir) = job_dir {
         let series_path = dir.join(SERIES_FILE);
@@ -237,6 +303,12 @@ fn run_attempt(
         obs.push(&mut cancel);
         app.run(spec.end_time(), &mut obs)
     };
+    // Persist the per-job run report whether the attempt finished, blew
+    // up, or was cancelled (best-effort: a telemetry IO hiccup must not
+    // fail an otherwise healthy job). A no-op when telemetry is off.
+    if let Some(dir) = job_dir {
+        let _ = app.write_telemetry(&dir.join(TELEMETRY_FILE), spec.name());
+    }
     match run_result {
         Ok(()) => {}
         Err(Error::Cancelled) => {
@@ -274,6 +346,11 @@ fn run_attempt(
         time: app.time(),
         retries: attempt,
         summary,
+        timing: JobTiming {
+            queue_wait_s,
+            run_s: now_ns().saturating_sub(t0) as f64 * 1e-9,
+            attempts: attempt + 1,
+        },
     };
     if let Some(dir) = job_dir {
         write_summary(dir, &cfg.columns, &done)?;
@@ -407,16 +484,27 @@ fn wipe_attempt_artifacts(dir: &Path) -> std::io::Result<()> {
     Ok(())
 }
 
+/// Fixed summary columns before the configured summarize columns. The
+/// first three are deterministic; `queue_wait_s`/`run_s` are wall-clock
+/// (the bit-exactness tests mask them), `attempts` is deterministic
+/// again (`1 + retries`).
+const SUMMARY_PREFIX: &str = "steps,time,retries,queue_wait_s,run_s,attempts";
+
 fn write_summary(dir: &Path, columns: &[String], done: &DoneSummary) -> std::io::Result<()> {
-    let mut out = String::from("steps,time,retries");
+    let mut out = String::from(SUMMARY_PREFIX);
     for c in columns {
         out.push(',');
         out.push_str(c);
     }
     out.push('\n');
     out.push_str(&format!(
-        "{},{:.17e},{}",
-        done.steps, done.time, done.retries
+        "{},{:.17e},{},{:.17e},{:.17e},{}",
+        done.steps,
+        done.time,
+        done.retries,
+        done.timing.queue_wait_s,
+        done.timing.run_s,
+        done.timing.attempts
     ));
     for v in &done.summary {
         out.push_str(&format!(",{v:.17e}"));
@@ -427,13 +515,14 @@ fn write_summary(dir: &Path, columns: &[String], done: &DoneSummary) -> std::io:
 
 /// Load a persisted summary. `None` means "not done": missing file, or
 /// a header that no longer matches the configured columns (the job is
-/// then recomputed rather than half-trusted). `{:.17e}` rows round-trip
+/// then recomputed rather than half-trusted — pre-timing summaries from
+/// older layouts invalidate the same way). `{:.17e}` rows round-trip
 /// `f64` exactly, so a loaded record is bit-identical to the computed
 /// one.
 fn read_summary(dir: &Path, columns: &[String]) -> Option<DoneSummary> {
     let body = std::fs::read_to_string(dir.join(SUMMARY_FILE)).ok()?;
     let mut lines = body.lines();
-    let mut expect = String::from("steps,time,retries");
+    let mut expect = String::from(SUMMARY_PREFIX);
     for c in columns {
         expect.push(',');
         expect.push_str(c);
@@ -446,6 +535,9 @@ fn read_summary(dir: &Path, columns: &[String]) -> Option<DoneSummary> {
     let steps = it.next()?.trim().parse().ok()?;
     let time = it.next()?.trim().parse().ok()?;
     let retries = it.next()?.trim().parse().ok()?;
+    let queue_wait_s = it.next()?.trim().parse().ok()?;
+    let run_s = it.next()?.trim().parse().ok()?;
+    let attempts = it.next()?.trim().parse().ok()?;
     let summary = it
         .map(|s| s.trim().parse().ok())
         .collect::<Option<Vec<f64>>>()?;
@@ -454,6 +546,11 @@ fn read_summary(dir: &Path, columns: &[String]) -> Option<DoneSummary> {
         time,
         retries,
         summary,
+        timing: JobTiming {
+            queue_wait_s,
+            run_s,
+            attempts,
+        },
     })
 }
 
@@ -477,12 +574,23 @@ mod tests {
             time: 0.1 + 0.2, // deliberately not exactly 0.3
             retries: 2,
             summary: vec![-0.153_f64.exp().ln(), 3.0e-300],
+            timing: JobTiming {
+                queue_wait_s: 0.25,
+                run_s: 1.0 / 3.0,
+                attempts: 3,
+            },
         };
         write_summary(&dir, &columns, &done).unwrap();
         let back = read_summary(&dir, &columns).unwrap();
         assert_eq!(back.steps, 12345);
         assert_eq!(back.time.to_bits(), done.time.to_bits());
         assert_eq!(back.retries, 2);
+        assert_eq!(
+            back.timing.queue_wait_s.to_bits(),
+            done.timing.queue_wait_s.to_bits()
+        );
+        assert_eq!(back.timing.run_s.to_bits(), done.timing.run_s.to_bits());
+        assert_eq!(back.timing.attempts, 3);
         let bits: Vec<u64> = back.summary.iter().map(|v| v.to_bits()).collect();
         let want: Vec<u64> = done.summary.iter().map(|v| v.to_bits()).collect();
         assert_eq!(bits, want);

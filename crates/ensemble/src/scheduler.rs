@@ -12,15 +12,16 @@
 //! `JobSpec::threads(n)` job runs its cell-block sweeps on its worker's
 //! own nested pool, and setups may pick `RankParallel` backends.
 
-use crate::report::{EnsembleReport, JobRecord, JobStatus};
+use crate::report::{EnsembleReport, JobRecord, JobStatus, JobTiming, SchedulerStats};
 use crate::runner;
 use crate::spec::{JobSpec, SweepSpec};
 use dg_core::app::App;
 use dg_core::error::Error;
 use dg_core::observer::Frame;
+use dg_telemetry::now_ns;
 use std::collections::{BTreeSet, VecDeque};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU8, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// Reduce a finished run to the per-job summary row. Receives borrowed
@@ -340,6 +341,7 @@ impl Ensemble {
         for s in &self.states {
             s.store(JobState::Queued as u8, Ordering::SeqCst);
         }
+        let t_run_start = now_ns();
         let shared = Shared {
             cfg: &self.cfg,
             specs: &self.specs,
@@ -347,6 +349,8 @@ impl Ensemble {
             queue: Mutex::new((0..self.specs.len()).collect()),
             slots: self.specs.iter().map(|_| Mutex::new(None)).collect(),
             token: self.token.clone(),
+            t_run_start,
+            queue_depth_hwm: AtomicUsize::new(self.specs.len()),
         };
         if self.cfg.workers <= 1 {
             // Degenerate pool: the calling thread is the one worker.
@@ -360,6 +364,7 @@ impl Ensemble {
         }
         // Deterministic submission-order reduction on the main thread;
         // completion order (which varies with worker count) is gone here.
+        let queue_depth_hwm = shared.queue_depth_hwm.load(Ordering::SeqCst);
         let mut jobs = Vec::with_capacity(self.specs.len());
         for slot in shared.slots {
             let rec = slot
@@ -368,9 +373,21 @@ impl Ensemble {
                 .expect("every dequeued job leaves a record");
             jobs.push(rec);
         }
+        let wall_s = now_ns().saturating_sub(t_run_start) as f64 * 1e-9;
+        let busy_s: f64 = jobs.iter().map(|j| j.timing.run_s).sum();
         let report = EnsembleReport {
             columns: self.cfg.columns.clone(),
             jobs,
+            stats: SchedulerStats {
+                wall_s,
+                workers: self.cfg.workers,
+                queue_depth_hwm,
+                utilization: if wall_s > 0.0 {
+                    busy_s / (self.cfg.workers as f64 * wall_s)
+                } else {
+                    0.0
+                },
+            },
         };
         if let Some(dir) = &self.cfg.out_dir {
             report.write_csv(dir.join("report.csv"))?;
@@ -387,6 +404,12 @@ struct Shared<'a> {
     queue: Mutex<VecDeque<usize>>,
     slots: Vec<Mutex<Option<JobRecord>>>,
     token: CancelToken,
+    /// `now_ns` when `run` started; queue waits are measured from here.
+    t_run_start: u64,
+    /// Peak queue depth. Seeded with the submission count (the queue is
+    /// full before workers start) and max-folded on every dequeue so it
+    /// stays honest if submission ever becomes streaming.
+    queue_depth_hwm: AtomicUsize,
 }
 
 /// One worker: pull job ids off the shared FIFO until it is empty. The
@@ -395,8 +418,14 @@ struct Shared<'a> {
 /// order after the barrier.
 fn run_worker(shared: &Shared<'_>) {
     loop {
-        let next = shared.queue.lock().unwrap().pop_front();
+        let (next, depth) = {
+            let mut q = shared.queue.lock().unwrap();
+            let depth = q.len();
+            (q.pop_front(), depth)
+        };
+        shared.queue_depth_hwm.fetch_max(depth, Ordering::AcqRel);
         let Some(id) = next else { return };
+        let queue_wait_s = now_ns().saturating_sub(shared.t_run_start) as f64 * 1e-9;
         let spec = &shared.specs[id];
         let record = if shared.token.is_draining() {
             // Graceful shutdown: jobs still queued are cancelled without
@@ -410,10 +439,15 @@ fn run_worker(shared: &Shared<'_>) {
                 time: 0.0,
                 retries: 0,
                 summary: Vec::new(),
+                timing: JobTiming {
+                    queue_wait_s,
+                    run_s: 0.0,
+                    attempts: 0,
+                },
             }
         } else {
             shared.states[id].store(JobState::Running as u8, Ordering::SeqCst);
-            runner::run_job(shared.cfg, spec, id, &shared.token)
+            runner::run_job(shared.cfg, spec, id, &shared.token, queue_wait_s)
         };
         shared.states[id].store(JobState::of(&record.status) as u8, Ordering::SeqCst);
         *shared.slots[id].lock().unwrap() = Some(record);

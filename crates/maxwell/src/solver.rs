@@ -13,6 +13,7 @@ use crate::flux::{MaxwellFlux, PhmParams, BX, EX, PHI, PSI};
 use dg_basis::{Basis, BasisKind, FaceBasis};
 use dg_grid::{Bc, CartGrid, DgField, DimBc};
 use dg_poly::tables::Tables1d;
+use dg_telemetry::{span, Collector, Phase};
 
 /// Number of PHM state components.
 pub const NCOMP: usize = 8;
@@ -91,6 +92,9 @@ pub struct MaxwellDg {
     /// the intra-rank workers); the field solve runs on one thread, so the
     /// lock is never contended — and a futex lock never allocates.
     scratch: std::sync::Mutex<SurfScratch>,
+    /// Telemetry writer (noop unless the backend instruments the run);
+    /// the field solve runs on the main thread, slot 0.
+    probe: Collector,
 }
 
 impl MaxwellDg {
@@ -136,7 +140,15 @@ impl MaxwellDg {
             mirror,
             nc,
             scratch,
+            probe: Collector::Noop,
         }
+    }
+
+    /// Point this operator's telemetry at `collector` — called once by
+    /// backend instrumentation.
+    // dg-analyze: allow(hot_alloc) — collector handoff is cold (once per run); clone bumps an Arc refcount
+    pub fn instrument(&mut self, collector: &Collector) {
+        self.probe = collector.clone();
     }
 
     /// Component sign of the wall ghost for a boundary of dimension `d`:
@@ -178,6 +190,7 @@ impl MaxwellDg {
     ///
     /// `out` is *not* zeroed — callers combine operators.
     pub fn rhs(&self, em: &DgField, out: &mut DgField) {
+        span!(self.probe, Phase::MaxwellRhs);
         self.volume(em, out);
         for d in 0..self.grid.ndim() {
             self.surface_dir(d, em, out);
@@ -330,6 +343,7 @@ impl MaxwellDg {
     /// coefficients per cell, `rho` has `Nc` (pass `None` when cleaning is
     /// disabled or charge is not tracked).
     pub fn add_sources(&self, j: &DgField, rho: Option<&DgField>, out: &mut DgField) {
+        span!(self.probe, Phase::MaxwellRhs);
         let nc = self.nc;
         let inv_eps = 1.0 / self.params.epsilon0;
         for cell in 0..self.grid.len() {

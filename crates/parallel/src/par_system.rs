@@ -10,6 +10,8 @@
 //! applies its received side *after* its interior faces while the last
 //! rank applies its sending side in natural order.
 
+use std::sync::Arc;
+
 use crate::decomp::RankDecomp;
 use dg_core::backend::{Backend, BackendFactory};
 use dg_core::blocks::BlockRhs;
@@ -18,6 +20,7 @@ use dg_core::moments::MomentScratch;
 use dg_core::ssprk::{ssp_rk3_generic, STAGE_WEIGHTS};
 use dg_core::system::{SystemState, VlasovMaxwell};
 use dg_grid::DgField;
+use dg_telemetry::{Counter, Registry};
 
 /// Parallel driver wrapping a [`VlasovMaxwell`] system.
 pub struct ParVlasovMaxwell {
@@ -29,6 +32,11 @@ pub struct ParVlasovMaxwell {
     block: BlockRhs,
     scratch_j: DgField,
     scratch_rho: DgField,
+    /// One persistent moment scratch per rank for the field coupling —
+    /// allocated once here rather than per RHS call inside the rank scope,
+    /// so the coupling stays allocation-free and each rank's reductions
+    /// land in its own telemetry slot.
+    mom_ws: Vec<MomentScratch>,
 }
 
 impl ParVlasovMaxwell {
@@ -39,12 +47,32 @@ impl ParVlasovMaxwell {
         let block = BlockRhs::new(&system, ranks, threads);
         let nconf = system.grid.conf.len();
         let nc = system.kernels.nc();
+        let mom_ws = (0..ranks)
+            .map(|_| MomentScratch::for_kernels(&system.kernels))
+            .collect();
         ParVlasovMaxwell {
             system,
             decomp,
             block,
             scratch_j: DgField::zeros(nconf, 3 * nc),
             scratch_rho: DgField::zeros(nconf, nc),
+            mom_ws,
+        }
+    }
+
+    /// Telemetry slots the driver writes: slot 0 (orchestrating thread),
+    /// one per cell block, then one per rank's moment scratch.
+    pub fn telemetry_slots(&self) -> usize {
+        1 + self.block.blocks().len() + self.mom_ws.len()
+    }
+
+    /// Attach a telemetry registry across the two-level decomposition.
+    pub fn instrument(&mut self, reg: &Arc<Registry>) {
+        self.system.instrument(&reg.collector(0));
+        self.block.instrument(reg);
+        let base = 1 + self.block.blocks().len();
+        for (rank, mws) in self.mom_ws.iter_mut().enumerate() {
+            mws.probe = reg.collector(base + rank);
         }
     }
 
@@ -52,6 +80,7 @@ impl ParVlasovMaxwell {
     /// blocks (volume + surfaces + LBO, block-ordered ledger reduction —
     /// see `dg_core::blocks`), then the rank-parallel field coupling.
     pub fn rhs(&mut self, state: &SystemState, out: &mut SystemState) {
+        self.system.probe.count(Counter::RhsEvals, 1);
         out.fill(0.0);
         let decomp = &self.decomp;
         self.block.species_rhs(&mut self.system, state, out);
@@ -66,11 +95,16 @@ impl ParVlasovMaxwell {
             let conf_bounds = decomp.conf_boundaries();
             let mut j_views = self.scratch_j.split_cells_mut(&conf_bounds);
             let mut rho_views = self.scratch_rho.split_cells_mut(&conf_bounds);
+            let mom_ws = &mut self.mom_ws;
             self.block.pool().scope(|scope| {
-                for (rank, (jv, rv)) in j_views.iter_mut().zip(rho_views.iter_mut()).enumerate() {
+                for (rank, ((jv, rv), mws)) in j_views
+                    .iter_mut()
+                    .zip(rho_views.iter_mut())
+                    .zip(mom_ws.iter_mut())
+                    .enumerate()
+                {
                     scope.spawn(move |_| {
                         let range = decomp.conf_range(rank);
-                        let mut mws = MomentScratch::for_kernels(&system.kernels);
                         for (s, sp) in system.species.iter().enumerate() {
                             dg_core::moments::accumulate_current(
                                 &system.kernels,
@@ -84,7 +118,7 @@ impl ParVlasovMaxwell {
                                     None
                                 },
                                 range.clone(),
-                                &mut mws,
+                                mws,
                             );
                         }
                     });
@@ -203,6 +237,14 @@ impl Backend for RankParallelBackend {
 
     fn name(&self) -> &'static str {
         "rank-parallel"
+    }
+
+    fn telemetry_slots(&self) -> usize {
+        self.par.telemetry_slots()
+    }
+
+    fn instrument(&mut self, reg: &Arc<Registry>) {
+        self.par.instrument(reg);
     }
 }
 

@@ -1,0 +1,39 @@
+//! `dg-telemetry-validate <telemetry.json>…` — CI schema gate.
+//!
+//! Exits nonzero (listing the missing keys) when any argument fails
+//! [`dg_telemetry::validate_json`]; the examples-smoke workflow runs it
+//! against the artifact produced by `DG_TELEMETRY=1` runs.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!("usage: dg-telemetry-validate <telemetry.json>...");
+        return ExitCode::FAILURE;
+    }
+    let mut ok = true;
+    for path in &args {
+        match std::fs::read_to_string(path) {
+            Ok(text) => match dg_telemetry::validate_json(&text) {
+                Ok(()) => println!("{path}: ok ({} bytes)", text.len()),
+                Err(missing) => {
+                    ok = false;
+                    eprintln!("{path}: schema violation, missing keys:");
+                    for k in missing {
+                        eprintln!("  {k}");
+                    }
+                }
+            },
+            Err(e) => {
+                ok = false;
+                eprintln!("{path}: {e}");
+            }
+        }
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,176 @@
+//! The static phase and counter taxonomy.
+//!
+//! Phases partition the solver's wall time into non-overlapping buckets
+//! (the instrumentation places spans at the *leaf* sweep level so no
+//! nanosecond is counted twice — see DESIGN.md "Telemetry & run
+//! reports" for the placement contract). Counters are monotonically
+//! increasing work totals. Both enums are closed: adding a variant is a
+//! schema bump for `telemetry.json`, caught by the golden test.
+
+/// One timed phase of the solver. The discriminant indexes the fixed
+/// accumulator arrays in [`crate::collect::Slot`], so the enum must
+/// stay dense from zero.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(usize)]
+pub enum Phase {
+    /// DG volume integrals over phase-space cells.
+    Volume,
+    /// Interior configuration- and velocity-space surface fluxes.
+    Surface,
+    /// LBO drag term (first-order velocity flux).
+    LboDrag,
+    /// LBO diffusion term (the two LDG passes).
+    LboDiff,
+    /// Velocity-moment reductions (densities, currents, energies).
+    Moments,
+    /// The linear Maxwell curl RHS (including perfectly hyperbolic
+    /// cleaning terms).
+    MaxwellRhs,
+    /// Current/charge coupling of the species onto the field RHS
+    /// (scratch fills, background charge, source accumulation —
+    /// the moment reductions themselves are under [`Phase::Moments`]).
+    FieldCoupling,
+    /// Wall-ghost synthesis at configuration boundaries.
+    Ghosts,
+    /// Wall-ledger recording, stage integration, and the block-ordered
+    /// ledger reduction.
+    Ledger,
+    /// dt suggestion and step clamping in the run driver.
+    StepControl,
+    /// Observer firings (diagnostics, series writers, checkpoints).
+    Observers,
+    /// Artifact writes owned by the telemetry layer itself
+    /// (`telemetry.json`, metrics CSV flushes).
+    Io,
+}
+
+/// Number of [`Phase`] variants (length of the per-slot timer arrays).
+pub const NPHASES: usize = 12;
+
+impl Phase {
+    /// All phases in discriminant order.
+    pub const ALL: [Phase; NPHASES] = [
+        Phase::Volume,
+        Phase::Surface,
+        Phase::LboDrag,
+        Phase::LboDiff,
+        Phase::Moments,
+        Phase::MaxwellRhs,
+        Phase::FieldCoupling,
+        Phase::Ghosts,
+        Phase::Ledger,
+        Phase::StepControl,
+        Phase::Observers,
+        Phase::Io,
+    ];
+
+    /// The array index of this phase.
+    #[inline(always)]
+    pub fn idx(self) -> usize {
+        self as usize
+    }
+
+    /// Stable snake_case name (the `telemetry.json` key).
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Volume => "volume",
+            Phase::Surface => "surface",
+            Phase::LboDrag => "lbo_drag",
+            Phase::LboDiff => "lbo_diff",
+            Phase::Moments => "moments",
+            Phase::MaxwellRhs => "maxwell_rhs",
+            Phase::FieldCoupling => "field_coupling",
+            Phase::Ghosts => "ghosts",
+            Phase::Ledger => "ledger",
+            Phase::StepControl => "step_control",
+            Phase::Observers => "observers",
+            Phase::Io => "io",
+        }
+    }
+}
+
+/// One monotonically increasing work counter.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(usize)]
+pub enum Counter {
+    /// Full coupled-RHS evaluations.
+    RhsEvals,
+    /// Phase-space cells processed by volume sweeps.
+    CellsSwept,
+    /// Phase-space faces processed by surface sweeps.
+    FacesSwept,
+    /// Degrees of freedom processed by volume sweeps
+    /// (cells × basis coefficients).
+    DofProcessed,
+    /// dt suggestions rejected (shrunk after a blow-up).
+    DtRejections,
+    /// Job or segment retries (ensemble retry loop).
+    Retries,
+}
+
+/// Number of [`Counter`] variants (length of the per-slot counter
+/// arrays).
+pub const NCOUNTERS: usize = 6;
+
+impl Counter {
+    /// All counters in discriminant order.
+    pub const ALL: [Counter; NCOUNTERS] = [
+        Counter::RhsEvals,
+        Counter::CellsSwept,
+        Counter::FacesSwept,
+        Counter::DofProcessed,
+        Counter::DtRejections,
+        Counter::Retries,
+    ];
+
+    /// The array index of this counter.
+    #[inline(always)]
+    pub fn idx(self) -> usize {
+        self as usize
+    }
+
+    /// Stable snake_case name (the `telemetry.json` key).
+    pub fn name(self) -> &'static str {
+        match self {
+            Counter::RhsEvals => "rhs_evals",
+            Counter::CellsSwept => "cells_swept",
+            Counter::FacesSwept => "faces_swept",
+            Counter::DofProcessed => "dof_processed",
+            Counter::DtRejections => "dt_rejections",
+            Counter::Retries => "retries",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn discriminants_are_dense_and_named() {
+        for (i, p) in Phase::ALL.iter().enumerate() {
+            assert_eq!(p.idx(), i);
+            assert!(!p.name().is_empty());
+        }
+        for (i, c) in Counter::ALL.iter().enumerate() {
+            assert_eq!(c.idx(), i);
+            assert!(!c.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        for a in Phase::ALL {
+            assert_eq!(
+                Phase::ALL.iter().filter(|p| p.name() == a.name()).count(),
+                1
+            );
+        }
+        for a in Counter::ALL {
+            assert_eq!(
+                Counter::ALL.iter().filter(|c| c.name() == a.name()).count(),
+                1
+            );
+        }
+    }
+}

@@ -106,6 +106,7 @@ fn main() -> Result<(), Error> {
     } else {
         println!("  (shrunk run: skipping the rate-accuracy assertion)");
     }
+    vlasov_dg::util::emit_telemetry(&app, "landau_damping")?;
     println!("landau_damping OK");
     Ok(())
 }

@@ -104,6 +104,7 @@ fn main() -> Result<(), Error> {
         last < 1e-2,
         "should be essentially at equilibrium, got {last}"
     );
+    vlasov_dg::util::emit_telemetry(&app, "lbo_relaxation")?;
     println!("lbo_relaxation OK");
     Ok(())
 }

@@ -52,6 +52,7 @@ fn main() -> Result<(), Error> {
     // The field energy must oscillate at ~2 ω_p while Landau-damping away.
     assert!(q1.field_energy > 0.0, "field should be active");
     assert!(history.mass_drift() < 1e-10, "mass must be conserved");
+    vlasov_dg::util::emit_telemetry(&app, "quickstart")?;
     println!("quickstart OK");
     Ok(())
 }

@@ -175,6 +175,7 @@ fn main() -> Result<(), Error> {
     } else {
         println!("  (shrunk run: skipping the sheath-physics assertions)");
     }
+    vlasov_dg::util::emit_telemetry(&app, "sheath_1x1v")?;
     println!("sheath_1x1v OK");
     Ok(())
 }

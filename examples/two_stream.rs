@@ -68,6 +68,7 @@ fn main() -> Result<(), Error> {
         (gamma - gamma_theory).abs() < 0.15 * gamma_theory.abs() + 0.02,
         "growth rate far from cold-beam theory: {gamma} vs {gamma_theory}"
     );
+    vlasov_dg::util::emit_telemetry(&app, "two_stream")?;
     println!("two_stream OK");
     Ok(())
 }

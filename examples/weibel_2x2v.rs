@@ -259,6 +259,7 @@ fn main() -> Result<(), Error> {
     } else {
         println!("  (shrunk run: skipping the field-growth assertion)");
     }
+    vlasov_dg::util::emit_telemetry(&app, "weibel_2x2v")?;
     println!("weibel_2x2v OK");
     Ok(())
 }

@@ -52,11 +52,34 @@ pub use dg_maxwell as maxwell;
 pub use dg_nodal as nodal;
 pub use dg_parallel as parallel;
 pub use dg_poly as poly;
+pub use dg_telemetry as telemetry;
 
 /// Shared runtime-configuration helpers (env-override parsers used by the
 /// examples, the bench harness, and the CI smoke jobs).
 pub mod util {
     pub use dg_diag::util::{env_f64, env_usize};
+
+    use dg_core::app::App;
+    use dg_core::error::Error;
+
+    /// End-of-run telemetry hand-off shared by the examples: when the app
+    /// was built with collection on (`DG_TELEMETRY=1`), print the
+    /// per-phase summary table and write the machine-readable report to
+    /// `telemetry.json` in the working directory (override the path with
+    /// `DG_TELEMETRY_PATH`). A no-op when telemetry is off, so examples
+    /// call it unconditionally after `App::run`.
+    pub fn emit_telemetry(app: &App, name: &str) -> Result<(), Error> {
+        if !app.telemetry_enabled() {
+            return Ok(());
+        }
+        let report = app.telemetry_report(name).expect("telemetry is enabled");
+        print!("{}", report.summary_table());
+        let path =
+            std::env::var("DG_TELEMETRY_PATH").unwrap_or_else(|_| String::from("telemetry.json"));
+        app.write_telemetry(std::path::Path::new(&path), name)?;
+        println!("wrote {path}");
+        Ok(())
+    }
 }
 
 /// One-stop imports for applications.
@@ -69,6 +92,7 @@ pub mod prelude {
     pub use dg_core::system::{FluxKind, SystemState, VlasovMaxwell, WallChannels};
     pub use dg_diag::csv::CsvSeries;
     pub use dg_diag::history::EnergyHistory;
+    pub use dg_diag::metrics::MetricsObserver;
     pub use dg_diag::slices::SliceSeries;
     pub use dg_diag::snapshot::Checkpoint;
     pub use dg_diag::walls::WallFluxLedger;
@@ -80,4 +104,5 @@ pub mod prelude {
     pub use dg_grid::grid::CartGrid;
     pub use dg_kernels::{DispatchPath, KernelDispatch};
     pub use dg_parallel::RankParallel;
+    pub use dg_telemetry::{Collector, Counter, Phase, Registry, RunReport, Snapshot};
 }

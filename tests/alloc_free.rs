@@ -269,4 +269,35 @@ fn rhs_and_lbo_loops_allocate_nothing() {
         n, 0,
         "threaded block RHS allocated {n} times in the hot loop"
     );
+
+    // --- Telemetry-active sweep: the ISSUE-10 gate. With collection ON,
+    // the same coupled RHS must still allocate nothing — a span is an
+    // RAII guard holding one `Arc` refcount bump over the preallocated
+    // registry, and counters are relaxed atomic adds into fixed arrays.
+    // The warm-up also initializes the process clock epoch (`OnceLock`
+    // stores its `Instant` inline, but first-use must not be counted as
+    // part of the steady state). ---
+    let reg = std::sync::Arc::new(vlasov_dg::telemetry::Registry::new(
+        1 + block.blocks().len(),
+    ));
+    block.instrument(&reg);
+    let probe = reg.collector(0);
+    sys.instrument(&probe);
+    block.rhs(&mut sys, &state, &mut out); // warm-up
+    let snap0 = reg.snapshot();
+    let n = count_allocs(|| {
+        for _ in 0..3 {
+            block.rhs(&mut sys, &state, &mut out);
+        }
+    });
+    assert_eq!(
+        n, 0,
+        "telemetry-instrumented block RHS allocated {n} times in the hot loop"
+    );
+    let delta = reg.snapshot().delta(&snap0);
+    assert_eq!(
+        delta.counter(vlasov_dg::telemetry::Counter::RhsEvals),
+        3,
+        "collection was not actually active during the counted loop"
+    );
 }

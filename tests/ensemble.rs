@@ -79,6 +79,33 @@ fn summary_bits(r: &JobRecord) -> Vec<u64> {
     r.summary.iter().map(|v| v.to_bits()).collect()
 }
 
+/// `summary.csv` with its wall-clock cells masked. The
+/// `queue_wait_s`/`run_s` columns are the only legitimately
+/// non-deterministic bytes a job directory holds (deliberately
+/// quarantined there — `report.csv`, series, and checkpoints stay fully
+/// bit-comparable), so mask exactly those two cells and compare
+/// everything else byte-for-byte, header included.
+fn summary_masked(path: &Path) -> String {
+    let body = std::fs::read_to_string(path).unwrap();
+    let mut lines = body.lines();
+    let header = lines.next().unwrap();
+    let cols: Vec<&str> = header.split(',').collect();
+    let qw = cols.iter().position(|c| *c == "queue_wait_s").unwrap();
+    let rs = cols.iter().position(|c| *c == "run_s").unwrap();
+    let mut out = String::from(header);
+    out.push('\n');
+    for line in lines {
+        for (i, cell) in line.split(',').enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(if i == qw || i == rs { "<wall>" } else { cell });
+        }
+        out.push('\n');
+    }
+    out
+}
+
 /// Install a one-shot probe that calls `act(token)` the first time `job`
 /// reaches `t_at` (re-runs of the same ensemble are then undisturbed).
 /// The token slot is filled after `Ensemble::new` hands it out.
@@ -130,11 +157,17 @@ fn results_are_bit_identical_at_1_2_and_5_workers() {
             assert_eq!(summary_bits(a), summary_bits(b), "job {}", a.name);
             // Final states bit-identical: compare the last checkpoint and
             // the streamed series byte-for-byte across worker counts.
-            for file in ["ckpt_000028.vdg", "series.csv", "summary.csv"] {
+            for file in ["ckpt_000028.vdg", "series.csv"] {
                 let ours = std::fs::read(dir.join(&b.name).join(file)).unwrap();
                 let theirs = std::fs::read(dirs[0].join(&a.name).join(file)).unwrap();
                 assert_eq!(ours, theirs, "{}/{file} differs", b.name);
             }
+            assert_eq!(
+                summary_masked(&dir.join(&b.name).join("summary.csv")),
+                summary_masked(&dirs[0].join(&a.name).join("summary.csv")),
+                "{}/summary.csv differs beyond its wall-clock cells",
+                b.name
+            );
         }
         assert_eq!(
             std::fs::read(dir.join("report.csv")).unwrap(),
@@ -189,7 +222,7 @@ fn killed_sweep_resumes_bit_exactly_from_checkpoints() {
         assert_eq!(a.time.to_bits(), b.time.to_bits());
         assert_eq!(a.retries, b.retries);
         assert_eq!(summary_bits(a), summary_bits(b), "job {}", a.name);
-        for file in ["ckpt_000028.vdg", "series.csv", "summary.csv"] {
+        for file in ["ckpt_000028.vdg", "series.csv"] {
             assert_eq!(
                 std::fs::read(dir.join(&a.name).join(file)).unwrap(),
                 std::fs::read(ref_dir.join(&a.name).join(file)).unwrap(),
@@ -197,6 +230,12 @@ fn killed_sweep_resumes_bit_exactly_from_checkpoints() {
                 a.name
             );
         }
+        assert_eq!(
+            summary_masked(&dir.join(&a.name).join("summary.csv")),
+            summary_masked(&ref_dir.join(&a.name).join("summary.csv")),
+            "{}/summary.csv differs after resume beyond its wall-clock cells",
+            a.name
+        );
     }
     assert_eq!(
         std::fs::read(dir.join("report.csv")).unwrap(),
